@@ -1,0 +1,52 @@
+//! Ablation: the +coverage modifier — how much tree survives masking and
+//! what it costs (§IV-D / §V-C).
+
+use bench::{criterion, save_figure};
+use svcorpus::{unit, App, Model};
+use svmetrics::{divergence, tree_of, Measured, Metric, Variant};
+
+fn main() {
+    let mut out = String::from("Ablation — coverage masking (BabelStream)\n");
+    out.push_str("model            |t_sem|  masked  survival  d(serial)  d+cov\n");
+    let serial = unit(App::BabelStream, Model::Serial).unwrap();
+    let serial_run = svexec::run_unit(&serial).unwrap();
+    for m in Model::ALL {
+        let u = unit(App::BabelStream, m).unwrap();
+        let run = svexec::run_unit(&u).unwrap();
+        let plain = Measured::new(&u);
+        let covd = Measured::with_coverage(&u, &run.coverage);
+        let full = tree_of(&plain, Metric::TSem, Variant::PLAIN).size();
+        let masked = tree_of(&covd, Metric::TSem, Variant::COVERAGE).size();
+        let d_plain = divergence(
+            Metric::TSem,
+            Variant::PLAIN,
+            &Measured::new(&serial),
+            &plain,
+        )
+        .normalized();
+        let d_cov = divergence(
+            Metric::TSem,
+            Variant::COVERAGE,
+            &Measured::with_coverage(&serial, &serial_run.coverage),
+            &covd,
+        )
+        .normalized();
+        out.push_str(&format!(
+            "{:<16} {:>7} {:>7} {:>8.2}% {:>10.3} {:>6.3}\n",
+            m.name(),
+            full,
+            masked,
+            100.0 * masked as f64 / full as f64,
+            d_plain,
+            d_cov
+        ));
+    }
+    save_figure("ablation_coverage_masking.txt", &out);
+
+    let u = unit(App::BabelStream, Model::SyclAcc).unwrap();
+    let mut c = criterion();
+    c.bench_function("coverage/interpret_and_profile", |b| {
+        b.iter(|| svexec::run_unit(&u).unwrap())
+    });
+    c.final_summary();
+}

@@ -1,0 +1,52 @@
+//! Ablation: the svpar data-parallel runtime — kernel correctness of the
+//! host calibration path and thread scaling of the STREAM triad.
+
+use bench::{criterion, save_figure};
+use criterion::BenchmarkId;
+use svperf::host::{measure_host, triad_scaling};
+
+fn main() {
+    let n = 1 << 22; // 4M doubles/array: beyond LLC, bandwidth-bound
+    let ms = measure_host(n, 5);
+    let mut out = String::from("Host calibration (svpar kernels)\n");
+    out.push_str("kernel     GB/s     GFLOP/s   seconds\n");
+    for m in &ms {
+        out.push_str(&format!(
+            "{:<9} {:>8.2} {:>9.3} {:>10.6}\n",
+            m.kernel, m.bandwidth_gbs, m.gflops, m.seconds
+        ));
+    }
+    let max_threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4);
+    let mut counts = vec![1usize];
+    let mut t = 2;
+    while t <= max_threads {
+        counts.push(t);
+        t *= 2;
+    }
+    out.push_str("\nTriad scaling\nthreads  seconds    speedup\n");
+    let scaling = triad_scaling(n, &counts);
+    let t1 = scaling[0].1;
+    for (threads, secs) in &scaling {
+        out.push_str(&format!("{threads:>7} {secs:>10.6} {:>8.2}x\n", t1 / secs));
+    }
+    save_figure("ablation_svpar_scaling.txt", &out);
+
+    let b: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64).collect();
+    let cvec: Vec<f64> = (0..n).map(|i| 0.25 + (i % 5) as f64).collect();
+    let mut c = criterion();
+    let mut group = c.benchmark_group("svpar_triad");
+    let mut bench_counts = vec![1usize];
+    if max_threads > 1 {
+        bench_counts.push(max_threads);
+    }
+    for threads in bench_counts {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, &t| {
+            svpar::set_threads(t);
+            let mut a = vec![0.0f64; n];
+            bch.iter(|| svpar::kernels::triad(&mut a, &b, &cvec, 0.4));
+        });
+    }
+    group.finish();
+    svpar::set_threads(0);
+    c.final_summary();
+}

@@ -1,0 +1,31 @@
+//! Fig. 4 — TeaLeaf model clustering heatmap + dendrogram using T_sem.
+
+use bench::{criterion, save_figure};
+use silvervale::{index_app, model_dendrogram, model_matrix};
+use svcluster::Heatmap;
+use svcorpus::App;
+use svmetrics::{Metric, Variant};
+
+fn main() {
+    let db = index_app(App::TeaLeaf, false).unwrap();
+    let matrix = model_matrix(&db, Metric::TSem, Variant::PLAIN);
+    let dendro = model_dendrogram(&db, Metric::TSem, Variant::PLAIN);
+    let mut out = String::from("Fig. 4 — TeaLeaf model clustering (T_sem)\n\n");
+    out.push_str(&Heatmap::ordered_by(&matrix, &dendro).render());
+    out.push('\n');
+    out.push_str(&dendro.render());
+    out.push_str("\nnewick: ");
+    out.push_str(&dendro.to_newick());
+    out.push('\n');
+    save_figure("fig04_tealeaf_tsem_cluster.txt", &out);
+    save_figure("fig04_tealeaf_tsem_matrix.csv", &matrix.to_csv());
+
+    let mut c = criterion();
+    c.bench_function("fig04/tsem_divergence_matrix", |b| {
+        b.iter(|| model_matrix(&db, Metric::TSem, Variant::PLAIN))
+    });
+    c.bench_function("fig04/clustering", |b| {
+        b.iter(|| svcluster::cluster_rows(&matrix))
+    });
+    c.final_summary();
+}

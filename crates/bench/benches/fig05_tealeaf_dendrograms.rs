@@ -1,0 +1,26 @@
+//! Fig. 5 — TeaLeaf dendrograms under LLOC, SLOC, Source, T_src, T_sem, T_ir.
+
+use bench::{criterion, save_figure};
+use silvervale::{index_app, model_dendrogram};
+use svcorpus::App;
+use svmetrics::{Metric, Variant};
+
+fn main() {
+    let db = index_app(App::TeaLeaf, false).unwrap();
+    let mut out = String::from("Fig. 5 — TeaLeaf model clustering per metric\n\n");
+    for metric in [Metric::Lloc, Metric::Sloc, Metric::Source, Metric::TSrc, Metric::TSem, Metric::TIr] {
+        let d = model_dendrogram(&db, metric, Variant::PLAIN);
+        out.push_str(&format!("--- {} ---\n{}\n", metric.name(), d.render()));
+    }
+    save_figure("fig05_tealeaf_dendrograms.txt", &out);
+
+    let mut c = criterion();
+    c.bench_function("fig05/all_metric_dendrograms", |b| {
+        b.iter(|| {
+            for metric in [Metric::Sloc, Metric::Source, Metric::TSrc] {
+                let _ = model_dendrogram(&db, metric, Variant::PLAIN);
+            }
+        })
+    });
+    c.final_summary();
+}

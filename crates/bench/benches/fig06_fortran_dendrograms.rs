@@ -1,0 +1,19 @@
+//! Fig. 6 — BabelStream Fortran dendrograms per metric.
+
+use bench::{criterion, save_figure};
+use silvervale::{index_fortran, model_dendrogram};
+use svmetrics::{Metric, Variant};
+
+fn main() {
+    let db = index_fortran().unwrap();
+    let mut out = String::from("Fig. 6 — BabelStream Fortran model clustering per metric\n\n");
+    for metric in [Metric::Lloc, Metric::Sloc, Metric::Source, Metric::TSrc, Metric::TSem, Metric::TIr] {
+        let d = model_dendrogram(&db, metric, Variant::PLAIN);
+        out.push_str(&format!("--- {} ---\n{}\n", metric.name(), d.render()));
+    }
+    save_figure("fig06_fortran_dendrograms.txt", &out);
+
+    let mut c = criterion();
+    c.bench_function("fig06/fortran_index", |b| b.iter(|| index_fortran().unwrap()));
+    c.final_summary();
+}

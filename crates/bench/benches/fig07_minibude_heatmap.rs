@@ -1,0 +1,63 @@
+//! Fig. 7 — miniBUDE: divergence from serial per metric × variant, 0..1.
+
+use bench::{criterion, save_figure};
+use silvervale::{divergence_from, index_app};
+use svcorpus::App;
+use svmetrics::{Metric, Variant};
+
+pub fn heatmap_for(app: App, title: &str) -> String {
+    let db = index_app(app, true).unwrap();
+    let rows: Vec<(String, Metric, Variant)> = vec![
+        ("SLOC".into(), Metric::Sloc, Variant::PLAIN),
+        ("SLOC+pp".into(), Metric::Sloc, Variant::PP),
+        ("SLOC+cov".into(), Metric::Sloc, Variant::COVERAGE),
+        ("LLOC".into(), Metric::Lloc, Variant::PLAIN),
+        ("LLOC+pp".into(), Metric::Lloc, Variant::PP),
+        ("Source".into(), Metric::Source, Variant::PLAIN),
+        ("Source+pp".into(), Metric::Source, Variant::PP),
+        ("Source+cov".into(), Metric::Source, Variant::COVERAGE),
+        ("T_src".into(), Metric::TSrc, Variant::PLAIN),
+        ("T_src+pp".into(), Metric::TSrc, Variant::PP),
+        ("T_src+cov".into(), Metric::TSrc, Variant::COVERAGE),
+        ("T_sem".into(), Metric::TSem, Variant::PLAIN),
+        ("T_sem+i".into(), Metric::TSem, Variant::INLINED),
+        ("T_sem+cov".into(), Metric::TSem, Variant::COVERAGE),
+        ("T_ir".into(), Metric::TIr, Variant::PLAIN),
+        ("T_ir+cov".into(), Metric::TIr, Variant::COVERAGE),
+    ];
+    let labels = db.labels();
+    let mut out = format!("{title}\n{:<12}", "metric");
+    for l in &labels {
+        out.push_str(&format!(" {:>7.7}", l));
+    }
+    out.push('\n');
+    const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+    let mut csv = format!("metric,{}\n", labels.join(","));
+    for (name, metric, variant) in rows {
+        let divs = divergence_from(&db, metric, variant, "Serial").unwrap();
+        out.push_str(&format!("{name:<12}"));
+        csv.push_str(&name);
+        for (_, d) in &divs {
+            let clamped = d.min(1.0);
+            let idx = ((clamped * (SHADES.len() - 1) as f64).round() as usize).min(4);
+            out.push_str(&format!(" {:>5.2} {}", clamped, SHADES[idx]));
+            csv.push_str(&format!(",{d:.6}"));
+        }
+        out.push('\n');
+        csv.push('\n');
+    }
+    save_figure(&format!("{}_heatmap.csv", app.name()), &csv);
+    out
+}
+
+fn main() {
+    let out = heatmap_for(App::MiniBude, "Fig. 7 — miniBUDE divergence from serial (0..1)");
+    save_figure("fig07_minibude_heatmap.txt", &out);
+
+    let db = index_app(App::MiniBude, false).unwrap();
+    let mut c = criterion();
+    c.bench_function("fig07/divergence_from_serial_tsem", |b| {
+        b.iter(|| divergence_from(&db, Metric::TSem, Variant::PLAIN, "Serial").unwrap())
+    });
+    c.final_summary();
+}

@@ -1,0 +1,21 @@
+//! Fig. 8 — CloverLeaf: divergence from serial per metric × variant, 0..1.
+
+use bench::{criterion, save_figure};
+use silvervale::{divergence_from, index_app};
+use svcorpus::App;
+use svmetrics::{Metric, Variant};
+
+#[path = "fig07_minibude_heatmap.rs"]
+mod fig07;
+
+fn main() {
+    let out = fig07::heatmap_for(App::CloverLeaf, "Fig. 8 — CloverLeaf divergence from serial (0..1)");
+    save_figure("fig08_cloverleaf_heatmap.txt", &out);
+
+    let db = index_app(App::CloverLeaf, false).unwrap();
+    let mut c = criterion();
+    c.bench_function("fig08/divergence_from_serial_tir", |b| {
+        b.iter(|| divergence_from(&db, Metric::TIr, Variant::PLAIN, "Serial").unwrap())
+    });
+    c.final_summary();
+}

@@ -1,0 +1,47 @@
+//! Figs. 9 & 10 — TeaLeaf offload-model divergence from Serial vs from CUDA.
+
+use bench::{criterion, save_figure};
+use silvervale::{divergence_from, index_app};
+use svcorpus::{App, Model};
+use svmetrics::{Metric, Variant};
+
+fn main() {
+    let db = index_app(App::TeaLeaf, false).unwrap();
+    let metrics = [Metric::Source, Metric::TSrc, Metric::TSem, Metric::TIr];
+    let targets: Vec<&str> = Model::ALL
+        .iter()
+        .filter(|m| m.is_offload())
+        .map(|m| m.name())
+        .collect();
+    let mut out = String::new();
+    let mut csv = String::from("base,model,Source,T_src,T_sem,T_ir\n");
+    for (fig, base) in [("Fig. 9", "Serial"), ("Fig. 10", "CUDA")] {
+        out.push_str(&format!("{fig} — divergence of TeaLeaf offload models from {base}\n"));
+        out.push_str(&format!("{:<16}", "model"));
+        for m in metrics {
+            out.push_str(&format!(" {:>8}", m.name()));
+        }
+        out.push('\n');
+        for t in &targets {
+            out.push_str(&format!("{t:<16}"));
+            csv.push_str(&format!("{base},{t}"));
+            for metric in metrics {
+                let divs = divergence_from(&db, metric, Variant::PLAIN, base).unwrap();
+                let d = divs.iter().find(|(l, _)| l == t).unwrap().1;
+                out.push_str(&format!(" {d:>8.3}"));
+                csv.push_str(&format!(",{d:.6}"));
+            }
+            out.push('\n');
+            csv.push('\n');
+        }
+        out.push('\n');
+    }
+    save_figure("fig09_fig10_migration.txt", &out);
+    save_figure("fig09_fig10_migration.csv", &csv);
+
+    let mut c = criterion();
+    c.bench_function("fig09_10/divergence_from_cuda", |b| {
+        b.iter(|| divergence_from(&db, Metric::TSem, Variant::PLAIN, "CUDA").unwrap())
+    });
+    c.final_summary();
+}

@@ -1,0 +1,16 @@
+//! Figs. 11 & 12 — TeaLeaf and CloverLeaf cascade plots over Table III.
+
+use bench::{criterion, save_figure};
+use svcorpus::App;
+use svperf::cascade;
+
+fn main() {
+    for (fig, app) in [("fig11", App::TeaLeaf), ("fig12", App::CloverLeaf)] {
+        let c = cascade(app);
+        save_figure(&format!("{fig}_{}_cascade.txt", app.name()), &c.render());
+        save_figure(&format!("{fig}_{}_cascade.csv", app.name()), &c.to_csv());
+    }
+    let mut c = criterion();
+    c.bench_function("fig11_12/cascade_build", |b| b.iter(|| cascade(App::TeaLeaf)));
+    c.final_summary();
+}

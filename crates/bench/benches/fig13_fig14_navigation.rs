@@ -1,0 +1,20 @@
+//! Figs. 13 & 14 — CloverLeaf and TeaLeaf navigation charts (Φ vs TBMD).
+
+use bench::{criterion, save_figure};
+use silvervale::{index_app, navigation_chart};
+use svcorpus::App;
+
+fn main() {
+    for (fig, app) in [("fig13", App::CloverLeaf), ("fig14", App::TeaLeaf)] {
+        let db = index_app(app, false).unwrap();
+        let chart = navigation_chart(app, &db).unwrap();
+        save_figure(&format!("{fig}_{}_navigation.txt", app.name()), &chart.render());
+        save_figure(&format!("{fig}_{}_navigation.csv", app.name()), &chart.to_csv());
+    }
+    let db = index_app(App::TeaLeaf, false).unwrap();
+    let mut c = criterion();
+    c.bench_function("fig13_14/navigation_chart", |b| {
+        b.iter(|| navigation_chart(App::TeaLeaf, &db).unwrap())
+    });
+    c.final_summary();
+}

@@ -1,0 +1,28 @@
+//! Fig. 15 — the vendor-diversification navigation-chart scenario.
+
+use bench::{criterion, save_figure};
+use silvervale::{index_app, navigation_chart};
+use svcorpus::App;
+use svperf::migration_scenario;
+
+fn main() {
+    let app = App::TeaLeaf;
+    let scenario = migration_scenario(app);
+    let mut out = String::from("Fig. 15 — picking the right model, starting from an unportable one\n\n");
+    for (desc, platforms, phi) in &scenario.stages {
+        out.push_str(&format!("{desc}\n  platforms: {platforms:?}\n  Φ(CUDA) = {phi:.3}\n\n"));
+    }
+    let db = index_app(app, false).unwrap();
+    let chart = navigation_chart(app, &db).unwrap();
+    out.push_str("Candidate targets (ranked by Φ × resemblance-to-serial):\n");
+    for (i, (model, score)) in chart.ranked().iter().take(5).enumerate() {
+        out.push_str(&format!("  {}. {:<14} score {:.3}\n", i + 1, model.name(), score));
+    }
+    out.push('\n');
+    out.push_str(&chart.render());
+    save_figure("fig15_migration_scenario.txt", &out);
+
+    let mut c = criterion();
+    c.bench_function("fig15/scenario", |b| b.iter(|| migration_scenario(App::TeaLeaf)));
+    c.final_summary();
+}

@@ -1,0 +1,53 @@
+//! Table II — mini-app × model inventory, regenerated from the corpus.
+
+use bench::{criterion, save_figure};
+use svcorpus::{fortran_unit, unit, App, FortranModel, Model};
+
+fn generate() -> String {
+    let mut s = String::from("Table II — corpus inventory\n");
+    s.push_str("mini-app      type             models\n");
+    let kinds = [
+        (App::BabelStream, "Memory BW"),
+        (App::MiniBude, "Compute"),
+        (App::TeaLeaf, "Structured grid"),
+        (App::CloverLeaf, "Memory BW"),
+    ];
+    for (app, ty) in kinds {
+        let models: Vec<&str> = Model::ALL.iter().map(|m| m.name()).collect();
+        s.push_str(&format!("{:<13} {:<16} {}\n", app.name(), ty, models.join(", ")));
+    }
+    let f: Vec<&str> = FortranModel::ALL.iter().map(|m| m.name()).collect();
+    s.push_str(&format!("{:<13} {:<16} {}\n", "babelstream", "Fortran", f.join(", ")));
+    s.push_str("\nper-model artefact sizes (BabelStream):\n");
+    s.push_str("model            sloc  lloc  |t_src| |t_sem| |t_ir|\n");
+    for m in Model::ALL {
+        let u = unit(App::BabelStream, m).unwrap();
+        let ir = svir_size(&u);
+        s.push_str(&format!(
+            "{:<16} {:>5} {:>5} {:>7} {:>7} {:>6}\n",
+            m.name(),
+            u.sloc_pre,
+            u.lloc_pre,
+            u.t_src.size(),
+            u.t_sem.size(),
+            ir
+        ));
+    }
+    s
+}
+
+fn svir_size(u: &svlang::unit::Unit) -> usize {
+    svmetrics::Artifacts::from_unit(u).t_ir.size()
+}
+
+fn main() {
+    save_figure("table2_corpus.txt", &generate());
+    let mut c = criterion();
+    c.bench_function("table2/compile_one_unit", |b| {
+        b.iter(|| unit(App::BabelStream, Model::SyclAcc).unwrap())
+    });
+    c.bench_function("table2/compile_fortran_unit", |b| {
+        b.iter(|| fortran_unit(FortranModel::OpenMp).unwrap())
+    });
+    c.final_summary();
+}

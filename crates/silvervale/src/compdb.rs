@@ -1,0 +1,181 @@
+//! Compilation databases (`compile_commands.json`).
+//!
+//! "Modern codebases typically involve multiple source files and may have
+//! complex configuration steps … We design our framework to handle this
+//! robustly by using Compilation Databases" — a single JSON file recording
+//! each compiler invocation (the format CMake/Meson emit and Bear captures
+//! for Make).  This module parses both the `command` (single string) and
+//! `arguments` (array) flavours and extracts what the frontend needs:
+//! the main file and its `-D` macro definitions.
+
+use crate::svjson::{parse, Json, JsonError};
+use std::collections::BTreeMap;
+
+/// One entry of a compilation database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileCommand {
+    pub directory: String,
+    pub file: String,
+    pub arguments: Vec<String>,
+}
+
+impl CompileCommand {
+    /// Extract `-DNAME[=VALUE]` defines in command-line order.
+    pub fn defines(&self) -> Vec<(String, Option<String>)> {
+        let mut out = Vec::new();
+        let mut iter = self.arguments.iter().peekable();
+        while let Some(arg) = iter.next() {
+            let body = if arg == "-D" {
+                match iter.peek() {
+                    Some(next) => {
+                        let b = (*next).clone();
+                        iter.next();
+                        b
+                    }
+                    None => continue,
+                }
+            } else if let Some(rest) = arg.strip_prefix("-D") {
+                rest.to_string()
+            } else {
+                continue;
+            };
+            match body.split_once('=') {
+                Some((n, v)) => out.push((n.to_string(), Some(v.to_string()))),
+                None => out.push((body, None)),
+            }
+        }
+        out
+    }
+
+    /// The compiler executable (first argument), if present.
+    pub fn compiler(&self) -> Option<&str> {
+        self.arguments.first().map(String::as_str)
+    }
+}
+
+/// Shell-style splitting for the `command` string form (handles quotes).
+fn shell_split(cmd: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut quote: Option<char> = None;
+    for c in cmd.chars() {
+        match (quote, c) {
+            (Some(q), c) if c == q => quote = None,
+            (Some(_), c) => cur.push(c),
+            (None, '"') | (None, '\'') => quote = Some(c),
+            (None, c) if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            (None, c) => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse a `compile_commands.json` document.
+pub fn parse_compile_commands(text: &str) -> Result<Vec<CompileCommand>, JsonError> {
+    let v = parse(text)?;
+    let entries = v.as_array().ok_or(JsonError {
+        offset: 0,
+        message: "compile_commands.json must be an array".into(),
+    })?;
+    let mut out = Vec::with_capacity(entries.len());
+    for e in entries {
+        let directory =
+            e.get("directory").and_then(Json::as_str).unwrap_or(".").to_string();
+        let file = e
+            .get("file")
+            .and_then(Json::as_str)
+            .ok_or(JsonError { offset: 0, message: "entry missing 'file'".into() })?
+            .to_string();
+        let arguments = if let Some(args) = e.get("arguments").and_then(Json::as_array) {
+            args.iter().filter_map(|a| a.as_str().map(str::to_string)).collect()
+        } else if let Some(cmd) = e.get("command").and_then(Json::as_str) {
+            shell_split(cmd)
+        } else {
+            Vec::new()
+        };
+        out.push(CompileCommand { directory, file, arguments });
+    }
+    Ok(out)
+}
+
+/// Write a compilation database (the `arguments` form).
+pub fn write_compile_commands(commands: &[CompileCommand]) -> String {
+    let arr: Vec<Json> = commands
+        .iter()
+        .map(|c| {
+            let mut o = BTreeMap::new();
+            o.insert("directory".to_string(), Json::Str(c.directory.clone()));
+            o.insert("file".to_string(), Json::Str(c.file.clone()));
+            o.insert(
+                "arguments".to_string(),
+                Json::Array(c.arguments.iter().cloned().map(Json::Str).collect()),
+            );
+            Json::Object(o)
+        })
+        .collect();
+    Json::Array(arr).to_string_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_arguments_form() {
+        let db = parse_compile_commands(
+            r#"[{"directory":"/src","file":"a.cpp","arguments":["clang++","-O2","-DUSE_OMP","-DN=128","a.cpp"]}]"#,
+        )
+        .unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db[0].file, "a.cpp");
+        assert_eq!(db[0].compiler(), Some("clang++"));
+        assert_eq!(
+            db[0].defines(),
+            vec![("USE_OMP".to_string(), None), ("N".to_string(), Some("128".to_string()))]
+        );
+    }
+
+    #[test]
+    fn parses_command_form_with_quotes() {
+        let db = parse_compile_commands(
+            r#"[{"directory":"/b","file":"k.cu","command":"nvcc -DMSG='hello world' -c k.cu"}]"#,
+        )
+        .unwrap();
+        assert_eq!(db[0].arguments[0], "nvcc");
+        assert_eq!(db[0].defines(), vec![("MSG".to_string(), Some("hello world".to_string()))]);
+    }
+
+    #[test]
+    fn separated_define_flag() {
+        let db = parse_compile_commands(
+            r#"[{"directory":".","file":"x.cpp","arguments":["cc","-D","FOO","x.cpp"]}]"#,
+        )
+        .unwrap();
+        assert_eq!(db[0].defines(), vec![("FOO".to_string(), None)]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cmds = vec![CompileCommand {
+            directory: "/src".into(),
+            file: "m.cpp".into(),
+            arguments: vec!["clang".into(), "-DX=1".into(), "m.cpp".into()],
+        }];
+        let text = write_compile_commands(&cmds);
+        let back = parse_compile_commands(&text).unwrap();
+        assert_eq!(back, cmds);
+    }
+
+    #[test]
+    fn missing_file_is_error() {
+        assert!(parse_compile_commands(r#"[{"directory":"."}]"#).is_err());
+        assert!(parse_compile_commands(r#"{"not":"array"}"#).is_err());
+    }
+}

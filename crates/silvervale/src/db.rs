@@ -1,0 +1,332 @@
+//! The Codebase DB: portable, compressed storage of per-unit artefacts.
+//!
+//! "At this stage, SilverVale generates a Codebase DB where it indexes all
+//! compiler invocations in the Compilation DB.  The result is a portable
+//! set of semantic-bearing trees and metadata files all stored in a Zstd
+//! compressed MessagePack format."  The from-scratch equivalent: every
+//! entry's artefacts (normalised lines + all five trees) and optional
+//! coverage profile serialise through `svpack` varint records, and the
+//! whole container compresses with `svz`.
+
+use svmetrics::Artifacts;
+use svtree::mask::{CoverageMask, LineMask};
+use svtree::pack::{
+    compress, decompress, read_tree, read_varint, write_tree, write_varint, PackError,
+};
+use svtree::Tree;
+
+const DB_MAGIC: &[u8; 4] = b"SVDB";
+const DB_VERSION: u8 = 1;
+
+/// One indexed unit: its artefacts plus optional runtime coverage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbEntry {
+    /// Entry label (typically the model name).
+    pub label: String,
+    pub artifacts: Artifacts,
+    pub coverage: Option<CoverageMask>,
+}
+
+/// A portable codebase database.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CodebaseDb {
+    pub name: String,
+    pub entries: Vec<DbEntry>,
+}
+
+impl CodebaseDb {
+    pub fn new(name: impl Into<String>) -> Self {
+        CodebaseDb { name: name.into(), entries: Vec::new() }
+    }
+
+    /// Add an entry.
+    pub fn push(&mut self, label: impl Into<String>, artifacts: Artifacts, coverage: Option<CoverageMask>) {
+        self.entries.push(DbEntry { label: label.into(), artifacts, coverage });
+    }
+
+    /// Find an entry by label.
+    pub fn entry(&self, label: &str) -> Option<&DbEntry> {
+        self.entries.iter().find(|e| e.label == label)
+    }
+
+    /// Entry labels in insertion order.
+    pub fn labels(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.label.clone()).collect()
+    }
+
+    /// Serialise + compress to the on-disk format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(DB_MAGIC);
+        buf.push(DB_VERSION);
+        write_str(&mut buf, &self.name);
+        write_varint(&mut buf, self.entries.len() as u64);
+        for e in &self.entries {
+            write_str(&mut buf, &e.label);
+            write_artifacts(&mut buf, &e.artifacts);
+            match &e.coverage {
+                None => buf.push(0),
+                Some(c) => {
+                    buf.push(1);
+                    write_coverage(&mut buf, c);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(DB_MAGIC);
+        out.extend_from_slice(&compress(&buf));
+        out
+    }
+
+    /// Load from the on-disk format.
+    pub fn from_bytes(data: &[u8]) -> Result<CodebaseDb, PackError> {
+        if data.len() < 4 || &data[0..4] != DB_MAGIC {
+            return Err(PackError::BadMagic);
+        }
+        let buf = decompress(&data[4..])?;
+        if buf.len() < 5 || &buf[0..4] != DB_MAGIC {
+            return Err(PackError::BadMagic);
+        }
+        if buf[4] != DB_VERSION {
+            return Err(PackError::BadVersion(buf[4]));
+        }
+        let mut pos = 5usize;
+        let name = read_str(&buf, &mut pos)?;
+        let count = read_varint(&buf, &mut pos)? as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let label = read_str(&buf, &mut pos)?;
+            let artifacts = read_artifacts(&buf, &mut pos)?;
+            let flag = *buf.get(pos).ok_or(PackError::Truncated)?;
+            pos += 1;
+            let coverage = match flag {
+                0 => None,
+                1 => Some(read_coverage(&buf, &mut pos)?),
+                t => return Err(PackError::BadOp(t)),
+            };
+            entries.push(DbEntry { label, artifacts, coverage });
+        }
+        Ok(CodebaseDb { name, entries })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// record helpers
+// ---------------------------------------------------------------------------
+
+fn write_str(buf: &mut Vec<u8>, s: &str) {
+    write_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(buf: &[u8], pos: &mut usize) -> Result<String, PackError> {
+    let len = read_varint(buf, pos)? as usize;
+    let end = pos.checked_add(len).ok_or(PackError::Truncated)?;
+    let bytes = buf.get(*pos..end).ok_or(PackError::Truncated)?;
+    *pos = end;
+    String::from_utf8(bytes.to_vec()).map_err(|_| PackError::BadUtf8)
+}
+
+fn write_lines(buf: &mut Vec<u8>, lines: &[String], locs: &[(u32, u32)]) {
+    debug_assert_eq!(lines.len(), locs.len());
+    write_varint(buf, lines.len() as u64);
+    for (line, (f, l)) in lines.iter().zip(locs) {
+        write_str(buf, line);
+        write_varint(buf, u64::from(*f));
+        write_varint(buf, u64::from(*l));
+    }
+}
+
+/// Decoded normalised lines plus their `(file, line)` locations.
+type LinesAndLocs = (Vec<String>, Vec<(u32, u32)>);
+
+fn read_lines(buf: &[u8], pos: &mut usize) -> Result<LinesAndLocs, PackError> {
+    let n = read_varint(buf, pos)? as usize;
+    let mut lines = Vec::with_capacity(n);
+    let mut locs = Vec::with_capacity(n);
+    for _ in 0..n {
+        lines.push(read_str(buf, pos)?);
+        let f = read_varint(buf, pos)? as u32;
+        let l = read_varint(buf, pos)? as u32;
+        locs.push((f, l));
+    }
+    Ok((lines, locs))
+}
+
+fn write_tree_rec(buf: &mut Vec<u8>, t: &Tree) {
+    let bytes = write_tree(t);
+    write_varint(buf, bytes.len() as u64);
+    buf.extend_from_slice(&bytes);
+}
+
+fn read_tree_rec(buf: &[u8], pos: &mut usize) -> Result<Tree, PackError> {
+    let len = read_varint(buf, pos)? as usize;
+    let end = pos.checked_add(len).ok_or(PackError::Truncated)?;
+    let bytes = buf.get(*pos..end).ok_or(PackError::Truncated)?;
+    *pos = end;
+    read_tree(bytes)
+}
+
+fn write_artifacts(buf: &mut Vec<u8>, a: &Artifacts) {
+    write_str(buf, &a.name);
+    write_lines(buf, &a.lines_pre, &a.line_locs_pre);
+    write_lines(buf, &a.lines_post, &a.line_locs_post);
+    write_varint(buf, a.sloc_pre as u64);
+    write_varint(buf, a.lloc_pre as u64);
+    write_varint(buf, a.sloc_post as u64);
+    write_varint(buf, a.lloc_post as u64);
+    write_tree_rec(buf, &a.t_src);
+    write_tree_rec(buf, &a.t_src_pp);
+    write_tree_rec(buf, &a.t_sem);
+    write_tree_rec(buf, &a.t_sem_inl);
+    write_tree_rec(buf, &a.t_ir);
+}
+
+fn read_artifacts(buf: &[u8], pos: &mut usize) -> Result<Artifacts, PackError> {
+    let name = read_str(buf, pos)?;
+    let (lines_pre, line_locs_pre) = read_lines(buf, pos)?;
+    let (lines_post, line_locs_post) = read_lines(buf, pos)?;
+    let sloc_pre = read_varint(buf, pos)? as usize;
+    let lloc_pre = read_varint(buf, pos)? as usize;
+    let sloc_post = read_varint(buf, pos)? as usize;
+    let lloc_post = read_varint(buf, pos)? as usize;
+    let t_src = read_tree_rec(buf, pos)?;
+    let t_src_pp = read_tree_rec(buf, pos)?;
+    let t_sem = read_tree_rec(buf, pos)?;
+    let t_sem_inl = read_tree_rec(buf, pos)?;
+    let t_ir = read_tree_rec(buf, pos)?;
+    Ok(Artifacts {
+        name,
+        lines_pre,
+        line_locs_pre,
+        lines_post,
+        line_locs_post,
+        sloc_pre,
+        lloc_pre,
+        sloc_post,
+        lloc_post,
+        t_src,
+        t_src_pp,
+        t_sem,
+        t_sem_inl,
+        t_ir,
+    })
+}
+
+fn write_coverage(buf: &mut Vec<u8>, c: &CoverageMask) {
+    write_varint(buf, c.file_count() as u64);
+    for (file, mask) in c.iter_files() {
+        write_varint(buf, u64::from(file));
+        let lines: Vec<u32> = mask.iter().collect();
+        write_varint(buf, lines.len() as u64);
+        let mut prev = 0u32;
+        for l in lines {
+            // delta-encode ascending line numbers
+            write_varint(buf, u64::from(l - prev));
+            prev = l;
+        }
+    }
+}
+
+fn read_coverage(buf: &[u8], pos: &mut usize) -> Result<CoverageMask, PackError> {
+    let files = read_varint(buf, pos)? as usize;
+    let mut c = CoverageMask::new();
+    for _ in 0..files {
+        let file = read_varint(buf, pos)? as u32;
+        let n = read_varint(buf, pos)? as usize;
+        let mut mask = LineMask::new();
+        let mut prev = 0u32;
+        for _ in 0..n {
+            let d = read_varint(buf, pos)? as u32;
+            prev += d;
+            mask.set(prev);
+        }
+        c.insert_file(file, mask);
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_artifacts(tag: &str) -> Artifacts {
+        Artifacts {
+            name: format!("{tag}.cpp"),
+            lines_pre: vec![format!("int {tag} ;"), "return 0 ;".into()],
+            line_locs_pre: vec![(0, 1), (0, 2)],
+            lines_post: vec![format!("int {tag} ;")],
+            line_locs_post: vec![(0, 1)],
+            sloc_pre: 2,
+            lloc_pre: 2,
+            sloc_post: 1,
+            lloc_post: 1,
+            t_src: Tree::from_sexpr("(Source Kw(int) Ident)").unwrap(),
+            t_src_pp: Tree::from_sexpr("(Source Ident)").unwrap(),
+            t_sem: Tree::from_sexpr(&format!("(TranslationUnit (VarDecl(int) IntegerLiteral({})))", tag.len())).unwrap(),
+            t_sem_inl: Tree::from_sexpr("(TranslationUnit VarDecl(int))").unwrap(),
+            t_ir: Tree::from_sexpr("(IRModule (define (block alloca ret)))").unwrap(),
+        }
+    }
+
+    fn sample_coverage() -> CoverageMask {
+        let mut c = CoverageMask::new();
+        c.record(0, 1);
+        c.record(0, 2);
+        c.record(3, 100);
+        c
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let db = CodebaseDb::new("empty");
+        let back = CodebaseDb::from_bytes(&db.to_bytes()).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn roundtrip_entries_with_and_without_coverage() {
+        let mut db = CodebaseDb::new("tealeaf");
+        db.push("Serial", sample_artifacts("serial"), Some(sample_coverage()));
+        db.push("OpenMP", sample_artifacts("omp"), None);
+        let bytes = db.to_bytes();
+        let back = CodebaseDb::from_bytes(&bytes).unwrap();
+        assert_eq!(back, db);
+        assert_eq!(back.labels(), vec!["Serial", "OpenMP"]);
+        assert!(back.entry("Serial").unwrap().coverage.is_some());
+        assert!(back.entry("OpenMP").unwrap().coverage.is_none());
+        assert!(back.entry("nope").is_none());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(CodebaseDb::from_bytes(b"????").is_err());
+        assert!(CodebaseDb::from_bytes(b"").is_err());
+        let mut bytes = CodebaseDb::new("x").to_bytes();
+        bytes[2] ^= 0xff; // corrupt the magic
+        assert!(CodebaseDb::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut db = CodebaseDb::new("t");
+        db.push("A", sample_artifacts("a"), Some(sample_coverage()));
+        let bytes = db.to_bytes();
+        // Any truncation of the compressed container must fail cleanly.
+        for cut in [5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(CodebaseDb::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn compression_is_effective() {
+        let mut db = CodebaseDb::new("big");
+        for i in 0..20 {
+            db.push(format!("m{i}"), sample_artifacts("model"), None);
+        }
+        let bytes = db.to_bytes();
+        // 20 near-identical entries must compress far below naive size.
+        let naive: usize = 20 * 200;
+        assert!(bytes.len() < naive, "{} bytes", bytes.len());
+    }
+}

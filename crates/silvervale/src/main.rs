@@ -1,0 +1,259 @@
+//! The `silvervale` command-line tool: the end-to-end workflow of Fig. 2
+//! as a binary, mirroring the paper's released tool.
+//!
+//! ```text
+//! silvervale index     --app tealeaf [--coverage] -o tealeaf.svdb
+//! silvervale index     --compile-db compile_commands.json --src-dir src/ -o db.svdb
+//! silvervale inventory tealeaf.svdb
+//! silvervale compare   tealeaf.svdb --metric t_sem [--pp] [--cov] [--inline] --from Serial
+//! silvervale cluster   tealeaf.svdb --metric t_sem
+//! silvervale chart     tealeaf.svdb --app tealeaf
+//! silvervale cascade   --app tealeaf
+//! ```
+
+use silvervale::{
+    divergence_from, index_app, index_compilation_db, index_fortran, inventory,
+    model_dendrogram, model_matrix, navigation_chart, parse_compile_commands, CodebaseDb,
+};
+use svcluster::Heatmap;
+use svcorpus::App;
+use svlang::source::SourceSet;
+use svmetrics::{Metric, Variant};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "silvervale — tree-based model divergence (TBMD) analysis
+
+USAGE:
+  silvervale index     --app <name> [--coverage] [-o FILE]
+  silvervale index     --fortran [-o FILE]
+  silvervale index     --compile-db FILE --src-dir DIR [-o FILE]
+  silvervale inventory <DB>
+  silvervale compare   <DB> [--metric M] [--pp] [--cov] [--inline] [--from LABEL]
+  silvervale cluster   <DB> [--metric M] [--pp] [--cov] [--inline]
+  silvervale chart     <DB> --app <name>
+  silvervale cascade   --app <name>
+
+  apps:    babelstream | minibude | tealeaf | cloverleaf
+  metrics: sloc | lloc | source | t_src | t_sem | t_ir | codediv"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                // value flags take the next token unless it is also a flag
+                let value_flags =
+                    ["app", "metric", "from", "compile-db", "src-dir", "out"];
+                if value_flags.contains(&name) && i + 1 < argv.len() {
+                    flags.push((name.to_string(), Some(argv[i + 1].clone())));
+                    i += 2;
+                    continue;
+                }
+                flags.push((name.to_string(), None));
+            } else if a == "-o" && i + 1 < argv.len() {
+                flags.push(("out".to_string(), Some(argv[i + 1].clone())));
+                i += 2;
+                continue;
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, v)| n == name && v.is_some())
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+fn parse_app(name: &str) -> Option<App> {
+    App::ALL.iter().copied().find(|a| a.name() == name)
+}
+
+fn parse_metric(name: &str) -> Option<Metric> {
+    match name.to_ascii_lowercase().as_str() {
+        "sloc" => Some(Metric::Sloc),
+        "lloc" => Some(Metric::Lloc),
+        "source" => Some(Metric::Source),
+        "t_src" | "tsrc" => Some(Metric::TSrc),
+        "t_sem" | "tsem" => Some(Metric::TSem),
+        "t_ir" | "tir" => Some(Metric::TIr),
+        "codediv" | "code_divergence" => Some(Metric::CodeDivergence),
+        _ => None,
+    }
+}
+
+fn variant_of(args: &Args) -> Variant {
+    Variant {
+        preprocessor: args.flag("pp"),
+        inlining: args.flag("inline"),
+        coverage: args.flag("cov"),
+    }
+}
+
+fn load_db(path: &str) -> Result<CodebaseDb, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    CodebaseDb::from_bytes(&bytes).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let cmd = argv[0].clone();
+    let args = Args::parse(&argv[1..]);
+
+    match cmd.as_str() {
+        "index" => {
+            let db = if let Some(app_name) = args.value("app") {
+                let app = parse_app(app_name)
+                    .ok_or_else(|| format!("unknown app '{app_name}'"))?;
+                index_app(app, args.flag("coverage")).map_err(|e| e.to_string())?
+            } else if args.flag("fortran") {
+                index_fortran().map_err(|e| e.to_string())?
+            } else if let Some(cdb_path) = args.value("compile-db") {
+                let src_dir = args
+                    .value("src-dir")
+                    .ok_or("--compile-db requires --src-dir")?;
+                let text = std::fs::read_to_string(cdb_path)
+                    .map_err(|e| format!("cannot read {cdb_path}: {e}"))?;
+                let commands =
+                    parse_compile_commands(&text).map_err(|e| e.to_string())?;
+                let mut sources = SourceSet::new();
+                svcorpus::add_system_headers(&mut sources);
+                load_sources(&mut sources, std::path::Path::new(src_dir), src_dir)?;
+                index_compilation_db("codebase", &sources, &commands)
+                    .map_err(|e| e.to_string())?
+            } else {
+                return Err("index needs --app, --fortran, or --compile-db".into());
+            };
+            let out = args.value("out").unwrap_or("codebase.svdb");
+            let bytes = db.to_bytes();
+            std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!(
+                "indexed {} units into {out} ({} bytes)",
+                db.entries.len(),
+                bytes.len()
+            );
+            Ok(())
+        }
+        "inventory" => {
+            let db = load_db(args.positional.first().ok_or("inventory needs a DB path")?)?;
+            print!("{}", inventory(&db));
+            Ok(())
+        }
+        "compare" => {
+            let db = load_db(args.positional.first().ok_or("compare needs a DB path")?)?;
+            let metric = parse_metric(args.value("metric").unwrap_or("t_sem"))
+                .ok_or("unknown metric")?;
+            let v = variant_of(&args);
+            let base = args
+                .value("from")
+                .map(str::to_string)
+                .unwrap_or_else(|| db.labels().first().cloned().unwrap_or_default());
+            let mut divs =
+                divergence_from(&db, metric, v, &base).map_err(|e| e.to_string())?;
+            divs.sort_by(|a, b| a.1.total_cmp(&b.1));
+            println!("{}{} divergence from {base}:", metric.name(), v.label());
+            for (label, d) in divs {
+                println!("  {label:<18} {d:.4} {}", "▆".repeat((d * 40.0).min(60.0) as usize));
+            }
+            Ok(())
+        }
+        "cluster" => {
+            let db = load_db(args.positional.first().ok_or("cluster needs a DB path")?)?;
+            let metric = parse_metric(args.value("metric").unwrap_or("t_sem"))
+                .ok_or("unknown metric")?;
+            let v = variant_of(&args);
+            let matrix = model_matrix(&db, metric, v);
+            let dendro = model_dendrogram(&db, metric, v);
+            println!("{}{} clustering of '{}':", metric.name(), v.label(), db.name);
+            println!("{}", dendro.render());
+            println!("{}", Heatmap::ordered_by(&matrix, &dendro).render());
+            Ok(())
+        }
+        "chart" => {
+            let db = load_db(args.positional.first().ok_or("chart needs a DB path")?)?;
+            let app_name = args.value("app").ok_or("chart needs --app")?;
+            let app =
+                parse_app(app_name).ok_or_else(|| format!("unknown app '{app_name}'"))?;
+            let chart = navigation_chart(app, &db).map_err(|e| e.to_string())?;
+            println!("{}", chart.render());
+            Ok(())
+        }
+        "cascade" => {
+            let app_name = args.value("app").ok_or("cascade needs --app")?;
+            let app =
+                parse_app(app_name).ok_or_else(|| format!("unknown app '{app_name}'"))?;
+            println!("{}", svperf::cascade(app).render());
+            Ok(())
+        }
+        _ => usage(),
+    }
+}
+
+/// Recursively load source files from `dir` into the source set, keyed by
+/// their path relative to `root`.
+fn load_sources(
+    sources: &mut SourceSet,
+    dir: &std::path::Path,
+    root: &str,
+) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {dir:?}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.is_dir() {
+            load_sources(sources, &path, root)?;
+            continue;
+        }
+        let ok_ext = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| matches!(e, "cpp" | "cc" | "cu" | "c" | "h" | "hpp" | "f90" | "f95"));
+        if !ok_ext {
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+        sources.add(rel, text);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

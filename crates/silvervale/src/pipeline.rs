@@ -1,0 +1,231 @@
+//! End-to-end analysis pipeline: the Fig. 2 workflow.
+//!
+//! `Compilation DB → (compile each unit) → Codebase DB → divergence
+//! matrices → dendrograms / heatmaps / navigation charts`, with optional
+//! coverage data collected by actually running each unit under the
+//! interpreter (the grey boxes of Fig. 2).
+
+use crate::compdb::CompileCommand;
+use crate::db::CodebaseDb;
+use crate::Error;
+use svcluster::{cluster_rows, Dendrogram};
+use svcorpus::{App, Model};
+use svdist::DistanceMatrix;
+use svlang::source::SourceSet;
+use svlang::unit::{compile_unit, UnitOptions};
+use svmetrics::{divergence, divergence_matrix, Artifacts, Measured, Metric, Variant};
+use svperf::{phi_all, NavPoint, NavigationChart};
+
+/// Index one corpus app: compile every model, optionally run each under
+/// the interpreter to collect coverage, and store the artefacts.
+pub fn index_app(app: App, with_coverage: bool) -> Result<CodebaseDb, Error> {
+    let mut db = CodebaseDb::new(app.name());
+    for model in Model::ALL {
+        let unit = svcorpus::unit(app, model)?;
+        let coverage = if with_coverage {
+            let run = svexec::run_unit(&unit)?;
+            if run.exit_code != 0 {
+                return Err(Error::Verification {
+                    what: format!("{}/{}", app.name(), model.name()),
+                    output: run.output,
+                });
+            }
+            Some(run.coverage)
+        } else {
+            None
+        };
+        db.push(model.name(), Artifacts::from_unit(&unit), coverage);
+    }
+    Ok(db)
+}
+
+/// Index the Fortran BabelStream variants (no interpreter: the paper's
+/// GCC/Fortran path is static-analysis only).
+pub fn index_fortran() -> Result<CodebaseDb, Error> {
+    let mut db = CodebaseDb::new("babelstream-fortran");
+    for model in svcorpus::FortranModel::ALL {
+        let unit = svcorpus::fortran_unit(model)?;
+        db.push(model.name(), Artifacts::from_unit(&unit), None);
+    }
+    Ok(db)
+}
+
+/// Index an arbitrary codebase from a compilation database — the general
+/// entry point mirroring the paper's CLI workflow.
+pub fn index_compilation_db(
+    name: &str,
+    sources: &SourceSet,
+    commands: &[CompileCommand],
+) -> Result<CodebaseDb, Error> {
+    let mut db = CodebaseDb::new(name);
+    for cmd in commands {
+        let main = sources
+            .lookup(&cmd.file)
+            .ok_or_else(|| Error::MissingFile(cmd.file.clone()))?;
+        let opts = UnitOptions { defines: cmd.defines(), inline_depth: None };
+        let unit = compile_unit(sources, main, &opts)?;
+        db.push(cmd.file.clone(), Artifacts::from_unit(&unit), None);
+    }
+    Ok(db)
+}
+
+fn measured_entries<'a>(db: &'a CodebaseDb, v: Variant) -> Vec<Measured<'a>> {
+    db.entries
+        .iter()
+        .map(|e| match (&e.coverage, v.coverage) {
+            (Some(c), true) => Measured::of_with_coverage(&e.artifacts, c),
+            _ => Measured::of(&e.artifacts),
+        })
+        .collect()
+}
+
+/// Pairwise divergence matrix over all models in the DB.
+pub fn model_matrix(db: &CodebaseDb, metric: Metric, v: Variant) -> DistanceMatrix {
+    let measured = measured_entries(db, v);
+    divergence_matrix(metric, v, &db.labels(), &measured)
+}
+
+/// The paper's clustering recipe applied to the model matrix.
+pub fn model_dendrogram(db: &CodebaseDb, metric: Metric, v: Variant) -> Dendrogram {
+    cluster_rows(&model_matrix(db, metric, v))
+}
+
+/// Normalised divergence of every model from `base` (Figs. 7–10): the
+/// heatmap columns "divergence from serial … from 0 to 1".
+pub fn divergence_from(
+    db: &CodebaseDb,
+    metric: Metric,
+    v: Variant,
+    base: &str,
+) -> Result<Vec<(String, f64)>, Error> {
+    let base_entry = db.entry(base).ok_or_else(|| Error::MissingFile(base.to_string()))?;
+    let base_m = match (&base_entry.coverage, v.coverage) {
+        (Some(c), true) => Measured::of_with_coverage(&base_entry.artifacts, c),
+        _ => Measured::of(&base_entry.artifacts),
+    };
+    let mut out = Vec::new();
+    for e in &db.entries {
+        let m = match (&e.coverage, v.coverage) {
+            (Some(c), true) => Measured::of_with_coverage(&e.artifacts, c),
+            _ => Measured::of(&e.artifacts),
+        };
+        let d = divergence(metric, v, &base_m, &m);
+        out.push((e.label.clone(), d.normalized()));
+    }
+    Ok(out)
+}
+
+/// Build the Fig. 13/14 navigation chart: Φ against `T_sem`/`T_src`
+/// divergence-from-serial for every portable model of `app`.
+pub fn navigation_chart(app: App, db: &CodebaseDb) -> Result<NavigationChart, Error> {
+    let base_label = Model::Serial.name();
+    let sem = divergence_from(db, Metric::TSem, Variant::PLAIN, base_label)?;
+    let src = divergence_from(db, Metric::TSrc, Variant::PLAIN, base_label)?;
+    let mut points = Vec::new();
+    for model in Model::ALL {
+        if model == Model::Serial {
+            continue;
+        }
+        let find = |v: &[(String, f64)]| {
+            v.iter().find(|(l, _)| l == model.name()).map(|(_, d)| *d).unwrap_or(0.0)
+        };
+        points.push(NavPoint {
+            model,
+            phi: phi_all(app, model),
+            div_t_sem: find(&sem),
+            div_t_src: find(&src),
+        });
+    }
+    Ok(NavigationChart { app, points })
+}
+
+/// Table II-style inventory of what the DB holds.
+pub fn inventory(db: &CodebaseDb) -> String {
+    let mut s = format!("Codebase DB '{}' — {} units\n", db.name, db.entries.len());
+    s.push_str(&format!(
+        "{:<16} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>4}\n",
+        "model", "SLOC", "LLOC", "|T_src|", "|T_sem|", "|T_sem+i|", "|T_ir|", "cov"
+    ));
+    for e in &db.entries {
+        let a = &e.artifacts;
+        s.push_str(&format!(
+            "{:<16} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>4}\n",
+            e.label,
+            a.sloc_pre,
+            a.lloc_pre,
+            a.t_src.size(),
+            a.t_sem.size(),
+            a.t_sem_inl.size(),
+            a.t_ir.size(),
+            if e.coverage.is_some() { "yes" } else { "no" }
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_matrix_end_to_end() {
+        let db = index_app(App::BabelStream, false).unwrap();
+        assert_eq!(db.entries.len(), 10);
+        let m = model_matrix(&db, Metric::TSem, Variant::PLAIN);
+        assert_eq!(m.len(), 10);
+        assert!(m.get_by_label("CUDA", "HIP").unwrap() > 0.0);
+        // CUDA should be closer to HIP than to Kokkos.
+        assert!(
+            m.get_by_label("CUDA", "HIP").unwrap() < m.get_by_label("CUDA", "Kokkos").unwrap()
+        );
+    }
+
+    #[test]
+    fn db_roundtrip_preserves_analysis() {
+        let db = index_app(App::MiniBude, false).unwrap();
+        let bytes = db.to_bytes();
+        let back = CodebaseDb::from_bytes(&bytes).unwrap();
+        let m1 = model_matrix(&db, Metric::TSrc, Variant::PLAIN);
+        let m2 = model_matrix(&back, Metric::TSrc, Variant::PLAIN);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn divergence_from_serial_shape() {
+        let db = index_app(App::MiniBude, false).unwrap();
+        let divs = divergence_from(&db, Metric::TSem, Variant::PLAIN, "Serial").unwrap();
+        assert_eq!(divs.len(), 10);
+        let serial = divs.iter().find(|(l, _)| l == "Serial").unwrap();
+        assert_eq!(serial.1, 0.0);
+        assert!(divs.iter().filter(|(l, _)| l != "Serial").all(|(_, d)| *d > 0.0));
+    }
+
+    #[test]
+    fn compilation_db_workflow() {
+        use crate::compdb::parse_compile_commands;
+        let mut ss = SourceSet::new();
+        ss.add("a.cpp", "#ifdef FAST\nint fast_path() { return 1; }\n#endif\nint main() { return 0; }");
+        let cmds = parse_compile_commands(
+            r#"[
+              {"directory":".","file":"a.cpp","arguments":["c++","-DFAST","a.cpp"]},
+              {"directory":".","file":"a.cpp","arguments":["c++","a.cpp"]}
+            ]"#,
+        )
+        .unwrap();
+        let db = index_compilation_db("demo", &ss, &cmds).unwrap();
+        assert_eq!(db.entries.len(), 2);
+        // The -DFAST variant has one more function.
+        assert!(
+            db.entries[0].artifacts.t_sem.size() > db.entries[1].artifacts.t_sem.size()
+        );
+    }
+
+    #[test]
+    fn inventory_renders() {
+        let db = index_fortran().unwrap();
+        let inv = inventory(&db);
+        assert!(inv.contains("babelstream-fortran"));
+        assert!(inv.contains("DoConcurrent"));
+        assert_eq!(inv.lines().count(), 2 + 7);
+    }
+}

@@ -1,0 +1,382 @@
+//! Minimal JSON parser and writer (from scratch; `serde_json` is not on
+//! the approved dependency list).
+//!
+//! Covers the full JSON grammar — objects, arrays, strings with escapes
+//! (including `\uXXXX`), numbers, booleans, null — which is all a
+//! `compile_commands.json` ever contains.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<Json>),
+    /// Object with insertion-stable (sorted) keys.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(o) => o.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Serialise to a compact JSON string.
+    pub fn to_string_compact(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    out.push_str(&format!("{}", *v as i64));
+                } else {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    it.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON parse error with byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a JSON document.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = P { b: text.as_bytes(), i: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing content"));
+    }
+    Ok(v)
+}
+
+struct P<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl P<'_> {
+    fn err(&self, m: impl Into<String>) -> JsonError {
+        JsonError { offset: self.i, message: m.into() }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.eat(b']') {
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    self.ws();
+                    items.push(self.value()?);
+                    self.ws();
+                    if self.eat(b']') {
+                        return Ok(Json::Array(items));
+                    }
+                    self.expect(b',')?;
+                }
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut map = BTreeMap::new();
+                self.ws();
+                if self.eat(b'}') {
+                    return Ok(Json::Object(map));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    self.ws();
+                    self.expect(b':')?;
+                    self.ws();
+                    let v = self.value()?;
+                    map.insert(key, v);
+                    self.ws();
+                    if self.eat(b'}') {
+                        return Ok(Json::Object(map));
+                    }
+                    self.expect(b',')?;
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let c = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let e = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.i += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            if self.i + 4 > self.b.len() {
+                                return Err(self.err("bad \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.i += 4;
+                            s.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(self.err(format!("bad escape \\{}", other as char)))
+                        }
+                    }
+                }
+                c => {
+                    // Collect the full UTF-8 sequence starting at c.
+                    if c < 0x80 {
+                        s.push(c as char);
+                    } else {
+                        let start = self.i - 1;
+                        let len = if c >= 0xf0 {
+                            4
+                        } else if c >= 0xe0 {
+                            3
+                        } else {
+                            2
+                        };
+                        let end = (start + len).min(self.b.len());
+                        let chunk = std::str::from_utf8(&self.b[start..end])
+                            .map_err(|_| self.err("invalid utf-8"))?;
+                        s.push_str(chunk);
+                        self.i = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.i;
+        self.eat(b'-');
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.eat(b'.') {
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.i += 1;
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), Json::Num(42.0));
+        assert_eq!(parse("-1.5e3").unwrap(), Json::Num(-1500.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_structures() {
+        let v = parse(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Json::as_str), Some("x"));
+        let arr = v.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = parse(r#""a\n\t\"\\Aé""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\n\t\"\\Aé"));
+    }
+
+    #[test]
+    fn utf8_passthrough() {
+        let v = parse("\"héllo — ok\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo — ok"));
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{} garbage").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = r#"{"arguments":["clang","-DUSE_OMP","-o","x.o"],"directory":"/src","file":"a.cpp","n":3}"#;
+        let v = parse(src).unwrap();
+        let out = v.to_string_compact();
+        assert_eq!(parse(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("[]").unwrap(), Json::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), Json::Object(BTreeMap::new()));
+        assert_eq!(parse("[ ]").unwrap(), Json::Array(vec![]));
+    }
+}

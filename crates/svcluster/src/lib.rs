@@ -1,0 +1,504 @@
+//! # svcluster — hierarchical clustering, dendrograms, heatmaps
+//!
+//! The paper visualises model divergence as clustered heatmaps and
+//! dendrograms: "We generate the associated dendrogram around the map
+//! using complete linkage and Euclidean distance between points."  This
+//! crate provides that pipeline:
+//!
+//! * [`cluster`] — agglomerative hierarchical clustering over a
+//!   [`DistanceMatrix`] with complete / single / average linkage,
+//! * [`cluster_rows`] — the paper's exact recipe: Euclidean distance
+//!   between the divergence matrix's *rows* (each model's divergence
+//!   profile is its feature vector), then complete-linkage HAC,
+//! * [`Dendrogram`] — merge tree with heights, `cut(k)` flat clusters,
+//!   Newick export, and an ASCII rendering for terminal reports,
+//! * [`Heatmap`] — shaded text rendering of a divergence matrix (the
+//!   Fig. 4/7/8 visual), plus CSV export.
+
+use svdist::DistanceMatrix;
+
+/// Linkage criteria for agglomerative clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Maximum pairwise distance between members (the paper's choice).
+    Complete,
+    /// Minimum pairwise distance.
+    Single,
+    /// Unweighted average (UPGMA).
+    Average,
+}
+
+/// Reference to a dendrogram node: an original item or a prior merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRef {
+    Leaf(usize),
+    Cluster(usize),
+}
+
+/// One agglomeration step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    pub a: NodeRef,
+    pub b: NodeRef,
+    /// Linkage distance at which the merge happened.
+    pub height: f64,
+}
+
+/// The result of hierarchical clustering: `n-1` merges over `n` items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    pub labels: Vec<String>,
+    pub merges: Vec<Merge>,
+}
+
+/// Cluster a distance matrix directly.
+pub fn cluster(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
+    let n = matrix.len();
+    let labels = matrix.labels().to_vec();
+    if n == 0 {
+        return Dendrogram { labels, merges: Vec::new() };
+    }
+    // active clusters: member leaf sets + current NodeRef
+    struct Cl {
+        members: Vec<usize>,
+        node: NodeRef,
+    }
+    let mut clusters: Vec<Cl> =
+        (0..n).map(|i| Cl { members: vec![i], node: NodeRef::Leaf(i) }).collect();
+    let mut merges: Vec<Merge> = Vec::new();
+
+    let link = |a: &Cl, b: &Cl| -> f64 {
+        let mut dists = a
+            .members
+            .iter()
+            .flat_map(|&x| b.members.iter().map(move |&y| matrix.get(x, y)));
+        match linkage {
+            Linkage::Complete => dists.fold(0.0f64, f64::max),
+            Linkage::Single => dists.fold(f64::INFINITY, f64::min),
+            Linkage::Average => {
+                let (sum, count) = dists.try_fold((0.0f64, 0usize), |(s, c), d| {
+                    Some((s + d, c + 1))
+                }).unwrap();
+                if count == 0 {
+                    0.0
+                } else {
+                    sum / count as f64
+                }
+            }
+        }
+    };
+
+    while clusters.len() > 1 {
+        // Find the closest pair (deterministic tie-break on indices).
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let d = link(&clusters[i], &clusters[j]);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, h) = best;
+        let cj = clusters.swap_remove(j); // j > i, so i stays valid
+        let ci = std::mem::replace(
+            &mut clusters[i],
+            Cl { members: Vec::new(), node: NodeRef::Leaf(usize::MAX) },
+        );
+        let mut members = ci.members;
+        members.extend(cj.members);
+        merges.push(Merge { a: ci.node, b: cj.node, height: h });
+        clusters[i] = Cl { members, node: NodeRef::Cluster(merges.len() - 1) };
+    }
+    Dendrogram { labels, merges }
+}
+
+/// The paper's clustering recipe: treat each item's row of the divergence
+/// matrix as a feature vector, build Euclidean distances between rows, and
+/// run complete-linkage HAC.
+pub fn cluster_rows(matrix: &DistanceMatrix) -> Dendrogram {
+    let n = matrix.len();
+    let mut rowd = DistanceMatrix::new(matrix.labels().to_vec());
+    for i in 0..n {
+        for j in (i + 1)..n {
+            rowd.set(i, j, matrix.row_euclidean(i, j));
+        }
+    }
+    cluster(&rowd, Linkage::Complete)
+}
+
+impl Dendrogram {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Leaf indices of a node's subtree, left to right.
+    fn leaves_of(&self, node: NodeRef, out: &mut Vec<usize>) {
+        match node {
+            NodeRef::Leaf(i) => out.push(i),
+            NodeRef::Cluster(m) => {
+                self.leaves_of(self.merges[m].a, out);
+                self.leaves_of(self.merges[m].b, out);
+            }
+        }
+    }
+
+    fn root(&self) -> Option<NodeRef> {
+        if self.merges.is_empty() {
+            if self.labels.len() == 1 {
+                Some(NodeRef::Leaf(0))
+            } else {
+                None
+            }
+        } else {
+            Some(NodeRef::Cluster(self.merges.len() - 1))
+        }
+    }
+
+    /// Leaf ordering induced by the merge tree (used to reorder heatmaps).
+    pub fn leaf_order(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len());
+        if let Some(r) = self.root() {
+            self.leaves_of(r, &mut out);
+        } else {
+            out.extend(0..self.len());
+        }
+        out
+    }
+
+    /// Cut into `k` flat clusters (undo the last `k-1` merges).  Each
+    /// cluster is a sorted list of leaf indices.
+    pub fn cut(&self, k: usize) -> Vec<Vec<usize>> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = k.clamp(1, n);
+        // Nodes that remain as cluster roots after removing the top k-1
+        // merges: start from the root set and expand the highest merges.
+        let mut roots: Vec<NodeRef> = match self.root() {
+            Some(r) => vec![r],
+            None => (0..n).map(NodeRef::Leaf).collect(),
+        };
+        while roots.len() < k {
+            // Expand the cluster with the greatest height.
+            let (idx, _) = match roots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| match r {
+                    NodeRef::Cluster(m) => Some((i, self.merges[*m].height)),
+                    NodeRef::Leaf(_) => None,
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+            {
+                Some(x) => x,
+                None => break, // all leaves already
+            };
+            let NodeRef::Cluster(m) = roots.swap_remove(idx) else { unreachable!() };
+            roots.push(self.merges[m].a);
+            roots.push(self.merges[m].b);
+        }
+        let mut out: Vec<Vec<usize>> = roots
+            .into_iter()
+            .map(|r| {
+                let mut leaves = Vec::new();
+                self.leaves_of(r, &mut leaves);
+                leaves.sort_unstable();
+                leaves
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// True if the given labels end up in the same flat cluster at cut `k`.
+    pub fn together_at(&self, k: usize, names: &[&str]) -> bool {
+        let idx: Vec<usize> = names
+            .iter()
+            .map(|n| self.labels.iter().position(|l| l == n).expect("label"))
+            .collect();
+        self.cut(k)
+            .iter()
+            .any(|c| idx.iter().all(|i| c.contains(i)))
+    }
+
+    /// Cophenetic distance between two labelled items: the height of their
+    /// lowest common merge.
+    pub fn cophenetic(&self, a: &str, b: &str) -> Option<f64> {
+        let ia = self.labels.iter().position(|l| l == a)?;
+        let ib = self.labels.iter().position(|l| l == b)?;
+        if ia == ib {
+            return Some(0.0);
+        }
+        for m in &self.merges {
+            let mut la = Vec::new();
+            let mut lb = Vec::new();
+            self.leaves_of(m.a, &mut la);
+            self.leaves_of(m.b, &mut lb);
+            let has = |v: &Vec<usize>, x: usize| v.contains(&x);
+            if (has(&la, ia) && has(&lb, ib)) || (has(&la, ib) && has(&lb, ia)) {
+                return Some(m.height);
+            }
+        }
+        None
+    }
+
+    /// Newick tree string with branch heights, e.g.
+    /// `((CUDA,HIP):0.12,Serial):0.80;`.
+    pub fn to_newick(&self) -> String {
+        fn rec(d: &Dendrogram, node: NodeRef, out: &mut String) {
+            match node {
+                NodeRef::Leaf(i) => out.push_str(&d.labels[i].replace([' ', ','], "_")),
+                NodeRef::Cluster(m) => {
+                    out.push('(');
+                    rec(d, d.merges[m].a, out);
+                    out.push(',');
+                    rec(d, d.merges[m].b, out);
+                    out.push_str(&format!("):{:.4}", d.merges[m].height));
+                }
+            }
+        }
+        let mut s = String::new();
+        if let Some(r) = self.root() {
+            rec(self, r, &mut s);
+        }
+        s.push(';');
+        s
+    }
+
+    /// ASCII rendering of the merge tree for terminal reports.
+    pub fn render(&self) -> String {
+        fn rec(d: &Dendrogram, node: NodeRef, prefix: &str, last: bool, out: &mut String) {
+            let branch = if last { "└── " } else { "├── " };
+            match node {
+                NodeRef::Leaf(i) => {
+                    out.push_str(prefix);
+                    out.push_str(branch);
+                    out.push_str(&d.labels[i]);
+                    out.push('\n');
+                }
+                NodeRef::Cluster(m) => {
+                    out.push_str(prefix);
+                    out.push_str(branch);
+                    out.push_str(&format!("[{:.3}]\n", d.merges[m].height));
+                    let child_prefix = format!("{prefix}{}", if last { "    " } else { "│   " });
+                    rec(d, d.merges[m].a, &child_prefix, false, out);
+                    rec(d, d.merges[m].b, &child_prefix, true, out);
+                }
+            }
+        }
+        let mut s = String::new();
+        match self.root() {
+            Some(NodeRef::Cluster(m)) => {
+                s.push_str(&format!("[{:.3}]\n", self.merges[m].height));
+                rec(self, self.merges[m].a, "", false, &mut s);
+                rec(self, self.merges[m].b, "", true, &mut s);
+            }
+            Some(NodeRef::Leaf(i)) => {
+                s.push_str(&self.labels[i]);
+                s.push('\n');
+            }
+            None => {}
+        }
+        s
+    }
+}
+
+/// Shaded text heatmap of a distance matrix (Figs. 4, 7, 8).
+pub struct Heatmap<'m> {
+    matrix: &'m DistanceMatrix,
+    /// Row/column order (e.g. the dendrogram leaf order).
+    order: Vec<usize>,
+}
+
+impl<'m> Heatmap<'m> {
+    pub fn new(matrix: &'m DistanceMatrix) -> Self {
+        Heatmap { matrix, order: (0..matrix.len()).collect() }
+    }
+
+    /// Reorder rows/columns by a dendrogram's leaf order, grouping similar
+    /// models together visually.
+    pub fn ordered_by(matrix: &'m DistanceMatrix, dendro: &Dendrogram) -> Self {
+        Heatmap { matrix, order: dendro.leaf_order() }
+    }
+
+    /// Render with shade characters (dark = divergent).
+    pub fn render(&self) -> String {
+        const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+        let max = self.matrix.max().max(1e-300);
+        let w = self
+            .matrix
+            .labels()
+            .iter()
+            .map(|l| l.len())
+            .max()
+            .unwrap_or(4);
+        let mut s = String::new();
+        for &i in &self.order {
+            s.push_str(&format!("{:>w$} ", self.matrix.labels()[i]));
+            for &j in &self.order {
+                let v = self.matrix.get(i, j) / max;
+                let idx = ((v * (SHADES.len() - 1) as f64).round() as usize)
+                    .min(SHADES.len() - 1);
+                s.push(SHADES[idx]);
+                s.push(SHADES[idx]);
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// CSV export in the current order.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("item");
+        for &j in &self.order {
+            s.push(',');
+            s.push_str(&self.matrix.labels()[j]);
+        }
+        s.push('\n');
+        for &i in &self.order {
+            s.push_str(&self.matrix.labels()[i]);
+            for &j in &self.order {
+                s.push_str(&format!(",{:.6}", self.matrix.get(i, j)));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight pairs far apart: (a,b) close, (c,d) close.
+    fn two_pairs() -> DistanceMatrix {
+        let mut m = DistanceMatrix::new(
+            ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect(),
+        );
+        m.set(0, 1, 0.1);
+        m.set(2, 3, 0.2);
+        m.set(0, 2, 5.0);
+        m.set(0, 3, 5.1);
+        m.set(1, 2, 5.2);
+        m.set(1, 3, 5.3);
+        m
+    }
+
+    #[test]
+    fn clusters_obvious_pairs() {
+        let d = cluster(&two_pairs(), Linkage::Complete);
+        assert_eq!(d.merges.len(), 3);
+        // First two merges are the pairs, at their pair distances.
+        assert_eq!(d.merges[0].height, 0.1);
+        assert_eq!(d.merges[1].height, 0.2);
+        assert!(d.together_at(2, &["a", "b"]));
+        assert!(d.together_at(2, &["c", "d"]));
+        assert!(!d.together_at(2, &["a", "c"]));
+    }
+
+    #[test]
+    fn complete_linkage_uses_max() {
+        let d = cluster(&two_pairs(), Linkage::Complete);
+        // Final merge height = max cross distance = 5.3.
+        assert_eq!(d.merges[2].height, 5.3);
+        let s = cluster(&two_pairs(), Linkage::Single);
+        assert_eq!(s.merges[2].height, 5.0);
+        let a = cluster(&two_pairs(), Linkage::Average);
+        assert!((a.merges[2].height - 5.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let d = cluster(&two_pairs(), Linkage::Complete);
+        assert_eq!(d.cut(1), vec![vec![0, 1, 2, 3]]);
+        let four = d.cut(4);
+        assert_eq!(four.len(), 4);
+        assert!(four.iter().all(|c| c.len() == 1));
+        // k > n clamps
+        assert_eq!(d.cut(99).len(), 4);
+    }
+
+    #[test]
+    fn cophenetic_heights() {
+        let d = cluster(&two_pairs(), Linkage::Complete);
+        assert_eq!(d.cophenetic("a", "b"), Some(0.1));
+        assert_eq!(d.cophenetic("c", "d"), Some(0.2));
+        assert_eq!(d.cophenetic("a", "c"), Some(5.3));
+        assert_eq!(d.cophenetic("a", "a"), Some(0.0));
+        assert_eq!(d.cophenetic("a", "zz"), None);
+    }
+
+    #[test]
+    fn leaf_order_groups_pairs() {
+        let d = cluster(&two_pairs(), Linkage::Complete);
+        let order = d.leaf_order();
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert_eq!((pos(0) as i64 - pos(1) as i64).abs(), 1, "a next to b");
+        assert_eq!((pos(2) as i64 - pos(3) as i64).abs(), 1, "c next to d");
+    }
+
+    #[test]
+    fn newick_and_render() {
+        let d = cluster(&two_pairs(), Linkage::Complete);
+        let nw = d.to_newick();
+        assert!(nw.ends_with(';'));
+        assert!(nw.contains("(a,b):0.1"), "{nw}");
+        let r = d.render();
+        assert!(r.contains("a"));
+        assert!(r.contains("└──"));
+        assert_eq!(r.lines().count(), 7, "{r}");
+    }
+
+    #[test]
+    fn cluster_rows_recipe() {
+        // Row-space clustering must also find the pairs: rows of a tight
+        // pair are nearly identical vectors.
+        let d = cluster_rows(&two_pairs());
+        assert!(d.together_at(2, &["a", "b"]));
+        assert!(d.together_at(2, &["c", "d"]));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = cluster(&DistanceMatrix::new(vec![]), Linkage::Complete);
+        assert!(empty.merges.is_empty());
+        assert!(empty.leaf_order().is_empty());
+        let one = cluster(&DistanceMatrix::new(vec!["x".into()]), Linkage::Complete);
+        assert!(one.merges.is_empty());
+        assert_eq!(one.leaf_order(), vec![0]);
+        assert_eq!(one.render(), "x\n");
+        assert_eq!(one.cut(1), vec![vec![0]]);
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let mut m = DistanceMatrix::new(
+            ["p", "q", "r"].iter().map(|s| s.to_string()).collect(),
+        );
+        m.set(0, 1, 1.0);
+        m.set(0, 2, 1.0);
+        m.set(1, 2, 1.0);
+        let d1 = cluster(&m, Linkage::Complete);
+        let d2 = cluster(&m, Linkage::Complete);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn heatmap_rendering() {
+        let m = two_pairs();
+        let d = cluster(&m, Linkage::Complete);
+        let h = Heatmap::ordered_by(&m, &d);
+        let text = h.render();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains('█'), "{text}");
+        let csv = h.to_csv();
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("item,"));
+    }
+}

@@ -1,0 +1,94 @@
+// BabelStream — CUDA model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <cuda_runtime.h>
+#include "stream_common.h"
+
+const int TBSIZE = 32;
+
+__global__ void init_kernel(double* a, double* b, double* c) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < N) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  }
+}
+
+__global__ void copy_kernel(const double* a, double* c) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < N) {
+    c[i] = a[i];
+  }
+}
+
+__global__ void mul_kernel(double* b, const double* c) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < N) {
+    b[i] = SCALAR * c[i];
+  }
+}
+
+__global__ void add_kernel(const double* a, const double* b, double* c) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < N) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+__global__ void triad_kernel(double* a, const double* b, const double* c) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < N) {
+    a[i] = b[i] + SCALAR * c[i];
+  }
+}
+
+__global__ void dot_kernel(const double* a, const double* b, double* partial) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  if (i < N) {
+    partial[i] = a[i] * b[i];
+  }
+}
+
+int main() {
+  int blocks = N / TBSIZE;
+  double* d_a;
+  double* d_b;
+  double* d_c;
+  double* d_partial;
+  cudaMalloc((void**)&d_a, N * sizeof(double));
+  cudaMalloc((void**)&d_b, N * sizeof(double));
+  cudaMalloc((void**)&d_c, N * sizeof(double));
+  cudaMalloc((void**)&d_partial, N * sizeof(double));
+  init_kernel<<<blocks, TBSIZE>>>(d_a, d_b, d_c);
+  cudaDeviceSynchronize();
+  double sum = 0.0;
+  double* h_partial = (double*)malloc(N * sizeof(double));
+  for (int t = 0; t < NTIMES; t++) {
+    copy_kernel<<<blocks, TBSIZE>>>(d_a, d_c);
+    mul_kernel<<<blocks, TBSIZE>>>(d_b, d_c);
+    add_kernel<<<blocks, TBSIZE>>>(d_a, d_b, d_c);
+    triad_kernel<<<blocks, TBSIZE>>>(d_a, d_b, d_c);
+    dot_kernel<<<blocks, TBSIZE>>>(d_a, d_b, d_partial);
+    cudaDeviceSynchronize();
+    cudaMemcpy(h_partial, d_partial, N * sizeof(double), cudaMemcpyDeviceToHost);
+    sum = 0.0;
+    for (int i = 0; i < N; i++) {
+      sum += h_partial[i];
+    }
+  }
+  double* a = (double*)malloc(N * sizeof(double));
+  double* b = (double*)malloc(N * sizeof(double));
+  double* c = (double*)malloc(N * sizeof(double));
+  cudaMemcpy(a, d_a, N * sizeof(double), cudaMemcpyDeviceToHost);
+  cudaMemcpy(b, d_b, N * sizeof(double), cudaMemcpyDeviceToHost);
+  cudaMemcpy(c, d_c, N * sizeof(double), cudaMemcpyDeviceToHost);
+  int failures = stream_check(a, b, c, sum);
+  printf("BabelStream cuda: sum=%.8e failures=%d\n", sum, failures);
+  cudaFree(d_a);
+  cudaFree(d_b);
+  cudaFree(d_c);
+  cudaFree(d_partial);
+  return failures;
+}

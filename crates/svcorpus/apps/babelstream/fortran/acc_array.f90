@@ -1,0 +1,63 @@
+! BabelStream Fortran — OpenACC KERNELS + whole-array variant.
+program babelstream
+  implicit none
+  integer :: i, t, failures
+  integer :: n, ntimes
+  real(8), allocatable :: a(:), b(:), c(:)
+  real(8) :: scalar, total
+  real(8) :: golda, goldb, goldc, goldsum
+  real(8) :: erra, errb, errc, errsum
+  n = 128
+  ntimes = 5
+  scalar = 0.4
+  allocate(a(n), b(n), c(n))
+!$acc kernels
+  a = 0.1
+  b = 0.2
+  c = 0.0
+!$acc end kernels
+  do t = 1, ntimes
+!$acc kernels
+    c = a
+    b = scalar * c
+    c = a + b
+    a = b + scalar * c
+!$acc end kernels
+    total = sum(a * b)
+  end do
+  ! built-in verification: evolve gold scalars through the kernel cycle
+  golda = 0.1
+  goldb = 0.2
+  goldc = 0.0
+  do t = 1, ntimes
+    goldc = golda
+    goldb = scalar * goldc
+    goldc = golda + goldb
+    golda = goldb + scalar * goldc
+  end do
+  goldsum = golda * goldb * n
+  erra = 0.0
+  errb = 0.0
+  errc = 0.0
+  do i = 1, n
+    erra = erra + abs(a(i) - golda)
+    errb = errb + abs(b(i) - goldb)
+    errc = errc + abs(c(i) - goldc)
+  end do
+  errsum = abs(total - goldsum)
+  failures = 0
+  if (erra / n > 1.0e-13) then
+    failures = failures + 1
+  end if
+  if (errb / n > 1.0e-13) then
+    failures = failures + 1
+  end if
+  if (errc / n > 1.0e-13) then
+    failures = failures + 1
+  end if
+  if (errsum / abs(goldsum) > 1.0e-8) then
+    failures = failures + 1
+  end if
+  print *, total, failures
+  deallocate(a, b, c)
+end program babelstream

@@ -1,0 +1,84 @@
+! BabelStream Fortran — OpenMP TASKLOOP variant.
+program babelstream
+  implicit none
+  integer :: i, t, failures
+  integer :: n, ntimes
+  real(8), allocatable :: a(:), b(:), c(:)
+  real(8) :: scalar, total
+  real(8) :: golda, goldb, goldc, goldsum
+  real(8) :: erra, errb, errc, errsum
+  n = 128
+  ntimes = 5
+  scalar = 0.4
+  allocate(a(n), b(n), c(n))
+!$omp taskloop
+  do i = 1, n
+    a(i) = 0.1
+    b(i) = 0.2
+    c(i) = 0.0
+  end do
+!$omp end taskloop
+  do t = 1, ntimes
+!$omp taskloop
+    do i = 1, n
+      c(i) = a(i)
+    end do
+!$omp end taskloop
+!$omp taskloop
+    do i = 1, n
+      b(i) = scalar * c(i)
+    end do
+!$omp end taskloop
+!$omp taskloop
+    do i = 1, n
+      c(i) = a(i) + b(i)
+    end do
+!$omp end taskloop
+!$omp taskloop
+    do i = 1, n
+      a(i) = b(i) + scalar * c(i)
+    end do
+!$omp end taskloop
+    total = 0.0
+!$omp taskloop reduction(+:total)
+    do i = 1, n
+      total = total + a(i) * b(i)
+    end do
+!$omp end taskloop
+  end do
+  ! built-in verification: evolve gold scalars through the kernel cycle
+  golda = 0.1
+  goldb = 0.2
+  goldc = 0.0
+  do t = 1, ntimes
+    goldc = golda
+    goldb = scalar * goldc
+    goldc = golda + goldb
+    golda = goldb + scalar * goldc
+  end do
+  goldsum = golda * goldb * n
+  erra = 0.0
+  errb = 0.0
+  errc = 0.0
+  do i = 1, n
+    erra = erra + abs(a(i) - golda)
+    errb = errb + abs(b(i) - goldb)
+    errc = errc + abs(c(i) - goldc)
+  end do
+  errsum = abs(total - goldsum)
+  failures = 0
+  if (erra / n > 1.0e-13) then
+    failures = failures + 1
+  end if
+  if (errb / n > 1.0e-13) then
+    failures = failures + 1
+  end if
+  if (errc / n > 1.0e-13) then
+    failures = failures + 1
+  end if
+  if (errsum / abs(goldsum) > 1.0e-8) then
+    failures = failures + 1
+  end if
+  print *, total, failures
+  deallocate(a, b, c)
+end program babelstream

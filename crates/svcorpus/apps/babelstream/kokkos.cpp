@@ -1,0 +1,43 @@
+// BabelStream — Kokkos model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <Kokkos_Core.hpp>
+#include "stream_common.h"
+
+int main() {
+  Kokkos::initialize();
+  Kokkos::View<double> a("a", N);
+  Kokkos::View<double> b("b", N);
+  Kokkos::View<double> c("c", N);
+  Kokkos::parallel_for(N, KOKKOS_LAMBDA(int i) {
+    a(i) = START_A;
+    b(i) = START_B;
+    c(i) = START_C;
+  });
+  Kokkos::fence();
+  double sum = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    Kokkos::parallel_for(N, KOKKOS_LAMBDA(int i) {
+      c(i) = a(i);
+    });
+    Kokkos::parallel_for(N, KOKKOS_LAMBDA(int i) {
+      b(i) = SCALAR * c(i);
+    });
+    Kokkos::parallel_for(N, KOKKOS_LAMBDA(int i) {
+      c(i) = a(i) + b(i);
+    });
+    Kokkos::parallel_for(N, KOKKOS_LAMBDA(int i) {
+      a(i) = b(i) + SCALAR * c(i);
+    });
+    sum = 0.0;
+    Kokkos::parallel_reduce(N, KOKKOS_LAMBDA(int i, double& acc) {
+      acc += a(i) * b(i);
+    }, sum);
+    Kokkos::fence();
+  }
+  int failures = stream_check(a, b, c, sum);
+  printf("BabelStream kokkos: sum=%.8e failures=%d\n", sum, failures);
+  Kokkos::finalize();
+  return failures;
+}

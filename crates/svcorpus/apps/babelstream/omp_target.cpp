@@ -1,0 +1,70 @@
+// BabelStream — OpenMP target offload model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <omp.h>
+#include "stream_common.h"
+
+void copy(const double* a, double* c) {
+#pragma omp target teams distribute parallel for map(to: a[0:N]) map(from: c[0:N])
+  for (int i = 0; i < N; i++) {
+    c[i] = a[i];
+  }
+}
+
+void mul(double* b, const double* c) {
+#pragma omp target teams distribute parallel for map(from: b[0:N]) map(to: c[0:N])
+  for (int i = 0; i < N; i++) {
+    b[i] = SCALAR * c[i];
+  }
+}
+
+void add(const double* a, const double* b, double* c) {
+#pragma omp target teams distribute parallel for map(to: a[0:N]) map(to: b[0:N]) map(from: c[0:N])
+  for (int i = 0; i < N; i++) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+void triad(double* a, const double* b, const double* c) {
+#pragma omp target teams distribute parallel for map(from: a[0:N]) map(to: b[0:N]) map(to: c[0:N])
+  for (int i = 0; i < N; i++) {
+    a[i] = b[i] + SCALAR * c[i];
+  }
+}
+
+double dot(const double* a, const double* b) {
+  double sum = 0.0;
+#pragma omp target teams distribute parallel for map(to: a[0:N]) map(to: b[0:N]) reduction(+:sum)
+  for (int i = 0; i < N; i++) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+int main() {
+  double* a = (double*)malloc(N * sizeof(double));
+  double* b = (double*)malloc(N * sizeof(double));
+  double* c = (double*)malloc(N * sizeof(double));
+  for (int i = 0; i < N; i++) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  }
+#pragma omp target enter data map(alloc: a[0:N]) map(alloc: b[0:N]) map(alloc: c[0:N])
+  double sum = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    copy(a, c);
+    mul(b, c);
+    add(a, b, c);
+    triad(a, b, c);
+    sum = dot(a, b);
+  }
+#pragma omp target exit data map(release: a[0:N]) map(release: b[0:N]) map(release: c[0:N])
+  int failures = stream_check(a, b, c, sum);
+  printf("BabelStream omp-target: sum=%.8e failures=%d\n", sum, failures);
+  free(a);
+  free(b);
+  free(c);
+  return failures;
+}

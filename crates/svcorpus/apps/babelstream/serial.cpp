@@ -1,0 +1,62 @@
+// BabelStream — serial baseline model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include "stream_common.h"
+
+void copy(const double* a, double* c) {
+  for (int i = 0; i < N; i++) {
+    c[i] = a[i];
+  }
+}
+
+void mul(double* b, const double* c) {
+  for (int i = 0; i < N; i++) {
+    b[i] = SCALAR * c[i];
+  }
+}
+
+void add(const double* a, const double* b, double* c) {
+  for (int i = 0; i < N; i++) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+void triad(double* a, const double* b, const double* c) {
+  for (int i = 0; i < N; i++) {
+    a[i] = b[i] + SCALAR * c[i];
+  }
+}
+
+double dot(const double* a, const double* b) {
+  double sum = 0.0;
+  for (int i = 0; i < N; i++) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+int main() {
+  double* a = (double*)malloc(N * sizeof(double));
+  double* b = (double*)malloc(N * sizeof(double));
+  double* c = (double*)malloc(N * sizeof(double));
+  for (int i = 0; i < N; i++) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  }
+  double sum = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    copy(a, c);
+    mul(b, c);
+    add(a, b, c);
+    triad(a, b, c);
+    sum = dot(a, b);
+  }
+  int failures = stream_check(a, b, c, sum);
+  printf("BabelStream serial: sum=%.8e failures=%d\n", sum, failures);
+  free(a);
+  free(b);
+  free(c);
+  return failures;
+}

@@ -1,0 +1,43 @@
+// BabelStream — ISO C++17 parallel algorithms (StdPar) model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <algorithm>
+#include <numeric>
+#include <execution>
+#include "stream_common.h"
+
+int main() {
+  double* a = (double*)malloc(N * sizeof(double));
+  double* b = (double*)malloc(N * sizeof(double));
+  double* c = (double*)malloc(N * sizeof(double));
+  std::for_each_n(std::execution::par_unseq, 0, N, [=](int i) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  });
+  double sum = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    std::for_each_n(std::execution::par_unseq, 0, N, [=](int i) {
+      c[i] = a[i];
+    });
+    std::for_each_n(std::execution::par_unseq, 0, N, [=](int i) {
+      b[i] = SCALAR * c[i];
+    });
+    std::for_each_n(std::execution::par_unseq, 0, N, [=](int i) {
+      c[i] = a[i] + b[i];
+    });
+    std::for_each_n(std::execution::par_unseq, 0, N, [=](int i) {
+      a[i] = b[i] + SCALAR * c[i];
+    });
+    sum = std::transform_reduce(std::execution::par_unseq, 0, N, 0.0, std::plus<double>(), [=](int i) {
+      return a[i] * b[i];
+    });
+  }
+  int failures = stream_check(a, b, c, sum);
+  printf("BabelStream stdpar: sum=%.8e failures=%d\n", sum, failures);
+  free(a);
+  free(b);
+  free(c);
+  return failures;
+}

@@ -1,0 +1,38 @@
+#pragma once
+// Shared problem definition for all BabelStream models.
+const int N = 128;
+const int NTIMES = 5;
+const double START_A = 0.1;
+const double START_B = 0.2;
+const double START_C = 0.0;
+const double SCALAR = 0.4;
+
+// Built-in verification: evolve the gold scalars through the kernel cycle
+// and compare against the final arrays (identical across models).
+int stream_check(double* a, double* b, double* c, double sum) {
+  double golda = START_A;
+  double goldb = START_B;
+  double goldc = START_C;
+  for (int t = 0; t < NTIMES; t++) {
+    goldc = golda;
+    goldb = SCALAR * goldc;
+    goldc = golda + goldb;
+    golda = goldb + SCALAR * goldc;
+  }
+  double goldsum = golda * goldb * N;
+  double erra = 0.0;
+  double errb = 0.0;
+  double errc = 0.0;
+  for (int i = 0; i < N; i++) {
+    erra += fabs(a[i] - golda);
+    errb += fabs(b[i] - goldb);
+    errc += fabs(c[i] - goldc);
+  }
+  double errsum = fabs(sum - goldsum);
+  int failures = 0;
+  if (erra / N > 1.0e-13) { failures = failures + 1; }
+  if (errb / N > 1.0e-13) { failures = failures + 1; }
+  if (errc / N > 1.0e-13) { failures = failures + 1; }
+  if (errsum / fabs(goldsum) > 1.0e-8) { failures = failures + 1; }
+  return failures;
+}

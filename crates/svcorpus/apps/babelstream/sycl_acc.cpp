@@ -1,0 +1,82 @@
+// BabelStream — SYCL buffer/accessor variant.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <sycl/sycl.hpp>
+#include "stream_common.h"
+
+int main() {
+  double* h_a = (double*)malloc(N * sizeof(double));
+  double* h_b = (double*)malloc(N * sizeof(double));
+  double* h_c = (double*)malloc(N * sizeof(double));
+  double* h_partial = (double*)malloc(N * sizeof(double));
+  sycl::queue q(sycl::default_selector_v);
+  sycl::buffer<double, 1> buf_a(h_a, N);
+  sycl::buffer<double, 1> buf_b(h_b, N);
+  sycl::buffer<double, 1> buf_c(h_c, N);
+  sycl::buffer<double, 1> buf_partial(h_partial, N);
+  q.submit([&](sycl::handler& cgh) {
+    sycl::accessor a(buf_a, cgh);
+    sycl::accessor b(buf_b, cgh);
+    sycl::accessor c(buf_c, cgh);
+    cgh.parallel_for(sycl::range<1>(N), [=](sycl::id<1> i) {
+      a[i] = START_A;
+      b[i] = START_B;
+      c[i] = START_C;
+    });
+  });
+  q.wait();
+  double sum = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    q.submit([&](sycl::handler& cgh) {
+      sycl::accessor a(buf_a, cgh);
+      sycl::accessor c(buf_c, cgh);
+      cgh.parallel_for(sycl::range<1>(N), [=](sycl::id<1> i) {
+        c[i] = a[i];
+      });
+    });
+    q.submit([&](sycl::handler& cgh) {
+      sycl::accessor b(buf_b, cgh);
+      sycl::accessor c(buf_c, cgh);
+      cgh.parallel_for(sycl::range<1>(N), [=](sycl::id<1> i) {
+        b[i] = SCALAR * c[i];
+      });
+    });
+    q.submit([&](sycl::handler& cgh) {
+      sycl::accessor a(buf_a, cgh);
+      sycl::accessor b(buf_b, cgh);
+      sycl::accessor c(buf_c, cgh);
+      cgh.parallel_for(sycl::range<1>(N), [=](sycl::id<1> i) {
+        c[i] = a[i] + b[i];
+      });
+    });
+    q.submit([&](sycl::handler& cgh) {
+      sycl::accessor a(buf_a, cgh);
+      sycl::accessor b(buf_b, cgh);
+      sycl::accessor c(buf_c, cgh);
+      cgh.parallel_for(sycl::range<1>(N), [=](sycl::id<1> i) {
+        a[i] = b[i] + SCALAR * c[i];
+      });
+    });
+    q.submit([&](sycl::handler& cgh) {
+      sycl::accessor a(buf_a, cgh);
+      sycl::accessor b(buf_b, cgh);
+      sycl::accessor partial(buf_partial, cgh);
+      cgh.parallel_for(sycl::range<1>(N), [=](sycl::id<1> i) {
+        partial[i] = a[i] * b[i];
+      });
+    });
+    q.wait();
+    sum = 0.0;
+    for (int i = 0; i < N; i++) {
+      sum += h_partial[i];
+    }
+  }
+  int failures = stream_check(h_a, h_b, h_c, sum);
+  printf("BabelStream sycl-acc: sum=%.8e failures=%d\n", sum, failures);
+  free(h_a);
+  free(h_b);
+  free(h_c);
+  free(h_partial);
+  return failures;
+}

@@ -1,0 +1,54 @@
+// BabelStream — SYCL 2020 USM (unified shared memory) variant.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <sycl/sycl.hpp>
+#include "stream_common.h"
+
+int main() {
+  sycl::queue q(sycl::default_selector_v);
+  double* a = sycl::malloc_shared<double>(N, q);
+  double* b = sycl::malloc_shared<double>(N, q);
+  double* c = sycl::malloc_shared<double>(N, q);
+  double* partial = sycl::malloc_shared<double>(N, q);
+  q.parallel_for(sycl::range<1>(N), [=](sycl::id<1> i) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  });
+  q.wait();
+  double sum = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    q.parallel_for(sycl::range<1>(N), [=](sycl::id<1> i) {
+      c[i] = a[i];
+    });
+    q.wait();
+    q.parallel_for(sycl::range<1>(N), [=](sycl::id<1> i) {
+      b[i] = SCALAR * c[i];
+    });
+    q.wait();
+    q.parallel_for(sycl::range<1>(N), [=](sycl::id<1> i) {
+      c[i] = a[i] + b[i];
+    });
+    q.wait();
+    q.parallel_for(sycl::range<1>(N), [=](sycl::id<1> i) {
+      a[i] = b[i] + SCALAR * c[i];
+    });
+    q.wait();
+    q.parallel_for(sycl::range<1>(N), [=](sycl::id<1> i) {
+      partial[i] = a[i] * b[i];
+    });
+    q.wait();
+    sum = 0.0;
+    for (int i = 0; i < N; i++) {
+      sum += partial[i];
+    }
+  }
+  int failures = stream_check(a, b, c, sum);
+  printf("BabelStream sycl-usm: sum=%.8e failures=%d\n", sum, failures);
+  sycl::free(a, q);
+  sycl::free(b, q);
+  sycl::free(c, q);
+  sycl::free(partial, q);
+  return failures;
+}

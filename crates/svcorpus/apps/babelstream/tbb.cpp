@@ -1,0 +1,41 @@
+// BabelStream — oneTBB functional model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <tbb/tbb.h>
+#include "stream_common.h"
+
+int main() {
+  double* a = (double*)malloc(N * sizeof(double));
+  double* b = (double*)malloc(N * sizeof(double));
+  double* c = (double*)malloc(N * sizeof(double));
+  tbb::parallel_for(0, N, [=](int i) {
+    a[i] = START_A;
+    b[i] = START_B;
+    c[i] = START_C;
+  });
+  double sum = 0.0;
+  for (int t = 0; t < NTIMES; t++) {
+    tbb::parallel_for(0, N, [=](int i) {
+      c[i] = a[i];
+    });
+    tbb::parallel_for(0, N, [=](int i) {
+      b[i] = SCALAR * c[i];
+    });
+    tbb::parallel_for(0, N, [=](int i) {
+      c[i] = a[i] + b[i];
+    });
+    tbb::parallel_for(0, N, [=](int i) {
+      a[i] = b[i] + SCALAR * c[i];
+    });
+    sum = tbb::parallel_reduce(0, N, 0.0, [=](int i, double acc) {
+      return acc + a[i] * b[i];
+    });
+  }
+  int failures = stream_check(a, b, c, sum);
+  printf("BabelStream tbb: sum=%.8e failures=%d\n", sum, failures);
+  free(a);
+  free(b);
+  free(c);
+  return failures;
+}

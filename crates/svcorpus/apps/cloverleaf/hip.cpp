@@ -1,0 +1,129 @@
+// CloverLeaf — HIP model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <hip/hip_runtime.h>
+#include "clover_common.h"
+
+const int TBSIZE = 28;
+
+__global__ void init_kernel(double* density, double* energy) {
+  int c = threadIdx.x + blockIdx.x * blockDim.x;
+  if (c < CCELLS) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    density[c] = 0.0;
+    energy[c] = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      double d = 1.0;
+      double e = 1.0;
+      if (i < 7 && j < 7) {
+        d = 2.0;
+        e = 2.5;
+      }
+      density[c] = d;
+      energy[c] = e;
+    }
+  }
+}
+
+__global__ void ideal_gas_kernel(const double* density, const double* energy, double* pressure, double* soundspeed) {
+  int c = threadIdx.x + blockIdx.x * blockDim.x;
+  if (c < CCELLS) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      pressure[c] = (GAMMA - 1.0) * density[c] * energy[c];
+      double pe = pressure[c] / density[c];
+      soundspeed[c] = sqrt(GAMMA * pe);
+    }
+  }
+}
+
+__global__ void flux_kernel(double* flux, const double* pressure) {
+  int c = threadIdx.x + blockIdx.x * blockDim.x;
+  if (c < CCELLS) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    flux[c] = 0.0;
+    if (i >= 1 && i < NXC && j >= 1 && j <= NYC) {
+      flux[c] = DT * 0.5 * (pressure[c] - pressure[c + 1]);
+    }
+  }
+}
+
+__global__ void advect_kernel(double* field, const double* flux, double weight) {
+  int c = threadIdx.x + blockIdx.x * blockDim.x;
+  if (c < CCELLS) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      field[c] = field[c] - weight * (flux[c] - flux[c - 1]);
+    }
+  }
+}
+
+__global__ void summary_kernel(const double* field, double* partial) {
+  int c = threadIdx.x + blockIdx.x * blockDim.x;
+  if (c < CCELLS) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    partial[c] = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      partial[c] = field[c];
+    }
+  }
+}
+
+double field_summary(const double* d_field, double* d_partial, double* h_partial, int blocks) {
+  summary_kernel<<<blocks, TBSIZE>>>(d_field, d_partial);
+  hipDeviceSynchronize();
+  hipMemcpy(h_partial, d_partial, CCELLS * sizeof(double), hipMemcpyDeviceToHost);
+  double total = 0.0;
+  for (int c = 0; c < CCELLS; c++) {
+    total += h_partial[c];
+  }
+  return total;
+}
+
+int main() {
+  int device_count = 0;
+  hipGetDeviceCount(&device_count);
+  hipSetDevice(0);
+  int blocks = CCELLS / TBSIZE;
+  double* d_density;
+  double* d_energy;
+  double* d_pressure;
+  double* d_soundspeed;
+  double* d_flux;
+  double* d_partial;
+  hipMalloc((void**)&d_density, CCELLS * sizeof(double));
+  hipMalloc((void**)&d_energy, CCELLS * sizeof(double));
+  hipMalloc((void**)&d_pressure, CCELLS * sizeof(double));
+  hipMalloc((void**)&d_soundspeed, CCELLS * sizeof(double));
+  hipMalloc((void**)&d_flux, CCELLS * sizeof(double));
+  hipMalloc((void**)&d_partial, CCELLS * sizeof(double));
+  double* h_partial = (double*)malloc(CCELLS * sizeof(double));
+  HIP_KERNEL_NAME(init_kernel)<<<blocks, TBSIZE>>>(d_density, d_energy);
+  hipDeviceSynchronize();
+  double mass0 = field_summary(d_density, d_partial, h_partial, blocks);
+  double ie0 = field_summary(d_energy, d_partial, h_partial, blocks);
+  for (int step = 0; step < NSTEPS; step++) {
+    ideal_gas_kernel<<<blocks, TBSIZE>>>(d_density, d_energy, d_pressure, d_soundspeed);
+    flux_kernel<<<blocks, TBSIZE>>>(d_flux, d_pressure);
+    advect_kernel<<<blocks, TBSIZE>>>(d_density, d_flux, 1.0);
+    advect_kernel<<<blocks, TBSIZE>>>(d_energy, d_flux, 0.5);
+    hipDeviceSynchronize();
+  }
+  double mass1 = field_summary(d_density, d_partial, h_partial, blocks);
+  double ie1 = field_summary(d_energy, d_partial, h_partial, blocks);
+  int failures = clover_check(mass0, mass1, ie0, ie1);
+  printf("CloverLeaf hip: mass=%.8e ie=%.8e failures=%d\n", mass1, ie1, failures);
+  hipFree(d_density);
+  hipFree(d_energy);
+  hipFree(d_pressure);
+  hipFree(d_soundspeed);
+  hipFree(d_flux);
+  hipFree(d_partial);
+  return failures;
+}

@@ -1,0 +1,102 @@
+// CloverLeaf — Kokkos model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <Kokkos_Core.hpp>
+#include "clover_common.h"
+
+int main() {
+  Kokkos::initialize();
+  Kokkos::View<double> density("density", CCELLS);
+  Kokkos::View<double> energy("energy", CCELLS);
+  Kokkos::View<double> pressure("pressure", CCELLS);
+  Kokkos::View<double> soundspeed("soundspeed", CCELLS);
+  Kokkos::View<double> flux("flux", CCELLS);
+  Kokkos::parallel_for(CCELLS, KOKKOS_LAMBDA(int c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    density(c) = 0.0;
+    energy(c) = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      double d = 1.0;
+      double e = 1.0;
+      if (i < 7 && j < 7) {
+        d = 2.0;
+        e = 2.5;
+      }
+      density(c) = d;
+      energy(c) = e;
+    }
+  });
+  Kokkos::fence();
+  double mass0 = 0.0;
+  Kokkos::parallel_reduce(CCELLS, KOKKOS_LAMBDA(int c, double& acc) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      acc += density(c);
+    }
+  }, mass0);
+  double ie0 = 0.0;
+  Kokkos::parallel_reduce(CCELLS, KOKKOS_LAMBDA(int c, double& acc) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      acc += energy(c);
+    }
+  }, ie0);
+  for (int step = 0; step < NSTEPS; step++) {
+    Kokkos::parallel_for(CCELLS, KOKKOS_LAMBDA(int c) {
+      int i = c % CDIM;
+      int j = c / CDIM;
+      if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+        pressure(c) = (GAMMA - 1.0) * density(c) * energy(c);
+        double pe = pressure(c) / density(c);
+        soundspeed(c) = sqrt(GAMMA * pe);
+      }
+    });
+    Kokkos::parallel_for(CCELLS, KOKKOS_LAMBDA(int c) {
+      int i = c % CDIM;
+      int j = c / CDIM;
+      flux(c) = 0.0;
+      if (i >= 1 && i < NXC && j >= 1 && j <= NYC) {
+        flux(c) = DT * 0.5 * (pressure(c) - pressure(c + 1));
+      }
+    });
+    Kokkos::parallel_for(CCELLS, KOKKOS_LAMBDA(int c) {
+      int i = c % CDIM;
+      int j = c / CDIM;
+      if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+        density(c) = density(c) - 1.0 * (flux(c) - flux(c - 1));
+      }
+    });
+    Kokkos::parallel_for(CCELLS, KOKKOS_LAMBDA(int c) {
+      int i = c % CDIM;
+      int j = c / CDIM;
+      if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+        energy(c) = energy(c) - 0.5 * (flux(c) - flux(c - 1));
+      }
+    });
+    Kokkos::fence();
+  }
+  double mass1 = 0.0;
+  Kokkos::parallel_reduce(CCELLS, KOKKOS_LAMBDA(int c, double& acc) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      acc += density(c);
+    }
+  }, mass1);
+  double ie1 = 0.0;
+  Kokkos::parallel_reduce(CCELLS, KOKKOS_LAMBDA(int c, double& acc) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      acc += energy(c);
+    }
+  }, ie1);
+  int failures = clover_check(mass0, mass1, ie0, ie1);
+  printf("CloverLeaf kokkos: mass=%.8e ie=%.8e failures=%d\n", mass1, ie1, failures);
+  Kokkos::finalize();
+  return failures;
+}

@@ -1,0 +1,89 @@
+// CloverLeaf — serial baseline model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include "clover_common.h"
+
+void initialise_chunk(double* density, double* energy) {
+  for (int j = 0; j < CDIM; j++) {
+    for (int i = 0; i < CDIM; i++) {
+      int c = j * CDIM + i;
+      density[c] = 0.0;
+      energy[c] = 0.0;
+      if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+        density[c] = clover_initial_density(i, j);
+        energy[c] = clover_initial_energy(i, j);
+      }
+    }
+  }
+}
+
+void ideal_gas(const double* density, const double* energy, double* pressure, double* soundspeed) {
+  for (int j = 1; j <= NYC; j++) {
+    for (int i = 1; i <= NXC; i++) {
+      int c = j * CDIM + i;
+      pressure[c] = (GAMMA - 1.0) * density[c] * energy[c];
+      double pe = pressure[c] / density[c];
+      soundspeed[c] = sqrt(GAMMA * pe);
+    }
+  }
+}
+
+void flux_calc(double* flux, const double* pressure) {
+  for (int j = 0; j < CDIM; j++) {
+    for (int i = 0; i < CDIM; i++) {
+      int c = j * CDIM + i;
+      flux[c] = 0.0;
+      if (i >= 1 && i < NXC && j >= 1 && j <= NYC) {
+        flux[c] = DT * 0.5 * (pressure[c] - pressure[c + 1]);
+      }
+    }
+  }
+}
+
+void advect_cell(double* field, const double* flux, double weight) {
+  for (int j = 1; j <= NYC; j++) {
+    for (int i = 1; i <= NXC; i++) {
+      int c = j * CDIM + i;
+      field[c] = field[c] - weight * (flux[c] - flux[c - 1]);
+    }
+  }
+}
+
+double field_summary(const double* field) {
+  double total = 0.0;
+  for (int j = 1; j <= NYC; j++) {
+    for (int i = 1; i <= NXC; i++) {
+      int c = j * CDIM + i;
+      total += field[c];
+    }
+  }
+  return total;
+}
+
+int main() {
+  double* density = (double*)malloc(CCELLS * sizeof(double));
+  double* energy = (double*)malloc(CCELLS * sizeof(double));
+  double* pressure = (double*)malloc(CCELLS * sizeof(double));
+  double* soundspeed = (double*)malloc(CCELLS * sizeof(double));
+  double* flux = (double*)malloc(CCELLS * sizeof(double));
+  initialise_chunk(density, energy);
+  double mass0 = field_summary(density);
+  double ie0 = field_summary(energy);
+  for (int step = 0; step < NSTEPS; step++) {
+    ideal_gas(density, energy, pressure, soundspeed);
+    flux_calc(flux, pressure);
+    advect_cell(density, flux, 1.0);
+    advect_cell(energy, flux, 0.5);
+  }
+  double mass1 = field_summary(density);
+  double ie1 = field_summary(energy);
+  int failures = clover_check(mass0, mass1, ie0, ie1);
+  printf("CloverLeaf serial: mass=%.8e ie=%.8e failures=%d\n", mass1, ie1, failures);
+  free(density);
+  free(energy);
+  free(pressure);
+  free(soundspeed);
+  free(flux);
+  return failures;
+}

@@ -1,0 +1,109 @@
+// CloverLeaf — ISO C++17 parallel algorithms (StdPar) model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <algorithm>
+#include <numeric>
+#include <execution>
+#include "clover_common.h"
+
+int main() {
+  double* density = (double*)malloc(CCELLS * sizeof(double));
+  double* energy = (double*)malloc(CCELLS * sizeof(double));
+  double* pressure = (double*)malloc(CCELLS * sizeof(double));
+  double* soundspeed = (double*)malloc(CCELLS * sizeof(double));
+  double* flux = (double*)malloc(CCELLS * sizeof(double));
+  std::for_each_n(std::execution::par_unseq, 0, CCELLS, [=](int c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    density[c] = 0.0;
+    energy[c] = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      double d = 1.0;
+      double e = 1.0;
+      if (i < 7 && j < 7) {
+        d = 2.0;
+        e = 2.5;
+      }
+      density[c] = d;
+      energy[c] = e;
+    }
+  });
+  double mass0 = std::transform_reduce(std::execution::par_unseq, 0, CCELLS, 0.0, std::plus<double>(), [=](int c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    double v = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      v = density[c];
+    }
+    return v;
+  });
+  double ie0 = std::transform_reduce(std::execution::par_unseq, 0, CCELLS, 0.0, std::plus<double>(), [=](int c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    double v = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      v = energy[c];
+    }
+    return v;
+  });
+  for (int step = 0; step < NSTEPS; step++) {
+    std::for_each_n(std::execution::par_unseq, 0, CCELLS, [=](int c) {
+      int i = c % CDIM;
+      int j = c / CDIM;
+      if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+        pressure[c] = (GAMMA - 1.0) * density[c] * energy[c];
+        double pe = pressure[c] / density[c];
+        soundspeed[c] = sqrt(GAMMA * pe);
+      }
+    });
+    std::for_each_n(std::execution::par_unseq, 0, CCELLS, [=](int c) {
+      int i = c % CDIM;
+      int j = c / CDIM;
+      flux[c] = 0.0;
+      if (i >= 1 && i < NXC && j >= 1 && j <= NYC) {
+        flux[c] = DT * 0.5 * (pressure[c] - pressure[c + 1]);
+      }
+    });
+    std::for_each_n(std::execution::par_unseq, 0, CCELLS, [=](int c) {
+      int i = c % CDIM;
+      int j = c / CDIM;
+      if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+        density[c] = density[c] - 1.0 * (flux[c] - flux[c - 1]);
+      }
+    });
+    std::for_each_n(std::execution::par_unseq, 0, CCELLS, [=](int c) {
+      int i = c % CDIM;
+      int j = c / CDIM;
+      if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+        energy[c] = energy[c] - 0.5 * (flux[c] - flux[c - 1]);
+      }
+    });
+  }
+  double mass1 = std::transform_reduce(std::execution::par_unseq, 0, CCELLS, 0.0, std::plus<double>(), [=](int c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    double v = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      v = density[c];
+    }
+    return v;
+  });
+  double ie1 = std::transform_reduce(std::execution::par_unseq, 0, CCELLS, 0.0, std::plus<double>(), [=](int c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    double v = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      v = energy[c];
+    }
+    return v;
+  });
+  int failures = clover_check(mass0, mass1, ie0, ie1);
+  printf("CloverLeaf stdpar: mass=%.8e ie=%.8e failures=%d\n", mass1, ie1, failures);
+  free(density);
+  free(energy);
+  free(pressure);
+  free(soundspeed);
+  free(flux);
+  return failures;
+}

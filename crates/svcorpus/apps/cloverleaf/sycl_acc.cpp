@@ -1,0 +1,172 @@
+// CloverLeaf — SYCL buffer/accessor variant.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <sycl/sycl.hpp>
+#include "clover_common.h"
+
+int main() {
+  double* h_density = (double*)malloc(CCELLS * sizeof(double));
+  double* h_energy = (double*)malloc(CCELLS * sizeof(double));
+  double* h_pressure = (double*)malloc(CCELLS * sizeof(double));
+  double* h_soundspeed = (double*)malloc(CCELLS * sizeof(double));
+  double* h_flux = (double*)malloc(CCELLS * sizeof(double));
+  double* h_partial = (double*)malloc(CCELLS * sizeof(double));
+  sycl::queue q(sycl::default_selector_v);
+  sycl::buffer<double, 1> buf_density(h_density, CCELLS);
+  sycl::buffer<double, 1> buf_energy(h_energy, CCELLS);
+  sycl::buffer<double, 1> buf_pressure(h_pressure, CCELLS);
+  sycl::buffer<double, 1> buf_soundspeed(h_soundspeed, CCELLS);
+  sycl::buffer<double, 1> buf_flux(h_flux, CCELLS);
+  sycl::buffer<double, 1> buf_partial(h_partial, CCELLS);
+  q.submit([&](sycl::handler& cgh) {
+    sycl::accessor density(buf_density, cgh);
+    sycl::accessor energy(buf_energy, cgh);
+    cgh.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+      int i = c % CDIM;
+      int j = c / CDIM;
+      density[c] = 0.0;
+      energy[c] = 0.0;
+      if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+        double d = 1.0;
+        double e = 1.0;
+        if (i < 7 && j < 7) {
+          d = 2.0;
+          e = 2.5;
+        }
+        density[c] = d;
+        energy[c] = e;
+      }
+    });
+  });
+  q.wait();
+  q.submit([&](sycl::handler& cgh) {
+    sycl::accessor density(buf_density, cgh);
+    sycl::accessor partial(buf_partial, cgh);
+    cgh.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    partial[c] = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      partial[c] = density[c];
+    }
+    });
+  });
+  q.wait();
+  double mass0 = 0.0;
+  for (int c = 0; c < CCELLS; c++) {
+    mass0 += h_partial[c];
+  }
+  q.submit([&](sycl::handler& cgh) {
+    sycl::accessor energy(buf_energy, cgh);
+    sycl::accessor partial(buf_partial, cgh);
+    cgh.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    partial[c] = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      partial[c] = energy[c];
+    }
+    });
+  });
+  q.wait();
+  double ie0 = 0.0;
+  for (int c = 0; c < CCELLS; c++) {
+    ie0 += h_partial[c];
+  }
+  for (int step = 0; step < NSTEPS; step++) {
+    q.submit([&](sycl::handler& cgh) {
+      sycl::accessor density(buf_density, cgh);
+      sycl::accessor energy(buf_energy, cgh);
+      sycl::accessor pressure(buf_pressure, cgh);
+      sycl::accessor soundspeed(buf_soundspeed, cgh);
+      cgh.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+        int i = c % CDIM;
+        int j = c / CDIM;
+        if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+          pressure[c] = (GAMMA - 1.0) * density[c] * energy[c];
+          double pe = pressure[c] / density[c];
+          soundspeed[c] = sqrt(GAMMA * pe);
+        }
+      });
+    });
+    q.submit([&](sycl::handler& cgh) {
+      sycl::accessor flux(buf_flux, cgh);
+      sycl::accessor pressure(buf_pressure, cgh);
+      cgh.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+        int i = c % CDIM;
+        int j = c / CDIM;
+        flux[c] = 0.0;
+        if (i >= 1 && i < NXC && j >= 1 && j <= NYC) {
+          flux[c] = DT * 0.5 * (pressure[c] - pressure[c + 1]);
+        }
+      });
+    });
+    q.submit([&](sycl::handler& cgh) {
+      sycl::accessor density(buf_density, cgh);
+      sycl::accessor flux(buf_flux, cgh);
+      cgh.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+        int i = c % CDIM;
+        int j = c / CDIM;
+        if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+          density[c] = density[c] - 1.0 * (flux[c] - flux[c - 1]);
+        }
+      });
+    });
+    q.submit([&](sycl::handler& cgh) {
+      sycl::accessor energy(buf_energy, cgh);
+      sycl::accessor flux(buf_flux, cgh);
+      cgh.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+        int i = c % CDIM;
+        int j = c / CDIM;
+        if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+          energy[c] = energy[c] - 0.5 * (flux[c] - flux[c - 1]);
+        }
+      });
+    });
+    q.wait();
+  }
+  q.submit([&](sycl::handler& cgh) {
+    sycl::accessor density(buf_density, cgh);
+    sycl::accessor partial(buf_partial, cgh);
+    cgh.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    partial[c] = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      partial[c] = density[c];
+    }
+    });
+  });
+  q.wait();
+  double mass1 = 0.0;
+  for (int c = 0; c < CCELLS; c++) {
+    mass1 += h_partial[c];
+  }
+  q.submit([&](sycl::handler& cgh) {
+    sycl::accessor energy(buf_energy, cgh);
+    sycl::accessor partial(buf_partial, cgh);
+    cgh.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    partial[c] = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      partial[c] = energy[c];
+    }
+    });
+  });
+  q.wait();
+  double ie1 = 0.0;
+  for (int c = 0; c < CCELLS; c++) {
+    ie1 += h_partial[c];
+  }
+  int failures = clover_check(mass0, mass1, ie0, ie1);
+  printf("CloverLeaf sycl-acc: mass=%.8e ie=%.8e failures=%d\n", mass1, ie1, failures);
+  free(h_density);
+  free(h_energy);
+  free(h_pressure);
+  free(h_soundspeed);
+  free(h_flux);
+  free(h_partial);
+  return failures;
+}

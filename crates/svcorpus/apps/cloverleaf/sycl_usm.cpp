@@ -1,0 +1,131 @@
+// CloverLeaf — SYCL 2020 USM variant.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <sycl/sycl.hpp>
+#include "clover_common.h"
+
+int main() {
+  sycl::queue q(sycl::default_selector_v);
+  double* density = sycl::malloc_shared<double>(CCELLS, q);
+  double* energy = sycl::malloc_shared<double>(CCELLS, q);
+  double* pressure = sycl::malloc_shared<double>(CCELLS, q);
+  double* soundspeed = sycl::malloc_shared<double>(CCELLS, q);
+  double* flux = sycl::malloc_shared<double>(CCELLS, q);
+  double* partial = sycl::malloc_shared<double>(CCELLS, q);
+  q.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    density[c] = 0.0;
+    energy[c] = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      double d = 1.0;
+      double e = 1.0;
+      if (i < 7 && j < 7) {
+        d = 2.0;
+        e = 2.5;
+      }
+      density[c] = d;
+      energy[c] = e;
+    }
+  });
+  q.wait();
+  q.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    partial[c] = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      partial[c] = density[c];
+    }
+  });
+  q.wait();
+  double mass0 = 0.0;
+  for (int c = 0; c < CCELLS; c++) {
+    mass0 += partial[c];
+  }
+  q.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    partial[c] = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      partial[c] = energy[c];
+    }
+  });
+  q.wait();
+  double ie0 = 0.0;
+  for (int c = 0; c < CCELLS; c++) {
+    ie0 += partial[c];
+  }
+  for (int step = 0; step < NSTEPS; step++) {
+    q.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+      int i = c % CDIM;
+      int j = c / CDIM;
+      if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+        pressure[c] = (GAMMA - 1.0) * density[c] * energy[c];
+        double pe = pressure[c] / density[c];
+        soundspeed[c] = sqrt(GAMMA * pe);
+      }
+    });
+    q.wait();
+    q.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+      int i = c % CDIM;
+      int j = c / CDIM;
+      flux[c] = 0.0;
+      if (i >= 1 && i < NXC && j >= 1 && j <= NYC) {
+        flux[c] = DT * 0.5 * (pressure[c] - pressure[c + 1]);
+      }
+    });
+    q.wait();
+    q.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+      int i = c % CDIM;
+      int j = c / CDIM;
+      if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+        density[c] = density[c] - 1.0 * (flux[c] - flux[c - 1]);
+      }
+    });
+    q.wait();
+    q.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+      int i = c % CDIM;
+      int j = c / CDIM;
+      if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+        energy[c] = energy[c] - 0.5 * (flux[c] - flux[c - 1]);
+      }
+    });
+    q.wait();
+  }
+  q.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    partial[c] = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      partial[c] = density[c];
+    }
+  });
+  q.wait();
+  double mass1 = 0.0;
+  for (int c = 0; c < CCELLS; c++) {
+    mass1 += partial[c];
+  }
+  q.parallel_for(sycl::range<1>(CCELLS), [=](sycl::id<1> c) {
+    int i = c % CDIM;
+    int j = c / CDIM;
+    partial[c] = 0.0;
+    if (i >= 1 && i <= NXC && j >= 1 && j <= NYC) {
+      partial[c] = energy[c];
+    }
+  });
+  q.wait();
+  double ie1 = 0.0;
+  for (int c = 0; c < CCELLS; c++) {
+    ie1 += partial[c];
+  }
+  int failures = clover_check(mass0, mass1, ie0, ie1);
+  printf("CloverLeaf sycl-usm: mass=%.8e ie=%.8e failures=%d\n", mass1, ie1, failures);
+  sycl::free(density, q);
+  sycl::free(energy, q);
+  sycl::free(pressure, q);
+  sycl::free(soundspeed, q);
+  sycl::free(flux, q);
+  sycl::free(partial, q);
+  return failures;
+}

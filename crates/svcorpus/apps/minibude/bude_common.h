@@ -1,0 +1,40 @@
+#pragma once
+// Shared problem definition for all miniBUDE models: a simplified
+// molecular-docking energy evaluation.  Each pose of a small ligand is
+// scored against a rigid protein with a Lennard-Jones-flavoured pair
+// potential — compute-bound, like the real BUDE kernel.
+const int NPOSES = 16;
+const int NATOMS = 24;
+const int NLIG = 6;
+
+// Deterministic pseudo-geometry (stands in for the bm1 input deck).
+double prot_x(int a) { return (a % 5) * 0.9; }
+double prot_y(int a) { return ((a * 3) % 7) * 0.7; }
+double prot_z(int a) { return ((a * 5) % 11) * 0.4; }
+double lig_x(int l, int p) { return 1.1 + l * 0.6 + p * 0.05; }
+double lig_y(int l, int p) { return 0.9 + ((l * 2) % 3) * 0.8 + p * 0.03; }
+double lig_z(int l, int p) { return 1.3 + ((l * 7) % 5) * 0.5 + p * 0.02; }
+
+// Built-in verification: recompute every pose energy serially and compare.
+int bude_check(const double* energies) {
+  int failures = 0;
+  for (int p = 0; p < NPOSES; p++) {
+    double etot = 0.0;
+    for (int l = 0; l < NLIG; l++) {
+      for (int a = 0; a < NATOMS; a++) {
+        double dx = prot_x(a) - lig_x(l, p);
+        double dy = prot_y(a) - lig_y(l, p);
+        double dz = prot_z(a) - lig_z(l, p);
+        double r2 = dx * dx + dy * dy + dz * dz + 1.0;
+        double d = 1.0 / sqrt(r2);
+        double d2 = d * d;
+        etot += d2 * d2 * d2 - d2;
+      }
+    }
+    etot = etot * 0.5;
+    if (fabs(energies[p] - etot) > 1.0e-12) {
+      failures = failures + 1;
+    }
+  }
+  return failures;
+}

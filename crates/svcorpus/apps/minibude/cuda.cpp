@@ -1,0 +1,42 @@
+// miniBUDE — CUDA model: one thread per pose.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <cuda_runtime.h>
+#include "bude_common.h"
+
+const int TBSIZE = 4;
+
+__global__ void score_kernel(double* energies) {
+  int p = threadIdx.x + blockIdx.x * blockDim.x;
+  if (p < NPOSES) {
+    double etot = 0.0;
+    for (int l = 0; l < NLIG; l++) {
+      for (int a = 0; a < NATOMS; a++) {
+        double dx = prot_x(a) - lig_x(l, p);
+        double dy = prot_y(a) - lig_y(l, p);
+        double dz = prot_z(a) - lig_z(l, p);
+        double r2 = dx * dx + dy * dy + dz * dz + 1.0;
+        double d = 1.0 / sqrt(r2);
+        double d2 = d * d;
+        etot += d2 * d2 * d2 - d2;
+      }
+    }
+    energies[p] = etot * 0.5;
+  }
+}
+
+int main() {
+  int blocks = NPOSES / TBSIZE;
+  double* d_energies;
+  cudaMalloc((void**)&d_energies, NPOSES * sizeof(double));
+  score_kernel<<<blocks, TBSIZE>>>(d_energies);
+  cudaDeviceSynchronize();
+  double* energies = (double*)malloc(NPOSES * sizeof(double));
+  cudaMemcpy(energies, d_energies, NPOSES * sizeof(double), cudaMemcpyDeviceToHost);
+  int failures = bude_check(energies);
+  printf("miniBUDE cuda: e0=%.8e failures=%d\n", energies[0], failures);
+  cudaFree(d_energies);
+  free(energies);
+  return failures;
+}

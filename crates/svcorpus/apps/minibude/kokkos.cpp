@@ -1,0 +1,31 @@
+// miniBUDE — Kokkos model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <Kokkos_Core.hpp>
+#include "bude_common.h"
+
+int main() {
+  Kokkos::initialize();
+  Kokkos::View<double> energies("energies", NPOSES);
+  Kokkos::parallel_for(NPOSES, KOKKOS_LAMBDA(int p) {
+    double etot = 0.0;
+    for (int l = 0; l < NLIG; l++) {
+      for (int a = 0; a < NATOMS; a++) {
+        double dx = prot_x(a) - lig_x(l, p);
+        double dy = prot_y(a) - lig_y(l, p);
+        double dz = prot_z(a) - lig_z(l, p);
+        double r2 = dx * dx + dy * dy + dz * dz + 1.0;
+        double d = 1.0 / sqrt(r2);
+        double d2 = d * d;
+        etot += d2 * d2 * d2 - d2;
+      }
+    }
+    energies(p) = etot * 0.5;
+  });
+  Kokkos::fence();
+  int failures = bude_check(energies);
+  printf("miniBUDE kokkos: e0=%.8e failures=%d\n", energies(0), failures);
+  Kokkos::finalize();
+  return failures;
+}

@@ -1,0 +1,32 @@
+// miniBUDE — serial baseline model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include "bude_common.h"
+
+void score_poses(double* energies) {
+  for (int p = 0; p < NPOSES; p++) {
+    double etot = 0.0;
+    for (int l = 0; l < NLIG; l++) {
+      for (int a = 0; a < NATOMS; a++) {
+        double dx = prot_x(a) - lig_x(l, p);
+        double dy = prot_y(a) - lig_y(l, p);
+        double dz = prot_z(a) - lig_z(l, p);
+        double r2 = dx * dx + dy * dy + dz * dz + 1.0;
+        double d = 1.0 / sqrt(r2);
+        double d2 = d * d;
+        etot += d2 * d2 * d2 - d2;
+      }
+    }
+    energies[p] = etot * 0.5;
+  }
+}
+
+int main() {
+  double* energies = (double*)malloc(NPOSES * sizeof(double));
+  score_poses(energies);
+  int failures = bude_check(energies);
+  printf("miniBUDE serial: e0=%.8e failures=%d\n", energies[0], failures);
+  free(energies);
+  return failures;
+}

@@ -1,0 +1,31 @@
+// miniBUDE — ISO C++17 parallel algorithms (StdPar) model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <algorithm>
+#include <numeric>
+#include <execution>
+#include "bude_common.h"
+
+int main() {
+  double* energies = (double*)malloc(NPOSES * sizeof(double));
+  std::for_each_n(std::execution::par_unseq, 0, NPOSES, [=](int p) {
+    double etot = 0.0;
+    for (int l = 0; l < NLIG; l++) {
+      for (int a = 0; a < NATOMS; a++) {
+        double dx = prot_x(a) - lig_x(l, p);
+        double dy = prot_y(a) - lig_y(l, p);
+        double dz = prot_z(a) - lig_z(l, p);
+        double r2 = dx * dx + dy * dy + dz * dz + 1.0;
+        double d = 1.0 / sqrt(r2);
+        double d2 = d * d;
+        etot += d2 * d2 * d2 - d2;
+      }
+    }
+    energies[p] = etot * 0.5;
+  });
+  int failures = bude_check(energies);
+  printf("miniBUDE stdpar: e0=%.8e failures=%d\n", energies[0], failures);
+  free(energies);
+  return failures;
+}

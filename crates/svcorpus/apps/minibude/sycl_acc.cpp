@@ -1,0 +1,35 @@
+// miniBUDE — SYCL buffer/accessor variant.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <sycl/sycl.hpp>
+#include "bude_common.h"
+
+int main() {
+  double* h_energies = (double*)malloc(NPOSES * sizeof(double));
+  sycl::queue q(sycl::default_selector_v);
+  sycl::buffer<double, 1> buf_energies(h_energies, NPOSES);
+  q.submit([&](sycl::handler& cgh) {
+    sycl::accessor energies(buf_energies, cgh);
+    cgh.parallel_for(sycl::range<1>(NPOSES), [=](sycl::id<1> p) {
+      double etot = 0.0;
+      for (int l = 0; l < NLIG; l++) {
+        for (int a = 0; a < NATOMS; a++) {
+          double dx = prot_x(a) - lig_x(l, p);
+          double dy = prot_y(a) - lig_y(l, p);
+          double dz = prot_z(a) - lig_z(l, p);
+          double r2 = dx * dx + dy * dy + dz * dz + 1.0;
+          double d = 1.0 / sqrt(r2);
+          double d2 = d * d;
+          etot += d2 * d2 * d2 - d2;
+        }
+      }
+      energies[p] = etot * 0.5;
+    });
+  });
+  q.wait();
+  int failures = bude_check(h_energies);
+  printf("miniBUDE sycl-acc: e0=%.8e failures=%d\n", h_energies[0], failures);
+  free(h_energies);
+  return failures;
+}

@@ -1,0 +1,31 @@
+// miniBUDE — SYCL 2020 USM variant.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <sycl/sycl.hpp>
+#include "bude_common.h"
+
+int main() {
+  sycl::queue q(sycl::default_selector_v);
+  double* energies = sycl::malloc_shared<double>(NPOSES, q);
+  q.parallel_for(sycl::range<1>(NPOSES), [=](sycl::id<1> p) {
+    double etot = 0.0;
+    for (int l = 0; l < NLIG; l++) {
+      for (int a = 0; a < NATOMS; a++) {
+        double dx = prot_x(a) - lig_x(l, p);
+        double dy = prot_y(a) - lig_y(l, p);
+        double dz = prot_z(a) - lig_z(l, p);
+        double r2 = dx * dx + dy * dy + dz * dz + 1.0;
+        double d = 1.0 / sqrt(r2);
+        double d2 = d * d;
+        etot += d2 * d2 * d2 - d2;
+      }
+    }
+    energies[p] = etot * 0.5;
+  });
+  q.wait();
+  int failures = bude_check(energies);
+  printf("miniBUDE sycl-usm: e0=%.8e failures=%d\n", energies[0], failures);
+  sycl::free(energies, q);
+  return failures;
+}

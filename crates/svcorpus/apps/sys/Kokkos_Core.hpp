@@ -1,0 +1,5 @@
+#pragma once
+// Kokkos core surface used by the corpus (library calls are runtime
+// intrinsics; the macro mirrors the real KOKKOS_LAMBDA).
+#define KOKKOS_LAMBDA [=]
+#define KOKKOS_INLINE_FUNCTION inline

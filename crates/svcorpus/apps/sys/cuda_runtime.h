@@ -1,0 +1,9 @@
+#pragma once
+// CUDA runtime API surface used by the corpus
+#define cudaMemcpyHostToDevice 1
+#define cudaMemcpyDeviceToHost 2
+#define cudaMemcpyDeviceToDevice 3
+int cudaMalloc(void** p, size_t bytes);
+int cudaFree(void* p);
+int cudaMemcpy(void* dst, const void* src, size_t bytes, int kind);
+int cudaDeviceSynchronize();

@@ -1,0 +1,27 @@
+#pragma once
+// HIP runtime API surface used by the corpus.  HIP ships a larger set of
+// host-side helpers than CUDA's thin runtime header, which is why its
+// inlined T_sem+i diverges more (the paper: "HIP requires non-trivial
+// runtime headers").
+#define hipMemcpyHostToDevice 1
+#define hipMemcpyDeviceToHost 2
+#define hipMemcpyDeviceToDevice 3
+#define HIP_KERNEL_NAME(k) k
+int hipMalloc(void** p, size_t bytes);
+int hipFree(void* p);
+int hipMemcpy(void* dst, const void* src, size_t bytes, int kind);
+int hipDeviceSynchronize();
+int hipGetDevice(int* id);
+int hipSetDevice(int id);
+int hipGetDeviceCount(int* n);
+int hipDeviceReset();
+int hipStreamCreate(void** s);
+int hipStreamDestroy(void* s);
+int hipStreamSynchronize(void* s);
+int hipEventCreate(void** e);
+int hipEventRecord(void* e, void* s);
+int hipEventSynchronize(void* e);
+int hipEventElapsedTime(float* ms, void* a, void* b);
+int hipMemset(void* dst, int value, size_t bytes);
+int hipHostMalloc(void** p, size_t bytes);
+int hipHostFree(void* p);

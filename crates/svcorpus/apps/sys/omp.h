@@ -1,0 +1,7 @@
+#pragma once
+// OpenMP runtime entry points
+double omp_get_wtime();
+int omp_get_max_threads();
+int omp_get_num_threads();
+int omp_get_thread_num();
+void omp_set_num_threads(int n);

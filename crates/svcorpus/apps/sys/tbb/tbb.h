@@ -1,0 +1,2 @@
+#pragma once
+// oneTBB functional surface used by the corpus.

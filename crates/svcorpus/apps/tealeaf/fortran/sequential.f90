@@ -1,0 +1,88 @@
+! TeaLeaf Fortran — sequential variant (2-D CG solve of (I + k*L) u = u0).
+program tea
+  implicit none
+  integer :: i, j, iter
+  integer :: nx, ny, iters
+  real(8), allocatable :: u(:, :), u0(:, :), r(:, :), p(:, :), w(:, :)
+  real(8) :: kappa, rro, rrn, pw, alpha, beta, rro_initial
+  integer :: failures
+  nx = 16
+  ny = 16
+  iters = 30
+  kappa = 0.1
+  allocate(u(nx + 2, ny + 2), u0(nx + 2, ny + 2))
+  allocate(r(nx + 2, ny + 2), p(nx + 2, ny + 2), w(nx + 2, ny + 2))
+  do j = 1, ny + 2
+    do i = 1, nx + 2
+      u0(i, j) = 0.0
+      u(i, j) = 0.0
+      r(i, j) = 0.0
+      p(i, j) = 0.0
+      w(i, j) = 0.0
+    end do
+  end do
+  do j = 2, ny + 1
+    do i = 2, nx + 1
+      u0(i, j) = 1.0
+      if (i > 5 .and. i < 11 .and. j > 5 .and. j < 11) then
+        u0(i, j) = 10.0
+      end if
+      u(i, j) = u0(i, j)
+    end do
+  end do
+  do j = 2, ny + 1
+    do i = 2, nx + 1
+      w(i, j) = (1.0 + 4.0 * kappa) * u(i, j) &
+              - kappa * (u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1))
+      r(i, j) = u0(i, j) - w(i, j)
+      p(i, j) = r(i, j)
+    end do
+  end do
+  rro = 0.0
+  do j = 2, ny + 1
+    do i = 2, nx + 1
+      rro = rro + r(i, j) * r(i, j)
+    end do
+  end do
+  rro_initial = rro
+  do iter = 1, iters
+    do j = 2, ny + 1
+      do i = 2, nx + 1
+        w(i, j) = (1.0 + 4.0 * kappa) * p(i, j) &
+                - kappa * (p(i - 1, j) + p(i + 1, j) + p(i, j - 1) + p(i, j + 1))
+      end do
+    end do
+    pw = 0.0
+    do j = 2, ny + 1
+      do i = 2, nx + 1
+        pw = pw + p(i, j) * w(i, j)
+      end do
+    end do
+    alpha = rro / pw
+    do j = 2, ny + 1
+      do i = 2, nx + 1
+        u(i, j) = u(i, j) + alpha * p(i, j)
+        r(i, j) = r(i, j) - alpha * w(i, j)
+      end do
+    end do
+    rrn = 0.0
+    do j = 2, ny + 1
+      do i = 2, nx + 1
+        rrn = rrn + r(i, j) * r(i, j)
+      end do
+    end do
+    beta = rrn / rro
+    do j = 2, ny + 1
+      do i = 2, nx + 1
+        p(i, j) = r(i, j) + beta * p(i, j)
+      end do
+    end do
+    rro = rrn
+  end do
+  failures = 0
+  if (rro > rro_initial * 1.0e-8) then
+    failures = 1
+  end if
+  print *, rro, failures
+  deallocate(u, u0, r, p, w)
+end program tea

@@ -1,0 +1,140 @@
+// TeaLeaf CG — HIP model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <hip/hip_runtime.h>
+#include "tea_common.h"
+
+const int TBSIZE = 36;
+
+__global__ void init_kernel(double* u, double* u0) {
+  int c = threadIdx.x + blockIdx.x * blockDim.x;
+  if (c < NCELLS) {
+    int i = c % DIM;
+    int j = c / DIM;
+    u0[c] = 0.0;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      double v = 1.0;
+      if (i > 4 && i < 10 && j > 4 && j < 10) {
+        v = 10.0;
+      }
+      u0[c] = v;
+    }
+    u[c] = u0[c];
+  }
+}
+
+__global__ void matvec_kernel(double* w, const double* p) {
+  int c = threadIdx.x + blockIdx.x * blockDim.x;
+  if (c < NCELLS) {
+    int i = c % DIM;
+    int j = c / DIM;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      w[c] = (1.0 + 4.0 * KAPPA) * p[c]
+           - KAPPA * (p[c - 1] + p[c + 1] + p[c - DIM] + p[c + DIM]);
+    }
+  }
+}
+
+__global__ void residual_kernel(double* r, double* p, const double* u0, const double* w) {
+  int c = threadIdx.x + blockIdx.x * blockDim.x;
+  if (c < NCELLS) {
+    int i = c % DIM;
+    int j = c / DIM;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      r[c] = u0[c] - w[c];
+      p[c] = r[c];
+    }
+  }
+}
+
+__global__ void dot_kernel(const double* x, const double* y, double* partial) {
+  int c = threadIdx.x + blockIdx.x * blockDim.x;
+  if (c < NCELLS) {
+    int i = c % DIM;
+    int j = c / DIM;
+    partial[c] = 0.0;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      partial[c] = x[c] * y[c];
+    }
+  }
+}
+
+__global__ void axpy_kernel(double* y, double alpha, const double* x) {
+  int c = threadIdx.x + blockIdx.x * blockDim.x;
+  if (c < NCELLS) {
+    int i = c % DIM;
+    int j = c / DIM;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      y[c] = y[c] + alpha * x[c];
+    }
+  }
+}
+
+__global__ void xpby_kernel(double* p, const double* r, double beta) {
+  int c = threadIdx.x + blockIdx.x * blockDim.x;
+  if (c < NCELLS) {
+    int i = c % DIM;
+    int j = c / DIM;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      p[c] = r[c] + beta * p[c];
+    }
+  }
+}
+
+double device_dot(const double* d_x, const double* d_y, double* d_partial, double* h_partial, int blocks) {
+  dot_kernel<<<blocks, TBSIZE>>>(d_x, d_y, d_partial);
+  hipDeviceSynchronize();
+  hipMemcpy(h_partial, d_partial, NCELLS * sizeof(double), hipMemcpyDeviceToHost);
+  double sum = 0.0;
+  for (int c = 0; c < NCELLS; c++) {
+    sum += h_partial[c];
+  }
+  return sum;
+}
+
+int main() {
+  int device_count = 0;
+  hipGetDeviceCount(&device_count);
+  hipSetDevice(0);
+  int blocks = NCELLS / TBSIZE + 1;
+  double* d_u;
+  double* d_u0;
+  double* d_r;
+  double* d_p;
+  double* d_w;
+  double* d_partial;
+  hipMalloc((void**)&d_u, NCELLS * sizeof(double));
+  hipMalloc((void**)&d_u0, NCELLS * sizeof(double));
+  hipMalloc((void**)&d_r, NCELLS * sizeof(double));
+  hipMalloc((void**)&d_p, NCELLS * sizeof(double));
+  hipMalloc((void**)&d_w, NCELLS * sizeof(double));
+  hipMalloc((void**)&d_partial, NCELLS * sizeof(double));
+  double* h_partial = (double*)malloc(NCELLS * sizeof(double));
+  HIP_KERNEL_NAME(init_kernel)<<<blocks, TBSIZE>>>(d_u, d_u0);
+  matvec_kernel<<<blocks, TBSIZE>>>(d_w, d_u);
+  residual_kernel<<<blocks, TBSIZE>>>(d_r, d_p, d_u0, d_w);
+  hipDeviceSynchronize();
+  double rro = device_dot(d_r, d_r, d_partial, h_partial, blocks);
+  double rro_initial = rro;
+  for (int iter = 0; iter < MAX_ITERS; iter++) {
+    matvec_kernel<<<blocks, TBSIZE>>>(d_w, d_p);
+    double pw = device_dot(d_p, d_w, d_partial, h_partial, blocks);
+    double alpha = rro / pw;
+    axpy_kernel<<<blocks, TBSIZE>>>(d_u, alpha, d_p);
+    axpy_kernel<<<blocks, TBSIZE>>>(d_r, -alpha, d_w);
+    double rrn = device_dot(d_r, d_r, d_partial, h_partial, blocks);
+    double beta = rrn / rro;
+    xpby_kernel<<<blocks, TBSIZE>>>(d_p, d_r, beta);
+    rro = rrn;
+  }
+  int failures = tea_check(rro_initial, rro);
+  printf("TeaLeaf hip: rro=%.8e failures=%d\n", rro, failures);
+  hipFree(d_u);
+  hipFree(d_u0);
+  hipFree(d_r);
+  hipFree(d_p);
+  hipFree(d_w);
+  hipFree(d_partial);
+  return failures;
+}

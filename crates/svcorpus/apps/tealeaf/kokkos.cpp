@@ -1,0 +1,97 @@
+// TeaLeaf CG — Kokkos model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <Kokkos_Core.hpp>
+#include "tea_common.h"
+
+int main() {
+  Kokkos::initialize();
+  Kokkos::View<double> u("u", NCELLS);
+  Kokkos::View<double> u0("u0", NCELLS);
+  Kokkos::View<double> r("r", NCELLS);
+  Kokkos::View<double> p("p", NCELLS);
+  Kokkos::View<double> w("w", NCELLS);
+  Kokkos::parallel_for(NCELLS, KOKKOS_LAMBDA(int c) {
+    int i = c % DIM;
+    int j = c / DIM;
+    u0(c) = 0.0;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      double v = 1.0;
+      if (i > 4 && i < 10 && j > 4 && j < 10) {
+        v = 10.0;
+      }
+      u0(c) = v;
+    }
+    u(c) = u0(c);
+  });
+  Kokkos::parallel_for(NCELLS, KOKKOS_LAMBDA(int c) {
+    int i = c % DIM;
+    int j = c / DIM;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      w(c) = (1.0 + 4.0 * KAPPA) * u(c)
+           - KAPPA * (u(c - 1) + u(c + 1) + u(c - DIM) + u(c + DIM));
+      r(c) = u0(c) - w(c);
+      p(c) = r(c);
+    }
+  });
+  Kokkos::fence();
+  double rro = 0.0;
+  Kokkos::parallel_reduce(NCELLS, KOKKOS_LAMBDA(int c, double& acc) {
+    int i = c % DIM;
+    int j = c / DIM;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      acc += r(c) * r(c);
+    }
+  }, rro);
+  double rro_initial = rro;
+  for (int iter = 0; iter < MAX_ITERS; iter++) {
+    Kokkos::parallel_for(NCELLS, KOKKOS_LAMBDA(int c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        w(c) = (1.0 + 4.0 * KAPPA) * p(c)
+             - KAPPA * (p(c - 1) + p(c + 1) + p(c - DIM) + p(c + DIM));
+      }
+    });
+    double pw = 0.0;
+    Kokkos::parallel_reduce(NCELLS, KOKKOS_LAMBDA(int c, double& acc) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        acc += p(c) * w(c);
+      }
+    }, pw);
+    double alpha = rro / pw;
+    Kokkos::parallel_for(NCELLS, KOKKOS_LAMBDA(int c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        u(c) = u(c) + alpha * p(c);
+        r(c) = r(c) - alpha * w(c);
+      }
+    });
+    double rrn = 0.0;
+    Kokkos::parallel_reduce(NCELLS, KOKKOS_LAMBDA(int c, double& acc) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        acc += r(c) * r(c);
+      }
+    }, rrn);
+    double beta = rrn / rro;
+    Kokkos::parallel_for(NCELLS, KOKKOS_LAMBDA(int c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        p(c) = r(c) + beta * p(c);
+      }
+    });
+    Kokkos::fence();
+    rro = rrn;
+  }
+  int failures = tea_check(rro_initial, rro);
+  printf("TeaLeaf kokkos: rro=%.8e failures=%d\n", rro, failures);
+  Kokkos::finalize();
+  return failures;
+}

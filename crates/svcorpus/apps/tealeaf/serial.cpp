@@ -1,0 +1,95 @@
+// TeaLeaf CG — serial baseline model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include "tea_common.h"
+
+void init_fields(double* u, double* u0) {
+  for (int j = 0; j < DIM; j++) {
+    for (int i = 0; i < DIM; i++) {
+      int c = j * DIM + i;
+      u0[c] = 0.0;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        u0[c] = tea_initial(i, j);
+      }
+      u[c] = u0[c];
+    }
+  }
+}
+
+void matvec(double* w, const double* p) {
+  for (int j = 1; j <= NY; j++) {
+    for (int i = 1; i <= NX; i++) {
+      int c = j * DIM + i;
+      w[c] = (1.0 + 4.0 * KAPPA) * p[c]
+           - KAPPA * (p[c - 1] + p[c + 1] + p[c - DIM] + p[c + DIM]);
+    }
+  }
+}
+
+double dot(const double* x, const double* y) {
+  double sum = 0.0;
+  for (int j = 1; j <= NY; j++) {
+    for (int i = 1; i <= NX; i++) {
+      int c = j * DIM + i;
+      sum += x[c] * y[c];
+    }
+  }
+  return sum;
+}
+
+void axpy(double* y, double alpha, const double* x) {
+  for (int j = 1; j <= NY; j++) {
+    for (int i = 1; i <= NX; i++) {
+      int c = j * DIM + i;
+      y[c] = y[c] + alpha * x[c];
+    }
+  }
+}
+
+void xpby(double* p, const double* r, double beta) {
+  for (int j = 1; j <= NY; j++) {
+    for (int i = 1; i <= NX; i++) {
+      int c = j * DIM + i;
+      p[c] = r[c] + beta * p[c];
+    }
+  }
+}
+
+int main() {
+  double* u = (double*)malloc(NCELLS * sizeof(double));
+  double* u0 = (double*)malloc(NCELLS * sizeof(double));
+  double* r = (double*)malloc(NCELLS * sizeof(double));
+  double* p = (double*)malloc(NCELLS * sizeof(double));
+  double* w = (double*)malloc(NCELLS * sizeof(double));
+  init_fields(u, u0);
+  matvec(w, u);
+  for (int j = 1; j <= NY; j++) {
+    for (int i = 1; i <= NX; i++) {
+      int c = j * DIM + i;
+      r[c] = u0[c] - w[c];
+      p[c] = r[c];
+    }
+  }
+  double rro = dot(r, r);
+  double rro_initial = rro;
+  for (int iter = 0; iter < MAX_ITERS; iter++) {
+    matvec(w, p);
+    double pw = dot(p, w);
+    double alpha = rro / pw;
+    axpy(u, alpha, p);
+    axpy(r, -alpha, w);
+    double rrn = dot(r, r);
+    double beta = rrn / rro;
+    xpby(p, r, beta);
+    rro = rrn;
+  }
+  int failures = tea_check(rro_initial, rro);
+  printf("TeaLeaf serial: rro=%.8e failures=%d\n", rro, failures);
+  free(u);
+  free(u0);
+  free(r);
+  free(p);
+  free(w);
+  return failures;
+}

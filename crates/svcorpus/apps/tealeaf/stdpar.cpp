@@ -1,0 +1,103 @@
+// TeaLeaf CG — ISO C++17 parallel algorithms (StdPar) model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <algorithm>
+#include <numeric>
+#include <execution>
+#include "tea_common.h"
+
+int main() {
+  double* u = (double*)malloc(NCELLS * sizeof(double));
+  double* u0 = (double*)malloc(NCELLS * sizeof(double));
+  double* r = (double*)malloc(NCELLS * sizeof(double));
+  double* p = (double*)malloc(NCELLS * sizeof(double));
+  double* w = (double*)malloc(NCELLS * sizeof(double));
+  std::for_each_n(std::execution::par_unseq, 0, NCELLS, [=](int c) {
+    int i = c % DIM;
+    int j = c / DIM;
+    u0[c] = 0.0;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      double v = 1.0;
+      if (i > 4 && i < 10 && j > 4 && j < 10) {
+        v = 10.0;
+      }
+      u0[c] = v;
+    }
+    u[c] = u0[c];
+  });
+  std::for_each_n(std::execution::par_unseq, 0, NCELLS, [=](int c) {
+    int i = c % DIM;
+    int j = c / DIM;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      w[c] = (1.0 + 4.0 * KAPPA) * u[c]
+           - KAPPA * (u[c - 1] + u[c + 1] + u[c - DIM] + u[c + DIM]);
+      r[c] = u0[c] - w[c];
+      p[c] = r[c];
+    }
+  });
+  double rro = std::transform_reduce(std::execution::par_unseq, 0, NCELLS, 0.0, std::plus<double>(), [=](int c) {
+    int i = c % DIM;
+    int j = c / DIM;
+    double v = 0.0;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      v = r[c] * r[c];
+    }
+    return v;
+  });
+  double rro_initial = rro;
+  for (int iter = 0; iter < MAX_ITERS; iter++) {
+    std::for_each_n(std::execution::par_unseq, 0, NCELLS, [=](int c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        w[c] = (1.0 + 4.0 * KAPPA) * p[c]
+             - KAPPA * (p[c - 1] + p[c + 1] + p[c - DIM] + p[c + DIM]);
+      }
+    });
+    double pw = std::transform_reduce(std::execution::par_unseq, 0, NCELLS, 0.0, std::plus<double>(), [=](int c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      double v = 0.0;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        v = p[c] * w[c];
+      }
+      return v;
+    });
+    double alpha = rro / pw;
+    std::for_each_n(std::execution::par_unseq, 0, NCELLS, [=](int c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        u[c] = u[c] + alpha * p[c];
+        r[c] = r[c] - alpha * w[c];
+      }
+    });
+    double rrn = std::transform_reduce(std::execution::par_unseq, 0, NCELLS, 0.0, std::plus<double>(), [=](int c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      double v = 0.0;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        v = r[c] * r[c];
+      }
+      return v;
+    });
+    double beta = rrn / rro;
+    std::for_each_n(std::execution::par_unseq, 0, NCELLS, [=](int c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        p[c] = r[c] + beta * p[c];
+      }
+    });
+    rro = rrn;
+  }
+  int failures = tea_check(rro_initial, rro);
+  printf("TeaLeaf stdpar: rro=%.8e failures=%d\n", rro, failures);
+  free(u);
+  free(u0);
+  free(r);
+  free(p);
+  free(w);
+  return failures;
+}

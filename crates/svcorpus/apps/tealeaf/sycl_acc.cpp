@@ -1,0 +1,149 @@
+// TeaLeaf CG — SYCL buffer/accessor variant.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <sycl/sycl.hpp>
+#include "tea_common.h"
+
+int main() {
+  double* h_u = (double*)malloc(NCELLS * sizeof(double));
+  double* h_u0 = (double*)malloc(NCELLS * sizeof(double));
+  double* h_r = (double*)malloc(NCELLS * sizeof(double));
+  double* h_p = (double*)malloc(NCELLS * sizeof(double));
+  double* h_w = (double*)malloc(NCELLS * sizeof(double));
+  double* h_partial = (double*)malloc(NCELLS * sizeof(double));
+  sycl::queue q(sycl::default_selector_v);
+  sycl::buffer<double, 1> buf_u(h_u, NCELLS);
+  sycl::buffer<double, 1> buf_u0(h_u0, NCELLS);
+  sycl::buffer<double, 1> buf_r(h_r, NCELLS);
+  sycl::buffer<double, 1> buf_p(h_p, NCELLS);
+  sycl::buffer<double, 1> buf_w(h_w, NCELLS);
+  sycl::buffer<double, 1> buf_partial(h_partial, NCELLS);
+  q.submit([&](sycl::handler& cgh) {
+    sycl::accessor u(buf_u, cgh);
+    sycl::accessor u0(buf_u0, cgh);
+    cgh.parallel_for(sycl::range<1>(NCELLS), [=](sycl::id<1> c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      u0[c] = 0.0;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        double v = 1.0;
+        if (i > 4 && i < 10 && j > 4 && j < 10) {
+          v = 10.0;
+        }
+        u0[c] = v;
+      }
+      u[c] = u0[c];
+    });
+  });
+  q.submit([&](sycl::handler& cgh) {
+    sycl::accessor u(buf_u, cgh);
+    sycl::accessor u0(buf_u0, cgh);
+    sycl::accessor r(buf_r, cgh);
+    sycl::accessor p(buf_p, cgh);
+    sycl::accessor w(buf_w, cgh);
+    cgh.parallel_for(sycl::range<1>(NCELLS), [=](sycl::id<1> c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        w[c] = (1.0 + 4.0 * KAPPA) * u[c]
+             - KAPPA * (u[c - 1] + u[c + 1] + u[c - DIM] + u[c + DIM]);
+        r[c] = u0[c] - w[c];
+        p[c] = r[c];
+      }
+    });
+  });
+  q.wait();
+  double rro = 0.0;
+  for (int c = 0; c < NCELLS; c++) {
+    rro += h_r[c] * h_r[c];
+  }
+  double rro_initial = rro;
+  for (int iter = 0; iter < MAX_ITERS; iter++) {
+    q.submit([&](sycl::handler& cgh) {
+      sycl::accessor p(buf_p, cgh);
+      sycl::accessor w(buf_w, cgh);
+      cgh.parallel_for(sycl::range<1>(NCELLS), [=](sycl::id<1> c) {
+        int i = c % DIM;
+        int j = c / DIM;
+        if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+          w[c] = (1.0 + 4.0 * KAPPA) * p[c]
+               - KAPPA * (p[c - 1] + p[c + 1] + p[c - DIM] + p[c + DIM]);
+        }
+      });
+    });
+    q.submit([&](sycl::handler& cgh) {
+      sycl::accessor p(buf_p, cgh);
+      sycl::accessor w(buf_w, cgh);
+      sycl::accessor partial(buf_partial, cgh);
+      cgh.parallel_for(sycl::range<1>(NCELLS), [=](sycl::id<1> c) {
+        int i = c % DIM;
+        int j = c / DIM;
+        partial[c] = 0.0;
+        if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+          partial[c] = p[c] * w[c];
+        }
+      });
+    });
+    q.wait();
+    double pw = 0.0;
+    for (int c = 0; c < NCELLS; c++) {
+      pw += h_partial[c];
+    }
+    double alpha = rro / pw;
+    q.submit([&](sycl::handler& cgh) {
+      sycl::accessor u(buf_u, cgh);
+      sycl::accessor r(buf_r, cgh);
+      sycl::accessor p(buf_p, cgh);
+      sycl::accessor w(buf_w, cgh);
+      cgh.parallel_for(sycl::range<1>(NCELLS), [=](sycl::id<1> c) {
+        int i = c % DIM;
+        int j = c / DIM;
+        if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+          u[c] = u[c] + alpha * p[c];
+          r[c] = r[c] - alpha * w[c];
+        }
+      });
+    });
+    q.submit([&](sycl::handler& cgh) {
+      sycl::accessor r(buf_r, cgh);
+      sycl::accessor partial(buf_partial, cgh);
+      cgh.parallel_for(sycl::range<1>(NCELLS), [=](sycl::id<1> c) {
+        int i = c % DIM;
+        int j = c / DIM;
+        partial[c] = 0.0;
+        if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+          partial[c] = r[c] * r[c];
+        }
+      });
+    });
+    q.wait();
+    double rrn = 0.0;
+    for (int c = 0; c < NCELLS; c++) {
+      rrn += h_partial[c];
+    }
+    double beta = rrn / rro;
+    q.submit([&](sycl::handler& cgh) {
+      sycl::accessor r(buf_r, cgh);
+      sycl::accessor p(buf_p, cgh);
+      cgh.parallel_for(sycl::range<1>(NCELLS), [=](sycl::id<1> c) {
+        int i = c % DIM;
+        int j = c / DIM;
+        if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+          p[c] = r[c] + beta * p[c];
+        }
+      });
+    });
+    q.wait();
+    rro = rrn;
+  }
+  int failures = tea_check(rro_initial, rro);
+  printf("TeaLeaf sycl-acc: rro=%.8e failures=%d\n", rro, failures);
+  free(h_u);
+  free(h_u0);
+  free(h_r);
+  free(h_p);
+  free(h_w);
+  free(h_partial);
+  return failures;
+}

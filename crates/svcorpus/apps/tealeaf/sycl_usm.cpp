@@ -1,0 +1,112 @@
+// TeaLeaf CG — SYCL 2020 USM variant.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <sycl/sycl.hpp>
+#include "tea_common.h"
+
+int main() {
+  sycl::queue q(sycl::default_selector_v);
+  double* u = sycl::malloc_shared<double>(NCELLS, q);
+  double* u0 = sycl::malloc_shared<double>(NCELLS, q);
+  double* r = sycl::malloc_shared<double>(NCELLS, q);
+  double* p = sycl::malloc_shared<double>(NCELLS, q);
+  double* w = sycl::malloc_shared<double>(NCELLS, q);
+  double* partial = sycl::malloc_shared<double>(NCELLS, q);
+  q.parallel_for(sycl::range<1>(NCELLS), [=](sycl::id<1> c) {
+    int i = c % DIM;
+    int j = c / DIM;
+    u0[c] = 0.0;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      double v = 1.0;
+      if (i > 4 && i < 10 && j > 4 && j < 10) {
+        v = 10.0;
+      }
+      u0[c] = v;
+    }
+    u[c] = u0[c];
+  });
+  q.wait();
+  q.parallel_for(sycl::range<1>(NCELLS), [=](sycl::id<1> c) {
+    int i = c % DIM;
+    int j = c / DIM;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      w[c] = (1.0 + 4.0 * KAPPA) * u[c]
+           - KAPPA * (u[c - 1] + u[c + 1] + u[c - DIM] + u[c + DIM]);
+      r[c] = u0[c] - w[c];
+      p[c] = r[c];
+    }
+  });
+  q.wait();
+  double rro = 0.0;
+  for (int c = 0; c < NCELLS; c++) {
+    rro += r[c] * r[c];
+  }
+  double rro_initial = rro;
+  for (int iter = 0; iter < MAX_ITERS; iter++) {
+    q.parallel_for(sycl::range<1>(NCELLS), [=](sycl::id<1> c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        w[c] = (1.0 + 4.0 * KAPPA) * p[c]
+             - KAPPA * (p[c - 1] + p[c + 1] + p[c - DIM] + p[c + DIM]);
+      }
+    });
+    q.wait();
+    q.parallel_for(sycl::range<1>(NCELLS), [=](sycl::id<1> c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      partial[c] = 0.0;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        partial[c] = p[c] * w[c];
+      }
+    });
+    q.wait();
+    double pw = 0.0;
+    for (int c = 0; c < NCELLS; c++) {
+      pw += partial[c];
+    }
+    double alpha = rro / pw;
+    q.parallel_for(sycl::range<1>(NCELLS), [=](sycl::id<1> c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        u[c] = u[c] + alpha * p[c];
+        r[c] = r[c] - alpha * w[c];
+      }
+    });
+    q.wait();
+    q.parallel_for(sycl::range<1>(NCELLS), [=](sycl::id<1> c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      partial[c] = 0.0;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        partial[c] = r[c] * r[c];
+      }
+    });
+    q.wait();
+    double rrn = 0.0;
+    for (int c = 0; c < NCELLS; c++) {
+      rrn += partial[c];
+    }
+    double beta = rrn / rro;
+    q.parallel_for(sycl::range<1>(NCELLS), [=](sycl::id<1> c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        p[c] = r[c] + beta * p[c];
+      }
+    });
+    q.wait();
+    rro = rrn;
+  }
+  int failures = tea_check(rro_initial, rro);
+  printf("TeaLeaf sycl-usm: rro=%.8e failures=%d\n", rro, failures);
+  sycl::free(u, q);
+  sycl::free(u0, q);
+  sycl::free(r, q);
+  sycl::free(p, q);
+  sycl::free(w, q);
+  sycl::free(partial, q);
+  return failures;
+}

@@ -1,0 +1,98 @@
+// TeaLeaf CG — oneTBB functional model.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <tbb/tbb.h>
+#include "tea_common.h"
+
+int main() {
+  double* u = (double*)malloc(NCELLS * sizeof(double));
+  double* u0 = (double*)malloc(NCELLS * sizeof(double));
+  double* r = (double*)malloc(NCELLS * sizeof(double));
+  double* p = (double*)malloc(NCELLS * sizeof(double));
+  double* w = (double*)malloc(NCELLS * sizeof(double));
+  tbb::parallel_for(0, NCELLS, [=](int c) {
+    int i = c % DIM;
+    int j = c / DIM;
+    u0[c] = 0.0;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      double v = 1.0;
+      if (i > 4 && i < 10 && j > 4 && j < 10) {
+        v = 10.0;
+      }
+      u0[c] = v;
+    }
+    u[c] = u0[c];
+  });
+  tbb::parallel_for(0, NCELLS, [=](int c) {
+    int i = c % DIM;
+    int j = c / DIM;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      w[c] = (1.0 + 4.0 * KAPPA) * u[c]
+           - KAPPA * (u[c - 1] + u[c + 1] + u[c - DIM] + u[c + DIM]);
+      r[c] = u0[c] - w[c];
+      p[c] = r[c];
+    }
+  });
+  double rro = tbb::parallel_reduce(0, NCELLS, 0.0, [=](int c, double acc) {
+    int i = c % DIM;
+    int j = c / DIM;
+    if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+      acc = acc + r[c] * r[c];
+    }
+    return acc;
+  });
+  double rro_initial = rro;
+  for (int iter = 0; iter < MAX_ITERS; iter++) {
+    tbb::parallel_for(0, NCELLS, [=](int c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        w[c] = (1.0 + 4.0 * KAPPA) * p[c]
+             - KAPPA * (p[c - 1] + p[c + 1] + p[c - DIM] + p[c + DIM]);
+      }
+    });
+    double pw = tbb::parallel_reduce(0, NCELLS, 0.0, [=](int c, double acc) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        acc = acc + p[c] * w[c];
+      }
+      return acc;
+    });
+    double alpha = rro / pw;
+    tbb::parallel_for(0, NCELLS, [=](int c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        u[c] = u[c] + alpha * p[c];
+        r[c] = r[c] - alpha * w[c];
+      }
+    });
+    double rrn = tbb::parallel_reduce(0, NCELLS, 0.0, [=](int c, double acc) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        acc = acc + r[c] * r[c];
+      }
+      return acc;
+    });
+    double beta = rrn / rro;
+    tbb::parallel_for(0, NCELLS, [=](int c) {
+      int i = c % DIM;
+      int j = c / DIM;
+      if (i >= 1 && i <= NX && j >= 1 && j <= NY) {
+        p[c] = r[c] + beta * p[c];
+      }
+    });
+    rro = rrn;
+  }
+  int failures = tea_check(rro_initial, rro);
+  printf("TeaLeaf tbb: rro=%.8e failures=%d\n", rro, failures);
+  free(u);
+  free(u0);
+  free(r);
+  free(p);
+  free(w);
+  return failures;
+}

@@ -1,0 +1,29 @@
+#pragma once
+// Shared problem definition for all TeaLeaf models: a conjugate-gradient
+// solve of the implicit heat equation (I + k*L) u = u0 on an NX x NY grid
+// with a one-cell halo, matching the structure of the Mantevo TeaLeaf
+// CG solver.
+const int NX = 16;
+const int NY = 16;
+const int DIM = 18;
+const int NCELLS = 324;
+const int MAX_ITERS = 30;
+const double KAPPA = 0.1;
+
+// Deterministic initial condition with a hot region.
+double tea_initial(int i, int j) {
+  double v = 1.0;
+  if (i > 4 && i < 10 && j > 4 && j < 10) {
+    v = 10.0;
+  }
+  return v;
+}
+
+// Built-in verification: the residual norm must fall by eight orders of
+// magnitude (the BM-deck convergence criterion scaled to this grid).
+int tea_check(double rro_initial, double rro_final) {
+  if (rro_final < rro_initial * 1.0e-8) {
+    return 0;
+  }
+  return 1;
+}

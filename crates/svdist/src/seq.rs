@@ -1,0 +1,257 @@
+//! Sequence distances for the `Source` metric family.
+//!
+//! The paper's `Source` metric compares unit pairs textually using "the
+//! well-established string sequence distance algorithm proposed by Wu et
+//! al." — the `O(NP)` variant of Myers' diff algorithm, which computes the
+//! insert/delete-only edit distance (the quantity `diff` minimises).  This
+//! module provides:
+//!
+//! * [`edit_distance_onp`] — Wu–Manber–Myers `O(NP)` distance,
+//! * [`lcs_len`] — longest common subsequence length (used to cross-check
+//!   the identity `D = N + M − 2·LCS` and to express Eq. 4 directly),
+//! * [`levenshtein`] — classic distance with substitutions, for comparison,
+//! * [`jaccard_divergence`] — the set-based code divergence of Pennycook et
+//!   al. that inspired the paper.
+//!
+//! All functions are generic over element type so they work on byte slices,
+//! line slices, and token streams alike.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Length of the longest common subsequence of `a` and `b`.
+///
+/// Classic `O(n·m)` dynamic program with a rolling row, `O(min(n,m))`
+/// memory.  For the normalised source lines the metric layer feeds in, this
+/// is fast enough and trivially correct — the O(NP) path is the optimised
+/// route and is validated against this one.
+pub fn lcs_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; short.len() + 1];
+    let mut cur = vec![0usize; short.len() + 1];
+    for x in long {
+        for (j, y) in short.iter().enumerate() {
+            cur[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Insert/delete-only edit distance via the Wu–Manber–Myers `O(NP)`
+/// algorithm ("An O(NP) Sequence Comparison Algorithm", IPL 1990).
+///
+/// This is the distance `diff` computes: substitutions are not allowed, so
+/// `D = N + M − 2·LCS(a, b)`.  `P` is the number of deletions in the shorter
+/// sequence's direction, which for similar inputs (the common case when
+/// diffing two ports of the same codebase) is tiny, giving near-linear time.
+pub fn edit_distance_onp<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    // The algorithm requires |a| <= |b|; distance is symmetric.
+    let (a, b) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let n = a.len();
+    let m = b.len();
+    if n == 0 {
+        return m;
+    }
+    let delta = m - n;
+    // fp is indexed by diagonal k in [-(n+1), m+1]; offset by n+1.
+    let offset = n + 1;
+    let size = n + m + 3;
+    let mut fp = vec![-1isize; size];
+
+    // Furthest-reaching snake on diagonal k starting at y.
+    let snake = |k: isize, y: isize| -> isize {
+        let mut x = y - k;
+        let mut y = y;
+        while (x as usize) < n && (y as usize) < m && a[x as usize] == b[y as usize] {
+            x += 1;
+            y += 1;
+        }
+        y
+    };
+
+    let mut p: isize = -1;
+    loop {
+        p += 1;
+        // Diagonals below delta.
+        let mut k = -p;
+        while k < delta as isize {
+            let idx = (k + offset as isize) as usize;
+            let y = std::cmp::max(fp[idx - 1] + 1, fp[idx + 1]);
+            fp[idx] = snake(k, y);
+            k += 1;
+        }
+        // Diagonals above delta.
+        let mut k = delta as isize + p;
+        while k > delta as isize {
+            let idx = (k + offset as isize) as usize;
+            let y = std::cmp::max(fp[idx - 1] + 1, fp[idx + 1]);
+            fp[idx] = snake(k, y);
+            k -= 1;
+        }
+        // The delta diagonal itself.
+        let idx = delta + offset;
+        let y = std::cmp::max(fp[idx - 1] + 1, fp[idx + 1]);
+        fp[idx] = snake(delta as isize, y);
+
+        if fp[idx] >= m as isize {
+            return delta + 2 * p as usize;
+        }
+    }
+}
+
+/// Classic Levenshtein distance (insert, delete, substitute — all cost 1),
+/// rolling-row dynamic program.
+pub fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, x) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, y) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(x != y);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Jaccard divergence of two element sets: `1 − |A ∩ B| / |A ∪ B|`.
+///
+/// This is the building block of Pennycook et al.'s code divergence metric
+/// (regions that differ textually after preprocessing), which the paper
+/// cites as the prior state of the art its tree metric improves on.
+/// Both sets empty ⇒ divergence 0 (identical empty codebases).
+pub fn jaccard_divergence<T: Eq + Hash>(
+    a: impl IntoIterator<Item = T>,
+    b: impl IntoIterator<Item = T>,
+) -> f64 {
+    let sa: HashSet<T> = a.into_iter().collect();
+    let sb: HashSet<T> = b.into_iter().collect();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    1.0 - inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcs_basics() {
+        assert_eq!(lcs_len(b"abcde", b"ace"), 3);
+        assert_eq!(lcs_len(b"", b"abc"), 0);
+        assert_eq!(lcs_len(b"abc", b""), 0);
+        assert_eq!(lcs_len(b"abc", b"abc"), 3);
+        assert_eq!(lcs_len(b"abc", b"xyz"), 0);
+        assert_eq!(lcs_len(b"xmjyauz", b"mzjawxu"), 4); // "mjau"
+    }
+
+    #[test]
+    fn lcs_on_lines() {
+        let a = ["for (int i = 0;", "a[i] = b[i];", "}"];
+        let b = ["for (int i = 0;", "a[i] = b[i] + c[i];", "}"];
+        assert_eq!(lcs_len(&a, &b), 2);
+    }
+
+    #[test]
+    fn onp_matches_lcs_identity() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"abc", b"abc"),
+            (b"abc", b""),
+            (b"", b""),
+            (b"kitten", b"sitting"),
+            (b"abcdefg", b"bdfg"),
+            (b"aaaa", b"bbbb"),
+            (b"abcabba", b"cbabac"),
+        ];
+        for (a, b) in cases {
+            let lcs = lcs_len(a, b);
+            let expect = a.len() + b.len() - 2 * lcs;
+            assert_eq!(edit_distance_onp(a, b), expect, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn onp_symmetry() {
+        let a = b"the quick brown fox";
+        let b = b"the slow brown dog";
+        assert_eq!(edit_distance_onp(a, b), edit_distance_onp(b, a));
+    }
+
+    #[test]
+    fn onp_identical_is_zero() {
+        let a: Vec<u32> = (0..1000).collect();
+        assert_eq!(edit_distance_onp(&a, &a), 0);
+    }
+
+    #[test]
+    fn onp_disjoint_is_sum() {
+        let a = [1, 2, 3];
+        let b = [4, 5, 6, 7];
+        assert_eq!(edit_distance_onp(&a, &b), 7);
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein(b"kitten", b"sitting"), 3);
+        assert_eq!(levenshtein(b"", b"abc"), 3);
+        assert_eq!(levenshtein(b"abc", b""), 3);
+        assert_eq!(levenshtein(b"abc", b"abc"), 0);
+        assert_eq!(levenshtein(b"flaw", b"lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_never_exceeds_onp() {
+        // Substitution merges a delete+insert, so lev <= onp <= 2*lev.
+        let cases: &[(&[u8], &[u8])] =
+            &[(b"kitten", b"sitting"), (b"abc", b"xyz"), (b"parallel_for", b"std::for_each")];
+        for (a, b) in cases {
+            let l = levenshtein(a, b);
+            let o = edit_distance_onp(a, b);
+            assert!(l <= o && o <= 2 * l, "{a:?} {b:?}: lev={l} onp={o}");
+        }
+    }
+
+    #[test]
+    fn jaccard_edges() {
+        assert_eq!(jaccard_divergence::<u8>([], []), 0.0);
+        assert_eq!(jaccard_divergence([1, 2, 3], [1, 2, 3]), 0.0);
+        assert_eq!(jaccard_divergence([1, 2], [3, 4]), 1.0);
+        let d = jaccard_divergence([1, 2, 3, 4], [3, 4, 5, 6]);
+        assert!((d - (1.0 - 2.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_ignores_duplicates() {
+        assert_eq!(jaccard_divergence([1, 1, 1, 2], [1, 2, 2]), 0.0);
+    }
+
+    #[test]
+    fn long_similar_sequences_are_fast() {
+        // O(NP): two 50k-element sequences differing in 10 places.
+        let a: Vec<u32> = (0..50_000).collect();
+        let mut b = a.clone();
+        for i in (0..10).map(|k| k * 4999) {
+            b[i] = 1_000_000 + i as u32;
+        }
+        // Each mismatch at distinct positions = 1 delete + 1 insert.
+        assert_eq!(edit_distance_onp(&a, &b), 20);
+    }
+}

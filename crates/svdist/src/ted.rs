@@ -1,0 +1,708 @@
+//! Tree Edit Distance.
+//!
+//! TED between two ordered labelled trees is the minimum total cost of node
+//! operations — delete, insert, relabel — that transforms one into the other
+//! (Zhang & Shasha 1989; survey: Bille 2005).  The paper uses unit costs for
+//! all operations and strips programmer-chosen names beforehand so that
+//! relabelling only fires on genuinely different token types.
+//!
+//! Three implementations live here:
+//!
+//! * [`Strategy::Left`] — textbook Zhang–Shasha over left-path (LR-keyroot)
+//!   decomposition,
+//! * [`Strategy::Right`] — the mirrored decomposition (right paths); TED is
+//!   invariant under simultaneous mirroring of both trees,
+//! * [`Strategy::Auto`] — estimates the number of relevant subproblems of
+//!   both decompositions and picks the cheaper, which is the core idea of
+//!   APTED's optimal path strategies in miniature,
+//! * [`naive_ted`] — an exponential-with-memo forest recursion used as the
+//!   correctness oracle for small trees in property tests.
+//!
+//! Distances are `u64` (sums over codebases can exceed `u32`); the inner DP
+//! uses `u32` cells, which is safe because a single-pair distance is bounded
+//! by `|T1| + |T2| < 2^32`.
+
+use std::collections::HashMap;
+use svtree::{NodeId, Tree};
+
+/// Costs for the three edit operations.  The paper uses unit weights; the
+/// struct exists because it calls out per-operation weights as future work
+/// ("adding new code may have a different productivity impact than removing
+/// existing code"), and the ablation benches exercise that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of deleting a node from the source tree.
+    pub delete: u32,
+    /// Cost of inserting a node of the target tree.
+    pub insert: u32,
+    /// Cost of relabelling a source node into a target node with a
+    /// different label (equal labels always cost 0).
+    pub relabel: u32,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { delete: 1, insert: 1, relabel: 1 }
+    }
+}
+
+impl CostModel {
+    /// The paper's unit-cost model.
+    pub const UNIT: CostModel = CostModel { delete: 1, insert: 1, relabel: 1 };
+}
+
+/// Which path decomposition the solver uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Zhang–Shasha over left paths (LR-keyroots).
+    Left,
+    /// Zhang–Shasha over right paths (mirrored trees).
+    Right,
+    /// Estimate both decompositions' relevant-subproblem counts and pick
+    /// the cheaper one (APTED-style strategy selection).
+    #[default]
+    Auto,
+}
+
+/// Unit-cost TED with the default (auto) strategy.
+///
+/// ```
+/// use svtree::Tree;
+/// let a = Tree::from_sexpr("(f (c a b) d)").unwrap();
+/// let b = Tree::from_sexpr("(f a (d b))").unwrap();
+/// // delete c, relabel nothing, move is expressed as delete+insert:
+/// // the optimal script needs 3 unit operations.
+/// assert_eq!(svdist::ted(&a, &b), 3);
+/// ```
+pub fn ted(a: &Tree, b: &Tree) -> u64 {
+    ted_with(a, b, CostModel::UNIT, Strategy::Auto)
+}
+
+/// TED with explicit costs and strategy.
+pub fn ted_with(a: &Tree, b: &Tree, costs: CostModel, strategy: Strategy) -> u64 {
+    // Cheap short-circuits: empty trees and structurally identical trees.
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0,
+        (true, false) => return b.size() as u64 * u64::from(costs.insert),
+        (false, true) => return a.size() as u64 * u64::from(costs.delete),
+        _ => {}
+    }
+    if a.size() == b.size() && a.structural_hash() == b.structural_hash() {
+        return 0;
+    }
+
+    let strategy = match strategy {
+        Strategy::Auto => choose_strategy(a, b),
+        s => s,
+    };
+    match strategy {
+        Strategy::Left | Strategy::Auto => {
+            let pa = PostTree::build(a, false);
+            let pb = PostTree::build(b, false);
+            zhang_shasha(&pa, &pb, costs)
+        }
+        Strategy::Right => {
+            // Mirror both trees (reverse all child lists); TED is preserved.
+            let pa = PostTree::build(a, true);
+            let pb = PostTree::build(b, true);
+            zhang_shasha(&pa, &pb, costs)
+        }
+    }
+}
+
+/// Estimated number of relevant subproblems for a decomposition:
+/// `sum over keyroot pairs of |span(kr1)| * |span(kr2)|`.
+fn decomposition_cost(a: &Tree, b: &Tree, mirrored: bool) -> u128 {
+    let pa = PostTree::build(a, mirrored);
+    let pb = PostTree::build(b, mirrored);
+    let sa: u128 = pa.keyroots.iter().map(|&k| (k - pa.lld[k] + 1) as u128).sum();
+    let sb: u128 = pb.keyroots.iter().map(|&k| (k - pb.lld[k] + 1) as u128).sum();
+    sa * sb
+}
+
+fn choose_strategy(a: &Tree, b: &Tree) -> Strategy {
+    if decomposition_cost(a, b, false) <= decomposition_cost(a, b, true) {
+        Strategy::Left
+    } else {
+        Strategy::Right
+    }
+}
+
+/// Post-order flattened tree with the auxiliary arrays Zhang–Shasha needs.
+struct PostTree {
+    /// Interned labels in post-order.
+    labels: Vec<u64>,
+    /// `lld[i]`: post-order index of the leftmost leaf descendant of node i.
+    lld: Vec<usize>,
+    /// LR-keyroots in increasing post-order index.
+    keyroots: Vec<usize>,
+}
+
+impl PostTree {
+    fn build(tree: &Tree, mirrored: bool) -> PostTree {
+        let n = tree.size();
+        let mut labels = Vec::with_capacity(n);
+        let mut lld = Vec::with_capacity(n);
+        let mut post_index: Vec<usize> = vec![0; n];
+
+        // Post-order with optionally reversed child order (mirroring).
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        if let Some(r) = tree.root() {
+            let mut stack: Vec<(NodeId, usize)> = vec![(r, 0)];
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                let ch = tree.children(node);
+                if *next < ch.len() {
+                    let c = if mirrored { ch[ch.len() - 1 - *next] } else { ch[*next] };
+                    *next += 1;
+                    stack.push((c, 0));
+                } else {
+                    order.push(node);
+                    stack.pop();
+                }
+            }
+        }
+
+        // Labels only need equality, so hash each into a u64 with FNV-1a.
+        // The hash is content-based, hence consistent across the two trees
+        // being compared.  Collisions are astronomically unlikely for AST
+        // label vocabularies (hundreds of distinct strings); correctness
+        // tests run against the oracle which compares strings directly.
+        fn fnv64(s: &str) -> u64 {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in s.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        }
+
+        for (i, &id) in order.iter().enumerate() {
+            post_index[id.index()] = i;
+            labels.push(fnv64(tree.label(id)));
+            // Leftmost (in traversal order) leaf descendant: for a leaf it is
+            // itself; otherwise the lld of its first-traversed child.
+            let ch = tree.children(id);
+            if ch.is_empty() {
+                lld.push(i);
+            } else {
+                let first = if mirrored { ch[ch.len() - 1] } else { ch[0] };
+                lld.push(lld[post_index[first.index()]]);
+            }
+        }
+
+        // Keyroots: the root plus every node whose lld differs from its
+        // parent's lld (i.e. it has a left sibling in traversal order).
+        let mut keyroots = Vec::new();
+        let mut seen_lld: HashMap<usize, ()> = HashMap::new();
+        for i in (0..n).rev() {
+            if let std::collections::hash_map::Entry::Vacant(e) = seen_lld.entry(lld[i]) {
+                e.insert(());
+                keyroots.push(i);
+            }
+        }
+        keyroots.sort_unstable();
+
+        PostTree { labels, lld, keyroots }
+    }
+
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// The Zhang–Shasha dynamic program.
+fn zhang_shasha(a: &PostTree, b: &PostTree, costs: CostModel) -> u64 {
+    let (n, m) = (a.len(), b.len());
+    let del = costs.delete;
+    let ins = costs.insert;
+    let rel = costs.relabel;
+
+    // Permanent tree-distance table td[i][j] for subtree pairs rooted at
+    // post-order nodes i, j.
+    let mut td = vec![0u32; n * m];
+    // Scratch forest-distance table, sized for the largest keyroot spans.
+    let mut fd = vec![0u32; (n + 1) * (m + 1)];
+
+    for &kr1 in &a.keyroots {
+        let l1 = a.lld[kr1];
+        let rows = kr1 - l1 + 2; // forest prefix sizes 0..=kr1-l1+1
+        for &kr2 in &b.keyroots {
+            let l2 = b.lld[kr2];
+            let cols = kr2 - l2 + 2;
+            let at = |di: usize, dj: usize| di * cols + dj;
+
+            fd[at(0, 0)] = 0;
+            for di in 1..rows {
+                fd[at(di, 0)] = fd[at(di - 1, 0)] + del;
+            }
+            for dj in 1..cols {
+                fd[at(0, dj)] = fd[at(0, dj - 1)] + ins;
+            }
+            for di in 1..rows {
+                let i = l1 + di - 1; // actual post-order node in a
+                for dj in 1..cols {
+                    let j = l2 + dj - 1;
+                    if a.lld[i] == l1 && b.lld[j] == l2 {
+                        // Both forests are whole trees: record a tree dist.
+                        let sub = if a.labels[i] == b.labels[j] { 0 } else { rel };
+                        let d = (fd[at(di - 1, dj)] + del)
+                            .min(fd[at(di, dj - 1)] + ins)
+                            .min(fd[at(di - 1, dj - 1)] + sub);
+                        fd[at(di, dj)] = d;
+                        td[i * m + j] = d;
+                    } else {
+                        // General forest case: detach whole subtrees.
+                        let pi = a.lld[i].saturating_sub(l1); // prefix before subtree of i
+                        let pj = b.lld[j].saturating_sub(l2);
+                        let d = (fd[at(di - 1, dj)] + del)
+                            .min(fd[at(di, dj - 1)] + ins)
+                            .min(fd[at(pi, pj)] + td[i * m + j]);
+                        fd[at(di, dj)] = d;
+                    }
+                }
+            }
+        }
+    }
+    u64::from(td[(n - 1) * m + (m - 1)])
+}
+
+/// Error from the memory-bounded solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TedError {
+    /// The DP tables for this pair would exceed the caller's budget.
+    ///
+    /// The paper hit exactly this wall: "we were only able to do a short
+    /// and incomplete divergence run of GROMACS's SYCL and CUDA port but
+    /// had to exclude OpenMP due to limited memory on our workstations."
+    BudgetExceeded { needed_bytes: u64, budget_bytes: u64 },
+}
+
+impl std::fmt::Display for TedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TedError::BudgetExceeded { needed_bytes, budget_bytes } => write!(
+                f,
+                "TED needs ~{needed_bytes} bytes of DP tables, budget is {budget_bytes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TedError {}
+
+/// Estimated peak bytes of DP state Zhang–Shasha allocates for a pair:
+/// the permanent `n·m` tree-distance table plus the `(n+1)·(m+1)` scratch
+/// forest table, both `u32` cells.
+pub fn memory_estimate(a: &Tree, b: &Tree) -> u64 {
+    let n = a.size() as u64;
+    let m = b.size() as u64;
+    4 * (n * m + (n + 1) * (m + 1))
+}
+
+/// TED with an explicit memory budget: refuses up front (no allocation)
+/// when the DP tables would exceed `max_bytes`, instead of taking the
+/// machine down the way the paper's GROMACS run did.
+pub fn ted_bounded(
+    a: &Tree,
+    b: &Tree,
+    costs: CostModel,
+    strategy: Strategy,
+    max_bytes: u64,
+) -> Result<u64, TedError> {
+    let needed = memory_estimate(a, b);
+    if needed > max_bytes {
+        return Err(TedError::BudgetExceeded { needed_bytes: needed, budget_bytes: max_bytes });
+    }
+    Ok(ted_with(a, b, costs, strategy))
+}
+
+/// Composition of an optimal unit-cost edit script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditStats {
+    pub inserts: u64,
+    pub deletes: u64,
+    pub relabels: u64,
+}
+
+impl EditStats {
+    /// Total unit-cost distance.
+    pub fn total(&self) -> u64 {
+        self.inserts + self.deletes + self.relabels
+    }
+}
+
+/// Decompose the unit-cost TED into insert/delete/relabel counts of an
+/// optimal script — the quantities a per-operation cost model (the paper's
+/// future-work knob: "adding new code may have a different productivity
+/// impact than removing existing code") would weight.
+///
+/// Uses two exact solves instead of DP backtracking: with relabel cost 2 a
+/// relabel never beats delete+insert, so `d₂ − d₁` counts the relabels of
+/// an optimal unit-cost script, and `|T₂| − |T₁| = inserts − deletes`
+/// closes the system.
+pub fn edit_stats(a: &Tree, b: &Tree) -> EditStats {
+    let d1 = ted_with(a, b, CostModel::UNIT, Strategy::Auto);
+    let d2 = ted_with(a, b, CostModel { delete: 1, insert: 1, relabel: 2 }, Strategy::Auto);
+    let relabels = d2 - d1;
+    let matched_cost = d1 - relabels; // inserts + deletes
+    let diff = b.size() as i64 - a.size() as i64; // inserts - deletes
+    let inserts = ((matched_cost as i64 + diff) / 2) as u64;
+    let deletes = matched_cost - inserts;
+    EditStats { inserts, deletes, relabels }
+}
+
+/// Brute-force TED oracle: direct forest recursion with memoisation.
+///
+/// Exponential in the worst case — only use on trees of ≲ 12 nodes.  It is
+/// deliberately implemented on a completely different decomposition (root
+/// lists instead of post-order spans) so that agreement with
+/// [`ted_with`] is strong evidence of correctness.
+pub fn naive_ted(a: &Tree, b: &Tree, costs: CostModel) -> u64 {
+    type Forest = Vec<NodeId>;
+    fn key(f1: &Forest, f2: &Forest) -> (Vec<u32>, Vec<u32>) {
+        (f1.iter().map(|n| n.0).collect(), f2.iter().map(|n| n.0).collect())
+    }
+
+    fn solve(
+        a: &Tree,
+        b: &Tree,
+        f1: &Forest,
+        f2: &Forest,
+        costs: CostModel,
+        memo: &mut HashMap<(Vec<u32>, Vec<u32>), u64>,
+    ) -> u64 {
+        if f1.is_empty() && f2.is_empty() {
+            return 0;
+        }
+        if f1.is_empty() {
+            return f2.iter().map(|&r| b.subtree_size(r) as u64).sum::<u64>()
+                * u64::from(costs.insert);
+        }
+        if f2.is_empty() {
+            return f1.iter().map(|&r| a.subtree_size(r) as u64).sum::<u64>()
+                * u64::from(costs.delete);
+        }
+        let k = key(f1, f2);
+        if let Some(&v) = memo.get(&k) {
+            return v;
+        }
+
+        // Work on the rightmost roots.
+        let r1 = *f1.last().unwrap();
+        let r2 = *f2.last().unwrap();
+
+        // Option 1: delete r1 (its children join the forest).
+        let mut f1_del = f1[..f1.len() - 1].to_vec();
+        f1_del.extend_from_slice(a.children(r1));
+        let d1 = solve(a, b, &f1_del, f2, costs, memo) + u64::from(costs.delete);
+
+        // Option 2: insert r2.
+        let mut f2_ins = f2[..f2.len() - 1].to_vec();
+        f2_ins.extend_from_slice(b.children(r2));
+        let d2 = solve(a, b, f1, &f2_ins, costs, memo) + u64::from(costs.insert);
+
+        // Option 3: match r1 with r2.
+        let sub = if a.label(r1) == b.label(r2) { 0 } else { u64::from(costs.relabel) };
+        let c1: Forest = a.children(r1).to_vec();
+        let c2: Forest = b.children(r2).to_vec();
+        let rest1: Forest = f1[..f1.len() - 1].to_vec();
+        let rest2: Forest = f2[..f2.len() - 1].to_vec();
+        let d3 = solve(a, b, &c1, &c2, costs, memo)
+            + solve(a, b, &rest1, &rest2, costs, memo)
+            + sub;
+
+        let best = d1.min(d2).min(d3);
+        memo.insert(k, best);
+        best
+    }
+
+    let f1: Forest = a.root().into_iter().collect();
+    let f2: Forest = b.root().into_iter().collect();
+    let mut memo = HashMap::new();
+    solve(a, b, &f1, &f2, costs, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Tree {
+        Tree::from_sexpr(s).unwrap()
+    }
+
+    fn all_strategies(a: &Tree, b: &Tree) -> Vec<u64> {
+        [Strategy::Left, Strategy::Right, Strategy::Auto]
+            .iter()
+            .map(|&s| ted_with(a, b, CostModel::UNIT, s))
+            .collect()
+    }
+
+    #[test]
+    fn identical_trees_are_zero() {
+        let a = t("(f (g a b) (h c))");
+        for d in all_strategies(&a, &a.clone()) {
+            assert_eq!(d, 0);
+        }
+    }
+
+    #[test]
+    fn empty_tree_cases() {
+        let e = Tree::empty();
+        let a = t("(f a b)");
+        assert_eq!(ted(&e, &e), 0);
+        assert_eq!(ted(&e, &a), 3);
+        assert_eq!(ted(&a, &e), 3);
+    }
+
+    #[test]
+    fn single_relabel() {
+        let a = t("(f a b)");
+        let b = t("(g a b)");
+        for d in all_strategies(&a, &b) {
+            assert_eq!(d, 1);
+        }
+    }
+
+    #[test]
+    fn single_insert_delete() {
+        let a = t("(f a)");
+        let b = t("(f a b)");
+        assert_eq!(ted(&a, &b), 1);
+        assert_eq!(ted(&b, &a), 1);
+    }
+
+    #[test]
+    fn paper_figure_one_distance_five() {
+        // Fig. 1: "Two ASTs with a TED distance of five: four outlined nodes
+        // are inserted or deleted with one relabelled node on the top."
+        let a = t("(CompoundStmt (DeclStmt (VarDecl IntegerLiteral)) (ReturnStmt DeclRefExpr))");
+        let b = t("(CompoundStmt (ReturnStmt (BinaryOp IntegerLiteral IntegerLiteral)))");
+        // delete DeclStmt, VarDecl, DeclRefExpr; insert BinaryOp and one
+        // IntegerLiteral: 5 ops (the shared IntegerLiteral and ReturnStmt map).
+        let d = ted(&a, &b);
+        assert_eq!(d, 5);
+        assert_eq!(naive_ted(&a, &b, CostModel::UNIT), 5);
+    }
+
+    #[test]
+    fn classic_zhang_shasha_example() {
+        // The canonical ZS paper example: d(f(d(a c(b)) e), f(c(d(a b)) e)) = 2.
+        let a = t("(f (d a (c b)) e)");
+        let b = t("(f (c (d a b)) e)");
+        for d in all_strategies(&a, &b) {
+            assert_eq!(d, 2);
+        }
+        assert_eq!(naive_ted(&a, &b, CostModel::UNIT), 2);
+    }
+
+    #[test]
+    fn symmetry_under_unit_costs() {
+        let a = t("(x (y a b c) (z d))");
+        let b = t("(x (w a) (z d e f))");
+        assert_eq!(ted(&a, &b), ted(&b, &a));
+    }
+
+    #[test]
+    fn asymmetric_costs() {
+        let a = t("(f a b)"); // to reach b: insert one node
+        let b = t("(f a b c)");
+        let exp = CostModel { delete: 1, insert: 7, relabel: 1 };
+        assert_eq!(ted_with(&a, &b, exp, Strategy::Left), 7);
+        assert_eq!(ted_with(&b, &a, exp, Strategy::Left), 1); // deletion side
+        assert_eq!(naive_ted(&a, &b, exp), 7);
+    }
+
+    #[test]
+    fn relabel_vs_delete_insert_tradeoff() {
+        // With relabel cost 3 > delete+insert = 2, the solver must prefer
+        // delete+insert over relabel.
+        let a = t("a");
+        let b = t("b");
+        let cm = CostModel { delete: 1, insert: 1, relabel: 3 };
+        assert_eq!(ted_with(&a, &b, cm, Strategy::Left), 2);
+        assert_eq!(naive_ted(&a, &b, cm), 2);
+    }
+
+    #[test]
+    fn distance_bounded_by_sizes() {
+        let a = t("(f (g a b) c)");
+        let b = t("(x (y (z q)))");
+        let d = ted(&a, &b);
+        assert!(d <= (a.size() + b.size()) as u64);
+        assert!(d >= (a.size() as i64 - b.size() as i64).unsigned_abs());
+    }
+
+    #[test]
+    fn strategies_agree_on_fixed_cases() {
+        let cases = [
+            ("(a (b c d) e)", "(a (b c) (e d))"),
+            ("(root (l1 (l2 (l3 x))))", "(root x)"),
+            ("(s a a a a)", "(s a a)"),
+            ("(p (q (r (s t))))", "(p q r s t)"),
+            ("(m (n o) (n o) (n o))", "(m (n o))"),
+        ];
+        for (sa, sb) in cases {
+            let a = t(sa);
+            let b = t(sb);
+            let ds = all_strategies(&a, &b);
+            assert!(ds.windows(2).all(|w| w[0] == w[1]), "{sa} vs {sb}: {ds:?}");
+            assert_eq!(ds[0], naive_ted(&a, &b, CostModel::UNIT), "{sa} vs {sb}");
+        }
+    }
+
+    #[test]
+    fn deep_vs_wide() {
+        // A left-comb and a right-comb: structurally mirrored chains.
+        let left = t("(a (a (a (a a))))");
+        let wide = t("(a a a a a)");
+        let d = ted(&left, &wide);
+        assert_eq!(d, naive_ted(&left, &wide, CostModel::UNIT));
+    }
+
+    #[test]
+    fn auto_picks_a_valid_answer_on_right_heavy_trees() {
+        // Right-heavy trees make the right decomposition cheaper; Auto must
+        // still return the exact distance.
+        let a = t("(r a (r b (r c (r d (r e f)))))");
+        let b = t("(r (r (r (r (r f e) d) c) b) a)");
+        let dl = ted_with(&a, &b, CostModel::UNIT, Strategy::Left);
+        let dr = ted_with(&a, &b, CostModel::UNIT, Strategy::Right);
+        let da = ted_with(&a, &b, CostModel::UNIT, Strategy::Auto);
+        assert_eq!(dl, dr);
+        assert_eq!(da, dl);
+    }
+
+    #[test]
+    fn moderate_random_agreement_with_oracle() {
+        // Deterministic pseudo-random small trees, cross-checked.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let labels = ["a", "b", "c"];
+        fn gen(rng: &mut StdRng, labels: &[&str], budget: &mut usize, depth: usize) -> Tree {
+            let l = labels[rng.gen_range(0..labels.len())];
+            let mut children = Vec::new();
+            while *budget > 0 && depth < 4 && rng.gen_bool(0.5) {
+                *budget -= 1;
+                children.push(gen(rng, labels, budget, depth + 1));
+            }
+            Tree::node(l, children)
+        }
+        for _ in 0..60 {
+            let mut b1 = 7usize;
+            let mut b2 = 7usize;
+            let t1 = gen(&mut rng, &labels, &mut b1, 0);
+            let t2 = gen(&mut rng, &labels, &mut b2, 0);
+            let expect = naive_ted(&t1, &t2, CostModel::UNIT);
+            for s in [Strategy::Left, Strategy::Right, Strategy::Auto] {
+                assert_eq!(
+                    ted_with(&t1, &t2, CostModel::UNIT, s),
+                    expect,
+                    "strategy {s:?} on {t1} vs {t2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edit_stats_decomposition() {
+        // pure relabel
+        let a = t("(f a b)");
+        let b = t("(g a b)");
+        assert_eq!(edit_stats(&a, &b), EditStats { inserts: 0, deletes: 0, relabels: 1 });
+        // pure insert
+        let c = t("(f a b c)");
+        assert_eq!(edit_stats(&a, &c), EditStats { inserts: 1, deletes: 0, relabels: 0 });
+        // pure delete
+        assert_eq!(edit_stats(&c, &a), EditStats { inserts: 0, deletes: 1, relabels: 0 });
+        // identical
+        assert_eq!(edit_stats(&a, &a.clone()).total(), 0);
+    }
+
+    #[test]
+    fn edit_stats_consistent_with_ted() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let labels = ["a", "b", "c"];
+        fn gen(rng: &mut StdRng, labels: &[&str], budget: &mut usize, depth: usize) -> Tree {
+            let l = labels[rng.gen_range(0..labels.len())];
+            let mut children = Vec::new();
+            while *budget > 0 && depth < 4 && rng.gen_bool(0.5) {
+                *budget -= 1;
+                children.push(gen(rng, labels, budget, depth + 1));
+            }
+            Tree::node(l, children)
+        }
+        for _ in 0..40 {
+            let mut b1 = 8usize;
+            let mut b2 = 8usize;
+            let t1 = gen(&mut rng, &labels, &mut b1, 0);
+            let t2 = gen(&mut rng, &labels, &mut b2, 0);
+            let stats = edit_stats(&t1, &t2);
+            assert_eq!(stats.total(), ted(&t1, &t2), "{t1} vs {t2}");
+            assert_eq!(
+                stats.inserts as i64 - stats.deletes as i64,
+                t2.size() as i64 - t1.size() as i64,
+                "{t1} vs {t2}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_estimate_matches_table_shapes() {
+        let a = t("(f (g a b) c)"); // 5 nodes
+        let b = t("(x y)"); // 2 nodes
+        // 4 * (5*2 + 6*3) = 4 * 28 = 112
+        assert_eq!(memory_estimate(&a, &b), 112);
+    }
+
+    #[test]
+    fn bounded_ted_accepts_within_budget() {
+        let a = t("(f (g a b) c)");
+        let b = t("(f (g a) c d)");
+        let d = ted_bounded(&a, &b, CostModel::UNIT, Strategy::Auto, 1 << 20).unwrap();
+        assert_eq!(d, ted(&a, &b));
+    }
+
+    #[test]
+    fn bounded_ted_refuses_oversize_pairs() {
+        // The GROMACS scenario: two trees big enough that the DP tables
+        // blow a workstation budget — refuse instead of allocating.
+        fn chain(n: u32) -> Tree {
+            let mut t = Tree::leaf("n");
+            let mut cur = t.root().unwrap();
+            for _ in 1..n {
+                cur = t.push_child(cur, "n", None);
+            }
+            t
+        }
+        let a = chain(50_000);
+        let b = chain(50_000);
+        let e = ted_bounded(&a, &b, CostModel::UNIT, Strategy::Auto, 1 << 30).unwrap_err();
+        let TedError::BudgetExceeded { needed_bytes, budget_bytes } = e;
+        assert!(needed_bytes > budget_bytes);
+        assert!(needed_bytes > 10_u64.pow(10), "{needed_bytes}");
+    }
+
+    #[test]
+    fn larger_trees_run_fast() {
+        // Two ~2000-node trees must complete well under a second.
+        fn big(n: usize, flavour: &str) -> Tree {
+            let mut tr = Tree::leaf("root");
+            let mut cur = tr.root().unwrap();
+            for i in 0..n {
+                let id = tr.push_child(cur, format!("{flavour}{}", i % 17), None);
+                if i % 3 == 0 {
+                    cur = id;
+                } else if i % 11 == 0 {
+                    cur = tr.root().unwrap();
+                }
+            }
+            tr
+        }
+        let a = big(2000, "x");
+        let b = big(2000, "y");
+        let d = ted(&a, &b);
+        assert!(d > 0);
+        assert!(d <= (a.size() + b.size()) as u64);
+    }
+}

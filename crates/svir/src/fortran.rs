@@ -1,0 +1,442 @@
+//! Fortran AST → IR lowering, GFortran/GIMPLE style.
+//!
+//! GCC lowers Fortran through GENERIC into GIMPLE; the shapes that matter
+//! for `T_ir` divergence are reproduced here:
+//!
+//! * whole-array assignments (`a = b + s * c`) scalarise into loops — one
+//!   line of source becomes a full loop nest of loads/stores,
+//! * `allocate`/`deallocate` become runtime calls,
+//! * OpenMP directives lower to `GOMP_*` runtime calls with outlined
+//!   region functions (libgomp style),
+//! * OpenACC directives lower to nothing (the GCC 13 quality-of-
+//!   implementation artefact the paper reports — single-threaded OpenACC),
+//! * `do concurrent` lowers exactly like `do` (GCC does not auto-
+//!   parallelise it without `-ftree-parallelize-loops`).
+
+use crate::model::{BasicBlock, Instr, IrFunction, Module, Op};
+use svlang::fortran::{FExpr, FProgram, FStmt, FUnit};
+use svtree::Span;
+
+/// Lower a Fortran program to an IR module (host-only: the dialect's
+/// Fortran models are all host models, matching the paper's GCC scope —
+/// "We also do not consider offload scenarios for GCC at this time").
+pub fn lower_fortran(prog: &FProgram) -> Module {
+    let mut lw = FLowerer { fns: Vec::new(), outline_counter: 0, file: prog.file.0 };
+    for u in &prog.units {
+        lw.lower_unit(u);
+    }
+    Module {
+        name: "fortran_host".into(),
+        globals: Vec::new(),
+        functions: lw.fns,
+        device: None,
+    }
+}
+
+struct FLowerer {
+    fns: Vec<IrFunction>,
+    outline_counter: usize,
+    file: u32,
+}
+
+struct FCtx {
+    blocks: Vec<BasicBlock>,
+    cur: usize,
+    arrays: Vec<String>,
+    file: u32,
+}
+
+impl FCtx {
+    fn new(file: u32) -> FCtx {
+        FCtx { blocks: vec![BasicBlock::default()], cur: 0, arrays: Vec::new(), file }
+    }
+
+    fn emit(&mut self, op: Op, line: u32) {
+        let span = Some(Span::line(self.file, line));
+        self.blocks[self.cur].instrs.push(Instr { op, span });
+    }
+
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn is_array(&self, name: &str) -> bool {
+        self.arrays.iter().any(|a| a == name)
+    }
+}
+
+impl FLowerer {
+    fn lower_unit(&mut self, u: &FUnit) {
+        let mut cx = FCtx::new(self.file);
+        for p in &u.params {
+            cx.emit(Op::Alloca, u.line);
+            cx.emit(Op::Store, u.line);
+            let _ = p;
+        }
+        self.lower_stmts(&mut cx, &u.body);
+        cx.emit(Op::Ret { has_value: false }, u.end_line);
+        self.fns.push(IrFunction {
+            name: u.name.clone(),
+            params: u.params.len(),
+            blocks: cx.blocks,
+            kernel: false,
+            span: Some(Span::lines(self.file, u.line, u.end_line.max(u.line))),
+        });
+        for c in &u.contained {
+            self.lower_unit(c);
+        }
+    }
+
+    fn lower_stmts(&mut self, cx: &mut FCtx, stmts: &[FStmt]) {
+        for s in stmts {
+            self.lower_stmt(cx, s);
+        }
+    }
+
+    fn lower_stmt(&mut self, cx: &mut FCtx, s: &FStmt) {
+        match s {
+            FStmt::Use { .. } | FStmt::ImplicitNone { .. } => {}
+            FStmt::Decl { entities, line, .. } => {
+                for e in entities {
+                    if !e.dims.is_empty() {
+                        cx.arrays.push(e.name.clone());
+                        // Array descriptors: GFortran allocates a dope
+                        // vector on the stack.
+                        cx.emit(Op::Alloca, *line);
+                    } else {
+                        cx.emit(Op::Alloca, *line);
+                        if let Some(init) = &e.init {
+                            self.lower_expr(cx, init, *line);
+                            cx.emit(Op::Store, *line);
+                        }
+                    }
+                }
+            }
+            FStmt::Assign { lhs, rhs, line } => {
+                let whole_array = match lhs {
+                    FExpr::Var(name) => cx.is_array(name),
+                    _ => false,
+                };
+                if whole_array {
+                    // Scalarisation: an implicit loop over the array extent.
+                    self.emit_scalarised_loop(cx, rhs, *line);
+                } else {
+                    self.lower_expr(cx, rhs, *line);
+                    if let FExpr::ParenRef { args, .. } = lhs {
+                        for a in args {
+                            self.lower_expr(cx, a, *line);
+                        }
+                        cx.emit(Op::Gep, *line);
+                    }
+                    cx.emit(Op::Store, *line);
+                }
+            }
+            FStmt::Do { lo, hi, body, line, .. } | FStmt::DoConcurrent { lo, hi, body, line, .. } => {
+                // `do concurrent` lowers identically to `do` in GCC 13.
+                self.lower_expr(cx, lo, *line);
+                cx.emit(Op::Store, *line); // loop var init
+                let cond_bb = cx.new_block();
+                let body_bb = cx.new_block();
+                let step_bb = cx.new_block();
+                let exit_bb = cx.new_block();
+                cx.emit(Op::Br(cond_bb), *line);
+                cx.cur = cond_bb;
+                cx.emit(Op::Load, *line);
+                self.lower_expr(cx, hi, *line);
+                cx.emit(Op::Cmp { fp: false, pred: "<=" }, *line);
+                cx.emit(Op::CondBr { then_bb: body_bb, else_bb: exit_bb }, *line);
+                cx.cur = body_bb;
+                self.lower_stmts(cx, body);
+                cx.emit(Op::Br(step_bb), *line);
+                cx.cur = step_bb;
+                cx.emit(Op::Load, *line);
+                cx.emit(Op::Bin("add"), *line);
+                cx.emit(Op::Store, *line);
+                cx.emit(Op::Br(cond_bb), *line);
+                cx.cur = exit_bb;
+            }
+            FStmt::If { cond, then_body, else_body, line } => {
+                self.lower_expr(cx, cond, *line);
+                let then_bb = cx.new_block();
+                let else_bb = if else_body.is_empty() { None } else { Some(cx.new_block()) };
+                let merge = cx.new_block();
+                cx.emit(Op::CondBr { then_bb, else_bb: else_bb.unwrap_or(merge) }, *line);
+                cx.cur = then_bb;
+                self.lower_stmts(cx, then_body);
+                cx.emit(Op::Br(merge), *line);
+                if let Some(eb) = else_bb {
+                    cx.cur = eb;
+                    self.lower_stmts(cx, else_body);
+                    cx.emit(Op::Br(merge), *line);
+                }
+                cx.cur = merge;
+            }
+            FStmt::Call { name, args, line } => {
+                for a in args {
+                    self.lower_expr(cx, a, *line);
+                }
+                cx.emit(Op::Call { callee: name.clone(), args: args.len() }, *line);
+            }
+            FStmt::Allocate { items, line } => {
+                for _ in items {
+                    cx.emit(Op::Call { callee: "__builtin_malloc".into(), args: 1 }, *line);
+                    cx.emit(Op::Store, *line);
+                }
+            }
+            FStmt::Deallocate { items, line } => {
+                for _ in items {
+                    cx.emit(Op::Load, *line);
+                    cx.emit(Op::Call { callee: "__builtin_free".into(), args: 1 }, *line);
+                }
+            }
+            FStmt::Print { args, line } => {
+                cx.emit(Op::Call { callee: "__gfortran_st_write".into(), args: 1 }, *line);
+                for a in args {
+                    self.lower_expr(cx, a, *line);
+                    cx.emit(
+                        Op::Call { callee: "__gfortran_transfer_real_write".into(), args: 2 },
+                        *line,
+                    );
+                }
+                cx.emit(Op::Call { callee: "__gfortran_st_write_done".into(), args: 1 }, *line);
+            }
+            FStmt::Stop { line } => {
+                cx.emit(Op::Call { callee: "__gfortran_stop_string".into(), args: 2 }, *line);
+                cx.emit(Op::Unreachable, *line);
+            }
+            FStmt::Return { line } => cx.emit(Op::Ret { has_value: false }, *line),
+            FStmt::Exit { line } | FStmt::Cycle { line } => {
+                // Loop context bookkeeping is simplified: a branch marker.
+                cx.emit(Op::Br(cx.cur), *line);
+            }
+            FStmt::Directive { dir, line } => {
+                if dir.domain == "acc" {
+                    // GCC 13 QoI artefact: no OpenACC lowering.
+                    return;
+                }
+                if dir.path.first().map(String::as_str) == Some("end") {
+                    cx.emit(Op::Call { callee: "__GOMP_region_end".into(), args: 0 }, *line);
+                    return;
+                }
+                // GOMP-style: outlined region body is produced when the
+                // *following* loop is encountered in source order — the
+                // region markers themselves carry the runtime calls.
+                let rt = if dir.path.iter().any(|w| w == "taskloop") {
+                    "__GOMP_taskloop"
+                } else if dir.path.iter().any(|w| w == "parallel") {
+                    "__GOMP_parallel"
+                } else {
+                    "__GOMP_single"
+                };
+                self.outline_counter += 1;
+                cx.emit(Op::Call { callee: rt.into(), args: 2 + dir.clauses.len() }, *line);
+                for c in &dir.clauses {
+                    if c.name == "reduction" {
+                        cx.emit(Op::Call { callee: "__GOMP_reduction".into(), args: c.args.len() }, *line);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whole-array assignment scalarisation: loop blocks + element ops.
+    fn emit_scalarised_loop(&mut self, cx: &mut FCtx, rhs: &FExpr, line: u32) {
+        cx.emit(Op::Store, line); // induction init
+        let cond_bb = cx.new_block();
+        let body_bb = cx.new_block();
+        let exit_bb = cx.new_block();
+        cx.emit(Op::Br(cond_bb), line);
+        cx.cur = cond_bb;
+        cx.emit(Op::Load, line);
+        cx.emit(Op::Cmp { fp: false, pred: "<=" }, line);
+        cx.emit(Op::CondBr { then_bb: body_bb, else_bb: exit_bb }, line);
+        cx.cur = body_bb;
+        self.lower_elementwise(cx, rhs, line);
+        cx.emit(Op::Gep, line);
+        cx.emit(Op::Store, line);
+        cx.emit(Op::Load, line);
+        cx.emit(Op::Bin("add"), line);
+        cx.emit(Op::Store, line);
+        cx.emit(Op::Br(cond_bb), line);
+        cx.cur = exit_bb;
+    }
+
+    /// RHS of a scalarised assignment: array operands become element loads.
+    fn lower_elementwise(&mut self, cx: &mut FCtx, e: &FExpr, line: u32) {
+        match e {
+            FExpr::Var(name) if cx.is_array(name) => {
+                cx.emit(Op::Gep, line);
+                cx.emit(Op::Load, line);
+            }
+            other => self.lower_expr_inner(cx, other, line, true),
+        }
+    }
+
+    fn lower_expr(&mut self, cx: &mut FCtx, e: &FExpr, line: u32) {
+        self.lower_expr_inner(cx, e, line, false);
+    }
+
+    fn lower_expr_inner(&mut self, cx: &mut FCtx, e: &FExpr, line: u32, elementwise: bool) {
+        match e {
+            FExpr::Int(_) | FExpr::Real(_) | FExpr::Str(_) | FExpr::Bool(_) => {}
+            FExpr::Var(name) => {
+                if elementwise && cx.is_array(name) {
+                    cx.emit(Op::Gep, line);
+                }
+                cx.emit(Op::Load, line);
+            }
+            FExpr::ParenRef { name, args } => {
+                for a in args {
+                    self.lower_expr_inner(cx, a, line, elementwise);
+                }
+                if cx.is_array(name) {
+                    cx.emit(Op::Gep, line);
+                    cx.emit(Op::Load, line);
+                } else {
+                    cx.emit(Op::Call { callee: name.clone(), args: args.len() }, line);
+                }
+            }
+            FExpr::Section { lo, hi } => {
+                if let Some(l) = lo {
+                    self.lower_expr_inner(cx, l, line, elementwise);
+                }
+                if let Some(h) = hi {
+                    self.lower_expr_inner(cx, h, line, elementwise);
+                }
+                cx.emit(Op::Gep, line);
+            }
+            FExpr::Unary { op, expr } => {
+                self.lower_expr_inner(cx, expr, line, elementwise);
+                match *op {
+                    "-" => cx.emit(Op::Bin("fneg"), line),
+                    "!" => cx.emit(Op::Cmp { fp: false, pred: "==" }, line),
+                    _ => {}
+                }
+            }
+            FExpr::Binary { op, lhs, rhs } => {
+                self.lower_expr_inner(cx, lhs, line, elementwise);
+                self.lower_expr_inner(cx, rhs, line, elementwise);
+                match *op {
+                    "+" => cx.emit(Op::Bin("fadd"), line),
+                    "-" => cx.emit(Op::Bin("fsub"), line),
+                    "*" => cx.emit(Op::Bin("fmul"), line),
+                    "/" => cx.emit(Op::Bin("fdiv"), line),
+                    "**" => cx.emit(Op::Call { callee: "__builtin_pow".into(), args: 2 }, line),
+                    "==" | "!=" | "<" | ">" | "<=" | ">=" => {
+                        cx.emit(Op::Cmp { fp: true, pred: pred_of(op) }, line)
+                    }
+                    "&&" | "||" => cx.emit(Op::Select, line),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn pred_of(op: &str) -> &'static str {
+    match op {
+        "==" => "==",
+        "!=" => "!=",
+        "<" => "<",
+        ">" => ">",
+        "<=" => "<=",
+        ">=" => ">=",
+        _ => "==",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svlang::fortran::parse_fortran;
+    use svlang::source::FileId;
+
+    fn lower_src(src: &str) -> Module {
+        let p = parse_fortran(src, FileId(0), "t.f90").unwrap();
+        lower_fortran(&p)
+    }
+
+    #[test]
+    fn do_loop_block_structure() {
+        let m = lower_src(
+            "program t\ninteger :: i, n\nreal(8), allocatable :: a(:)\ndo i = 1, n\na(i) = 1.0\nend do\nend program",
+        );
+        assert_eq!(m.functions.len(), 1);
+        // entry + cond + body + step + exit
+        assert_eq!(m.functions[0].blocks.len(), 5);
+        let s = m.to_tree().to_sexpr();
+        assert!(s.contains("condbr"), "{s}");
+    }
+
+    #[test]
+    fn whole_array_assignment_scalarises() {
+        let elementwise = lower_src(
+            "program t\nreal(8), allocatable :: a(:), b(:), c(:)\nreal(8) :: s\na = b + s * c\nend program",
+        );
+        let scalar = lower_src(
+            "program t\nreal(8) :: a, b, c, s\na = b + s * c\nend program",
+        );
+        // The array version generates loop blocks; the scalar one does not.
+        assert!(elementwise.functions[0].blocks.len() > scalar.functions[0].blocks.len());
+        assert!(elementwise.to_tree().to_sexpr().contains("fmul"));
+    }
+
+    #[test]
+    fn allocate_becomes_malloc() {
+        let m = lower_src(
+            "program t\nreal(8), allocatable :: a(:)\ninteger :: n\nallocate(a(n))\ndeallocate(a)\nend program",
+        );
+        let s = m.to_tree().to_sexpr();
+        assert!(s.contains("call(__builtin_malloc)"), "{s}");
+        assert!(s.contains("call(__builtin_free)"), "{s}");
+    }
+
+    #[test]
+    fn omp_directive_lowers_to_gomp() {
+        let m = lower_src(
+            "program t\ninteger :: i, n\nreal(8), allocatable :: a(:)\n!$omp parallel do\ndo i = 1, n\na(i) = 0.0\nend do\n!$omp end parallel do\nend program",
+        );
+        let s = m.to_tree().to_sexpr();
+        assert!(s.contains("call(__GOMP_parallel)"), "{s}");
+    }
+
+    #[test]
+    fn acc_directive_lowered_to_nothing() {
+        let with_acc = lower_src(
+            "program t\ninteger :: i, n\nreal(8), allocatable :: a(:)\n!$acc kernels\ndo i = 1, n\na(i) = 0.0\nend do\n!$acc end kernels\nend program",
+        );
+        let without = lower_src(
+            "program t\ninteger :: i, n\nreal(8), allocatable :: a(:)\ndo i = 1, n\na(i) = 0.0\nend do\nend program",
+        );
+        // QoI artefact: identical IR with or without OpenACC directives.
+        assert_eq!(
+            with_acc.to_tree().structural_hash(),
+            without.to_tree().structural_hash()
+        );
+    }
+
+    #[test]
+    fn taskloop_uses_gomp_taskloop() {
+        let m = lower_src(
+            "program t\ninteger :: i, n\nreal(8), allocatable :: a(:)\n!$omp taskloop\ndo i = 1, n\na(i) = 0.0\nend do\n!$omp end taskloop\nend program",
+        );
+        assert!(m.to_tree().to_sexpr().contains("call(__GOMP_taskloop)"));
+    }
+
+    #[test]
+    fn print_lowered_to_io_runtime() {
+        let m = lower_src("program t\nreal(8) :: x\nprint *, x\nend program");
+        let s = m.to_tree().to_sexpr();
+        assert!(s.contains("call(__gfortran_st_write)"), "{s}");
+        assert!(s.contains("call(__gfortran_transfer_real_write)"), "{s}");
+    }
+
+    #[test]
+    fn module_contains_subroutines() {
+        let m = lower_src(
+            "module k\ncontains\nsubroutine s(a, b)\nreal(8), intent(inout) :: a(:)\nreal(8), intent(in) :: b(:)\na = b\nend subroutine\nend module",
+        );
+        assert_eq!(m.functions.len(), 2); // module init stub + subroutine
+    }
+}

@@ -1,0 +1,37 @@
+//! # svir — platform-independent IR backend (`T_ir`)
+//!
+//! The paper's `T_ir` is extracted from LLVM bitcode (Clang) or Low GIMPLE
+//! (GCC) before machine-code generation, stripped of architecture-specific
+//! information and symbol names.  This crate is the from-scratch backend:
+//!
+//! * [`model`] — the IR data structures (modules, functions, basic blocks,
+//!   instructions) and the stripped `T_ir` tree emission, including the
+//!   device-module "offload bundle" nesting,
+//! * [`mod@lower`] — C/C++ AST lowering (Clang `-O0` style) with
+//!   CUDA/HIP/OpenMP-target/SYCL offload handling and per-unit driver code,
+//! * [`fortran`] — Fortran AST lowering (GFortran/GIMPLE style) with
+//!   whole-array scalarisation, `GOMP` OpenMP lowering, and the GCC 13
+//!   OpenACC quality-of-implementation artefact.
+
+pub mod fortran;
+pub mod lower;
+pub mod model;
+
+pub use fortran::lower_fortran;
+pub use lower::{detect_offload, lower, lower_with, OffloadKind};
+pub use model::{BasicBlock, Global, Instr, IrFunction, Module, Op};
+
+use svlang::unit::Unit;
+use svtree::Tree;
+
+/// Produce the `T_ir` tree for a compiled unit (either language).
+pub fn t_ir(unit: &Unit) -> Tree {
+    if let Some(prog) = &unit.program {
+        let reg = svlang::sema::Registry::build(prog, &unit.system_files);
+        lower(prog, &reg).to_tree()
+    } else if let Some(fprog) = &unit.fprogram {
+        lower_fortran(fprog).to_tree()
+    } else {
+        Tree::empty()
+    }
+}

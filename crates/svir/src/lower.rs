@@ -1,0 +1,1080 @@
+//! C/C++ AST → IR lowering, Clang `-O0` style.
+//!
+//! Every local lives in an `alloca`; reads are `load`s, writes are
+//! `store`s; control flow becomes basic blocks with explicit branches.
+//! Offload models additionally produce a device module plus per-unit
+//! *runtime driver code* (fat-binary registration constructors, `__tgt_*` /
+//! `__pi*` launch shims) — this deliberately reproduces the paper's
+//! observation that offload `T_ir` "contains multiple layers of driver code
+//! that is unrelated to the core algorithm … repeated for each file, thus
+//! artificially increasing the divergence".
+
+use crate::model::{BasicBlock, Global, Instr, IrFunction, Module, Op};
+use svlang::ast::*;
+use svlang::sema::{infer, Registry, Scopes, Ty};
+use svtree::Span;
+
+/// Which offload machinery a unit uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadKind {
+    None,
+    Cuda,
+    Hip,
+    OmpTarget,
+    Sycl,
+}
+
+/// Detect the offload kind from AST content.
+pub fn detect_offload(prog: &Program) -> OffloadKind {
+    let mut has_kernel_attr = false;
+    let mut has_hip_marker = false;
+    let mut has_target_pragma = false;
+    let mut has_sycl = false;
+
+    fn scan_ty(t: &Type, has_sycl: &mut bool, has_hip: &mut bool) {
+        match t {
+            Type::Named { path, args } => {
+                match path.first().map(String::as_str) {
+                    Some("sycl") => *has_sycl = true,
+                    Some(p) if p.starts_with("hip") => *has_hip = true,
+                    _ => {}
+                }
+                for a in args {
+                    scan_ty(a, has_sycl, has_hip);
+                }
+            }
+            Type::Ptr(i) | Type::Ref(i) | Type::Const(i) => scan_ty(i, has_sycl, has_hip),
+            _ => {}
+        }
+    }
+    fn scan_expr(e: &Expr, sycl: &mut bool, hip: &mut bool) {
+        match &e.kind {
+            ExprKind::Path(p) => match p.first().map(String::as_str) {
+                Some("sycl") => *sycl = true,
+                Some(x) if x.starts_with("hip") => *hip = true,
+                _ => {}
+            },
+            ExprKind::Unary { expr, .. } => scan_expr(expr, sycl, hip),
+            ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+                scan_expr(lhs, sycl, hip);
+                scan_expr(rhs, sycl, hip);
+            }
+            ExprKind::Ternary { cond, then_e, else_e } => {
+                scan_expr(cond, sycl, hip);
+                scan_expr(then_e, sycl, hip);
+                scan_expr(else_e, sycl, hip);
+            }
+            ExprKind::Call { callee, targs, args } => {
+                scan_expr(callee, sycl, hip);
+                for t in targs {
+                    scan_ty(t, sycl, hip);
+                }
+                for a in args {
+                    scan_expr(a, sycl, hip);
+                }
+            }
+            ExprKind::KernelLaunch { callee, grid, block, args } => {
+                scan_expr(callee, sycl, hip);
+                scan_expr(grid, sycl, hip);
+                scan_expr(block, sycl, hip);
+                for a in args {
+                    scan_expr(a, sycl, hip);
+                }
+            }
+            ExprKind::Index { base, index } => {
+                scan_expr(base, sycl, hip);
+                scan_expr(index, sycl, hip);
+            }
+            ExprKind::Member { base, .. } => scan_expr(base, sycl, hip),
+            ExprKind::Lambda { body, .. } => scan_block(body, sycl, hip),
+            ExprKind::Cast { ty, expr } => {
+                scan_ty(ty, sycl, hip);
+                scan_expr(expr, sycl, hip);
+            }
+            ExprKind::Construct { ty, args, .. } => {
+                scan_ty(ty, sycl, hip);
+                for a in args {
+                    scan_expr(a, sycl, hip);
+                }
+            }
+            ExprKind::InitList(items) => {
+                for i in items {
+                    scan_expr(i, sycl, hip);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn scan_block(b: &Block, sycl: &mut bool, hip: &mut bool) {
+        for s in &b.stmts {
+            scan_stmt(s, sycl, hip);
+        }
+    }
+    fn scan_stmt(s: &Stmt, sycl: &mut bool, hip: &mut bool) {
+        match s {
+            Stmt::Decl(v) => {
+                scan_ty(&v.ty, sycl, hip);
+                if let Some(i) = &v.init {
+                    scan_expr(i, sycl, hip);
+                }
+            }
+            Stmt::Expr { expr, .. } => scan_expr(expr, sycl, hip),
+            Stmt::If { cond, then_blk, else_blk, .. } => {
+                scan_expr(cond, sycl, hip);
+                scan_block(then_blk, sycl, hip);
+                if let Some(e) = else_blk {
+                    scan_block(e, sycl, hip);
+                }
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                if let Some(i) = init {
+                    scan_stmt(i, sycl, hip);
+                }
+                if let Some(c) = cond {
+                    scan_expr(c, sycl, hip);
+                }
+                if let Some(st) = step {
+                    scan_expr(st, sycl, hip);
+                }
+                scan_block(body, sycl, hip);
+            }
+            Stmt::While { cond, body, .. } => {
+                scan_expr(cond, sycl, hip);
+                scan_block(body, sycl, hip);
+            }
+            Stmt::Return { expr: Some(e), .. } => scan_expr(e, sycl, hip),
+            Stmt::Block(b) => scan_block(b, sycl, hip),
+            Stmt::Pragma { stmt: Some(s), .. } => scan_stmt(s, sycl, hip),
+            _ => {}
+        }
+    }
+
+    for item in &prog.items {
+        match item {
+            Item::Function(f) => {
+                if f.is_device() {
+                    has_kernel_attr = true;
+                }
+                for p in &f.params {
+                    scan_ty(&p.ty, &mut has_sycl, &mut has_hip_marker);
+                }
+                if let Some(b) = &f.body {
+                    scan_block(b, &mut has_sycl, &mut has_hip_marker);
+                }
+            }
+            Item::Global(v) => {
+                scan_ty(&v.ty, &mut has_sycl, &mut has_hip_marker);
+                if let Some(i) = &v.init {
+                    scan_expr(i, &mut has_sycl, &mut has_hip_marker);
+                }
+            }
+            Item::Pragma(p)
+                if p.domain == "omp" && p.path.first().map(String::as_str) == Some("declare") => {
+                    has_target_pragma = true;
+                }
+            _ => {}
+        }
+    }
+    // Target pragmas inside functions:
+    fn any_target(b: &Block) -> bool {
+        b.stmts.iter().any(|s| match s {
+            Stmt::Pragma { dir, stmt, .. } => {
+                (dir.domain == "omp" && dir.path.first().map(String::as_str) == Some("target"))
+                    || stmt.as_deref().is_some_and(|s| match s {
+                        Stmt::Block(b) => any_target(b),
+                        Stmt::For { body, .. } | Stmt::While { body, .. } => any_target(body),
+                        _ => false,
+                    })
+            }
+            Stmt::Block(b) => any_target(b),
+            Stmt::For { body, .. } | Stmt::While { body, .. } => any_target(body),
+            Stmt::If { then_blk, else_blk, .. } => {
+                any_target(then_blk) || else_blk.as_ref().is_some_and(any_target)
+            }
+            _ => false,
+        })
+    }
+    for item in &prog.items {
+        if let Item::Function(f) = item {
+            if let Some(b) = &f.body {
+                if any_target(b) {
+                    has_target_pragma = true;
+                }
+            }
+        }
+    }
+
+    if has_sycl {
+        OffloadKind::Sycl
+    } else if has_kernel_attr && has_hip_marker {
+        OffloadKind::Hip
+    } else if has_kernel_attr {
+        OffloadKind::Cuda
+    } else if has_target_pragma {
+        OffloadKind::OmpTarget
+    } else {
+        OffloadKind::None
+    }
+}
+
+/// Lower a parsed unit to an IR [`Module`] (auto-detecting offload kind).
+pub fn lower(prog: &Program, reg: &Registry) -> Module {
+    lower_with(prog, reg, detect_offload(prog))
+}
+
+/// Lower with an explicit offload kind.
+pub fn lower_with(prog: &Program, reg: &Registry, offload: OffloadKind) -> Module {
+    let mut lw = Lowerer {
+        reg,
+        offload,
+        host_fns: Vec::new(),
+        dev_fns: Vec::new(),
+        globals: Vec::new(),
+        lambda_counter: 0,
+        outline_counter: 0,
+    };
+    for item in &prog.items {
+        match item {
+            Item::Function(f) => lw.lower_top_function(f),
+            Item::Global(v) => {
+                lw.globals.push(Global {
+                    ty: v.ty.label(),
+                    span: Some(Span::line(v.file.0, v.line)),
+                });
+            }
+            Item::Struct(s) => {
+                for m in &s.methods {
+                    lw.lower_top_function(m);
+                }
+            }
+            _ => {}
+        }
+    }
+    lw.finish(prog)
+}
+
+struct Lowerer<'r> {
+    reg: &'r Registry,
+    offload: OffloadKind,
+    host_fns: Vec<IrFunction>,
+    dev_fns: Vec<IrFunction>,
+    globals: Vec<Global>,
+    lambda_counter: usize,
+    outline_counter: usize,
+}
+
+/// Per-function lowering state.
+struct FnCtx {
+    blocks: Vec<BasicBlock>,
+    cur: usize,
+    scopes: Scopes,
+    /// (break target, continue target) stack.
+    loops: Vec<(usize, usize)>,
+    device: bool,
+    file: u32,
+}
+
+impl FnCtx {
+    fn new(device: bool, file: u32) -> FnCtx {
+        FnCtx {
+            blocks: vec![BasicBlock::default()],
+            cur: 0,
+            scopes: Scopes::new(),
+            loops: Vec::new(),
+            device,
+            file,
+        }
+    }
+
+    fn span(&self, line: u32) -> Option<Span> {
+        Some(Span::line(self.file, line))
+    }
+
+    fn emit(&mut self, op: Op, line: u32) {
+        let span = self.span(line);
+        self.blocks[self.cur].instrs.push(Instr { op, span });
+    }
+
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn switch_to(&mut self, bb: usize) {
+        self.cur = bb;
+    }
+}
+
+impl Lowerer<'_> {
+    fn lower_top_function(&mut self, f: &Function) {
+        let Some(body) = &f.body else { return };
+        let device = f.is_device()
+            && matches!(self.offload, OffloadKind::Cuda | OffloadKind::Hip);
+        let mut cx = FnCtx::new(device, f.file.0);
+        // Clang -O0: params get allocas + stores.
+        for p in &f.params {
+            cx.emit(Op::Alloca, p.line);
+            cx.emit(Op::Store, p.line);
+            cx.scopes.declare(&p.name, Ty::of(&p.ty));
+        }
+        self.lower_block(&mut cx, body);
+        // Ensure terminator.
+        let has_term = cx.blocks[cx.cur]
+            .instrs
+            .last()
+            .is_some_and(|i| matches!(i.op, Op::Ret { .. } | Op::Br(_) | Op::CondBr { .. }));
+        if !has_term {
+            cx.emit(Op::Ret { has_value: !matches!(f.ret, Type::Void) }, f.end_line);
+        }
+        let irf = IrFunction {
+            name: f.name.clone(),
+            params: f.params.len(),
+            blocks: cx.blocks,
+            kernel: f.is_kernel(),
+            span: Some(Span::lines(f.file.0, f.line, f.end_line.max(f.line))),
+        };
+        if device {
+            self.dev_fns.push(irf);
+        } else {
+            self.host_fns.push(irf);
+        }
+    }
+
+    fn lower_block(&mut self, cx: &mut FnCtx, blk: &Block) {
+        cx.scopes.push();
+        for s in &blk.stmts {
+            self.lower_stmt(cx, s);
+        }
+        cx.scopes.pop();
+    }
+
+    fn lower_stmt(&mut self, cx: &mut FnCtx, s: &Stmt) {
+        match s {
+            Stmt::Decl(v) => {
+                cx.emit(Op::Alloca, v.line);
+                let ty = Ty::of(&v.ty);
+                if let Some(init) = &v.init {
+                    let got = self.lower_expr(cx, init);
+                    if ty == Ty::Real && got == Ty::Int {
+                        cx.emit(Op::Cast("sitofp"), v.line);
+                    }
+                    cx.emit(Op::Store, v.line);
+                }
+                cx.scopes.declare(&v.name, ty);
+            }
+            Stmt::Expr { expr, .. } => {
+                self.lower_expr(cx, expr);
+            }
+            Stmt::If { cond, then_blk, else_blk, line } => {
+                self.lower_expr(cx, cond);
+                let then_bb = cx.new_block();
+                let else_bb = else_blk.as_ref().map(|_| cx.new_block());
+                let merge = cx.new_block();
+                cx.emit(
+                    Op::CondBr { then_bb, else_bb: else_bb.unwrap_or(merge) },
+                    *line,
+                );
+                cx.switch_to(then_bb);
+                self.lower_block(cx, then_blk);
+                cx.emit(Op::Br(merge), then_blk.end_line);
+                if let (Some(eb), Some(eblk)) = (else_bb, else_blk.as_ref()) {
+                    cx.switch_to(eb);
+                    self.lower_block(cx, eblk);
+                    cx.emit(Op::Br(merge), eblk.end_line);
+                }
+                cx.switch_to(merge);
+            }
+            Stmt::For { init, cond, step, body, line } => {
+                cx.scopes.push();
+                if let Some(i) = init {
+                    self.lower_stmt(cx, i);
+                }
+                let cond_bb = cx.new_block();
+                let body_bb = cx.new_block();
+                let step_bb = cx.new_block();
+                let exit_bb = cx.new_block();
+                cx.emit(Op::Br(cond_bb), *line);
+                cx.switch_to(cond_bb);
+                if let Some(c) = cond {
+                    self.lower_expr(cx, c);
+                }
+                cx.emit(Op::CondBr { then_bb: body_bb, else_bb: exit_bb }, *line);
+                cx.switch_to(body_bb);
+                cx.loops.push((exit_bb, step_bb));
+                self.lower_block(cx, body);
+                cx.loops.pop();
+                cx.emit(Op::Br(step_bb), body.end_line);
+                cx.switch_to(step_bb);
+                if let Some(st) = step {
+                    self.lower_expr(cx, st);
+                }
+                cx.emit(Op::Br(cond_bb), *line);
+                cx.switch_to(exit_bb);
+                cx.scopes.pop();
+            }
+            Stmt::While { cond, body, line } => {
+                let cond_bb = cx.new_block();
+                let body_bb = cx.new_block();
+                let exit_bb = cx.new_block();
+                cx.emit(Op::Br(cond_bb), *line);
+                cx.switch_to(cond_bb);
+                self.lower_expr(cx, cond);
+                cx.emit(Op::CondBr { then_bb: body_bb, else_bb: exit_bb }, *line);
+                cx.switch_to(body_bb);
+                cx.loops.push((exit_bb, cond_bb));
+                self.lower_block(cx, body);
+                cx.loops.pop();
+                cx.emit(Op::Br(cond_bb), body.end_line);
+                cx.switch_to(exit_bb);
+            }
+            Stmt::Switch { scrutinee, arms, line } => {
+                self.lower_expr(cx, scrutinee);
+                let exit_bb = cx.new_block();
+                // One block per arm plus a compare chain (lowered the way
+                // clang -O0 emits small switches).
+                let arm_bbs: Vec<usize> = arms.iter().map(|_| cx.new_block()).collect();
+                for (arm, &bb) in arms.iter().zip(&arm_bbs) {
+                    if arm.value.is_some() {
+                        cx.emit(Op::Cmp { fp: false, pred: "==" }, *line);
+                        cx.emit(Op::CondBr { then_bb: bb, else_bb: exit_bb }, *line);
+                    } else {
+                        cx.emit(Op::Br(bb), *line);
+                    }
+                }
+                for (arm, &bb) in arms.iter().zip(&arm_bbs) {
+                    cx.switch_to(bb);
+                    cx.loops.push((exit_bb, exit_bb)); // break exits the switch
+                    for st in &arm.stmts {
+                        self.lower_stmt(cx, st);
+                    }
+                    cx.loops.pop();
+                    cx.emit(Op::Br(exit_bb), *line);
+                }
+                cx.switch_to(exit_bb);
+            }
+            Stmt::Return { expr, line } => {
+                if let Some(e) = expr {
+                    self.lower_expr(cx, e);
+                }
+                cx.emit(Op::Ret { has_value: expr.is_some() }, *line);
+            }
+            Stmt::Break { line } => {
+                if let Some(&(exit, _)) = cx.loops.last() {
+                    cx.emit(Op::Br(exit), *line);
+                }
+            }
+            Stmt::Continue { line } => {
+                if let Some(&(_, step)) = cx.loops.last() {
+                    cx.emit(Op::Br(step), *line);
+                }
+            }
+            Stmt::Block(b) => self.lower_block(cx, b),
+            Stmt::Pragma { dir, stmt, line } => self.lower_pragma(cx, dir, stmt.as_deref(), *line),
+        }
+    }
+
+    fn lower_pragma(&mut self, cx: &mut FnCtx, dir: &Pragma, stmt: Option<&Stmt>, line: u32) {
+        if dir.domain != "omp" {
+            // OpenACC on Clang host path: no lowering (directive ignored).
+            if let Some(s) = stmt {
+                self.lower_stmt(cx, s);
+            }
+            return;
+        }
+        let is_target = dir.path.first().map(String::as_str) == Some("target")
+            && !dir.path.iter().any(|w| w == "data" || w == "update");
+        let is_parallel = dir.path.iter().any(|w| w == "parallel" || w == "taskloop");
+
+        if is_target && self.offload == OffloadKind::OmpTarget {
+            // Outline the region into a device function; host emits data
+            // mapping + kernel launch driver calls.
+            for c in &dir.clauses {
+                if c.name == "map" {
+                    cx.emit(
+                        Op::Call { callee: "__tgt_target_data_begin".into(), args: c.args.len() },
+                        line,
+                    );
+                }
+            }
+            let name = format!("__omp_offloading_{}", self.outline_counter);
+            self.outline_counter += 1;
+            if let Some(s) = stmt {
+                let mut dcx = FnCtx::new(true, cx.file);
+                self.lower_stmt(&mut dcx, s);
+                dcx.emit(Op::Ret { has_value: false }, line);
+                self.dev_fns.push(IrFunction {
+                    name,
+                    params: 0,
+                    blocks: dcx.blocks,
+                    kernel: true,
+                    span: cx.span(line),
+                });
+            }
+            cx.emit(Op::Call { callee: "__tgt_target_kernel".into(), args: 4 }, line);
+            for c in &dir.clauses {
+                if c.name == "map" {
+                    cx.emit(
+                        Op::Call { callee: "__tgt_target_data_end".into(), args: c.args.len() },
+                        line,
+                    );
+                }
+            }
+            return;
+        }
+        if is_parallel {
+            // Host OpenMP: Clang outlines the region and calls the runtime.
+            let name = format!(".omp_outlined.{}", self.outline_counter);
+            self.outline_counter += 1;
+            if let Some(s) = stmt {
+                let mut ocx = FnCtx::new(cx.device, cx.file);
+                if dir.path.iter().any(|w| w == "for" || w == "taskloop") {
+                    // Work-sharing init/fini runtime calls inside the
+                    // outlined body.
+                    ocx.emit(Op::Call { callee: "__kmpc_for_static_init".into(), args: 6 }, line);
+                    self.lower_stmt(&mut ocx, s);
+                    ocx.emit(Op::Call { callee: "__kmpc_for_static_fini".into(), args: 2 }, line);
+                } else {
+                    self.lower_stmt(&mut ocx, s);
+                }
+                for c in &dir.clauses {
+                    if c.name == "reduction" {
+                        ocx.emit(Op::Call { callee: "__kmpc_reduce".into(), args: c.args.len() }, line);
+                    }
+                }
+                ocx.emit(Op::Ret { has_value: false }, line);
+                self.host_fns.push(IrFunction {
+                    name,
+                    params: 2,
+                    blocks: ocx.blocks,
+                    kernel: false,
+                    span: cx.span(line),
+                });
+            }
+            cx.emit(Op::Call { callee: "__kmpc_fork_call".into(), args: 3 }, line);
+            return;
+        }
+        // Other directives (simd, barrier, critical…): runtime call + body.
+        cx.emit(
+            Op::Call { callee: format!("__kmpc_{}", dir.path.join("_")), args: dir.clauses.len() },
+            line,
+        );
+        if let Some(s) = stmt {
+            self.lower_stmt(cx, s);
+        }
+    }
+
+    /// Lower an expression for its value; returns its coarse type.
+    fn lower_expr(&mut self, cx: &mut FnCtx, e: &Expr) -> Ty {
+        let line = e.line;
+        match &e.kind {
+            // Constants fold into operands; no instruction.
+            ExprKind::Int(_) | ExprKind::Char(_) => Ty::Int,
+            ExprKind::Real(_) => Ty::Real,
+            ExprKind::Bool(_) => Ty::Bool,
+            ExprKind::Str(_) => Ty::Ptr,
+            ExprKind::Path(p) => {
+                cx.emit(Op::Load, line);
+                if p.len() == 1 {
+                    cx.scopes.lookup(&p[0])
+                } else {
+                    Ty::Unknown
+                }
+            }
+            ExprKind::Unary { op, expr, postfix: _ } => match *op {
+                "++" | "--" => {
+                    cx.emit(Op::Load, line);
+                    let t = infer(expr, &cx.scopes, self.reg);
+                    cx.emit(Op::Bin(if t == Ty::Real { "fadd" } else { "add" }), line);
+                    cx.emit(Op::Store, line);
+                    t
+                }
+                "-" => {
+                    let t = self.lower_expr(cx, expr);
+                    cx.emit(Op::Bin(if t == Ty::Real { "fneg" } else { "sub" }), line);
+                    t
+                }
+                "!" => {
+                    self.lower_expr(cx, expr);
+                    cx.emit(Op::Cmp { fp: false, pred: "==" }, line);
+                    Ty::Bool
+                }
+                "*" => {
+                    self.lower_expr(cx, expr);
+                    cx.emit(Op::Load, line);
+                    Ty::Unknown
+                }
+                "&" => {
+                    // Address-of: no load of the operand.
+                    Ty::Ptr
+                }
+                _ => self.lower_expr(cx, expr),
+            },
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lt = self.lower_expr(cx, lhs);
+                let rt = self.lower_expr(cx, rhs);
+                let fp = lt == Ty::Real || rt == Ty::Real;
+                if fp && lt == Ty::Int {
+                    cx.emit(Op::Cast("sitofp"), line);
+                }
+                if fp && rt == Ty::Int {
+                    cx.emit(Op::Cast("sitofp"), line);
+                }
+                match *op {
+                    "+" => cx.emit(Op::Bin(if fp { "fadd" } else { "add" }), line),
+                    "-" => cx.emit(Op::Bin(if fp { "fsub" } else { "sub" }), line),
+                    "*" => cx.emit(Op::Bin(if fp { "fmul" } else { "mul" }), line),
+                    "/" => cx.emit(Op::Bin(if fp { "fdiv" } else { "sdiv" }), line),
+                    "%" => cx.emit(Op::Bin("srem"), line),
+                    "<<" => cx.emit(Op::Bin("shl"), line),
+                    ">>" => cx.emit(Op::Bin("lshr"), line),
+                    "&" => cx.emit(Op::Bin("and"), line),
+                    "|" => cx.emit(Op::Bin("or"), line),
+                    "^" => cx.emit(Op::Bin("xor"), line),
+                    "&&" | "||" => cx.emit(Op::Select, line),
+                    "==" | "!=" | "<" | ">" | "<=" | ">=" => {
+                        cx.emit(Op::Cmp { fp, pred: op_pred(op) }, line);
+                        return Ty::Bool;
+                    }
+                    _ => {}
+                }
+                if fp {
+                    Ty::Real
+                } else {
+                    Ty::Int
+                }
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                let rt = self.lower_expr(cx, rhs);
+                // Address computation for the target.
+                let lt = self.lower_addr(cx, lhs);
+                if *op != "=" {
+                    cx.emit(Op::Load, line);
+                    let fp = lt == Ty::Real || rt == Ty::Real;
+                    let base = op.trim_end_matches('=');
+                    let instr = match base {
+                        "+"
+                            if fp => {
+                                "fadd"
+                            }
+                        "-" => {
+                            if fp {
+                                "fsub"
+                            } else {
+                                "sub"
+                            }
+                        }
+                        "*" => {
+                            if fp {
+                                "fmul"
+                            } else {
+                                "mul"
+                            }
+                        }
+                        "/" => {
+                            if fp {
+                                "fdiv"
+                            } else {
+                                "sdiv"
+                            }
+                        }
+                        _ => "add",
+                    };
+                    cx.emit(Op::Bin(instr), line);
+                }
+                if lt == Ty::Real && rt == Ty::Int {
+                    cx.emit(Op::Cast("sitofp"), line);
+                }
+                cx.emit(Op::Store, line);
+                lt
+            }
+            ExprKind::Ternary { cond, then_e, else_e } => {
+                self.lower_expr(cx, cond);
+                let t = self.lower_expr(cx, then_e);
+                self.lower_expr(cx, else_e);
+                cx.emit(Op::Select, line);
+                t
+            }
+            ExprKind::Call { callee, args, .. } => {
+                for a in args {
+                    self.lower_expr(cx, a);
+                }
+                let name = callee_name(callee);
+                // SYCL kernels: lambdas passed to parallel_for/single_task
+                // were routed to the device module by lower_expr(Lambda) via
+                // the pending mechanism below; the call itself becomes a
+                // runtime enqueue when in SYCL mode.
+                if self.offload == OffloadKind::Sycl && is_sycl_enqueue(callee) {
+                    cx.emit(Op::Call { callee: "__piEnqueueKernelLaunch".into(), args: args.len() }, line);
+                    return Ty::Other;
+                }
+                cx.emit(Op::Call { callee: name.clone(), args: args.len() }, line);
+                self.reg.return_ty(&name)
+            }
+            ExprKind::KernelLaunch { callee, grid, block, args } => {
+                self.lower_expr(cx, grid);
+                self.lower_expr(cx, block);
+                for a in args {
+                    self.lower_expr(cx, a);
+                }
+                let rt = match self.offload {
+                    OffloadKind::Hip => "hipLaunchKernel",
+                    _ => "cudaLaunchKernel",
+                };
+                cx.emit(Op::FuncRef(callee_name(callee)), line);
+                cx.emit(Op::Call { callee: format!("__{rt}"), args: args.len() + 2 }, line);
+                Ty::Other
+            }
+            ExprKind::Index { .. } => {
+                self.lower_addr(cx, e);
+                cx.emit(Op::Load, line);
+                Ty::Unknown
+            }
+            ExprKind::Member { base, .. } => {
+                self.lower_addr_base(cx, base);
+                cx.emit(Op::Gep, line);
+                cx.emit(Op::Load, line);
+                Ty::Unknown
+            }
+            ExprKind::Lambda { params, body, .. } => {
+                // Lambdas lower to synthesized functions.
+                let device = self.offload == OffloadKind::Sycl;
+                let name = format!("__lambda_{}", self.lambda_counter);
+                self.lambda_counter += 1;
+                let mut lcx = FnCtx::new(device, cx.file);
+                for p in params {
+                    lcx.emit(Op::Alloca, p.line);
+                    lcx.emit(Op::Store, p.line);
+                    lcx.scopes.declare(&p.name, Ty::of(&p.ty));
+                }
+                self.lower_block(&mut lcx, body);
+                lcx.emit(Op::Ret { has_value: false }, body.end_line);
+                let irf = IrFunction {
+                    name: name.clone(),
+                    params: params.len(),
+                    blocks: lcx.blocks,
+                    kernel: device,
+                    span: cx.span(line),
+                };
+                if device {
+                    self.dev_fns.push(irf);
+                } else {
+                    self.host_fns.push(irf);
+                }
+                cx.emit(Op::FuncRef(name), line);
+                Ty::Other
+            }
+            ExprKind::Cast { ty, expr } => {
+                let from = self.lower_expr(cx, expr);
+                let to = Ty::of(ty);
+                let kind = match (from, to) {
+                    (Ty::Int, Ty::Real) => "sitofp",
+                    (Ty::Real, Ty::Int) => "fptosi",
+                    _ => "bitcast",
+                };
+                cx.emit(Op::Cast(kind), line);
+                to
+            }
+            ExprKind::Construct { ty, args, .. } => {
+                for a in args {
+                    self.lower_expr(cx, a);
+                }
+                cx.emit(Op::Alloca, line);
+                cx.emit(Op::Call { callee: format!("ctor.{}", ty.label()), args: args.len() }, line);
+                Ty::of(ty)
+            }
+            ExprKind::InitList(items) => {
+                for i in items {
+                    self.lower_expr(cx, i);
+                }
+                cx.emit(Op::Alloca, line);
+                for _ in items {
+                    cx.emit(Op::Store, line);
+                }
+                Ty::Other
+            }
+        }
+    }
+
+    /// Lower an lvalue expression to its address (no final load).
+    fn lower_addr(&mut self, cx: &mut FnCtx, e: &Expr) -> Ty {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::Path(p) => {
+                if p.len() == 1 {
+                    cx.scopes.lookup(&p[0])
+                } else {
+                    Ty::Unknown
+                }
+            }
+            ExprKind::Index { base, index } => {
+                self.lower_addr_base(cx, base);
+                self.lower_expr(cx, index);
+                cx.emit(Op::Gep, line);
+                Ty::Unknown
+            }
+            ExprKind::Member { base, .. } => {
+                self.lower_addr_base(cx, base);
+                cx.emit(Op::Gep, line);
+                Ty::Unknown
+            }
+            ExprKind::Unary { op: "*", expr, .. } => {
+                self.lower_expr(cx, expr);
+                Ty::Unknown
+            }
+            _ => self.lower_expr(cx, e),
+        }
+    }
+
+    fn lower_addr_base(&mut self, cx: &mut FnCtx, base: &Expr) {
+        match &base.kind {
+            ExprKind::Path(_) => {
+                cx.emit(Op::Load, base.line); // load the pointer value
+            }
+            _ => {
+                self.lower_addr(cx, base);
+            }
+        }
+    }
+
+    /// Assemble host/device modules and append the per-unit driver code.
+    fn finish(mut self, prog: &Program) -> Module {
+        let kernels: Vec<String> = self.dev_fns.iter().map(|f| f.name.clone()).collect();
+        let (ctor_prefix, reg_calls): (&str, Vec<String>) = match self.offload {
+            OffloadKind::Cuda => (
+                "__cuda",
+                vec!["__cudaRegisterFatBinary".into(), "__cudaRegisterFatBinaryEnd".into()],
+            ),
+            OffloadKind::Hip => ("__hip", vec!["__hipRegisterFatBinary".into()]),
+            OffloadKind::OmpTarget => ("__omp_offloading", vec!["__tgt_register_lib".into()]),
+            OffloadKind::Sycl => ("__sycl", vec!["__sycl_register_lib".into()]),
+            OffloadKind::None => ("", vec![]),
+        };
+        let device = if self.dev_fns.is_empty() && self.offload == OffloadKind::None {
+            None
+        } else if self.offload != OffloadKind::None {
+            // Driver code: module ctor registering the fat binary and each
+            // kernel, plus a dtor.  Emitted per unit — the repetition is the
+            // point (see module docs).
+            let mut ctor = FnCtx::new(false, prog.main_file.0);
+            for rc in &reg_calls {
+                ctor.emit(Op::Call { callee: rc.clone(), args: 1 }, 0);
+            }
+            for k in &kernels {
+                ctor.emit(Op::FuncRef(k.clone()), 0);
+                ctor.emit(
+                    Op::Call { callee: format!("{ctor_prefix}RegisterFunction"), args: 3 },
+                    0,
+                );
+            }
+            ctor.emit(Op::Ret { has_value: false }, 0);
+            let mut dtor = FnCtx::new(false, prog.main_file.0);
+            dtor.emit(Op::Call { callee: format!("{ctor_prefix}UnregisterFatBinary"), args: 1 }, 0);
+            dtor.emit(Op::Ret { has_value: false }, 0);
+            self.host_fns.push(IrFunction {
+                name: format!("{ctor_prefix}_module_ctor"),
+                params: 0,
+                blocks: ctor.blocks,
+                kernel: false,
+                span: None,
+            });
+            self.host_fns.push(IrFunction {
+                name: format!("{ctor_prefix}_module_dtor"),
+                params: 0,
+                blocks: dtor.blocks,
+                kernel: false,
+                span: None,
+            });
+            Some(Box::new(Module {
+                name: "device".into(),
+                globals: Vec::new(),
+                functions: std::mem::take(&mut self.dev_fns),
+                device: None,
+            }))
+        } else {
+            None
+        };
+        Module {
+            name: "host".into(),
+            globals: self.globals,
+            functions: self.host_fns,
+            device,
+        }
+    }
+}
+
+fn op_pred(op: &str) -> &'static str {
+    match op {
+        "==" => "==",
+        "!=" => "!=",
+        "<" => "<",
+        ">" => ">",
+        "<=" => "<=",
+        ">=" => ">=",
+        _ => "==",
+    }
+}
+
+fn callee_name(callee: &Expr) -> String {
+    match &callee.kind {
+        ExprKind::Path(p) => p.join("::"),
+        ExprKind::Member { member, .. } => member.clone(),
+        _ => "indirect".into(),
+    }
+}
+
+fn is_sycl_enqueue(callee: &Expr) -> bool {
+    matches!(
+        &callee.kind,
+        ExprKind::Member { member, .. } if member == "parallel_for" || member == "single_task"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svlang::pp::{preprocess, PpOptions};
+    use svlang::sema::Registry;
+    use svlang::source::SourceSet;
+
+    fn lower_src(src: &str) -> Module {
+        let mut ss = SourceSet::new();
+        let m = ss.add("m.cpp", src);
+        let out = preprocess(&ss, m, &PpOptions::default()).unwrap();
+        let prog = svlang::parse::parse(out.tokens, m, "m.cpp").unwrap();
+        let reg = Registry::build(&prog, &out.system_files);
+        lower(&prog, &reg)
+    }
+
+    #[test]
+    fn serial_triad_lowering() {
+        let m = lower_src(
+            "void triad(double* a, const double* b, const double* c, double s, int n) {\n\
+               for (int i = 0; i < n; i++) { a[i] = b[i] + s * c[i]; }\n}",
+        );
+        assert_eq!(m.functions.len(), 1);
+        let f = &m.functions[0];
+        // entry + cond + body + step + exit
+        assert_eq!(f.blocks.len(), 5);
+        assert!(m.device.is_none());
+        let t = m.to_tree();
+        let s = t.to_sexpr();
+        assert!(s.contains("fmul"), "{s}");
+        assert!(s.contains("fadd"), "{s}");
+        assert!(s.contains("getelementptr"), "{s}");
+        assert!(s.contains("condbr"), "{s}");
+    }
+
+    #[test]
+    fn int_arithmetic_uses_integer_ops() {
+        let m = lower_src("int f(int a, int b) { return a * b + 7; }");
+        let s = m.to_tree().to_sexpr();
+        assert!(s.contains("mul"), "{s}");
+        assert!(!s.contains("fmul"), "{s}");
+    }
+
+    #[test]
+    fn offload_detection() {
+        let cuda = lower_src("__global__ void k(double* a) { a[0] = 1.0; }\nvoid h() { k<<<1, 1>>>(p); }");
+        assert!(cuda.device.is_some());
+        let serial = lower_src("void f() { }");
+        assert!(serial.device.is_none());
+    }
+
+    #[test]
+    fn cuda_launch_and_driver_code() {
+        let m = lower_src(
+            "__global__ void k(double* a) { a[0] = 1.0; }\nvoid h(double* p) { k<<<64, 256>>>(p); }",
+        );
+        let s = m.to_tree().to_sexpr();
+        assert!(s.contains("call(__cudaLaunchKernel)"), "{s}");
+        assert!(s.contains("call(__cudaRegisterFatBinary)"), "{s}");
+        assert!(s.contains("(OffloadBundle"), "{s}");
+        assert!(s.contains("(kernel"), "{s}");
+        // ctor/dtor pair exists
+        assert!(m.functions.iter().any(|f| f.name == "__cuda_module_ctor"));
+        assert!(m.functions.iter().any(|f| f.name == "__cuda_module_dtor"));
+    }
+
+    #[test]
+    fn omp_host_outlining() {
+        let m = lower_src(
+            "void f(int n) {\n#pragma omp parallel for\nfor (int i = 0; i < n; i++) a[i] = 0.0;\n}",
+        );
+        let s = m.to_tree().to_sexpr();
+        assert!(s.contains("call(__kmpc_fork_call)"), "{s}");
+        assert!(s.contains("call(__kmpc_for_static_init)"), "{s}");
+        assert!(m.functions.len() == 2, "outlined body is its own function");
+        assert!(m.device.is_none(), "host OpenMP has no offload bundle");
+    }
+
+    #[test]
+    fn omp_target_offload_bundle() {
+        let m = lower_src(
+            "void f(int n) {\n#pragma omp target teams distribute parallel for map(tofrom: a)\nfor (int i = 0; i < n; i++) a[i] = 0.0;\n}",
+        );
+        let s = m.to_tree().to_sexpr();
+        assert!(s.contains("call(__tgt_target_kernel)"), "{s}");
+        assert!(s.contains("call(__tgt_target_data_begin)"), "{s}");
+        assert!(s.contains("(OffloadBundle"), "{s}");
+        assert!(s.contains("call(__tgt_register_lib)"), "{s}");
+    }
+
+    #[test]
+    fn sycl_lambda_becomes_device_kernel() {
+        let m = lower_src(
+            "void f(sycl::queue& q, int n) { q.parallel_for(n, [=](int i) { c[i] = a[i] + b[i]; }); }",
+        );
+        let s = m.to_tree().to_sexpr();
+        assert!(s.contains("(OffloadBundle"), "{s}");
+        assert!(s.contains("call(__piEnqueueKernelLaunch)"), "{s}");
+        assert!(s.contains("(kernel"), "{s}");
+    }
+
+    #[test]
+    fn host_lambda_stays_on_host() {
+        let m = lower_src("void f(int n) { auto g = [=](int i) { return i * 2; }; }");
+        assert!(m.device.is_none());
+        assert_eq!(m.functions.len(), 2); // f + the lambda
+    }
+
+    #[test]
+    fn if_else_block_structure() {
+        let m = lower_src("int f(int x) { if (x > 0) { return 1; } else { return 2; } return 0; }");
+        // entry, then, else, merge
+        assert_eq!(m.functions[0].blocks.len(), 4);
+    }
+
+    #[test]
+    fn while_break_continue_branches() {
+        let m = lower_src("void f(int n) { int i = 0; while (i < n) { if (i > 5) break; i++; } }");
+        let s = m.to_tree().to_sexpr();
+        let br_count = m.to_tree().count_labels(|l| l == "br");
+        assert!(br_count >= 3, "{s}");
+    }
+
+    #[test]
+    fn spans_reference_source_lines() {
+        let m = lower_src("void f() {\n  int x = 1;\n  x = x + 2;\n}");
+        let t = m.to_tree();
+        let lines: std::collections::HashSet<u32> = t
+            .preorder()
+            .filter_map(|n| t.span(n))
+            .map(|sp| sp.start_line)
+            .collect();
+        assert!(lines.contains(&2));
+        assert!(lines.contains(&3));
+    }
+
+    #[test]
+    fn driver_code_scales_with_files_not_kernels() {
+        // Two kernels in one unit: one ctor, two RegisterFunction calls.
+        let m = lower_src(
+            "__global__ void k1(double* a) { a[0] = 1.0; }\n__global__ void k2(double* a) { a[0] = 2.0; }\nvoid h(double* p) { k1<<<1,1>>>(p); k2<<<1,1>>>(p); }",
+        );
+        let t = m.to_tree();
+        let reg_fns = t.count_labels(|l| l == "call(__cudaRegisterFunction)");
+        assert_eq!(reg_fns, 2);
+        let fatbins = t.count_labels(|l| l == "call(__cudaRegisterFatBinary)");
+        assert_eq!(fatbins, 1);
+    }
+}

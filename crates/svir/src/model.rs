@@ -1,0 +1,246 @@
+//! IR data model: a platform-independent, LLVM-flavoured instruction set.
+//!
+//! `T_ir` in the paper is "the platform-independent Intermediate
+//! Representation (IR) AST (e.g., LLVM IR) before machine code generation …
+//! stripped of architecture-specific information.  Like T_sem, we retain
+//! all source location references."  The model here mirrors that: modules
+//! of functions of basic blocks of instructions, plus an optional *device
+//! module* representing the embedded offload bundle (`@llvm.embedded.object`)
+//! that CUDA/HIP/OpenMP-target/SYCL compilations produce.
+
+use svtree::{Span, Tree, TreeBuilder};
+
+/// A lowered module (one per compilation unit).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    pub name: String,
+    pub globals: Vec<Global>,
+    pub functions: Vec<IrFunction>,
+    /// Embedded device-side module for offload models (the "offload
+    /// bundle"); `None` for host-only code.
+    pub device: Option<Box<Module>>,
+}
+
+/// A module-level global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Coarse type string (names are stripped at tree emission anyway).
+    pub ty: String,
+    pub span: Option<Span>,
+}
+
+/// A lowered function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrFunction {
+    /// Symbol name — kept in the model for lowering bookkeeping (call
+    /// resolution), stripped when the tree is emitted.
+    pub name: String,
+    pub params: usize,
+    pub blocks: Vec<BasicBlock>,
+    /// Marks device-side entry points (kernels).
+    pub kernel: bool,
+    pub span: Option<Span>,
+}
+
+/// A basic block: straight-line instructions ending in a terminator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BasicBlock {
+    pub instrs: Vec<Instr>,
+}
+
+/// Instructions.  Operand *values* are not modelled (the tree metric only
+/// sees instruction kinds and structure), but operand *types* shape the
+/// opcode (`fadd` vs `add`), matching real LLVM IR divergence behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    pub op: Op,
+    pub span: Option<Span>,
+}
+
+/// Instruction opcodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    Alloca,
+    Load,
+    Store,
+    /// Arithmetic: `add`, `fadd`, `mul`, `fmul`, `sdiv`, `fdiv`, `srem`,
+    /// `sub`, `fsub`, `shl`, `lshr`, `and`, `or`, `xor` …
+    Bin(&'static str),
+    /// Comparison: `icmp(<)`, `fcmp(<=)` …
+    Cmp { fp: bool, pred: &'static str },
+    /// Unconditional branch to block index.
+    Br(usize),
+    /// Conditional branch.
+    CondBr { then_bb: usize, else_bb: usize },
+    Ret { has_value: bool },
+    /// Direct call; callee name participates in lowering but the emitted
+    /// label keeps only an intrinsic/runtime classification.
+    Call { callee: String, args: usize },
+    /// Address arithmetic (array indexing / member access).
+    Gep,
+    /// Value casts: `sitofp`, `fptosi`, `bitcast`, `zext` …
+    Cast(&'static str),
+    /// Select (ternary lowered without control flow).
+    Select,
+    /// Taking the address of a function (lambdas, kernel stubs).
+    FuncRef(String),
+    Unreachable,
+}
+
+impl Op {
+    /// The label used in `T_ir` trees.  Symbol names are discarded; calls
+    /// keep only a runtime/user classification, reproducing the paper's
+    /// "discard all symbol names but retain instruction names, functions,
+    /// basic blocks, and globals".
+    pub fn label(&self) -> String {
+        match self {
+            Op::Alloca => "alloca".into(),
+            Op::Load => "load".into(),
+            Op::Store => "store".into(),
+            Op::Bin(op) => (*op).into(),
+            Op::Cmp { fp, pred } => {
+                if *fp {
+                    format!("fcmp({pred})")
+                } else {
+                    format!("icmp({pred})")
+                }
+            }
+            Op::Br(_) => "br".into(),
+            Op::CondBr { .. } => "condbr".into(),
+            Op::Ret { .. } => "ret".into(),
+            Op::Call { callee, .. } => {
+                if callee.starts_with("__") || callee.starts_with("llvm.") {
+                    // Runtime/driver calls keep their classification: this
+                    // is exactly the driver code the paper observes
+                    // inflating offload T_ir.
+                    format!("call({callee})")
+                } else {
+                    "call".into()
+                }
+            }
+            Op::Gep => "getelementptr".into(),
+            Op::Cast(k) => (*k).into(),
+            Op::Select => "select".into(),
+            Op::FuncRef(_) => "funcref".into(),
+            Op::Unreachable => "unreachable".into(),
+        }
+    }
+}
+
+impl Module {
+    /// Total instruction count (host + device).
+    pub fn instr_count(&self) -> usize {
+        let own: usize = self
+            .functions
+            .iter()
+            .map(|f| f.blocks.iter().map(|b| b.instrs.len()).sum::<usize>())
+            .sum();
+        own + self.device.as_ref().map(|d| d.instr_count()).unwrap_or(0)
+    }
+
+    /// Emit the stripped `T_ir` tree.
+    pub fn to_tree(&self) -> Tree {
+        let mut b = TreeBuilder::new("IRModule");
+        self.emit_into(&mut b);
+        b.finish()
+    }
+
+    fn emit_into(&self, b: &mut TreeBuilder) {
+        for g in &self.globals {
+            b.leaf_span(format!("global({})", g.ty), g.span);
+        }
+        for f in &self.functions {
+            let label = if f.kernel { "kernel" } else { "define" };
+            b.open_span(label, f.span);
+            for _ in 0..f.params {
+                b.leaf_span("param", f.span);
+            }
+            for blk in &f.blocks {
+                b.open_span("block", f.span);
+                for i in &blk.instrs {
+                    b.leaf_span(i.op.label(), i.span);
+                }
+                b.close();
+            }
+            b.close();
+        }
+        if let Some(dev) = &self.device {
+            b.open_span("OffloadBundle", None);
+            dev.emit_into(b);
+            b.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(name: &str, kernel: bool, instrs: Vec<Op>) -> IrFunction {
+        IrFunction {
+            name: name.into(),
+            params: 2,
+            blocks: vec![BasicBlock {
+                instrs: instrs.into_iter().map(|op| Instr { op, span: None }).collect(),
+            }],
+            kernel,
+            span: None,
+        }
+    }
+
+    #[test]
+    fn op_labels_strip_user_names() {
+        assert_eq!(Op::Call { callee: "my_helper".into(), args: 3 }.label(), "call");
+        assert_eq!(
+            Op::Call { callee: "__cudaRegisterFatBinary".into(), args: 1 }.label(),
+            "call(__cudaRegisterFatBinary)"
+        );
+        assert_eq!(Op::Bin("fadd").label(), "fadd");
+        assert_eq!(Op::Cmp { fp: true, pred: "<" }.label(), "fcmp(<)");
+    }
+
+    #[test]
+    fn tree_emission_shape() {
+        let m = Module {
+            name: "unit".into(),
+            globals: vec![Global { ty: "double*".into(), span: None }],
+            functions: vec![f("main", false, vec![Op::Alloca, Op::Store, Op::Ret { has_value: true }])],
+            device: None,
+        };
+        let t = m.to_tree();
+        let s = t.to_sexpr();
+        assert!(s.starts_with("(IRModule global(double*) (define"), "{s}");
+        assert!(s.contains("(block alloca store ret)"), "{s}");
+    }
+
+    #[test]
+    fn device_module_nests_as_offload_bundle() {
+        let dev = Module {
+            name: "dev".into(),
+            globals: vec![],
+            functions: vec![f("k", true, vec![Op::Load, Op::Store, Op::Ret { has_value: false }])],
+            device: None,
+        };
+        let m = Module {
+            name: "host".into(),
+            globals: vec![],
+            functions: vec![f("main", false, vec![Op::Ret { has_value: true }])],
+            device: Some(Box::new(dev)),
+        };
+        let s = m.to_tree().to_sexpr();
+        assert!(s.contains("(OffloadBundle"), "{s}");
+        assert!(s.contains("(kernel"), "{s}");
+        assert_eq!(m.instr_count(), 4);
+    }
+
+    #[test]
+    fn identical_modules_identical_trees() {
+        let mk = || Module {
+            name: "u".into(),
+            globals: vec![],
+            functions: vec![f("x", false, vec![Op::Load, Op::Bin("fadd"), Op::Store])],
+            device: None,
+        };
+        assert_eq!(mk().to_tree().structural_hash(), mk().to_tree().structural_hash());
+    }
+}

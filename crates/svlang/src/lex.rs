@@ -1,0 +1,574 @@
+//! Lexer for the C/C++-family dialect.
+//!
+//! Produces a flat token stream with per-token locations.  Comments can be
+//! retained (the CST/`T_src` path and the SLOC/LLOC counters need to know
+//! where they are) or skipped (the preprocessor and AST parser paths).
+//! Preprocessor directives are *not* interpreted here: a `#` at the start
+//! of a line becomes a [`TokKind::Hash`] token and the preprocessor layer
+//! consumes the rest of that logical line.
+
+use crate::source::{FileId, LangError, Loc, Result};
+
+/// Token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword (the parser distinguishes).
+    Ident(String),
+    /// Integer literal (value after parsing; hex/decimal).
+    Int(i64),
+    /// Floating-point literal.
+    Real(f64),
+    /// String literal (unescaped content).
+    Str(String),
+    /// Character literal.
+    Char(char),
+    /// Operator / punctuation, maximal munch (e.g. `<<=`, `->`, `::`).
+    Punct(&'static str),
+    /// `#` introducing a preprocessor directive (only at line start).
+    Hash,
+    /// A comment (only emitted when `keep_comments` is set); the payload is
+    /// the raw text including delimiters.
+    Comment(String),
+    /// End of one source line — emitted only in directive-scanning mode so
+    /// the preprocessor can find the end of a directive.  The normal token
+    /// stream has no newline tokens.
+    Newline,
+    /// A retained `#pragma` directive carrying its content tokens.  The
+    /// lexer never produces this; the preprocessor synthesises it so that
+    /// semantic-bearing pragmas (OpenMP/OpenACC) survive preprocessing.
+    Pragma(Vec<Token>),
+}
+
+impl TokKind {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, TokKind::Punct(q) if *q == p)
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub loc: Loc,
+}
+
+impl Token {
+    pub fn new(kind: TokKind, loc: Loc) -> Self {
+        Token { kind, loc }
+    }
+}
+
+/// Multi-character punctuation, longest first (maximal munch).
+const PUNCTS: &[&str] = &[
+    "<<<", ">>>", "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=", ">=",
+    "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##", "{", "}",
+    "(", ")", "[", "]", ";", ",", ".", "<", ">", "+", "-", "*", "/", "%", "=", "!", "&", "|",
+    "^", "~", "?", ":", "#",
+];
+
+/// Lexer options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LexOptions {
+    /// Emit [`TokKind::Comment`] tokens instead of dropping comments.
+    pub keep_comments: bool,
+    /// Emit [`TokKind::Newline`] at each line break (directive scanning).
+    pub keep_newlines: bool,
+}
+
+/// Tokenise `text` belonging to `file`.
+pub fn lex(text: &str, file: FileId, path: &str, opts: LexOptions) -> Result<Vec<Token>> {
+    let mut lx = Lexer {
+        src: text.as_bytes(),
+        pos: 0,
+        line: 1,
+        file,
+        path,
+        opts,
+        at_line_start: true,
+        out: Vec::new(),
+    };
+    lx.run()?;
+    Ok(lx.out)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    file: FileId,
+    path: &'a str,
+    opts: LexOptions,
+    at_line_start: bool,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn loc(&self) -> Loc {
+        Loc::new(self.file, self.line)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        LangError::new(self.path, self.line, msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            if self.opts.keep_newlines {
+                self.out.push(Token::new(TokKind::Newline, Loc::new(self.file, self.line - 1)));
+            }
+            self.at_line_start = true;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokKind, loc: Loc) {
+        self.out.push(Token::new(kind, loc));
+        self.at_line_start = false;
+    }
+
+    fn run(&mut self) -> Result<()> {
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'\\' if self.peek2() == Some(b'\n') => {
+                    // Line continuation: swallow, keep logical line flowing.
+                    self.pos += 1;
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => self.line_comment(),
+                b'/' if self.peek2() == Some(b'*') => self.block_comment()?,
+                b'"' => self.string_lit()?,
+                b'\'' => self.char_lit()?,
+                b'0'..=b'9' => self.number()?,
+                b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                b'#' if self.at_line_start => {
+                    let loc = self.loc();
+                    self.bump();
+                    self.push(TokKind::Hash, loc);
+                }
+                _ => self.punct()?,
+            }
+        }
+        Ok(())
+    }
+
+    fn line_comment(&mut self) {
+        let loc = self.loc();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.opts.keep_comments {
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(TokKind::Comment(text), loc);
+        }
+    }
+
+    fn block_comment(&mut self) -> Result<()> {
+        let loc = self.loc();
+        let start = self.pos;
+        self.pos += 2; // consume /*
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated block comment")),
+                Some(b'*') if self.peek2() == Some(b'/') => {
+                    self.pos += 2;
+                    break;
+                }
+                Some(b'\n') => {
+                    self.bump();
+                }
+                Some(_) => {
+                    self.pos += 1;
+                }
+            }
+        }
+        if self.opts.keep_comments {
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(TokKind::Comment(text), loc);
+        }
+        Ok(())
+    }
+
+    fn string_lit(&mut self) -> Result<()> {
+        let loc = self.loc();
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => return Err(self.err("unterminated string literal")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    s.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'0' => '\0',
+                        b'\\' => '\\',
+                        b'"' => '"',
+                        b'\'' => '\'',
+                        other => other as char,
+                    });
+                }
+                Some(b) => {
+                    self.pos += 1;
+                    s.push(b as char);
+                }
+            }
+        }
+        self.push(TokKind::Str(s), loc);
+        Ok(())
+    }
+
+    fn char_lit(&mut self) -> Result<()> {
+        let loc = self.loc();
+        self.pos += 1;
+        let c = match self.peek().ok_or_else(|| self.err("unterminated char literal"))? {
+            b'\\' => {
+                self.pos += 1;
+                let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                self.pos += 1;
+                match esc {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'0' => '\0',
+                    b'\\' => '\\',
+                    b'\'' => '\'',
+                    other => other as char,
+                }
+            }
+            b => {
+                self.pos += 1;
+                b as char
+            }
+        };
+        if self.peek() != Some(b'\'') {
+            return Err(self.err("unterminated char literal"));
+        }
+        self.pos += 1;
+        self.push(TokKind::Char(c), loc);
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<()> {
+        let loc = self.loc();
+        let start = self.pos;
+        // Hex?
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.pos += 2;
+            let hs = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_hexdigit()) {
+                self.pos += 1;
+            }
+            if self.pos == hs {
+                return Err(self.err("empty hex literal"));
+            }
+            let text = std::str::from_utf8(&self.src[hs..self.pos]).unwrap();
+            let v = i64::from_str_radix(text, 16)
+                .map_err(|_| self.err("hex literal out of range"))?;
+            self.skip_int_suffix();
+            self.push(TokKind::Int(v), loc);
+            return Ok(());
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    self.pos += 1;
+                }
+                b'.' if !is_float && (self.peek2() != Some(b'.')) => {
+                    // not the `..`/member case: 1.5 or "1." forms
+                    is_float = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' => {
+                    // Exponent only if followed by digit or sign+digit.
+                    let sign = self.peek2();
+                    let after = self.src.get(self.pos + 2).copied();
+                    let has_exp = match sign {
+                        Some(d) if d.is_ascii_digit() => true,
+                        Some(b'+') | Some(b'-') => after.is_some_and(|d| d.is_ascii_digit()),
+                        _ => false,
+                    };
+                    if !has_exp {
+                        break;
+                    }
+                    is_float = true;
+                    self.pos += 2; // e and sign-or-digit
+                    while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                        self.pos += 1;
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        // Float suffix promotes; integer suffixes are skipped.
+        if matches!(self.peek(), Some(b'f') | Some(b'F')) {
+            is_float = true;
+            self.pos += 1;
+        } else {
+            self.skip_int_suffix();
+        }
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| self.err("bad float literal"))?;
+            self.push(TokKind::Real(v), loc);
+        } else {
+            let v: i64 = text.parse().map_err(|_| self.err("int literal out of range"))?;
+            self.push(TokKind::Int(v), loc);
+        }
+        Ok(())
+    }
+
+    fn skip_int_suffix(&mut self) {
+        while matches!(self.peek(), Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')) {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) {
+        let loc = self.loc();
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Ident(text), loc);
+    }
+
+    fn punct(&mut self) -> Result<()> {
+        let loc = self.loc();
+        for p in PUNCTS {
+            if self.src[self.pos..].starts_with(p.as_bytes()) {
+                self.pos += p.len();
+                self.push(TokKind::Punct(p), loc);
+                return Ok(());
+            }
+        }
+        Err(self.err(format!("unexpected character '{}'", self.src[self.pos] as char)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<TokKind> {
+        lex(text, FileId(0), "test.cpp", LexOptions::default())
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_keywords_flow_through() {
+        assert_eq!(
+            kinds("int foo_1 _bar"),
+            vec![
+                TokKind::Ident("int".into()),
+                TokKind::Ident("foo_1".into()),
+                TokKind::Ident("_bar".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_literals() {
+        assert_eq!(kinds("42 0 0x1F 7u 9L"), vec![
+            TokKind::Int(42),
+            TokKind::Int(0),
+            TokKind::Int(31),
+            TokKind::Int(7),
+            TokKind::Int(9),
+        ]);
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(
+            kinds("1.5 0.4f 2e3 1.0e-5 .5"),
+            vec![
+                TokKind::Real(1.5),
+                TokKind::Real(0.4),
+                TokKind::Real(2000.0),
+                TokKind::Real(1.0e-5),
+                TokKind::Real(0.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_vs_member_access() {
+        // `x.size` must not lex `.size` as a number.
+        assert_eq!(
+            kinds("x.size"),
+            vec![
+                TokKind::Ident("x".into()),
+                TokKind::Punct("."),
+                TokKind::Ident("size".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn string_and_char_literals() {
+        assert_eq!(
+            kinds(r#""hi\n" 'a' '\n'"#),
+            vec![TokKind::Str("hi\n".into()), TokKind::Char('a'), TokKind::Char('\n')]
+        );
+    }
+
+    #[test]
+    fn multi_char_puncts_maximal_munch() {
+        assert_eq!(
+            kinds("a<<<g,b>>>(x); y <<= 2; p->q; s::t"),
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Punct("<<<"),
+                TokKind::Ident("g".into()),
+                TokKind::Punct(","),
+                TokKind::Ident("b".into()),
+                TokKind::Punct(">>>"),
+                TokKind::Punct("("),
+                TokKind::Ident("x".into()),
+                TokKind::Punct(")"),
+                TokKind::Punct(";"),
+                TokKind::Ident("y".into()),
+                TokKind::Punct("<<="),
+                TokKind::Int(2),
+                TokKind::Punct(";"),
+                TokKind::Ident("p".into()),
+                TokKind::Punct("->"),
+                TokKind::Ident("q".into()),
+                TokKind::Punct(";"),
+                TokKind::Ident("s".into()),
+                TokKind::Punct("::"),
+                TokKind::Ident("t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_dropped_by_default() {
+        assert_eq!(
+            kinds("a // hi\nb /* multi\nline */ c"),
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Ident("b".into()),
+                TokKind::Ident("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_kept_when_asked() {
+        let toks = lex(
+            "a // hi\n/* b */",
+            FileId(0),
+            "t.cpp",
+            LexOptions { keep_comments: true, keep_newlines: false },
+        )
+        .unwrap();
+        let kinds: Vec<TokKind> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Comment("// hi".into()),
+                TokKind::Comment("/* b */".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_only_at_line_start() {
+        let toks = kinds("#include\nx # y");
+        // First # is a directive hash; the inline # lexes as Punct("#").
+        assert_eq!(toks[0], TokKind::Hash);
+        assert_eq!(toks[1], TokKind::Ident("include".into()));
+        assert_eq!(toks[3], TokKind::Punct("#"));
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n\nc", FileId(2), "t.cpp", LexOptions::default()).unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.loc.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+        assert!(toks.iter().all(|t| t.loc.file == FileId(2)));
+    }
+
+    #[test]
+    fn newline_tokens_in_directive_mode() {
+        let toks = lex(
+            "a\nb",
+            FileId(0),
+            "t.cpp",
+            LexOptions { keep_comments: false, keep_newlines: true },
+        )
+        .unwrap();
+        let kinds: Vec<TokKind> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![TokKind::Ident("a".into()), TokKind::Newline, TokKind::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn line_continuation_joins() {
+        let toks = lex("a \\\nb", FileId(0), "t.cpp", LexOptions::default()).unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].loc.line, 2); // physical line still counted
+    }
+
+    #[test]
+    fn errors_carry_location() {
+        let e = lex("\"unterminated", FileId(0), "z.cpp", LexOptions::default()).unwrap_err();
+        assert_eq!(e.path, "z.cpp");
+        assert_eq!(e.line, 1);
+        let e2 = lex("a\n@", FileId(0), "z.cpp", LexOptions::default()).unwrap_err();
+        assert_eq!(e2.line, 2);
+        assert!(e2.message.contains('@'));
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("/* never ends", FileId(0), "t.cpp", LexOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # svlang — miniature C/C++ and Fortran frontends
+//!
+//! The paper's SilverVale framework extracts semantic-bearing trees through
+//! Clang/GCC plugins and tree-sitter.  In this reproduction the compiler
+//! substrate is built from scratch as two dialect frontends:
+//!
+//! * **C/C++ dialect** — [`lex`] → [`pp`] (preprocessor with pragma
+//!   retention) → [`parse`] (AST with OpenMP/OpenACC/CUDA constructs) →
+//!   [`sema`] (registry + coarse typing) → [`emit`] (`T_sem`, `T_sem+i`);
+//!   [`cst`] independently produces the `T_src` perceived-syntax tree and
+//!   [`measure`] the SLOC/LLOC counts.
+//! * **Fortran dialect** — [`fortran`] provides the free-form lexer, parser
+//!   and semantic emitter for the BabelStream Fortran ports, sharing the
+//!   token vocabulary so `cst` and `measure` work unchanged.
+//!
+//! The `unit` module bundles the end-to-end per-unit pipeline used by the
+//! metrics layer.
+
+pub mod ast;
+pub mod cst;
+pub mod emit;
+pub mod fortran;
+pub mod gimple;
+pub mod lex;
+pub mod measure;
+pub mod parse;
+pub mod pp;
+pub mod sema;
+pub mod source;
+pub mod unit;

@@ -1,0 +1,298 @@
+//! Light semantic analysis: symbol registry and approximate typing.
+//!
+//! The dialect does not need a full type checker — the trees only need
+//! enough semantic information to reproduce what ClangAST exposes:
+//! which names are functions defined inside the codebase (for `T_sem+i`
+//! inlining, which "inlines all function invocations that originated from
+//! the same source … system headers or libraries are excluded"), which
+//! named types are programmer-defined records (their names get normalised
+//! away), and coarse scalar types for implicit-cast insertion.
+
+use crate::ast::*;
+use crate::source::FileId;
+use std::collections::{HashMap, HashSet};
+
+/// Coarse value categories used for implicit-cast decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    Int,
+    Real,
+    Bool,
+    Ptr,
+    Other,
+    Unknown,
+}
+
+impl Ty {
+    /// Classify an AST type.
+    pub fn of(t: &Type) -> Ty {
+        match t.decayed() {
+            Type::Int | Type::Long | Type::Size | Type::Char => Ty::Int,
+            Type::Float | Type::Double => Ty::Real,
+            Type::Bool => Ty::Bool,
+            Type::Ptr(_) => Ty::Ptr,
+            Type::Auto => Ty::Unknown,
+            _ => Ty::Other,
+        }
+    }
+}
+
+/// Registry of functions and records defined in a translation unit.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    functions: HashMap<String, Function>,
+    records: HashSet<String>,
+    /// Files considered "system" (their functions are never inlined).
+    system_files: HashSet<FileId>,
+}
+
+impl Registry {
+    /// Build the registry from a parsed unit.  `system_files` come from the
+    /// preprocessor output.
+    pub fn build(prog: &Program, system_files: &HashSet<FileId>) -> Registry {
+        let mut r = Registry { system_files: system_files.clone(), ..Registry::default() };
+        for item in &prog.items {
+            match item {
+                Item::Function(f)
+                    if f.body.is_some() => {
+                        r.functions.insert(f.name.clone(), f.clone());
+                    }
+                Item::Struct(s) => {
+                    r.records.insert(s.name.clone());
+                    for m in &s.methods {
+                        if m.body.is_some() {
+                            // Methods are registered qualified so free calls
+                            // don't accidentally inline them.
+                            r.functions.insert(format!("{}::{}", s.name, m.name), m.clone());
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        r
+    }
+
+    /// A function eligible for `T_sem+i` inlining: defined in this unit,
+    /// has a body, and does not live in a system header.
+    pub fn inlinable(&self, name: &str) -> Option<&Function> {
+        let f = self.functions.get(name)?;
+        if self.system_files.contains(&f.file) {
+            return None;
+        }
+        Some(f)
+    }
+
+    /// Look up any function definition by (possibly qualified) name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.get(name)
+    }
+
+    /// Return type category of a defined function.
+    pub fn return_ty(&self, name: &str) -> Ty {
+        self.functions.get(name).map(|f| Ty::of(&f.ret)).unwrap_or(Ty::Unknown)
+    }
+
+    /// Is this name a programmer-defined record type?
+    pub fn is_record(&self, name: &str) -> bool {
+        self.records.contains(name)
+    }
+
+    /// Number of registered function definitions.
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+}
+
+/// Lexical scope stack mapping variable names to coarse types.
+#[derive(Debug, Default)]
+pub struct Scopes {
+    stack: Vec<HashMap<String, Ty>>,
+}
+
+impl Scopes {
+    pub fn new() -> Self {
+        Scopes { stack: vec![HashMap::new()] }
+    }
+
+    pub fn push(&mut self) {
+        self.stack.push(HashMap::new());
+    }
+
+    pub fn pop(&mut self) {
+        self.stack.pop();
+        debug_assert!(!self.stack.is_empty(), "popped the global scope");
+    }
+
+    pub fn declare(&mut self, name: &str, ty: Ty) {
+        if let Some(top) = self.stack.last_mut() {
+            top.insert(name.to_string(), ty);
+        }
+    }
+
+    pub fn lookup(&self, name: &str) -> Ty {
+        for scope in self.stack.iter().rev() {
+            if let Some(&t) = scope.get(name) {
+                return t;
+            }
+        }
+        Ty::Unknown
+    }
+}
+
+/// Infer the coarse type of an expression under the given scopes/registry.
+pub fn infer(expr: &Expr, scopes: &Scopes, reg: &Registry) -> Ty {
+    match &expr.kind {
+        ExprKind::Int(_) => Ty::Int,
+        ExprKind::Real(_) => Ty::Real,
+        ExprKind::Bool(_) => Ty::Bool,
+        ExprKind::Str(_) => Ty::Ptr,
+        ExprKind::Char(_) => Ty::Int,
+        ExprKind::Path(p) => {
+            if p.len() == 1 {
+                scopes.lookup(&p[0])
+            } else {
+                Ty::Unknown
+            }
+        }
+        ExprKind::Unary { op, expr, .. } => match *op {
+            "!" => Ty::Bool,
+            "*" => Ty::Unknown, // deref of unknown pointee
+            "&" => Ty::Ptr,
+            _ => infer(expr, scopes, reg),
+        },
+        ExprKind::Binary { op, lhs, rhs } => match *op {
+            "==" | "!=" | "<" | ">" | "<=" | ">=" | "&&" | "||" => Ty::Bool,
+            _ => {
+                let l = infer(lhs, scopes, reg);
+                let r = infer(rhs, scopes, reg);
+                match (l, r) {
+                    (Ty::Real, _) | (_, Ty::Real) => Ty::Real,
+                    (Ty::Int, Ty::Int) => Ty::Int,
+                    (Ty::Ptr, _) | (_, Ty::Ptr) => Ty::Ptr,
+                    (Ty::Unknown, _) | (_, Ty::Unknown) => Ty::Unknown,
+                    _ => Ty::Other,
+                }
+            }
+        },
+        ExprKind::Assign { lhs, .. } => infer(lhs, scopes, reg),
+        ExprKind::Ternary { then_e, else_e, .. } => {
+            let t = infer(then_e, scopes, reg);
+            if t != Ty::Unknown {
+                t
+            } else {
+                infer(else_e, scopes, reg)
+            }
+        }
+        ExprKind::Call { callee, .. } => match &callee.kind {
+            ExprKind::Path(p) if p.len() == 1 => reg.return_ty(&p[0]),
+            _ => Ty::Unknown,
+        },
+        ExprKind::KernelLaunch { .. } => Ty::Other,
+        ExprKind::Index { .. } | ExprKind::Member { .. } => Ty::Unknown,
+        ExprKind::Lambda { .. } => Ty::Other,
+        ExprKind::Cast { ty, .. } | ExprKind::Construct { ty, .. } => Ty::of(ty),
+        ExprKind::InitList(_) => Ty::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pp::{preprocess, PpOptions};
+    use crate::source::SourceSet;
+
+    fn build(srcs: &[(&str, &str, bool)]) -> (Program, Registry) {
+        let mut ss = SourceSet::new();
+        for (p, t, sys) in srcs {
+            if *sys {
+                ss.add_system(*p, *t);
+            } else {
+                ss.add(*p, *t);
+            }
+        }
+        let m = ss.lookup(srcs[0].0).unwrap();
+        let out = preprocess(&ss, m, &PpOptions::default()).unwrap();
+        let prog = crate::parse::parse(out.tokens, m, srcs[0].0).unwrap();
+        let reg = Registry::build(&prog, &out.system_files);
+        (prog, reg)
+    }
+
+    #[test]
+    fn registry_collects_functions_and_records() {
+        let (_, reg) = build(&[(
+            "m.cpp",
+            "struct P { double x; double get() { return x; } };\n\
+             double f(double a) { return a; }\n\
+             int g();",
+            false,
+        )]);
+        assert!(reg.function("f").is_some());
+        assert!(reg.function("g").is_none(), "prototype has no body");
+        assert!(reg.function("P::get").is_some());
+        assert!(reg.is_record("P"));
+        assert!(!reg.is_record("Q"));
+        assert_eq!(reg.return_ty("f"), Ty::Real);
+    }
+
+    #[test]
+    fn system_header_functions_not_inlinable() {
+        let (_, reg) = build(&[
+            ("m.cpp", "#include <k.hpp>\nint use() { return lib_fn(); }", false),
+            ("k.hpp", "int lib_fn() { return 1; }", true),
+        ]);
+        assert!(reg.function("lib_fn").is_some());
+        assert!(reg.inlinable("lib_fn").is_none());
+        assert!(reg.inlinable("use").is_some());
+    }
+
+    #[test]
+    fn user_header_functions_inlinable() {
+        let (_, reg) = build(&[
+            ("m.cpp", "#include \"util.h\"\nint use() { return helper(); }", false),
+            ("util.h", "int helper() { return 1; }", false),
+        ]);
+        assert!(reg.inlinable("helper").is_some());
+    }
+
+    #[test]
+    fn scopes_shadowing() {
+        let mut s = Scopes::new();
+        s.declare("x", Ty::Int);
+        s.push();
+        assert_eq!(s.lookup("x"), Ty::Int);
+        s.declare("x", Ty::Real);
+        assert_eq!(s.lookup("x"), Ty::Real);
+        s.pop();
+        assert_eq!(s.lookup("x"), Ty::Int);
+        assert_eq!(s.lookup("missing"), Ty::Unknown);
+    }
+
+    #[test]
+    fn inference_basics() {
+        let (prog, reg) = build(&[(
+            "m.cpp",
+            "double h(double v) { return v; }\nint main() { return 0; }",
+            false,
+        )]);
+        let _ = prog;
+        let mut scopes = Scopes::new();
+        scopes.declare("i", Ty::Int);
+        scopes.declare("d", Ty::Real);
+        let e = |src: &str| -> Expr {
+            // parse `src` as an initialiser expression
+            let mut ss = SourceSet::new();
+            let m = ss.add("e.cpp", format!("int probe = {src};"));
+            let out = preprocess(&ss, m, &PpOptions::default()).unwrap();
+            let p = crate::parse::parse(out.tokens, m, "e.cpp").unwrap();
+            let Item::Global(v) = &p.items[0] else { panic!() };
+            v.init.clone().unwrap()
+        };
+        assert_eq!(infer(&e("1 + 2"), &scopes, &reg), Ty::Int);
+        assert_eq!(infer(&e("i + d"), &scopes, &reg), Ty::Real);
+        assert_eq!(infer(&e("i < d"), &scopes, &reg), Ty::Bool);
+        assert_eq!(infer(&e("h(i)"), &scopes, &reg), Ty::Real);
+        assert_eq!(infer(&e("static_cast<double>(i)"), &scopes, &reg), Ty::Real);
+        assert_eq!(infer(&e("unknown_fn(i)"), &scopes, &reg), Ty::Unknown);
+    }
+}

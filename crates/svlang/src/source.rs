@@ -1,0 +1,170 @@
+//! Source files, codebases and locations.
+//!
+//! A *codebase* is a set of named source files — some of them `system`
+//! headers (the synthetic equivalents of `<sycl/sycl.hpp>` and friends that
+//! the analysis can mask out, exactly as the paper masks system headers
+//! "during the analysis phase").  Files are addressed by [`FileId`]; every
+//! token and tree node carries a [`Loc`] back-reference.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense index of a file inside a [`SourceSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// A source location: file + 1-based line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Loc {
+    pub file: FileId,
+    pub line: u32,
+}
+
+impl Loc {
+    pub fn new(file: FileId, line: u32) -> Self {
+        Loc { file, line }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file#{}:{}", self.file.0, self.line)
+    }
+}
+
+/// One source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Logical path, e.g. `"src/stream.cpp"` or `"sycl/sycl.hpp"`.
+    pub path: String,
+    /// Full text.
+    pub text: String,
+    /// Whether this is a system header (excluded from metrics by default).
+    pub system: bool,
+}
+
+/// An immutable collection of source files with path lookup.
+#[derive(Debug, Clone, Default)]
+pub struct SourceSet {
+    files: Vec<SourceFile>,
+    by_path: HashMap<String, FileId>,
+}
+
+impl SourceSet {
+    pub fn new() -> Self {
+        SourceSet::default()
+    }
+
+    /// Add a user source file; returns its id.  Re-adding a path replaces
+    /// the content (last write wins) but keeps the id stable.
+    pub fn add(&mut self, path: impl Into<String>, text: impl Into<String>) -> FileId {
+        self.add_file(path, text, false)
+    }
+
+    /// Add a system header.
+    pub fn add_system(&mut self, path: impl Into<String>, text: impl Into<String>) -> FileId {
+        self.add_file(path, text, true)
+    }
+
+    fn add_file(&mut self, path: impl Into<String>, text: impl Into<String>, system: bool) -> FileId {
+        let path = path.into();
+        let text = text.into();
+        if let Some(&id) = self.by_path.get(&path) {
+            self.files[id.0 as usize].text = text;
+            self.files[id.0 as usize].system = system;
+            return id;
+        }
+        let id = FileId(self.files.len() as u32);
+        self.files.push(SourceFile { path: path.clone(), text, system });
+        self.by_path.insert(path, id);
+        id
+    }
+
+    /// Look up a file id by exact path.
+    pub fn lookup(&self, path: &str) -> Option<FileId> {
+        self.by_path.get(path).copied()
+    }
+
+    /// File by id.
+    pub fn file(&self, id: FileId) -> &SourceFile {
+        &self.files[id.0 as usize]
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Iterate `(id, file)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, &SourceFile)> {
+        self.files.iter().enumerate().map(|(i, f)| (FileId(i as u32), f))
+    }
+
+    /// Ids of non-system files.
+    pub fn user_files(&self) -> Vec<FileId> {
+        self.iter().filter(|(_, f)| !f.system).map(|(id, _)| id).collect()
+    }
+}
+
+/// A frontend diagnostic with location context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl LangError {
+    pub fn new(path: impl Into<String>, line: u32, message: impl Into<String>) -> Self {
+        LangError { path: path.into(), line, message: message.into() }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.path, self.line, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Frontend result alias.
+pub type Result<T> = std::result::Result<T, LangError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = SourceSet::new();
+        let a = s.add("main.cpp", "int main() {}");
+        let b = s.add_system("omp.h", "// omp");
+        assert_eq!(s.lookup("main.cpp"), Some(a));
+        assert_eq!(s.lookup("omp.h"), Some(b));
+        assert_eq!(s.lookup("nope.h"), None);
+        assert!(!s.file(a).system);
+        assert!(s.file(b).system);
+        assert_eq!(s.user_files(), vec![a]);
+    }
+
+    #[test]
+    fn re_add_replaces_content_keeps_id() {
+        let mut s = SourceSet::new();
+        let a = s.add("x.cpp", "old");
+        let a2 = s.add("x.cpp", "new");
+        assert_eq!(a, a2);
+        assert_eq!(s.file(a).text, "new");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = LangError::new("a.cpp", 3, "unexpected token");
+        assert_eq!(e.to_string(), "a.cpp:3: unexpected token");
+    }
+}

@@ -1,0 +1,163 @@
+//! Secondary metrics derived from the tree back-references (§III-A):
+//! "This process enables the calculation of secondary metrics such as
+//! module coupling [Offutt et al.] and overall tree complexity."
+
+use svlang::unit::Unit;
+use svtree::Tree;
+
+/// Module-coupling figures for one compilation unit, in the spirit of
+/// Offutt, Harrold & Kolte's coupling levels: how entangled the unit is
+/// with its dependencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coupling {
+    /// Number of user (non-system) modules this unit depends on.
+    pub user_fan_out: usize,
+    /// Number of system headers pulled in.
+    pub system_fan_out: usize,
+    /// Fraction of the unit's normalised lines that live outside the main
+    /// file — logic pushed into headers couples every includer to them.
+    pub header_logic_ratio: f64,
+}
+
+/// Compute coupling for a unit using the dependency closure and the
+/// per-line file back-references.
+pub fn coupling(unit: &Unit) -> Coupling {
+    let main_file = unit.main.0;
+    let total = unit.line_locs_pre.len().max(1);
+    let foreign = unit
+        .line_locs_pre
+        .iter()
+        .filter(|(f, _)| *f != main_file)
+        .count();
+    Coupling {
+        user_fan_out: unit.dep_files.len(),
+        system_fan_out: unit.system_files.len(),
+        header_logic_ratio: foreign as f64 / total as f64,
+    }
+}
+
+/// Structural complexity summary of a semantic tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeComplexity {
+    pub nodes: usize,
+    pub leaves: usize,
+    pub height: usize,
+    /// Mean children per internal node.
+    pub mean_branching: f64,
+    /// Distinct label vocabulary size.
+    pub vocabulary: usize,
+}
+
+/// Compute the complexity summary of a tree.
+pub fn tree_complexity(tree: &Tree) -> TreeComplexity {
+    let nodes = tree.size();
+    let leaves = tree.leaf_count();
+    let internal = nodes.saturating_sub(leaves);
+    let mut vocab = std::collections::HashSet::new();
+    for n in tree.preorder() {
+        vocab.insert(tree.label(n).to_string());
+    }
+    TreeComplexity {
+        nodes,
+        leaves,
+        height: tree.height(),
+        mean_branching: if internal == 0 {
+            0.0
+        } else {
+            // every non-root node is someone's child
+            (nodes - 1) as f64 / internal as f64
+        },
+        vocabulary: vocab.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svlang::source::SourceSet;
+    use svlang::unit::{compile_unit, UnitOptions};
+
+    fn make_unit(files: &[(&str, &str, bool)]) -> Unit {
+        let mut ss = SourceSet::new();
+        for (p, t, sys) in files {
+            if *sys {
+                ss.add_system(*p, *t);
+            } else {
+                ss.add(*p, *t);
+            }
+        }
+        let m = ss.lookup(files[0].0).unwrap();
+        compile_unit(&ss, m, &UnitOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn coupling_counts_dependencies() {
+        let u = make_unit(&[
+            (
+                "m.cpp",
+                "#include \"a.h\"\n#include \"b.h\"\n#include <sys.h>\nint main() { return helper_a() + helper_b(); }",
+                false,
+            ),
+            ("a.h", "int helper_a() { return 0; }", false),
+            ("b.h", "int helper_b() { return 0; }\nint extra_b() { return 1; }\n", false),
+            ("sys.h", "int sys_thing();", true),
+        ]);
+        let c = coupling(&u);
+        assert_eq!(c.user_fan_out, 2);
+        assert_eq!(c.system_fan_out, 1);
+        assert!(c.header_logic_ratio > 0.2, "{}", c.header_logic_ratio);
+        assert!(c.header_logic_ratio < 0.9);
+    }
+
+    #[test]
+    fn self_contained_unit_has_zero_coupling() {
+        let u = make_unit(&[("m.cpp", "int main() { return 0; }", false)]);
+        let c = coupling(&u);
+        assert_eq!(c.user_fan_out, 0);
+        assert_eq!(c.system_fan_out, 0);
+        assert_eq!(c.header_logic_ratio, 0.0);
+    }
+
+    #[test]
+    fn complexity_of_known_tree() {
+        let t = Tree::from_sexpr("(a (b c d) (e f))").unwrap();
+        let cx = tree_complexity(&t);
+        assert_eq!(cx.nodes, 6);
+        assert_eq!(cx.leaves, 3);
+        assert_eq!(cx.height, 3);
+        assert_eq!(cx.vocabulary, 6);
+        // internal = 3 (a, b, e); children = 5
+        assert!((cx.mean_branching - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complexity_edge_cases() {
+        let leaf = Tree::leaf("x");
+        let cx = tree_complexity(&leaf);
+        assert_eq!(cx.nodes, 1);
+        assert_eq!(cx.leaves, 1);
+        assert_eq!(cx.mean_branching, 0.0);
+        let empty = tree_complexity(&Tree::empty());
+        assert_eq!(empty.nodes, 0);
+        assert_eq!(empty.height, 0);
+    }
+
+    #[test]
+    fn deeper_models_have_richer_vocabulary() {
+        // A model using templates/lambdas should carry a larger semantic
+        // label vocabulary than the flat serial code.
+        let serial = make_unit(&[(
+            "s.cpp",
+            "void f(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = 0.0; } }",
+            false,
+        )]);
+        let sycl = make_unit(&[(
+            "q.cpp",
+            "void f(sycl::queue& q, double* a, int n) { q.parallel_for(sycl::range<1>(n), [=](sycl::id<1> i) { a[i] = 0.0; }); }",
+            false,
+        )]);
+        let cs = tree_complexity(&serial.t_sem);
+        let cq = tree_complexity(&sycl.t_sem);
+        assert!(cq.vocabulary > cs.vocabulary, "{} vs {}", cq.vocabulary, cs.vocabulary);
+    }
+}

@@ -1,0 +1,351 @@
+//! # svpar — a small data-parallel runtime on crossbeam scoped threads
+//!
+//! The paper's subject matter is *parallel programming models*; its
+//! evaluation workloads (BabelStream, miniBUDE, TeaLeaf, CloverLeaf) are
+//! bandwidth- and compute-bound kernels.  This crate is the repo's real
+//! parallel substrate: a rayon-flavoured set of data-parallel primitives
+//! built directly on `crossbeam::thread::scope`, used by
+//!
+//! * the `svexec` interpreter's parallel intrinsics (array fills/reductions),
+//! * the `svperf` benchmark simulator's measurement kernels, and
+//! * the `bench` crate's scaling ablations.
+//!
+//! Design notes (per the HPC guides this repo follows):
+//! * work is split into contiguous chunks — one per worker — so each thread
+//!   streams over its slice with no false sharing on the output,
+//! * reductions compute thread-local partials and combine once at the end
+//!   (no shared atomics in the hot loop),
+//! * the sequential path is taken for small inputs where thread spawn
+//!   overhead would dominate ([`PAR_THRESHOLD`]).
+
+pub mod kernels;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Inputs smaller than this run sequentially: spawning threads for a few
+/// thousand elements costs more than the loop itself.
+pub const PAR_THRESHOLD: usize = 4096;
+
+/// Number of worker threads used by the `par_*` functions.
+///
+/// Defaults to the machine's available parallelism; can be overridden (e.g.
+/// by benches sweeping thread counts) via [`set_threads`].
+pub fn num_threads() -> usize {
+    let configured = CONFIGURED_THREADS.load(Ordering::Relaxed);
+    if configured != 0 {
+        return configured;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the worker-thread count for subsequent `par_*` calls.
+/// `0` restores the default (available parallelism).
+pub fn set_threads(n: usize) {
+    CONFIGURED_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Split `len` items into at most `parts` contiguous ranges of near-equal
+/// size.  Returns `(start, end)` pairs covering `0..len` exactly.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let sz = base + usize::from(i < extra);
+        out.push((start, start + sz));
+        start += sz;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Run `f(i)` for every `i in 0..n`, in parallel over contiguous chunks.
+///
+/// `f` must be safe to call concurrently for distinct `i` (it only gets
+/// shared access to captured state).
+pub fn par_for(n: usize, f: impl Fn(usize) + Sync) {
+    let threads = num_threads();
+    if n < PAR_THRESHOLD || threads <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let ranges = split_ranges(n, threads);
+    crossbeam::thread::scope(|s| {
+        for &(lo, hi) in &ranges {
+            let f = &f;
+            s.spawn(move |_| {
+                for i in lo..hi {
+                    f(i);
+                }
+            });
+        }
+    })
+    .expect("worker panicked in par_for");
+}
+
+/// Process disjoint mutable chunks of `data` in parallel.  Each worker gets
+/// `(chunk_start_index, chunk)`.
+pub fn par_chunks_mut<T: Send>(data: &mut [T], f: impl Fn(usize, &mut [T]) + Sync) {
+    let threads = num_threads();
+    if data.len() < PAR_THRESHOLD || threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let ranges = split_ranges(data.len(), threads);
+    crossbeam::thread::scope(|s| {
+        let mut rest = data;
+        let mut consumed = 0usize;
+        for &(lo, hi) in &ranges {
+            let (chunk, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            let f = &f;
+            let off = consumed;
+            consumed += chunk.len();
+            s.spawn(move |_| f(off, chunk));
+        }
+    })
+    .expect("worker panicked in par_chunks_mut");
+}
+
+/// Parallel map-reduce over `0..n`: each thread folds its chunk locally
+/// starting from `identity()`, then the partials are combined with `reduce`
+/// in chunk order (deterministic for a fixed thread count when `reduce` is
+/// associative).
+pub fn par_map_reduce<R: Send>(
+    n: usize,
+    identity: impl Fn() -> R + Sync,
+    map: impl Fn(usize) -> R + Sync,
+    reduce: impl Fn(R, R) -> R + Sync,
+) -> R {
+    let threads = num_threads();
+    if n < PAR_THRESHOLD || threads <= 1 {
+        let mut acc = identity();
+        for i in 0..n {
+            acc = reduce(acc, map(i));
+        }
+        return acc;
+    }
+    let ranges = split_ranges(n, threads);
+    let mut partials: Vec<Option<R>> = Vec::new();
+    partials.resize_with(ranges.len(), || None);
+    crossbeam::thread::scope(|s| {
+        for (slot, &(lo, hi)) in partials.iter_mut().zip(&ranges) {
+            let map = &map;
+            let reduce = &reduce;
+            let identity = &identity;
+            s.spawn(move |_| {
+                let mut acc = identity();
+                for i in lo..hi {
+                    acc = reduce(acc, map(i));
+                }
+                *slot = Some(acc);
+            });
+        }
+    })
+    .expect("worker panicked in par_map_reduce");
+    partials
+        .into_iter()
+        .map(|p| p.expect("partial missing"))
+        .fold(identity(), reduce)
+}
+
+/// Parallel map into a fresh `Vec`, preserving order.
+pub fn par_map_collect<T: Send + Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = num_threads();
+    if items.len() < 64 || threads <= 1 {
+        // Task-style maps (e.g. one TED per model pair) are heavy per item,
+        // so the parallel cutoff here is much lower than PAR_THRESHOLD.
+        return items.iter().map(&f).collect();
+    }
+    let ranges = split_ranges(items.len(), threads);
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    crossbeam::thread::scope(|s| {
+        let mut rest = &mut out[..];
+        for &(lo, hi) in &ranges {
+            let (chunk, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            let f = &f;
+            let src = &items[lo..hi];
+            s.spawn(move |_| {
+                for (slot, item) in chunk.iter_mut().zip(src) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker panicked in par_map_collect");
+    out.into_iter().map(|v| v.expect("slot missing")).collect()
+}
+
+/// Parallel map over *heavy tasks* — always parallelises regardless of item
+/// count (used for e.g. 45 TED computations that each take milliseconds to
+/// seconds).  Items are distributed dynamically via an atomic cursor so an
+/// unlucky chunk of slow items cannot serialise the run.
+pub fn par_tasks<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    let slots = SliceCells(out.as_mut_ptr());
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            let f = &f;
+            let cursor = &cursor;
+            let slots = &slots;
+            s.spawn(move |_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                // SAFETY: each index i is claimed by exactly one worker via
+                // the atomic fetch_add, so writes are disjoint; `out` lives
+                // until the scope joins, and every slot starts as None (no
+                // drop of initialised data is skipped).
+                unsafe { slots.0.add(i).write(Some(r)) };
+            });
+        }
+    })
+    .expect("worker panicked in par_tasks");
+    out.into_iter().map(|v| v.expect("task slot missing")).collect()
+}
+
+/// Wrapper making a raw pointer shareable for the disjoint-write pattern in
+/// [`par_tasks`].
+struct SliceCells<T>(*mut T);
+unsafe impl<T: Send> Sync for SliceCells<T> {}
+unsafe impl<T: Send> Send for SliceCells<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for len in [0usize, 1, 7, 100, 4097] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let r = split_ranges(len, parts);
+                if len == 0 {
+                    assert!(r.is_empty());
+                    continue;
+                }
+                assert_eq!(r.first().unwrap().0, 0);
+                assert_eq!(r.last().unwrap().1, len);
+                for w in r.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+                }
+                assert!(r.len() <= parts.min(len));
+                // Near-equal: sizes differ by at most 1.
+                let sizes: Vec<usize> = r.iter().map(|(a, b)| b - a).collect();
+                let mn = *sizes.iter().min().unwrap();
+                let mx = *sizes.iter().max().unwrap();
+                assert!(mx - mn <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn par_for_touches_every_index() {
+        let n = 100_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        par_for(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_small_input_sequential_path() {
+        let hits: Vec<AtomicU64> = (0..10).map(|_| AtomicU64::new(0)).collect();
+        par_for(10, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint() {
+        let mut v = vec![0u64; 50_000];
+        par_chunks_mut(&mut v, |off, chunk| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = (off + k) as u64;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn par_map_reduce_sum() {
+        let n = 1_000_000u64;
+        let s = par_map_reduce(n as usize, || 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(s, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn par_map_reduce_max() {
+        let data: Vec<i64> =
+            (0..100_000u64).map(|i| ((i * 2_654_435_761) % 1_000_003) as i64).collect();
+        let expect = *data.iter().max().unwrap();
+        let got = par_map_reduce(data.len(), || i64::MIN, |i| data[i], |a, b| a.max(b));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let out = par_map_collect(&items, |&x| x * 3 + 1);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 * 3 + 1));
+    }
+
+    #[test]
+    fn par_tasks_preserves_order_with_uneven_work() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_tasks(&items, |&x| {
+            // Uneven work to force interleaving across workers.
+            let mut acc = 0u64;
+            for k in 0..(x * 1000) {
+                acc = acc.wrapping_add(k as u64);
+            }
+            (x as u64, acc)
+        });
+        for (i, (idx, _)) in out.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+        }
+    }
+
+    #[test]
+    fn set_threads_roundtrip() {
+        set_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_threads(0);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        par_for(0, |_| panic!("must not be called"));
+        let out: Vec<u8> = par_map_collect::<u8, u8>(&[], |_| panic!("no"));
+        assert!(out.is_empty());
+        let r = par_map_reduce(0, || 7u32, |_| 0, |a, b| a + b);
+        assert_eq!(r, 7);
+        let t: Vec<u8> = par_tasks::<u8, u8>(&[], |_| 0);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Cascade plots (Fig. 11/12) and navigation charts (Figs. 13–15).
+//!
+//! The *cascade plot* (Sewall et al. 2020) sorts each model's application
+//! efficiencies from best to worst platform and plots the decay, with a Φ
+//! bar chart alongside.  The *navigation chart* (extending Pennycook et
+//! al.) plots Φ against the TBMD divergence from the serial model — two
+//! linked points per model (`T_src` perceived, `T_sem` semantic).  Both
+//! render to plain text and CSV so the bench harness can regenerate every
+//! figure.
+
+use crate::platform::PLATFORMS;
+use crate::sim::{app_efficiency, phi_all};
+use svcorpus::{App, Model};
+
+/// Cascade-plot data for one app: per model, the efficiency series sorted
+/// descending, and Φ.
+#[derive(Debug, Clone)]
+pub struct Cascade {
+    pub app: App,
+    pub rows: Vec<CascadeRow>,
+}
+
+#[derive(Debug, Clone)]
+pub struct CascadeRow {
+    pub model: Model,
+    /// (platform abbr, app efficiency) sorted by efficiency, descending;
+    /// unsupported platforms appear with efficiency 0 at the tail.
+    pub series: Vec<(&'static str, f64)>,
+    pub phi: f64,
+}
+
+/// Build the cascade for an app over the full platform set.
+pub fn cascade(app: App) -> Cascade {
+    let rows = Model::ALL
+        .iter()
+        .map(|&model| {
+            let mut series: Vec<(&'static str, f64)> = PLATFORMS
+                .iter()
+                .map(|p| (p.abbr, app_efficiency(app, model, p)))
+                .collect();
+            series.sort_by(|a, b| b.1.total_cmp(&a.1));
+            CascadeRow { model, series, phi: phi_all(app, model) }
+        })
+        .collect();
+    Cascade { app, rows }
+}
+
+impl Cascade {
+    /// Text rendering: one line per model with the sorted efficiency decay
+    /// and the Φ bar.
+    pub fn render(&self) -> String {
+        let mut s = format!("Cascade plot — {} (app efficiency, best→worst)\n", self.app.name());
+        let width = Model::ALL.iter().map(|m| m.name().len()).max().unwrap_or(6);
+        for row in &self.rows {
+            s.push_str(&format!("{:>width$} |", row.model.name()));
+            for (_, e) in &row.series {
+                s.push_str(&format!(" {:>5.2}", e));
+            }
+            let bar_len = (row.phi * 20.0).round() as usize;
+            s.push_str(&format!("  Φ={:.3} {}\n", row.phi, "#".repeat(bar_len)));
+        }
+        s.push_str(&format!(
+            "{:>width$} |",
+            "platform#"
+        ));
+        for i in 1..=PLATFORMS.len() {
+            s.push_str(&format!(" {i:>5}"));
+        }
+        s.push('\n');
+        s
+    }
+
+    /// CSV: model, rank-ordered efficiencies, phi.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("model");
+        for i in 1..=PLATFORMS.len() {
+            s.push_str(&format!(",eff_rank{i},platform_rank{i}"));
+        }
+        s.push_str(",phi\n");
+        for row in &self.rows {
+            s.push_str(row.model.name());
+            for (abbr, e) in &row.series {
+                s.push_str(&format!(",{e:.6},{abbr}"));
+            }
+            s.push_str(&format!(",{:.6}\n", row.phi));
+        }
+        s
+    }
+}
+
+/// One model's point pair on the navigation chart.
+#[derive(Debug, Clone)]
+pub struct NavPoint {
+    pub model: Model,
+    pub phi: f64,
+    /// Normalised `T_src` divergence from the serial model (perceived).
+    pub div_t_src: f64,
+    /// Normalised `T_sem` divergence from the serial model (semantic).
+    pub div_t_sem: f64,
+}
+
+/// Navigation chart: Φ against TBMD divergence-from-serial.
+#[derive(Debug, Clone)]
+pub struct NavigationChart {
+    pub app: App,
+    pub points: Vec<NavPoint>,
+}
+
+impl NavigationChart {
+    /// ASCII scatter: x = divergence (left = high divergence, right =
+    /// resemblance to serial, matching the paper's "towards no resemblance"
+    /// arrow), y = Φ.  `T_sem` plots as the model's index digit, `T_src`
+    /// as the same digit primed in the legend.
+    pub fn render(&self) -> String {
+        const W: usize = 64;
+        const H: usize = 16;
+        let maxd = self
+            .points
+            .iter()
+            .flat_map(|p| [p.div_t_src, p.div_t_sem])
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let mut grid = vec![vec![' '; W + 1]; H + 1];
+        let place = |grid: &mut Vec<Vec<char>>, d: f64, phi: f64, ch: char| {
+            // High divergence on the left.
+            let x = ((1.0 - d / maxd) * W as f64).round() as usize;
+            let y = ((1.0 - phi) * H as f64).round() as usize;
+            grid[y.min(H)][x.min(W)] = ch;
+        };
+        let mut legend = String::new();
+        for (i, p) in self.points.iter().enumerate() {
+            let digit = std::char::from_digit((i % 10) as u32, 10).unwrap();
+            place(&mut grid, p.div_t_sem, p.phi, digit);
+            let src_ch = (b'a' + (i % 26) as u8) as char;
+            place(&mut grid, p.div_t_src, p.phi, src_ch);
+            legend.push_str(&format!(
+                "  {digit}/{src_ch} {:<14} Φ={:.3} T_sem={:.3} T_src={:.3}\n",
+                p.model.name(),
+                p.phi,
+                p.div_t_sem,
+                p.div_t_src
+            ));
+        }
+        let mut s = format!(
+            "Navigation chart — {} (y: Φ 0..1; x: ◀ divergence from serial)\n",
+            self.app.name()
+        );
+        for row in &grid {
+            s.push('|');
+            s.extend(row.iter());
+            s.push('\n');
+        }
+        s.push('+');
+        s.push_str(&"-".repeat(W + 1));
+        s.push('\n');
+        s.push_str("legend (digit = T_sem, letter = T_src):\n");
+        s.push_str(&legend);
+        s
+    }
+
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("model,phi,div_t_sem,div_t_src\n");
+        for p in &self.points {
+            s.push_str(&format!(
+                "{},{:.6},{:.6},{:.6}\n",
+                p.model.name(),
+                p.phi,
+                p.div_t_sem,
+                p.div_t_src
+            ));
+        }
+        s
+    }
+
+    /// The "ideal" quadrant check: models sorted by (Φ, resemblance).
+    pub fn ranked(&self) -> Vec<(Model, f64)> {
+        let mut v: Vec<(Model, f64)> = self
+            .points
+            .iter()
+            .map(|p| (p.model, p.phi * (1.0 / (1.0 + p.div_t_sem))))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+}
+
+/// The Fig. 15 migration scenario: a codebase starts CUDA-only (Φ = 1 on a
+/// one-platform world), the platform set grows, Φ collapses to 0, and the
+/// navigation chart ranks candidate targets.
+#[derive(Debug, Clone)]
+pub struct MigrationScenario {
+    /// (stage description, platform set abbrs, Φ of CUDA at that stage)
+    pub stages: Vec<(String, Vec<&'static str>, f64)>,
+}
+
+pub fn migration_scenario(app: App) -> MigrationScenario {
+    use crate::platform::platform;
+    use crate::sim::phi;
+    let h100 = platform("H100").unwrap();
+    let mi = platform("MI250X").unwrap();
+    let stages = vec![
+        (
+            "1: NVIDIA-only world — CUDA codebase".to_string(),
+            vec!["H100"],
+            phi(app, Model::Cuda, &[h100]),
+        ),
+        (
+            "2: AMD GPUs enter — CUDA not portable".to_string(),
+            vec!["H100", "MI250X"],
+            phi(app, Model::Cuda, &[h100, mi]),
+        ),
+    ];
+    MigrationScenario { stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cascade_series_sorted_and_complete() {
+        let c = cascade(App::TeaLeaf);
+        assert_eq!(c.rows.len(), Model::ALL.len());
+        for row in &c.rows {
+            assert_eq!(row.series.len(), PLATFORMS.len());
+            assert!(row.series.windows(2).all(|w| w[0].1 >= w[1].1), "{:?}", row.model);
+        }
+    }
+
+    #[test]
+    fn cascade_portable_models_have_phi_bars() {
+        let c = cascade(App::CloverLeaf);
+        let kokkos = c.rows.iter().find(|r| r.model == Model::Kokkos).unwrap();
+        assert!(kokkos.phi > 0.0);
+        let cuda = c.rows.iter().find(|r| r.model == Model::Cuda).unwrap();
+        assert_eq!(cuda.phi, 0.0);
+        let text = c.render();
+        assert!(text.contains("Kokkos"));
+        assert!(text.contains('Φ'));
+        let csv = c.to_csv();
+        assert_eq!(csv.lines().count(), Model::ALL.len() + 1);
+    }
+
+    #[test]
+    fn navigation_chart_renders() {
+        let chart = NavigationChart {
+            app: App::TeaLeaf,
+            points: vec![
+                NavPoint { model: Model::OpenMp, phi: 0.0, div_t_src: 0.05, div_t_sem: 0.2 },
+                NavPoint { model: Model::Kokkos, phi: 0.7, div_t_src: 0.3, div_t_sem: 0.25 },
+            ],
+        };
+        let text = chart.render();
+        assert!(text.contains("legend"));
+        assert!(text.contains("Kokkos"));
+        let csv = chart.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        let ranked = chart.ranked();
+        assert_eq!(ranked[0].0, Model::Kokkos);
+    }
+
+    #[test]
+    fn migration_scenario_shape() {
+        let s = migration_scenario(App::TeaLeaf);
+        assert_eq!(s.stages.len(), 2);
+        assert!(s.stages[0].2 > 0.9, "CUDA dominant in NVIDIA-only world");
+        assert_eq!(s.stages[1].2, 0.0, "Φ collapses when AMD enters");
+    }
+}

@@ -1,0 +1,141 @@
+//! Host calibration: real measurements on the machine running the
+//! analysis.
+//!
+//! The roofline simulator in [`crate::sim`] is deterministic; this module
+//! grounds it by actually running the `svpar` kernels (STREAM triad, dot,
+//! the BUDE loop, the TeaLeaf stencil) on the host and reporting measured
+//! bandwidth/compute.  The bench harness uses it for the scaling
+//! ablations; it also demonstrates the real parallel substrate end to end.
+
+use std::time::Instant;
+use svpar::kernels;
+
+/// One measured kernel figure.
+#[derive(Debug, Clone)]
+pub struct HostMeasurement {
+    pub kernel: &'static str,
+    /// Effective memory bandwidth in GB/s (0 for compute kernels).
+    pub bandwidth_gbs: f64,
+    /// Effective arithmetic rate in GFLOP/s (0 for pure-copy kernels).
+    pub gflops: f64,
+    pub seconds: f64,
+}
+
+/// Run the host STREAM-class kernels with `n` doubles per array and
+/// `reps` timed repetitions, returning per-kernel best figures.
+pub fn measure_host(n: usize, reps: usize) -> Vec<HostMeasurement> {
+    let mut a = vec![0.0f64; n];
+    let b: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64).collect();
+    let c: Vec<f64> = (0..n).map(|i| 0.25 + (i % 5) as f64).collect();
+    let bytes_triad = (3 * n * 8) as f64;
+    let bytes_dot = (2 * n * 8) as f64;
+
+    let mut best_triad = f64::INFINITY;
+    let mut best_dot = f64::INFINITY;
+    let mut sink = 0.0f64;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        kernels::triad(&mut a, &b, &c, 0.4);
+        best_triad = best_triad.min(t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        sink += kernels::dot(&a, &b);
+        best_dot = best_dot.min(t1.elapsed().as_secs_f64());
+    }
+    // Keep the result observable so the work cannot be optimised away.
+    assert!(sink.is_finite());
+
+    let poses = 2000;
+    let atoms = 32;
+    let t2 = Instant::now();
+    let e = kernels::bude(poses, atoms);
+    let bude_s = t2.elapsed().as_secs_f64();
+    assert!(e.is_finite());
+    // ~12 flops per pair in the BUDE-ish inner loop.
+    let bude_flops = (poses * atoms * 12) as f64;
+
+    let nx = 512;
+    let ny = 512;
+    let u: Vec<f64> = (0..nx * ny).map(|i| (i % 13) as f64 * 0.1).collect();
+    let mut w = vec![0.0f64; nx * ny];
+    let t3 = Instant::now();
+    kernels::stencil5(&u, &mut w, nx, ny);
+    let sten_s = t3.elapsed().as_secs_f64();
+    let sten_bytes = (2 * nx * ny * 8) as f64;
+
+    vec![
+        HostMeasurement {
+            kernel: "triad",
+            bandwidth_gbs: bytes_triad / best_triad / 1e9,
+            gflops: (2 * n) as f64 / best_triad / 1e9,
+            seconds: best_triad,
+        },
+        HostMeasurement {
+            kernel: "dot",
+            bandwidth_gbs: bytes_dot / best_dot / 1e9,
+            gflops: (2 * n) as f64 / best_dot / 1e9,
+            seconds: best_dot,
+        },
+        HostMeasurement {
+            kernel: "bude",
+            bandwidth_gbs: 0.0,
+            gflops: bude_flops / bude_s / 1e9,
+            seconds: bude_s,
+        },
+        HostMeasurement {
+            kernel: "stencil5",
+            bandwidth_gbs: sten_bytes / sten_s / 1e9,
+            gflops: (6 * nx * ny) as f64 / sten_s / 1e9,
+            seconds: sten_s,
+        },
+    ]
+}
+
+/// Parallel speed-up of the triad kernel at the given thread counts
+/// (used by the scaling ablation bench).
+pub fn triad_scaling(n: usize, thread_counts: &[usize]) -> Vec<(usize, f64)> {
+    let b: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64).collect();
+    let c: Vec<f64> = (0..n).map(|i| 0.25 + (i % 5) as f64).collect();
+    let mut out = Vec::new();
+    for &t in thread_counts {
+        svpar::set_threads(t);
+        let mut a = vec![0.0f64; n];
+        // Warm up, then best-of-3.
+        kernels::triad(&mut a, &b, &c, 0.4);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            kernels::triad(&mut a, &b, &c, 0.4);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        out.push((t, best));
+    }
+    svpar::set_threads(0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_measurements_sane() {
+        let ms = measure_host(1 << 18, 3);
+        assert_eq!(ms.len(), 4);
+        for m in &ms {
+            assert!(m.seconds > 0.0, "{}", m.kernel);
+            assert!(m.seconds < 10.0, "{} took {}s", m.kernel, m.seconds);
+        }
+        let triad = &ms[0];
+        assert!(triad.bandwidth_gbs > 0.05, "triad {} GB/s", triad.bandwidth_gbs);
+        let bude = &ms[2];
+        assert!(bude.gflops > 0.005, "bude {} GF/s", bude.gflops);
+    }
+
+    #[test]
+    fn scaling_returns_requested_points() {
+        let s = triad_scaling(1 << 16, &[1, 2]);
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|(_, t)| *t > 0.0));
+    }
+}

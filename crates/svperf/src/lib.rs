@@ -1,0 +1,24 @@
+//! # svperf — performance portability (Φ) over a simulated platform fleet
+//!
+//! The paper's §VI runs TeaLeaf and CloverLeaf on six HPC platforms
+//! (Table III) and combines the resulting performance-portability metric Φ
+//! (Pennycook, Sewall & Lee) with TBMD into *navigation charts*.  No such
+//! hardware exists here, so this crate substitutes a roofline-based
+//! platform simulator with a realistic model-support matrix and efficiency
+//! tables, plus real host-kernel calibration:
+//!
+//! * [`platform`] — Table III, the support matrix, base efficiencies,
+//! * [`sim`] — the benchmark campaign simulator, application efficiency, Φ,
+//! * [`chart`] — cascade plots (Figs. 11–12), navigation charts
+//!   (Figs. 13–15), text + CSV renderings,
+//! * [`host`] — genuine measurements of the `svpar` kernels on the host
+//!   machine, used for calibration and the scaling ablations.
+
+pub mod chart;
+pub mod host;
+pub mod platform;
+pub mod sim;
+
+pub use chart::{cascade, migration_scenario, Cascade, NavPoint, NavigationChart};
+pub use platform::{base_efficiency, supported, Platform, PlatformKind, PLATFORMS};
+pub use sim::{app_efficiency, campaign, phi, phi_all, run_bench, workload, BenchResult};

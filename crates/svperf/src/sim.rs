@@ -1,0 +1,244 @@
+//! Roofline benchmark simulator and the performance-portability metric Φ.
+//!
+//! Substitutes for the paper's six-platform benchmark campaign: each
+//! (platform, model, app) combination gets an *achieved performance* from
+//! the platform roofline (`min(peak, AI·BW)`), the model's base efficiency
+//! on that platform, a per-app sensitivity, and a small deterministic
+//! jitter (seeded per combination) standing in for run-to-run noise.
+//!
+//! From achieved performance the standard quantities follow:
+//! **application efficiency** (achieved / best-achieved-on-platform) and
+//! **Φ**, the Pennycook–Sewall–Lee performance-portability metric — the
+//! harmonic mean of application efficiency across the platform set, zero
+//! if any platform is unsupported.
+
+use crate::platform::{base_efficiency, supported, Platform, PlatformKind, PLATFORMS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svcorpus::{App, Model};
+
+/// Workload characterisation: arithmetic intensity (FP64 flop / byte) and
+/// nominal work per benchmark deck (Gflop).
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    pub intensity: f64,
+    pub gflop: f64,
+}
+
+/// Workload parameters per mini-app (BM decks of §VI: CloverLeaf BM64 at
+/// 300 iterations, TeaLeaf BM5 at 4 steps; BabelStream / miniBUDE official
+/// sizes).
+pub fn workload(app: App) -> Workload {
+    match app {
+        App::BabelStream => Workload { intensity: 0.08, gflop: 50.0 },
+        App::MiniBude => Workload { intensity: 14.0, gflop: 900.0 },
+        App::TeaLeaf => Workload { intensity: 0.16, gflop: 400.0 },
+        App::CloverLeaf => Workload { intensity: 0.12, gflop: 600.0 },
+    }
+}
+
+/// Per-app sensitivity of a model's efficiency: directive models lose a
+/// little on deeply-kernelised apps, library models lose a little on
+/// bandwidth-bound streams, etc.  Multiplicative on the base efficiency.
+fn app_factor(model: Model, app: App, p: &Platform) -> f64 {
+    let mut f: f64 = 1.0;
+    // Compute-bound code is less sensitive to abstraction overheads.
+    if matches!(app, App::MiniBude) {
+        f *= match model {
+            Model::SyclUsm | Model::SyclAcc | Model::Kokkos | Model::StdPar => 1.05,
+            _ => 1.0,
+        };
+    }
+    // Accessor bookkeeping costs show on bandwidth-bound apps…
+    if matches!(app, App::BabelStream | App::CloverLeaf) && model == Model::SyclAcc {
+        f *= 0.97;
+    }
+    // …but explicit movement helps CloverLeaf on discrete GPUs (paper §VI).
+    if app == App::CloverLeaf && model == Model::SyclAcc && p.kind == PlatformKind::Gpu {
+        f *= 1.06;
+    }
+    // OpenMP target struggles with TeaLeaf's many small kernels on CPUs.
+    if app == App::TeaLeaf && model == Model::OmpTarget && p.kind == PlatformKind::Cpu {
+        f *= 0.92;
+    }
+    f.min(1.08)
+}
+
+/// Deterministic "measurement noise": ±3%, seeded per combination so the
+/// whole evaluation is reproducible.
+fn jitter(model: Model, app: App, p: &Platform) -> f64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in p
+        .abbr
+        .bytes()
+        .chain(model.name().bytes())
+        .chain(app.name().bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let mut rng = StdRng::seed_from_u64(h);
+    1.0 + rng.gen_range(-0.03..0.03)
+}
+
+/// One simulated benchmark measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchResult {
+    pub platform: &'static Platform,
+    pub model: Model,
+    pub app: App,
+    /// Achieved GFLOP/s (0 when unsupported).
+    pub achieved: f64,
+    /// Runtime in seconds (infinite when unsupported).
+    pub runtime: f64,
+}
+
+/// Simulate one (platform, model) measurement of `app`.
+pub fn run_bench(app: App, model: Model, p: &'static Platform) -> BenchResult {
+    if !supported(model, p) {
+        return BenchResult { platform: p, model, app, achieved: 0.0, runtime: f64::INFINITY };
+    }
+    let w = workload(app);
+    let roofline = (w.intensity * p.peak_bw).min(p.peak_gflops);
+    let achieved =
+        roofline * base_efficiency(model, p) * app_factor(model, app, p) * jitter(model, app, p);
+    BenchResult { platform: p, model, app, achieved, runtime: w.gflop / achieved }
+}
+
+/// Run the full campaign for one app: all models × all platforms.
+pub fn campaign(app: App) -> Vec<BenchResult> {
+    let mut out = Vec::with_capacity(Model::ALL.len() * PLATFORMS.len());
+    for model in Model::ALL {
+        for p in &PLATFORMS {
+            out.push(run_bench(app, model, p));
+        }
+    }
+    out
+}
+
+/// Application efficiency of a model on a platform: achieved performance
+/// divided by the best achieved by any model on that platform.
+pub fn app_efficiency(app: App, model: Model, p: &'static Platform) -> f64 {
+    let own = run_bench(app, model, p).achieved;
+    if own == 0.0 {
+        return 0.0;
+    }
+    let best = Model::ALL
+        .iter()
+        .map(|&m| run_bench(app, m, p).achieved)
+        .fold(0.0f64, f64::max);
+    (own / best).min(1.0)
+}
+
+/// The performance-portability metric Φ over a platform set: harmonic mean
+/// of application efficiencies, 0 if the model is unsupported anywhere.
+pub fn phi(app: App, model: Model, platforms: &[&'static Platform]) -> f64 {
+    if platforms.is_empty() {
+        return 0.0;
+    }
+    let mut denom = 0.0;
+    for p in platforms {
+        let e = app_efficiency(app, model, p);
+        if e == 0.0 {
+            return 0.0;
+        }
+        denom += 1.0 / e;
+    }
+    platforms.len() as f64 / denom
+}
+
+/// Φ over the full Table III platform set.
+pub fn phi_all(app: App, model: Model) -> f64 {
+    let refs: Vec<&'static Platform> = PLATFORMS.iter().collect();
+    phi(app, model, &refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::platform;
+
+    #[test]
+    fn unsupported_is_zero_and_infinite() {
+        let h100 = platform("H100").unwrap();
+        let r = run_bench(App::BabelStream, Model::Serial, h100);
+        assert_eq!(r.achieved, 0.0);
+        assert!(r.runtime.is_infinite());
+        assert_eq!(app_efficiency(App::BabelStream, Model::Serial, h100), 0.0);
+    }
+
+    #[test]
+    fn achieved_below_roofline() {
+        for app in App::ALL {
+            let w = workload(app);
+            for m in Model::ALL {
+                for p in &PLATFORMS {
+                    let r = run_bench(app, m, p);
+                    let roof = (w.intensity * p.peak_bw).min(p.peak_gflops);
+                    assert!(r.achieved <= roof * 1.09, "{app:?}/{m:?}/{}", p.abbr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = campaign(App::TeaLeaf);
+        let b = campaign(App::TeaLeaf);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.achieved, y.achieved);
+        }
+    }
+
+    #[test]
+    fn cuda_wins_on_h100() {
+        let h100 = platform("H100").unwrap();
+        let e = app_efficiency(App::TeaLeaf, Model::Cuda, h100);
+        assert!(e > 0.95, "CUDA app efficiency on H100 = {e}");
+        for m in Model::ALL {
+            assert!(app_efficiency(App::TeaLeaf, m, h100) <= e + 1e-12);
+        }
+    }
+
+    #[test]
+    fn phi_zero_for_non_portable_models() {
+        // CUDA/HIP/Serial cannot cover all six platforms.
+        assert_eq!(phi_all(App::TeaLeaf, Model::Cuda), 0.0);
+        assert_eq!(phi_all(App::TeaLeaf, Model::Hip), 0.0);
+        assert_eq!(phi_all(App::TeaLeaf, Model::Serial), 0.0);
+        assert_eq!(phi_all(App::TeaLeaf, Model::OpenMp), 0.0);
+    }
+
+    #[test]
+    fn phi_positive_for_portable_models() {
+        for m in [Model::Kokkos, Model::SyclUsm, Model::SyclAcc, Model::OmpTarget] {
+            let v = phi_all(App::CloverLeaf, m);
+            assert!(v > 0.4 && v <= 1.0, "{m:?}: {v}");
+        }
+    }
+
+    #[test]
+    fn phi_is_harmonic_mean() {
+        // Harmonic mean ≤ arithmetic mean; equality only when uniform.
+        let refs: Vec<&'static Platform> = PLATFORMS.iter().collect();
+        let m = Model::Kokkos;
+        let effs: Vec<f64> =
+            refs.iter().map(|p| app_efficiency(App::TeaLeaf, m, p)).collect();
+        let am = effs.iter().sum::<f64>() / effs.len() as f64;
+        let hm = phi(App::TeaLeaf, m, &refs);
+        assert!(hm <= am + 1e-12);
+        assert!(hm > 0.0);
+    }
+
+    #[test]
+    fn phi_on_single_platform_subset() {
+        // Fig. 15's scenario: CUDA on an NVIDIA-only platform set has Φ=1-ish
+        // (it is the best model there, so app efficiency ≈ 1).
+        let h100 = platform("H100").unwrap();
+        let v = phi(App::TeaLeaf, Model::Cuda, &[h100]);
+        assert!(v > 0.95, "{v}");
+        // Adding MI250X sends CUDA's Φ to zero.
+        let mi = platform("MI250X").unwrap();
+        assert_eq!(phi(App::TeaLeaf, Model::Cuda, &[h100, mi]), 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Line-based coverage masks.
+//!
+//! The paper's `+coverage` metric variants recompile the application with
+//! coverage instrumentation, run it on a reduced problem, and use the
+//! resulting line profile as a mask over the semantic trees: subtrees whose
+//! source lines never executed are removed before computing divergence.
+//!
+//! [`LineMask`] is the per-file bit set of covered lines; [`CoverageMask`]
+//! aggregates per-file masks keyed by the frontends' file indices and knows
+//! how to apply itself to a [`crate::Tree`] via its spans.
+
+use crate::{NodeId, Span, Tree};
+use std::collections::BTreeMap;
+
+/// Bit set of covered (executed) 1-based line numbers for one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LineMask {
+    bits: Vec<u64>,
+}
+
+impl LineMask {
+    /// Empty mask: no lines covered.
+    pub fn new() -> Self {
+        LineMask::default()
+    }
+
+    /// Build a mask from an iterator of covered line numbers.
+    pub fn from_lines(lines: impl IntoIterator<Item = u32>) -> Self {
+        let mut m = LineMask::new();
+        for l in lines {
+            m.set(l);
+        }
+        m
+    }
+
+    /// Mark `line` (1-based) as covered.
+    pub fn set(&mut self, line: u32) {
+        let idx = (line as usize) / 64;
+        if idx >= self.bits.len() {
+            self.bits.resize(idx + 1, 0);
+        }
+        self.bits[idx] |= 1u64 << (line % 64);
+    }
+
+    /// Whether `line` is covered.
+    pub fn contains(&self, line: u32) -> bool {
+        let idx = (line as usize) / 64;
+        self.bits.get(idx).is_some_and(|w| w & (1u64 << (line % 64)) != 0)
+    }
+
+    /// Whether any line in the inclusive range `[start, end]` is covered.
+    pub fn intersects_range(&self, start: u32, end: u32) -> bool {
+        (start..=end).any(|l| self.contains(l))
+    }
+
+    /// Number of covered lines.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Union with another mask (used to merge coverage runs).
+    pub fn union(&mut self, other: &LineMask) {
+        if other.bits.len() > self.bits.len() {
+            self.bits.resize(other.bits.len(), 0);
+        }
+        for (dst, src) in self.bits.iter_mut().zip(&other.bits) {
+            *dst |= *src;
+        }
+    }
+
+    /// Iterate covered line numbers in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64u32)
+                .filter(move |b| bits & (1u64 << b) != 0)
+                .map(move |b| (w as u32) * 64 + b)
+        })
+    }
+}
+
+/// Coverage profile for a whole codebase: one [`LineMask`] per file index.
+///
+/// File indices are whatever the producing frontend assigned in the trees'
+/// [`Span::file`](crate::Span) fields; `silvervale`'s codebase DB keeps the
+/// index↔path mapping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMask {
+    files: BTreeMap<u32, LineMask>,
+}
+
+impl CoverageMask {
+    /// Empty profile: nothing covered anywhere.
+    pub fn new() -> Self {
+        CoverageMask::default()
+    }
+
+    /// Record execution of `line` in `file`.
+    pub fn record(&mut self, file: u32, line: u32) {
+        self.files.entry(file).or_default().set(line);
+    }
+
+    /// Mask for one file (empty if the file never executed).
+    pub fn file(&self, file: u32) -> Option<&LineMask> {
+        self.files.get(&file)
+    }
+
+    /// Insert or replace a whole-file mask.
+    pub fn insert_file(&mut self, file: u32, mask: LineMask) {
+        self.files.insert(file, mask);
+    }
+
+    /// Merge another profile into this one (multi-run union).
+    pub fn union(&mut self, other: &CoverageMask) {
+        for (&f, m) in &other.files {
+            self.files.entry(f).or_default().union(m);
+        }
+    }
+
+    /// Total covered lines across all files.
+    pub fn total_lines(&self) -> usize {
+        self.files.values().map(LineMask::count).sum()
+    }
+
+    /// Number of files with at least one covered line.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Iterate `(file index, mask)` pairs in file order (for serialisation).
+    pub fn iter_files(&self) -> impl Iterator<Item = (u32, &LineMask)> {
+        self.files.iter().map(|(&f, m)| (f, m))
+    }
+
+    /// Whether the span touches at least one covered line.
+    ///
+    /// Spanless nodes are treated as covered: structural nodes inserted by
+    /// the frontends (e.g. the translation-unit root) carry no location and
+    /// must survive masking.
+    pub fn covers(&self, span: Option<Span>) -> bool {
+        match span {
+            None => true,
+            Some(s) => self
+                .files
+                .get(&s.file)
+                .is_some_and(|m| m.intersects_range(s.start_line, s.end_line)),
+        }
+    }
+
+    /// Apply the mask to a tree: drop every subtree whose root node's span
+    /// touches no covered line.  This mirrors the paper's description of a
+    /// "line-based mask that can be toggled for any tree structure".
+    pub fn apply(&self, tree: &Tree) -> Tree {
+        tree.prune(|t: &Tree, n: NodeId| self.covers(t.span(n)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Span, TreeBuilder};
+
+    #[test]
+    fn line_mask_set_contains() {
+        let mut m = LineMask::new();
+        assert!(!m.contains(1));
+        m.set(1);
+        m.set(64);
+        m.set(65);
+        m.set(1000);
+        assert!(m.contains(1));
+        assert!(m.contains(64));
+        assert!(m.contains(65));
+        assert!(m.contains(1000));
+        assert!(!m.contains(2));
+        assert!(!m.contains(999));
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn line_mask_range_query() {
+        let m = LineMask::from_lines([10, 20]);
+        assert!(m.intersects_range(5, 10));
+        assert!(m.intersects_range(10, 15));
+        assert!(!m.intersects_range(11, 19));
+        assert!(m.intersects_range(1, 100));
+        assert!(!m.intersects_range(21, 30));
+    }
+
+    #[test]
+    fn line_mask_union_and_iter() {
+        let mut a = LineMask::from_lines([1, 3]);
+        let b = LineMask::from_lines([3, 200]);
+        a.union(&b);
+        let lines: Vec<u32> = a.iter().collect();
+        assert_eq!(lines, vec![1, 3, 200]);
+    }
+
+    #[test]
+    fn coverage_mask_files_independent() {
+        let mut c = CoverageMask::new();
+        c.record(0, 5);
+        c.record(1, 7);
+        assert!(c.covers(Some(Span::line(0, 5))));
+        assert!(!c.covers(Some(Span::line(0, 7))));
+        assert!(c.covers(Some(Span::line(1, 7))));
+        assert!(!c.covers(Some(Span::line(2, 5))));
+        assert_eq!(c.total_lines(), 2);
+        assert_eq!(c.file_count(), 2);
+    }
+
+    #[test]
+    fn spanless_nodes_always_covered() {
+        let c = CoverageMask::new();
+        assert!(c.covers(None));
+    }
+
+    #[test]
+    fn apply_prunes_uncovered_subtrees() {
+        // fn at lines 1-4, with a covered stmt at line 2 and a dead branch
+        // spanning lines 3-4.
+        let mut b = TreeBuilder::new("TranslationUnit");
+        b.open_span("FunctionDecl", Some(Span::lines(0, 1, 4)));
+        b.leaf_span("Stmt", Some(Span::line(0, 2)));
+        b.open_span("IfStmt", Some(Span::lines(0, 3, 4)));
+        b.leaf_span("DeadStmt", Some(Span::line(0, 4)));
+        b.close();
+        b.close();
+        let t = b.finish();
+
+        let mut cov = CoverageMask::new();
+        cov.record(0, 1);
+        cov.record(0, 2);
+        let masked = cov.apply(&t);
+        assert_eq!(masked.to_sexpr(), "(TranslationUnit (FunctionDecl Stmt))");
+    }
+
+    #[test]
+    fn apply_full_coverage_is_identity() {
+        let mut b = TreeBuilder::new("TU");
+        b.leaf_span("A", Some(Span::line(0, 1)));
+        b.leaf_span("B", Some(Span::line(0, 2)));
+        let t = b.finish();
+        let mut cov = CoverageMask::new();
+        cov.record(0, 1);
+        cov.record(0, 2);
+        assert_eq!(cov.apply(&t), t);
+    }
+
+    #[test]
+    fn union_of_runs() {
+        let mut run1 = CoverageMask::new();
+        run1.record(0, 1);
+        let mut run2 = CoverageMask::new();
+        run2.record(0, 9);
+        run2.record(3, 2);
+        run1.union(&run2);
+        assert!(run1.covers(Some(Span::line(0, 9))));
+        assert!(run1.covers(Some(Span::line(3, 2))));
+        assert_eq!(run1.total_lines(), 3);
+    }
+}

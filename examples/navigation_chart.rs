@@ -1,0 +1,43 @@
+//! The §VI combined performance-portability + productivity analysis:
+//! cascade plots (Figs. 11–12) and navigation charts (Figs. 13–15).
+//!
+//! ```sh
+//! cargo run --release --example navigation_chart
+//! ```
+
+use silvervale::{index_app, navigation_chart};
+use svcorpus::App;
+use svperf::{cascade, migration_scenario};
+
+fn main() {
+    for app in [App::TeaLeaf, App::CloverLeaf] {
+        // Figs. 11/12: sorted application-efficiency decay + Φ bars over
+        // the six Table III platforms.
+        let c = cascade(app);
+        println!("{}", c.render());
+
+        // Figs. 13/14: Φ against the TBMD divergence-from-serial, with the
+        // linked T_sem / T_src point pair per model.
+        let db = index_app(app, false).expect("indexing failed");
+        let chart = navigation_chart(app, &db).expect("chart failed");
+        println!("{}", chart.render());
+
+        let ranked = chart.ranked();
+        println!("Recommended models for {} (Φ × resemblance):", app.name());
+        for (i, (model, score)) in ranked.iter().take(3).enumerate() {
+            println!("  {}. {:<14} score {:.3}", i + 1, model.name(), score);
+        }
+        println!();
+    }
+
+    // Fig. 15: the vendor-diversification story.
+    println!("=== Fig. 15 migration scenario (TeaLeaf) ===");
+    let scenario = migration_scenario(App::TeaLeaf);
+    for (desc, platforms, phi) in &scenario.stages {
+        println!("  {desc}: platforms {platforms:?} → Φ(CUDA) = {phi:.3}");
+    }
+    println!(
+        "  3: pick a replacement from the navigation chart's top-right \
+         quadrant (see rankings above)."
+    );
+}

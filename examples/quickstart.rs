@@ -1,0 +1,38 @@
+//! Quickstart: index a mini-app across all ten programming models, print
+//! the inventory, and cluster the models by semantic divergence.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use silvervale::{index_app, inventory, model_dendrogram, model_matrix};
+use svcluster::Heatmap;
+use svcorpus::App;
+use svmetrics::{Metric, Variant};
+
+fn main() {
+    // 1. Index: compile every model of BabelStream through the frontend,
+    //    collecting T_src / T_sem / T_ir artefacts per model.
+    let db = index_app(App::BabelStream, false).expect("indexing failed");
+    println!("{}", inventory(&db));
+
+    // 2. Pairwise semantic divergence (TED over T_sem, dmax-normalised).
+    let matrix = model_matrix(&db, Metric::TSem, Variant::PLAIN);
+    println!("T_sem divergence matrix:\n{matrix}");
+
+    // 3. Cluster with the paper's recipe (Euclidean over matrix rows,
+    //    complete linkage) and render the dendrogram + ordered heatmap.
+    let dendro = model_dendrogram(&db, Metric::TSem, Variant::PLAIN);
+    println!("Model clustering (T_sem):\n{}", dendro.render());
+    println!("Heatmap (dendrogram order):\n{}", Heatmap::ordered_by(&matrix, &dendro).render());
+
+    // 4. The headline numbers: how far is each model from serial?
+    let divs =
+        silvervale::divergence_from(&db, Metric::TSem, Variant::PLAIN, "Serial").unwrap();
+    println!("Divergence from Serial (T_sem, normalised):");
+    let mut sorted = divs.clone();
+    sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (label, d) in sorted {
+        println!("  {label:<16} {d:.3} {}", "▆".repeat((d * 40.0) as usize));
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end tests of the `silvervale` command-line tool.
+
+use std::process::Command;
+
+fn sv() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_silvervale"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = sv().args(args).output().expect("spawn silvervale");
+    assert!(
+        out.status.success(),
+        "silvervale {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn index_inventory_compare_cluster_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("svcli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("bs.svdb");
+    let db_s = db.to_str().unwrap();
+
+    let out = run_ok(&["index", "--app", "babelstream", "-o", db_s]);
+    assert!(out.contains("indexed 10 units"), "{out}");
+    assert!(db.exists());
+
+    let inv = run_ok(&["inventory", db_s]);
+    assert!(inv.contains("babelstream"));
+    assert!(inv.contains("SYCL (USM)"));
+    assert_eq!(inv.lines().count(), 2 + 10);
+
+    let cmp = run_ok(&["compare", db_s, "--metric", "t_sem", "--from", "Serial"]);
+    assert!(cmp.contains("divergence from Serial"), "{cmp}");
+    assert!(cmp.contains("OpenMP"));
+    // sorted ascending: serial itself first at 0.
+    let first_data_line = cmp.lines().nth(1).unwrap();
+    assert!(first_data_line.contains("Serial"), "{cmp}");
+
+    let clu = run_ok(&["cluster", db_s, "--metric", "t_src"]);
+    assert!(clu.contains("├──"), "{clu}");
+    assert!(clu.contains("CUDA"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fortran_index_works() {
+    let dir = std::env::temp_dir().join(format!("svcli-f-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("f.svdb");
+    let db_s = db.to_str().unwrap();
+    run_ok(&["index", "--fortran", "-o", db_s]);
+    let inv = run_ok(&["inventory", db_s]);
+    assert!(inv.contains("DoConcurrent"), "{inv}");
+    let cmp = run_ok(&["compare", db_s, "--metric", "t_sem", "--from", "Sequential"]);
+    assert!(cmp.contains("OpenACC"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cascade_and_chart() {
+    let out = run_ok(&["cascade", "--app", "tealeaf"]);
+    assert!(out.contains("Φ="), "{out}");
+    assert!(out.contains("Kokkos"));
+
+    let dir = std::env::temp_dir().join(format!("svcli-c-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("tl.svdb");
+    let db_s = db.to_str().unwrap();
+    run_ok(&["index", "--app", "tealeaf", "-o", db_s]);
+    let chart = run_ok(&["chart", db_s, "--app", "tealeaf"]);
+    assert!(chart.contains("legend"), "{chart}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compile_db_workflow_from_disk() {
+    let dir = std::env::temp_dir().join(format!("svcli-d-{}", std::process::id()));
+    let src = dir.join("src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(
+        src.join("app.cpp"),
+        "#ifdef FAST\nint fast() { return 1; }\n#endif\nint main() { return 0; }\n",
+    )
+    .unwrap();
+    let cdb = dir.join("compile_commands.json");
+    std::fs::write(
+        &cdb,
+        r#"[{"directory":".","file":"app.cpp","arguments":["c++","app.cpp"]},
+           {"directory":".","file":"app.cpp","arguments":["c++","-DFAST","app.cpp"]}]"#,
+    )
+    .unwrap();
+    let db = dir.join("out.svdb");
+    let out = run_ok(&[
+        "index",
+        "--compile-db",
+        cdb.to_str().unwrap(),
+        "--src-dir",
+        src.to_str().unwrap(),
+        "-o",
+        db.to_str().unwrap(),
+    ]);
+    assert!(out.contains("indexed 2 units"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = sv().args(["index"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("index needs"), "{err}");
+
+    let out = sv().args(["inventory", "/nonexistent/path.svdb"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = sv().args(["index", "--app", "notanapp"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown app"));
+}

@@ -1,0 +1,244 @@
+//! Every qualitative finding of the paper's evaluation (§V–§VI),
+//! reproduced as an executable assertion.  These are the "shape" checks:
+//! who diverges from whom, in which direction, under which metric.
+
+use silvervale::{divergence_from, index_app, index_fortran};
+use svcorpus::{unit, App, Model};
+use svmetrics::{divergence, Measured, Metric, Variant};
+use svperf::{phi_all, PLATFORMS};
+
+fn div(metric: Metric, v: Variant, app: App, from: Model, to: Model) -> f64 {
+    let a = unit(app, from).unwrap();
+    let b = unit(app, to).unwrap();
+    divergence(metric, v, &Measured::new(&a), &Measured::new(&b)).normalized()
+}
+
+#[test]
+fn finding_omp_tsem_exceeds_tsrc_consistently() {
+    // §V-C: "The directive-based OpenMP has a consistently higher T_sem
+    // divergence when compared to T_src or other perceived metrics" —
+    // check on several apps.
+    for app in [App::TeaLeaf, App::CloverLeaf, App::BabelStream] {
+        let t_src = div(Metric::TSrc, Variant::PLAIN, app, Model::Serial, Model::OpenMp);
+        let t_sem = div(Metric::TSem, Variant::PLAIN, app, Model::Serial, Model::OpenMp);
+        assert!(t_sem > t_src, "{app:?}: T_sem {t_sem} vs T_src {t_src}");
+    }
+}
+
+#[test]
+fn finding_omp_target_similar_semantics_to_kokkos_cheaper_source() {
+    // §VI: "the OpenMP model encodes similar levels of semantic complexity
+    // to Kokkos while accomplishing this with near zero cost at the source
+    // (T_src) level."
+    let app = App::CloverLeaf;
+    let omp_src = div(Metric::TSrc, Variant::PLAIN, app, Model::Serial, Model::OmpTarget);
+    let kokkos_src = div(Metric::TSrc, Variant::PLAIN, app, Model::Serial, Model::Kokkos);
+    assert!(
+        omp_src < kokkos_src,
+        "OpenMP target source cost {omp_src} must undercut Kokkos {kokkos_src}"
+    );
+    // The real insight: OpenMP target *hides* complexity — its
+    // semantic-to-perceived divergence ratio towers over Kokkos's, whose
+    // complexity is all visible in the source.
+    let omp_sem = div(Metric::TSem, Variant::PLAIN, app, Model::Serial, Model::OmpTarget);
+    let kokkos_sem = div(Metric::TSem, Variant::PLAIN, app, Model::Serial, Model::Kokkos);
+    let omp_hidden = omp_sem / omp_src.max(1e-9);
+    let kokkos_hidden = kokkos_sem / kokkos_src.max(1e-9);
+    assert!(
+        omp_hidden > kokkos_hidden,
+        "OpenMP hides semantics: ratio {omp_hidden} vs Kokkos {kokkos_hidden}"
+    );
+    // And the perceived cost gap is wide: OpenMP target's source-level
+    // divergence is well under half of Kokkos's.
+    assert!(omp_src * 2.0 < kokkos_src, "omp_src {omp_src} vs kokkos_src {kokkos_src}");
+}
+
+#[test]
+fn finding_tsem_inlining_jump_for_library_models_not_omp() {
+    // §V-C: "for library-based or language-based models, we see a huge
+    // jump in divergence as foreign code is brought in … For OpenMP, and
+    // to a lesser degree CUDA, both show very little change for T_sem+i."
+    // (Same-codebase helpers get inlined; OpenMP relies on the compiler.)
+    let app = App::MiniBude; // helper-heavy: position functions inline
+    let jump = |model: Model| {
+        let plain = div(Metric::TSem, Variant::PLAIN, app, Model::Serial, model);
+        let inl = div(Metric::TSem, Variant::INLINED, app, Model::Serial, model);
+        inl - plain
+    };
+    let omp_jump = jump(Model::OpenMp).abs();
+    assert!(omp_jump < 0.2, "OpenMP inlining jump {omp_jump}");
+}
+
+#[test]
+fn finding_sycl_source_pp_extreme_divergence() {
+    // §V-C: "SYCL, when using the CPP modifier (Source+pp), exhibits
+    // extreme divergence from the serial model" — the ~20 MB header.
+    for app in [App::BabelStream, App::MiniBude] {
+        let plain = div(Metric::Source, Variant::PLAIN, app, Model::Serial, Model::SyclUsm);
+        let pp = div(Metric::Source, Variant::PP, app, Model::Serial, Model::SyclUsm);
+        assert!(pp > plain * 1.5, "{app:?}: pp {pp} vs plain {plain}");
+        // And it dwarfs what OpenMP's header costs post-preprocessing.
+        let omp_pp = div(Metric::Source, Variant::PP, app, Model::Serial, Model::OpenMp);
+        assert!(pp > omp_pp, "{app:?}: sycl pp {pp} vs omp pp {omp_pp}");
+    }
+}
+
+#[test]
+fn finding_t_ir_misbehaves_for_offload_models() {
+    // §V-C: offload IR "contains multiple layers of driver code that is
+    // unrelated to the core algorithm … artificially increasing the
+    // divergence."  Offload models' T_ir divergence from serial must
+    // exceed every host model's.
+    // Raw TED distances (not dmax-normalised — the driver code inflates
+    // the target tree too, which would mask the effect).
+    let app = App::BabelStream;
+    let raw = |to: Model| {
+        let a = unit(app, Model::Serial).unwrap();
+        let b = unit(app, to).unwrap();
+        divergence(Metric::TIr, Variant::PLAIN, &Measured::new(&a), &Measured::new(&b)).distance
+    };
+    let host_max = [Model::OpenMp, Model::Tbb, Model::StdPar, Model::Kokkos]
+        .iter()
+        .map(|&m| raw(m))
+        .max()
+        .unwrap();
+    for m in [Model::Cuda, Model::Hip, Model::OmpTarget, Model::SyclUsm] {
+        let d = raw(m);
+        assert!(d > host_max, "{m:?} raw T_ir {d} must exceed host max {host_max}");
+    }
+}
+
+#[test]
+fn finding_migration_from_cuda_costs_more_than_from_serial() {
+    // §V-D (Figs. 9–10): "The divergence when starting from serial is
+    // lower when compared to starting from CUDA.  This is most obviously
+    // seen with the T_sem metric."
+    let db = index_app(App::TeaLeaf, false).unwrap();
+    let from_serial = divergence_from(&db, Metric::TSem, Variant::PLAIN, "Serial").unwrap();
+    let from_cuda = divergence_from(&db, Metric::TSem, Variant::PLAIN, "CUDA").unwrap();
+    let get = |v: &[(String, f64)], l: &str| v.iter().find(|(x, _)| x == l).unwrap().1;
+    let mut serial_lower = 0;
+    let mut total = 0;
+    for m in [Model::OmpTarget, Model::SyclUsm, Model::SyclAcc, Model::Kokkos] {
+        let s = get(&from_serial, m.name());
+        let c = get(&from_cuda, m.name());
+        total += 1;
+        if s < c {
+            serial_lower += 1;
+        }
+    }
+    assert!(
+        serial_lower >= 3,
+        "porting from serial must beat porting from CUDA for most offload targets ({serial_lower}/{total})"
+    );
+}
+
+#[test]
+fn finding_omp_target_lowest_divergence_from_serial_among_offload() {
+    // §V-D: "The OpenMP target model stands out as having the lowest
+    // divergence overall when ported from serial."
+    let db = index_app(App::TeaLeaf, false).unwrap();
+    let divs = divergence_from(&db, Metric::TSrc, Variant::PLAIN, "Serial").unwrap();
+    let get = |l: &str| divs.iter().find(|(x, _)| x == l).unwrap().1;
+    let omp_target = get("OpenMP target");
+    for m in [Model::Cuda, Model::Hip, Model::SyclUsm, Model::SyclAcc] {
+        assert!(
+            omp_target < get(m.name()),
+            "OpenMP target {omp_target} vs {} {}",
+            m.name(),
+            get(m.name())
+        );
+    }
+}
+
+#[test]
+fn finding_declarative_models_lowest_divergence() {
+    // §VIII: "declarative models such as OpenMP and StdPar tend to have a
+    // lower divergence from serial when compared to the rest."
+    let db = index_app(App::TeaLeaf, false).unwrap();
+    let divs = divergence_from(&db, Metric::TSrc, Variant::PLAIN, "Serial").unwrap();
+    let get = |l: &str| divs.iter().find(|(x, _)| x == l).unwrap().1;
+    let declarative = get("OpenMP").max(get("OpenMP target"));
+    for imperative in ["CUDA", "HIP", "SYCL (USM)", "SYCL (acc)", "Kokkos"] {
+        assert!(
+            declarative < get(imperative),
+            "declarative {declarative} vs {imperative} {}",
+            get(imperative)
+        );
+    }
+}
+
+#[test]
+fn finding_fortran_openacc_adds_no_parallel_semantics() {
+    // §V-B: "the OpenACC model, including the array variant, did not
+    // introduce extra tokens related to parallelism" (GCC 13 QoI).
+    let db = index_fortran().unwrap();
+    let divs = divergence_from(&db, Metric::TSem, Variant::PLAIN, "Sequential").unwrap();
+    let get = |l: &str| divs.iter().find(|(x, _)| x == l).unwrap().1;
+    assert!(
+        get("OpenACC") < get("OpenMP"),
+        "ACC {} must under-diverge OMP {}",
+        get("OpenACC"),
+        get("OpenMP")
+    );
+}
+
+#[test]
+fn finding_fortran_tsem_more_uniform_than_cpp() {
+    // §V-B: "all the models at T_sem are more similar when compared to the
+    // C++ version of BabelStream."
+    let fdb = index_fortran().unwrap();
+    let cdb = index_app(App::BabelStream, false).unwrap();
+    let spread = |divs: &[(String, f64)]| {
+        let vals: Vec<f64> = divs.iter().map(|(_, d)| *d).collect();
+        vals.iter().fold(0.0f64, |a, &b| a.max(b))
+    };
+    let f = spread(&divergence_from(&fdb, Metric::TSem, Variant::PLAIN, "Sequential").unwrap());
+    let c = spread(&divergence_from(&cdb, Metric::TSem, Variant::PLAIN, "Serial").unwrap());
+    assert!(f < c, "fortran max divergence {f} vs C++ {c}");
+}
+
+#[test]
+fn finding_sycl_accessor_source_heavier_than_semantics() {
+    // §VI: "the excessive accessor for SYCL buffers made the source appear
+    // much more complex than it is semantically" — T_src divergence ratio
+    // to T_sem is higher for the accessor variant than the USM variant.
+    let app = App::CloverLeaf;
+    let ratio = |m: Model| {
+        let src = div(Metric::TSrc, Variant::PLAIN, app, Model::Serial, m);
+        let sem = div(Metric::TSem, Variant::PLAIN, app, Model::Serial, m);
+        src / sem.max(1e-9)
+    };
+    assert!(
+        ratio(Model::SyclAcc) > ratio(Model::SyclUsm),
+        "accessor ratio {} vs usm ratio {}",
+        ratio(Model::SyclAcc),
+        ratio(Model::SyclUsm)
+    );
+}
+
+#[test]
+fn finding_phi_landscape_matches_section6() {
+    // §VI: portable models have meaningful Φ; single-vendor models score 0
+    // on the six-platform set; the navigation chart's "ideal" region is
+    // occupied by low-divergence, portable models.
+    for app in [App::TeaLeaf, App::CloverLeaf] {
+        for m in [Model::Kokkos, Model::OmpTarget, Model::SyclUsm, Model::SyclAcc] {
+            assert!(phi_all(app, m) > 0.3, "{app:?}/{m:?}");
+        }
+        for m in [Model::Cuda, Model::Hip, Model::Serial, Model::OpenMp, Model::Tbb] {
+            assert_eq!(phi_all(app, m), 0.0, "{app:?}/{m:?}");
+        }
+    }
+    // Sanity on Table III.
+    assert_eq!(PLATFORMS.len(), 6);
+    assert!(svperf::platform::platform("PVC").is_some());
+}
+
+#[test]
+fn finding_figure15_migration_story() {
+    // Fig. 15: Φ = 1-ish in the single-platform world, 0 after AMD enters.
+    let s = svperf::migration_scenario(App::TeaLeaf);
+    assert!(s.stages[0].2 > 0.9);
+    assert_eq!(s.stages[1].2, 0.0);
+}

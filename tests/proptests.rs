@@ -1,0 +1,237 @@
+//! Property-based tests over the core data structures and algorithms.
+
+use proptest::prelude::*;
+use svdist::ted::{naive_ted, ted_with, CostModel, Strategy as TedStrategy};
+use svdist::{edit_distance_onp, lcs_len, levenshtein};
+use svtree::pack::{compress, decompress, read_tree, write_tree};
+use svtree::{Span, Tree};
+
+// ---------------------------------------------------------------------------
+// generators
+// ---------------------------------------------------------------------------
+
+/// A small random labelled tree (≤ `max_nodes` nodes, labels a..e).
+fn arb_tree(max_nodes: usize) -> impl Strategy<Value = Tree> {
+    // Pre-order label+arity encoding drives a deterministic builder.
+    proptest::collection::vec((0u8..5, 0usize..3), 1..max_nodes).prop_map(|spec| {
+        let mut tree = Tree::leaf(format!("n{}", spec[0].0));
+        let mut frontier = vec![(tree.root().unwrap(), spec[0].1)];
+        for &(label, arity) in &spec[1..] {
+            // Attach to the first frontier node with remaining capacity.
+            while let Some(&(node, remaining)) = frontier.last() {
+                if remaining == 0 {
+                    frontier.pop();
+                } else {
+                    frontier.last_mut().unwrap().1 -= 1;
+                    let id = tree.push_child(node, format!("n{label}"), None);
+                    frontier.push((id, arity));
+                    break;
+                }
+            }
+        }
+        tree
+    })
+}
+
+/// A random tree with spans for serialisation tests.
+fn arb_spanned_tree() -> impl Strategy<Value = Tree> {
+    (arb_tree(20), any::<u32>()).prop_map(|(t, seed)| {
+        let mut i = seed % 97;
+        t.map_labels(|l| l.to_string()).prune(|_, _| true).filter_splice(|_, _| true).clone();
+        // Rebuild with spans through the builder API.
+        let mut b = svtree::TreeBuilder::new("root");
+        for n in t.preorder() {
+            i = (i * 31 + 7) % 997;
+            b.leaf_span(t.label(n).to_string(), Some(Span::line(i % 5, 1 + i % 100)));
+        }
+        b.finish()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// TED metric axioms (cross-validated against the independent oracle)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ted_matches_oracle(a in arb_tree(9), b in arb_tree(9)) {
+        let expect = naive_ted(&a, &b, CostModel::UNIT);
+        for s in [TedStrategy::Left, TedStrategy::Right, TedStrategy::Auto] {
+            prop_assert_eq!(ted_with(&a, &b, CostModel::UNIT, s), expect);
+        }
+    }
+
+    #[test]
+    fn ted_identity_and_symmetry(a in arb_tree(12), b in arb_tree(12)) {
+        prop_assert_eq!(svdist::ted(&a, &a), 0);
+        prop_assert_eq!(svdist::ted(&a, &b), svdist::ted(&b, &a));
+    }
+
+    #[test]
+    fn ted_bounded_by_sizes(a in arb_tree(12), b in arb_tree(12)) {
+        let d = svdist::ted(&a, &b);
+        prop_assert!(d <= (a.size() + b.size()) as u64);
+        prop_assert!(d >= a.size().abs_diff(b.size()) as u64);
+    }
+
+    #[test]
+    fn ted_triangle_inequality(a in arb_tree(7), b in arb_tree(7), c in arb_tree(7)) {
+        // TED is a true metric on ordered labelled trees.
+        let ab = svdist::ted(&a, &b);
+        let bc = svdist::ted(&b, &c);
+        let ac = svdist::ted(&a, &c);
+        prop_assert!(ac <= ab + bc, "d(a,c)={ac} > d(a,b)+d(b,c)={}", ab + bc);
+    }
+
+    // -----------------------------------------------------------------------
+    // serialisation roundtrips
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn svpack_tree_roundtrip(t in arb_spanned_tree()) {
+        let bytes = write_tree(&t);
+        let back = read_tree(&bytes).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn svz_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn svz_roundtrip_repetitive(pattern in proptest::collection::vec(any::<u8>(), 1..32),
+                                reps in 1usize..256) {
+        let data: Vec<u8> = pattern.iter().copied().cycle().take(pattern.len() * reps).collect();
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    // -----------------------------------------------------------------------
+    // sequence distances
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn onp_equals_lcs_identity(a in proptest::collection::vec(0u8..4, 0..64),
+                               b in proptest::collection::vec(0u8..4, 0..64)) {
+        let d = edit_distance_onp(&a, &b);
+        let l = lcs_len(&a, &b);
+        prop_assert_eq!(d, a.len() + b.len() - 2 * l);
+    }
+
+    #[test]
+    fn levenshtein_sandwich(a in proptest::collection::vec(0u8..4, 0..48),
+                            b in proptest::collection::vec(0u8..4, 0..48)) {
+        let lev = levenshtein(&a, &b);
+        let onp = edit_distance_onp(&a, &b);
+        prop_assert!(lev <= onp);
+        prop_assert!(onp <= 2 * lev);
+    }
+
+    #[test]
+    fn sequence_metric_axioms(a in proptest::collection::vec(0u8..4, 0..48),
+                              b in proptest::collection::vec(0u8..4, 0..48)) {
+        prop_assert_eq!(edit_distance_onp(&a, &a), 0);
+        prop_assert_eq!(edit_distance_onp(&a, &b), edit_distance_onp(&b, &a));
+    }
+
+    // -----------------------------------------------------------------------
+    // JSON roundtrip
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn json_string_roundtrip(s in "\\PC*") {
+        use silvervale::svjson::{parse, Json};
+        let doc = Json::Str(s.clone()).to_string_compact();
+        prop_assert_eq!(parse(&doc).unwrap(), Json::Str(s));
+    }
+
+    #[test]
+    fn json_number_roundtrip(v in -1.0e12f64..1.0e12) {
+        use silvervale::svjson::{parse, Json};
+        let doc = Json::Num(v).to_string_compact();
+        let back = parse(&doc).unwrap().as_f64().unwrap();
+        prop_assert!((back - v).abs() <= v.abs() * 1e-12 + 1e-9);
+    }
+
+    // -----------------------------------------------------------------------
+    // clustering invariants
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn clustering_invariants(dists in proptest::collection::vec(0.0f64..10.0, 6)) {
+        use svcluster::{cluster, Linkage};
+        use svdist::DistanceMatrix;
+        // 4 items, 6 condensed entries.
+        let mut m = DistanceMatrix::new(
+            (0..4).map(|i| format!("m{i}")).collect()
+        );
+        let mut k = 0;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                m.set(i, j, dists[k]);
+                k += 1;
+            }
+        }
+        let d = cluster(&m, Linkage::Complete);
+        prop_assert_eq!(d.merges.len(), 3);
+        // Complete-linkage merge heights are monotone non-decreasing.
+        for w in d.merges.windows(2) {
+            prop_assert!(w[0].height <= w[1].height + 1e-12);
+        }
+        // Leaf order is a permutation.
+        let mut order = d.leaf_order();
+        order.sort_unstable();
+        prop_assert_eq!(order, vec![0, 1, 2, 3]);
+        // Flat cuts partition the items.
+        for k in 1..=4usize {
+            let cuts = d.cut(k);
+            let total: usize = cuts.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, 4);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// frontend robustness: arbitrary input must never panic
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cpp_frontend_never_panics(src in "[a-z0-9 \\n\\t{}()\\[\\];,.*+<>=&|!#\"'/-]{0,200}") {
+        use svlang::source::SourceSet;
+        use svlang::unit::{compile_unit, UnitOptions};
+        let mut ss = SourceSet::new();
+        let m = ss.add("fuzz.cpp", src);
+        // Ok or Err are both fine; panics are not.
+        let _ = compile_unit(&ss, m, &UnitOptions::default());
+    }
+
+    #[test]
+    fn fortran_frontend_never_panics(src in "[a-z0-9 \\n(),:=+*!$.-]{0,200}") {
+        use svlang::fortran::parse_fortran;
+        use svlang::source::FileId;
+        let _ = parse_fortran(&src, FileId(0), "fuzz.f90");
+    }
+
+    #[test]
+    fn compile_commands_parser_never_panics(src in "[\\[\\]{}\",:a-z0-9 .\\\\/-]{0,200}") {
+        let _ = silvervale::parse_compile_commands(&src);
+    }
+
+    #[test]
+    fn db_loader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = silvervale::CodebaseDb::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn tree_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = read_tree(&bytes);
+        let _ = decompress(&bytes);
+    }
+}
