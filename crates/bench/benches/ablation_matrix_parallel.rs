@@ -1,0 +1,62 @@
+//! Ablation: parallel divergence-matrix construction.
+//!
+//! The full 10-model cartesian TED matrix (45 pairs) is the hot path both
+//! of the batch `cluster` workflow and of the `svserve` analysis service;
+//! §VII names TED cost as the scaling bottleneck.  This ablation compares
+//! the sequential pair loop against the `svpar::par_tasks` fan-out at
+//! 1/2/4/8 worker threads, verifying bit-identical results along the way.
+
+use bench::{criterion, save_figure};
+use criterion::BenchmarkId;
+use silvervale::index_app;
+use std::time::Instant;
+use svcorpus::App;
+use svmetrics::{divergence_matrix, divergence_matrix_seq, Measured, Metric, Variant};
+
+fn main() {
+    let db = index_app(App::TeaLeaf, false).expect("index tealeaf");
+    let labels = db.labels();
+    let measured: Vec<Measured<'_>> =
+        db.entries.iter().map(|e| Measured::of(&e.artifacts)).collect();
+
+    let t0 = Instant::now();
+    let seq = divergence_matrix_seq(Metric::TSem, Variant::PLAIN, &labels, &measured);
+    let t_seq = t0.elapsed().as_secs_f64();
+
+    let mut out = String::from(
+        "Divergence-matrix parallelism ablation (TeaLeaf, T_sem, 45 TED pairs)\n\n",
+    );
+    out.push_str(&format!("sequential reference: {:.4} s\n\n", t_seq));
+    out.push_str("threads   seconds    speedup   identical\n");
+
+    let hw = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    for threads in [1usize, 2, 4, 8] {
+        svpar::set_threads(threads);
+        let t1 = Instant::now();
+        let par = divergence_matrix(Metric::TSem, Variant::PLAIN, &labels, &measured);
+        let t_par = t1.elapsed().as_secs_f64();
+        assert_eq!(par, seq, "parallel matrix must be bit-identical to sequential");
+        let note = if threads > hw { " (oversubscribed)" } else { "" };
+        out.push_str(&format!(
+            "{threads:>7} {t_par:>10.4} {:>9.2}x   yes{note}\n",
+            t_seq / t_par
+        ));
+    }
+    svpar::set_threads(0);
+    save_figure("ablation_matrix_parallel.txt", &out);
+
+    let mut c = criterion();
+    c.bench_function("matrix/sequential", |b| {
+        b.iter(|| divergence_matrix_seq(Metric::TSem, Variant::PLAIN, &labels, &measured))
+    });
+    let mut group = c.benchmark_group("matrix/par_tasks");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            svpar::set_threads(t);
+            b.iter(|| divergence_matrix(Metric::TSem, Variant::PLAIN, &labels, &measured));
+        });
+    }
+    group.finish();
+    svpar::set_threads(0);
+    c.final_summary();
+}

@@ -19,7 +19,12 @@
 pub mod compdb;
 pub mod db;
 pub mod pipeline;
-pub mod svjson;
+pub mod serve;
+
+/// The from-scratch JSON support now lives in `svserve` (it is the serve
+/// protocol's wire format); re-exported here so `silvervale::svjson`
+/// keeps working.
+pub use svserve::svjson;
 
 pub use compdb::{parse_compile_commands, write_compile_commands, CompileCommand};
 pub use db::{CodebaseDb, DbEntry};
@@ -27,6 +32,7 @@ pub use pipeline::{
     divergence_from, index_app, index_compilation_db, index_fortran, inventory, model_dendrogram,
     model_matrix, navigation_chart,
 };
+pub use serve::AnalysisService;
 
 /// Framework-level error type.
 #[derive(Debug)]

@@ -11,14 +11,15 @@
 //! silvervale cascade   --app tealeaf
 //! ```
 
+use silvervale::serve::{parse_app, parse_metric, AnalysisService, DEFAULT_CACHE_BYTES};
+use silvervale::svjson::Json;
 use silvervale::{
     divergence_from, index_app, index_compilation_db, index_fortran, inventory,
     model_dendrogram, model_matrix, navigation_chart, parse_compile_commands, CodebaseDb,
 };
 use svcluster::Heatmap;
-use svcorpus::App;
 use svlang::source::SourceSet;
-use svmetrics::{Metric, Variant};
+use svmetrics::Variant;
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -34,6 +35,9 @@ USAGE:
   silvervale cluster   <DB> [--metric M] [--pp] [--cov] [--inline]
   silvervale chart     <DB> --app <name>
   silvervale cascade   --app <name>
+  silvervale serve     [--addr HOST:PORT] [--threads N] [--cache-mb N] [DB...]
+  silvervale client    --addr HOST:PORT <method> [PARAMS-JSON]
+  silvervale stats     --addr HOST:PORT
 
   apps:    babelstream | minibude | tealeaf | cloverleaf
   metrics: sloc | lloc | source | t_src | t_sem | t_ir | codediv"
@@ -55,8 +59,10 @@ impl Args {
             let a = &argv[i];
             if let Some(name) = a.strip_prefix("--") {
                 // value flags take the next token unless it is also a flag
-                let value_flags =
-                    ["app", "metric", "from", "compile-db", "src-dir", "out"];
+                let value_flags = [
+                    "app", "metric", "from", "compile-db", "src-dir", "out", "addr",
+                    "threads", "cache-mb",
+                ];
                 if value_flags.contains(&name) && i + 1 < argv.len() {
                     flags.push((name.to_string(), Some(argv[i + 1].clone())));
                     i += 2;
@@ -84,23 +90,6 @@ impl Args {
             .iter()
             .find(|(n, v)| n == name && v.is_some())
             .and_then(|(_, v)| v.as_deref())
-    }
-}
-
-fn parse_app(name: &str) -> Option<App> {
-    App::ALL.iter().copied().find(|a| a.name() == name)
-}
-
-fn parse_metric(name: &str) -> Option<Metric> {
-    match name.to_ascii_lowercase().as_str() {
-        "sloc" => Some(Metric::Sloc),
-        "lloc" => Some(Metric::Lloc),
-        "source" => Some(Metric::Source),
-        "t_src" | "tsrc" => Some(Metric::TSrc),
-        "t_sem" | "tsem" => Some(Metric::TSem),
-        "t_ir" | "tir" => Some(Metric::TIr),
-        "codediv" | "code_divergence" => Some(Metric::CodeDivergence),
-        _ => None,
     }
 }
 
@@ -208,6 +197,67 @@ fn run() -> Result<(), String> {
             let app =
                 parse_app(app_name).ok_or_else(|| format!("unknown app '{app_name}'"))?;
             println!("{}", svperf::cascade(app).render());
+            Ok(())
+        }
+        "serve" => {
+            let addr = args.value("addr").unwrap_or("127.0.0.1:7741");
+            let threads = match args.value("threads") {
+                Some(t) => t.parse::<usize>().map_err(|_| "--threads needs a number")?,
+                None => svpar::num_threads(),
+            };
+            let cache_bytes = match args.value("cache-mb") {
+                Some(mb) => {
+                    mb.parse::<usize>().map_err(|_| "--cache-mb needs a number")? << 20
+                }
+                None => DEFAULT_CACHE_BYTES,
+            };
+            let service = AnalysisService::new(cache_bytes);
+            for path in &args.positional {
+                let db = load_db(path)?;
+                let name = db.name.clone();
+                println!("loaded {} ({} units) from {path}", name, db.entries.len());
+                service.insert_db(name, db);
+            }
+            let mut router = svserve::Router::new();
+            service.register_on(&mut router);
+            let handle = svserve::serve(addr, router, threads)
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            println!("serving on {} ({threads} workers); send a 'shutdown' request to stop",
+                handle.addr());
+            // Block until a client requests shutdown, then report.
+            let stats = handle.wait();
+            print!("{}", svserve::render_stats(&stats));
+            Ok(())
+        }
+        "client" | "stats" => {
+            let addr = args.value("addr").ok_or("--addr HOST:PORT is required")?;
+            let (method, params) = if cmd == "stats" {
+                ("stats".to_string(), Json::Null)
+            } else {
+                let method = args
+                    .positional
+                    .first()
+                    .ok_or("client needs a method name")?
+                    .clone();
+                let params = match args.positional.get(1) {
+                    Some(text) => silvervale::svjson::parse(text)
+                        .map_err(|e| format!("bad params: {e}"))?,
+                    None => Json::Null,
+                };
+                (method, params)
+            };
+            let mut client = svserve::Client::connect(addr)
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let result = client.call(&method, params).map_err(|e| e.to_string())?;
+            if cmd == "stats" {
+                print!("{}", svserve::render_stats(&result));
+            } else {
+                // Render text-bearing results as text, everything else as JSON.
+                match result.get("text").and_then(Json::as_str) {
+                    Some(text) => print!("{text}"),
+                    None => println!("{}", result.to_string_compact()),
+                }
+            }
             Ok(())
         }
         _ => usage(),

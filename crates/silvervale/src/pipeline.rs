@@ -69,7 +69,7 @@ pub fn index_compilation_db(
     Ok(db)
 }
 
-fn measured_entries<'a>(db: &'a CodebaseDb, v: Variant) -> Vec<Measured<'a>> {
+pub(crate) fn measured_entries<'a>(db: &'a CodebaseDb, v: Variant) -> Vec<Measured<'a>> {
     db.entries
         .iter()
         .map(|e| match (&e.coverage, v.coverage) {

@@ -1,0 +1,438 @@
+//! The analysis service: `svserve` handlers over the silvervale pipeline.
+//!
+//! [`AnalysisService`] owns a registry of in-memory codebase DBs and the
+//! content-addressed TED cache, and registers one handler per analysis
+//! verb on an `svserve` [`Router`].  The expensive requests (`compare`,
+//! `matrix`, `cluster`) route every pairwise distance through the cache,
+//! so a session like index → compare → cluster → compare computes each
+//! TED pair exactly once — and answers identically to the one-shot
+//! pipeline functions, bit for bit.
+
+use crate::db::CodebaseDb;
+use crate::pipeline::{self, measured_entries};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use svcluster::{cluster_rows, Heatmap};
+use svcorpus::App;
+use svdist::DistanceMatrix;
+use svmetrics::{divergence, Measured, Metric, Variant};
+use svserve::cached::{self, FpArtifact};
+use svserve::svjson::Json;
+use svserve::{Router, ServeError, TedCache};
+
+/// Default cache budget: 64 MiB of pair entries.
+pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
+/// Shared state behind every handler.
+pub struct AnalysisService {
+    dbs: Mutex<HashMap<String, Arc<CodebaseDb>>>,
+    cache: TedCache,
+    /// Pairwise distances actually computed (cache misses that ran a TED
+    /// or line edit distance) — the "no recompute" observable.
+    pair_computes: AtomicU64,
+}
+
+/// Parse a metric name as the CLI spells it.
+pub fn parse_metric(name: &str) -> Option<Metric> {
+    match name.to_ascii_lowercase().as_str() {
+        "sloc" => Some(Metric::Sloc),
+        "lloc" => Some(Metric::Lloc),
+        "source" => Some(Metric::Source),
+        "t_src" | "tsrc" => Some(Metric::TSrc),
+        "t_sem" | "tsem" => Some(Metric::TSem),
+        "t_ir" | "tir" => Some(Metric::TIr),
+        "codediv" | "code_divergence" => Some(Metric::CodeDivergence),
+        _ => None,
+    }
+}
+
+/// Parse a corpus app name as the CLI spells it.
+pub fn parse_app(name: &str) -> Option<App> {
+    App::ALL.iter().copied().find(|a| a.name() == name)
+}
+
+fn str_param(params: &Json, key: &str) -> Result<String, ServeError> {
+    params
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ServeError::bad_params(format!("missing string param '{key}'")))
+}
+
+fn bool_param(params: &Json, key: &str) -> bool {
+    params.get(key).and_then(Json::as_bool).unwrap_or(false)
+}
+
+fn metric_param(params: &Json) -> Result<Metric, ServeError> {
+    let name = params
+        .get("metric")
+        .and_then(Json::as_str)
+        .unwrap_or("t_sem");
+    parse_metric(name).ok_or_else(|| ServeError::bad_params(format!("unknown metric '{name}'")))
+}
+
+fn variant_param(params: &Json) -> Variant {
+    Variant {
+        preprocessor: bool_param(params, "pp"),
+        inlining: bool_param(params, "inline"),
+        coverage: bool_param(params, "cov"),
+    }
+}
+
+impl AnalysisService {
+    pub fn new(cache_bytes: usize) -> Arc<AnalysisService> {
+        Arc::new(AnalysisService {
+            dbs: Mutex::new(HashMap::new()),
+            cache: TedCache::new(cache_bytes),
+            pair_computes: AtomicU64::new(0),
+        })
+    }
+
+    /// Register a DB under `name` (replacing any previous one).
+    pub fn insert_db(&self, name: impl Into<String>, db: CodebaseDb) {
+        self.dbs.lock().unwrap().insert(name.into(), Arc::new(db));
+    }
+
+    /// Total pairwise distances computed (as opposed to cache-served).
+    pub fn pair_computes(&self) -> u64 {
+        self.pair_computes.load(Ordering::Relaxed)
+    }
+
+    fn db(&self, name: &str) -> Result<Arc<CodebaseDb>, ServeError> {
+        self.dbs
+            .lock()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::not_found(format!("no database '{name}' is loaded")))
+    }
+
+    fn db_param(&self, params: &Json) -> Result<Arc<CodebaseDb>, ServeError> {
+        self.db(&str_param(params, "db")?)
+    }
+
+    /// The divergence matrix of `db`, with every cacheable pair routed
+    /// through the TED cache.  Cells are bit-identical to
+    /// `pipeline::model_matrix` (same integers, same f64 expressions).
+    fn cached_matrix(&self, db: &CodebaseDb, metric: Metric, v: Variant) -> DistanceMatrix {
+        if !cached::supports(metric) {
+            return pipeline::model_matrix(db, metric, v);
+        }
+        let measured = measured_entries(db, v);
+        let arts: Vec<FpArtifact> =
+            measured.iter().map(|m| FpArtifact::of(m, metric, v)).collect();
+        DistanceMatrix::from_fn_par(db.labels(), |i, j| {
+            let pair =
+                cached::pair_cached(&self.cache, metric, v, &arts[i], &arts[j], &self.pair_computes);
+            cached::matrix_cell(metric, &pair)
+        })
+    }
+
+    /// Divergence of every model from `base`, cache-served where possible.
+    /// Values are bit-identical to `pipeline::divergence_from`.
+    fn cached_divergence_from(
+        &self,
+        db: &CodebaseDb,
+        metric: Metric,
+        v: Variant,
+        base: &str,
+    ) -> Result<Vec<(String, f64)>, ServeError> {
+        let measured = measured_entries(db, v);
+        let base_idx = db
+            .labels()
+            .iter()
+            .position(|l| l == base)
+            .ok_or_else(|| ServeError::not_found(format!("no unit '{base}' in the database")))?;
+        let out = if cached::supports(metric) {
+            let arts: Vec<FpArtifact> =
+                measured.iter().map(|m| FpArtifact::of(m, metric, v)).collect();
+            db.labels()
+                .iter()
+                .enumerate()
+                .map(|(i, label)| {
+                    let d = cached::divergence_cached_arts(
+                        &self.cache,
+                        metric,
+                        v,
+                        &arts[base_idx],
+                        &arts[i],
+                        &self.pair_computes,
+                    );
+                    (label.clone(), d.normalized())
+                })
+                .collect()
+        } else {
+            direct_divergence_from(&measured, &db.labels(), metric, v, base_idx)
+        };
+        Ok(out)
+    }
+
+    /// Register every analysis verb plus the app-stats section on `router`.
+    pub fn register_on(self: &Arc<Self>, router: &mut Router) {
+        let svc = Arc::clone(self);
+        router.register("index", move |p| svc.handle_index(p));
+        let svc = Arc::clone(self);
+        router.register("load", move |p| svc.handle_load(p));
+        let svc = Arc::clone(self);
+        router.register("dbs", move |_| {
+            let mut names: Vec<String> = svc.dbs.lock().unwrap().keys().cloned().collect();
+            names.sort();
+            Ok(Json::Array(names.into_iter().map(Json::Str).collect()))
+        });
+        let svc = Arc::clone(self);
+        router.register("inventory", move |p| {
+            let db = svc.db_param(p)?;
+            Ok(Json::obj([("text", Json::str(pipeline::inventory(&db)))]))
+        });
+        let svc = Arc::clone(self);
+        router.register("compare", move |p| svc.handle_compare(p));
+        let svc = Arc::clone(self);
+        router.register("matrix", move |p| svc.handle_matrix(p));
+        let svc = Arc::clone(self);
+        router.register("cluster", move |p| svc.handle_cluster(p));
+        let svc = Arc::clone(self);
+        router.register("chart", move |p| svc.handle_chart(p));
+        let svc = Arc::clone(self);
+        router.stats_provider(move || svc.stats_json());
+    }
+
+    /// The `app` section of the `stats` response.
+    pub fn stats_json(&self) -> Json {
+        let c = self.cache.stats();
+        let mut names: Vec<String> = self.dbs.lock().unwrap().keys().cloned().collect();
+        names.sort();
+        Json::obj([
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::Num(c.hits as f64)),
+                    ("misses", Json::Num(c.misses as f64)),
+                    ("insertions", Json::Num(c.insertions as f64)),
+                    ("evictions", Json::Num(c.evictions as f64)),
+                    ("entries", Json::Num(c.entries as f64)),
+                    ("bytes", Json::Num(c.bytes as f64)),
+                    ("byte_budget", Json::Num(c.byte_budget as f64)),
+                ]),
+            ),
+            ("pair_computes", Json::Num(self.pair_computes() as f64)),
+            ("databases", Json::Array(names.into_iter().map(Json::Str).collect())),
+        ])
+    }
+
+    fn handle_index(&self, params: &Json) -> Result<Json, ServeError> {
+        let with_coverage = bool_param(params, "coverage");
+        let (default_name, db) = if bool_param(params, "fortran") {
+            let db = pipeline::index_fortran().map_err(|e| ServeError::internal(e.to_string()))?;
+            ("babelstream-fortran".to_string(), db)
+        } else {
+            let app_name = str_param(params, "app")?;
+            let app = parse_app(&app_name)
+                .ok_or_else(|| ServeError::bad_params(format!("unknown app '{app_name}'")))?;
+            let db = pipeline::index_app(app, with_coverage)
+                .map_err(|e| ServeError::internal(e.to_string()))?;
+            (app_name, db)
+        };
+        let name = params
+            .get("name")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or(default_name);
+        let units = db.entries.len();
+        self.insert_db(name.clone(), db);
+        Ok(Json::obj([
+            ("db", Json::str(name)),
+            ("units", Json::Num(units as f64)),
+        ]))
+    }
+
+    fn handle_load(&self, params: &Json) -> Result<Json, ServeError> {
+        let path = str_param(params, "path")?;
+        let bytes = std::fs::read(&path)
+            .map_err(|e| ServeError::not_found(format!("cannot read {path}: {e}")))?;
+        let db = CodebaseDb::from_bytes(&bytes)
+            .map_err(|e| ServeError::bad_params(format!("cannot parse {path}: {e}")))?;
+        let stem = path
+            .rsplit('/')
+            .next()
+            .unwrap_or(&path)
+            .trim_end_matches(".svdb")
+            .to_string();
+        let name = params
+            .get("name")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or(stem);
+        let units = db.entries.len();
+        self.insert_db(name.clone(), db);
+        Ok(Json::obj([
+            ("db", Json::str(name)),
+            ("units", Json::Num(units as f64)),
+        ]))
+    }
+
+    fn handle_compare(&self, params: &Json) -> Result<Json, ServeError> {
+        let db = self.db_param(params)?;
+        let metric = metric_param(params)?;
+        let v = variant_param(params);
+        let base = params
+            .get("from")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| db.labels().first().cloned().unwrap_or_default());
+        let mut divs = self.cached_divergence_from(&db, metric, v, &base)?;
+        divs.sort_by(|a, b| a.1.total_cmp(&b.1));
+        Ok(Json::obj([
+            ("metric", Json::str(metric.name())),
+            ("variant", Json::str(v.label())),
+            ("from", Json::str(base)),
+            (
+                "divergences",
+                Json::Array(
+                    divs.into_iter()
+                        .map(|(label, d)| {
+                            Json::obj([("label", Json::Str(label)), ("divergence", Json::Num(d))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    fn handle_matrix(&self, params: &Json) -> Result<Json, ServeError> {
+        let db = self.db_param(params)?;
+        let metric = metric_param(params)?;
+        let v = variant_param(params);
+        let m = self.cached_matrix(&db, metric, v);
+        Ok(matrix_json(metric, v, &m))
+    }
+
+    fn handle_cluster(&self, params: &Json) -> Result<Json, ServeError> {
+        let db = self.db_param(params)?;
+        let metric = metric_param(params)?;
+        let v = variant_param(params);
+        let matrix = self.cached_matrix(&db, metric, v);
+        let dendro = cluster_rows(&matrix);
+        Ok(Json::obj([
+            ("metric", Json::str(metric.name())),
+            ("variant", Json::str(v.label())),
+            ("dendrogram", Json::str(dendro.render())),
+            ("heatmap", Json::str(Heatmap::ordered_by(&matrix, &dendro).render())),
+        ]))
+    }
+
+    fn handle_chart(&self, params: &Json) -> Result<Json, ServeError> {
+        let db = self.db_param(params)?;
+        let app_name = str_param(params, "app")?;
+        let app = parse_app(&app_name)
+            .ok_or_else(|| ServeError::bad_params(format!("unknown app '{app_name}'")))?;
+        let chart = pipeline::navigation_chart(app, &db)
+            .map_err(|e| ServeError::internal(e.to_string()))?;
+        Ok(Json::obj([("text", Json::str(chart.render()))]))
+    }
+}
+
+/// Serialise a matrix for the wire: numbers survive the JSON round trip
+/// exactly (shortest-roundtrip f64 formatting on both ends).
+fn matrix_json(metric: Metric, v: Variant, m: &DistanceMatrix) -> Json {
+    let rows: Vec<Json> = (0..m.len())
+        .map(|i| Json::Array(m.row(i).iter().map(|&d| Json::Num(d)).collect()))
+        .collect();
+    Json::obj([
+        ("metric", Json::str(metric.name())),
+        ("variant", Json::str(v.label())),
+        (
+            "labels",
+            Json::Array(m.labels().iter().map(|l| Json::str(l.clone())).collect()),
+        ),
+        ("rows", Json::Array(rows)),
+    ])
+}
+
+/// Direct (uncached) divergence-from-base for the cheap metrics; matches
+/// `pipeline::divergence_from` exactly.
+fn direct_divergence_from(
+    measured: &[Measured<'_>],
+    labels: &[String],
+    metric: Metric,
+    v: Variant,
+    base_idx: usize,
+) -> Vec<(String, f64)> {
+    labels
+        .iter()
+        .zip(measured)
+        .map(|(label, m)| {
+            let d = divergence(metric, v, &measured[base_idx], m);
+            (label.clone(), d.normalized())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svcorpus::App;
+
+    fn service_with(app: App) -> Arc<AnalysisService> {
+        let svc = AnalysisService::new(1 << 20);
+        let db = pipeline::index_app(app, false).unwrap();
+        svc.insert_db(app.name(), db);
+        svc
+    }
+
+    #[test]
+    fn cached_matrix_identical_to_pipeline() {
+        let svc = service_with(App::BabelStream);
+        let db = svc.db("babelstream").unwrap();
+        for metric in [Metric::TSem, Metric::Source, Metric::Sloc] {
+            let direct = pipeline::model_matrix(&db, metric, Variant::PLAIN);
+            let served = svc.cached_matrix(&db, metric, Variant::PLAIN);
+            assert_eq!(served, direct, "{metric:?}");
+            // And again, now fully cache-resident.
+            let warm = svc.cached_matrix(&db, metric, Variant::PLAIN);
+            assert_eq!(warm, direct, "{metric:?} warm");
+        }
+        // 45 unique pairs per cacheable metric, each computed exactly once.
+        assert_eq!(svc.pair_computes(), 2 * 45);
+    }
+
+    #[test]
+    fn cached_compare_identical_to_pipeline() {
+        let svc = service_with(App::BabelStream);
+        let db = svc.db("babelstream").unwrap();
+        for metric in [Metric::TSem, Metric::TSrc, Metric::Lloc, Metric::CodeDivergence] {
+            let direct =
+                pipeline::divergence_from(&db, metric, Variant::PLAIN, "Serial").unwrap();
+            let mut served = svc
+                .cached_divergence_from(&db, metric, Variant::PLAIN, "Serial")
+                .unwrap();
+            served.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut direct = direct;
+            direct.sort_by(|a, b| a.0.cmp(&b.0));
+            assert_eq!(served, direct, "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn compare_after_matrix_is_all_hits() {
+        let svc = service_with(App::BabelStream);
+        let db = svc.db("babelstream").unwrap();
+        svc.cached_matrix(&db, Metric::TSem, Variant::PLAIN);
+        let computed = svc.pair_computes();
+        // Every from-Serial pair is a subset of the matrix pairs.
+        svc.cached_divergence_from(&db, Metric::TSem, Variant::PLAIN, "Serial").unwrap();
+        assert_eq!(svc.pair_computes(), computed, "compare served entirely from cache");
+    }
+
+    #[test]
+    fn unknown_db_and_label_are_not_found() {
+        let svc = AnalysisService::new(1 << 16);
+        assert_eq!(svc.db("nope").unwrap_err().code, "not_found");
+        let svc = service_with(App::MiniBude);
+        let db = svc.db("minibude").unwrap();
+        let err = svc
+            .cached_divergence_from(&db, Metric::TSem, Variant::PLAIN, "NoSuchModel")
+            .unwrap_err();
+        assert_eq!(err.code, "not_found");
+    }
+}

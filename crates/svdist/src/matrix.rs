@@ -108,6 +108,46 @@ impl DistanceMatrix {
             .sqrt()
     }
 
+    /// All upper-triangle index pairs `(i, j)` with `i < j` of an `n`-item
+    /// matrix, in row-major order — the unit of work the parallel builders
+    /// fan out over.
+    pub fn upper_pairs(n: usize) -> Vec<(usize, usize)> {
+        (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect()
+    }
+
+    /// Build a matrix by evaluating `f(i, j)` for every `i < j` pair,
+    /// sequentially.  The reference implementation the parallel builder is
+    /// validated against (and the ablation bench's baseline).
+    pub fn from_fn(labels: Vec<String>, f: impl Fn(usize, usize) -> f64) -> DistanceMatrix {
+        let n = labels.len();
+        let mut m = DistanceMatrix::new(labels);
+        for (i, j) in Self::upper_pairs(n) {
+            m.set(i, j, f(i, j));
+        }
+        m
+    }
+
+    /// Build a matrix by evaluating `f(i, j)` for every `i < j` pair, fanned
+    /// out over all cores via `svpar::par_tasks` (dynamic work-stealing
+    /// cursor — pair costs are wildly uneven when `f` is a TED).
+    ///
+    /// Produces results bit-identical to [`DistanceMatrix::from_fn`]: each
+    /// pair's value is computed by the same closure in isolation and written
+    /// to its own slot, so no ordering or accumulation effects exist.
+    pub fn from_fn_par(
+        labels: Vec<String>,
+        f: impl Fn(usize, usize) -> f64 + Sync,
+    ) -> DistanceMatrix {
+        let n = labels.len();
+        let pairs = Self::upper_pairs(n);
+        let dists = svpar::par_tasks(&pairs, |&(i, j)| f(i, j));
+        let mut m = DistanceMatrix::new(labels);
+        for (&(i, j), d) in pairs.iter().zip(dists) {
+            m.set(i, j, d);
+        }
+        m
+    }
+
     /// Condensed upper-triangle entries `(i, j, d)` with `i < j`.
     pub fn condensed(&self) -> Vec<(usize, usize, f64)> {
         let n = self.len();
@@ -228,6 +268,44 @@ mod tests {
     fn negative_distance_rejected() {
         let mut m = m3();
         m.set(0, 1, -1.0);
+    }
+
+    #[test]
+    fn upper_pairs_enumeration() {
+        assert!(DistanceMatrix::upper_pairs(0).is_empty());
+        assert!(DistanceMatrix::upper_pairs(1).is_empty());
+        assert_eq!(DistanceMatrix::upper_pairs(3), vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(DistanceMatrix::upper_pairs(10).len(), 45);
+    }
+
+    #[test]
+    fn from_fn_matches_manual_sets() {
+        let labels: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let m = DistanceMatrix::from_fn(labels, |i, j| (i + j) as f64);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(2, 0), 2.0);
+        assert_eq!(m.get(1, 2), 3.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn from_fn_par_identical_to_sequential() {
+        // Uneven per-pair work; compare bitwise across thread counts.
+        let labels: Vec<String> = (0..12).map(|i| format!("m{i}")).collect();
+        let cost = |i: usize, j: usize| {
+            let mut acc = 0.0f64;
+            for k in 0..(i * j * 50 + 1) {
+                acc += ((k % 17) as f64).sqrt();
+            }
+            acc / 1e4 + (i * 31 + j) as f64
+        };
+        let seq = DistanceMatrix::from_fn(labels.clone(), cost);
+        for threads in [1, 2, 4, 8] {
+            svpar::set_threads(threads);
+            let par = DistanceMatrix::from_fn_par(labels.clone(), cost);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        svpar::set_threads(0);
     }
 
     #[test]

@@ -399,39 +399,34 @@ pub fn codebase_divergence(
     Divergence { distance, dmax: dmax.max(1) }
 }
 
-/// Pairwise divergence matrix over a model set — the "cartesian product of
-/// all models" the paper clusters.  TED pairs run in parallel via `svpar`.
-pub fn divergence_matrix(
-    metric: Metric,
-    v: Variant,
-    labels: &[String],
-    units: &[Measured<'_>],
-) -> DistanceMatrix {
-    assert_eq!(labels.len(), units.len());
-    let n = units.len();
-    // Precompute per-unit artefacts once (lines or trees).
-    enum Art {
-        Lines(Vec<String>),
-        Tree(Tree),
-        Abs(u64),
-    }
-    let arts: Vec<Art> = units
+/// Per-unit artefact a pairwise matrix compares: precomputed once per unit
+/// so the `O(n²)` pair loop never re-extracts lines or re-masks trees.
+enum PairArt {
+    Lines(Vec<String>),
+    Tree(Tree),
+    Abs(u64),
+}
+
+/// Extract the comparison artefact of every unit for `metric`/`v`.
+fn pair_artifacts(metric: Metric, v: Variant, units: &[Measured<'_>]) -> Vec<PairArt> {
+    units
         .iter()
         .map(|m| match metric {
-            Metric::Sloc | Metric::Lloc => Art::Abs(absolute(m, metric, v) as u64),
-            Metric::Source | Metric::CodeDivergence => Art::Lines(lines_of(m, v)),
-            _ => Art::Tree(tree_of(m, metric, v)),
+            Metric::Sloc | Metric::Lloc => PairArt::Abs(absolute(m, metric, v) as u64),
+            Metric::Source | Metric::CodeDivergence => PairArt::Lines(lines_of(m, v)),
+            _ => PairArt::Tree(tree_of(m, metric, v)),
         })
-        .collect();
+        .collect()
+}
 
-    let pairs: Vec<(usize, usize)> =
-        (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
-    let dists = svpar::par_tasks(&pairs, |&(i, j)| match (&arts[i], &arts[j]) {
-        (Art::Abs(a), Art::Abs(b)) => {
+/// Normalised pairwise distance between two artefacts (one matrix cell).
+fn pair_distance(metric: Metric, a: &PairArt, b: &PairArt) -> f64 {
+    match (a, b) {
+        (PairArt::Abs(a), PairArt::Abs(b)) => {
             let dmax = (*a.max(b)).max(1);
             a.abs_diff(*b) as f64 / dmax as f64
         }
-        (Art::Lines(a), Art::Lines(b)) => {
+        (PairArt::Lines(a), PairArt::Lines(b)) => {
             if metric == Metric::CodeDivergence {
                 svdist::jaccard_divergence(a.iter(), b.iter())
             } else {
@@ -439,18 +434,41 @@ pub fn divergence_matrix(
                 d / (a.len() + b.len()).max(1) as f64
             }
         }
-        (Art::Tree(a), Art::Tree(b)) => {
+        (PairArt::Tree(a), PairArt::Tree(b)) => {
             let d = ted(a, b) as f64;
             d / (a.size().max(b.size()).max(1)) as f64
         }
         _ => unreachable!("artefact kinds are uniform per metric"),
-    });
-
-    let mut m = DistanceMatrix::new(labels.to_vec());
-    for (&(i, j), d) in pairs.iter().zip(dists) {
-        m.set(i, j, d);
     }
-    m
+}
+
+/// Pairwise divergence matrix over a model set — the "cartesian product of
+/// all models" the paper clusters.  Pair computation (one TED per cell for
+/// the tree metrics — the §VII scaling bottleneck) fans out over all cores
+/// via `svpar::par_tasks`, with per-unit artefacts extracted once up front.
+pub fn divergence_matrix(
+    metric: Metric,
+    v: Variant,
+    labels: &[String],
+    units: &[Measured<'_>],
+) -> DistanceMatrix {
+    assert_eq!(labels.len(), units.len());
+    let arts = pair_artifacts(metric, v, units);
+    DistanceMatrix::from_fn_par(labels.to_vec(), |i, j| pair_distance(metric, &arts[i], &arts[j]))
+}
+
+/// Sequential reference for [`divergence_matrix`]: same artefacts, same
+/// per-pair closure, no fan-out.  Kept as the equivalence oracle for tests
+/// and the baseline of the matrix-parallelism ablation bench.
+pub fn divergence_matrix_seq(
+    metric: Metric,
+    v: Variant,
+    labels: &[String],
+    units: &[Measured<'_>],
+) -> DistanceMatrix {
+    assert_eq!(labels.len(), units.len());
+    let arts = pair_artifacts(metric, v, units);
+    DistanceMatrix::from_fn(labels.to_vec(), |i, j| pair_distance(metric, &arts[i], &arts[j]))
 }
 
 #[cfg(test)]
@@ -610,6 +628,28 @@ mod tests {
                     assert!(m.get(i, j) > 0.0, "({i},{j})");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn parallel_matrix_identical_to_sequential() {
+        // The service serves matrices from the parallel path; it must be
+        // bit-identical to the sequential reference at every thread count.
+        let units: Vec<Unit> = [Model::Serial, Model::OpenMp, Model::Cuda, Model::Kokkos]
+            .iter()
+            .map(|&m| unit(App::BabelStream, m).unwrap())
+            .collect();
+        let measured: Vec<Measured<'_>> = units.iter().map(Measured::new).collect();
+        let labels: Vec<String> =
+            ["Serial", "OpenMP", "CUDA", "Kokkos"].iter().map(|s| s.to_string()).collect();
+        for metric in [Metric::TSem, Metric::Source, Metric::Sloc, Metric::CodeDivergence] {
+            let seq = divergence_matrix_seq(metric, Variant::PLAIN, &labels, &measured);
+            for threads in [1usize, 2, 4, 8] {
+                svpar::set_threads(threads);
+                let par = divergence_matrix(metric, Variant::PLAIN, &labels, &measured);
+                assert_eq!(par, seq, "{metric:?} threads={threads}");
+            }
+            svpar::set_threads(0);
         }
     }
 

@@ -1,0 +1,73 @@
+//! Blocking TCP client for the svserve protocol.
+//!
+//! One request in flight at a time (the service pipelines across
+//! *connections*, not within one), which keeps the client a trivial
+//! write-frame/read-frame pair.  Also used in-process by the
+//! `silvervale client` and `silvervale stats` subcommands.
+
+use crate::proto::{parse_response, FrameRead, FrameReader, ServeError};
+use crate::svjson::Json;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client.
+pub struct Client {
+    writer: TcpStream,
+    reader: FrameReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { writer, reader: FrameReader::new(stream), next_id: 1 })
+    }
+
+    /// Call `method` with `params`, blocking for the response.
+    ///
+    /// Protocol- and handler-level failures come back as the structured
+    /// [`ServeError`] the server sent; transport failures map to an
+    /// `io`-code error.
+    pub fn call(&mut self, method: &str, params: Json) -> Result<Json, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut frame = Json::obj([
+            ("id", Json::Num(id as f64)),
+            ("method", Json::str(method)),
+            ("params", params),
+        ])
+        .to_string_compact();
+        frame.push('\n');
+        self.send_raw(&frame)?;
+        let (_, result) = self.recv()?;
+        result
+    }
+
+    /// Write pre-framed bytes verbatim (for protocol tests: malformed or
+    /// oversized frames).  The caller supplies the trailing newline.
+    pub fn send_raw(&mut self, frame: &str) -> Result<(), ServeError> {
+        self.writer
+            .write_all(frame.as_bytes())
+            .map_err(|e| ServeError::new("io", e.to_string()))
+    }
+
+    /// Read the next response frame.
+    pub fn recv(&mut self) -> Result<(u64, Result<Json, ServeError>), ServeError> {
+        loop {
+            match self.reader.read_frame().map_err(|e| ServeError::new("io", e.to_string()))? {
+                FrameRead::Line(line) => {
+                    return parse_response(&line).map_err(|e| ServeError::new("io", e))
+                }
+                FrameRead::Timeout => continue,
+                FrameRead::TooLarge => {
+                    return Err(ServeError::new("io", "oversized response frame".to_string()))
+                }
+                FrameRead::Eof => {
+                    return Err(ServeError::new("io", "server closed the connection".to_string()))
+                }
+            }
+        }
+    }
+}

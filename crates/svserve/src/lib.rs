@@ -1,0 +1,126 @@
+//! # svserve — the concurrent analysis service
+//!
+//! Turns the one-shot `silvervale` pipeline into a long-running service:
+//! index a codebase once, then answer `compare`/`cluster`/`matrix`
+//! requests over a line-framed TCP protocol, with the expensive pairwise
+//! work (TED — the §VII scaling bottleneck) deduplicated twice over:
+//!
+//! * [`cache`] — a content-addressed LRU result cache keyed by artefact
+//!   fingerprint pair + metric + variant + cost model, so *sequential*
+//!   repeats of a pair cost a hash lookup ([`cached`] is the bridge to
+//!   the `svmetrics` kernels);
+//! * [`sched`] — a worker pool with in-flight job deduplication, so
+//!   *concurrent* identical requests execute once;
+//! * [`proto`] / [`server`] / [`client`] — the from-scratch framed
+//!   JSON protocol (over `std::net`, no external dependencies) and its
+//!   two endpoints.
+//!
+//! The crate is application-agnostic below [`server::Router`]: the
+//! `silvervale` binary registers the actual analysis handlers and owns
+//! the `serve`/`client`/`stats` CLI.
+
+pub mod cache;
+pub mod cached;
+pub mod client;
+pub mod proto;
+pub mod sched;
+pub mod server;
+pub mod svjson;
+
+pub use cache::{CacheKey, CacheStats, CachedPair, TedCache};
+pub use client::Client;
+pub use proto::{Request, ServeError, MAX_FRAME};
+pub use sched::{JobPool, PoolStats};
+pub use server::{render_stats, serve, Router, ServeHandle};
+
+#[cfg(test)]
+mod proptests {
+    //! Property tests: the cache must be invisible — cached and uncached
+    //! divergence are bit-identical on arbitrary tree pairs.
+
+    use crate::cache::TedCache;
+    use crate::cached::{pair_cached, FpArtifact};
+    use proptest::prelude::*;
+    use std::sync::atomic::AtomicU64;
+    use svdist::ted;
+    use svmetrics::{Metric, Variant};
+    use svtree::Tree;
+
+    /// An arbitrary small tree: label choices are narrow on purpose so
+    /// random pairs share structure (the interesting TED cases).
+    fn arb_tree(depth: u32) -> impl Strategy<Value = Tree> {
+        (0u8..5, 0usize..4).prop_map(move |(label, n_children)| {
+            build(depth, label, n_children)
+        })
+    }
+
+    fn build(depth: u32, label: u8, n_children: usize) -> Tree {
+        let name = ["fn", "for", "if", "call", "block"][label as usize % 5];
+        if depth == 0 || n_children == 0 {
+            return Tree::leaf(name);
+        }
+        let children = (0..n_children)
+            .map(|i| {
+                build(
+                    depth - 1,
+                    label.wrapping_add(i as u8).wrapping_mul(7),
+                    (n_children + i) % 3,
+                )
+            })
+            .collect();
+        Tree::node(name, children)
+    }
+
+    fn fp(t: &Tree) -> FpArtifact {
+        FpArtifact::Tree { fp: t.structural_hash(), tree: t.clone() }
+    }
+
+    proptest! {
+        #[test]
+        fn cached_ted_is_bit_identical_to_uncached(
+            a in arb_tree(3),
+            b in arb_tree(3),
+        ) {
+            let cache = TedCache::new(1 << 16);
+            let computes = AtomicU64::new(0);
+            let (fa, fb) = (fp(&a), fp(&b));
+            let direct = ted(&a, &b);
+            // Cold: computed; warm: served — both must equal the direct TED.
+            let cold = pair_cached(&cache, Metric::TSem, Variant::PLAIN, &fa, &fb, &computes);
+            let warm = pair_cached(&cache, Metric::TSem, Variant::PLAIN, &fa, &fb, &computes);
+            prop_assert_eq!(cold.distance, direct);
+            prop_assert_eq!(warm, cold);
+            prop_assert_eq!(computes.load(std::sync::atomic::Ordering::Relaxed), 1);
+            prop_assert_eq!(cold.weight_lo, a.size() as u64);
+            prop_assert_eq!(cold.weight_hi, b.size() as u64);
+        }
+
+        #[test]
+        fn cache_eviction_never_changes_results(
+            a in arb_tree(2),
+            b in arb_tree(2),
+            c in arb_tree(2),
+        ) {
+            // A single-entry cache evicts constantly; values must still
+            // always match the direct computation.
+            let cache = TedCache::new(0);
+            let computes = AtomicU64::new(0);
+            let arts = [fp(&a), fp(&b), fp(&c)];
+            let trees = [&a, &b, &c];
+            for _round in 0..2 {
+                for i in 0..3 {
+                    for j in 0..3 {
+                        if i == j {
+                            continue;
+                        }
+                        let p = pair_cached(
+                            &cache, Metric::TSem, Variant::PLAIN,
+                            &arts[i], &arts[j], &computes,
+                        );
+                        prop_assert_eq!(p.distance, ted(trees[i], trees[j]));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Line-framed request/response protocol.
+//!
+//! One frame per line: a request is `{"id":N,"method":"...","params":...}`
+//! followed by `\n`; the response to it is `{"id":N,"ok":true,"result":…}`
+//! or `{"id":N,"ok":false,"error":{"code":"...","message":"..."}}`.
+//! Frames above [`MAX_FRAME`] bytes are rejected *without* desynchronising
+//! the stream — the reader discards up to the next newline and keeps
+//! going, so a misbehaving client gets a structured error instead of
+//! killing the connection (let alone the server).
+
+use crate::svjson::{self, Json};
+use std::io::{self, Read};
+
+/// Maximum frame length in bytes, newline excluded (1 MiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// A structured protocol-level error, serialisable into a response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// Stable machine-readable code (`parse_error`, `unknown_method`, …).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServeError {
+    pub fn new(code: &'static str, message: impl Into<String>) -> ServeError {
+        ServeError { code, message: message.into() }
+    }
+
+    /// Frame was not valid JSON or not a request object.
+    pub fn parse(message: impl Into<String>) -> ServeError {
+        ServeError::new("parse_error", message)
+    }
+
+    /// Request shape was valid but a parameter is missing or mistyped.
+    pub fn bad_params(message: impl Into<String>) -> ServeError {
+        ServeError::new("bad_params", message)
+    }
+
+    /// No handler registered under the requested method.
+    pub fn unknown_method(method: &str) -> ServeError {
+        ServeError::new("unknown_method", format!("no such method '{method}'"))
+    }
+
+    /// A referenced entity (DB, label) does not exist.
+    pub fn not_found(message: impl Into<String>) -> ServeError {
+        ServeError::new("not_found", message)
+    }
+
+    /// Handler failed while executing.
+    pub fn internal(message: impl Into<String>) -> ServeError {
+        ServeError::new("internal", message)
+    }
+
+    /// Frame exceeded [`MAX_FRAME`].
+    pub fn frame_too_large() -> ServeError {
+        ServeError::new(
+            "frame_too_large",
+            format!("frame exceeds the {MAX_FRAME}-byte limit"),
+        )
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    pub id: u64,
+    pub method: String,
+    pub params: Json,
+}
+
+/// Parse one frame line into a [`Request`].
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let v = svjson::parse(line).map_err(|e| ServeError::parse(e.to_string()))?;
+    let id = v
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ServeError::parse("request needs a non-negative integer 'id'"))?;
+    let method = v
+        .get("method")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::parse("request needs a string 'method'"))?
+        .to_string();
+    let params = v.get("params").cloned().unwrap_or(Json::Null);
+    Ok(Request { id, method, params })
+}
+
+/// Serialise a success response frame (trailing newline included).
+pub fn response_ok(id: u64, result: Json) -> String {
+    let mut s = Json::obj([
+        ("id", Json::Num(id as f64)),
+        ("ok", Json::Bool(true)),
+        ("result", result),
+    ])
+    .to_string_compact();
+    s.push('\n');
+    s
+}
+
+/// Serialise an error response frame (trailing newline included).
+/// `id` is `None` when the request was too mangled to carry one.
+pub fn response_err(id: Option<u64>, err: &ServeError) -> String {
+    let mut s = Json::obj([
+        ("id", id.map(|i| Json::Num(i as f64)).unwrap_or(Json::Null)),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                ("code", Json::str(err.code.to_string())),
+                ("message", Json::str(err.message.clone())),
+            ]),
+        ),
+    ])
+    .to_string_compact();
+    s.push('\n');
+    s
+}
+
+/// A parsed response frame: `Ok(result)` or the server-side error.
+pub fn parse_response(line: &str) -> Result<(u64, Result<Json, ServeError>), String> {
+    let v = svjson::parse(line).map_err(|e| e.to_string())?;
+    let id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
+    match v.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok((id, Ok(v.get("result").cloned().unwrap_or(Json::Null)))),
+        Some(false) => {
+            let code = v
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str)
+                .unwrap_or("internal");
+            let message = v
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string();
+            // Map dynamic wire codes back onto the static set.
+            let code = ["parse_error", "bad_params", "unknown_method", "not_found",
+                        "frame_too_large", "shutting_down", "io"]
+                .iter()
+                .find(|&&c| c == code)
+                .copied()
+                .unwrap_or("internal");
+            Ok((id, Err(ServeError::new(code, message))))
+        }
+        None => Err("response frame lacks 'ok'".to_string()),
+    }
+}
+
+/// One read attempt's outcome.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameRead {
+    /// A complete frame line (newline stripped).
+    Line(String),
+    /// A frame exceeded [`MAX_FRAME`]; the stream is already resynced to
+    /// the next newline (or will finish resyncing on subsequent reads).
+    TooLarge,
+    /// The read timed out (socket read-timeout elapsed mid-frame); any
+    /// partial frame is retained — call again to continue.
+    Timeout,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Incremental frame reader over any `Read`.
+///
+/// Unlike `BufRead::read_line` this survives read timeouts (partial
+/// frames stay buffered across calls, so the server can poll its shutdown
+/// flag between reads) and enforces [`MAX_FRAME`] with resynchronisation.
+pub struct FrameReader<R: Read> {
+    inner: R,
+    pending: Vec<u8>,
+    /// Currently discarding an oversized frame up to its newline.
+    skipping: bool,
+}
+
+impl<R: Read> FrameReader<R> {
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader { inner, pending: Vec::new(), skipping: false }
+    }
+
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Read the next frame (blocking up to the underlying reader's
+    /// timeout, if any).
+    pub fn read_frame(&mut self) -> io::Result<FrameRead> {
+        let mut chunk = [0u8; 8192];
+        loop {
+            // Drain what we already hold.
+            if self.skipping {
+                match self.pending.iter().position(|&b| b == b'\n') {
+                    Some(nl) => {
+                        self.pending.drain(..=nl);
+                        self.skipping = false;
+                        return Ok(FrameRead::TooLarge);
+                    }
+                    None => self.pending.clear(),
+                }
+            } else if let Some(nl) = self.pending.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.pending.drain(..=nl).collect();
+                line.pop(); // the newline
+                if line.len() > MAX_FRAME {
+                    return Ok(FrameRead::TooLarge);
+                }
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(FrameRead::Line(String::from_utf8_lossy(&line).into_owned()));
+            } else if self.pending.len() > MAX_FRAME {
+                self.skipping = true;
+                continue;
+            }
+            // Need more bytes.
+            match self.inner.read(&mut chunk) {
+                Ok(0) => return Ok(FrameRead::Eof),
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(FrameRead::Timeout)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reader(bytes: &[u8]) -> FrameReader<&[u8]> {
+        FrameReader::new(bytes)
+    }
+
+    #[test]
+    fn frames_split_on_newlines() {
+        let mut r = reader(b"one\ntwo\r\nthree\n");
+        assert_eq!(r.read_frame().unwrap(), FrameRead::Line("one".into()));
+        assert_eq!(r.read_frame().unwrap(), FrameRead::Line("two".into()));
+        assert_eq!(r.read_frame().unwrap(), FrameRead::Line("three".into()));
+        assert_eq!(r.read_frame().unwrap(), FrameRead::Eof);
+    }
+
+    #[test]
+    fn oversized_frame_resyncs_to_next_line() {
+        let mut big = vec![b'x'; MAX_FRAME + 10];
+        big.push(b'\n');
+        big.extend_from_slice(b"after\n");
+        let mut r = reader(&big);
+        assert_eq!(r.read_frame().unwrap(), FrameRead::TooLarge);
+        assert_eq!(r.read_frame().unwrap(), FrameRead::Line("after".into()));
+    }
+
+    #[test]
+    fn exactly_max_frame_is_accepted() {
+        let mut buf = vec![b'y'; MAX_FRAME];
+        buf.push(b'\n');
+        let mut r = reader(&buf);
+        match r.read_frame().unwrap() {
+            FrameRead::Line(l) => assert_eq!(l.len(), MAX_FRAME),
+            other => panic!("expected line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = parse_request(r#"{"id":7,"method":"ping","params":{"x":1}}"#).unwrap();
+        assert_eq!(req.id, 7);
+        assert_eq!(req.method, "ping");
+        assert_eq!(req.params.get("x").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn request_validation_errors() {
+        assert_eq!(parse_request("not json").unwrap_err().code, "parse_error");
+        assert_eq!(parse_request(r#"{"method":"m"}"#).unwrap_err().code, "parse_error");
+        assert_eq!(parse_request(r#"{"id":1}"#).unwrap_err().code, "parse_error");
+        assert_eq!(parse_request(r#"{"id":-4,"method":"m"}"#).unwrap_err().code, "parse_error");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let ok = response_ok(3, Json::str("hi"));
+        let (id, res) = parse_response(ok.trim_end()).unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(res.unwrap().as_str(), Some("hi"));
+
+        let err = response_err(Some(4), &ServeError::unknown_method("zap"));
+        let (id, res) = parse_response(err.trim_end()).unwrap();
+        assert_eq!(id, 4);
+        let e = res.unwrap_err();
+        assert_eq!(e.code, "unknown_method");
+        assert!(e.message.contains("zap"));
+    }
+
+    #[test]
+    fn frames_are_single_lines() {
+        let s = response_ok(1, Json::str("a\nb"));
+        assert_eq!(s.matches('\n').count(), 1, "embedded newlines must be escaped");
+        assert!(s.ends_with('\n'));
+    }
+}

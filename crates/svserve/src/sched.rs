@@ -1,0 +1,271 @@
+//! Job scheduler: a persistent worker pool with in-flight deduplication.
+//!
+//! Connections never execute analysis work themselves — they submit jobs
+//! keyed by request content and block on the result.  Identical jobs that
+//! arrive while one is already executing attach to the in-flight slot
+//! instead of queueing a duplicate, so N clients hammering the same
+//! divergence matrix cost one computation (the content-addressed cache
+//! then covers *sequential* repeats).  Workers are plain threads over an
+//! `mpsc` channel; per-worker busy time feeds the `stats` endpoint's
+//! utilization figure.
+
+use crate::proto::ServeError;
+use crate::svjson::Json;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
+
+type JobResult = Result<Json, ServeError>;
+type JobFn = Box<dyn FnOnce() -> JobResult + Send>;
+
+/// Rendezvous for one in-flight job: the executing worker fills `result`,
+/// every attached waiter clones it.
+struct JobSlot {
+    result: Mutex<Option<JobResult>>,
+    done: Condvar,
+}
+
+impl JobSlot {
+    fn new() -> JobSlot {
+        JobSlot { result: Mutex::new(None), done: Condvar::new() }
+    }
+
+    fn wait(&self) -> JobResult {
+        let mut guard = self.result.lock().unwrap();
+        while guard.is_none() {
+            guard = self.done.wait(guard).unwrap();
+        }
+        guard.clone().unwrap()
+    }
+
+    fn fill(&self, r: JobResult) {
+        *self.result.lock().unwrap() = Some(r);
+        self.done.notify_all();
+    }
+}
+
+/// Counter snapshot for the `stats` endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PoolStats {
+    /// Jobs handed to [`JobPool::run`].
+    pub submitted: u64,
+    /// Jobs that actually executed on a worker.
+    pub executed: u64,
+    /// Jobs that attached to an identical in-flight job instead.
+    pub deduped: u64,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Fraction of worker wall-clock spent executing jobs since the pool
+    /// started, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+struct Shared {
+    inflight: Mutex<HashMap<String, Arc<JobSlot>>>,
+    submitted: AtomicU64,
+    executed: AtomicU64,
+    deduped: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+/// The worker pool.  Dropping it (or calling [`JobPool::shutdown`])
+/// closes the queue and joins every worker.
+pub struct JobPool {
+    tx: Option<mpsc::Sender<(Arc<JobSlot>, String, JobFn)>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+    started: Instant,
+}
+
+impl JobPool {
+    /// Spawn a pool of `workers` threads (minimum 1).
+    pub fn new(workers: usize) -> JobPool {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<(Arc<JobSlot>, String, JobFn)>();
+        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            inflight: Mutex::new(HashMap::new()),
+            submitted: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("svserve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while dequeuing.
+                        let job = rx.lock().unwrap().recv();
+                        let (slot, key, f) = match job {
+                            Ok(j) => j,
+                            Err(_) => return, // queue closed: shut down
+                        };
+                        let t0 = Instant::now();
+                        let result = f();
+                        shared
+                            .busy_nanos
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        shared.executed.fetch_add(1, Ordering::Relaxed);
+                        // Unregister before waking waiters: requests that
+                        // arrive from here on start a fresh job (and will
+                        // typically be answered by the result cache).
+                        shared.inflight.lock().unwrap().remove(&key);
+                        slot.fill(result);
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        JobPool { tx: Some(tx), workers: handles, shared, started: Instant::now() }
+    }
+
+    /// Execute `job` on the pool and block until its result is available.
+    ///
+    /// `key` is the job's content identity (method + canonicalised
+    /// params): if an identical job is already queued or executing, this
+    /// call attaches to it and returns the same result without running
+    /// `job` at all.
+    pub fn run(&self, key: String, job: impl FnOnce() -> JobResult + Send + 'static) -> JobResult {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let (slot, owner) = {
+            let mut inflight = self.shared.inflight.lock().unwrap();
+            match inflight.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(JobSlot::new());
+                    inflight.insert(key.clone(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if owner {
+            let tx = self.tx.as_ref().expect("pool is live while a reference exists");
+            if tx.send((Arc::clone(&slot), key.clone(), Box::new(job))).is_err() {
+                // Pool shut down between registration and submit.
+                self.shared.inflight.lock().unwrap().remove(&key);
+                return Err(ServeError::new("shutting_down", "job pool is stopped"));
+            }
+        } else {
+            self.shared.deduped.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.wait()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        let workers = self.workers.len();
+        let elapsed = self.started.elapsed().as_nanos() as f64 * workers as f64;
+        let busy = self.shared.busy_nanos.load(Ordering::Relaxed) as f64;
+        PoolStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            deduped: self.shared.deduped.load(Ordering::Relaxed),
+            workers,
+            utilization: if elapsed > 0.0 { (busy / elapsed).min(1.0) } else { 0.0 },
+        }
+    }
+
+    /// Drain the queue and join all workers.
+    pub fn shutdown(&mut self) {
+        self.tx.take(); // close the channel: workers exit after draining
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for JobPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs_and_returns_results() {
+        let pool = JobPool::new(2);
+        let r = pool.run("a".into(), || Ok(Json::Num(5.0))).unwrap();
+        assert_eq!(r, Json::Num(5.0));
+        let e = pool
+            .run("b".into(), || Err(ServeError::internal("boom")))
+            .unwrap_err();
+        assert_eq!(e.code, "internal");
+        let s = pool.stats();
+        assert_eq!((s.submitted, s.executed, s.deduped), (2, 2, 0));
+    }
+
+    #[test]
+    fn identical_inflight_jobs_execute_once() {
+        let pool = Arc::new(JobPool::new(2));
+        let n = 6;
+        let barrier = Arc::new(Barrier::new(n));
+        let executions = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let barrier = Arc::clone(&barrier);
+                let executions = Arc::clone(&executions);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    pool.run("same-key".into(), move || {
+                        executions.fetch_add(1, Ordering::Relaxed);
+                        // Stay in flight long enough for every submitter
+                        // to observe the slot.
+                        std::thread::sleep(Duration::from_millis(200));
+                        Ok(Json::Num(42.0))
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().unwrap(), Json::Num(42.0));
+        }
+        assert_eq!(executions.load(Ordering::Relaxed), 1, "deduped to one execution");
+        let s = pool.stats();
+        assert_eq!(s.submitted, n as u64);
+        assert_eq!(s.executed, 1);
+        assert_eq!(s.deduped, n as u64 - 1);
+    }
+
+    #[test]
+    fn different_keys_do_not_dedup() {
+        let pool = JobPool::new(2);
+        for i in 0..4 {
+            pool.run(format!("k{i}"), move || Ok(Json::Num(i as f64))).unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!((s.executed, s.deduped), (4, 0));
+    }
+
+    #[test]
+    fn key_frees_up_after_completion() {
+        let pool = JobPool::new(1);
+        let first = pool.run("k".into(), || Ok(Json::Num(1.0))).unwrap();
+        let second = pool.run("k".into(), || Ok(Json::Num(2.0))).unwrap();
+        // Sequential identical keys both execute (the result cache, not
+        // the scheduler, handles repeats).
+        assert_eq!((first, second), (Json::Num(1.0), Json::Num(2.0)));
+        assert_eq!(pool.stats().deduped, 0);
+    }
+
+    #[test]
+    fn utilization_grows_with_work() {
+        let pool = JobPool::new(1);
+        pool.run("w".into(), || {
+            std::thread::sleep(Duration::from_millis(50));
+            Ok(Json::Null)
+        })
+        .unwrap();
+        let s = pool.stats();
+        assert!(s.utilization > 0.0, "busy time recorded: {s:?}");
+        assert!(s.utilization <= 1.0);
+    }
+}

@@ -1,0 +1,384 @@
+//! TCP analysis server: accept loop, per-connection framing, dispatch.
+//!
+//! The server is method-agnostic — analysis handlers are registered on a
+//! [`Router`] by the embedding application (the `silvervale` binary
+//! registers index/compare/cluster/… there), while `ping`, `stats` and
+//! `shutdown` are built in.  Every routed request becomes a job on the
+//! shared [`JobPool`], keyed by `method + canonical params`, so identical
+//! concurrent requests from different connections execute once.
+
+use crate::proto::{
+    parse_request, response_err, response_ok, FrameRead, FrameReader, ServeError,
+};
+use crate::sched::JobPool;
+use crate::svjson::Json;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A registered request handler.
+pub type Handler = Arc<dyn Fn(&Json) -> Result<Json, ServeError> + Send + Sync>;
+
+/// Method-name → handler table plus an optional application stats source.
+#[derive(Default, Clone)]
+pub struct Router {
+    handlers: HashMap<String, Handler>,
+    app_stats: Option<Arc<dyn Fn() -> Json + Send + Sync>>,
+}
+
+impl Router {
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Register `f` under `method` (replacing any previous handler).
+    pub fn register(
+        &mut self,
+        method: impl Into<String>,
+        f: impl Fn(&Json) -> Result<Json, ServeError> + Send + Sync + 'static,
+    ) {
+        self.handlers.insert(method.into(), Arc::new(f));
+    }
+
+    /// Provide the application section of the `stats` response (cache
+    /// counters, DB registry size, …).
+    pub fn stats_provider(&mut self, f: impl Fn() -> Json + Send + Sync + 'static) {
+        self.app_stats = Some(Arc::new(f));
+    }
+
+    /// Registered method names (sorted), for error messages and docs.
+    pub fn methods(&self) -> Vec<String> {
+        let mut m: Vec<String> = self.handlers.keys().cloned().collect();
+        m.sort();
+        m
+    }
+}
+
+struct ServerState {
+    router: Router,
+    pool: JobPool,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ServerState {
+    /// Everything the `stats` method (and the shutdown banner) reports.
+    fn stats_json(&self) -> Json {
+        let p = self.pool.stats();
+        let mut sections = vec![
+            (
+                "server".to_string(),
+                Json::obj([
+                    ("connections", Json::Num(self.connections.load(Ordering::Relaxed) as f64)),
+                    ("requests", Json::Num(self.requests.load(Ordering::Relaxed) as f64)),
+                    ("errors", Json::Num(self.errors.load(Ordering::Relaxed) as f64)),
+                ]),
+            ),
+            (
+                "pool".to_string(),
+                Json::obj([
+                    ("workers", Json::Num(p.workers as f64)),
+                    ("jobs_submitted", Json::Num(p.submitted as f64)),
+                    ("jobs_executed", Json::Num(p.executed as f64)),
+                    ("jobs_deduped", Json::Num(p.deduped as f64)),
+                    ("utilization", Json::Num((p.utilization * 1e4).round() / 1e4)),
+                ]),
+            ),
+        ];
+        if let Some(f) = &self.router.app_stats {
+            sections.push(("app".to_string(), f()));
+        }
+        Json::Object(sections.into_iter().collect())
+    }
+
+    fn dispatch(self: &Arc<Self>, method: &str, params: &Json) -> Result<Json, ServeError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match method {
+            "ping" => Ok(Json::str("pong")),
+            "stats" => Ok(self.stats_json()),
+            "methods" => {
+                let mut m = self.router.methods();
+                for builtin in ["ping", "stats", "methods", "shutdown"] {
+                    m.push(builtin.to_string());
+                }
+                m.sort();
+                Ok(Json::Array(m.into_iter().map(Json::Str).collect()))
+            }
+            "shutdown" => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                // Wake the blocking accept loop so it can wind down.
+                let _ = TcpStream::connect(self.addr);
+                Ok(Json::str("shutting down"))
+            }
+            _ => match self.router.handlers.get(method) {
+                None => Err(ServeError::unknown_method(method)),
+                Some(handler) => {
+                    // Content identity of the job: method + canonical
+                    // params (svjson objects serialise with sorted keys).
+                    let key = format!("{method} {}", params.to_string_compact());
+                    let handler = Arc::clone(handler);
+                    let params = params.clone();
+                    self.pool.run(key, move || handler(&params))
+                }
+            },
+        }
+    }
+}
+
+/// Handle to a running server: address, stats access, shutdown.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live stats snapshot, same shape as the `stats` method's result.
+    pub fn stats_json(&self) -> Json {
+        self.state.stats_json()
+    }
+
+    /// True once `shutdown` was requested (by a client or this handle).
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown, wait for the accept loop and workers to finish,
+    /// and return the final stats snapshot.
+    pub fn shutdown(mut self) -> Json {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.state.stats_json()
+    }
+
+    /// Block until a client asks the server to shut down, then join the
+    /// accept loop and return the final stats (the `silvervale serve`
+    /// foreground path).
+    pub fn wait(mut self) -> Json {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.state.stats_json()
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            self.state.shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            let _ = t.join();
+        }
+    }
+}
+
+/// How often blocked reads/accepts wake up to poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Bind `addr` and serve `router` on `workers` pool threads.
+///
+/// Returns immediately; the accept loop runs on a background thread.
+/// Use `addr` `"127.0.0.1:0"` to let the OS pick a free port.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    router: Router,
+    workers: usize,
+) -> io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        router,
+        pool: JobPool::new(workers),
+        addr,
+        shutdown: AtomicBool::new(false),
+        connections: AtomicU64::new(0),
+        requests: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+    });
+    let accept_state = Arc::clone(&state);
+    let accept_thread = std::thread::Builder::new()
+        .name("svserve-accept".into())
+        .spawn(move || accept_loop(listener, accept_state))?;
+    Ok(ServeHandle { addr, state, accept_thread: Some(accept_thread) })
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    let mut conn_threads = Vec::new();
+    while !state.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break; // the shutdown wake-up connection
+                }
+                state.connections.fetch_add(1, Ordering::Relaxed);
+                let state = Arc::clone(&state);
+                if let Ok(t) = std::thread::Builder::new()
+                    .name("svserve-conn".into())
+                    .spawn(move || serve_connection(stream, state))
+                {
+                    conn_threads.push(t);
+                }
+                // Reap finished connection threads opportunistically.
+                conn_threads.retain(|t| !t.is_finished());
+            }
+            Err(_) => break,
+        }
+    }
+    // Connections poll the shutdown flag at POLL_INTERVAL; join them so
+    // shutdown stats include every request.
+    for t in conn_threads {
+        let _ = t.join();
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: Arc<ServerState>) {
+    // Short read timeouts let the connection poll the shutdown flag while
+    // staying responsive; FrameReader keeps partial frames across them.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = FrameReader::new(stream);
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match reader.read_frame() {
+            Ok(f) => f,
+            Err(_) => return,
+        };
+        let reply = match frame {
+            FrameRead::Eof => return,
+            FrameRead::Timeout => continue,
+            FrameRead::TooLarge => {
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                response_err(None, &ServeError::frame_too_large())
+            }
+            FrameRead::Line(line) if line.trim().is_empty() => continue,
+            FrameRead::Line(line) => match parse_request(&line) {
+                Err(e) => {
+                    state.errors.fetch_add(1, Ordering::Relaxed);
+                    response_err(None, &e)
+                }
+                Ok(req) => match state.dispatch(&req.method, &req.params) {
+                    Ok(result) => response_ok(req.id, result),
+                    Err(e) => {
+                        state.errors.fetch_add(1, Ordering::Relaxed);
+                        response_err(Some(req.id), &e)
+                    }
+                },
+            },
+        };
+        if writer.write_all(reply.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Render a stats JSON document as the human-readable report printed by
+/// `silvervale stats` and on server shutdown.
+pub fn render_stats(stats: &Json) -> String {
+    fn num(v: Option<&Json>) -> f64 {
+        v.and_then(Json::as_f64).unwrap_or(0.0)
+    }
+    let mut s = String::from("svserve statistics\n");
+    if let Some(sv) = stats.get("server") {
+        s.push_str(&format!(
+            "  server   connections {:>8}   requests {:>8}   errors {:>6}\n",
+            num(sv.get("connections")),
+            num(sv.get("requests")),
+            num(sv.get("errors")),
+        ));
+    }
+    if let Some(p) = stats.get("pool") {
+        s.push_str(&format!(
+            "  pool     workers {:>12}   executed {:>8}   deduped {:>5}   utilization {:.1}%\n",
+            num(p.get("workers")),
+            num(p.get("jobs_executed")),
+            num(p.get("jobs_deduped")),
+            num(p.get("utilization")) * 100.0,
+        ));
+    }
+    if let Some(cache) = stats.get("app").and_then(|a| a.get("cache")) {
+        let hits = num(cache.get("hits"));
+        let misses = num(cache.get("misses"));
+        let rate = if hits + misses > 0.0 { hits / (hits + misses) * 100.0 } else { 0.0 };
+        s.push_str(&format!(
+            "  cache    hits {:>15}   misses {:>10}   evictions {:>3}   hit rate {rate:.1}%\n",
+            hits,
+            misses,
+            num(cache.get("evictions")),
+        ));
+        s.push_str(&format!(
+            "           entries {:>12}   bytes {:>11}   budget {:>8}\n",
+            num(cache.get("entries")),
+            num(cache.get("bytes")),
+            num(cache.get("byte_budget")),
+        ));
+    }
+    if let Some(dbs) = stats.get("app").and_then(|a| a.get("databases")).and_then(Json::as_array)
+    {
+        let names: Vec<&str> = dbs.iter().filter_map(Json::as_str).collect();
+        s.push_str(&format!("  loaded   {}\n", if names.is_empty() {
+            "(no databases)".to_string()
+        } else {
+            names.join(", ")
+        }));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_router() -> Router {
+        let mut r = Router::new();
+        r.register("echo", |p| Ok(p.clone()));
+        r.register("fail", |_| Err(ServeError::internal("nope")));
+        r
+    }
+
+    #[test]
+    fn builtin_and_registered_dispatch() {
+        let h = serve("127.0.0.1:0", test_router(), 2).unwrap();
+        let state = Arc::clone(&h.state);
+        assert_eq!(state.dispatch("ping", &Json::Null).unwrap(), Json::str("pong"));
+        let echoed = state.dispatch("echo", &Json::Num(3.0)).unwrap();
+        assert_eq!(echoed, Json::Num(3.0));
+        assert_eq!(state.dispatch("fail", &Json::Null).unwrap_err().code, "internal");
+        assert_eq!(state.dispatch("gone", &Json::Null).unwrap_err().code, "unknown_method");
+        let methods = state.dispatch("methods", &Json::Null).unwrap();
+        let names: Vec<&str> =
+            methods.as_array().unwrap().iter().filter_map(Json::as_str).collect();
+        assert!(names.contains(&"echo") && names.contains(&"stats"));
+        h.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_stats() {
+        let h = serve("127.0.0.1:0", test_router(), 1).unwrap();
+        let stats = h.shutdown();
+        assert!(stats.get("server").is_some());
+        assert!(stats.get("pool").is_some());
+        let text = render_stats(&stats);
+        assert!(text.contains("svserve statistics"));
+        assert!(text.contains("pool"));
+    }
+}

@@ -2,8 +2,11 @@
 //! the approved dependency list).
 //!
 //! Covers the full JSON grammar — objects, arrays, strings with escapes
-//! (including `\uXXXX`), numbers, booleans, null — which is all a
-//! `compile_commands.json` ever contains.
+//! (including `\uXXXX`), numbers, booleans, null — which is everything a
+//! `compile_commands.json` or an analysis-service frame ever contains.
+//! Originally part of `silvervale` (which re-exports it for
+//! compatibility); it moved here when the serve protocol made it the
+//! wire format.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -47,6 +50,31 @@ impl Json {
             Json::Num(v) => Some(*v),
             _ => None,
         }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as a non-negative integer (request ids, counters).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Build an object from key/value pairs — the protocol's frame builder.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// String value constructor (saves `.to_string()` noise at call sites).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
     }
 
     /// Serialise to a compact JSON string.

@@ -1,0 +1,247 @@
+//! Integration tests for the analysis service: a real TCP server, real
+//! clients, full index → compare → cluster sessions, protocol abuse, and
+//! the cache/dedup guarantees under concurrency.
+
+use silvervale::serve::AnalysisService;
+use silvervale::svjson::Json;
+use silvervale::{divergence_from, index_app, model_matrix, pipeline};
+use std::sync::Arc;
+use svmetrics::{Metric, Variant};
+use svserve::{serve, Client, Router, ServeHandle};
+
+/// Spin up a server on an OS-assigned port with the full handler set.
+fn start_server() -> (ServeHandle, Arc<AnalysisService>) {
+    let service = AnalysisService::new(1 << 22);
+    let mut router = Router::new();
+    service.register_on(&mut router);
+    let handle = serve("127.0.0.1:0", router, 2).expect("bind test server");
+    (handle, service)
+}
+
+fn num(v: Option<&Json>) -> f64 {
+    v.and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+#[test]
+fn index_compare_cluster_session_end_to_end() {
+    let (handle, _service) = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // index
+    let r = client
+        .call("index", Json::obj([("app", Json::str("babelstream"))]))
+        .unwrap();
+    assert_eq!(r.get("db").and_then(Json::as_str), Some("babelstream"));
+    assert_eq!(num(r.get("units")), 10.0);
+
+    // inventory
+    let r = client
+        .call("inventory", Json::obj([("db", Json::str("babelstream"))]))
+        .unwrap();
+    let text = r.get("text").and_then(Json::as_str).unwrap();
+    assert!(text.contains("babelstream") && text.contains("CUDA"));
+
+    // compare — must equal the one-shot pipeline, value for value.
+    let r = client
+        .call(
+            "compare",
+            Json::obj([
+                ("db", Json::str("babelstream")),
+                ("metric", Json::str("t_sem")),
+                ("from", Json::str("Serial")),
+            ]),
+        )
+        .unwrap();
+    let db = index_app(svcorpus::App::BabelStream, false).unwrap();
+    let direct = divergence_from(&db, Metric::TSem, Variant::PLAIN, "Serial").unwrap();
+    let served = r.get("divergences").and_then(Json::as_array).unwrap();
+    assert_eq!(served.len(), direct.len());
+    for item in served {
+        let label = item.get("label").and_then(Json::as_str).unwrap();
+        let d = num(item.get("divergence"));
+        let expect = direct.iter().find(|(l, _)| l == label).unwrap().1;
+        assert_eq!(d, expect, "{label}: served divergence differs from pipeline");
+    }
+
+    // matrix — bit-identical to the pipeline matrix, across the wire.
+    let r = client
+        .call(
+            "matrix",
+            Json::obj([("db", Json::str("babelstream")), ("metric", Json::str("t_sem"))]),
+        )
+        .unwrap();
+    let m = model_matrix(&db, Metric::TSem, Variant::PLAIN);
+    let labels: Vec<&str> = r
+        .get("labels")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert_eq!(labels, m.labels().iter().map(String::as_str).collect::<Vec<_>>());
+    let rows = r.get("rows").and_then(Json::as_array).unwrap();
+    for (i, row) in rows.iter().enumerate() {
+        for (j, cell) in row.as_array().unwrap().iter().enumerate() {
+            assert_eq!(cell.as_f64().unwrap(), m.get(i, j), "cell ({i}, {j})");
+        }
+    }
+
+    // cluster
+    let r = client
+        .call(
+            "cluster",
+            Json::obj([("db", Json::str("babelstream")), ("metric", Json::str("t_sem"))]),
+        )
+        .unwrap();
+    let dendro = r.get("dendrogram").and_then(Json::as_str).unwrap();
+    let expect = pipeline::model_dendrogram(&db, Metric::TSem, Variant::PLAIN).render();
+    assert_eq!(dendro, expect, "served dendrogram differs from pipeline");
+    assert!(r.get("heatmap").and_then(Json::as_str).is_some());
+
+    handle.shutdown();
+}
+
+#[test]
+fn repeated_compare_is_served_from_cache() {
+    let (handle, service) = start_server();
+    let db = index_app(svcorpus::App::MiniBude, false).unwrap();
+    service.insert_db("minibude", db);
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let params = Json::obj([
+        ("db", Json::str("minibude")),
+        ("metric", Json::str("t_sem")),
+        ("from", Json::str("Serial")),
+    ]);
+
+    let first = client.call("compare", params.clone()).unwrap();
+    let computes_after_first = service.pair_computes();
+    assert!(computes_after_first > 0, "cold compare computed pairs");
+    let stats = client.call("stats", Json::Null).unwrap();
+    let hits_cold = num(stats.get("app").and_then(|a| a.get("cache")).and_then(|c| c.get("hits")));
+
+    let second = client.call("compare", params).unwrap();
+    assert_eq!(second, first, "cache-served response differs");
+    assert_eq!(
+        service.pair_computes(),
+        computes_after_first,
+        "repeated compare recomputed pairs"
+    );
+    let stats = client.call("stats", Json::Null).unwrap();
+    let cache = stats.get("app").and_then(|a| a.get("cache")).unwrap();
+    assert!(num(cache.get("hits")) > hits_cold, "cache hit counter did not increment");
+
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_oversized_and_unknown_requests_get_structured_errors() {
+    let (handle, _service) = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Malformed JSON frame.
+    client.send_raw("this is not json\n").unwrap();
+    let (_, res) = client.recv().unwrap();
+    assert_eq!(res.unwrap_err().code, "parse_error");
+
+    // Valid JSON, invalid request shape.
+    client.send_raw("{\"no\":\"id or method\"}\n").unwrap();
+    let (_, res) = client.recv().unwrap();
+    assert_eq!(res.unwrap_err().code, "parse_error");
+
+    // Oversized frame: above MAX_FRAME, the server must reject and resync.
+    let mut big = String::with_capacity(svserve::MAX_FRAME + 64);
+    big.push_str("{\"id\":1,\"method\":\"ping\",\"params\":\"");
+    big.push_str(&"x".repeat(svserve::MAX_FRAME));
+    big.push_str("\"}\n");
+    client.send_raw(&big).unwrap();
+    let (_, res) = client.recv().unwrap();
+    assert_eq!(res.unwrap_err().code, "frame_too_large");
+
+    // Unknown method.
+    let err = client.call("frobnicate", Json::Null).unwrap_err();
+    assert_eq!(err.code, "unknown_method");
+    assert!(err.message.contains("frobnicate"));
+
+    // Bad params on a real method.
+    let err = client.call("inventory", Json::Null).unwrap_err();
+    assert_eq!(err.code, "bad_params");
+
+    // Missing DB.
+    let err = client
+        .call("inventory", Json::obj([("db", Json::str("ghost"))]))
+        .unwrap_err();
+    assert_eq!(err.code, "not_found");
+
+    // After all that abuse the same connection still works.
+    assert_eq!(client.call("ping", Json::Null).unwrap(), Json::str("pong"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_identical_matrix_requests_compute_pairs_once() {
+    let (handle, service) = start_server();
+    let db = index_app(svcorpus::App::TeaLeaf, false).unwrap();
+    service.insert_db("tealeaf", db);
+    let addr = handle.addr();
+
+    let n = 6;
+    let workers: Vec<_> = (0..n)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client
+                    .call(
+                        "matrix",
+                        Json::obj([
+                            ("db", Json::str("tealeaf")),
+                            ("metric", Json::str("t_sem")),
+                        ]),
+                    )
+                    .unwrap()
+                    .to_string_compact()
+            })
+        })
+        .collect();
+    let results: Vec<String> = workers.into_iter().map(|t| t.join().unwrap()).collect();
+    for r in &results[1..] {
+        assert_eq!(r, &results[0], "concurrent responses diverged");
+    }
+
+    // 10 models → 45 unique pairs; across N concurrent identical requests
+    // the scheduler's in-flight dedup plus the cache admit each pair to be
+    // computed at most once.
+    assert!(
+        service.pair_computes() <= 45,
+        "pairs recomputed: {} > 45",
+        service.pair_computes()
+    );
+
+    // The scheduler accounted for every request, and dedup + execution
+    // cover all submissions.
+    let stats = handle.stats_json();
+    let pool = stats.get("pool").unwrap();
+    let submitted = num(pool.get("jobs_submitted"));
+    let executed = num(pool.get("jobs_executed"));
+    let deduped = num(pool.get("jobs_deduped"));
+    assert_eq!(submitted, n as f64);
+    assert_eq!(executed + deduped, submitted);
+    assert!(executed >= 1.0);
+
+    let final_stats = handle.shutdown();
+    assert!(final_stats.get("app").is_some(), "shutdown stats include the app section");
+}
+
+#[test]
+fn shutdown_request_stops_the_server_and_reports_stats() {
+    let (handle, _service) = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.call("ping", Json::Null).unwrap(), Json::str("pong"));
+    let r = client.call("shutdown", Json::Null).unwrap();
+    assert_eq!(r.as_str(), Some("shutting down"));
+    let stats = handle.wait();
+    assert!(num(stats.get("server").and_then(|s| s.get("requests"))) >= 2.0);
+    let text = svserve::render_stats(&stats);
+    assert!(text.contains("svserve statistics"));
+}

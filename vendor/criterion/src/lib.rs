@@ -1,0 +1,268 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the subset the `bench` crate uses: `Criterion` with
+//! `sample_size` / `warm_up_time` / `measurement_time`, `bench_function`,
+//! `benchmark_group` + `bench_with_input(BenchmarkId::from_parameter(..))`,
+//! and `final_summary`.  Measurement is a plain wall-clock loop reporting
+//! mean / min / max per sample — no bootstrap statistics, HTML reports, or
+//! regression baselines, which this repo's figure benches don't rely on.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark harness configuration + runner.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    results: Vec<(String, Duration)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(800),
+            results: Vec::new(),
+        }
+    }
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called repeatedly; the harness controls the iteration
+    /// count through the surrounding sampling loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier for one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/parameter` naming, e.g. `triad/8`.
+    pub fn from_parameter<D: Display>(parameter: D) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// Explicit `function/parameter` naming.
+    pub fn new<D: Display>(function: &str, parameter: D) -> BenchmarkId {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark and print its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mean = run_bench(name, self.sample_size, self.warm_up_time, self.measurement_time, f);
+        self.results.push((name.to_string(), mean));
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+
+    /// Print the closing summary (upstream writes reports here).
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        eprintln!("── benchmark summary ──");
+        for (name, mean) in &self.results {
+            eprintln!("{name:<48} {}", fmt_duration(*mean));
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let (n, w, m) =
+            (self.parent.sample_size, self.parent.warm_up_time, self.parent.measurement_time);
+        let mean = run_bench(&full, n, w, m, f);
+        self.parent.results.push((full, mean));
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let (n, w, m) =
+            (self.parent.sample_size, self.parent.warm_up_time, self.parent.measurement_time);
+        let mean = run_bench(&full, n, w, m, |b| f(b, input));
+        self.parent.results.push((full, mean));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) -> Duration {
+    // Warm-up: run single iterations until the warm-up budget elapses,
+    // and use the observed cost to pick a per-sample iteration count that
+    // fits the measurement budget.
+    let start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    while start.elapsed() < warm_up {
+        f(&mut b);
+        warm_iters += 1;
+        if warm_iters >= 1_000_000 {
+            break;
+        }
+    }
+    let per_iter = start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+    let budget = measurement.as_secs_f64() / samples as f64;
+    let iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+    let mut means = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bench = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bench);
+        means.push(bench.elapsed.as_secs_f64() / iters as f64);
+    }
+    means.sort_by(|a, b| a.total_cmp(b));
+    let mean = means.iter().sum::<f64>() / means.len() as f64;
+    let (lo, hi) = (means[0], means[means.len() - 1]);
+    eprintln!(
+        "{name:<48} time: [{} {} {}]",
+        fmt_secs(lo),
+        fmt_secs(mean),
+        fmt_secs(hi)
+    );
+    Duration::from_secs_f64(mean)
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    fmt_secs(d.as_secs_f64())
+}
+
+/// Upstream's harness-entry macros, for `harness = true` benches (the
+/// repo's benches all define `fn main`, but keep these for parity).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = fast();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(calls >= 3, "sampled at least sample_size times");
+        c.final_summary();
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = fast();
+        let mut group = c.benchmark_group("g");
+        for n in [1usize, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| black_box(n * 2));
+            });
+        }
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results[0].0.starts_with("g/1"));
+    }
+
+    #[test]
+    fn benchmark_id_naming() {
+        assert_eq!(BenchmarkId::new("f", 4).id, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

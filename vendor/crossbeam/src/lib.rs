@@ -1,0 +1,119 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! This build environment has no access to crates.io, so the repo vendors
+//! the *exact API surface it uses* on top of the standard library (see
+//! `vendor/README.md`).  `crossbeam::thread::scope` maps onto
+//! `std::thread::scope`, which provides the same structured-concurrency
+//! guarantee (all spawned threads join before the scope returns, so
+//! borrows of stack data are sound).
+//!
+//! Differences from real crossbeam, none of which are observable to this
+//! workspace's call sites:
+//!
+//! * a child-thread panic propagates when the scope joins (std semantics)
+//!   instead of surfacing as `Err` — every caller here immediately
+//!   `.expect(..)`s the result, i.e. panics either way;
+//! * `ScopedJoinHandle::join` reports a child panic the same way.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a scope: `Ok` unless a spawned thread panicked.
+    pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle: spawn threads that may borrow stack data of the
+    /// enclosing `scope` call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> ThreadResult<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope.  The closure receives the
+        /// scope itself (crossbeam convention), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&me)) }
+        }
+    }
+
+    /// Create a scope for spawning threads that borrow from the caller's
+    /// stack.  Returns once every spawned thread has joined.
+    pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scope_joins_all_threads() {
+            let counter = AtomicUsize::new(0);
+            let out = super::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                42
+            })
+            .unwrap();
+            assert_eq!(out, 42);
+            assert_eq!(counter.load(Ordering::Relaxed), 8);
+        }
+
+        #[test]
+        fn spawned_threads_can_borrow_stack_data() {
+            let data = vec![1u64, 2, 3, 4];
+            let sums: Vec<u64> = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            assert_eq!(sums, vec![3, 7]);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let hits = AtomicUsize::new(0);
+            super::scope(|s| {
+                s.spawn(|inner| {
+                    inner.spawn(|_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(hits.load(Ordering::Relaxed), 1);
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric
+//!   ranges, tuples, `any::<T>()`, and string-pattern literals,
+//! * [`collection::vec`] with either a fixed size or a size range.
+//!
+//! Differences from upstream proptest: cases are *generated only* — there
+//! is no shrinking of failing inputs, and string strategies support just
+//! the mini-regex shapes used here (a single `[...]` class or `\PC`
+//! followed by `*` or `{m,n}`).  Runs are deterministic per test name so
+//! failures reproduce exactly.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A value generator.  Upstream proptest separates strategies from
+    /// value trees (for shrinking); generation-only collapses to this.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.in_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:ident . $i:tt),+)),+ $(,)?) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+    /// `Strategy` for pattern-string literals, e.g. `"[a-z]{0,20}"` or
+    /// `"\\PC*"` — parsed by [`crate::string::pattern_chars`].
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    /// Values with a canonical "any" distribution.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.bits() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.bits() & 1 == 1
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// A strategy that always yields clones of one value (upstream
+    /// `Just`); handy for composing.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Size specification for [`vec`]: a fixed length or a half-open range.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.in_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// Generate a string matching the mini-regex `pattern`.
+    ///
+    /// Supported shapes (everything the workspace's tests use):
+    /// one atom — `[...]` character class (with `\n` `\t` `\\` `\[` `\]`
+    /// escapes and `a-z` ranges) or `\PC` (printable char) — followed by
+    /// an optional quantifier `*` (0..=32) or `{m,n}`.
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let (chars, rest) = pattern_chars(pattern);
+        let (lo, hi) = quantifier(rest);
+        let len = rng.in_range(lo..hi + 1);
+        (0..len).map(|_| chars[rng.in_range(0..chars.len())]).collect()
+    }
+
+    /// Parse the leading atom of `pattern` into its character alphabet;
+    /// returns the alphabet and the remaining pattern (the quantifier).
+    fn pattern_chars(pattern: &str) -> (Vec<char>, &str) {
+        if let Some(rest) = pattern.strip_prefix("\\PC") {
+            // Printable characters: ASCII plus a few multi-byte code
+            // points so UTF-8 handling gets exercised.
+            let mut set: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+            set.extend(['é', 'ß', '—', '中', '🦀']);
+            return (set, rest);
+        }
+        let inner = pattern.strip_prefix('[').expect("unsupported pattern atom");
+        let bytes: Vec<char> = inner.chars().collect();
+        let mut set = Vec::new();
+        let mut i = 0;
+        let mut closed = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                ']' => {
+                    closed = Some(i);
+                    break;
+                }
+                '\\' => {
+                    let c = bytes[i + 1];
+                    set.push(match c {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other, // \[ \] \\ \" \. \- \$ …
+                    });
+                    i += 2;
+                }
+                c if i + 2 < bytes.len() && bytes[i + 1] == '-' && bytes[i + 2] != ']' => {
+                    let (a, b) = (c as u32, bytes[i + 2] as u32);
+                    assert!(a <= b, "inverted class range");
+                    set.extend((a..=b).filter_map(char::from_u32));
+                    i += 3;
+                }
+                c => {
+                    set.push(c);
+                    i += 1;
+                }
+            }
+        }
+        let end = closed.expect("unterminated character class");
+        assert!(!set.is_empty(), "empty character class");
+        let rest_start: usize = bytes[..=end].iter().map(|c| c.len_utf8()).sum();
+        (set, &inner[rest_start..])
+    }
+
+    /// Parse the quantifier suffix into inclusive length bounds.
+    fn quantifier(q: &str) -> (usize, usize) {
+        match q {
+            "" => (1, 1),
+            "*" => (0, 32),
+            "+" => (1, 32),
+            _ => {
+                let body = q
+                    .strip_prefix('{')
+                    .and_then(|s| s.strip_suffix('}'))
+                    .unwrap_or_else(|| panic!("unsupported quantifier {q:?}"));
+                match body.split_once(',') {
+                    Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                    None => {
+                        let n: usize = body.parse().unwrap();
+                        (n, n)
+                    }
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::test_runner::TestRng;
+
+        #[test]
+        fn class_with_escapes_and_ranges() {
+            let mut rng = TestRng::deterministic("class");
+            for _ in 0..200 {
+                let s = generate_matching("[a-z0-9 \\n\\t{}()\\[\\];,.*+<>=&|!#\"'/-]{0,200}", &mut rng);
+                assert!(s.len() <= 200);
+                assert!(s.chars().all(|c| {
+                    c.is_ascii_lowercase()
+                        || c.is_ascii_digit()
+                        || " \n\t{}()[];,.*+<>=&|!#\"'/-".contains(c)
+                }));
+            }
+        }
+
+        #[test]
+        fn printable_star() {
+            let mut rng = TestRng::deterministic("pc");
+            let mut nonempty = 0;
+            for _ in 0..100 {
+                let s = generate_matching("\\PC*", &mut rng);
+                assert!(s.chars().all(|c| !c.is_control()));
+                nonempty += usize::from(!s.is_empty());
+            }
+            assert!(nonempty > 50);
+        }
+
+        #[test]
+        fn literal_backslash_class() {
+            let mut rng = TestRng::deterministic("bs");
+            let mut saw_backslash = false;
+            for _ in 0..500 {
+                let s = generate_matching("[\\[\\]{}\",:a-z0-9 .\\\\/-]{0,200}", &mut rng);
+                saw_backslash |= s.contains('\\');
+            }
+            assert!(saw_backslash, "escaped backslash must be in the alphabet");
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test deterministic RNG: xorshift64* seeded from the test name,
+    /// so a failing case reproduces on re-run without recording seeds.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        pub fn bits(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in a half-open range (generic over the numeric
+        /// types strategies use).
+        pub fn in_range<T: RangeSample>(&mut self, range: std::ops::Range<T>) -> T {
+            T::from_bits(self, range)
+        }
+    }
+
+    /// Numeric types samplable from [`TestRng::in_range`].
+    pub trait RangeSample: Sized {
+        fn from_bits(rng: &mut TestRng, range: std::ops::Range<Self>) -> Self;
+    }
+
+    macro_rules! impl_range_sample_uint {
+        ($($t:ty),*) => {$(
+            impl RangeSample for $t {
+                fn from_bits(rng: &mut TestRng, r: std::ops::Range<$t>) -> $t {
+                    assert!(r.start < r.end, "empty range");
+                    let span = (r.end as u128) - (r.start as u128);
+                    r.start + (((rng.bits() as u128) * span) >> 64) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_sample_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_range_sample_int {
+        ($($t:ty),*) => {$(
+            impl RangeSample for $t {
+                fn from_bits(rng: &mut TestRng, r: std::ops::Range<$t>) -> $t {
+                    assert!(r.start < r.end, "empty range");
+                    let span = (r.end as i128 - r.start as i128) as u128;
+                    (r.start as i128 + (((rng.bits() as u128) * span) >> 64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_sample_int!(i8, i16, i32, i64, isize);
+
+    impl RangeSample for f64 {
+        fn from_bits(rng: &mut TestRng, r: std::ops::Range<f64>) -> f64 {
+            assert!(r.start < r.end, "empty range");
+            let unit = (rng.bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            r.start + unit * (r.end - r.start)
+        }
+    }
+
+    impl RangeSample for f32 {
+        fn from_bits(rng: &mut TestRng, r: std::ops::Range<f32>) -> f32 {
+            assert!(r.start < r.end, "empty range");
+            let unit = (rng.bits() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+            r.start + unit * (r.end - r.start)
+        }
+    }
+
+    /// Test-run configuration (subset: case count).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// The test-harness macro: each `#[test] fn name(arg in strategy, ..)`
+/// becomes a standard test running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                // A nested closure keeps `?`/control flow inside the body
+                // from leaking into the harness loop.
+                (|| $body)();
+            }
+        }
+    )*};
+}
+
+/// Assertion macros: generation-only proptest has no failure persistence,
+/// so these are the std assertions (a panic fails the whole test).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u8..5, pair in (0usize..3, -1.0f64..1.0)) {
+            prop_assert!(x < 5);
+            prop_assert!(pair.0 < 3);
+            prop_assert!((-1.0..1.0).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u8..4, 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn mapped_strategy(s in (0u32..100).prop_map(|v| v * 2)) {
+            prop_assert_eq!(s % 2, 0);
+            prop_assert!(s < 200);
+        }
+
+        #[test]
+        fn fixed_size_vec(v in crate::collection::vec(0.0f64..10.0, 6)) {
+            prop_assert_eq!(v.len(), 6);
+        }
+    }
+
+    #[test]
+    fn determinism_per_name() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        let s = crate::collection::vec(0u8..255, 0..64);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}
