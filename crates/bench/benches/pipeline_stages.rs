@@ -1,0 +1,128 @@
+//! Per-stage pipeline profile + tracing-overhead snapshot.
+//!
+//! Runs the indexing pipeline and the divergence matrix under `svtrace`
+//! and writes `BENCH_pipeline.json`: wall-time per stage (lex, parse,
+//! normalise, lower, inline, TED, matrix build) aggregated from spans,
+//! plus the cost of tracing itself — matrix wall time with collection
+//! disabled vs enabled, and the measured per-span price of the disabled
+//! fast path (one relaxed atomic load), which bounds the overhead the
+//! instrumentation adds to an untraced run.
+
+use bench::{criterion, save_figure};
+use silvervale::index_app;
+use silvervale::svjson::Json;
+use std::time::Instant;
+use svcorpus::App;
+use svmetrics::{divergence_matrix, Measured, Metric, Variant};
+use svtrace::SpanRecord;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Aggregate spans into per-stage (count, total_ms, mean_us) rows.
+fn stage_rows(spans: &[SpanRecord]) -> Vec<(String, Json)> {
+    let mut agg: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+    for s in spans {
+        let e = agg.entry(s.name).or_default();
+        e.0 += 1;
+        e.1 += s.dur_ns();
+    }
+    agg.into_iter()
+        .map(|(name, (count, total_ns))| {
+            (
+                name.to_string(),
+                Json::obj([
+                    ("count", Json::Num(count as f64)),
+                    ("total_ms", Json::Num(total_ns as f64 / 1e6)),
+                    ("mean_us", Json::Num(total_ns as f64 / 1e3 / count as f64)),
+                ]),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    // ── Stage profile: index (unit.* spans), then matrix (matrix/ted). ──
+    svtrace::reset_spans();
+    svtrace::set_enabled(true);
+    let db = index_app(App::TeaLeaf, false).expect("index tealeaf");
+    let index_spans = svtrace::take_spans();
+    svtrace::set_enabled(false);
+
+    let labels = db.labels();
+    let measured: Vec<Measured<'_>> =
+        db.entries.iter().map(|e| Measured::of(&e.artifacts)).collect();
+    let run = || divergence_matrix(Metric::TSem, Variant::PLAIN, &labels, &measured);
+
+    // ── Tracing cost: matrix wall time, collection off vs on. ──
+    const REPS: usize = 15;
+    run(); // warm up (allocator, thread pool)
+    let mut t_off: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    svtrace::set_enabled(true);
+    svtrace::reset_spans();
+    let mut t_on: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    let matrix_spans = svtrace::take_spans();
+    svtrace::set_enabled(false);
+    let (off, on) = (median(&mut t_off), median(&mut t_on));
+
+    // ── Disabled fast path: price of one span when tracing is off. ──
+    const SPAN_ITERS: u64 = 1_000_000;
+    let t = Instant::now();
+    for _ in 0..SPAN_ITERS {
+        let _g = svtrace::span!("bench.noop");
+    }
+    let per_span_ns = t.elapsed().as_nanos() as f64 / SPAN_ITERS as f64;
+    let spans_per_matrix = matrix_spans.len() as f64 / REPS as f64;
+    // Upper bound on what instrumentation costs an untraced matrix run.
+    let disabled_overhead_pct = per_span_ns * spans_per_matrix / (off * 1e9) * 100.0;
+
+    let mut stages = stage_rows(&index_spans);
+    stages.extend(stage_rows(&matrix_spans));
+    let doc = Json::obj([
+        ("app", Json::str("tealeaf")),
+        ("metric", Json::str("t_sem")),
+        ("reps", Json::Num(REPS as f64)),
+        (
+            "matrix",
+            Json::obj([
+                ("median_s_tracing_off", Json::Num(off)),
+                ("median_s_tracing_on", Json::Num(on)),
+                ("enabled_overhead_pct", Json::Num((on - off) / off * 100.0)),
+                ("disabled_span_cost_ns", Json::Num(per_span_ns)),
+                ("spans_per_run", Json::Num(spans_per_matrix)),
+                ("disabled_overhead_pct", Json::Num(disabled_overhead_pct)),
+            ]),
+        ),
+        ("stages", Json::Object(stages.into_iter().collect())),
+    ]);
+    save_figure("BENCH_pipeline.json", &doc.to_string_compact());
+    assert!(
+        disabled_overhead_pct < 2.0,
+        "disabled tracing must stay under 2% of matrix wall time \
+         ({disabled_overhead_pct:.4}% measured)"
+    );
+
+    let mut c = criterion();
+    c.bench_function("pipeline/matrix_tracing_off", |b| b.iter(run));
+    c.bench_function("pipeline/matrix_tracing_on", |b| {
+        svtrace::set_enabled(true);
+        b.iter(run);
+        svtrace::set_enabled(false);
+        svtrace::reset_spans();
+    });
+    c.final_summary();
+}

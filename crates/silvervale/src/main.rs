@@ -31,16 +31,21 @@ USAGE:
   silvervale index     --fortran [-o FILE]
   silvervale index     --compile-db FILE --src-dir DIR [-o FILE]
   silvervale inventory <DB>
-  silvervale compare   <DB> [--metric M] [--pp] [--cov] [--inline] [--from LABEL]
-  silvervale cluster   <DB> [--metric M] [--pp] [--cov] [--inline]
+  silvervale compare   <DB> [--metric M] [--pp] [--cov] [--inline] [--from LABEL] [--trace-out FILE]
+  silvervale matrix    <DB> [--metric M] [--pp] [--cov] [--inline] [--csv] [--trace-out FILE]
+  silvervale cluster   <DB> [--metric M] [--pp] [--cov] [--inline] [--trace-out FILE]
   silvervale chart     <DB> --app <name>
   silvervale cascade   --app <name>
-  silvervale serve     [--addr HOST:PORT] [--threads N] [--cache-mb N] [DB...]
+  silvervale serve     [--addr HOST:PORT] [--threads N] [--cache-mb N] [--trace-out FILE] [DB...]
   silvervale client    --addr HOST:PORT <method> [PARAMS-JSON]
-  silvervale stats     --addr HOST:PORT
+  silvervale stats     --addr HOST:PORT [--follow]
 
   apps:    babelstream | minibude | tealeaf | cloverleaf
-  metrics: sloc | lloc | source | t_src | t_sem | t_ir | codediv"
+  metrics: sloc | lloc | source | t_src | t_sem | t_ir | codediv
+
+  --trace-out FILE writes a Chrome trace_event JSON of the run's spans
+  (open in Perfetto / chrome://tracing); `client metrics --addr ...`
+  dumps a live server's metric registries."
     );
     std::process::exit(2);
 }
@@ -61,7 +66,7 @@ impl Args {
                 // value flags take the next token unless it is also a flag
                 let value_flags = [
                     "app", "metric", "from", "compile-db", "src-dir", "out", "addr",
-                    "threads", "cache-mb",
+                    "threads", "cache-mb", "trace-out",
                 ];
                 if value_flags.contains(&name) && i + 1 < argv.len() {
                     flags.push((name.to_string(), Some(argv[i + 1].clone())));
@@ -90,6 +95,33 @@ impl Args {
             .iter()
             .find(|(n, v)| n == name && v.is_some())
             .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+/// `--trace-out FILE` support: arms span collection for the duration of a
+/// command and writes the Chrome trace on [`TraceOut::finish`].
+struct TraceOut {
+    path: Option<String>,
+}
+
+impl TraceOut {
+    fn begin(args: &Args) -> TraceOut {
+        let path = args.value("trace-out").map(str::to_string);
+        if path.is_some() {
+            svtrace::reset_spans();
+            svtrace::set_enabled(true);
+        }
+        TraceOut { path }
+    }
+
+    fn finish(self) -> Result<(), String> {
+        let Some(path) = self.path else { return Ok(()) };
+        svtrace::set_enabled(false);
+        let spans = svtrace::take_spans();
+        let json = svtrace::chrome_trace(&spans);
+        std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {} spans to {path} (load in Perfetto or chrome://tracing)", spans.len());
+        Ok(())
     }
 }
 
@@ -162,12 +194,30 @@ fn run() -> Result<(), String> {
                 .value("from")
                 .map(str::to_string)
                 .unwrap_or_else(|| db.labels().first().cloned().unwrap_or_default());
+            let trace = TraceOut::begin(&args);
             let mut divs =
                 divergence_from(&db, metric, v, &base).map_err(|e| e.to_string())?;
+            trace.finish()?;
             divs.sort_by(|a, b| a.1.total_cmp(&b.1));
             println!("{}{} divergence from {base}:", metric.name(), v.label());
             for (label, d) in divs {
                 println!("  {label:<18} {d:.4} {}", "▆".repeat((d * 40.0).min(60.0) as usize));
+            }
+            Ok(())
+        }
+        "matrix" => {
+            let db = load_db(args.positional.first().ok_or("matrix needs a DB path")?)?;
+            let metric = parse_metric(args.value("metric").unwrap_or("t_sem"))
+                .ok_or("unknown metric")?;
+            let v = variant_of(&args);
+            let trace = TraceOut::begin(&args);
+            let matrix = model_matrix(&db, metric, v);
+            trace.finish()?;
+            if args.flag("csv") {
+                print!("{}", matrix.to_csv());
+            } else {
+                println!("{}{} divergence matrix of '{}':", metric.name(), v.label(), db.name);
+                print!("{matrix}");
             }
             Ok(())
         }
@@ -176,8 +226,10 @@ fn run() -> Result<(), String> {
             let metric = parse_metric(args.value("metric").unwrap_or("t_sem"))
                 .ok_or("unknown metric")?;
             let v = variant_of(&args);
+            let trace = TraceOut::begin(&args);
             let matrix = model_matrix(&db, metric, v);
             let dendro = model_dendrogram(&db, metric, v);
+            trace.finish()?;
             println!("{}{} clustering of '{}':", metric.name(), v.label(), db.name);
             println!("{}", dendro.render());
             println!("{}", Heatmap::ordered_by(&matrix, &dendro).render());
@@ -220,17 +272,41 @@ fn run() -> Result<(), String> {
             }
             let mut router = svserve::Router::new();
             service.register_on(&mut router);
+            let trace = TraceOut::begin(&args);
             let handle = svserve::serve(addr, router, threads)
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
             println!("serving on {} ({threads} workers); send a 'shutdown' request to stop",
                 handle.addr());
             // Block until a client requests shutdown, then report.
             let stats = handle.wait();
+            trace.finish()?;
             print!("{}", svserve::render_stats(&stats));
             Ok(())
         }
         "client" | "stats" => {
             let addr = args.value("addr").ok_or("--addr HOST:PORT is required")?;
+            if cmd == "stats" && args.flag("follow") {
+                // Poll the live server every 2s until it goes away (or ^C).
+                let mut first = true;
+                loop {
+                    let mut client = match svserve::Client::connect(addr) {
+                        Ok(c) => c,
+                        Err(e) if first => {
+                            return Err(format!("cannot connect to {addr}: {e}"))
+                        }
+                        Err(_) => break, // server shut down mid-follow
+                    };
+                    let stats = match client.call("stats", Json::Null) {
+                        Ok(s) => s,
+                        Err(_) => break,
+                    };
+                    first = false;
+                    print!("{}", svserve::render_stats(&stats));
+                    println!();
+                    std::thread::sleep(std::time::Duration::from_secs(2));
+                }
+                return Ok(());
+            }
             let (method, params) = if cmd == "stats" {
                 ("stats".to_string(), Json::Null)
             } else {

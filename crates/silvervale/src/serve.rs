@@ -195,6 +195,17 @@ impl AnalysisService {
         router.register("chart", move |p| svc.handle_chart(p));
         let svc = Arc::clone(self);
         router.stats_provider(move || svc.stats_json());
+        let svc = Arc::clone(self);
+        router.metrics_provider(move || svc.metrics_snapshot());
+    }
+
+    /// The application section of the `metrics` response: the cache's
+    /// registry (hits/misses/evictions/sizes) plus service-level totals.
+    pub fn metrics_snapshot(&self) -> svtrace::MetricsSnapshot {
+        let mut snap = self.cache.registry().snapshot();
+        snap.push_counter("service.pair_computes", self.pair_computes());
+        snap.push_counter("service.databases", self.dbs.lock().unwrap().len() as u64);
+        snap
     }
 
     /// The `app` section of the `stats` response.

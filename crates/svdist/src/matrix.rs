@@ -140,7 +140,13 @@ impl DistanceMatrix {
     ) -> DistanceMatrix {
         let n = labels.len();
         let pairs = Self::upper_pairs(n);
-        let dists = svpar::par_tasks(&pairs, |&(i, j)| f(i, j));
+        // Per-pair spans make `svpar` utilisation visible in a trace: each
+        // worker thread's lane shows which (i, j) cells it claimed and how
+        // unevenly the TED costs spread.
+        let dists = svpar::par_tasks(&pairs, |&(i, j)| {
+            let _s = svtrace::span!("matrix.pair", i = i, j = j);
+            f(i, j)
+        });
         let mut m = DistanceMatrix::new(labels);
         for (&(i, j), d) in pairs.iter().zip(dists) {
             m.set(i, j, d);

@@ -108,8 +108,12 @@ fn compile_cpp(
     path: &str,
     opts: &UnitOptions,
 ) -> Result<Unit> {
+    let _unit_span = svtrace::span!("unit.compile", unit = path);
     let pp_opts = PpOptions { defines: opts.defines.clone() };
-    let out = preprocess(sources, main, &pp_opts)?;
+    let out = {
+        let _s = svtrace::span!("unit.preprocess", unit = path);
+        preprocess(sources, main, &pp_opts)?
+    };
 
     let dep_files: Vec<FileId> = out
         .included
@@ -120,16 +124,20 @@ fn compile_cpp(
 
     // --- pre-preprocessing (user) view: main + user deps, raw tokens ----
     let mut pre_tokens: Vec<Token> = Vec::new();
-    for &f in std::iter::once(&main).chain(dep_files.iter()) {
-        let sf = sources.file(f);
-        let toks = lex(
-            &sf.text,
-            f,
-            &sf.path,
-            LexOptions { keep_comments: true, keep_newlines: false },
-        )?;
-        pre_tokens.extend(fold_pragma_directives(toks));
+    {
+        let _s = svtrace::span!("unit.lex", unit = path);
+        for &f in std::iter::once(&main).chain(dep_files.iter()) {
+            let sf = sources.file(f);
+            let toks = lex(
+                &sf.text,
+                f,
+                &sf.path,
+                LexOptions { keep_comments: true, keep_newlines: false },
+            )?;
+            pre_tokens.extend(fold_pragma_directives(toks));
+        }
     }
+    let norm_span = svtrace::span!("unit.normalise", unit = path);
     let pre_pairs = measure::normalized_lines_with_locs(&pre_tokens);
     let line_locs_pre: Vec<(u32, u32)> =
         pre_pairs.iter().map(|(_, (f, l))| (f.0, *l)).collect();
@@ -146,9 +154,14 @@ fn compile_cpp(
     let sloc_post = lines_post.len();
     let lloc_post = measure::lloc(&out.tokens);
     let t_src_pp = cst::t_src(&out.tokens);
+    drop(norm_span);
 
     // --- semantic trees ---------------------------------------------------
-    let program = crate::parse::parse(out.tokens.clone(), main, path)?;
+    let program = {
+        let _s = svtrace::span!("unit.parse", unit = path);
+        crate::parse::parse(out.tokens.clone(), main, path)?
+    };
+    let lower_span = svtrace::span!("unit.lower", unit = path);
     let reg = Registry::build(&program, &out.system_files);
     // Mask system-header items out of the semantic view.
     let user_items: Vec<Item> = program
@@ -165,8 +178,12 @@ fn compile_cpp(
         .collect();
     let user_prog = Program { main_file: main, items: user_items };
     let t_sem = emit::t_sem(&user_prog, &reg, SemOptions::PLAIN);
+    drop(lower_span);
     let inline_depth = opts.inline_depth.unwrap_or(SemOptions::INLINED.inline_depth);
-    let t_sem_inl = emit::t_sem(&user_prog, &reg, SemOptions { inline_depth });
+    let t_sem_inl = {
+        let _s = svtrace::span!("unit.inline", unit = path, depth = inline_depth);
+        emit::t_sem(&user_prog, &reg, SemOptions { inline_depth })
+    };
 
     Ok(Unit {
         name: path.to_string(),
@@ -225,8 +242,12 @@ fn fold_pragma_directives(toks: Vec<Token>) -> Vec<Token> {
 }
 
 fn compile_fortran(sources: &SourceSet, main: FileId, path: &str) -> Result<Unit> {
+    let _unit_span = svtrace::span!("unit.compile", unit = path);
     let text = sources.file(main).text.clone();
-    let tokens = fortran::lex_fortran(&text, main, path)?;
+    let tokens = {
+        let _s = svtrace::span!("unit.lex", unit = path);
+        fortran::lex_fortran(&text, main, path)?
+    };
 
     let pre_pairs = measure::normalized_lines_with_locs(&tokens);
     let line_locs_pre: Vec<(u32, u32)> =
@@ -238,8 +259,14 @@ fn compile_fortran(sources: &SourceSet, main: FileId, path: &str) -> Result<Unit
     let lloc_pre = tokens.iter().filter(|t| matches!(t.kind, TokKind::Newline)).count();
 
     let t_src = cst::t_src(&tokens);
-    let fprog = fortran::parse_fortran(&text, main, path)?;
-    let t_sem = fortran::t_sem_fortran(&fprog);
+    let fprog = {
+        let _s = svtrace::span!("unit.parse", unit = path);
+        fortran::parse_fortran(&text, main, path)?
+    };
+    let t_sem = {
+        let _s = svtrace::span!("unit.lower", unit = path);
+        fortran::t_sem_fortran(&fprog)
+    };
 
     Ok(Unit {
         name: path.to_string(),

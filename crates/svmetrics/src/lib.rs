@@ -25,6 +25,39 @@ use svlang::unit::Unit;
 use svtree::mask::CoverageMask;
 use svtree::Tree;
 
+/// Process-global observability handles, resolved once: a TED pair
+/// counter, the Eq. 7 `dmax` running total, and a distance histogram —
+/// the §V normalisation accounting, inspectable via `svtrace::global()`.
+mod obs {
+    use std::sync::{Arc, OnceLock};
+    use svtrace::{Counter, Histogram};
+
+    pub fn ted_pairs() -> &'static Arc<Counter> {
+        static C: OnceLock<Arc<Counter>> = OnceLock::new();
+        C.get_or_init(|| svtrace::global().counter("svmetrics.ted_pairs"))
+    }
+
+    pub fn dmax_total() -> &'static Arc<Counter> {
+        static C: OnceLock<Arc<Counter>> = OnceLock::new();
+        C.get_or_init(|| svtrace::global().counter("svmetrics.dmax_total"))
+    }
+
+    pub fn distance_hist() -> &'static Arc<Histogram> {
+        static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+        H.get_or_init(|| {
+            svtrace::global()
+                .histogram("svmetrics.pair_distance", &Histogram::exponential(1, 2.0, 24))
+        })
+    }
+
+    /// Record one pairwise computation into the global registry.
+    pub fn record_pair(distance: u64, dmax: u64) {
+        ted_pairs().inc();
+        dmax_total().add(dmax);
+        distance_hist().record(distance);
+    }
+}
+
 /// The per-unit artefacts every metric consumes — exactly what the
 /// paper's Codebase DB persists ("a portable set of semantic-bearing
 /// trees and metadata files").  Detached from [`Unit`] so the database
@@ -300,8 +333,11 @@ pub fn divergence(metric: Metric, v: Variant, from: &Measured<'_>, to: &Measured
         Metric::TSrc | Metric::TSem | Metric::TIr => {
             let ta = tree_of(from, metric, v);
             let tb = tree_of(to, metric, v);
+            let _s = svtrace::span!("ted.compute", unit = to.art.name, metric = metric.name());
             let d = ted(&ta, &tb);
-            Divergence { distance: d, dmax: tb.size().max(1) as u64 }
+            let dv = Divergence { distance: d, dmax: tb.size().max(1) as u64 };
+            obs::record_pair(dv.distance, dv.dmax);
+            dv
         }
     }
 }
@@ -435,8 +471,10 @@ fn pair_distance(metric: Metric, a: &PairArt, b: &PairArt) -> f64 {
             }
         }
         (PairArt::Tree(a), PairArt::Tree(b)) => {
-            let d = ted(a, b) as f64;
-            d / (a.size().max(b.size()).max(1)) as f64
+            let _s = svtrace::span!("ted.compute", a = a.size(), b = b.size());
+            let d = ted(a, b);
+            obs::record_pair(d, a.size().max(b.size()).max(1) as u64);
+            d as f64 / (a.size().max(b.size()).max(1)) as f64
         }
         _ => unreachable!("artefact kinds are uniform per metric"),
     }
@@ -453,6 +491,7 @@ pub fn divergence_matrix(
     units: &[Measured<'_>],
 ) -> DistanceMatrix {
     assert_eq!(labels.len(), units.len());
+    let _s = svtrace::span!("matrix.build", n = labels.len(), metric = metric.name());
     let arts = pair_artifacts(metric, v, units);
     DistanceMatrix::from_fn_par(labels.to_vec(), |i, j| pair_distance(metric, &arts[i], &arts[j]))
 }

@@ -11,11 +11,13 @@
 //! whose trees did not change costs nothing to re-analyse.
 //!
 //! Eviction is LRU under a byte budget; hits, misses, insertions and
-//! evictions are counted for the `stats` endpoint.
+//! evictions are counted on a per-cache `svtrace::Registry` — the same
+//! handles feed the `stats` report (via [`TedCache::stats`], unchanged
+//! format) and the live `metrics` endpoint (via [`TedCache::registry`]).
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use svtrace::{Counter, Gauge, Registry};
 
 /// Content address of one pairwise computation.
 ///
@@ -89,13 +91,20 @@ struct Inner {
 }
 
 /// Thread-safe LRU cache of pairwise distances under a byte budget.
+///
+/// Counters live on a cache-owned [`Registry`] (so independent caches —
+/// e.g. in tests — never share counts); `entries`/`bytes` occupancy is
+/// mirrored onto gauges whenever the map changes.
 pub struct TedCache {
     inner: Mutex<Inner>,
     byte_budget: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
+    registry: Registry,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    insertions: Arc<Counter>,
+    evictions: Arc<Counter>,
+    entries_gauge: Arc<Gauge>,
+    bytes_gauge: Arc<Gauge>,
 }
 
 impl TedCache {
@@ -103,6 +112,14 @@ impl TedCache {
     /// (at least one entry is always kept, so a tiny budget degenerates to
     /// a single-entry cache rather than caching nothing).
     pub fn new(byte_budget: usize) -> TedCache {
+        let registry = Registry::new();
+        let hits = registry.counter("cache.hits");
+        let misses = registry.counter("cache.misses");
+        let insertions = registry.counter("cache.insertions");
+        let evictions = registry.counter("cache.evictions");
+        let entries_gauge = registry.gauge("cache.entries");
+        let bytes_gauge = registry.gauge("cache.bytes");
+        registry.gauge("cache.byte_budget").set(byte_budget as f64);
         TedCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
@@ -110,11 +127,19 @@ impl TedCache {
                 tick: 0,
             }),
             byte_budget,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            registry,
+            hits,
+            misses,
+            insertions,
+            evictions,
+            entries_gauge,
+            bytes_gauge,
         }
+    }
+
+    /// The cache's metrics registry, for the live `metrics` endpoint.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Maximum number of entries the byte budget admits (minimum 1).
@@ -133,11 +158,11 @@ impl TedCache {
                 inner.tick += 1;
                 *tick = inner.tick;
                 inner.recency.insert(inner.tick, *key);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(val)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -157,14 +182,16 @@ impl TedCache {
             return;
         }
         inner.recency.insert(tick, key);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insertions.inc();
         while inner.map.len() > cap {
             let (&lru_tick, &lru_key) =
                 inner.recency.iter().next().expect("recency tracks every entry");
             inner.recency.remove(&lru_tick);
             inner.map.remove(&lru_key);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
+        self.entries_gauge.set(inner.map.len() as f64);
+        self.bytes_gauge.set((inner.map.len() * ENTRY_BYTES) as f64);
     }
 
     /// Look up `key`, computing and inserting on a miss.
@@ -186,10 +213,10 @@ impl TedCache {
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().unwrap();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insertions: self.insertions.get(),
+            evictions: self.evictions.get(),
             entries: inner.map.len(),
             bytes: inner.map.len() * ENTRY_BYTES,
             byte_budget: self.byte_budget,

@@ -88,8 +88,12 @@ impl FpArtifact {
 /// for this metric, with no cache involved.
 fn raw_distance(a: &FpArtifact, b: &FpArtifact) -> u64 {
     match (a, b) {
-        (FpArtifact::Tree { tree: ta, .. }, FpArtifact::Tree { tree: tb, .. }) => ted(ta, tb),
+        (FpArtifact::Tree { tree: ta, .. }, FpArtifact::Tree { tree: tb, .. }) => {
+            let _s = svtrace::span!("ted.compute", a = ta.size(), b = tb.size());
+            ted(ta, tb)
+        }
         (FpArtifact::Lines { lines: la, .. }, FpArtifact::Lines { lines: lb, .. }) => {
+            let _s = svtrace::span!("source.edit_distance", a = la.len(), b = lb.len());
             edit_distance_onp(la, lb) as u64
         }
         _ => unreachable!("artefact kinds are uniform per metric"),

@@ -31,7 +31,7 @@ pub use cache::{CacheKey, CacheStats, CachedPair, TedCache};
 pub use client::Client;
 pub use proto::{Request, ServeError, MAX_FRAME};
 pub use sched::{JobPool, PoolStats};
-pub use server::{render_stats, serve, Router, ServeHandle};
+pub use server::{render_stats, serve, snapshot_json, Router, ServeHandle};
 
 #[cfg(test)]
 mod proptests {

@@ -6,15 +6,20 @@
 //! instead of queueing a duplicate, so N clients hammering the same
 //! divergence matrix cost one computation (the content-addressed cache
 //! then covers *sequential* repeats).  Workers are plain threads over an
-//! `mpsc` channel; per-worker busy time feeds the `stats` endpoint's
-//! utilization figure.
+//! `mpsc` channel.
+//!
+//! Per-job timing lands on a pool-owned `svtrace::Registry`: busy time
+//! feeds the `stats` endpoint's utilization figure, and two histograms
+//! split every job's latency into **queue wait** (submit → worker pickup)
+//! vs **compute time** (worker execution) — the first thing to look at
+//! when a server is slow is whether jobs wait or work.
 
 use crate::proto::ServeError;
 use crate::svjson::Json;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
+use svtrace::{Counter, Histogram, Registry};
 
 type JobResult = Result<Json, ServeError>;
 type JobFn = Box<dyn FnOnce() -> JobResult + Send>;
@@ -63,16 +68,19 @@ pub struct PoolStats {
 
 struct Shared {
     inflight: Mutex<HashMap<String, Arc<JobSlot>>>,
-    submitted: AtomicU64,
-    executed: AtomicU64,
-    deduped: AtomicU64,
-    busy_nanos: AtomicU64,
+    registry: Registry,
+    submitted: Arc<Counter>,
+    executed: Arc<Counter>,
+    deduped: Arc<Counter>,
+    busy_nanos: Arc<Counter>,
+    queue_wait_us: Arc<Histogram>,
+    exec_us: Arc<Histogram>,
 }
 
 /// The worker pool.  Dropping it (or calling [`JobPool::shutdown`])
 /// closes the queue and joins every worker.
 pub struct JobPool {
-    tx: Option<mpsc::Sender<(Arc<JobSlot>, String, JobFn)>>,
+    tx: Option<mpsc::Sender<(Arc<JobSlot>, String, Instant, JobFn)>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     shared: Arc<Shared>,
     started: Instant,
@@ -82,14 +90,19 @@ impl JobPool {
     /// Spawn a pool of `workers` threads (minimum 1).
     pub fn new(workers: usize) -> JobPool {
         let workers = workers.max(1);
-        let (tx, rx) = mpsc::channel::<(Arc<JobSlot>, String, JobFn)>();
+        let (tx, rx) = mpsc::channel::<(Arc<JobSlot>, String, Instant, JobFn)>();
         let rx = Arc::new(Mutex::new(rx));
+        let registry = Registry::new();
+        let bounds = svtrace::latency_bounds_us();
         let shared = Arc::new(Shared {
             inflight: Mutex::new(HashMap::new()),
-            submitted: AtomicU64::new(0),
-            executed: AtomicU64::new(0),
-            deduped: AtomicU64::new(0),
-            busy_nanos: AtomicU64::new(0),
+            submitted: registry.counter("pool.submitted"),
+            executed: registry.counter("pool.executed"),
+            deduped: registry.counter("pool.deduped"),
+            busy_nanos: registry.counter("pool.busy_nanos"),
+            queue_wait_us: registry.histogram("pool.queue_wait_us", &bounds),
+            exec_us: registry.histogram("pool.exec_us", &bounds),
+            registry,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -100,16 +113,22 @@ impl JobPool {
                     .spawn(move || loop {
                         // Hold the receiver lock only while dequeuing.
                         let job = rx.lock().unwrap().recv();
-                        let (slot, key, f) = match job {
+                        let (slot, key, submitted_at, f) = match job {
                             Ok(j) => j,
                             Err(_) => return, // queue closed: shut down
                         };
                         let t0 = Instant::now();
-                        let result = f();
                         shared
-                            .busy_nanos
-                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        shared.executed.fetch_add(1, Ordering::Relaxed);
+                            .queue_wait_us
+                            .record(t0.duration_since(submitted_at).as_micros() as u64);
+                        let result = {
+                            let _s = svtrace::span!("pool.execute", key = key);
+                            f()
+                        };
+                        let elapsed = t0.elapsed();
+                        shared.busy_nanos.add(elapsed.as_nanos() as u64);
+                        shared.exec_us.record(elapsed.as_micros() as u64);
+                        shared.executed.inc();
                         // Unregister before waking waiters: requests that
                         // arrive from here on start a fresh job (and will
                         // typically be answered by the result cache).
@@ -122,6 +141,12 @@ impl JobPool {
         JobPool { tx: Some(tx), workers: handles, shared, started: Instant::now() }
     }
 
+    /// The pool's metrics registry (counters plus the queue-wait/exec-time
+    /// histograms), for the live `metrics` endpoint.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
     /// Execute `job` on the pool and block until its result is available.
     ///
     /// `key` is the job's content identity (method + canonicalised
@@ -129,7 +154,8 @@ impl JobPool {
     /// call attaches to it and returns the same result without running
     /// `job` at all.
     pub fn run(&self, key: String, job: impl FnOnce() -> JobResult + Send + 'static) -> JobResult {
-        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.submitted.inc();
+        let submitted_at = Instant::now();
         let (slot, owner) = {
             let mut inflight = self.shared.inflight.lock().unwrap();
             match inflight.get(&key) {
@@ -143,13 +169,13 @@ impl JobPool {
         };
         if owner {
             let tx = self.tx.as_ref().expect("pool is live while a reference exists");
-            if tx.send((Arc::clone(&slot), key.clone(), Box::new(job))).is_err() {
+            if tx.send((Arc::clone(&slot), key.clone(), submitted_at, Box::new(job))).is_err() {
                 // Pool shut down between registration and submit.
                 self.shared.inflight.lock().unwrap().remove(&key);
                 return Err(ServeError::new("shutting_down", "job pool is stopped"));
             }
         } else {
-            self.shared.deduped.fetch_add(1, Ordering::Relaxed);
+            self.shared.deduped.inc();
         }
         slot.wait()
     }
@@ -158,11 +184,11 @@ impl JobPool {
     pub fn stats(&self) -> PoolStats {
         let workers = self.workers.len();
         let elapsed = self.started.elapsed().as_nanos() as f64 * workers as f64;
-        let busy = self.shared.busy_nanos.load(Ordering::Relaxed) as f64;
+        let busy = self.shared.busy_nanos.get() as f64;
         PoolStats {
-            submitted: self.shared.submitted.load(Ordering::Relaxed),
-            executed: self.shared.executed.load(Ordering::Relaxed),
-            deduped: self.shared.deduped.load(Ordering::Relaxed),
+            submitted: self.shared.submitted.get(),
+            executed: self.shared.executed.get(),
+            deduped: self.shared.deduped.get(),
             workers,
             utilization: if elapsed > 0.0 { (busy / elapsed).min(1.0) } else { 0.0 },
         }
@@ -186,6 +212,7 @@ impl Drop for JobPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Barrier;
     use std::time::Duration;
 
@@ -267,5 +294,32 @@ mod tests {
         let s = pool.stats();
         assert!(s.utilization > 0.0, "busy time recorded: {s:?}");
         assert!(s.utilization <= 1.0);
+    }
+
+    #[test]
+    fn registry_splits_queue_wait_from_exec_time() {
+        let pool = JobPool::new(1);
+        for i in 0..3 {
+            pool.run(format!("j{i}"), || {
+                std::thread::sleep(Duration::from_millis(10));
+                Ok(Json::Null)
+            })
+            .unwrap();
+        }
+        let snap = pool.registry().snapshot();
+        let hist = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|h| h.name == name)
+                .unwrap_or_else(|| panic!("histogram {name} missing"))
+        };
+        assert_eq!(hist("pool.queue_wait_us").count, 3);
+        let exec = hist("pool.exec_us");
+        assert_eq!(exec.count, 3);
+        assert!(exec.min >= 10_000, "each job slept 10ms: {exec:?}");
+        let counters: std::collections::HashMap<_, _> =
+            snap.counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        assert_eq!(counters["pool.submitted"], 3);
+        assert_eq!(counters["pool.executed"], 3);
     }
 }

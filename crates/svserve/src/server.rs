@@ -18,6 +18,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use svtrace::{HistogramSnapshot, MetricsSnapshot};
 
 /// A registered request handler.
 pub type Handler = Arc<dyn Fn(&Json) -> Result<Json, ServeError> + Send + Sync>;
@@ -27,6 +28,7 @@ pub type Handler = Arc<dyn Fn(&Json) -> Result<Json, ServeError> + Send + Sync>;
 pub struct Router {
     handlers: HashMap<String, Handler>,
     app_stats: Option<Arc<dyn Fn() -> Json + Send + Sync>>,
+    app_metrics: Option<Arc<dyn Fn() -> MetricsSnapshot + Send + Sync>>,
 }
 
 impl Router {
@@ -47,6 +49,16 @@ impl Router {
     /// counters, DB registry size, …).
     pub fn stats_provider(&mut self, f: impl Fn() -> Json + Send + Sync + 'static) {
         self.app_stats = Some(Arc::new(f));
+    }
+
+    /// Provide the application section of the `metrics` response — a
+    /// [`MetricsSnapshot`] merged into the server/pool/global snapshot (the
+    /// service typically forwards its cache registry here).
+    pub fn metrics_provider(
+        &mut self,
+        f: impl Fn() -> MetricsSnapshot + Send + Sync + 'static,
+    ) {
+        self.app_metrics = Some(Arc::new(f));
     }
 
     /// Registered method names (sorted), for error messages and docs.
@@ -97,14 +109,33 @@ impl ServerState {
         Json::Object(sections.into_iter().collect())
     }
 
+    /// Everything the `metrics` method reports: server counters, the pool
+    /// registry (queue-wait/exec histograms), the process-wide
+    /// `svtrace::global()` registry, and whatever the application's
+    /// metrics provider contributes (cache counters, service totals).
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.push_counter("server.connections", self.connections.load(Ordering::Relaxed));
+        snap.push_counter("server.requests", self.requests.load(Ordering::Relaxed));
+        snap.push_counter("server.errors", self.errors.load(Ordering::Relaxed));
+        snap.merge(self.pool.registry().snapshot());
+        snap.merge(svtrace::global().snapshot());
+        if let Some(f) = &self.router.app_metrics {
+            snap.merge(f());
+        }
+        snap
+    }
+
     fn dispatch(self: &Arc<Self>, method: &str, params: &Json) -> Result<Json, ServeError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        let _req_span = svtrace::span!("serve.request", method = method);
         match method {
             "ping" => Ok(Json::str("pong")),
             "stats" => Ok(self.stats_json()),
+            "metrics" => Ok(snapshot_json(&self.metrics_snapshot())),
             "methods" => {
                 let mut m = self.router.methods();
-                for builtin in ["ping", "stats", "methods", "shutdown"] {
+                for builtin in ["ping", "stats", "metrics", "methods", "shutdown"] {
                     m.push(builtin.to_string());
                 }
                 m.sort();
@@ -291,6 +322,56 @@ fn serve_connection(stream: TcpStream, state: Arc<ServerState>) {
     }
 }
 
+/// Convert a [`MetricsSnapshot`] into the wire [`Json`] shape served by the
+/// `metrics` method:
+///
+/// ```json
+/// {"counters": {..}, "gauges": {..},
+///  "histograms": {"name": {"count":.., "sum":.., "min":.., "max":..,
+///                          "p50":.., "p90":.., "p99":..,
+///                          "buckets": [[le, count], ..]}}}
+/// ```
+///
+/// The overflow bucket's bound is rendered as `null` (JSON has no `+inf`).
+pub fn snapshot_json(snap: &MetricsSnapshot) -> Json {
+    fn hist_json(h: &HistogramSnapshot) -> Json {
+        let buckets = h
+            .buckets
+            .iter()
+            .map(|&(le, n)| {
+                let bound = if le == u64::MAX { Json::Null } else { Json::Num(le as f64) };
+                Json::Array(vec![bound, Json::Num(n as f64)])
+            })
+            .collect();
+        Json::obj([
+            ("count", Json::Num(h.count as f64)),
+            ("sum", Json::Num(h.sum as f64)),
+            ("min", Json::Num(h.min as f64)),
+            ("max", Json::Num(h.max as f64)),
+            ("p50", Json::Num(h.p50() as f64)),
+            ("p90", Json::Num(h.p90() as f64)),
+            ("p99", Json::Num(h.p99() as f64)),
+            ("buckets", Json::Array(buckets)),
+        ])
+    }
+    Json::obj([
+        (
+            "counters",
+            Json::Object(
+                snap.counters.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Object(snap.gauges.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect()),
+        ),
+        (
+            "histograms",
+            Json::Object(snap.histograms.iter().map(|h| (h.name.clone(), hist_json(h))).collect()),
+        ),
+    ])
+}
+
 /// Render a stats JSON document as the human-readable report printed by
 /// `silvervale stats` and on server shutdown.
 pub fn render_stats(stats: &Json) -> String {
@@ -380,5 +461,102 @@ mod tests {
         let text = render_stats(&stats);
         assert!(text.contains("svserve statistics"));
         assert!(text.contains("pool"));
+    }
+
+    #[test]
+    fn metrics_method_merges_all_registries() {
+        let mut r = test_router();
+        r.metrics_provider(|| {
+            let mut s = MetricsSnapshot::default();
+            s.push_counter("app.things", 7);
+            s
+        });
+        let h = serve("127.0.0.1:0", r, 1).unwrap();
+        let state = Arc::clone(&h.state);
+        // Run one job through the pool so its histograms have samples.
+        state.dispatch("echo", &Json::Num(1.0)).unwrap();
+        let m = state.dispatch("metrics", &Json::Null).unwrap();
+        let counters = m.get("counters").unwrap();
+        assert!(counters.get("server.requests").unwrap().as_f64().unwrap() >= 1.0);
+        assert_eq!(counters.get("pool.executed").unwrap().as_f64(), Some(1.0));
+        assert_eq!(counters.get("app.things").unwrap().as_f64(), Some(7.0));
+        let wait = m.get("histograms").unwrap().get("pool.queue_wait_us").unwrap();
+        assert_eq!(wait.get("count").unwrap().as_f64(), Some(1.0));
+        assert!(wait.get("buckets").unwrap().as_array().unwrap().len() > 1);
+        // `metrics` is advertised alongside the other builtins.
+        let methods = state.dispatch("methods", &Json::Null).unwrap();
+        let names: Vec<&str> =
+            methods.as_array().unwrap().iter().filter_map(Json::as_str).collect();
+        assert!(names.contains(&"metrics"));
+        h.shutdown();
+    }
+
+    #[test]
+    fn snapshot_json_renders_overflow_bound_as_null() {
+        let reg = svtrace::Registry::new();
+        let hist = reg.histogram("h", &[10, 100]);
+        hist.record(5);
+        hist.record(1_000); // overflow bucket
+        let j = snapshot_json(&reg.snapshot());
+        let buckets =
+            j.get("histograms").unwrap().get("h").unwrap().get("buckets").unwrap();
+        let buckets = buckets.as_array().unwrap();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[2].as_array().unwrap()[0], Json::Null);
+        assert_eq!(buckets[2].as_array().unwrap()[1].as_f64(), Some(1.0));
+    }
+
+    /// The human-readable stats report is a stable interface: scripts grep
+    /// it, and the counter migration onto `svtrace` must not move a byte.
+    #[test]
+    fn render_stats_format_is_byte_stable() {
+        let stats = Json::obj([
+            (
+                "server",
+                Json::obj([
+                    ("connections", Json::Num(3.0)),
+                    ("requests", Json::Num(12.0)),
+                    ("errors", Json::Num(1.0)),
+                ]),
+            ),
+            (
+                "pool",
+                Json::obj([
+                    ("workers", Json::Num(4.0)),
+                    ("jobs_submitted", Json::Num(12.0)),
+                    ("jobs_executed", Json::Num(9.0)),
+                    ("jobs_deduped", Json::Num(3.0)),
+                    ("utilization", Json::Num(0.5)),
+                ]),
+            ),
+            (
+                "app",
+                Json::obj([
+                    (
+                        "cache",
+                        Json::obj([
+                            ("hits", Json::Num(6.0)),
+                            ("misses", Json::Num(2.0)),
+                            ("insertions", Json::Num(2.0)),
+                            ("evictions", Json::Num(0.0)),
+                            ("entries", Json::Num(2.0)),
+                            ("bytes", Json::Num(640.0)),
+                            ("byte_budget", Json::Num(1024.0)),
+                        ]),
+                    ),
+                    (
+                        "databases",
+                        Json::Array(vec![Json::str("serial"), Json::str("openmp")]),
+                    ),
+                ]),
+            ),
+        ]);
+        let expected = "svserve statistics\n\
+            \x20 server   connections        3   requests       12   errors      1\n\
+            \x20 pool     workers            4   executed        9   deduped     3   utilization 50.0%\n\
+            \x20 cache    hits               6   misses          2   evictions   0   hit rate 75.0%\n\
+            \x20          entries            2   bytes         640   budget     1024\n\
+            \x20 loaded   serial, openmp\n";
+        assert_eq!(render_stats(&stats), expected);
     }
 }

@@ -1,0 +1,200 @@
+//! Exporters: human-readable span tree, Chrome `trace_event` JSON, and
+//! Prometheus-style text exposition.
+//!
+//! The Chrome exporter emits the stable subset of the `trace_event`
+//! format — an array of `"ph":"X"` complete events with microsecond
+//! `ts`/`dur` — which `about:tracing` and Perfetto both load directly.
+//! JSON is written by hand (this crate has no dependencies); the output
+//! round-trips through any JSON parser, including the repo's `svjson`.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanRecord;
+use std::fmt::Write as _;
+
+/// Render spans as one indented tree per thread, children under parents,
+/// with durations — the quick-look "flamechart as text".
+pub fn render_tree(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    let mut sorted: Vec<&SpanRecord> = spans.iter().collect();
+    sorted.sort_by_key(|s| (s.tid, s.start_ns, s.depth));
+    let mut cur_tid = None;
+    for s in sorted {
+        if cur_tid != Some(s.tid) {
+            cur_tid = Some(s.tid);
+            let _ = writeln!(out, "thread {}", s.tid);
+        }
+        let indent = "  ".repeat(s.depth as usize + 1);
+        let _ = write!(out, "{indent}{} {:.3}ms", s.name, s.dur_ns() as f64 / 1e6);
+        if !s.detail.is_empty() {
+            let _ = write!(out, "  [{}]", s.detail);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialise spans as Chrome `trace_event` JSON (an array of complete
+/// events).  Load the file in `about:tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":");
+        write_json_str(&mut out, s.name);
+        out.push_str(",\"cat\":\"sv\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        let _ = write!(out, "{}", s.tid);
+        // Microseconds with nanosecond precision kept as a fraction.
+        let _ = write!(out, ",\"ts\":{}", format_us(s.start_ns));
+        let _ = write!(out, ",\"dur\":{}", format_us(s.dur_ns()));
+        if !s.detail.is_empty() {
+            out.push_str(",\"args\":{\"detail\":");
+            write_json_str(&mut out, &s.detail);
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Nanoseconds rendered as a decimal microsecond count ("1234.567") with
+/// no float rounding — timestamps stay exact and monotonic in the JSON.
+fn format_us(ns: u64) -> String {
+    let frac = ns % 1000;
+    if frac == 0 {
+        format!("{}", ns / 1000)
+    } else {
+        format!("{}.{frac:03}", ns / 1000)
+    }
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Prometheus text exposition of a metrics snapshot: counters, gauges,
+/// and histograms with cumulative `le` buckets plus `_sum`/`_count`.
+/// Metric names are sanitised to `[a-zA-Z0-9_]` (dots become underscores).
+pub fn prometheus(snap: &MetricsSnapshot) -> String {
+    fn sanitize(name: &str) -> String {
+        name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+    }
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+    }
+    for h in &snap.histograms {
+        let n = sanitize(&h.name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0u64;
+        for &(bound, count) in &h.buckets {
+            cum += count;
+            if bound == u64::MAX {
+                let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cum}");
+            } else {
+                let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cum}");
+            }
+        }
+        let _ = writeln!(out, "{n}_sum {}\n{n}_count {}", h.sum, h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                name: "request",
+                detail: String::new(),
+                tid: 0,
+                depth: 0,
+                start_ns: 1_000,
+                end_ns: 9_500,
+            },
+            SpanRecord {
+                name: "ted.compute",
+                detail: "unit=\"a\"".to_string(),
+                tid: 0,
+                depth: 1,
+                start_ns: 2_000,
+                end_ns: 8_000,
+            },
+            SpanRecord {
+                name: "pair",
+                detail: String::new(),
+                tid: 3,
+                depth: 0,
+                start_ns: 1_500,
+                end_ns: 2_500,
+            },
+        ]
+    }
+
+    #[test]
+    fn tree_renders_threads_and_nesting() {
+        let t = render_tree(&spans());
+        assert!(t.contains("thread 0\n  request"));
+        assert!(t.contains("    ted.compute"), "nested span indented deeper:\n{t}");
+        assert!(t.contains("thread 3"));
+        assert!(t.contains("[unit=\"a\"]"));
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_escaping() {
+        let j = chrome_trace(&spans());
+        assert!(j.starts_with('['));
+        assert!(j.trim_end().ends_with(']'));
+        assert!(j.contains("\"ph\":\"X\""));
+        assert!(j.contains("\"ts\":1"), "1000ns = 1us");
+        assert!(j.contains("\"ts\":1.500"), "fractional microseconds kept");
+        assert!(j.contains("\"dur\":8.500"));
+        // The quoted detail value is escaped.
+        assert!(j.contains("unit=\\\"a\\\""));
+    }
+
+    #[test]
+    fn chrome_trace_empty_is_valid() {
+        assert_eq!(chrome_trace(&[]), "[\n]\n");
+    }
+
+    #[test]
+    fn prometheus_exposition() {
+        let r = Registry::new();
+        r.counter("cache.hits").add(3);
+        r.gauge("pool.utilization").set(0.5);
+        let h = r.histogram("req.us", &[10, 100]);
+        h.record(5);
+        h.record(5000);
+        let text = prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE cache_hits counter\ncache_hits 3\n"));
+        assert!(text.contains("pool_utilization 0.5"));
+        assert!(text.contains("req_us_bucket{le=\"10\"} 1"));
+        assert!(text.contains("req_us_bucket{le=\"+Inf\"} 2"), "cumulative buckets:\n{text}");
+        assert!(text.contains("req_us_count 2"));
+    }
+}

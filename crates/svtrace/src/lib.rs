@@ -1,0 +1,64 @@
+//! # svtrace — structured tracing and metrics for the analysis pipeline
+//!
+//! The measurement substrate behind every performance claim in this repo:
+//! productivity/performance papers are only as credible as their harness
+//! (see Nanz et al.; Memeti et al.), and the SilverVale pipeline is a
+//! multi-stage compiler-shaped system whose cost profile (§V's `dmax`
+//! normalisation, the TED-strategy ablations) deserves better than
+//! `eprintln!`.  Three layers, no external dependencies:
+//!
+//! * [`span`] — thread-aware hierarchical spans with monotonic
+//!   timestamps behind the [`span!`] macro, collected into a lock-sharded
+//!   global buffer.  Disabled (the default) a span is one relaxed atomic
+//!   load — instrumentation stays resident in release binaries for free.
+//! * [`metrics`] — named counters, gauges, and fixed-bucket histograms
+//!   (p50/p90/p99) on atomic primitives.  Components own private
+//!   [`Registry`] instances (the TED cache, the job pool) or share the
+//!   process-wide [`global()`] one; snapshots merge for export.
+//! * [`export`] — a text span tree, Chrome `trace_event` JSON for
+//!   `about:tracing`/Perfetto, and Prometheus text exposition.
+//!
+//! Instrumented call sites live in `svlang` (per-stage unit compilation),
+//! `svmetrics`/`svdist` (TED pairs, `dmax` accounting, matrix fan-out),
+//! and `svserve` (per-request spans, cache/scheduler metrics).  The
+//! `silvervale` CLI surfaces traces via `--trace-out` and live metrics
+//! via the `metrics` protocol request.
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+pub use export::{chrome_trace, prometheus, render_tree};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use span::{enabled, now_ns, reset_spans, set_enabled, take_spans, SpanGuard, SpanRecord};
+
+use std::sync::OnceLock;
+
+/// The process-wide registry: cross-cutting metrics that no single
+/// component owns (TED pair counts, `dmax` totals) register here.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Default histogram bounds for microsecond latency metrics: 1µs to ~17s,
+/// factor 2 (35 buckets + overflow).
+pub fn latency_bounds_us() -> Vec<u64> {
+    Histogram::exponential(1, 2.0, 35)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn global_registry_is_shared() {
+        super::global().counter("test.global").add(2);
+        assert!(super::global().counter("test.global").get() >= 2);
+    }
+
+    #[test]
+    fn latency_bounds_cover_seconds() {
+        let b = super::latency_bounds_us();
+        assert!(b.len() == 35);
+        assert!(*b.last().unwrap() > 10_000_000, "top bucket beyond 10s");
+    }
+}

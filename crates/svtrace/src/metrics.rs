@@ -1,0 +1,391 @@
+//! Metrics registry: named counters, gauges, and fixed-bucket histograms
+//! behind atomic primitives.
+//!
+//! Handles are `Arc`s resolved once by name (one mutex hit) and then
+//! updated lock-free, so instrumented hot paths — a cache hit, a job
+//! dequeue, a TED pair — cost one `fetch_add`.  A [`Registry`] can be
+//! per-component (the TED cache and the job pool each own one, keeping
+//! unit tests isolated) or process-wide via [`crate::global`]; snapshots
+//! from several registries merge into one [`MetricsSnapshot`] for export.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, cache bytes).
+/// Stored as `f64` bits so fractional gauges (utilization) work too.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples (durations, sizes).
+///
+/// `bounds` are inclusive upper bucket edges in ascending order; one
+/// implicit saturating overflow bucket catches everything above the last
+/// bound.  Recording is two atomic adds and two atomic min/max — no lock,
+/// no allocation — so it is safe on the hottest paths.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>, // bounds.len() + 1: last is the overflow bucket
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Histogram with explicit inclusive upper bounds (must be ascending).
+    pub fn with_bounds(bounds: &[u64]) -> Histogram {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            bounds: bounds.to_vec(),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Exponential bounds `first, first*factor, …` (`count` buckets) — the
+    /// default shape for latency distributions.
+    pub fn exponential(first: u64, factor: f64, count: usize) -> Vec<u64> {
+        assert!(first > 0 && factor > 1.0 && count > 0);
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = first as f64;
+        for _ in 0..count {
+            let edge = b.round() as u64;
+            if bounds.last().is_none_or(|&l| edge > l) {
+                bounds.push(edge);
+            }
+            b *= factor;
+        }
+        bounds
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        // Saturating: a pathological sample must not wrap the sum.
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(v);
+            match self.sum.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough copy of the histogram state (counters are read
+    /// individually; exactness under concurrent writes is not required).
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let min = self.min.load(Ordering::Relaxed);
+        let snap = HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .bounds
+                .iter()
+                .copied()
+                .chain(std::iter::once(u64::MAX))
+                .zip(counts)
+                .collect(),
+        };
+        snap
+    }
+}
+
+/// Point-in-time copy of one histogram, with percentile estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    /// Saturating sum of all recorded samples.
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// `(inclusive upper bound, samples in bucket)`; the final bucket's
+    /// bound is `u64::MAX` (overflow).
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile (`0 < q <= 1`): the upper bound of the first
+    /// bucket whose cumulative count reaches `ceil(q * count)`, clamped to
+    /// the observed `max` (which makes the overflow bucket and single-
+    /// sample histograms exact).  Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A named-metric registry.  Name resolution takes the registry lock;
+/// returned handles update lock-free — resolve once, record forever.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(inner.counters.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(inner.gauges.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the histogram named `name` with the given bucket
+    /// bounds (bounds are fixed at creation; later calls reuse the first).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(
+            inner
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::with_bounds(bounds))),
+        )
+    }
+
+    /// Snapshot every metric in the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, c)| (k.clone(), c.get())).collect(),
+            gauges: inner.gauges.iter().map(|(k, g)| (k.clone(), g.get())).collect(),
+            histograms: inner.histograms.iter().map(|(k, h)| h.snapshot(k)).collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a registry (or a merge of several), serialisable
+/// by the exporters and by `svserve`'s `metrics` endpoint.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Append every metric of `other` (names are expected to be disjoint;
+    /// duplicates are kept verbatim).
+    pub fn merge(&mut self, other: MetricsSnapshot) {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+    }
+
+    /// Add a loose counter value (for legacy counters not yet on a
+    /// registry, e.g. a service-level total held in an `AtomicU64`).
+    pub fn push_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.push((name.into(), value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("reqs");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("reqs").get(), 5, "same handle by name");
+        let g = r.gauge("depth");
+        g.set(2.5);
+        assert_eq!(r.gauge("depth").get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_empty_percentiles_are_zero() {
+        let h = Histogram::with_bounds(&[1, 10, 100]);
+        let s = h.snapshot("x");
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert_eq!((s.p50(), s.p90(), s.p99()), (0, 0, 0));
+    }
+
+    #[test]
+    fn histogram_single_sample_is_exact() {
+        let h = Histogram::with_bounds(&[1, 10, 100]);
+        h.record(7);
+        let s = h.snapshot("x");
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max, s.sum), (7, 7, 7));
+        // Every quantile of a single sample is that sample (bucket bound
+        // 10 clamped to max 7).
+        assert_eq!((s.p50(), s.p90(), s.p99()), (7, 7, 7));
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_saturates() {
+        let h = Histogram::with_bounds(&[10, 100]);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(5);
+        let s = h.snapshot("x");
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets.last().unwrap().1, 2, "overflow bucket counts both");
+        assert_eq!(s.p99(), u64::MAX);
+        assert_eq!(s.p50(), u64::MAX, "rank 2 of 3 lands in overflow");
+    }
+
+    #[test]
+    fn histogram_percentiles_across_buckets() {
+        let bounds = Histogram::exponential(1, 2.0, 10); // 1,2,4,…,512
+        let h = Histogram::with_bounds(&bounds);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot("lat");
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!((s.min, s.max), (1, 100));
+        // rank 50 falls in the (32,64] bucket; rank 90/99 in (64,128],
+        // clamped to the observed max of 100.
+        assert_eq!(s.p50(), 64);
+        assert_eq!(s.p90(), 100);
+        assert_eq!(s.p99(), 100);
+    }
+
+    #[test]
+    fn exponential_bounds_dedup_and_ascend() {
+        let b = Histogram::exponential(1, 1.3, 20);
+        assert!(b.windows(2).all(|w| w[0] < w[1]), "{b:?}");
+        assert_eq!(b[0], 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_counts() {
+        let r = Arc::new(Registry::new());
+        let n_threads = 8;
+        let per_thread = 5_000u64;
+        let handles: Vec<_> = (0..n_threads)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    // Resolve by name in every thread: same underlying atomics.
+                    let c = r.counter("hits");
+                    let h = r.histogram("lat", &[8, 64, 512]);
+                    for i in 0..per_thread {
+                        c.inc();
+                        h.record((t * per_thread + i) % 1000);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = r.snapshot();
+        let total = n_threads as u64 * per_thread;
+        assert_eq!(s.counters, vec![("hits".to_string(), total)]);
+        let lat = &s.histograms[0];
+        assert_eq!(lat.count, total, "no lost histogram samples");
+        assert_eq!(lat.buckets.iter().map(|(_, n)| n).sum::<u64>(), total);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_sections() {
+        let a = Registry::new();
+        a.counter("x").inc();
+        let b = Registry::new();
+        b.gauge("y").set(1.0);
+        let mut snap = a.snapshot();
+        snap.merge(b.snapshot());
+        snap.push_counter("z", 9);
+        assert_eq!(snap.counters.len(), 2);
+        assert_eq!(snap.gauges.len(), 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Span core: thread-aware hierarchical spans with monotonic timestamps
+//! and a lock-sharded global collector.
+//!
+//! A span is opened with [`crate::span!`] (or [`SpanGuard::enter`]) and
+//! closed when its guard drops; the finished record lands in one of
+//! [`SHARDS`] mutex-protected vectors, picked by thread id, so concurrent
+//! workers (the `svpar` pool, svserve connections) never contend on a
+//! single lock.  Nesting is tracked per thread with a depth counter —
+//! spans are strictly LIFO within a thread, which is exactly the
+//! `about:tracing` "complete event" model the Chrome exporter emits.
+//!
+//! When the collector is disabled (the default), opening a span is a
+//! single relaxed atomic load and no timestamp is taken: instrumented hot
+//! paths pay nothing until someone asks for a trace.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of collector shards; thread `t` records into shard `t % SHARDS`.
+pub const SHARDS: usize = 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn span collection on or off (off by default).  Disabling does not
+/// clear previously collected spans.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when spans are being collected.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Process-wide monotonic epoch: all timestamps are nanoseconds since the
+/// first call.  `Instant` guarantees monotonicity, so a span's end never
+/// precedes its start and sibling spans order consistently.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the tracing epoch.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static call-site name, e.g. `"ted.compute"`.
+    pub name: &'static str,
+    /// Free-form `key=value` detail from the `span!` macro (may be empty).
+    pub detail: String,
+    /// Dense per-process thread id (not the OS tid).
+    pub tid: u64,
+    /// Nesting depth within the thread at open time (0 = top level).
+    pub depth: u32,
+    /// Start, nanoseconds since the tracing epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the tracing epoch (`>= start_ns`).
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+struct Collector {
+    shards: [Mutex<Vec<SpanRecord>>; SHARDS],
+}
+
+fn collector() -> &'static Collector {
+    static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Collector {
+        shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+    })
+}
+
+thread_local! {
+    static THREAD_ID: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+    static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// RAII guard for one span: created by [`crate::span!`], records on drop.
+/// When tracing is disabled the guard is inert and costs nothing.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    detail: String,
+    tid: u64,
+    depth: u32,
+    start_ns: u64,
+}
+
+impl SpanGuard {
+    /// Open a span.  Prefer the [`crate::span!`] macro, which skips
+    /// building `detail` entirely when tracing is off.
+    pub fn enter(name: &'static str, detail: String) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard { active: None };
+        }
+        let tid = THREAD_ID.with(|t| *t);
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        SpanGuard {
+            active: Some(ActiveSpan { name, detail, tid, depth, start_ns: now_ns() }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let end_ns = now_ns();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let rec = SpanRecord {
+            name: a.name,
+            detail: a.detail,
+            tid: a.tid,
+            depth: a.depth,
+            start_ns: a.start_ns,
+            end_ns,
+        };
+        let shard = (a.tid as usize) % SHARDS;
+        collector().shards[shard].lock().unwrap().push(rec);
+    }
+}
+
+/// Drain every collected span, sorted by `(tid, start_ns, depth)` — the
+/// order the tree renderer and Chrome exporter want.
+pub fn take_spans() -> Vec<SpanRecord> {
+    let mut out = Vec::new();
+    for shard in &collector().shards {
+        out.append(&mut shard.lock().unwrap());
+    }
+    out.sort_by_key(|s| (s.tid, s.start_ns, s.depth));
+    out
+}
+
+/// Discard every collected span.
+pub fn reset_spans() {
+    for shard in &collector().shards {
+        shard.lock().unwrap().clear();
+    }
+}
+
+/// Open a span named by a `&'static str`, with optional `key = value`
+/// detail pairs.  Binds an RAII guard: the span closes when the guard
+/// drops, so give it a name (`let _span = span!("stage")`) or a scope.
+///
+/// ```
+/// let _s = svtrace::span!("ted.compute", unit = "tealeaf", pair = 3);
+/// ```
+///
+/// Detail values are formatted with `Display` — but only when tracing is
+/// enabled; the disabled path never evaluates the format machinery.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name, String::new())
+    };
+    ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {
+        $crate::SpanGuard::enter($name, {
+            if $crate::enabled() {
+                let mut d = String::new();
+                $(
+                    if !d.is_empty() { d.push(' '); }
+                    d.push_str(concat!(stringify!($key), "="));
+                    d.push_str(&format!("{}", $val));
+                )+
+                d
+            } else {
+                String::new()
+            }
+        })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// Tests share the global collector; serialise them.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        let g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset_spans();
+        set_enabled(true);
+        g
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = guard();
+        set_enabled(false);
+        {
+            let _s = crate::span!("quiet");
+        }
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn nesting_depth_and_monotonic_timestamps() {
+        let _g = guard();
+        {
+            let _outer = crate::span!("outer");
+            let _inner = crate::span!("inner", unit = "x", i = 3);
+        }
+        set_enabled(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 2);
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.detail, "unit=x i=3");
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns <= outer.end_ns);
+        assert!(outer.end_ns >= outer.start_ns);
+    }
+
+    #[test]
+    fn spans_from_many_threads_all_collected() {
+        let _g = guard();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let _s = crate::span!("worker", idx = i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        set_enabled(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 8 * 50);
+        // Sorted by (tid, start): within a tid, starts are monotonic.
+        for w in spans.windows(2) {
+            if w[0].tid == w[1].tid {
+                assert!(w[0].start_ns <= w[1].start_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_recovers_after_drop() {
+        let _g = guard();
+        {
+            let _a = crate::span!("a");
+        }
+        {
+            let _b = crate::span!("b");
+        }
+        set_enabled(false);
+        let spans = take_spans();
+        assert!(spans.iter().all(|s| s.depth == 0), "{spans:?}");
+    }
+}

@@ -23,6 +23,41 @@ fn num(v: Option<&Json>) -> f64 {
 }
 
 #[test]
+fn metrics_request_inspects_a_live_server() {
+    let (handle, _service) = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .call("index", Json::obj([("app", Json::str("minibude"))]))
+        .unwrap();
+    client
+        .call(
+            "matrix",
+            Json::obj([("db", Json::str("minibude")), ("metric", Json::str("t_sem"))]),
+        )
+        .unwrap();
+    let m = client.call("metrics", Json::Null).unwrap();
+    let counters = m.get("counters").expect("counters section");
+    // Server, pool, app-service, and cache registries are all merged in.
+    assert!(num(counters.get("server.requests")) >= 3.0);
+    assert!(num(counters.get("pool.executed")) >= 2.0);
+    assert!(num(counters.get("service.pair_computes")) > 0.0);
+    assert!(num(counters.get("cache.insertions")) > 0.0);
+    assert_eq!(num(counters.get("service.databases")), 1.0);
+    // Pool latency histograms carry one sample per executed job.
+    let hists = m.get("histograms").expect("histograms section");
+    let wait = hists.get("pool.queue_wait_us").expect("queue-wait histogram");
+    assert!(num(wait.get("count")) >= 2.0);
+    assert!(num(wait.get("p50")) <= num(wait.get("max")));
+    let exec = hists.get("pool.exec_us").expect("exec-time histogram");
+    assert!(num(exec.get("max")) > 0.0, "matrix job took measurable time");
+    // Cache gauges reflect resident entries.
+    let gauges = m.get("gauges").expect("gauges section");
+    assert!(num(gauges.get("cache.entries")) > 0.0);
+    assert!(num(gauges.get("cache.bytes")) > 0.0);
+    handle.shutdown();
+}
+
+#[test]
 fn index_compare_cluster_session_end_to_end() {
     let (handle, _service) = start_server();
     let mut client = Client::connect(handle.addr()).unwrap();

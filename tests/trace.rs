@@ -1,0 +1,86 @@
+//! End-to-end tracing: a traced compare/matrix run must produce a
+//! well-formed Chrome `trace_event` JSON document that round-trips
+//! through the repo's own `svjson` parser, with a span for every
+//! pipeline stage, parent/child nesting, and monotonic timestamps.
+//!
+//! Span collection is process-global, so everything lives in ONE test
+//! function — a second concurrently-running test would interleave its
+//! spans into ours.
+
+use silvervale::svjson::{self, Json};
+use silvervale::{divergence_from, index_app, model_matrix};
+use svcorpus::App;
+use svmetrics::{Metric, Variant};
+
+#[test]
+fn traced_compare_run_round_trips_through_svjson() {
+    svtrace::reset_spans();
+    svtrace::set_enabled(true);
+    let db = index_app(App::BabelStream, false).expect("index babelstream");
+    let matrix = model_matrix(&db, Metric::TSem, Variant::PLAIN);
+    let divs = divergence_from(&db, Metric::TSem, Variant::PLAIN, "Serial").expect("compare");
+    svtrace::set_enabled(false);
+    let spans = svtrace::take_spans();
+    assert!(!divs.is_empty() && matrix.len() == divs.len());
+
+    // Every pipeline stage shows up.
+    for stage in [
+        "unit.compile",
+        "unit.preprocess",
+        "unit.lex",
+        "unit.normalise",
+        "unit.parse",
+        "unit.lower",
+        "unit.inline",
+        "matrix.build",
+        "matrix.pair",
+        "ted.compute",
+    ] {
+        assert!(
+            spans.iter().any(|s| s.name == stage),
+            "no '{stage}' span among {} spans",
+            spans.len()
+        );
+    }
+    // One matrix.pair span per upper-triangle cell.
+    let n = matrix.len();
+    let pairs = spans.iter().filter(|s| s.name == "matrix.pair").count();
+    assert_eq!(pairs, n * (n - 1) / 2);
+
+    // Nesting: stage spans sit strictly inside their unit.compile parent.
+    let compile = spans.iter().find(|s| s.name == "unit.compile").unwrap();
+    let child = spans
+        .iter()
+        .find(|s| s.name == "unit.lex" && s.tid == compile.tid && s.start_ns >= compile.start_ns)
+        .expect("a unit.lex on the same thread as unit.compile");
+    assert!(child.depth > compile.depth, "child is deeper");
+    assert!(child.end_ns <= compile.end_ns, "child ends inside its parent");
+
+    // The Chrome export parses with our own JSON parser…
+    let trace = svtrace::chrome_trace(&spans);
+    let parsed = svjson::parse(&trace).expect("chrome trace is valid JSON");
+    let events = parsed.as_array().expect("top level is an event array");
+    assert_eq!(events.len(), spans.len());
+
+    // …and every event is a well-formed complete event with monotonic
+    // timestamps per thread.
+    let mut last_ts: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(ev.get("name").and_then(Json::as_str).is_some());
+        let tid = ev.get("tid").and_then(Json::as_f64).expect("tid") as u64;
+        let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
+        let dur = ev.get("dur").and_then(Json::as_f64).expect("dur");
+        assert!(ts >= 0.0 && dur >= 0.0);
+        let prev = last_ts.insert(tid, ts).unwrap_or(0.0);
+        assert!(ts >= prev, "timestamps monotonic within thread {tid}: {prev} -> {ts}");
+    }
+
+    // The text tree renders the same spans (smoke check).
+    let tree = svtrace::render_tree(&spans);
+    assert!(tree.contains("unit.compile") && tree.contains("ted.compute"));
+
+    // Disabled again: new work records nothing.
+    let _ = model_matrix(&db, Metric::TSem, Variant::PLAIN);
+    assert!(svtrace::take_spans().is_empty(), "disabled tracing records no spans");
+}
