@@ -17,13 +17,8 @@ fn main() {
         let covd = Measured::with_coverage(&u, &run.coverage);
         let full = tree_of(&plain, Metric::TSem, Variant::PLAIN).size();
         let masked = tree_of(&covd, Metric::TSem, Variant::COVERAGE).size();
-        let d_plain = divergence(
-            Metric::TSem,
-            Variant::PLAIN,
-            &Measured::new(&serial),
-            &plain,
-        )
-        .normalized();
+        let d_plain =
+            divergence(Metric::TSem, Variant::PLAIN, &Measured::new(&serial), &plain).normalized();
         let d_cov = divergence(
             Metric::TSem,
             Variant::COVERAGE,

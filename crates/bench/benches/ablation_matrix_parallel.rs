@@ -23,9 +23,8 @@ fn main() {
     let seq = divergence_matrix_seq(Metric::TSem, Variant::PLAIN, &labels, &measured);
     let t_seq = t0.elapsed().as_secs_f64();
 
-    let mut out = String::from(
-        "Divergence-matrix parallelism ablation (TeaLeaf, T_sem, 45 TED pairs)\n\n",
-    );
+    let mut out =
+        String::from("Divergence-matrix parallelism ablation (TeaLeaf, T_sem, 45 TED pairs)\n\n");
     out.push_str(&format!("sequential reference: {:.4} s\n\n", t_seq));
     out.push_str("threads   seconds    speedup   identical\n");
 
@@ -37,10 +36,7 @@ fn main() {
         let t_par = t1.elapsed().as_secs_f64();
         assert_eq!(par, seq, "parallel matrix must be bit-identical to sequential");
         let note = if threads > hw { " (oversubscribed)" } else { "" };
-        out.push_str(&format!(
-            "{threads:>7} {t_par:>10.4} {:>9.2}x   yes{note}\n",
-            t_seq / t_par
-        ));
+        out.push_str(&format!("{threads:>7} {t_par:>10.4} {:>9.2}x   yes{note}\n", t_seq / t_par));
     }
     svpar::set_threads(0);
     save_figure("ablation_matrix_parallel.txt", &out);

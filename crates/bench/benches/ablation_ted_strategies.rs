@@ -26,10 +26,7 @@ fn main() {
         CostModel { delete: 1, insert: 1, relabel: 3 },
     ] {
         let d = ted_with(&a, &b, cm, Strategy::Auto);
-        out.push_str(&format!(
-            "  d={}/i={}/r={} → {d}\n",
-            cm.delete, cm.insert, cm.relabel
-        ));
+        out.push_str(&format!("  d={}/i={}/r={} → {d}\n", cm.delete, cm.insert, cm.relabel));
     }
 
     // Operation composition of the optimal script (what per-operation

@@ -24,8 +24,6 @@ fn main() {
     c.bench_function("fig04/tsem_divergence_matrix", |b| {
         b.iter(|| model_matrix(&db, Metric::TSem, Variant::PLAIN))
     });
-    c.bench_function("fig04/clustering", |b| {
-        b.iter(|| svcluster::cluster_rows(&matrix))
-    });
+    c.bench_function("fig04/clustering", |b| b.iter(|| svcluster::cluster_rows(&matrix)));
     c.final_summary();
 }

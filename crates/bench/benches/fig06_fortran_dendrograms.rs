@@ -7,7 +7,9 @@ use svmetrics::{Metric, Variant};
 fn main() {
     let db = index_fortran().unwrap();
     let mut out = String::from("Fig. 6 — BabelStream Fortran model clustering per metric\n\n");
-    for metric in [Metric::Lloc, Metric::Sloc, Metric::Source, Metric::TSrc, Metric::TSem, Metric::TIr] {
+    for metric in
+        [Metric::Lloc, Metric::Sloc, Metric::Source, Metric::TSrc, Metric::TSem, Metric::TIr]
+    {
         let d = model_dendrogram(&db, metric, Variant::PLAIN);
         out.push_str(&format!("--- {} ---\n{}\n", metric.name(), d.render()));
     }

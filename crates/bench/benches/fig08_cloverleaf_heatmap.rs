@@ -9,7 +9,8 @@ use svmetrics::{Metric, Variant};
 mod fig07;
 
 fn main() {
-    let out = fig07::heatmap_for(App::CloverLeaf, "Fig. 8 — CloverLeaf divergence from serial (0..1)");
+    let out =
+        fig07::heatmap_for(App::CloverLeaf, "Fig. 8 — CloverLeaf divergence from serial (0..1)");
     save_figure("fig08_cloverleaf_heatmap.txt", &out);
 
     let db = index_app(App::CloverLeaf, false).unwrap();

@@ -8,11 +8,8 @@ use svmetrics::{Metric, Variant};
 fn main() {
     let db = index_app(App::TeaLeaf, false).unwrap();
     let metrics = [Metric::Source, Metric::TSrc, Metric::TSem, Metric::TIr];
-    let targets: Vec<&str> = Model::ALL
-        .iter()
-        .filter(|m| m.is_offload())
-        .map(|m| m.name())
-        .collect();
+    let targets: Vec<&str> =
+        Model::ALL.iter().filter(|m| m.is_offload()).map(|m| m.name()).collect();
     let mut out = String::new();
     let mut csv = String::from("base,model,Source,T_src,T_sem,T_ir\n");
     for (fig, base) in [("Fig. 9", "Serial"), ("Fig. 10", "CUDA")] {

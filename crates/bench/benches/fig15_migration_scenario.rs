@@ -8,7 +8,8 @@ use svperf::migration_scenario;
 fn main() {
     let app = App::TeaLeaf;
     let scenario = migration_scenario(app);
-    let mut out = String::from("Fig. 15 — picking the right model, starting from an unportable one\n\n");
+    let mut out =
+        String::from("Fig. 15 — picking the right model, starting from an unportable one\n\n");
     for (desc, platforms, phi) in &scenario.stages {
         out.push_str(&format!("{desc}\n  platforms: {platforms:?}\n  Φ(CUDA) = {phi:.3}\n\n"));
     }

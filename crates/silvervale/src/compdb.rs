@@ -80,14 +80,12 @@ fn shell_split(cmd: &str) -> Vec<String> {
 /// Parse a `compile_commands.json` document.
 pub fn parse_compile_commands(text: &str) -> Result<Vec<CompileCommand>, JsonError> {
     let v = parse(text)?;
-    let entries = v.as_array().ok_or(JsonError {
-        offset: 0,
-        message: "compile_commands.json must be an array".into(),
-    })?;
+    let entries = v
+        .as_array()
+        .ok_or(JsonError { offset: 0, message: "compile_commands.json must be an array".into() })?;
     let mut out = Vec::with_capacity(entries.len());
     for e in entries {
-        let directory =
-            e.get("directory").and_then(Json::as_str).unwrap_or(".").to_string();
+        let directory = e.get("directory").and_then(Json::as_str).unwrap_or(".").to_string();
         let file = e
             .get("file")
             .and_then(Json::as_str)

@@ -40,7 +40,12 @@ impl CodebaseDb {
     }
 
     /// Add an entry.
-    pub fn push(&mut self, label: impl Into<String>, artifacts: Artifacts, coverage: Option<CoverageMask>) {
+    pub fn push(
+        &mut self,
+        label: impl Into<String>,
+        artifacts: Artifacts,
+        coverage: Option<CoverageMask>,
+    ) {
         self.entries.push(DbEntry { label: label.into(), artifacts, coverage });
     }
 
@@ -263,7 +268,11 @@ mod tests {
             lloc_post: 1,
             t_src: Tree::from_sexpr("(Source Kw(int) Ident)").unwrap(),
             t_src_pp: Tree::from_sexpr("(Source Ident)").unwrap(),
-            t_sem: Tree::from_sexpr(&format!("(TranslationUnit (VarDecl(int) IntegerLiteral({})))", tag.len())).unwrap(),
+            t_sem: Tree::from_sexpr(&format!(
+                "(TranslationUnit (VarDecl(int) IntegerLiteral({})))",
+                tag.len()
+            ))
+            .unwrap(),
             t_sem_inl: Tree::from_sexpr("(TranslationUnit VarDecl(int))").unwrap(),
             t_ir: Tree::from_sexpr("(IRModule (define (block alloca ret)))").unwrap(),
         }

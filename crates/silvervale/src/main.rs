@@ -14,13 +14,13 @@
 use silvervale::serve::{parse_app, parse_metric, AnalysisService, DEFAULT_CACHE_BYTES};
 use silvervale::svjson::Json;
 use silvervale::{
-    divergence_from, index_app, index_compilation_db, index_fortran, inventory,
-    model_dendrogram, model_matrix, navigation_chart, parse_compile_commands, CodebaseDb,
+    divergence_from, index_app, index_compilation_db, index_fortran, inventory, model_dendrogram,
+    model_matrix, navigation_chart, parse_compile_commands, CodebaseDb,
 };
+use std::process::ExitCode;
 use svcluster::Heatmap;
 use svlang::source::SourceSet;
 use svmetrics::Variant;
-use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
@@ -36,7 +36,8 @@ USAGE:
   silvervale cluster   <DB> [--metric M] [--pp] [--cov] [--inline] [--trace-out FILE]
   silvervale chart     <DB> --app <name>
   silvervale cascade   --app <name>
-  silvervale serve     [--addr HOST:PORT] [--threads N] [--cache-mb N] [--trace-out FILE] [DB...]
+  silvervale serve     [--addr HOST:PORT] [--threads N] [--cache-mb N] [--deadline-ms N]
+                       [--max-queue N] [--trace-out FILE] [DB...]
   silvervale client    --addr HOST:PORT <method> [PARAMS-JSON]
   silvervale stats     --addr HOST:PORT [--follow]
 
@@ -45,7 +46,12 @@ USAGE:
 
   --trace-out FILE writes a Chrome trace_event JSON of the run's spans
   (open in Perfetto / chrome://tracing); `client metrics --addr ...`
-  dumps a live server's metric registries."
+  dumps a live server's metric registries.
+
+  serve answers each request within --deadline-ms (error
+  'deadline_exceeded'; 0 or unset disables the deadline) and sheds load
+  past --max-queue queued jobs (retryable error 'overloaded'); `client
+  health --addr ...` probes liveness."
     );
     std::process::exit(2);
 }
@@ -65,8 +71,18 @@ impl Args {
             if let Some(name) = a.strip_prefix("--") {
                 // value flags take the next token unless it is also a flag
                 let value_flags = [
-                    "app", "metric", "from", "compile-db", "src-dir", "out", "addr",
-                    "threads", "cache-mb", "trace-out",
+                    "app",
+                    "metric",
+                    "from",
+                    "compile-db",
+                    "src-dir",
+                    "out",
+                    "addr",
+                    "threads",
+                    "cache-mb",
+                    "trace-out",
+                    "deadline-ms",
+                    "max-queue",
                 ];
                 if value_flags.contains(&name) && i + 1 < argv.len() {
                     flags.push((name.to_string(), Some(argv[i + 1].clone())));
@@ -91,10 +107,7 @@ impl Args {
     }
 
     fn value(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(n, v)| n == name && v.is_some())
-            .and_then(|(_, v)| v.as_deref())
+        self.flags.iter().find(|(n, v)| n == name && v.is_some()).and_then(|(_, v)| v.as_deref())
     }
 }
 
@@ -149,35 +162,26 @@ fn run() -> Result<(), String> {
     match cmd.as_str() {
         "index" => {
             let db = if let Some(app_name) = args.value("app") {
-                let app = parse_app(app_name)
-                    .ok_or_else(|| format!("unknown app '{app_name}'"))?;
+                let app = parse_app(app_name).ok_or_else(|| format!("unknown app '{app_name}'"))?;
                 index_app(app, args.flag("coverage")).map_err(|e| e.to_string())?
             } else if args.flag("fortran") {
                 index_fortran().map_err(|e| e.to_string())?
             } else if let Some(cdb_path) = args.value("compile-db") {
-                let src_dir = args
-                    .value("src-dir")
-                    .ok_or("--compile-db requires --src-dir")?;
+                let src_dir = args.value("src-dir").ok_or("--compile-db requires --src-dir")?;
                 let text = std::fs::read_to_string(cdb_path)
                     .map_err(|e| format!("cannot read {cdb_path}: {e}"))?;
-                let commands =
-                    parse_compile_commands(&text).map_err(|e| e.to_string())?;
+                let commands = parse_compile_commands(&text).map_err(|e| e.to_string())?;
                 let mut sources = SourceSet::new();
                 svcorpus::add_system_headers(&mut sources);
                 load_sources(&mut sources, std::path::Path::new(src_dir), src_dir)?;
-                index_compilation_db("codebase", &sources, &commands)
-                    .map_err(|e| e.to_string())?
+                index_compilation_db("codebase", &sources, &commands).map_err(|e| e.to_string())?
             } else {
                 return Err("index needs --app, --fortran, or --compile-db".into());
             };
             let out = args.value("out").unwrap_or("codebase.svdb");
             let bytes = db.to_bytes();
             std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
-            println!(
-                "indexed {} units into {out} ({} bytes)",
-                db.entries.len(),
-                bytes.len()
-            );
+            println!("indexed {} units into {out} ({} bytes)", db.entries.len(), bytes.len());
             Ok(())
         }
         "inventory" => {
@@ -187,16 +191,15 @@ fn run() -> Result<(), String> {
         }
         "compare" => {
             let db = load_db(args.positional.first().ok_or("compare needs a DB path")?)?;
-            let metric = parse_metric(args.value("metric").unwrap_or("t_sem"))
-                .ok_or("unknown metric")?;
+            let metric =
+                parse_metric(args.value("metric").unwrap_or("t_sem")).ok_or("unknown metric")?;
             let v = variant_of(&args);
             let base = args
                 .value("from")
                 .map(str::to_string)
                 .unwrap_or_else(|| db.labels().first().cloned().unwrap_or_default());
             let trace = TraceOut::begin(&args);
-            let mut divs =
-                divergence_from(&db, metric, v, &base).map_err(|e| e.to_string())?;
+            let mut divs = divergence_from(&db, metric, v, &base).map_err(|e| e.to_string())?;
             trace.finish()?;
             divs.sort_by(|a, b| a.1.total_cmp(&b.1));
             println!("{}{} divergence from {base}:", metric.name(), v.label());
@@ -207,8 +210,8 @@ fn run() -> Result<(), String> {
         }
         "matrix" => {
             let db = load_db(args.positional.first().ok_or("matrix needs a DB path")?)?;
-            let metric = parse_metric(args.value("metric").unwrap_or("t_sem"))
-                .ok_or("unknown metric")?;
+            let metric =
+                parse_metric(args.value("metric").unwrap_or("t_sem")).ok_or("unknown metric")?;
             let v = variant_of(&args);
             let trace = TraceOut::begin(&args);
             let matrix = model_matrix(&db, metric, v);
@@ -223,8 +226,8 @@ fn run() -> Result<(), String> {
         }
         "cluster" => {
             let db = load_db(args.positional.first().ok_or("cluster needs a DB path")?)?;
-            let metric = parse_metric(args.value("metric").unwrap_or("t_sem"))
-                .ok_or("unknown metric")?;
+            let metric =
+                parse_metric(args.value("metric").unwrap_or("t_sem")).ok_or("unknown metric")?;
             let v = variant_of(&args);
             let trace = TraceOut::begin(&args);
             let matrix = model_matrix(&db, metric, v);
@@ -238,16 +241,14 @@ fn run() -> Result<(), String> {
         "chart" => {
             let db = load_db(args.positional.first().ok_or("chart needs a DB path")?)?;
             let app_name = args.value("app").ok_or("chart needs --app")?;
-            let app =
-                parse_app(app_name).ok_or_else(|| format!("unknown app '{app_name}'"))?;
+            let app = parse_app(app_name).ok_or_else(|| format!("unknown app '{app_name}'"))?;
             let chart = navigation_chart(app, &db).map_err(|e| e.to_string())?;
             println!("{}", chart.render());
             Ok(())
         }
         "cascade" => {
             let app_name = args.value("app").ok_or("cascade needs --app")?;
-            let app =
-                parse_app(app_name).ok_or_else(|| format!("unknown app '{app_name}'"))?;
+            let app = parse_app(app_name).ok_or_else(|| format!("unknown app '{app_name}'"))?;
             println!("{}", svperf::cascade(app).render());
             Ok(())
         }
@@ -258,10 +259,20 @@ fn run() -> Result<(), String> {
                 None => svpar::num_threads(),
             };
             let cache_bytes = match args.value("cache-mb") {
-                Some(mb) => {
-                    mb.parse::<usize>().map_err(|_| "--cache-mb needs a number")? << 20
-                }
+                Some(mb) => mb.parse::<usize>().map_err(|_| "--cache-mb needs a number")? << 20,
                 None => DEFAULT_CACHE_BYTES,
+            };
+            // 0 disables the per-request deadline (the default).
+            let deadline = match args.value("deadline-ms") {
+                Some(ms) => {
+                    let ms = ms.parse::<u64>().map_err(|_| "--deadline-ms needs a number")?;
+                    (ms > 0).then(|| std::time::Duration::from_millis(ms))
+                }
+                None => None,
+            };
+            let max_queue = match args.value("max-queue") {
+                Some(n) => n.parse::<usize>().map_err(|_| "--max-queue needs a number")?,
+                None => svserve::sched::DEFAULT_MAX_QUEUE,
             };
             let service = AnalysisService::new(cache_bytes);
             for path in &args.positional {
@@ -273,10 +284,14 @@ fn run() -> Result<(), String> {
             let mut router = svserve::Router::new();
             service.register_on(&mut router);
             let trace = TraceOut::begin(&args);
-            let handle = svserve::serve(addr, router, threads)
+            let config =
+                svserve::ServeConfig { workers: threads, max_queue, deadline, faults: None };
+            let handle = svserve::serve_with(addr, router, config)
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
-            println!("serving on {} ({threads} workers); send a 'shutdown' request to stop",
-                handle.addr());
+            println!(
+                "serving on {} ({threads} workers); send a 'shutdown' request to stop",
+                handle.addr()
+            );
             // Block until a client requests shutdown, then report.
             let stats = handle.wait();
             trace.finish()?;
@@ -291,9 +306,7 @@ fn run() -> Result<(), String> {
                 loop {
                     let mut client = match svserve::Client::connect(addr) {
                         Ok(c) => c,
-                        Err(e) if first => {
-                            return Err(format!("cannot connect to {addr}: {e}"))
-                        }
+                        Err(e) if first => return Err(format!("cannot connect to {addr}: {e}")),
                         Err(_) => break, // server shut down mid-follow
                     };
                     let stats = match client.call("stats", Json::Null) {
@@ -310,14 +323,11 @@ fn run() -> Result<(), String> {
             let (method, params) = if cmd == "stats" {
                 ("stats".to_string(), Json::Null)
             } else {
-                let method = args
-                    .positional
-                    .first()
-                    .ok_or("client needs a method name")?
-                    .clone();
+                let method = args.positional.first().ok_or("client needs a method name")?.clone();
                 let params = match args.positional.get(1) {
-                    Some(text) => silvervale::svjson::parse(text)
-                        .map_err(|e| format!("bad params: {e}"))?,
+                    Some(text) => {
+                        silvervale::svjson::parse(text).map_err(|e| format!("bad params: {e}"))?
+                    }
                     None => Json::Null,
                 };
                 (method, params)
@@ -342,11 +352,7 @@ fn run() -> Result<(), String> {
 
 /// Recursively load source files from `dir` into the source set, keyed by
 /// their path relative to `root`.
-fn load_sources(
-    sources: &mut SourceSet,
-    dir: &std::path::Path,
-    root: &str,
-) -> Result<(), String> {
+fn load_sources(sources: &mut SourceSet, dir: &std::path::Path, root: &str) -> Result<(), String> {
     let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {dir:?}: {e}"))?;
     for entry in entries {
         let entry = entry.map_err(|e| e.to_string())?;
@@ -362,13 +368,8 @@ fn load_sources(
         if !ok_ext {
             continue;
         }
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let text =
-            std::fs::read_to_string(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path:?}: {e}"))?;
         sources.add(rel, text);
     }
     Ok(())

@@ -59,9 +59,7 @@ pub fn index_compilation_db(
 ) -> Result<CodebaseDb, Error> {
     let mut db = CodebaseDb::new(name);
     for cmd in commands {
-        let main = sources
-            .lookup(&cmd.file)
-            .ok_or_else(|| Error::MissingFile(cmd.file.clone()))?;
+        let main = sources.lookup(&cmd.file).ok_or_else(|| Error::MissingFile(cmd.file.clone()))?;
         let opts = UnitOptions { defines: cmd.defines(), inline_depth: None };
         let unit = compile_unit(sources, main, &opts)?;
         db.push(cmd.file.clone(), Artifacts::from_unit(&unit), None);
@@ -175,9 +173,7 @@ mod tests {
         assert_eq!(m.len(), 10);
         assert!(m.get_by_label("CUDA", "HIP").unwrap() > 0.0);
         // CUDA should be closer to HIP than to Kokkos.
-        assert!(
-            m.get_by_label("CUDA", "HIP").unwrap() < m.get_by_label("CUDA", "Kokkos").unwrap()
-        );
+        assert!(m.get_by_label("CUDA", "HIP").unwrap() < m.get_by_label("CUDA", "Kokkos").unwrap());
     }
 
     #[test]
@@ -204,7 +200,10 @@ mod tests {
     fn compilation_db_workflow() {
         use crate::compdb::parse_compile_commands;
         let mut ss = SourceSet::new();
-        ss.add("a.cpp", "#ifdef FAST\nint fast_path() { return 1; }\n#endif\nint main() { return 0; }");
+        ss.add(
+            "a.cpp",
+            "#ifdef FAST\nint fast_path() { return 1; }\n#endif\nint main() { return 0; }",
+        );
         let cmds = parse_compile_commands(
             r#"[
               {"directory":".","file":"a.cpp","arguments":["c++","-DFAST","a.cpp"]},
@@ -215,9 +214,7 @@ mod tests {
         let db = index_compilation_db("demo", &ss, &cmds).unwrap();
         assert_eq!(db.entries.len(), 2);
         // The -DFAST variant has one more function.
-        assert!(
-            db.entries[0].artifacts.t_sem.size() > db.entries[1].artifacts.t_sem.size()
-        );
+        assert!(db.entries[0].artifacts.t_sem.size() > db.entries[1].artifacts.t_sem.size());
     }
 
     #[test]

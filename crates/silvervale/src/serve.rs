@@ -12,7 +12,7 @@ use crate::db::CodebaseDb;
 use crate::pipeline::{self, measured_entries};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use svcluster::{cluster_rows, Heatmap};
 use svcorpus::App;
 use svdist::DistanceMatrix;
@@ -31,6 +31,16 @@ pub struct AnalysisService {
     /// Pairwise distances actually computed (cache misses that ran a TED
     /// or line edit distance) — the "no recompute" observable.
     pair_computes: AtomicU64,
+}
+
+/// Lock the DB registry tolerating poisoning: handler panics are isolated
+/// by the job pool, and a panic must not wedge the registry for every
+/// later request (the map is always left in a consistent state — each
+/// critical section is a single insert or read).
+fn lock_dbs(
+    m: &Mutex<HashMap<String, Arc<CodebaseDb>>>,
+) -> MutexGuard<'_, HashMap<String, Arc<CodebaseDb>>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Parse a metric name as the CLI spells it.
@@ -65,10 +75,7 @@ fn bool_param(params: &Json, key: &str) -> bool {
 }
 
 fn metric_param(params: &Json) -> Result<Metric, ServeError> {
-    let name = params
-        .get("metric")
-        .and_then(Json::as_str)
-        .unwrap_or("t_sem");
+    let name = params.get("metric").and_then(Json::as_str).unwrap_or("t_sem");
     parse_metric(name).ok_or_else(|| ServeError::bad_params(format!("unknown metric '{name}'")))
 }
 
@@ -91,7 +98,7 @@ impl AnalysisService {
 
     /// Register a DB under `name` (replacing any previous one).
     pub fn insert_db(&self, name: impl Into<String>, db: CodebaseDb) {
-        self.dbs.lock().unwrap().insert(name.into(), Arc::new(db));
+        lock_dbs(&self.dbs).insert(name.into(), Arc::new(db));
     }
 
     /// Total pairwise distances computed (as opposed to cache-served).
@@ -100,9 +107,7 @@ impl AnalysisService {
     }
 
     fn db(&self, name: &str) -> Result<Arc<CodebaseDb>, ServeError> {
-        self.dbs
-            .lock()
-            .unwrap()
+        lock_dbs(&self.dbs)
             .get(name)
             .cloned()
             .ok_or_else(|| ServeError::not_found(format!("no database '{name}' is loaded")))
@@ -120,11 +125,16 @@ impl AnalysisService {
             return pipeline::model_matrix(db, metric, v);
         }
         let measured = measured_entries(db, v);
-        let arts: Vec<FpArtifact> =
-            measured.iter().map(|m| FpArtifact::of(m, metric, v)).collect();
+        let arts: Vec<FpArtifact> = measured.iter().map(|m| FpArtifact::of(m, metric, v)).collect();
         DistanceMatrix::from_fn_par(db.labels(), |i, j| {
-            let pair =
-                cached::pair_cached(&self.cache, metric, v, &arts[i], &arts[j], &self.pair_computes);
+            let pair = cached::pair_cached(
+                &self.cache,
+                metric,
+                v,
+                &arts[i],
+                &arts[j],
+                &self.pair_computes,
+            );
             cached::matrix_cell(metric, &pair)
         })
     }
@@ -139,11 +149,10 @@ impl AnalysisService {
         base: &str,
     ) -> Result<Vec<(String, f64)>, ServeError> {
         let measured = measured_entries(db, v);
-        let base_idx = db
-            .labels()
-            .iter()
-            .position(|l| l == base)
-            .ok_or_else(|| ServeError::not_found(format!("no unit '{base}' in the database")))?;
+        let base_idx =
+            db.labels().iter().position(|l| l == base).ok_or_else(|| {
+                ServeError::not_found(format!("no unit '{base}' in the database"))
+            })?;
         let out = if cached::supports(metric) {
             let arts: Vec<FpArtifact> =
                 measured.iter().map(|m| FpArtifact::of(m, metric, v)).collect();
@@ -176,7 +185,7 @@ impl AnalysisService {
         router.register("load", move |p| svc.handle_load(p));
         let svc = Arc::clone(self);
         router.register("dbs", move |_| {
-            let mut names: Vec<String> = svc.dbs.lock().unwrap().keys().cloned().collect();
+            let mut names: Vec<String> = lock_dbs(&svc.dbs).keys().cloned().collect();
             names.sort();
             Ok(Json::Array(names.into_iter().map(Json::Str).collect()))
         });
@@ -204,14 +213,14 @@ impl AnalysisService {
     pub fn metrics_snapshot(&self) -> svtrace::MetricsSnapshot {
         let mut snap = self.cache.registry().snapshot();
         snap.push_counter("service.pair_computes", self.pair_computes());
-        snap.push_counter("service.databases", self.dbs.lock().unwrap().len() as u64);
+        snap.push_counter("service.databases", lock_dbs(&self.dbs).len() as u64);
         snap
     }
 
     /// The `app` section of the `stats` response.
     pub fn stats_json(&self) -> Json {
         let c = self.cache.stats();
-        let mut names: Vec<String> = self.dbs.lock().unwrap().keys().cloned().collect();
+        let mut names: Vec<String> = lock_dbs(&self.dbs).keys().cloned().collect();
         names.sort();
         Json::obj([
             (
@@ -244,17 +253,11 @@ impl AnalysisService {
                 .map_err(|e| ServeError::internal(e.to_string()))?;
             (app_name, db)
         };
-        let name = params
-            .get("name")
-            .and_then(Json::as_str)
-            .map(str::to_string)
-            .unwrap_or(default_name);
+        let name =
+            params.get("name").and_then(Json::as_str).map(str::to_string).unwrap_or(default_name);
         let units = db.entries.len();
         self.insert_db(name.clone(), db);
-        Ok(Json::obj([
-            ("db", Json::str(name)),
-            ("units", Json::Num(units as f64)),
-        ]))
+        Ok(Json::obj([("db", Json::str(name)), ("units", Json::Num(units as f64))]))
     }
 
     fn handle_load(&self, params: &Json) -> Result<Json, ServeError> {
@@ -263,23 +266,11 @@ impl AnalysisService {
             .map_err(|e| ServeError::not_found(format!("cannot read {path}: {e}")))?;
         let db = CodebaseDb::from_bytes(&bytes)
             .map_err(|e| ServeError::bad_params(format!("cannot parse {path}: {e}")))?;
-        let stem = path
-            .rsplit('/')
-            .next()
-            .unwrap_or(&path)
-            .trim_end_matches(".svdb")
-            .to_string();
-        let name = params
-            .get("name")
-            .and_then(Json::as_str)
-            .map(str::to_string)
-            .unwrap_or(stem);
+        let stem = path.rsplit('/').next().unwrap_or(&path).trim_end_matches(".svdb").to_string();
+        let name = params.get("name").and_then(Json::as_str).map(str::to_string).unwrap_or(stem);
         let units = db.entries.len();
         self.insert_db(name.clone(), db);
-        Ok(Json::obj([
-            ("db", Json::str(name)),
-            ("units", Json::Num(units as f64)),
-        ]))
+        Ok(Json::obj([("db", Json::str(name)), ("units", Json::Num(units as f64))]))
     }
 
     fn handle_compare(&self, params: &Json) -> Result<Json, ServeError> {
@@ -352,10 +343,7 @@ fn matrix_json(metric: Metric, v: Variant, m: &DistanceMatrix) -> Json {
     Json::obj([
         ("metric", Json::str(metric.name())),
         ("variant", Json::str(v.label())),
-        (
-            "labels",
-            Json::Array(m.labels().iter().map(|l| Json::str(l.clone())).collect()),
-        ),
+        ("labels", Json::Array(m.labels().iter().map(|l| Json::str(l.clone())).collect())),
         ("rows", Json::Array(rows)),
     ])
 }
@@ -412,11 +400,9 @@ mod tests {
         let svc = service_with(App::BabelStream);
         let db = svc.db("babelstream").unwrap();
         for metric in [Metric::TSem, Metric::TSrc, Metric::Lloc, Metric::CodeDivergence] {
-            let direct =
-                pipeline::divergence_from(&db, metric, Variant::PLAIN, "Serial").unwrap();
-            let mut served = svc
-                .cached_divergence_from(&db, metric, Variant::PLAIN, "Serial")
-                .unwrap();
+            let direct = pipeline::divergence_from(&db, metric, Variant::PLAIN, "Serial").unwrap();
+            let mut served =
+                svc.cached_divergence_from(&db, metric, Variant::PLAIN, "Serial").unwrap();
             served.sort_by(|a, b| a.0.cmp(&b.0));
             let mut direct = direct;
             direct.sort_by(|a, b| a.0.cmp(&b.0));

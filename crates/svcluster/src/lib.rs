@@ -68,17 +68,14 @@ pub fn cluster(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
     let mut merges: Vec<Merge> = Vec::new();
 
     let link = |a: &Cl, b: &Cl| -> f64 {
-        let mut dists = a
-            .members
-            .iter()
-            .flat_map(|&x| b.members.iter().map(move |&y| matrix.get(x, y)));
+        let mut dists =
+            a.members.iter().flat_map(|&x| b.members.iter().map(move |&y| matrix.get(x, y)));
         match linkage {
             Linkage::Complete => dists.fold(0.0f64, f64::max),
             Linkage::Single => dists.fold(f64::INFINITY, f64::min),
             Linkage::Average => {
-                let (sum, count) = dists.try_fold((0.0f64, 0usize), |(s, c), d| {
-                    Some((s + d, c + 1))
-                }).unwrap();
+                let (sum, count) =
+                    dists.try_fold((0.0f64, 0usize), |(s, c), d| Some((s + d, c + 1))).unwrap();
                 if count == 0 {
                     0.0
                 } else {
@@ -218,13 +215,9 @@ impl Dendrogram {
 
     /// True if the given labels end up in the same flat cluster at cut `k`.
     pub fn together_at(&self, k: usize, names: &[&str]) -> bool {
-        let idx: Vec<usize> = names
-            .iter()
-            .map(|n| self.labels.iter().position(|l| l == n).expect("label"))
-            .collect();
-        self.cut(k)
-            .iter()
-            .any(|c| idx.iter().all(|i| c.contains(i)))
+        let idx: Vec<usize> =
+            names.iter().map(|n| self.labels.iter().position(|l| l == n).expect("label")).collect();
+        self.cut(k).iter().any(|c| idx.iter().all(|i| c.contains(i)))
     }
 
     /// Cophenetic distance between two labelled items: the height of their
@@ -331,20 +324,13 @@ impl<'m> Heatmap<'m> {
     pub fn render(&self) -> String {
         const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
         let max = self.matrix.max().max(1e-300);
-        let w = self
-            .matrix
-            .labels()
-            .iter()
-            .map(|l| l.len())
-            .max()
-            .unwrap_or(4);
+        let w = self.matrix.labels().iter().map(|l| l.len()).max().unwrap_or(4);
         let mut s = String::new();
         for &i in &self.order {
             s.push_str(&format!("{:>w$} ", self.matrix.labels()[i]));
             for &j in &self.order {
                 let v = self.matrix.get(i, j) / max;
-                let idx = ((v * (SHADES.len() - 1) as f64).round() as usize)
-                    .min(SHADES.len() - 1);
+                let idx = ((v * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
                 s.push(SHADES[idx]);
                 s.push(SHADES[idx]);
             }
@@ -378,9 +364,8 @@ mod tests {
 
     /// Two tight pairs far apart: (a,b) close, (c,d) close.
     fn two_pairs() -> DistanceMatrix {
-        let mut m = DistanceMatrix::new(
-            ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect(),
-        );
+        let mut m =
+            DistanceMatrix::new(["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect());
         m.set(0, 1, 0.1);
         m.set(2, 3, 0.2);
         m.set(0, 2, 5.0);
@@ -478,9 +463,7 @@ mod tests {
 
     #[test]
     fn ties_are_deterministic() {
-        let mut m = DistanceMatrix::new(
-            ["p", "q", "r"].iter().map(|s| s.to_string()).collect(),
-        );
+        let mut m = DistanceMatrix::new(["p", "q", "r"].iter().map(|s| s.to_string()).collect());
         m.set(0, 1, 1.0);
         m.set(0, 2, 1.0);
         m.set(1, 2, 1.0);

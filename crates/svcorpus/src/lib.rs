@@ -239,15 +239,9 @@ const FORTRAN_SOURCES: &[(&str, &str)] = &[
 pub const FORTRAN_TEALEAF_STEMS: [&str; 3] = ["sequential", "omp", "doconcurrent"];
 
 const FORTRAN_TEALEAF_SOURCES: &[(&str, &str)] = &[
-    (
-        "tealeaf/fortran/sequential.f90",
-        include_str!("../apps/tealeaf/fortran/sequential.f90"),
-    ),
+    ("tealeaf/fortran/sequential.f90", include_str!("../apps/tealeaf/fortran/sequential.f90")),
     ("tealeaf/fortran/omp.f90", include_str!("../apps/tealeaf/fortran/omp.f90")),
-    (
-        "tealeaf/fortran/doconcurrent.f90",
-        include_str!("../apps/tealeaf/fortran/doconcurrent.f90"),
-    ),
+    ("tealeaf/fortran/doconcurrent.f90", include_str!("../apps/tealeaf/fortran/doconcurrent.f90")),
 ];
 
 /// Compile one Fortran TeaLeaf unit (extension corpus).
@@ -323,10 +317,7 @@ mod tests {
         for app in App::ALL {
             let ss = source_set(app);
             for model in Model::ALL {
-                assert!(
-                    ss.lookup(&main_path(app, model)).is_some(),
-                    "{app:?}/{model:?} missing"
-                );
+                assert!(ss.lookup(&main_path(app, model)).is_some(), "{app:?}/{model:?} missing");
             }
         }
     }
@@ -347,13 +338,8 @@ mod tests {
         for app in App::ALL {
             for model in Model::ALL {
                 let u = unit(app, model).unwrap();
-                let r = svexec::run_unit(&u)
-                    .unwrap_or_else(|e| panic!("{app:?}/{model:?}: {e}"));
-                assert_eq!(
-                    r.exit_code, 0,
-                    "{app:?}/{model:?} failed verification: {}",
-                    r.output
-                );
+                let r = svexec::run_unit(&u).unwrap_or_else(|e| panic!("{app:?}/{model:?}: {e}"));
+                assert_eq!(r.exit_code, 0, "{app:?}/{model:?} failed verification: {}", r.output);
                 assert!(r.output.contains("failures=0"), "{app:?}/{model:?}: {}", r.output);
             }
         }
@@ -413,11 +399,7 @@ mod tests {
             let u = unit(App::BabelStream, model).unwrap();
             let t_ir = svir::t_ir(&u);
             let has_bundle = t_ir.to_sexpr().contains("OffloadBundle");
-            assert_eq!(
-                has_bundle,
-                model.is_offload(),
-                "{model:?}: bundle={has_bundle}"
-            );
+            assert_eq!(has_bundle, model.is_offload(), "{model:?}: bundle={has_bundle}");
         }
     }
 

@@ -28,4 +28,7 @@ pub mod ted;
 
 pub use matrix::DistanceMatrix;
 pub use seq::{edit_distance_onp, jaccard_divergence, lcs_len, levenshtein};
-pub use ted::{edit_stats, memory_estimate, ted, ted_bounded, ted_with, CostModel, EditStats, Strategy, TedError};
+pub use ted::{
+    edit_stats, memory_estimate, ted, ted_bounded, ted_with, CostModel, EditStats, Strategy,
+    TedError,
+};

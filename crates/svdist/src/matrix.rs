@@ -100,12 +100,7 @@ impl DistanceMatrix {
 
     /// Euclidean distance between the rows of items `i` and `j`.
     pub fn row_euclidean(&self, i: usize, j: usize) -> f64 {
-        self.row(i)
-            .iter()
-            .zip(self.row(j))
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.row(i).iter().zip(self.row(j)).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 
     /// All upper-triangle index pairs `(i, j)` with `i < j` of an `n`-item

@@ -34,11 +34,7 @@ pub fn lcs_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     let mut cur = vec![0usize; short.len() + 1];
     for x in long {
         for (j, y) in short.iter().enumerate() {
-            cur[j + 1] = if x == y {
-                prev[j] + 1
-            } else {
-                prev[j + 1].max(cur[j])
-            };
+            cur[j + 1] = if x == y { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
         }
         std::mem::swap(&mut prev, &mut cur);
     }

@@ -6,7 +6,7 @@
 //! all operations and strips programmer-chosen names beforehand so that
 //! relabelling only fires on genuinely different token types.
 //!
-//! Three implementations live here:
+//! Four implementations live here:
 //!
 //! * [`Strategy::Left`] — textbook Zhang–Shasha over left-path (LR-keyroot)
 //!   decomposition,
@@ -18,9 +18,10 @@
 //! * [`naive_ted`] — an exponential-with-memo forest recursion used as the
 //!   correctness oracle for small trees in property tests.
 //!
-//! Distances are `u64` (sums over codebases can exceed `u32`); the inner DP
-//! uses `u32` cells, which is safe because a single-pair distance is bounded
-//! by `|T1| + |T2| < 2^32`.
+//! Distances and the inner DP cells are both `u64`: a single-pair distance
+//! is bounded by `delete·|T1| + insert·|T2|`, which overflows `u32` as soon
+//! as the [`CostModel`] weights are non-trivial (e.g. `delete = u32::MAX`
+//! on a two-node tree), so narrower cells would silently wrap.
 
 use std::collections::HashMap;
 use svtree::{NodeId, Tree};
@@ -91,41 +92,34 @@ pub fn ted_with(a: &Tree, b: &Tree, costs: CostModel, strategy: Strategy) -> u64
         return 0;
     }
 
-    let strategy = match strategy {
-        Strategy::Auto => choose_strategy(a, b),
-        s => s,
-    };
-    match strategy {
-        Strategy::Left | Strategy::Auto => {
-            let pa = PostTree::build(a, false);
-            let pb = PostTree::build(b, false);
-            zhang_shasha(&pa, &pb, costs)
-        }
+    // Build each side's decomposition at most once: Auto estimates both
+    // candidates from the same `PostTree`s the solver then consumes,
+    // instead of rebuilding the chosen one from scratch.
+    let (pa, pb) = match strategy {
+        Strategy::Left => (PostTree::build(a, false), PostTree::build(b, false)),
         Strategy::Right => {
             // Mirror both trees (reverse all child lists); TED is preserved.
-            let pa = PostTree::build(a, true);
-            let pb = PostTree::build(b, true);
-            zhang_shasha(&pa, &pb, costs)
+            (PostTree::build(a, true), PostTree::build(b, true))
         }
-    }
+        Strategy::Auto => {
+            let left = (PostTree::build(a, false), PostTree::build(b, false));
+            let right = (PostTree::build(a, true), PostTree::build(b, true));
+            if decomposition_cost(&left.0, &left.1) <= decomposition_cost(&right.0, &right.1) {
+                left
+            } else {
+                right
+            }
+        }
+    };
+    zhang_shasha(&pa, &pb, costs)
 }
 
-/// Estimated number of relevant subproblems for a decomposition:
+/// Estimated number of relevant subproblems for a decomposition pair:
 /// `sum over keyroot pairs of |span(kr1)| * |span(kr2)|`.
-fn decomposition_cost(a: &Tree, b: &Tree, mirrored: bool) -> u128 {
-    let pa = PostTree::build(a, mirrored);
-    let pb = PostTree::build(b, mirrored);
+fn decomposition_cost(pa: &PostTree, pb: &PostTree) -> u128 {
     let sa: u128 = pa.keyroots.iter().map(|&k| (k - pa.lld[k] + 1) as u128).sum();
     let sb: u128 = pb.keyroots.iter().map(|&k| (k - pb.lld[k] + 1) as u128).sum();
     sa * sb
-}
-
-fn choose_strategy(a: &Tree, b: &Tree) -> Strategy {
-    if decomposition_cost(a, b, false) <= decomposition_cost(a, b, true) {
-        Strategy::Left
-    } else {
-        Strategy::Right
-    }
 }
 
 /// Post-order flattened tree with the auxiliary arrays Zhang–Shasha needs.
@@ -213,15 +207,16 @@ impl PostTree {
 /// The Zhang–Shasha dynamic program.
 fn zhang_shasha(a: &PostTree, b: &PostTree, costs: CostModel) -> u64 {
     let (n, m) = (a.len(), b.len());
-    let del = costs.delete;
-    let ins = costs.insert;
-    let rel = costs.relabel;
+    let del = u64::from(costs.delete);
+    let ins = u64::from(costs.insert);
+    let rel = u64::from(costs.relabel);
 
     // Permanent tree-distance table td[i][j] for subtree pairs rooted at
-    // post-order nodes i, j.
-    let mut td = vec![0u32; n * m];
+    // post-order nodes i, j.  Cells are u64: with non-unit cost weights a
+    // forest distance reaches delete·|T1| + insert·|T2|, past u32.
+    let mut td = vec![0u64; n * m];
     // Scratch forest-distance table, sized for the largest keyroot spans.
-    let mut fd = vec![0u32; (n + 1) * (m + 1)];
+    let mut fd = vec![0u64; (n + 1) * (m + 1)];
 
     for &kr1 in &a.keyroots {
         let l1 = a.lld[kr1];
@@ -263,7 +258,7 @@ fn zhang_shasha(a: &PostTree, b: &PostTree, costs: CostModel) -> u64 {
             }
         }
     }
-    u64::from(td[(n - 1) * m + (m - 1)])
+    td[(n - 1) * m + (m - 1)]
 }
 
 /// Error from the memory-bounded solver.
@@ -280,10 +275,9 @@ pub enum TedError {
 impl std::fmt::Display for TedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TedError::BudgetExceeded { needed_bytes, budget_bytes } => write!(
-                f,
-                "TED needs ~{needed_bytes} bytes of DP tables, budget is {budget_bytes}"
-            ),
+            TedError::BudgetExceeded { needed_bytes, budget_bytes } => {
+                write!(f, "TED needs ~{needed_bytes} bytes of DP tables, budget is {budget_bytes}")
+            }
         }
     }
 }
@@ -292,11 +286,12 @@ impl std::error::Error for TedError {}
 
 /// Estimated peak bytes of DP state Zhang–Shasha allocates for a pair:
 /// the permanent `n·m` tree-distance table plus the `(n+1)·(m+1)` scratch
-/// forest table, both `u32` cells.
+/// forest table, both `u64` cells (widened from `u32` so non-unit cost
+/// weights cannot overflow a cell).
 pub fn memory_estimate(a: &Tree, b: &Tree) -> u64 {
     let n = a.size() as u64;
     let m = b.size() as u64;
-    4 * (n * m + (n + 1) * (m + 1))
+    8 * (n * m + (n + 1) * (m + 1))
 }
 
 /// TED with an explicit memory budget: refuses up front (no allocation)
@@ -407,9 +402,8 @@ pub fn naive_ted(a: &Tree, b: &Tree, costs: CostModel) -> u64 {
         let c2: Forest = b.children(r2).to_vec();
         let rest1: Forest = f1[..f1.len() - 1].to_vec();
         let rest2: Forest = f2[..f2.len() - 1].to_vec();
-        let d3 = solve(a, b, &c1, &c2, costs, memo)
-            + solve(a, b, &rest1, &rest2, costs, memo)
-            + sub;
+        let d3 =
+            solve(a, b, &c1, &c2, costs, memo) + solve(a, b, &rest1, &rest2, costs, memo) + sub;
 
         let best = d1.min(d2).min(d3);
         memo.insert(k, best);
@@ -651,8 +645,26 @@ mod tests {
     fn memory_estimate_matches_table_shapes() {
         let a = t("(f (g a b) c)"); // 5 nodes
         let b = t("(x y)"); // 2 nodes
-        // 4 * (5*2 + 6*3) = 4 * 28 = 112
-        assert_eq!(memory_estimate(&a, &b), 112);
+                            // 8 * (5*2 + 6*3) = 8 * 28 = 224
+        assert_eq!(memory_estimate(&a, &b), 224);
+    }
+
+    #[test]
+    fn extreme_cost_weights_do_not_overflow() {
+        // Regression: the DP cells were u32, and a cost model like
+        // delete = u32::MAX overflowed them after two accumulated deletes.
+        let a = t("(f a b)"); // 3 nodes
+        let b = t("g"); // 1 node
+        let cm = CostModel { delete: u32::MAX, insert: u32::MAX, relabel: 1 };
+        // Optimal script: relabel f→g (1), delete a and b (2·u32::MAX).
+        let expect = 2 * u64::from(u32::MAX) + 1;
+        for s in [Strategy::Left, Strategy::Right, Strategy::Auto] {
+            assert_eq!(ted_with(&a, &b, cm, s), expect, "{s:?}");
+        }
+        assert_eq!(naive_ted(&a, &b, cm), expect);
+        // And the empty-tree short-circuits stay in u64 as well.
+        let e = Tree::empty();
+        assert_eq!(ted_with(&a, &e, cm, Strategy::Auto), 3 * u64::from(u32::MAX));
     }
 
     #[test]

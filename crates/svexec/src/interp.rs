@@ -85,9 +85,9 @@ impl Place {
             Place::Elem(a, i) => {
                 let mut arr = a.borrow_mut();
                 let len = arr.len();
-                let cell = arr
-                    .get_mut(*i)
-                    .ok_or_else(|| ExecError::new(format!("index {i} out of bounds (len {len})"), line))?;
+                let cell = arr.get_mut(*i).ok_or_else(|| {
+                    ExecError::new(format!("index {i} out of bounds (len {len})"), line)
+                })?;
                 *cell = v;
                 Ok(())
             }
@@ -133,10 +133,9 @@ impl Interp {
         };
         for item in &prog.items {
             match item {
-                Item::Function(f)
-                    if f.body.is_some() => {
-                        it.fns.insert(f.name.clone(), f.clone());
-                    }
+                Item::Function(f) if f.body.is_some() => {
+                    it.fns.insert(f.name.clone(), f.clone());
+                }
                 Item::Struct(s) => {
                     it.structs.insert(s.name.clone(), s.clone());
                 }
@@ -447,7 +446,9 @@ impl Interp {
                 let v = self.eval(env, file, expr)?;
                 Ok(coerce_decl(ty, v))
             }
-            ExprKind::Construct { ty, args, .. } => self.eval_construct(env, file, ty, args, e.line),
+            ExprKind::Construct { ty, args, .. } => {
+                self.eval_construct(env, file, ty, args, e.line)
+            }
             ExprKind::InitList(items) => {
                 let vals: ExecResult<Vec<Value>> =
                     items.iter().map(|i| self.eval(env, file, i)).collect();
@@ -562,9 +563,7 @@ impl Interp {
             .eval(env, file, index)?
             .as_int()
             .ok_or_else(|| ExecError::new("index is not an integer", line))?;
-        let arr = b
-            .array()
-            .ok_or_else(|| ExecError::new(format!("cannot index {b:?}"), line))?;
+        let arr = b.array().ok_or_else(|| ExecError::new(format!("cannot index {b:?}"), line))?;
         Ok(Place::Elem(arr, idx as usize))
     }
 
@@ -577,10 +576,7 @@ impl Interp {
                 .ok_or_else(|| ExecError::new(format!("no field {member}"), line)),
             Value::Native(Native::Dim3 { x }) if member == "x" => Ok(Value::Int(*x)),
             Value::Array(a) if member == "size" => Ok(Value::Int(a.borrow().len() as i64)),
-            other => Err(ExecError::new(
-                format!("no member {member} on {other:?}"),
-                line,
-            )),
+            other => Err(ExecError::new(format!("no member {member} on {other:?}"), line)),
         }
     }
 
@@ -623,7 +619,9 @@ impl Interp {
                                 let slots = self.arg_slots(env, args);
                                 return self.call_closure(&c, argv, slots);
                             }
-                            Value::Native(Native::View(a) | Native::Accessor(a) | Native::Buffer(a)) => {
+                            Value::Native(
+                                Native::View(a) | Native::Accessor(a) | Native::Buffer(a),
+                            ) => {
                                 // Kokkos view(i) element read.
                                 let idx = argv
                                     .first()

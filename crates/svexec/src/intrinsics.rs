@@ -97,7 +97,11 @@ pub fn special_form(
             };
             let acc = Rc::new(RefCell::new(Value::Real(0.0)));
             for i in 0..n {
-                it.call_closure(&c, vec![Value::Int(i), Value::Real(0.0)], vec![None, Some(acc.clone())])?;
+                it.call_closure(
+                    &c,
+                    vec![Value::Int(i), Value::Real(0.0)],
+                    vec![None, Some(acc.clone())],
+                )?;
             }
             let result = acc.borrow().clone();
             if let Some(target) = args.get(2).and_then(|a| out_param_slot(env, a)) {
@@ -188,15 +192,9 @@ pub fn free_call(
         (_, "tanh") => Ok(Value::Real(real_arg(&args, 0, line)?.tanh())),
         (_, "floor") => Ok(Value::Real(real_arg(&args, 0, line)?.floor())),
         (_, "ceil") => Ok(Value::Real(real_arg(&args, 0, line)?.ceil())),
-        (_, "pow") => {
-            Ok(Value::Real(real_arg(&args, 0, line)?.powf(real_arg(&args, 1, line)?)))
-        }
-        (_, "fmin") => {
-            Ok(Value::Real(real_arg(&args, 0, line)?.min(real_arg(&args, 1, line)?)))
-        }
-        (_, "fmax") => {
-            Ok(Value::Real(real_arg(&args, 0, line)?.max(real_arg(&args, 1, line)?)))
-        }
+        (_, "pow") => Ok(Value::Real(real_arg(&args, 0, line)?.powf(real_arg(&args, 1, line)?))),
+        (_, "fmin") => Ok(Value::Real(real_arg(&args, 0, line)?.min(real_arg(&args, 1, line)?))),
+        (_, "fmax") => Ok(Value::Real(real_arg(&args, 0, line)?.max(real_arg(&args, 1, line)?))),
         (_, "min") => {
             if let (Value::Int(a), Value::Int(b)) = (&args[0], &args[1]) {
                 Ok(Value::Int(*a.min(b)))
@@ -249,8 +247,12 @@ pub fn free_call(
             }
             Ok(Value::Int(0))
         }
-        ("cudaFree", _) | ("hipFree", _) | ("cudaDeviceSynchronize", _)
-        | ("hipDeviceSynchronize", _) | ("hipSetDevice", _) | ("cudaSetDevice", _)
+        ("cudaFree", _)
+        | ("hipFree", _)
+        | ("cudaDeviceSynchronize", _)
+        | ("hipDeviceSynchronize", _)
+        | ("hipSetDevice", _)
+        | ("cudaSetDevice", _)
         | ("hipDeviceReset", _) => Ok(Value::Int(0)),
 
         // ---- SYCL USM ------------------------------------------------------
@@ -390,10 +392,7 @@ pub fn member_call(
         }
         // Arrays
         (Value::Array(a), "size") => Ok(Value::Int(a.borrow().len() as i64)),
-        (recv, m) => Err(ExecError::new(
-            format!("no method {m} on {recv:?}"),
-            line,
-        )),
+        (recv, m) => Err(ExecError::new(format!("no method {m} on {recv:?}"), line)),
     }
 }
 
@@ -452,10 +451,8 @@ pub fn construct(ty: &Type, args: Vec<Value>, line: u32) -> ExecResult<Value> {
             Ok(Value::Native(Native::Range(hi)))
         }
         "dim3" => {
-            let x = args
-                .first()
-                .and_then(Value::as_int)
-                .ok_or_else(|| ExecError::new("dim3", line))?;
+            let x =
+                args.first().and_then(Value::as_int).ok_or_else(|| ExecError::new("dim3", line))?;
             Ok(Value::Native(Native::Dim3 { x }))
         }
         "std::plus" => Ok(Value::FnRef("+".into())),

@@ -96,9 +96,7 @@ mod tests {
 
     #[test]
     fn printf_output() {
-        let r = run(
-            "int main() { printf(\"n=%d v=%.2f s=%s\\n\", 5, 1.5, \"ok\"); return 0; }",
-        );
+        let r = run("int main() { printf(\"n=%d v=%.2f s=%s\\n\", 5, 1.5, \"ok\"); return 0; }");
         assert_eq!(r.output, "n=5 v=1.50 s=ok\n");
     }
 
@@ -238,17 +236,16 @@ mod tests {
     #[test]
     fn out_of_bounds_is_an_error() {
         let mut ss = SourceSet::new();
-        let m = ss.add(
-            "m.cpp",
-            "int main() { double* a = (double*)malloc(8); a[5] = 1.0; return 0; }",
-        );
+        let m =
+            ss.add("m.cpp", "int main() { double* a = (double*)malloc(8); a[5] = 1.0; return 0; }");
         let unit = compile_unit(&ss, m, &UnitOptions::default()).unwrap();
         assert!(run_unit(&unit).is_err());
     }
 
     #[test]
     fn globals_initialised_before_main() {
-        let r = run("double scalar = 0.4;\nint main() { if (scalar == 0.4) { return 0; } return 1; }");
+        let r =
+            run("double scalar = 0.4;\nint main() { if (scalar == 0.4) { return 0; } return 1; }");
         assert_eq!(r.exit_code, 0);
     }
 
@@ -262,17 +259,14 @@ mod tests {
 
     #[test]
     fn switch_without_default_falls_through_silently() {
-        let r = run(
-            "int main() { int x = 5; switch (x) { case 1: return 1; } return 0; }",
-        );
+        let r = run("int main() { int x = 5; switch (x) { case 1: return 1; } return 0; }");
         assert_eq!(r.exit_code, 0);
     }
 
     #[test]
     fn ternary_and_compound_assign() {
-        let r = run(
-            "int main() { int a = 5; a *= 3; a -= 5; int b = a > 9 ? 1 : 2; return b - 1; }",
-        );
+        let r =
+            run("int main() { int a = 5; a *= 3; a -= 5; int b = a > 9 ? 1 : 2; return b - 1; }");
         assert_eq!(r.exit_code, 0);
     }
 }

@@ -162,9 +162,7 @@ struct EnvNode {
 impl Env {
     /// Fresh root environment.
     pub fn new() -> Env {
-        Env {
-            scopes: Rc::new(EnvNode { vars: RefCell::new(HashMap::new()), parent: None }),
-        }
+        Env { scopes: Rc::new(EnvNode { vars: RefCell::new(HashMap::new()), parent: None }) }
     }
 
     /// A child environment whose lookups fall through to `self`.

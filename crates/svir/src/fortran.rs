@@ -25,12 +25,7 @@ pub fn lower_fortran(prog: &FProgram) -> Module {
     for u in &prog.units {
         lw.lower_unit(u);
     }
-    Module {
-        name: "fortran_host".into(),
-        globals: Vec::new(),
-        functions: lw.fns,
-        device: None,
-    }
+    Module { name: "fortran_host".into(), globals: Vec::new(), functions: lw.fns, device: None }
 }
 
 struct FLowerer {
@@ -132,7 +127,8 @@ impl FLowerer {
                     cx.emit(Op::Store, *line);
                 }
             }
-            FStmt::Do { lo, hi, body, line, .. } | FStmt::DoConcurrent { lo, hi, body, line, .. } => {
+            FStmt::Do { lo, hi, body, line, .. }
+            | FStmt::DoConcurrent { lo, hi, body, line, .. } => {
                 // `do concurrent` lowers identically to `do` in GCC 13.
                 self.lower_expr(cx, lo, *line);
                 cx.emit(Op::Store, *line); // loop var init
@@ -233,7 +229,10 @@ impl FLowerer {
                 cx.emit(Op::Call { callee: rt.into(), args: 2 + dir.clauses.len() }, *line);
                 for c in &dir.clauses {
                     if c.name == "reduction" {
-                        cx.emit(Op::Call { callee: "__GOMP_reduction".into(), args: c.args.len() }, *line);
+                        cx.emit(
+                            Op::Call { callee: "__GOMP_reduction".into(), args: c.args.len() },
+                            *line,
+                        );
                     }
                 }
             }
@@ -374,9 +373,7 @@ mod tests {
         let elementwise = lower_src(
             "program t\nreal(8), allocatable :: a(:), b(:), c(:)\nreal(8) :: s\na = b + s * c\nend program",
         );
-        let scalar = lower_src(
-            "program t\nreal(8) :: a, b, c, s\na = b + s * c\nend program",
-        );
+        let scalar = lower_src("program t\nreal(8) :: a, b, c, s\na = b + s * c\nend program");
         // The array version generates loop blocks; the scalar one does not.
         assert!(elementwise.functions[0].blocks.len() > scalar.functions[0].blocks.len());
         assert!(elementwise.to_tree().to_sexpr().contains("fmul"));
@@ -410,10 +407,7 @@ mod tests {
             "program t\ninteger :: i, n\nreal(8), allocatable :: a(:)\ndo i = 1, n\na(i) = 0.0\nend do\nend program",
         );
         // QoI artefact: identical IR with or without OpenACC directives.
-        assert_eq!(
-            with_acc.to_tree().structural_hash(),
-            without.to_tree().structural_hash()
-        );
+        assert_eq!(with_acc.to_tree().structural_hash(), without.to_tree().structural_hash());
     }
 
     #[test]

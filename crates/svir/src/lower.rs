@@ -169,9 +169,10 @@ pub fn detect_offload(prog: &Program) -> OffloadKind {
                 }
             }
             Item::Pragma(p)
-                if p.domain == "omp" && p.path.first().map(String::as_str) == Some("declare") => {
-                    has_target_pragma = true;
-                }
+                if p.domain == "omp" && p.path.first().map(String::as_str) == Some("declare") =>
+            {
+                has_target_pragma = true;
+            }
             _ => {}
         }
     }
@@ -237,10 +238,8 @@ pub fn lower_with(prog: &Program, reg: &Registry, offload: OffloadKind) -> Modul
         match item {
             Item::Function(f) => lw.lower_top_function(f),
             Item::Global(v) => {
-                lw.globals.push(Global {
-                    ty: v.ty.label(),
-                    span: Some(Span::line(v.file.0, v.line)),
-                });
+                lw.globals
+                    .push(Global { ty: v.ty.label(), span: Some(Span::line(v.file.0, v.line)) });
             }
             Item::Struct(s) => {
                 for m in &s.methods {
@@ -308,8 +307,7 @@ impl FnCtx {
 impl Lowerer<'_> {
     fn lower_top_function(&mut self, f: &Function) {
         let Some(body) = &f.body else { return };
-        let device = f.is_device()
-            && matches!(self.offload, OffloadKind::Cuda | OffloadKind::Hip);
+        let device = f.is_device() && matches!(self.offload, OffloadKind::Cuda | OffloadKind::Hip);
         let mut cx = FnCtx::new(device, f.file.0);
         // Clang -O0: params get allocas + stores.
         for p in &f.params {
@@ -370,10 +368,7 @@ impl Lowerer<'_> {
                 let then_bb = cx.new_block();
                 let else_bb = else_blk.as_ref().map(|_| cx.new_block());
                 let merge = cx.new_block();
-                cx.emit(
-                    Op::CondBr { then_bb, else_bb: else_bb.unwrap_or(merge) },
-                    *line,
-                );
+                cx.emit(Op::CondBr { then_bb, else_bb: else_bb.unwrap_or(merge) }, *line);
                 cx.switch_to(then_bb);
                 self.lower_block(cx, then_blk);
                 cx.emit(Op::Br(merge), then_blk.end_line);
@@ -538,7 +533,10 @@ impl Lowerer<'_> {
                 }
                 for c in &dir.clauses {
                     if c.name == "reduction" {
-                        ocx.emit(Op::Call { callee: "__kmpc_reduce".into(), args: c.args.len() }, line);
+                        ocx.emit(
+                            Op::Call { callee: "__kmpc_reduce".into(), args: c.args.len() },
+                            line,
+                        );
                     }
                 }
                 ocx.emit(Op::Ret { has_value: false }, line);
@@ -652,10 +650,7 @@ impl Lowerer<'_> {
                     let fp = lt == Ty::Real || rt == Ty::Real;
                     let base = op.trim_end_matches('=');
                     let instr = match base {
-                        "+"
-                            if fp => {
-                                "fadd"
-                            }
+                        "+" if fp => "fadd",
                         "-" => {
                             if fp {
                                 "fsub"
@@ -704,7 +699,10 @@ impl Lowerer<'_> {
                 // the pending mechanism below; the call itself becomes a
                 // runtime enqueue when in SYCL mode.
                 if self.offload == OffloadKind::Sycl && is_sycl_enqueue(callee) {
-                    cx.emit(Op::Call { callee: "__piEnqueueKernelLaunch".into(), args: args.len() }, line);
+                    cx.emit(
+                        Op::Call { callee: "__piEnqueueKernelLaunch".into(), args: args.len() },
+                        line,
+                    );
                     return Ty::Other;
                 }
                 cx.emit(Op::Call { callee: name.clone(), args: args.len() }, line);
@@ -779,7 +777,10 @@ impl Lowerer<'_> {
                     self.lower_expr(cx, a);
                 }
                 cx.emit(Op::Alloca, line);
-                cx.emit(Op::Call { callee: format!("ctor.{}", ty.label()), args: args.len() }, line);
+                cx.emit(
+                    Op::Call { callee: format!("ctor.{}", ty.label()), args: args.len() },
+                    line,
+                );
                 Ty::of(ty)
             }
             ExprKind::InitList(items) => {
@@ -893,12 +894,7 @@ impl Lowerer<'_> {
         } else {
             None
         };
-        Module {
-            name: "host".into(),
-            globals: self.globals,
-            functions: self.host_fns,
-            device,
-        }
+        Module { name: "host".into(), globals: self.globals, functions: self.host_fns, device }
     }
 }
 
@@ -974,7 +970,8 @@ mod tests {
 
     #[test]
     fn offload_detection() {
-        let cuda = lower_src("__global__ void k(double* a) { a[0] = 1.0; }\nvoid h() { k<<<1, 1>>>(p); }");
+        let cuda =
+            lower_src("__global__ void k(double* a) { a[0] = 1.0; }\nvoid h() { k<<<1, 1>>>(p); }");
         assert!(cuda.device.is_some());
         let serial = lower_src("void f() { }");
         assert!(serial.device.is_none());
@@ -1056,11 +1053,8 @@ mod tests {
     fn spans_reference_source_lines() {
         let m = lower_src("void f() {\n  int x = 1;\n  x = x + 2;\n}");
         let t = m.to_tree();
-        let lines: std::collections::HashSet<u32> = t
-            .preorder()
-            .filter_map(|n| t.span(n))
-            .map(|sp| sp.start_line)
-            .collect();
+        let lines: std::collections::HashSet<u32> =
+            t.preorder().filter_map(|n| t.span(n)).map(|sp| sp.start_line).collect();
         assert!(lines.contains(&2));
         assert!(lines.contains(&3));
     }

@@ -67,15 +67,26 @@ pub enum Op {
     /// `sub`, `fsub`, `shl`, `lshr`, `and`, `or`, `xor` …
     Bin(&'static str),
     /// Comparison: `icmp(<)`, `fcmp(<=)` …
-    Cmp { fp: bool, pred: &'static str },
+    Cmp {
+        fp: bool,
+        pred: &'static str,
+    },
     /// Unconditional branch to block index.
     Br(usize),
     /// Conditional branch.
-    CondBr { then_bb: usize, else_bb: usize },
-    Ret { has_value: bool },
+    CondBr {
+        then_bb: usize,
+        else_bb: usize,
+    },
+    Ret {
+        has_value: bool,
+    },
     /// Direct call; callee name participates in lowering but the emitted
     /// label keeps only an intrinsic/runtime classification.
-    Call { callee: String, args: usize },
+    Call {
+        callee: String,
+        args: usize,
+    },
     /// Address arithmetic (array indexing / member access).
     Gep,
     /// Value casts: `sitofp`, `fptosi`, `bitcast`, `zext` …
@@ -204,7 +215,11 @@ mod tests {
         let m = Module {
             name: "unit".into(),
             globals: vec![Global { ty: "double*".into(), span: None }],
-            functions: vec![f("main", false, vec![Op::Alloca, Op::Store, Op::Ret { has_value: true }])],
+            functions: vec![f(
+                "main",
+                false,
+                vec![Op::Alloca, Op::Store, Op::Ret { has_value: true }],
+            )],
             device: None,
         };
         let t = m.to_tree();

@@ -28,7 +28,10 @@ pub enum Item {
     Global(VarDecl),
     /// `using namespace foo;` / `using foo::bar;` — recorded for the tree,
     /// no semantic effect in the dialect.
-    Using { path: Vec<String>, line: u32 },
+    Using {
+        path: Vec<String>,
+        line: u32,
+    },
     /// A free-standing pragma at file scope (e.g. `#pragma omp declare target`).
     Pragma(Pragma),
 }
@@ -111,7 +114,10 @@ pub enum Type {
     Auto,
     /// Possibly-qualified named type with template arguments:
     /// `std::vector<double>`, `sycl::accessor<double, 1>`.
-    Named { path: Vec<String>, args: Vec<Type> },
+    Named {
+        path: Vec<String>,
+        args: Vec<Type>,
+    },
     /// Integer template argument, e.g. the `1` in `accessor<double, 1>`.
     IntConst(i64),
     Ptr(Box<Type>),
@@ -192,8 +198,16 @@ pub struct VarDecl {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     Decl(VarDecl),
-    Expr { expr: Expr, line: u32 },
-    If { cond: Expr, then_blk: Block, else_blk: Option<Block>, line: u32 },
+    Expr {
+        expr: Expr,
+        line: u32,
+    },
+    If {
+        cond: Expr,
+        then_blk: Block,
+        else_blk: Option<Block>,
+        line: u32,
+    },
     For {
         init: Option<Box<Stmt>>,
         cond: Option<Expr>,
@@ -201,16 +215,35 @@ pub enum Stmt {
         body: Block,
         line: u32,
     },
-    While { cond: Expr, body: Block, line: u32 },
-    Return { expr: Option<Expr>, line: u32 },
+    While {
+        cond: Expr,
+        body: Block,
+        line: u32,
+    },
+    Return {
+        expr: Option<Expr>,
+        line: u32,
+    },
     /// `switch (scrutinee) { case K: …; default: … }` — each arm is a
     /// statement list; fallthrough is modelled by arms without `break`.
-    Switch { scrutinee: Expr, arms: Vec<SwitchArm>, line: u32 },
-    Break { line: u32 },
-    Continue { line: u32 },
+    Switch {
+        scrutinee: Expr,
+        arms: Vec<SwitchArm>,
+        line: u32,
+    },
+    Break {
+        line: u32,
+    },
+    Continue {
+        line: u32,
+    },
     Block(Block),
     /// A pragma, optionally attached to the statement it governs.
-    Pragma { dir: Pragma, stmt: Option<Box<Stmt>>, line: u32 },
+    Pragma {
+        dir: Pragma,
+        stmt: Option<Box<Stmt>>,
+        line: u32,
+    },
 }
 
 impl Stmt {
@@ -268,14 +301,28 @@ impl Pragma {
     /// standalone directives (barriers, declare, update…) do not.
     pub fn attaches_to_statement(&self) -> bool {
         const ATTACHABLE: &[&str] = &[
-            "parallel", "for", "simd", "target", "teams", "distribute", "taskloop", "task",
-            "sections", "single", "atomic", "critical", "loop", "kernels", "data", "masked",
+            "parallel",
+            "for",
+            "simd",
+            "target",
+            "teams",
+            "distribute",
+            "taskloop",
+            "task",
+            "sections",
+            "single",
+            "atomic",
+            "critical",
+            "loop",
+            "kernels",
+            "data",
+            "masked",
         ];
         // `target data` attaches (structured block); `target update`,
         // `declare`, `barrier`, `end` do not.
         match self.path.first().map(String::as_str) {
-            Some("declare") | Some("barrier") | Some("end") | Some("update")
-            | Some("taskwait") | Some("flush") | Some("routine") => false,
+            Some("declare") | Some("barrier") | Some("end") | Some("update") | Some("taskwait")
+            | Some("flush") | Some("routine") => false,
             Some(first) => {
                 if self.path.iter().any(|w| w == "update" || w == "enter" || w == "exit") {
                     return false;
@@ -330,21 +377,64 @@ pub enum ExprKind {
     Bool(bool),
     /// Possibly-qualified name: `x`, `std::max`, `sycl::range`.
     Path(Vec<String>),
-    Unary { op: &'static str, expr: Box<Expr>, postfix: bool },
-    Binary { op: &'static str, lhs: Box<Expr>, rhs: Box<Expr> },
-    Assign { op: &'static str, lhs: Box<Expr>, rhs: Box<Expr> },
-    Ternary { cond: Box<Expr>, then_e: Box<Expr>, else_e: Box<Expr> },
-    Call { callee: Box<Expr>, targs: Vec<Type>, args: Vec<Expr> },
+    Unary {
+        op: &'static str,
+        expr: Box<Expr>,
+        postfix: bool,
+    },
+    Binary {
+        op: &'static str,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Assign {
+        op: &'static str,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Ternary {
+        cond: Box<Expr>,
+        then_e: Box<Expr>,
+        else_e: Box<Expr>,
+    },
+    Call {
+        callee: Box<Expr>,
+        targs: Vec<Type>,
+        args: Vec<Expr>,
+    },
     /// CUDA/HIP triple-chevron launch: `kernel<<<grid, block>>>(args…)`.
-    KernelLaunch { callee: Box<Expr>, grid: Box<Expr>, block: Box<Expr>, args: Vec<Expr> },
-    Index { base: Box<Expr>, index: Box<Expr> },
-    Member { base: Box<Expr>, member: String, arrow: bool },
+    KernelLaunch {
+        callee: Box<Expr>,
+        grid: Box<Expr>,
+        block: Box<Expr>,
+        args: Vec<Expr>,
+    },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
+    Member {
+        base: Box<Expr>,
+        member: String,
+        arrow: bool,
+    },
     /// `[capture](params) { body }`
-    Lambda { capture: String, params: Vec<Param>, body: Block },
+    Lambda {
+        capture: String,
+        params: Vec<Param>,
+        body: Block,
+    },
     /// `(double)x` or `static_cast<double>(x)`.
-    Cast { ty: Type, expr: Box<Expr> },
+    Cast {
+        ty: Type,
+        expr: Box<Expr>,
+    },
     /// `Type(args)` / `Type{args}` construction.
-    Construct { ty: Type, args: Vec<Expr>, brace: bool },
+    Construct {
+        ty: Type,
+        args: Vec<Expr>,
+        brace: bool,
+    },
     /// `{a, b, c}` initialiser list.
     InitList(Vec<Expr>),
 }
@@ -360,7 +450,10 @@ mod tests {
             args: vec![Type::Double, Type::IntConst(1)],
         };
         assert_eq!(t.label(), "sycl::accessor<double,1>");
-        assert_eq!(Type::Ptr(Box::new(Type::Const(Box::new(Type::Double)))).label(), "const double*");
+        assert_eq!(
+            Type::Ptr(Box::new(Type::Const(Box::new(Type::Double)))).label(),
+            "const double*"
+        );
     }
 
     #[test]
@@ -376,12 +469,24 @@ mod tests {
         let p = Pragma {
             file: FileId(0),
             domain: "omp".into(),
-            path: vec!["target".into(), "teams".into(), "distribute".into(), "parallel".into(), "for".into()],
+            path: vec![
+                "target".into(),
+                "teams".into(),
+                "distribute".into(),
+                "parallel".into(),
+                "for".into(),
+            ],
             clauses: vec![],
             line: 1,
         };
         assert_eq!(p.ast_label(), "OMPTargetTeamsDistributeParallelForDirective");
-        let a = Pragma { file: FileId(0), domain: "acc".into(), path: vec!["kernels".into()], clauses: vec![], line: 1 };
+        let a = Pragma {
+            file: FileId(0),
+            domain: "acc".into(),
+            path: vec!["kernels".into()],
+            clauses: vec![],
+            line: 1,
+        };
         assert_eq!(a.ast_label(), "ACCKernelsDirective");
     }
 

@@ -27,12 +27,52 @@ use svtree::{Span, Tree, TreeBuilder};
 
 /// Keywords that get their own labelled leaf in the highlight view.
 const KEYWORDS: &[&str] = &[
-    "if", "else", "for", "while", "do", "return", "break", "continue", "struct", "class",
-    "using", "namespace", "const", "static", "inline", "constexpr", "auto", "void", "bool",
-    "char", "int", "long", "size_t", "float", "double", "true", "false", "sizeof",
-    "static_cast", "reinterpret_cast", "const_cast", "public", "private", "extern",
-    "__global__", "__device__", "__host__", "mutable", "new", "delete", "template", "typename",
-    "operator", "switch", "case", "default",
+    "if",
+    "else",
+    "for",
+    "while",
+    "do",
+    "return",
+    "break",
+    "continue",
+    "struct",
+    "class",
+    "using",
+    "namespace",
+    "const",
+    "static",
+    "inline",
+    "constexpr",
+    "auto",
+    "void",
+    "bool",
+    "char",
+    "int",
+    "long",
+    "size_t",
+    "float",
+    "double",
+    "true",
+    "false",
+    "sizeof",
+    "static_cast",
+    "reinterpret_cast",
+    "const_cast",
+    "public",
+    "private",
+    "extern",
+    "__global__",
+    "__device__",
+    "__host__",
+    "mutable",
+    "new",
+    "delete",
+    "template",
+    "typename",
+    "operator",
+    "switch",
+    "case",
+    "default",
 ];
 
 /// Control tokens removed by `T_src` normalisation (brackets become group
@@ -110,9 +150,7 @@ pub fn build_cst(tokens: &[Token]) -> Tree {
                 b.close();
             }
             kind => {
-                let next_open = tokens
-                    .get(i + 1)
-                    .is_some_and(|n| n.kind.is_punct("("));
+                let next_open = tokens.get(i + 1).is_some_and(|n| n.kind.is_punct("("));
                 b.leaf_span(classify(kind, next_open), span);
             }
         }
@@ -226,7 +264,8 @@ mod tests {
 
     #[test]
     fn pragma_survives_normalisation() {
-        let t = t_src(&pp_toks("#pragma omp parallel for\nfor (int i = 0; i < n; i++) a[i] = 0.0;"));
+        let t =
+            t_src(&pp_toks("#pragma omp parallel for\nfor (int i = 0; i < n; i++) a[i] = 0.0;"));
         let s = t.to_sexpr();
         assert!(s.contains("(Pragma"), "{s}");
         assert!(s.contains("Kw(for)"), "{s}");
@@ -243,11 +282,8 @@ mod tests {
     #[test]
     fn spans_recorded() {
         let t = t_src(&toks("x = 1;\ny = 2;"));
-        let spans: Vec<u32> = t
-            .preorder()
-            .filter_map(|n| t.span(n))
-            .map(|s| s.start_line)
-            .collect();
+        let spans: Vec<u32> =
+            t.preorder().filter_map(|n| t.span(n)).map(|s| s.start_line).collect();
         assert!(spans.contains(&1));
         assert!(spans.contains(&2));
     }

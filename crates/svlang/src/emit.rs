@@ -82,8 +82,7 @@ impl Emitter<'_> {
                     let mut s = path.join("::");
                     if !args.is_empty() {
                         s.push('<');
-                        let parts: Vec<String> =
-                            args.iter().map(|a| self.type_label(a)).collect();
+                        let parts: Vec<String> = args.iter().map(|a| self.type_label(a)).collect();
                         s.push_str(&parts.join(","));
                         s.push('>');
                     }
@@ -155,10 +154,7 @@ impl Emitter<'_> {
         self.b.leaf_span(format!("Type({})", self.type_label(&f.ret)), self.span(f.line));
         self.scopes.push();
         for p in &f.params {
-            self.b.leaf_span(
-                format!("ParmVarDecl({})", self.type_label(&p.ty)),
-                self.span(p.line),
-            );
+            self.b.leaf_span(format!("ParmVarDecl({})", self.type_label(&p.ty)), self.span(p.line));
             self.scopes.declare(&p.name, Ty::of(&p.ty));
         }
         if let Some(body) = &f.body {
@@ -169,10 +165,7 @@ impl Emitter<'_> {
     }
 
     fn var_decl(&mut self, v: &VarDecl) {
-        self.b.open_span(
-            format!("VarDecl({})", self.type_label(&v.ty)),
-            self.span(v.line),
-        );
+        self.b.open_span(format!("VarDecl({})", self.type_label(&v.ty)), self.span(v.line));
         let declared = match (&v.init, Ty::of(&v.ty)) {
             (Some(init), want) => {
                 let got = infer(init, &self.scopes, self.reg);
@@ -191,7 +184,11 @@ impl Emitter<'_> {
                     }
                     _ => self.expr(init, false),
                 }
-                if want == Ty::Unknown { got } else { want }
+                if want == Ty::Unknown {
+                    got
+                } else {
+                    want
+                }
             }
             (None, want) => want,
         };
@@ -484,8 +481,10 @@ impl Emitter<'_> {
                 // Callee reference (function names normalised away).
                 self.expr(callee, true);
                 for t in targs {
-                    self.b
-                        .leaf_span(format!("TemplateArgument({})", self.type_label(t)), self.span(line));
+                    self.b.leaf_span(
+                        format!("TemplateArgument({})", self.type_label(t)),
+                        self.span(line),
+                    );
                 }
                 for a in args {
                     self.expr(a, false);
@@ -548,10 +547,8 @@ impl Emitter<'_> {
                 self.b.close();
             }
             ExprKind::Cast { ty, expr } => {
-                self.b.open_span(
-                    format!("CStyleCastExpr({})", self.type_label(ty)),
-                    self.span(line),
-                );
+                self.b
+                    .open_span(format!("CStyleCastExpr({})", self.type_label(ty)), self.span(line));
                 self.expr(expr, false);
                 self.b.close();
             }
@@ -697,7 +694,9 @@ mod tests {
     #[test]
     fn omp_directive_carries_semantics_beyond_source() {
         // The paper's observation: one pragma line yields a rich subtree.
-        let with = emit1("void f(int n) {\n#pragma omp parallel for\nfor (int i = 0; i < n; i++) a[i] = 0.0; }");
+        let with = emit1(
+            "void f(int n) {\n#pragma omp parallel for\nfor (int i = 0; i < n; i++) a[i] = 0.0; }",
+        );
         let without = emit1("void f(int n) {\nfor (int i = 0; i < n; i++) a[i] = 0.0; }");
         assert!(with.size() > without.size());
     }
@@ -724,11 +723,7 @@ mod tests {
     #[test]
     fn record_names_normalised_but_library_types_kept() {
         let t = emit(
-            &[(
-                "m.cpp",
-                "struct Mine { double v; };\nvoid f() { Mine m; sycl::queue q; }",
-                false,
-            )],
+            &[("m.cpp", "struct Mine { double v; };\nvoid f() { Mine m; sycl::queue q; }", false)],
             SemOptions::PLAIN,
         );
         let s = t.to_sexpr();
@@ -778,25 +773,22 @@ mod tests {
             ("h.h", "void helper() { }", false),
         ];
         let t = emit(srcs, SemOptions::PLAIN);
-        let files: std::collections::HashSet<u32> = t
-            .preorder()
-            .filter_map(|n| t.span(n))
-            .map(|sp| sp.file)
-            .collect();
+        let files: std::collections::HashSet<u32> =
+            t.preorder().filter_map(|n| t.span(n)).map(|sp| sp.file).collect();
         assert!(files.len() >= 2, "nodes must reference both files: {files:?}");
     }
 
     #[test]
     fn acc_pragma_domain() {
-        let t = emit1("void f(int n) {\n#pragma acc kernels\nfor (int i = 0; i < n; i++) a[i] = 0.0; }");
+        let t = emit1(
+            "void f(int n) {\n#pragma acc kernels\nfor (int i = 0; i < n; i++) a[i] = 0.0; }",
+        );
         assert!(t.to_sexpr().contains("ACCKernelsDirective"));
     }
 
     #[test]
     fn switch_emits_case_structure() {
-        let t = emit1(
-            "int f(int x) { switch (x) { case 1: return 10; default: return 0; } }",
-        );
+        let t = emit1("int f(int x) { switch (x) { case 1: return 10; default: return 0; } }");
         let s = t.to_sexpr();
         assert!(s.contains("(SwitchStmt"), "{s}");
         assert!(s.contains("CaseStmt(1)"), "{s}");

@@ -135,16 +135,17 @@ fn lex_fortran_tokens(s: &str, loc: Loc, path: &str) -> Result<Vec<Token>> {
             i = j + 1;
             continue;
         }
-        if c.is_ascii_digit()
-            || (c == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
-        {
+        if c.is_ascii_digit() || (c == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) {
             // number: digits [. digits] [ (e|d) [sign] digits ] [_kind]
             let start = i;
             let mut is_real = false;
             while i < b.len() && b[i].is_ascii_digit() {
                 i += 1;
             }
-            if i < b.len() && b[i] == b'.' && !matches!(b.get(i + 1), Some(b'a'..=b'z') | Some(b'A'..=b'Z')) {
+            if i < b.len()
+                && b[i] == b'.'
+                && !matches!(b.get(i + 1), Some(b'a'..=b'z') | Some(b'A'..=b'Z'))
+            {
                 is_real = true;
                 i += 1;
                 while i < b.len() && b[i].is_ascii_digit() {
@@ -175,14 +176,12 @@ fn lex_fortran_tokens(s: &str, loc: Loc, path: &str) -> Result<Vec<Token>> {
                 }
             }
             if is_real {
-                let v: f64 = text
-                    .parse()
-                    .map_err(|_| LangError::new(path, loc.line, "bad real literal"))?;
+                let v: f64 =
+                    text.parse().map_err(|_| LangError::new(path, loc.line, "bad real literal"))?;
                 out.push(Token::new(TokKind::Real(v), loc));
             } else {
-                let v: i64 = text
-                    .parse()
-                    .map_err(|_| LangError::new(path, loc.line, "bad int literal"))?;
+                let v: i64 =
+                    text.parse().map_err(|_| LangError::new(path, loc.line, "bad int literal"))?;
                 out.push(Token::new(TokKind::Int(v), loc));
             }
             continue;
@@ -232,7 +231,11 @@ fn lex_fortran_tokens(s: &str, loc: Loc, path: &str) -> Result<Vec<Token>> {
                 continue 'outer;
             }
         }
-        return Err(LangError::new(path, loc.line, format!("unexpected character '{}'", c as char)));
+        return Err(LangError::new(
+            path,
+            loc.line,
+            format!("unexpected character '{}'", c as char),
+        ));
     }
     Ok(out)
 }
@@ -303,23 +306,80 @@ pub struct FEntity {
 /// Statements.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FStmt {
-    Use { module: String, line: u32 },
-    ImplicitNone { line: u32 },
-    Decl { ty: FType, attrs: Vec<String>, entities: Vec<FEntity>, line: u32 },
-    Assign { lhs: FExpr, rhs: FExpr, line: u32 },
-    Do { var: String, lo: FExpr, hi: FExpr, body: Vec<FStmt>, line: u32, end_line: u32 },
-    DoConcurrent { var: String, lo: FExpr, hi: FExpr, body: Vec<FStmt>, line: u32, end_line: u32 },
-    If { cond: FExpr, then_body: Vec<FStmt>, else_body: Vec<FStmt>, line: u32 },
-    Call { name: String, args: Vec<FExpr>, line: u32 },
-    Allocate { items: Vec<FExpr>, line: u32 },
-    Deallocate { items: Vec<FExpr>, line: u32 },
-    Print { args: Vec<FExpr>, line: u32 },
-    Stop { line: u32 },
-    Return { line: u32 },
-    Exit { line: u32 },
-    Cycle { line: u32 },
+    Use {
+        module: String,
+        line: u32,
+    },
+    ImplicitNone {
+        line: u32,
+    },
+    Decl {
+        ty: FType,
+        attrs: Vec<String>,
+        entities: Vec<FEntity>,
+        line: u32,
+    },
+    Assign {
+        lhs: FExpr,
+        rhs: FExpr,
+        line: u32,
+    },
+    Do {
+        var: String,
+        lo: FExpr,
+        hi: FExpr,
+        body: Vec<FStmt>,
+        line: u32,
+        end_line: u32,
+    },
+    DoConcurrent {
+        var: String,
+        lo: FExpr,
+        hi: FExpr,
+        body: Vec<FStmt>,
+        line: u32,
+        end_line: u32,
+    },
+    If {
+        cond: FExpr,
+        then_body: Vec<FStmt>,
+        else_body: Vec<FStmt>,
+        line: u32,
+    },
+    Call {
+        name: String,
+        args: Vec<FExpr>,
+        line: u32,
+    },
+    Allocate {
+        items: Vec<FExpr>,
+        line: u32,
+    },
+    Deallocate {
+        items: Vec<FExpr>,
+        line: u32,
+    },
+    Print {
+        args: Vec<FExpr>,
+        line: u32,
+    },
+    Stop {
+        line: u32,
+    },
+    Return {
+        line: u32,
+    },
+    Exit {
+        line: u32,
+    },
+    Cycle {
+        line: u32,
+    },
     /// `!$omp …` / `!$acc …` directive (region begin or end).
-    Directive { dir: Pragma, line: u32 },
+    Directive {
+        dir: Pragma,
+        line: u32,
+    },
 }
 
 impl FStmt {
@@ -355,11 +415,24 @@ pub enum FExpr {
     Var(String),
     /// `name(args)` — array element, array section, or function reference;
     /// resolution happens at emission using declaration info.
-    ParenRef { name: String, args: Vec<FExpr> },
+    ParenRef {
+        name: String,
+        args: Vec<FExpr>,
+    },
     /// `lo:hi` array section bound pair (either side optional).
-    Section { lo: Option<Box<FExpr>>, hi: Option<Box<FExpr>> },
-    Unary { op: &'static str, expr: Box<FExpr> },
-    Binary { op: &'static str, lhs: Box<FExpr>, rhs: Box<FExpr> },
+    Section {
+        lo: Option<Box<FExpr>>,
+        hi: Option<Box<FExpr>>,
+    },
+    Unary {
+        op: &'static str,
+        expr: Box<FExpr>,
+    },
+    Binary {
+        op: &'static str,
+        lhs: Box<FExpr>,
+        rhs: Box<FExpr>,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -400,11 +473,7 @@ impl FParser<'_> {
     }
 
     fn line(&self) -> u32 {
-        self.toks
-            .get(self.pos)
-            .or_else(|| self.toks.last())
-            .map(|t| t.loc.line)
-            .unwrap_or(0)
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|t| t.loc.line).unwrap_or(0)
     }
 
     fn err(&self, msg: impl Into<String>) -> LangError {
@@ -868,14 +937,9 @@ impl FParser<'_> {
 
     fn cmp_expr(&mut self) -> Result<FExpr> {
         let l = self.add_expr()?;
-        for (p, op) in [
-            ("==", "=="),
-            ("/=", "!="),
-            ("<=", "<="),
-            (">=", ">="),
-            ("<", "<"),
-            (">", ">"),
-        ] {
+        for (p, op) in
+            [("==", "=="), ("/=", "!="), ("<=", "<="), (">=", ">="), ("<", "<"), (">", ">")]
+        {
             if self.eat_punct(p) {
                 let r = self.add_expr()?;
                 return Ok(FExpr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) });
@@ -986,7 +1050,8 @@ impl FParser<'_> {
 /// clauses back into the directive path.
 fn fixup_fortran_directive(dir: &mut Pragma) {
     while let Some(first) = dir.clauses.first() {
-        if first.args.is_empty() && matches!(first.name.as_str(), "do" | "concurrent" | "workshare") {
+        if first.args.is_empty() && matches!(first.name.as_str(), "do" | "concurrent" | "workshare")
+        {
             let c = dir.clauses.remove(0);
             dir.path.push(c.name);
         } else {
@@ -1005,11 +1070,8 @@ fn fixup_fortran_directive(dir: &mut Pragma) {
 /// the C++ emitter — the paper notes cross-compiler trees "are not
 /// comparable in any meaningful way".
 pub fn t_sem_fortran(prog: &FProgram) -> Tree {
-    let mut e = FEmitter {
-        b: TreeBuilder::new("FortranUnit"),
-        file: prog.file,
-        arrays: Vec::new(),
-    };
+    let mut e =
+        FEmitter { b: TreeBuilder::new("FortranUnit"), file: prog.file, arrays: Vec::new() };
     for u in &prog.units {
         e.unit(u);
     }
@@ -1067,8 +1129,7 @@ impl FEmitter {
                 self.b.leaf_span("ImplicitNoneStmt", self.span(*line));
             }
             FStmt::Decl { ty, attrs, entities, line } => {
-                self.b
-                    .open_span(format!("TypeDeclStmt({})", ty.label()), self.span(*line));
+                self.b.open_span(format!("TypeDeclStmt({})", ty.label()), self.span(*line));
                 for a in attrs {
                     self.b.leaf_span(format!("AttrSpec({a})"), self.span(*line));
                 }
@@ -1107,8 +1168,7 @@ impl FEmitter {
                 self.b.close();
             }
             FStmt::DoConcurrent { lo, hi, body, line, end_line, .. } => {
-                self.b
-                    .open_span("DoConcurrentConstruct", self.span_range(*line, *end_line));
+                self.b.open_span("DoConcurrentConstruct", self.span_range(*line, *end_line));
                 self.b.leaf_span("LoopVar", self.span(*line));
                 self.expr(lo, *line);
                 self.expr(hi, *line);
@@ -1516,8 +1576,7 @@ end program stream
 
     #[test]
     fn parse_errors_have_locations() {
-        let e = parse_fortran("program t\nx = = 1\nend program", FileId(0), "bad.f90")
-            .unwrap_err();
+        let e = parse_fortran("program t\nx = = 1\nend program", FileId(0), "bad.f90").unwrap_err();
         assert_eq!(e.line, 2);
         assert_eq!(e.path, "bad.f90");
     }

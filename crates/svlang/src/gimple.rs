@@ -51,7 +51,8 @@ impl GEmitter {
                 let prev = std::mem::replace(&mut self.file, s.file);
                 self.b.open_span("record_type", self.span(s.line));
                 for fld in &s.fields {
-                    self.b.leaf_span(format!("field_decl({})", fld.ty.label()), self.span(fld.line));
+                    self.b
+                        .leaf_span(format!("field_decl({})", fld.ty.label()), self.span(fld.line));
                 }
                 self.b.close();
                 for m in &s.methods {
@@ -318,7 +319,10 @@ impl GEmitter {
                 self.b.close();
             }
             ExprKind::Cast { ty, expr } => {
-                self.b.open_span(format!("gimple_assign(nop_expr:{})", ty.label()), self.span(e.line));
+                self.b.open_span(
+                    format!("gimple_assign(nop_expr:{})", ty.label()),
+                    self.span(e.line),
+                );
                 self.gimplify_expr(expr);
                 self.b.close();
             }

@@ -69,10 +69,10 @@ impl Token {
 
 /// Multi-character punctuation, longest first (maximal munch).
 const PUNCTS: &[&str] = &[
-    "<<<", ">>>", "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=", ">=",
-    "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##", "{", "}",
-    "(", ")", "[", "]", ";", ",", ".", "<", ">", "+", "-", "*", "/", "%", "=", "!", "&", "|",
-    "^", "~", "?", ":", "#",
+    "<<<", ">>>", "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##", "{", "}", "(", ")",
+    "[", "]", ";", ",", ".", "<", ">", "+", "-", "*", "/", "%", "=", "!", "&", "|", "^", "~", "?",
+    ":", "#",
 ];
 
 /// Lexer options.
@@ -296,8 +296,8 @@ impl Lexer<'_> {
                 return Err(self.err("empty hex literal"));
             }
             let text = std::str::from_utf8(&self.src[hs..self.pos]).unwrap();
-            let v = i64::from_str_radix(text, 16)
-                .map_err(|_| self.err("hex literal out of range"))?;
+            let v =
+                i64::from_str_radix(text, 16).map_err(|_| self.err("hex literal out of range"))?;
             self.skip_int_suffix();
             self.push(TokKind::Int(v), loc);
             return Ok(());
@@ -362,10 +362,7 @@ impl Lexer<'_> {
     fn ident(&mut self) {
         let loc = self.loc();
         let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
-        {
+        while self.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
             self.pos += 1;
         }
         let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
@@ -411,13 +408,16 @@ mod tests {
 
     #[test]
     fn integer_literals() {
-        assert_eq!(kinds("42 0 0x1F 7u 9L"), vec![
-            TokKind::Int(42),
-            TokKind::Int(0),
-            TokKind::Int(31),
-            TokKind::Int(7),
-            TokKind::Int(9),
-        ]);
+        assert_eq!(
+            kinds("42 0 0x1F 7u 9L"),
+            vec![
+                TokKind::Int(42),
+                TokKind::Int(0),
+                TokKind::Int(31),
+                TokKind::Int(7),
+                TokKind::Int(9),
+            ]
+        );
     }
 
     #[test]
@@ -439,11 +439,7 @@ mod tests {
         // `x.size` must not lex `.size` as a number.
         assert_eq!(
             kinds("x.size"),
-            vec![
-                TokKind::Ident("x".into()),
-                TokKind::Punct("."),
-                TokKind::Ident("size".into())
-            ]
+            vec![TokKind::Ident("x".into()), TokKind::Punct("."), TokKind::Ident("size".into())]
         );
     }
 

@@ -112,7 +112,8 @@ mod tests {
 
     #[test]
     fn sloc_ignores_blanks_and_comments() {
-        let src = "int a;\n\n// only a comment\nint b; /* trailing */\n/* whole\n   block */\nint c;";
+        let src =
+            "int a;\n\n// only a comment\nint b; /* trailing */\n/* whole\n   block */\nint c;";
         assert_eq!(sloc_of(src, FileId(0), "t.cpp").unwrap(), 3);
     }
 
@@ -151,7 +152,8 @@ mod tests {
     #[test]
     fn pragma_lines_preserved_after_preprocessing() {
         let mut ss = SourceSet::new();
-        let m = ss.add("t.cpp", "#pragma omp parallel for\nfor (int i = 0; i < n; i++) a[i] = 0;\n");
+        let m =
+            ss.add("t.cpp", "#pragma omp parallel for\nfor (int i = 0; i < n; i++) a[i] = 0;\n");
         let out = preprocess(&ss, m, &PpOptions::default()).unwrap();
         let lines = normalized_lines(&out.tokens);
         assert!(lines[0].contains("#pragma omp parallel for"), "{lines:?}");

@@ -69,18 +69,11 @@ impl Parser<'_> {
     }
 
     fn line(&self) -> u32 {
-        self.toks
-            .get(self.pos)
-            .or_else(|| self.toks.last())
-            .map(|t| t.loc.line)
-            .unwrap_or(0)
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|t| t.loc.line).unwrap_or(0)
     }
 
     fn prev_line(&self) -> u32 {
-        self.toks
-            .get(self.pos.saturating_sub(1))
-            .map(|t| t.loc.line)
-            .unwrap_or(0)
+        self.toks.get(self.pos.saturating_sub(1)).map(|t| t.loc.line).unwrap_or(0)
     }
 
     fn bump(&mut self) -> Option<TokKind> {
@@ -285,11 +278,7 @@ impl Parser<'_> {
         while self.peek_ident() == Some("const") {
             self.pos += 1;
         }
-        let body = if self.eat_punct(";") {
-            None
-        } else {
-            Some(self.block()?)
-        };
+        let body = if self.eat_punct(";") { None } else { Some(self.block()?) };
         let end_line = self.prev_line();
         Ok(Function { file, attrs, ret, name, params, body, line, end_line })
     }
@@ -368,11 +357,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     path.push(self.ident()?);
                 }
-                let args = if self.is_punct("<") {
-                    self.template_args()?
-                } else {
-                    Vec::new()
-                };
+                let args = if self.is_punct("<") { self.template_args()? } else { Vec::new() };
                 Type::Named { path, args }
             }
             None => return Err(self.err("expected type")),
@@ -761,10 +746,7 @@ impl Parser<'_> {
                 self.pos += 1;
                 let index = self.expr()?;
                 self.expect_punct("]")?;
-                e = Expr::new(
-                    ExprKind::Index { base: Box::new(e), index: Box::new(index) },
-                    line,
-                );
+                e = Expr::new(ExprKind::Index { base: Box::new(e), index: Box::new(index) }, line);
             } else if self.is_punct(".") || self.is_punct("->") {
                 let arrow = self.is_punct("->");
                 self.pos += 1;
@@ -802,10 +784,7 @@ impl Parser<'_> {
                 match self.template_args() {
                     Ok(targs) if self.is_punct("(") => {
                         let args = self.call_args()?;
-                        e = Expr::new(
-                            ExprKind::Call { callee: Box::new(e), targs, args },
-                            line,
-                        );
+                        e = Expr::new(ExprKind::Call { callee: Box::new(e), targs, args }, line);
                     }
                     _ => {
                         self.rewind(m);
@@ -866,10 +845,7 @@ impl Parser<'_> {
                         self.expect_punct("(")?;
                         let inner = self.expr()?;
                         self.expect_punct(")")?;
-                        return Ok(Expr::new(
-                            ExprKind::Cast { ty, expr: Box::new(inner) },
-                            line,
-                        ));
+                        return Ok(Expr::new(ExprKind::Cast { ty, expr: Box::new(inner) }, line));
                     }
                     "sizeof" => {
                         self.pos += 1;
@@ -1025,8 +1001,8 @@ impl Parser<'_> {
 fn leak_op(op: &str) -> &'static str {
     const OPS: &[&str] = &[
         "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", "||", "&&", "|", "^",
-        "&", "==", "!=", "<", ">", "<=", ">=", "<<", ">>", "+", "-", "*", "/", "%", "!", "~",
-        "++", "--",
+        "&", "==", "!=", "<", ">", "<=", ">=", "<<", ">>", "+", "-", "*", "/", "%", "!", "~", "++",
+        "--",
     ];
     OPS.iter().find(|&&o| o == op).copied().expect("operator not in table")
 }
@@ -1034,9 +1010,33 @@ fn leak_op(op: &str) -> &'static str {
 /// Directive words recognised as part of an OpenMP/OpenACC directive name
 /// (everything after them is a clause).
 const DIRECTIVE_WORDS: &[&str] = &[
-    "parallel", "for", "simd", "target", "teams", "distribute", "taskloop", "task", "sections",
-    "section", "single", "atomic", "critical", "barrier", "data", "enter", "exit", "update",
-    "declare", "end", "loop", "kernels", "routine", "masked", "taskwait", "flush", "threadprivate",
+    "parallel",
+    "for",
+    "simd",
+    "target",
+    "teams",
+    "distribute",
+    "taskloop",
+    "task",
+    "sections",
+    "section",
+    "single",
+    "atomic",
+    "critical",
+    "barrier",
+    "data",
+    "enter",
+    "exit",
+    "update",
+    "declare",
+    "end",
+    "loop",
+    "kernels",
+    "routine",
+    "masked",
+    "taskwait",
+    "flush",
+    "threadprivate",
 ];
 
 /// Parse the content tokens of a `#pragma` into a [`Pragma`].
@@ -1129,7 +1129,9 @@ mod tests {
     #[test]
     fn globals_and_using() {
         let p = parse_src("using namespace std;\ndouble scalar = 0.4;\nint n;");
-        assert!(matches!(&p.items[0], Item::Using { path, .. } if path == &vec!["std".to_string()]));
+        assert!(
+            matches!(&p.items[0], Item::Using { path, .. } if path == &vec!["std".to_string()])
+        );
         assert!(matches!(&p.items[1], Item::Global(v) if v.name == "scalar" && v.init.is_some()));
         assert!(matches!(&p.items[2], Item::Global(v) if v.init.is_none()));
     }
@@ -1176,9 +1178,7 @@ mod tests {
 
     #[test]
     fn decl_vs_expr_disambiguation() {
-        let p = parse_src(
-            "void f() { foo(1); sycl::queue q; int x = 2; x = bar(x); }",
-        );
+        let p = parse_src("void f() { foo(1); sycl::queue q; int x = 2; x = bar(x); }");
         let Item::Function(f) = &p.items[0] else { panic!() };
         let stmts = &f.body.as_ref().unwrap().stmts;
         assert!(matches!(&stmts[0], Stmt::Expr { .. }));
@@ -1304,7 +1304,9 @@ mod tests {
 
     #[test]
     fn lambda_expression() {
-        let p = parse_src("void f(sycl::handler& h) { h.parallel_for(r, [=](sycl::id<1> i) { c[i] = a[i]; }); }");
+        let p = parse_src(
+            "void f(sycl::handler& h) { h.parallel_for(r, [=](sycl::id<1> i) { c[i] = a[i]; }); }",
+        );
         let Item::Function(f) = &p.items[0] else { panic!() };
         let Stmt::Expr { expr, .. } = &f.body.as_ref().unwrap().stmts[0] else { panic!() };
         let ExprKind::Call { args, .. } = &expr.kind else { panic!() };
@@ -1399,10 +1401,7 @@ mod tests {
         let Item::Function(f) = &p.items[0] else { panic!() };
         let stmts = &f.body.as_ref().unwrap().stmts;
         let Stmt::Decl(v) = &stmts[0] else { panic!() };
-        assert!(matches!(
-            v.init.as_ref().unwrap().kind,
-            ExprKind::Construct { brace: true, .. }
-        ));
+        assert!(matches!(v.init.as_ref().unwrap().kind, ExprKind::Construct { brace: true, .. }));
         let Stmt::Expr { expr, .. } = &stmts[1] else { panic!() };
         let ExprKind::Call { args, .. } = &expr.kind else { panic!() };
         assert!(matches!(args[0].kind, ExprKind::InitList(_)));

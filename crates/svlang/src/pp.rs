@@ -161,12 +161,8 @@ impl Pp<'_> {
             self.system_files.insert(file);
         }
         let path = sf.path.clone();
-        let toks = lex(
-            &sf.text,
-            file,
-            &path,
-            LexOptions { keep_comments: false, keep_newlines: true },
-        )?;
+        let toks =
+            lex(&sf.text, file, &path, LexOptions { keep_comments: false, keep_newlines: true })?;
 
         let mut i = 0usize;
         let mut conds: Vec<CondState> = Vec::new();
@@ -244,11 +240,8 @@ impl Pp<'_> {
                                     ),
                                 ));
                             }
-                            let map: HashMap<&str, &Vec<Token>> = params
-                                .iter()
-                                .map(String::as_str)
-                                .zip(args.iter())
-                                .collect();
+                            let map: HashMap<&str, &Vec<Token>> =
+                                params.iter().map(String::as_str).zip(args.iter()).collect();
                             let mut substituted = Vec::new();
                             for bt in &body {
                                 match &bt.kind {
@@ -338,8 +331,7 @@ impl Pp<'_> {
                 if level.taken {
                     level.active = false;
                 } else {
-                    let parent_active =
-                        conds[..conds.len() - 1].iter().all(|c| c.active);
+                    let parent_active = conds[..conds.len() - 1].iter().all(|c| c.active);
                     let level = conds.last_mut().unwrap();
                     let v = parent_active && self.eval_cond(path, loc, rest)? != 0;
                     level.active = v;
@@ -348,9 +340,7 @@ impl Pp<'_> {
                 Ok(())
             }
             "else" => {
-                let parent_active = conds[..conds.len().saturating_sub(1)]
-                    .iter()
-                    .all(|c| c.active);
+                let parent_active = conds[..conds.len().saturating_sub(1)].iter().all(|c| c.active);
                 let level = conds
                     .last_mut()
                     .ok_or_else(|| LangError::new(path, loc.line, "#else without #if"))?;
@@ -359,9 +349,7 @@ impl Pp<'_> {
                 Ok(())
             }
             "endif" => {
-                conds
-                    .pop()
-                    .ok_or_else(|| LangError::new(path, loc.line, "#endif without #if"))?;
+                conds.pop().ok_or_else(|| LangError::new(path, loc.line, "#endif without #if"))?;
                 Ok(())
             }
             "error" if active => {
@@ -500,11 +488,7 @@ impl Pp<'_> {
 
 /// Gather macro-call arguments starting at the `(` token index; returns the
 /// argument token lists and the index just past the closing `)`.
-fn collect_macro_args(
-    toks: &[Token],
-    open: usize,
-    path: &str,
-) -> Result<(Vec<Vec<Token>>, usize)> {
+fn collect_macro_args(toks: &[Token], open: usize, path: &str) -> Result<(Vec<Vec<Token>>, usize)> {
     let mut args: Vec<Vec<Token>> = vec![Vec::new()];
     let mut depth = 0usize;
     let mut i = open;
@@ -645,19 +629,13 @@ mod tests {
         }
         let main = ss.lookup(files[0].0).unwrap();
         let opts = PpOptions {
-            defines: defines
-                .iter()
-                .map(|(n, v)| (n.to_string(), v.map(str::to_string)))
-                .collect(),
+            defines: defines.iter().map(|(n, v)| (n.to_string(), v.map(str::to_string))).collect(),
         };
         preprocess(&ss, main, &opts).unwrap()
     }
 
     fn idents(out: &PpOutput) -> Vec<String> {
-        out.tokens
-            .iter()
-            .filter_map(|t| t.kind.ident().map(str::to_string))
-            .collect()
+        out.tokens.iter().filter_map(|t| t.kind.ident().map(str::to_string)).collect()
     }
 
     #[test]
@@ -696,20 +674,15 @@ mod tests {
 
     #[test]
     fn include_quoted() {
-        let out = run(
-            &[("m.cpp", "#include \"k.h\"\nint b;"), ("k.h", "int a;")],
-            &[],
-        );
+        let out = run(&[("m.cpp", "#include \"k.h\"\nint b;"), ("k.h", "int a;")], &[]);
         assert_eq!(idents(&out), vec!["int", "a", "int", "b"]);
         assert_eq!(out.included.len(), 2);
     }
 
     #[test]
     fn include_angle_resolves_and_marks_system() {
-        let out = run(
-            &[("m.cpp", "#include <sys/omp.h>\nint b;"), ("sys/omp.h", "int omp_get;")],
-            &[],
-        );
+        let out =
+            run(&[("m.cpp", "#include <sys/omp.h>\nint b;"), ("sys/omp.h", "int omp_get;")], &[]);
         assert_eq!(idents(&out), vec!["int", "omp_get", "int", "b"]);
         assert_eq!(out.system_files.len(), 1);
     }

@@ -53,10 +53,9 @@ impl Registry {
         let mut r = Registry { system_files: system_files.clone(), ..Registry::default() };
         for item in &prog.items {
             match item {
-                Item::Function(f)
-                    if f.body.is_some() => {
-                        r.functions.insert(f.name.clone(), f.clone());
-                    }
+                Item::Function(f) if f.body.is_some() => {
+                    r.functions.insert(f.name.clone(), f.clone());
+                }
                 Item::Struct(s) => {
                     r.records.insert(s.name.clone());
                     for m in &s.methods {

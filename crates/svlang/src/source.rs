@@ -66,7 +66,12 @@ impl SourceSet {
         self.add_file(path, text, true)
     }
 
-    fn add_file(&mut self, path: impl Into<String>, text: impl Into<String>, system: bool) -> FileId {
+    fn add_file(
+        &mut self,
+        path: impl Into<String>,
+        text: impl Into<String>,
+        system: bool,
+    ) -> FileId {
         let path = path.into();
         let text = text.into();
         if let Some(&id) = self.by_path.get(&path) {

@@ -102,12 +102,7 @@ pub fn compile_unit(sources: &SourceSet, main: FileId, opts: &UnitOptions) -> Re
     }
 }
 
-fn compile_cpp(
-    sources: &SourceSet,
-    main: FileId,
-    path: &str,
-    opts: &UnitOptions,
-) -> Result<Unit> {
+fn compile_cpp(sources: &SourceSet, main: FileId, path: &str, opts: &UnitOptions) -> Result<Unit> {
     let _unit_span = svtrace::span!("unit.compile", unit = path);
     let pp_opts = PpOptions { defines: opts.defines.clone() };
     let out = {
@@ -139,8 +134,7 @@ fn compile_cpp(
     }
     let norm_span = svtrace::span!("unit.normalise", unit = path);
     let pre_pairs = measure::normalized_lines_with_locs(&pre_tokens);
-    let line_locs_pre: Vec<(u32, u32)> =
-        pre_pairs.iter().map(|(_, (f, l))| (f.0, *l)).collect();
+    let line_locs_pre: Vec<(u32, u32)> = pre_pairs.iter().map(|(_, (f, l))| (f.0, *l)).collect();
     let lines_pre: Vec<String> = pre_pairs.into_iter().map(|(s, _)| s).collect();
     let sloc_pre = lines_pre.len();
     let lloc_pre = measure::lloc(&pre_tokens);
@@ -148,8 +142,7 @@ fn compile_cpp(
 
     // --- post-preprocessing view ----------------------------------------
     let post_pairs = measure::normalized_lines_with_locs(&out.tokens);
-    let line_locs_post: Vec<(u32, u32)> =
-        post_pairs.iter().map(|(_, (f, l))| (f.0, *l)).collect();
+    let line_locs_post: Vec<(u32, u32)> = post_pairs.iter().map(|(_, (f, l))| (f.0, *l)).collect();
     let lines_post: Vec<String> = post_pairs.into_iter().map(|(s, _)| s).collect();
     let sloc_post = lines_post.len();
     let lloc_post = measure::lloc(&out.tokens);
@@ -250,8 +243,7 @@ fn compile_fortran(sources: &SourceSet, main: FileId, path: &str) -> Result<Unit
     };
 
     let pre_pairs = measure::normalized_lines_with_locs(&tokens);
-    let line_locs_pre: Vec<(u32, u32)> =
-        pre_pairs.iter().map(|(_, (f, l))| (f.0, *l)).collect();
+    let line_locs_pre: Vec<(u32, u32)> = pre_pairs.iter().map(|(_, (f, l))| (f.0, *l)).collect();
     let lines_pre: Vec<String> = pre_pairs.into_iter().map(|(s, _)| s).collect();
     let sloc_pre = lines_pre.len();
     // Fortran logical lines: one per statement (Newline-delimited), pragmas
@@ -323,10 +315,7 @@ mod tests {
         }
         let main = ss.lookup(files[0].0).unwrap();
         let opts = UnitOptions {
-            defines: defines
-                .iter()
-                .map(|(n, v)| (n.to_string(), v.map(str::to_string)))
-                .collect(),
+            defines: defines.iter().map(|(n, v)| (n.to_string(), v.map(str::to_string))).collect(),
             inline_depth: None,
         };
         compile_unit(&ss, main, &opts).unwrap()

@@ -199,7 +199,10 @@ impl<'a> Measured<'a> {
 
     /// Measure a unit with its runtime coverage profile.
     pub fn with_coverage(unit: &Unit, coverage: &'a CoverageMask) -> Measured<'a> {
-        Measured { art: std::borrow::Cow::Owned(Artifacts::from_unit(unit)), coverage: Some(coverage) }
+        Measured {
+            art: std::borrow::Cow::Owned(Artifacts::from_unit(unit)),
+            coverage: Some(coverage),
+        }
     }
 
     /// Measure stored artefacts (the Codebase-DB path).
@@ -308,7 +311,12 @@ impl Divergence {
 
 /// Divergence between two units under a metric/variant (Eq. 6 for one
 /// matched pair).
-pub fn divergence(metric: Metric, v: Variant, from: &Measured<'_>, to: &Measured<'_>) -> Divergence {
+pub fn divergence(
+    metric: Metric,
+    v: Variant,
+    from: &Measured<'_>,
+    to: &Measured<'_>,
+) -> Divergence {
     match metric {
         Metric::Sloc | Metric::Lloc => {
             let a = absolute(from, metric, v) as u64;
@@ -560,10 +568,8 @@ mod tests {
         // consistently higher T_sem divergence when compared to T_src".
         let serial = unit(App::TeaLeaf, Model::Serial).unwrap();
         let omp = unit(App::TeaLeaf, Model::OpenMp).unwrap();
-        let dsrc =
-            divergence(Metric::TSrc, Variant::PLAIN, &measured(&serial), &measured(&omp));
-        let dsem =
-            divergence(Metric::TSem, Variant::PLAIN, &measured(&serial), &measured(&omp));
+        let dsrc = divergence(Metric::TSrc, Variant::PLAIN, &measured(&serial), &measured(&omp));
+        let dsem = divergence(Metric::TSem, Variant::PLAIN, &measured(&serial), &measured(&omp));
         assert!(
             dsem.normalized() > dsrc.normalized(),
             "T_sem {} vs T_src {}",
@@ -580,11 +586,9 @@ mod tests {
         let serial = unit(App::TeaLeaf, Model::Serial).unwrap();
         let omp = unit(App::TeaLeaf, Model::OpenMp).unwrap();
         let d_plain = divergence(Metric::TSem, Variant::PLAIN, &measured(&serial), &measured(&omp));
-        let d_inl =
-            divergence(Metric::TSem, Variant::INLINED, &measured(&serial), &measured(&omp));
+        let d_inl = divergence(Metric::TSem, Variant::INLINED, &measured(&serial), &measured(&omp));
         // OpenMP relies on the compiler, so inlining changes little.
-        let delta_omp =
-            (d_inl.normalized() - d_plain.normalized()).abs();
+        let delta_omp = (d_inl.normalized() - d_plain.normalized()).abs();
         assert!(delta_omp < 0.15, "OpenMP inlining delta {delta_omp}");
     }
 
@@ -597,12 +601,7 @@ mod tests {
         let plain =
             divergence(Metric::Source, Variant::PLAIN, &measured(&serial), &measured(&sycl));
         let pp = divergence(Metric::Source, Variant::PP, &measured(&serial), &measured(&sycl));
-        assert!(
-            pp.distance > plain.distance * 5,
-            "pp {} vs plain {}",
-            pp.distance,
-            plain.distance
-        );
+        assert!(pp.distance > plain.distance * 5, "pp {} vs plain {}", pp.distance, plain.distance);
     }
 
     #[test]
@@ -613,8 +612,7 @@ mod tests {
         let omp = unit(App::BabelStream, Model::OpenMp).unwrap();
         let cuda = unit(App::BabelStream, Model::Cuda).unwrap();
         let d_omp = divergence(Metric::TIr, Variant::PLAIN, &measured(&serial), &measured(&omp));
-        let d_cuda =
-            divergence(Metric::TIr, Variant::PLAIN, &measured(&serial), &measured(&cuda));
+        let d_cuda = divergence(Metric::TIr, Variant::PLAIN, &measured(&serial), &measured(&cuda));
         assert!(
             d_cuda.distance > d_omp.distance,
             "cuda {} vs omp {}",
@@ -628,11 +626,8 @@ mod tests {
         let u = unit(App::BabelStream, Model::Serial).unwrap();
         let run = svexec::run_unit(&u).unwrap();
         let plain = tree_of(&Measured::new(&u), Metric::TSem, Variant::PLAIN);
-        let covd = tree_of(
-            &Measured::with_coverage(&u, &run.coverage),
-            Metric::TSem,
-            Variant::COVERAGE,
-        );
+        let covd =
+            tree_of(&Measured::with_coverage(&u, &run.coverage), Metric::TSem, Variant::COVERAGE);
         assert!(covd.size() <= plain.size());
         assert!(covd.size() > 0);
     }
@@ -735,9 +730,12 @@ mod tests {
             ("src/driver.cpp", "int main() { return 0; }"),
         ]);
         let omp = build(&[
-            ("omp/kernels.cpp", "void triad(double* a, const double* b, const double* c, double s, int n) {
+            (
+                "omp/kernels.cpp",
+                "void triad(double* a, const double* b, const double* c, double s, int n) {
 #pragma omp parallel for
-for (int i = 0; i < n; i++) { a[i] = b[i] + s * c[i]; } }"),
+for (int i = 0; i < n; i++) { a[i] = b[i] + s * c[i]; } }",
+            ),
             ("omp/driver.cpp", "int main() { return 0; }"),
             ("omp/extras.cpp", "void omp_only_tuning() { int chunk = 64; }"),
         ]);
@@ -771,7 +769,8 @@ for (int i = 0; i < n; i++) { a[i] = b[i] + s * c[i]; } }"),
         // invisible to the semantic tree.
         use svlang::source::SourceSet;
         use svlang::unit::{compile_unit, UnitOptions};
-        let tight = "void f(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = 2.0 * a[i]; } }";
+        let tight =
+            "void f(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = 2.0 * a[i]; } }";
         let airy = "void f(double* a,
        int n)
 {

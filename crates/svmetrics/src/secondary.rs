@@ -24,11 +24,7 @@ pub struct Coupling {
 pub fn coupling(unit: &Unit) -> Coupling {
     let main_file = unit.main.0;
     let total = unit.line_locs_pre.len().max(1);
-    let foreign = unit
-        .line_locs_pre
-        .iter()
-        .filter(|(f, _)| *f != main_file)
-        .count();
+    let foreign = unit.line_locs_pre.iter().filter(|(f, _)| *f != main_file).count();
     Coupling {
         user_fan_out: unit.dep_files.len(),
         system_fan_out: unit.system_files.len(),

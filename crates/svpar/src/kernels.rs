@@ -142,8 +142,7 @@ pub fn stencil5_seq(u: &[f64], w: &mut [f64], nx: usize, ny: usize) {
     for j in 1..ny - 1 {
         for i in 1..nx - 1 {
             let c = j * nx + i;
-            w[c] = 0.6 * u[c]
-                + 0.1 * (u[c - 1] + u[c + 1] + u[c - nx] + u[c + nx]);
+            w[c] = 0.6 * u[c] + 0.1 * (u[c - 1] + u[c + 1] + u[c - nx] + u[c + nx]);
         }
     }
 }
@@ -175,7 +174,12 @@ pub fn stencil5(u: &[f64], w: &mut [f64], nx: usize, ny: usize) {
 
 /// Ideal-gas equation of state: pressure and sound-speed update from
 /// density and energy, sequential.
-pub fn ideal_gas_seq(density: &[f64], energy: &[f64], pressure: &mut [f64], soundspeed: &mut [f64]) {
+pub fn ideal_gas_seq(
+    density: &[f64],
+    energy: &[f64],
+    pressure: &mut [f64],
+    soundspeed: &mut [f64],
+) {
     const GAMMA: f64 = 1.4;
     for i in 0..density.len() {
         pressure[i] = (GAMMA - 1.0) * density[i] * energy[i];

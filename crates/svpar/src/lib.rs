@@ -152,17 +152,11 @@ pub fn par_map_reduce<R: Send>(
         }
     })
     .expect("worker panicked in par_map_reduce");
-    partials
-        .into_iter()
-        .map(|p| p.expect("partial missing"))
-        .fold(identity(), reduce)
+    partials.into_iter().map(|p| p.expect("partial missing")).fold(identity(), reduce)
 }
 
 /// Parallel map into a fresh `Vec`, preserving order.
-pub fn par_map_collect<T: Send + Sync, R: Send>(
-    items: &[T],
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
+pub fn par_map_collect<T: Send + Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let threads = num_threads();
     if items.len() < 64 || threads <= 1 {
         // Task-style maps (e.g. one TED per model pair) are heavy per item,

@@ -34,10 +34,8 @@ pub fn cascade(app: App) -> Cascade {
     let rows = Model::ALL
         .iter()
         .map(|&model| {
-            let mut series: Vec<(&'static str, f64)> = PLATFORMS
-                .iter()
-                .map(|p| (p.abbr, app_efficiency(app, model, p)))
-                .collect();
+            let mut series: Vec<(&'static str, f64)> =
+                PLATFORMS.iter().map(|p| (p.abbr, app_efficiency(app, model, p))).collect();
             series.sort_by(|a, b| b.1.total_cmp(&a.1));
             CascadeRow { model, series, phi: phi_all(app, model) }
         })
@@ -59,10 +57,7 @@ impl Cascade {
             let bar_len = (row.phi * 20.0).round() as usize;
             s.push_str(&format!("  Φ={:.3} {}\n", row.phi, "#".repeat(bar_len)));
         }
-        s.push_str(&format!(
-            "{:>width$} |",
-            "platform#"
-        ));
+        s.push_str(&format!("{:>width$} |", "platform#"));
         for i in 1..=PLATFORMS.len() {
             s.push_str(&format!(" {i:>5}"));
         }
@@ -174,11 +169,8 @@ impl NavigationChart {
 
     /// The "ideal" quadrant check: models sorted by (Φ, resemblance).
     pub fn ranked(&self) -> Vec<(Model, f64)> {
-        let mut v: Vec<(Model, f64)> = self
-            .points
-            .iter()
-            .map(|p| (p.model, p.phi * (1.0 / (1.0 + p.div_t_sem))))
-            .collect();
+        let mut v: Vec<(Model, f64)> =
+            self.points.iter().map(|p| (p.model, p.phi * (1.0 / (1.0 + p.div_t_sem)))).collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v
     }

@@ -68,12 +68,7 @@ fn app_factor(model: Model, app: App, p: &Platform) -> f64 {
 /// whole evaluation is reproducible.
 fn jitter(model: Model, app: App, p: &Platform) -> f64 {
     let mut h: u64 = 0xcbf29ce484222325;
-    for b in p
-        .abbr
-        .bytes()
-        .chain(model.name().bytes())
-        .chain(app.name().bytes())
-    {
+    for b in p.abbr.bytes().chain(model.name().bytes()).chain(app.name().bytes()) {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x100000001b3);
     }
@@ -123,10 +118,7 @@ pub fn app_efficiency(app: App, model: Model, p: &'static Platform) -> f64 {
     if own == 0.0 {
         return 0.0;
     }
-    let best = Model::ALL
-        .iter()
-        .map(|&m| run_bench(app, m, p).achieved)
-        .fold(0.0f64, f64::max);
+    let best = Model::ALL.iter().map(|&m| run_bench(app, m, p).achieved).fold(0.0f64, f64::max);
     (own / best).min(1.0)
 }
 
@@ -222,8 +214,7 @@ mod tests {
         // Harmonic mean ≤ arithmetic mean; equality only when uniform.
         let refs: Vec<&'static Platform> = PLATFORMS.iter().collect();
         let m = Model::Kokkos;
-        let effs: Vec<f64> =
-            refs.iter().map(|p| app_efficiency(App::TeaLeaf, m, p)).collect();
+        let effs: Vec<f64> = refs.iter().map(|p| app_efficiency(App::TeaLeaf, m, p)).collect();
         let am = effs.iter().sum::<f64>() / effs.len() as f64;
         let hm = phi(App::TeaLeaf, m, &refs);
         assert!(hm <= am + 1e-12);

@@ -16,8 +16,16 @@
 //! format) and the live `metrics` endpoint (via [`TedCache::registry`]).
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use svtrace::{Counter, Gauge, Registry};
+
+/// Lock the cache tolerating poisoning: a handler panic while holding the
+/// lock (the critical sections never call user code, but panics can be
+/// injected anywhere in tests) must degrade to a stale-recency cache, not
+/// wedge every later request.
+fn lock_ip<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Content address of one pairwise computation.
 ///
@@ -121,11 +129,7 @@ impl TedCache {
         let bytes_gauge = registry.gauge("cache.bytes");
         registry.gauge("cache.byte_budget").set(byte_budget as f64);
         TedCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                recency: BTreeMap::new(),
-                tick: 0,
-            }),
+            inner: Mutex::new(Inner { map: HashMap::new(), recency: BTreeMap::new(), tick: 0 }),
             byte_budget,
             registry,
             hits,
@@ -149,7 +153,7 @@ impl TedCache {
 
     /// Look up a pair, counting a hit or miss and refreshing recency.
     pub fn get(&self, key: &CacheKey) -> Option<CachedPair> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_ip(&self.inner);
         let inner = &mut *inner;
         match inner.map.get_mut(key) {
             Some((val, tick)) => {
@@ -171,7 +175,7 @@ impl TedCache {
     /// Insert a pair, evicting least-recently-used entries past the budget.
     pub fn put(&self, key: CacheKey, val: CachedPair) {
         let cap = self.capacity();
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_ip(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some((_, old_tick)) = inner.map.insert(key, (val, tick)) {
@@ -211,7 +215,7 @@ impl TedCache {
 
     /// Counter + occupancy snapshot.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_ip(&self.inner);
         CacheStats {
             hits: self.hits.get(),
             misses: self.misses.get(),

@@ -114,11 +114,8 @@ pub fn pair_cached(
     let key = CacheKey::pair(a.fp(), b.fp(), metric_code(metric), variant_code(v), COST_UNIT);
     let entry = cache.get_or_compute(key, || {
         compute_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let (w_lo, w_hi) = if a.fp() <= b.fp() {
-            (a.weight(), b.weight())
-        } else {
-            (b.weight(), a.weight())
-        };
+        let (w_lo, w_hi) =
+            if a.fp() <= b.fp() { (a.weight(), b.weight()) } else { (b.weight(), a.weight()) };
         CachedPair { distance: raw_distance(a, b), weight_lo: w_lo, weight_hi: w_hi }
     });
     // Re-orient the stored weights to the caller's (a, b) order.
@@ -182,9 +179,7 @@ pub fn divergence_cached(
 /// same f64 expression).
 pub fn matrix_cell(metric: Metric, pair: &CachedPair) -> f64 {
     match metric {
-        Metric::Source => {
-            pair.distance as f64 / (pair.weight_lo + pair.weight_hi).max(1) as f64
-        }
+        Metric::Source => pair.distance as f64 / (pair.weight_lo + pair.weight_hi).max(1) as f64,
         _ => pair.distance as f64 / pair.weight_lo.max(pair.weight_hi).max(1) as f64,
     }
 }
@@ -250,8 +245,7 @@ mod tests {
     #[test]
     fn supports_covers_exactly_the_expensive_metrics() {
         for m in Metric::ALL {
-            let expect =
-                matches!(m, Metric::TSrc | Metric::TSem | Metric::TIr | Metric::Source);
+            let expect = matches!(m, Metric::TSrc | Metric::TSem | Metric::TIr | Metric::Source);
             assert_eq!(supports(m), expect, "{m:?}");
         }
     }

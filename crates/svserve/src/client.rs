@@ -4,32 +4,84 @@
 //! *connections*, not within one), which keeps the client a trivial
 //! write-frame/read-frame pair.  Also used in-process by the
 //! `silvervale client` and `silvervale stats` subcommands.
+//!
+//! [`Client::call_with_retry`] layers the client half of the failure
+//! model on top: retryable server errors (`overloaded`, `shutting_down`)
+//! and transport failures are retried with exponential backoff and
+//! deterministic jitter, so a loaded server sheds work instead of
+//! queueing unboundedly and well-behaved clients simply come back a
+//! moment later.
 
+use crate::faults::XorShift;
 use crate::proto::{parse_response, FrameRead, FrameReader, ServeError};
 use crate::svjson::Json;
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Backoff schedule for [`Client::call_with_retry`]: delay doubles each
+/// attempt from `base_delay` up to `max_delay`, scaled by a jitter factor
+/// in `[0.5, 1.5)` drawn from a seeded generator — the schedule is fully
+/// deterministic for a given seed, which keeps retry tests reproducible.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (1-based), jittered by
+    /// `rng`: `base · 2^(attempt-1)` capped at `max_delay`, then scaled
+    /// by a factor in `[0.5, 1.5)`.
+    fn delay(&self, attempt: u32, rng: &mut XorShift) -> Duration {
+        let shift = (attempt.saturating_sub(1)).min(16);
+        let exp = self.base_delay.saturating_mul(1u32 << shift);
+        let capped = exp.min(self.max_delay);
+        capped.mul_f64(0.5 + rng.next_unit()).min(self.max_delay)
+    }
+}
 
 /// A connected client.
 pub struct Client {
     writer: TcpStream,
     reader: FrameReader<TcpStream>,
+    addr: Option<SocketAddr>,
     next_id: u64,
+    retries: u64,
 }
 
 impl Client {
     /// Connect to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        let peer = stream.peer_addr().ok();
         let writer = stream.try_clone()?;
-        Ok(Client { writer, reader: FrameReader::new(stream), next_id: 1 })
+        Ok(Client { writer, reader: FrameReader::new(stream), addr: peer, next_id: 1, retries: 0 })
     }
 
     /// Call `method` with `params`, blocking for the response.
     ///
     /// Protocol- and handler-level failures come back as the structured
     /// [`ServeError`] the server sent; transport failures map to an
-    /// `io`-code error.
+    /// `io`-code error.  A response whose id does not match the request
+    /// is a protocol violation and reported as an `io` error.
     pub fn call(&mut self, method: &str, params: Json) -> Result<Json, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
@@ -41,20 +93,75 @@ impl Client {
         .to_string_compact();
         frame.push('\n');
         self.send_raw(&frame)?;
-        let (_, result) = self.recv()?;
-        result
+        let (rid, result) = self.recv()?;
+        match rid {
+            // A `null` id marks a frame-level failure (the server could
+            // not attribute the reply to a request); pass its error on.
+            Some(r) if r != id => Err(ServeError::new(
+                "io",
+                format!("response id {r} does not match request id {id}"),
+            )),
+            _ => result,
+        }
+    }
+
+    /// [`Client::call`] with retry: `overloaded` / `shutting_down`
+    /// replies and transport failures are retried up to
+    /// `policy.max_retries` times with exponential backoff and
+    /// deterministic jitter (transport failures also reconnect).
+    /// Non-retryable errors return immediately.
+    pub fn call_with_retry(
+        &mut self,
+        method: &str,
+        params: Json,
+        policy: &RetryPolicy,
+    ) -> Result<Json, ServeError> {
+        let mut rng = XorShift::new(policy.seed);
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.call(method, params.clone()) {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            let transport = err.code == "io";
+            if (!err.is_retryable() && !transport) || attempt >= policy.max_retries {
+                return Err(err);
+            }
+            attempt += 1;
+            self.retries += 1;
+            std::thread::sleep(policy.delay(attempt, &mut rng));
+            if transport && self.reconnect().is_err() {
+                return Err(err);
+            }
+        }
+    }
+
+    /// How many retries [`Client::call_with_retry`] has performed over
+    /// the client's lifetime.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Re-establish the connection after a transport failure.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let addr = self
+            .addr
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "peer address unknown"))?;
+        let stream = TcpStream::connect(addr)?;
+        self.writer = stream.try_clone()?;
+        self.reader = FrameReader::new(stream);
+        Ok(())
     }
 
     /// Write pre-framed bytes verbatim (for protocol tests: malformed or
     /// oversized frames).  The caller supplies the trailing newline.
     pub fn send_raw(&mut self, frame: &str) -> Result<(), ServeError> {
-        self.writer
-            .write_all(frame.as_bytes())
-            .map_err(|e| ServeError::new("io", e.to_string()))
+        self.writer.write_all(frame.as_bytes()).map_err(|e| ServeError::new("io", e.to_string()))
     }
 
-    /// Read the next response frame.
-    pub fn recv(&mut self) -> Result<(u64, Result<Json, ServeError>), ServeError> {
+    /// Read the next response frame.  The id is `None` when the server
+    /// could not attribute the response to a request (`"id": null`).
+    pub fn recv(&mut self) -> Result<(Option<u64>, Result<Json, ServeError>), ServeError> {
         loop {
             match self.reader.read_frame().map_err(|e| ServeError::new("io", e.to_string()))? {
                 FrameRead::Line(line) => {
@@ -69,5 +176,40 @@ impl Client {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+            seed: 1,
+        };
+        let mut rng = XorShift::new(policy.seed);
+        let delays: Vec<Duration> = (1..=8).map(|a| policy.delay(a, &mut rng)).collect();
+        for d in &delays {
+            assert!(*d <= policy.max_delay, "capped: {d:?}");
+            assert!(*d >= policy.base_delay / 2, "never degenerates to zero: {d:?}");
+        }
+        // Jitter aside, the envelope doubles: attempt 5's floor (80ms·0.5)
+        // exceeds attempt 1's ceiling (10ms·1.5).
+        assert!(delays[4] > delays[0]);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed() {
+        let schedule = |seed| {
+            let policy = RetryPolicy { seed, ..RetryPolicy::default() };
+            let mut rng = XorShift::new(seed);
+            (1..=6).map(|a| policy.delay(a, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(schedule(9), schedule(9));
+        assert_ne!(schedule(9), schedule(10));
     }
 }

@@ -15,6 +15,15 @@
 //!   JSON protocol (over `std::net`, no external dependencies) and its
 //!   two endpoints.
 //!
+//! The service carries an explicit failure model (see `DESIGN.md` §11):
+//! handler panics are isolated (`catch_unwind` + worker respawn) and
+//! answered with a `panic` error, per-request deadlines turn hangs into
+//! `deadline_exceeded`, a bounded queue sheds excess load with a
+//! retryable `overloaded`, shutdown drains gracefully, and the client
+//! retries retryable failures with seeded exponential backoff
+//! ([`client::RetryPolicy`]).  All of it is testable deterministically
+//! through [`faults`] — seed-driven fault injection at named sites.
+//!
 //! The crate is application-agnostic below [`server::Router`]: the
 //! `silvervale` binary registers the actual analysis handlers and owns
 //! the `serve`/`client`/`stats` CLI.
@@ -22,16 +31,20 @@
 pub mod cache;
 pub mod cached;
 pub mod client;
+pub mod faults;
 pub mod proto;
 pub mod sched;
 pub mod server;
 pub mod svjson;
 
 pub use cache::{CacheKey, CacheStats, CachedPair, TedCache};
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
+pub use faults::{Fault, FaultPlan};
 pub use proto::{Request, ServeError, MAX_FRAME};
-pub use sched::{JobPool, PoolStats};
-pub use server::{render_stats, serve, snapshot_json, Router, ServeHandle};
+pub use sched::{JobCtx, JobPool, PoolConfig, PoolStats};
+pub use server::{
+    render_stats, serve, serve_with, snapshot_json, Router, ServeConfig, ServeHandle,
+};
 
 #[cfg(test)]
 mod proptests {
@@ -49,9 +62,7 @@ mod proptests {
     /// An arbitrary small tree: label choices are narrow on purpose so
     /// random pairs share structure (the interesting TED cases).
     fn arb_tree(depth: u32) -> impl Strategy<Value = Tree> {
-        (0u8..5, 0usize..4).prop_map(move |(label, n_children)| {
-            build(depth, label, n_children)
-        })
+        (0u8..5, 0usize..4).prop_map(move |(label, n_children)| build(depth, label, n_children))
     }
 
     fn build(depth: u32, label: u8, n_children: usize) -> Tree {
@@ -61,11 +72,7 @@ mod proptests {
         }
         let children = (0..n_children)
             .map(|i| {
-                build(
-                    depth - 1,
-                    label.wrapping_add(i as u8).wrapping_mul(7),
-                    (n_children + i) % 3,
-                )
+                build(depth - 1, label.wrapping_add(i as u8).wrapping_mul(7), (n_children + i) % 3)
             })
             .collect();
         Tree::node(name, children)

@@ -55,10 +55,32 @@ impl ServeError {
 
     /// Frame exceeded [`MAX_FRAME`].
     pub fn frame_too_large() -> ServeError {
-        ServeError::new(
-            "frame_too_large",
-            format!("frame exceeds the {MAX_FRAME}-byte limit"),
-        )
+        ServeError::new("frame_too_large", format!("frame exceeds the {MAX_FRAME}-byte limit"))
+    }
+
+    /// The job missed its deadline (queued too long, or the handler ran
+    /// past it).  Retrying only helps with a longer deadline or a less
+    /// loaded server.
+    pub fn deadline_exceeded(message: impl Into<String>) -> ServeError {
+        ServeError::new("deadline_exceeded", message)
+    }
+
+    /// The server shed the job under load (queue full or draining).
+    /// Retryable: back off and resubmit.
+    pub fn overloaded(message: impl Into<String>) -> ServeError {
+        ServeError::new("overloaded", message)
+    }
+
+    /// The handler panicked; the worker survived (or was respawned) and
+    /// the ticket was completed with this error instead of hanging.
+    pub fn panicked(message: impl Into<String>) -> ServeError {
+        ServeError::new("panic", message)
+    }
+
+    /// True for transient server-side conditions a client may retry with
+    /// backoff (see [`crate::client::RetryPolicy`]).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self.code, "overloaded" | "shutting_down")
     }
 }
 
@@ -96,12 +118,9 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
 
 /// Serialise a success response frame (trailing newline included).
 pub fn response_ok(id: u64, result: Json) -> String {
-    let mut s = Json::obj([
-        ("id", Json::Num(id as f64)),
-        ("ok", Json::Bool(true)),
-        ("result", result),
-    ])
-    .to_string_compact();
+    let mut s =
+        Json::obj([("id", Json::Num(id as f64)), ("ok", Json::Bool(true)), ("result", result)])
+            .to_string_compact();
     s.push('\n');
     s
 }
@@ -126,9 +145,20 @@ pub fn response_err(id: Option<u64>, err: &ServeError) -> String {
 }
 
 /// A parsed response frame: `Ok(result)` or the server-side error.
-pub fn parse_response(line: &str) -> Result<(u64, Result<Json, ServeError>), String> {
+///
+/// The id is `None` only when the server explicitly sent `"id": null`
+/// (a request too mangled to carry one).  A *missing* or non-integer id
+/// is a protocol error — defaulting it (the old behaviour was `0`) could
+/// silently mis-match the response to a real request with that id.
+pub fn parse_response(line: &str) -> Result<(Option<u64>, Result<Json, ServeError>), String> {
     let v = svjson::parse(line).map_err(|e| e.to_string())?;
-    let id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let id = match v.get("id") {
+        Some(Json::Null) => None,
+        Some(j) => Some(
+            j.as_u64().ok_or_else(|| "response 'id' is not a non-negative integer".to_string())?,
+        ),
+        None => return Err("response frame lacks an 'id'".to_string()),
+    };
     match v.get("ok").and_then(Json::as_bool) {
         Some(true) => Ok((id, Ok(v.get("result").cloned().unwrap_or(Json::Null)))),
         Some(false) => {
@@ -144,12 +174,22 @@ pub fn parse_response(line: &str) -> Result<(u64, Result<Json, ServeError>), Str
                 .unwrap_or("")
                 .to_string();
             // Map dynamic wire codes back onto the static set.
-            let code = ["parse_error", "bad_params", "unknown_method", "not_found",
-                        "frame_too_large", "shutting_down", "io"]
-                .iter()
-                .find(|&&c| c == code)
-                .copied()
-                .unwrap_or("internal");
+            let code = [
+                "parse_error",
+                "bad_params",
+                "unknown_method",
+                "not_found",
+                "frame_too_large",
+                "shutting_down",
+                "io",
+                "deadline_exceeded",
+                "overloaded",
+                "panic",
+            ]
+            .iter()
+            .find(|&&c| c == code)
+            .copied()
+            .unwrap_or("internal");
             Ok((id, Err(ServeError::new(code, message))))
         }
         None => Err("response frame lacks 'ok'".to_string()),
@@ -226,10 +266,7 @@ impl<R: Read> FrameReader<R> {
                 Ok(0) => return Ok(FrameRead::Eof),
                 Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
                 Err(e)
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                    ) =>
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
                 {
                     return Ok(FrameRead::Timeout)
                 }
@@ -298,15 +335,46 @@ mod tests {
     fn response_roundtrip() {
         let ok = response_ok(3, Json::str("hi"));
         let (id, res) = parse_response(ok.trim_end()).unwrap();
-        assert_eq!(id, 3);
+        assert_eq!(id, Some(3));
         assert_eq!(res.unwrap().as_str(), Some("hi"));
 
         let err = response_err(Some(4), &ServeError::unknown_method("zap"));
         let (id, res) = parse_response(err.trim_end()).unwrap();
-        assert_eq!(id, 4);
+        assert_eq!(id, Some(4));
         let e = res.unwrap_err();
         assert_eq!(e.code, "unknown_method");
         assert!(e.message.contains("zap"));
+    }
+
+    #[test]
+    fn response_null_id_survives_but_missing_id_is_a_protocol_error() {
+        // Explicit null id: legal, marks an unattributable error reply.
+        let anon = response_err(None, &ServeError::parse("mangled"));
+        let (id, res) = parse_response(anon.trim_end()).unwrap();
+        assert_eq!(id, None);
+        assert_eq!(res.unwrap_err().code, "parse_error");
+        // Missing or mistyped id must NOT silently become 0 — it could
+        // mis-match the response to a real request with id 0.
+        assert!(parse_response(r#"{"ok":true,"result":1}"#).is_err());
+        assert!(parse_response(r#"{"id":"seven","ok":true,"result":1}"#).is_err());
+        assert!(parse_response(r#"{"id":-2,"ok":true,"result":1}"#).is_err());
+    }
+
+    #[test]
+    fn failure_model_codes_roundtrip() {
+        for err in [
+            ServeError::deadline_exceeded("too slow"),
+            ServeError::overloaded("queue full"),
+            ServeError::panicked("handler died"),
+        ] {
+            let frame = response_err(Some(9), &err);
+            let (_, res) = parse_response(frame.trim_end()).unwrap();
+            assert_eq!(res.unwrap_err().code, err.code, "{}", err.code);
+        }
+        assert!(ServeError::overloaded("x").is_retryable());
+        assert!(ServeError::new("shutting_down", "x").is_retryable());
+        assert!(!ServeError::deadline_exceeded("x").is_retryable());
+        assert!(!ServeError::panicked("x").is_retryable());
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Job scheduler: a persistent worker pool with in-flight deduplication.
+//! Job scheduler: a persistent worker pool with in-flight deduplication
+//! and a real failure model.
 //!
 //! Connections never execute analysis work themselves — they submit jobs
 //! keyed by request content and block on the result.  Identical jobs that
@@ -8,44 +9,135 @@
 //! then covers *sequential* repeats).  Workers are plain threads over an
 //! `mpsc` channel.
 //!
+//! The failure model, in one invariant: **a ticket handed out by
+//! [`JobPool::run_with`] is always completed** — with the job's result,
+//! or with a structured error.  Concretely:
+//!
+//! * a panicking job is caught (`catch_unwind`) and answered with a
+//!   `panic` error; a panic escaping the catch (infrastructure code, or
+//!   an injected `pool.worker` fault) trips a respawn guard that
+//!   completes the ticket *and* spawns a replacement worker, so the pool
+//!   never silently shrinks;
+//! * the queue is bounded: past [`PoolConfig::max_queue`] pending jobs,
+//!   new submissions are shed with a retryable `overloaded` error;
+//! * each job may carry a deadline: waiters give up with
+//!   `deadline_exceeded` when it passes, and a job whose deadline expired
+//!   while it sat in the queue is skipped, not executed ([`JobCtx`] lets
+//!   long handlers cooperate mid-run);
+//! * [`JobPool::begin_drain`] switches the pool to graceful-drain mode:
+//!   in-flight jobs finish, queued jobs are shed with `shutting_down`;
+//! * every lock acquisition tolerates poisoning — one panic must never
+//!   wedge the scheduler for every later request.
+//!
 //! Per-job timing lands on a pool-owned `svtrace::Registry`: busy time
-//! feeds the `stats` endpoint's utilization figure, and two histograms
-//! split every job's latency into **queue wait** (submit → worker pickup)
-//! vs **compute time** (worker execution) — the first thing to look at
-//! when a server is slow is whether jobs wait or work.
+//! feeds the `stats` endpoint's utilization figure, two histograms split
+//! every job's latency into **queue wait** vs **compute time**, and the
+//! failure counters (`pool.shed`, `pool.panics`, `pool.respawns`,
+//! `pool.deadline_exceeded`, `pool.drained`) feed the `metrics` builtin.
 
+use crate::faults::FaultPlan;
 use crate::proto::ServeError;
 use crate::svjson::Json;
 use std::collections::HashMap;
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 use svtrace::{Counter, Histogram, Registry};
 
 type JobResult = Result<Json, ServeError>;
-type JobFn = Box<dyn FnOnce() -> JobResult + Send>;
+type JobFn = Box<dyn FnOnce(&JobCtx) -> JobResult + Send>;
+
+/// Lock a mutex, tolerating poisoning: a worker that panicked while
+/// holding the lock leaves the data in a sane state for this scheduler
+/// (all critical sections are small and re-entrancy-free), and wedging
+/// every subsequent request on an unwrap would turn one panic into a
+/// permanent outage.
+fn lock_ip<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Per-job execution context: the deadline and the cooperative
+/// cancellation flag, for handlers that want to stop early instead of
+/// computing a result nobody is waiting for.
+pub struct JobCtx {
+    deadline: Option<Instant>,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl JobCtx {
+    /// The job's absolute deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Time left before the deadline (`None` when there is no deadline,
+    /// zero when it already passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// True once the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// True once every waiter has given up on this job.
+    pub fn cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The check long-running handlers should poll: deadline passed or
+    /// all waiters gone.
+    pub fn should_stop(&self) -> bool {
+        self.cancelled() || self.expired()
+    }
+}
 
 /// Rendezvous for one in-flight job: the executing worker fills `result`,
 /// every attached waiter clones it.
 struct JobSlot {
     result: Mutex<Option<JobResult>>,
     done: Condvar,
+    /// Waiters currently blocked on (or about to block on) this slot.
+    waiters: AtomicUsize,
+    /// Set when the last waiter gave up — cooperative cancellation.
+    cancelled: Arc<AtomicBool>,
 }
 
 impl JobSlot {
     fn new() -> JobSlot {
-        JobSlot { result: Mutex::new(None), done: Condvar::new() }
+        JobSlot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+            waiters: AtomicUsize::new(0),
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
     }
 
-    fn wait(&self) -> JobResult {
-        let mut guard = self.result.lock().unwrap();
-        while guard.is_none() {
-            guard = self.done.wait(guard).unwrap();
+    /// Block until the slot is filled or `deadline` passes; `None` means
+    /// the deadline won.
+    fn wait_until(&self, deadline: Option<Instant>) -> Option<JobResult> {
+        let mut guard = lock_ip(&self.result);
+        loop {
+            if let Some(r) = guard.as_ref() {
+                return Some(r.clone());
+            }
+            match deadline {
+                None => guard = self.done.wait(guard).unwrap_or_else(|e| e.into_inner()),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    guard =
+                        self.done.wait_timeout(guard, d - now).unwrap_or_else(|e| e.into_inner()).0;
+                }
+            }
         }
-        guard.clone().unwrap()
     }
 
     fn fill(&self, r: JobResult) {
-        *self.result.lock().unwrap() = Some(r);
+        *lock_ip(&self.result) = Some(r);
         self.done.notify_all();
     }
 }
@@ -59,6 +151,18 @@ pub struct PoolStats {
     pub executed: u64,
     /// Jobs that attached to an identical in-flight job instead.
     pub deduped: u64,
+    /// Jobs rejected with `overloaded` because the queue was full.
+    pub shed: u64,
+    /// Queued jobs shed with `shutting_down` during a graceful drain.
+    pub drained: u64,
+    /// Panics caught or absorbed (ticket completed with a `panic` error).
+    pub panics: u64,
+    /// Replacement workers spawned after a worker died mid-job.
+    pub respawns: u64,
+    /// Deadline misses (waiter timeouts plus expired-in-queue skips).
+    pub deadline_exceeded: u64,
+    /// Jobs currently queued (submitted, not yet picked up by a worker).
+    pub queued: usize,
     /// Worker threads in the pool.
     pub workers: usize,
     /// Fraction of worker wall-clock spent executing jobs since the pool
@@ -66,79 +170,117 @@ pub struct PoolStats {
     pub utilization: f64,
 }
 
+/// Pool construction knobs; [`JobPool::new`] uses the defaults with an
+/// explicit worker count.
+#[derive(Clone)]
+pub struct PoolConfig {
+    /// Worker threads (minimum 1).
+    pub workers: usize,
+    /// Maximum queued (not yet picked up) jobs before submissions are
+    /// shed with `overloaded` (minimum 1).
+    pub max_queue: usize,
+    /// Optional fault-injection plan; sites `pool.worker` (outside the
+    /// job's `catch_unwind` — exercises the respawn guard) and
+    /// `pool.execute` (inside it — models a faulty handler).
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+/// Default bound on the queue: deep enough that only a genuinely
+/// overloaded server sheds, shallow enough to bound memory and latency.
+pub const DEFAULT_MAX_QUEUE: usize = 1024;
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig { workers: 1, max_queue: DEFAULT_MAX_QUEUE, faults: None }
+    }
+}
+
+struct Job {
+    slot: Arc<JobSlot>,
+    key: String,
+    submitted_at: Instant,
+    deadline: Option<Instant>,
+    f: JobFn,
+}
+
 struct Shared {
     inflight: Mutex<HashMap<String, Arc<JobSlot>>>,
+    rx: Mutex<mpsc::Receiver<Job>>,
+    /// Live worker handles; respawned replacements are pushed here too.
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    queued: AtomicUsize,
+    draining: AtomicBool,
+    max_queue: usize,
+    faults: Option<Arc<FaultPlan>>,
     registry: Registry,
     submitted: Arc<Counter>,
     executed: Arc<Counter>,
     deduped: Arc<Counter>,
+    shed: Arc<Counter>,
+    drained: Arc<Counter>,
+    panics: Arc<Counter>,
+    respawns: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
     busy_nanos: Arc<Counter>,
     queue_wait_us: Arc<Histogram>,
     exec_us: Arc<Histogram>,
 }
 
 /// The worker pool.  Dropping it (or calling [`JobPool::shutdown`])
-/// closes the queue and joins every worker.
+/// drains gracefully: in-flight jobs finish, queued jobs are shed, and
+/// every worker is joined.
 pub struct JobPool {
-    tx: Option<mpsc::Sender<(Arc<JobSlot>, String, Instant, JobFn)>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    tx: Option<mpsc::Sender<Job>>,
     shared: Arc<Shared>,
+    configured_workers: usize,
     started: Instant,
 }
 
 impl JobPool {
-    /// Spawn a pool of `workers` threads (minimum 1).
+    /// Spawn a pool of `workers` threads (minimum 1) with the default
+    /// queue bound and no fault injection.
     pub fn new(workers: usize) -> JobPool {
-        let workers = workers.max(1);
-        let (tx, rx) = mpsc::channel::<(Arc<JobSlot>, String, Instant, JobFn)>();
-        let rx = Arc::new(Mutex::new(rx));
+        JobPool::with_config(PoolConfig { workers, ..PoolConfig::default() })
+    }
+
+    /// Spawn a pool with explicit robustness knobs.
+    pub fn with_config(config: PoolConfig) -> JobPool {
+        let workers = config.workers.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
         let registry = Registry::new();
         let bounds = svtrace::latency_bounds_us();
         let shared = Arc::new(Shared {
             inflight: Mutex::new(HashMap::new()),
+            rx: Mutex::new(rx),
+            workers: Mutex::new(Vec::with_capacity(workers)),
+            queued: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            max_queue: config.max_queue.max(1),
+            faults: config.faults,
             submitted: registry.counter("pool.submitted"),
             executed: registry.counter("pool.executed"),
             deduped: registry.counter("pool.deduped"),
+            shed: registry.counter("pool.shed"),
+            drained: registry.counter("pool.drained"),
+            panics: registry.counter("pool.panics"),
+            respawns: registry.counter("pool.respawns"),
+            deadline_exceeded: registry.counter("pool.deadline_exceeded"),
             busy_nanos: registry.counter("pool.busy_nanos"),
             queue_wait_us: registry.histogram("pool.queue_wait_us", &bounds),
             exec_us: registry.histogram("pool.exec_us", &bounds),
             registry,
         });
-        let handles = (0..workers)
+        let handles: Vec<_> = (0..workers)
             .map(|i| {
-                let rx = Arc::clone(&rx);
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("svserve-worker-{i}"))
-                    .spawn(move || loop {
-                        // Hold the receiver lock only while dequeuing.
-                        let job = rx.lock().unwrap().recv();
-                        let (slot, key, submitted_at, f) = match job {
-                            Ok(j) => j,
-                            Err(_) => return, // queue closed: shut down
-                        };
-                        let t0 = Instant::now();
-                        shared
-                            .queue_wait_us
-                            .record(t0.duration_since(submitted_at).as_micros() as u64);
-                        let result = {
-                            let _s = svtrace::span!("pool.execute", key = key);
-                            f()
-                        };
-                        let elapsed = t0.elapsed();
-                        shared.busy_nanos.add(elapsed.as_nanos() as u64);
-                        shared.exec_us.record(elapsed.as_micros() as u64);
-                        shared.executed.inc();
-                        // Unregister before waking waiters: requests that
-                        // arrive from here on start a fresh job (and will
-                        // typically be answered by the result cache).
-                        shared.inflight.lock().unwrap().remove(&key);
-                        slot.fill(result);
-                    })
+                    .spawn(move || worker_loop(i, shared))
                     .expect("spawn worker thread")
             })
             .collect();
-        JobPool { tx: Some(tx), workers: handles, shared, started: Instant::now() }
+        lock_ip(&shared.workers).extend(handles);
+        JobPool { tx: Some(tx), shared, configured_workers: workers, started: Instant::now() }
     }
 
     /// The pool's metrics registry (counters plus the queue-wait/exec-time
@@ -154,10 +296,25 @@ impl JobPool {
     /// call attaches to it and returns the same result without running
     /// `job` at all.
     pub fn run(&self, key: String, job: impl FnOnce() -> JobResult + Send + 'static) -> JobResult {
+        self.run_with(key, None, move |_| job())
+    }
+
+    /// [`JobPool::run`] with a deadline and a [`JobCtx`] the job can poll
+    /// for cooperative cancellation.  When `deadline` passes before the
+    /// job completes, this returns a `deadline_exceeded` error — the
+    /// caller is never left blocking on a job that will not finish in
+    /// time, and a job nobody waits for any more is skipped or (if the
+    /// handler cooperates) aborted.
+    pub fn run_with(
+        &self,
+        key: String,
+        deadline: Option<Instant>,
+        job: impl FnOnce(&JobCtx) -> JobResult + Send + 'static,
+    ) -> JobResult {
         self.shared.submitted.inc();
         let submitted_at = Instant::now();
         let (slot, owner) = {
-            let mut inflight = self.shared.inflight.lock().unwrap();
+            let mut inflight = lock_ip(&self.shared.inflight);
             match inflight.get(&key) {
                 Some(slot) => (Arc::clone(slot), false),
                 None => {
@@ -167,38 +324,110 @@ impl JobPool {
                 }
             }
         };
+        slot.waiters.fetch_add(1, Ordering::SeqCst);
         if owner {
-            let tx = self.tx.as_ref().expect("pool is live while a reference exists");
-            if tx.send((Arc::clone(&slot), key.clone(), submitted_at, Box::new(job))).is_err() {
-                // Pool shut down between registration and submit.
-                self.shared.inflight.lock().unwrap().remove(&key);
-                return Err(ServeError::new("shutting_down", "job pool is stopped"));
+            let backlog = self.shared.queued.fetch_add(1, Ordering::SeqCst);
+            let reject = if self.shared.draining.load(Ordering::SeqCst) {
+                Some(ServeError::new("shutting_down", "job pool is draining"))
+            } else if backlog >= self.shared.max_queue {
+                self.shared.shed.inc();
+                Some(ServeError::overloaded(format!(
+                    "queue full ({backlog} jobs queued, limit {}); retry with backoff",
+                    self.shared.max_queue
+                )))
+            } else {
+                let tx = self.tx.as_ref().expect("pool is live while a reference exists");
+                tx.send(Job {
+                    slot: Arc::clone(&slot),
+                    key: key.clone(),
+                    submitted_at,
+                    deadline,
+                    f: Box::new(job),
+                })
+                .err()
+                .map(|_| ServeError::new("shutting_down", "job pool is stopped"))
+            };
+            if let Some(e) = reject {
+                self.shared.queued.fetch_sub(1, Ordering::SeqCst);
+                // Unregister first, then complete the ticket, so waiters
+                // that already attached wake with this error instead of
+                // hanging and late arrivals start a fresh job.
+                lock_ip(&self.shared.inflight).remove(&key);
+                slot.fill(Err(e.clone()));
+                slot.waiters.fetch_sub(1, Ordering::SeqCst);
+                return Err(e);
             }
         } else {
             self.shared.deduped.inc();
         }
-        slot.wait()
+        match slot.wait_until(deadline) {
+            Some(result) => {
+                slot.waiters.fetch_sub(1, Ordering::SeqCst);
+                result
+            }
+            None => {
+                // Deadline passed while the job was queued or executing.
+                // If we were the last waiter, flag cancellation so the
+                // worker skips the job (or the handler aborts early).
+                if slot.waiters.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    slot.cancelled.store(true, Ordering::SeqCst);
+                }
+                self.shared.deadline_exceeded.inc();
+                Err(ServeError::deadline_exceeded(format!(
+                    "job '{}' did not complete within its deadline",
+                    key.split_whitespace().next().unwrap_or(&key)
+                )))
+            }
+        }
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> PoolStats {
-        let workers = self.workers.len();
+        let workers = self.configured_workers;
         let elapsed = self.started.elapsed().as_nanos() as f64 * workers as f64;
         let busy = self.shared.busy_nanos.get() as f64;
         PoolStats {
             submitted: self.shared.submitted.get(),
             executed: self.shared.executed.get(),
             deduped: self.shared.deduped.get(),
+            shed: self.shared.shed.get(),
+            drained: self.shared.drained.get(),
+            panics: self.shared.panics.get(),
+            respawns: self.shared.respawns.get(),
+            deadline_exceeded: self.shared.deadline_exceeded.get(),
+            queued: self.shared.queued.load(Ordering::SeqCst),
             workers,
             utilization: if elapsed > 0.0 { (busy / elapsed).min(1.0) } else { 0.0 },
         }
     }
 
-    /// Drain the queue and join all workers.
+    /// True once a drain was requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Switch to graceful-drain mode: jobs already executing finish
+    /// normally, queued jobs are shed with `shutting_down`, and new
+    /// submissions are rejected.  Does not block; pair with
+    /// [`JobPool::shutdown`] (or drop) to join the workers.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Drain gracefully and join all workers (including respawned ones).
     pub fn shutdown(&mut self) {
-        self.tx.take(); // close the channel: workers exit after draining
-        for h in self.workers.drain(..) {
-            let _ = h.join();
+        self.begin_drain();
+        self.tx.take(); // close the channel: workers exit once idle
+                        // Join outside the lock — a dying worker's respawn guard takes
+                        // the same lock to register its replacement.
+        loop {
+            let handles: Vec<_> = lock_ip(&self.shared.workers).drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -209,9 +438,129 @@ impl Drop for JobPool {
     }
 }
 
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+/// Completes the current job's ticket and respawns a replacement worker
+/// if the surrounding scope unwinds past the job's own `catch_unwind`
+/// (infrastructure panic, or an injected `pool.worker` fault).  Clients
+/// must never hang on a worker death, and the pool must never shrink.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    slot: Arc<JobSlot>,
+    key: String,
+    index: usize,
+    armed: bool,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !self.armed || !std::thread::panicking() {
+            return;
+        }
+        self.shared.panics.inc();
+        lock_ip(&self.shared.inflight).remove(&self.key);
+        self.slot.fill(Err(ServeError::panicked(format!(
+            "worker died while processing job '{}'",
+            self.key
+        ))));
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return; // the pool is going away; don't replace the worker
+        }
+        self.shared.respawns.inc();
+        let shared = Arc::clone(&self.shared);
+        let index = self.index;
+        if let Ok(h) = std::thread::Builder::new()
+            .name(format!("svserve-worker-{index}r"))
+            .spawn(move || worker_loop(index, shared))
+        {
+            lock_ip(&self.shared.workers).push(h);
+        }
+    }
+}
+
+fn worker_loop(index: usize, shared: Arc<Shared>) {
+    loop {
+        // Hold the receiver lock only while dequeuing.
+        let msg = lock_ip(&shared.rx).recv();
+        let Ok(job) = msg else { return }; // queue closed: shut down
+        shared.queued.fetch_sub(1, Ordering::SeqCst);
+        let t0 = Instant::now();
+        shared.queue_wait_us.record(t0.duration_since(job.submitted_at).as_micros() as u64);
+        let Job { slot, key, deadline, f, .. } = job;
+        let mut guard = RespawnGuard {
+            shared: Arc::clone(&shared),
+            slot: Arc::clone(&slot),
+            key: key.clone(),
+            index,
+            armed: true,
+        };
+        let ctx = JobCtx { deadline, cancelled: Arc::clone(&slot.cancelled) };
+        let result = if shared.draining.load(Ordering::SeqCst) {
+            // Graceful drain: shed queued work instead of executing it.
+            shared.drained.inc();
+            Err(ServeError::new("shutting_down", "server draining: queued job shed"))
+        } else if ctx.should_stop() {
+            // The deadline passed (or every waiter left) while the job
+            // sat in the queue: skip the work, don't burn a worker on it.
+            shared.deadline_exceeded.inc();
+            Err(ServeError::deadline_exceeded("job deadline expired before a worker picked it up"))
+        } else {
+            // Infrastructure fault site — deliberately OUTSIDE the job's
+            // catch_unwind, so an injected panic kills this worker and
+            // exercises the respawn guard.
+            let infra = match &shared.faults {
+                Some(p) => p.fire("pool.worker"),
+                None => Ok(()),
+            };
+            match infra {
+                Err(e) => Err(e),
+                Ok(()) => {
+                    let faults = shared.faults.clone();
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if let Some(p) = &faults {
+                            p.fire("pool.execute")?;
+                        }
+                        let _s = svtrace::span!("pool.execute", key = key);
+                        f(&ctx)
+                    }));
+                    let elapsed = t0.elapsed();
+                    shared.busy_nanos.add(elapsed.as_nanos() as u64);
+                    shared.exec_us.record(elapsed.as_micros() as u64);
+                    shared.executed.inc();
+                    match outcome {
+                        Ok(r) => r,
+                        Err(payload) => {
+                            shared.panics.inc();
+                            Err(ServeError::panicked(format!(
+                                "job '{}' panicked: {}",
+                                key.split_whitespace().next().unwrap_or(&key),
+                                panic_message(payload.as_ref())
+                            )))
+                        }
+                    }
+                }
+            }
+        };
+        // Unregister before waking waiters: requests that arrive from
+        // here on start a fresh job (and will typically be answered by
+        // the result cache).
+        lock_ip(&shared.inflight).remove(&key);
+        slot.fill(result);
+        guard.armed = false;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::Fault;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Barrier;
     use std::time::Duration;
@@ -221,9 +570,7 @@ mod tests {
         let pool = JobPool::new(2);
         let r = pool.run("a".into(), || Ok(Json::Num(5.0))).unwrap();
         assert_eq!(r, Json::Num(5.0));
-        let e = pool
-            .run("b".into(), || Err(ServeError::internal("boom")))
-            .unwrap_err();
+        let e = pool.run("b".into(), || Err(ServeError::internal("boom"))).unwrap_err();
         assert_eq!(e.code, "internal");
         let s = pool.stats();
         assert_eq!((s.submitted, s.executed, s.deduped), (2, 2, 0));
@@ -321,5 +668,183 @@ mod tests {
             snap.counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
         assert_eq!(counters["pool.submitted"], 3);
         assert_eq!(counters["pool.executed"], 3);
+    }
+
+    /// The headline bug of ISSUE 3: a panicking job must complete the
+    /// ticket with an error (no client hang) and the pool must keep
+    /// serving afterwards.
+    #[test]
+    fn panicking_job_returns_error_and_pool_survives() {
+        let pool = JobPool::new(1);
+        let e = pool.run("explodes".into(), || panic!("handler bug")).unwrap_err();
+        assert_eq!(e.code, "panic");
+        assert!(e.message.contains("handler bug"), "{}", e.message);
+        // Same worker thread keeps serving.
+        assert_eq!(pool.run("after".into(), || Ok(Json::Num(1.0))).unwrap(), Json::Num(1.0));
+        let s = pool.stats();
+        assert_eq!(s.panics, 1);
+        assert_eq!(s.respawns, 0, "caught in place, no respawn needed");
+    }
+
+    /// A panic that escapes the job's catch_unwind (injected at the
+    /// `pool.worker` infrastructure site) kills the worker: the respawn
+    /// guard must complete the ticket and replace the thread.
+    #[test]
+    fn worker_death_completes_ticket_and_respawns() {
+        let plan = FaultPlan::new(42);
+        plan.script("pool.worker", [Fault::Panic("worker infrastructure bug".into())]);
+        let pool = JobPool::with_config(PoolConfig {
+            workers: 1,
+            faults: Some(plan),
+            ..PoolConfig::default()
+        });
+        let e = pool.run("victim".into(), || Ok(Json::Null)).unwrap_err();
+        assert_eq!(e.code, "panic");
+        assert!(e.message.contains("victim"), "{}", e.message);
+        // The single worker died — only the respawned replacement can
+        // serve this.
+        assert_eq!(pool.run("next".into(), || Ok(Json::Num(2.0))).unwrap(), Json::Num(2.0));
+        let s = pool.stats();
+        assert_eq!(s.respawns, 1);
+        assert_eq!(s.panics, 1);
+    }
+
+    fn gated_job(release: Arc<(Mutex<bool>, Condvar)>) -> impl FnOnce() -> JobResult + Send {
+        move || {
+            let (lock, cv) = &*release;
+            let mut open = lock_ip(lock);
+            while !*open {
+                open = cv.wait(open).unwrap_or_else(|e| e.into_inner());
+            }
+            Ok(Json::str("gated"))
+        }
+    }
+
+    fn open_gate(release: &Arc<(Mutex<bool>, Condvar)>) {
+        *lock_ip(&release.0) = true;
+        release.1.notify_all();
+    }
+
+    fn wait_for<T>(what: &str, mut poll: impl FnMut() -> Option<T>) -> T {
+        for _ in 0..500 {
+            if let Some(v) = poll() {
+                return v;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    #[test]
+    fn full_queue_sheds_with_overloaded() {
+        let pool =
+            Arc::new(JobPool::with_config(PoolConfig { workers: 1, max_queue: 1, faults: None }));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        // Occupy the single worker.
+        let p = Arc::clone(&pool);
+        let g = Arc::clone(&gate);
+        let busy = std::thread::spawn(move || p.run("busy".into(), gated_job(g)));
+        wait_for("worker pickup", || {
+            (pool.stats().queued == 0 && pool.stats().submitted >= 1).then_some(())
+        });
+        // Fill the queue (capacity 1).
+        let p = Arc::clone(&pool);
+        let g = Arc::clone(&gate);
+        let queued = std::thread::spawn(move || p.run("queued".into(), gated_job(g)));
+        wait_for("job to queue", || (pool.stats().queued == 1).then_some(()));
+        // Third distinct job: shed immediately, not blocked.
+        let t0 = Instant::now();
+        let e = pool.run("shed-me".into(), || Ok(Json::Null)).unwrap_err();
+        assert_eq!(e.code, "overloaded");
+        assert!(e.message.contains("queue full"), "{}", e.message);
+        assert!(t0.elapsed() < Duration::from_secs(2), "shedding must not block");
+        open_gate(&gate);
+        assert!(busy.join().unwrap().is_ok());
+        assert!(queued.join().unwrap().is_ok());
+        let s = pool.stats();
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.executed, 2);
+    }
+
+    #[test]
+    fn deadline_exceeded_instead_of_blocking_forever() {
+        let pool = Arc::new(JobPool::new(1));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let p = Arc::clone(&pool);
+        let g = Arc::clone(&gate);
+        let busy = std::thread::spawn(move || p.run("busy".into(), gated_job(g)));
+        wait_for("worker pickup", || {
+            (pool.stats().submitted >= 1 && pool.stats().queued == 0).then_some(())
+        });
+        // This job queues behind the gated one and can't start in time.
+        let t0 = Instant::now();
+        let e = pool
+            .run_with("late".into(), Some(Instant::now() + Duration::from_millis(50)), |_| {
+                Ok(Json::Null)
+            })
+            .unwrap_err();
+        assert_eq!(e.code, "deadline_exceeded");
+        let waited = t0.elapsed();
+        assert!(waited >= Duration::from_millis(45), "honoured the deadline: {waited:?}");
+        assert!(waited < Duration::from_secs(5), "timed out promptly: {waited:?}");
+        open_gate(&gate);
+        assert!(busy.join().unwrap().is_ok());
+        // The expired job is skipped by the worker (sole waiter left),
+        // so only the gated job ever executed.
+        wait_for("expired job skip", || (pool.stats().queued == 0).then_some(()));
+        let s = pool.stats();
+        assert!(s.deadline_exceeded >= 1, "{s:?}");
+        assert_eq!(s.executed, 1, "expired queued job must not execute: {s:?}");
+    }
+
+    #[test]
+    fn drain_finishes_inflight_and_sheds_queued() {
+        let pool =
+            Arc::new(JobPool::with_config(PoolConfig { workers: 1, max_queue: 16, faults: None }));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let p = Arc::clone(&pool);
+        let g = Arc::clone(&gate);
+        let inflight = std::thread::spawn(move || p.run("inflight".into(), gated_job(g)));
+        wait_for("worker pickup", || {
+            (pool.stats().submitted >= 1 && pool.stats().queued == 0).then_some(())
+        });
+        let p = Arc::clone(&pool);
+        let queued = std::thread::spawn(move || p.run("queued".into(), || Ok(Json::Null)));
+        wait_for("job to queue", || (pool.stats().queued == 1).then_some(()));
+
+        pool.begin_drain();
+        open_gate(&gate);
+        // In-flight finishes with its real result; queued is shed.
+        assert_eq!(inflight.join().unwrap().unwrap(), Json::str("gated"));
+        let e = queued.join().unwrap().unwrap_err();
+        assert_eq!(e.code, "shutting_down");
+        // New submissions are rejected during the drain.
+        assert_eq!(
+            pool.run("rejected".into(), || Ok(Json::Null)).unwrap_err().code,
+            "shutting_down"
+        );
+        let s = pool.stats();
+        assert_eq!(s.drained, 1, "{s:?}");
+        assert_eq!(s.executed, 1, "{s:?}");
+    }
+
+    #[test]
+    fn injected_latency_blows_the_deadline() {
+        let plan = FaultPlan::new(7);
+        plan.script("pool.execute", [Fault::Delay(Duration::from_millis(400))]);
+        let pool = JobPool::with_config(PoolConfig {
+            workers: 1,
+            faults: Some(Arc::clone(&plan)),
+            ..PoolConfig::default()
+        });
+        let t0 = Instant::now();
+        let e = pool
+            .run_with("slow".into(), Some(Instant::now() + Duration::from_millis(50)), |_| {
+                Ok(Json::Null)
+            })
+            .unwrap_err();
+        assert_eq!(e.code, "deadline_exceeded");
+        assert!(t0.elapsed() < Duration::from_millis(350), "reply beat the slow handler");
+        assert_eq!(plan.fired("pool.execute"), 1);
     }
 }

@@ -7,18 +7,42 @@
 //! shared [`JobPool`], keyed by `method + canonical params`, so identical
 //! concurrent requests from different connections execute once.
 
-use crate::proto::{
-    parse_request, response_err, response_ok, FrameRead, FrameReader, ServeError,
-};
-use crate::sched::JobPool;
+use crate::faults::FaultPlan;
+use crate::proto::{parse_request, response_err, response_ok, FrameRead, FrameReader, ServeError};
+use crate::sched::{JobPool, PoolConfig, DEFAULT_MAX_QUEUE};
 use crate::svjson::Json;
 use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use svtrace::{HistogramSnapshot, MetricsSnapshot};
+
+/// Server construction knobs: pool sizing plus the robustness layer
+/// (deadline, queue bound, fault injection).  [`serve`] uses the defaults
+/// with an explicit worker count; [`serve_with`] takes the full config.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Worker threads in the job pool (minimum 1).
+    pub workers: usize,
+    /// Bound on queued jobs before submissions are shed with a retryable
+    /// `overloaded` error.
+    pub max_queue: usize,
+    /// Per-request deadline for routed methods.  A request that cannot
+    /// complete in time is answered with `deadline_exceeded` instead of
+    /// blocking the connection.  `None` disables deadlines.
+    pub deadline: Option<Duration>,
+    /// Deterministic fault-injection plan shared with the pool (tests
+    /// only; production servers leave this `None`).
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig { workers: 1, max_queue: DEFAULT_MAX_QUEUE, deadline: None, faults: None }
+    }
+}
 
 /// A registered request handler.
 pub type Handler = Arc<dyn Fn(&Json) -> Result<Json, ServeError> + Send + Sync>;
@@ -54,10 +78,7 @@ impl Router {
     /// Provide the application section of the `metrics` response — a
     /// [`MetricsSnapshot`] merged into the server/pool/global snapshot (the
     /// service typically forwards its cache registry here).
-    pub fn metrics_provider(
-        &mut self,
-        f: impl Fn() -> MetricsSnapshot + Send + Sync + 'static,
-    ) {
+    pub fn metrics_provider(&mut self, f: impl Fn() -> MetricsSnapshot + Send + Sync + 'static) {
         self.app_metrics = Some(Arc::new(f));
     }
 
@@ -73,6 +94,8 @@ struct ServerState {
     router: Router,
     pool: JobPool,
     addr: SocketAddr,
+    deadline: Option<Duration>,
+    started: Instant,
     shutdown: AtomicBool,
     connections: AtomicU64,
     requests: AtomicU64,
@@ -99,6 +122,12 @@ impl ServerState {
                     ("jobs_submitted", Json::Num(p.submitted as f64)),
                     ("jobs_executed", Json::Num(p.executed as f64)),
                     ("jobs_deduped", Json::Num(p.deduped as f64)),
+                    ("jobs_shed", Json::Num(p.shed as f64)),
+                    ("jobs_drained", Json::Num(p.drained as f64)),
+                    ("panics", Json::Num(p.panics as f64)),
+                    ("respawns", Json::Num(p.respawns as f64)),
+                    ("deadline_exceeded", Json::Num(p.deadline_exceeded as f64)),
+                    ("queued", Json::Num(p.queued as f64)),
                     ("utilization", Json::Num((p.utilization * 1e4).round() / 1e4)),
                 ]),
             ),
@@ -133,9 +162,19 @@ impl ServerState {
             "ping" => Ok(Json::str("pong")),
             "stats" => Ok(self.stats_json()),
             "metrics" => Ok(snapshot_json(&self.metrics_snapshot())),
+            "health" => {
+                let p = self.pool.stats();
+                let draining = self.pool.is_draining() || self.shutdown.load(Ordering::SeqCst);
+                Ok(Json::obj([
+                    ("status", Json::str(if draining { "draining" } else { "ok" })),
+                    ("workers", Json::Num(p.workers as f64)),
+                    ("queued", Json::Num(p.queued as f64)),
+                    ("uptime_ms", Json::Num(self.started.elapsed().as_millis() as f64)),
+                ]))
+            }
             "methods" => {
                 let mut m = self.router.methods();
-                for builtin in ["ping", "stats", "metrics", "methods", "shutdown"] {
+                for builtin in ["ping", "stats", "metrics", "methods", "health", "shutdown"] {
                     m.push(builtin.to_string());
                 }
                 m.sort();
@@ -143,6 +182,9 @@ impl ServerState {
             }
             "shutdown" => {
                 self.shutdown.store(true, Ordering::SeqCst);
+                // Graceful drain: in-flight jobs finish and get their
+                // replies; queued jobs are shed with `shutting_down`.
+                self.pool.begin_drain();
                 // Wake the blocking accept loop so it can wind down.
                 let _ = TcpStream::connect(self.addr);
                 Ok(Json::str("shutting down"))
@@ -155,7 +197,15 @@ impl ServerState {
                     let key = format!("{method} {}", params.to_string_compact());
                     let handler = Arc::clone(handler);
                     let params = params.clone();
-                    self.pool.run(key, move || handler(&params))
+                    let deadline = self.deadline.map(|d| Instant::now() + d);
+                    self.pool.run_with(key, deadline, move |ctx| {
+                        if ctx.should_stop() {
+                            return Err(ServeError::deadline_exceeded(
+                                "request deadline passed before the handler started",
+                            ));
+                        }
+                        handler(&params)
+                    })
                 }
             },
         }
@@ -187,8 +237,13 @@ impl ServeHandle {
 
     /// Request shutdown, wait for the accept loop and workers to finish,
     /// and return the final stats snapshot.
+    ///
+    /// The shutdown is a graceful drain: jobs already executing finish
+    /// (and their clients get real replies), queued jobs are shed with
+    /// `shutting_down`.
     pub fn shutdown(mut self) -> Json {
         self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.pool.begin_drain();
         // Wake the blocking `accept` with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
@@ -212,6 +267,7 @@ impl Drop for ServeHandle {
     fn drop(&mut self) {
         if let Some(t) = self.accept_thread.take() {
             self.state.shutdown.store(true, Ordering::SeqCst);
+            self.state.pool.begin_drain();
             let _ = TcpStream::connect(self.addr);
             let _ = t.join();
         }
@@ -225,17 +281,29 @@ const POLL_INTERVAL: Duration = Duration::from_millis(100);
 ///
 /// Returns immediately; the accept loop runs on a background thread.
 /// Use `addr` `"127.0.0.1:0"` to let the OS pick a free port.
-pub fn serve(
+pub fn serve(addr: impl ToSocketAddrs, router: Router, workers: usize) -> io::Result<ServeHandle> {
+    serve_with(addr, router, ServeConfig { workers, ..ServeConfig::default() })
+}
+
+/// [`serve`] with the full robustness configuration: queue bound,
+/// per-request deadline, and (in tests) a fault-injection plan.
+pub fn serve_with(
     addr: impl ToSocketAddrs,
     router: Router,
-    workers: usize,
+    config: ServeConfig,
 ) -> io::Result<ServeHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let state = Arc::new(ServerState {
         router,
-        pool: JobPool::new(workers),
+        pool: JobPool::with_config(PoolConfig {
+            workers: config.workers,
+            max_queue: config.max_queue,
+            faults: config.faults,
+        }),
         addr,
+        deadline: config.deadline,
+        started: Instant::now(),
         shutdown: AtomicBool::new(false),
         connections: AtomicU64::new(0),
         requests: AtomicU64::new(0),
@@ -307,13 +375,28 @@ fn serve_connection(stream: TcpStream, state: Arc<ServerState>) {
                     state.errors.fetch_add(1, Ordering::Relaxed);
                     response_err(None, &e)
                 }
-                Ok(req) => match state.dispatch(&req.method, &req.params) {
-                    Ok(result) => response_ok(req.id, result),
-                    Err(e) => {
-                        state.errors.fetch_add(1, Ordering::Relaxed);
-                        response_err(Some(req.id), &e)
+                Ok(req) => {
+                    // Last line of defence: a panic anywhere in dispatch
+                    // (the pool already isolates handler panics) must
+                    // produce an error reply, never a dead connection.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        state.dispatch(&req.method, &req.params)
+                    }));
+                    match outcome {
+                        Ok(Ok(result)) => response_ok(req.id, result),
+                        Ok(Err(e)) => {
+                            state.errors.fetch_add(1, Ordering::Relaxed);
+                            response_err(Some(req.id), &e)
+                        }
+                        Err(_) => {
+                            state.errors.fetch_add(1, Ordering::Relaxed);
+                            response_err(
+                                Some(req.id),
+                                &ServeError::panicked("request dispatch panicked"),
+                            )
+                        }
                     }
-                },
+                }
             },
         };
         if writer.write_all(reply.as_bytes()).is_err() {
@@ -413,14 +496,12 @@ pub fn render_stats(stats: &Json) -> String {
             num(cache.get("byte_budget")),
         ));
     }
-    if let Some(dbs) = stats.get("app").and_then(|a| a.get("databases")).and_then(Json::as_array)
-    {
+    if let Some(dbs) = stats.get("app").and_then(|a| a.get("databases")).and_then(Json::as_array) {
         let names: Vec<&str> = dbs.iter().filter_map(Json::as_str).collect();
-        s.push_str(&format!("  loaded   {}\n", if names.is_empty() {
-            "(no databases)".to_string()
-        } else {
-            names.join(", ")
-        }));
+        s.push_str(&format!(
+            "  loaded   {}\n",
+            if names.is_empty() { "(no databases)".to_string() } else { names.join(", ") }
+        ));
     }
     s
 }
@@ -492,14 +573,51 @@ mod tests {
     }
 
     #[test]
+    fn health_builtin_reports_status_and_drain() {
+        let h = serve("127.0.0.1:0", test_router(), 1).unwrap();
+        let state = Arc::clone(&h.state);
+        let healthy = state.dispatch("health", &Json::Null).unwrap();
+        assert_eq!(healthy.get("status").unwrap(), &Json::str("ok"));
+        assert_eq!(healthy.get("workers").unwrap().as_f64(), Some(1.0));
+        state.pool.begin_drain();
+        let draining = state.dispatch("health", &Json::Null).unwrap();
+        assert_eq!(draining.get("status").unwrap(), &Json::str("draining"));
+        h.shutdown();
+    }
+
+    #[test]
+    fn serve_with_deadline_times_out_slow_handlers() {
+        let mut r = Router::new();
+        r.register("slow", |_| {
+            std::thread::sleep(Duration::from_millis(500));
+            Ok(Json::Null)
+        });
+        let h = serve_with(
+            "127.0.0.1:0",
+            r,
+            ServeConfig {
+                workers: 1,
+                deadline: Some(Duration::from_millis(50)),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let state = Arc::clone(&h.state);
+        let t0 = Instant::now();
+        let e = state.dispatch("slow", &Json::Null).unwrap_err();
+        assert_eq!(e.code, "deadline_exceeded");
+        assert!(t0.elapsed() < Duration::from_millis(400), "reply beat the handler");
+        h.shutdown();
+    }
+
+    #[test]
     fn snapshot_json_renders_overflow_bound_as_null() {
         let reg = svtrace::Registry::new();
         let hist = reg.histogram("h", &[10, 100]);
         hist.record(5);
         hist.record(1_000); // overflow bucket
         let j = snapshot_json(&reg.snapshot());
-        let buckets =
-            j.get("histograms").unwrap().get("h").unwrap().get("buckets").unwrap();
+        let buckets = j.get("histograms").unwrap().get("h").unwrap().get("buckets").unwrap();
         let buckets = buckets.as_array().unwrap();
         assert_eq!(buckets.len(), 3);
         assert_eq!(buckets[2].as_array().unwrap()[0], Json::Null);
@@ -544,10 +662,7 @@ mod tests {
                             ("byte_budget", Json::Num(1024.0)),
                         ]),
                     ),
-                    (
-                        "databases",
-                        Json::Array(vec![Json::str("serial"), Json::str("openmp")]),
-                    ),
+                    ("databases", Json::Array(vec![Json::str("serial"), Json::str("openmp")])),
                 ]),
             ),
         ]);

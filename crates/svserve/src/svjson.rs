@@ -292,9 +292,7 @@ impl P<'_> {
                             self.i += 4;
                             s.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
                         }
-                        other => {
-                            return Err(self.err(format!("bad escape \\{}", other as char)))
-                        }
+                        other => return Err(self.err(format!("bad escape \\{}", other as char))),
                     }
                 }
                 c => {
@@ -342,9 +340,7 @@ impl P<'_> {
             }
         }
         let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("bad number"))
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("bad number"))
     }
 }
 

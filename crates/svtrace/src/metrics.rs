@@ -110,8 +110,7 @@ impl Histogram {
         let mut cur = self.sum.load(Ordering::Relaxed);
         loop {
             let next = cur.saturating_add(v);
-            match self.sum.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
-            {
+            match self.sum.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => break,
                 Err(seen) => cur = seen,
             }

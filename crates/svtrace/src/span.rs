@@ -77,9 +77,7 @@ struct Collector {
 
 fn collector() -> &'static Collector {
     static COLLECTOR: OnceLock<Collector> = OnceLock::new();
-    COLLECTOR.get_or_init(|| Collector {
-        shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
-    })
+    COLLECTOR.get_or_init(|| Collector { shards: std::array::from_fn(|_| Mutex::new(Vec::new())) })
 }
 
 thread_local! {
@@ -117,9 +115,7 @@ impl SpanGuard {
             d.set(v + 1);
             v
         });
-        SpanGuard {
-            active: Some(ActiveSpan { name, detail, tid, depth, start_ns: now_ns() }),
-        }
+        SpanGuard { active: Some(ActiveSpan { name, detail, tid, depth, start_ns: now_ns() }) }
     }
 }
 

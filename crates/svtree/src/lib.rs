@@ -203,8 +203,7 @@ impl Tree {
         // Iterative copy to stay safe on pathologically deep trees.
         let n = other.get(from);
         let top = self.push_child(parent, n.label.clone(), n.span);
-        let mut stack: Vec<(NodeId, NodeId)> =
-            n.children.iter().rev().map(|&c| (c, top)).collect();
+        let mut stack: Vec<(NodeId, NodeId)> = n.children.iter().rev().map(|&c| (c, top)).collect();
         while let Some((src, dst_parent)) = stack.pop() {
             let sn = other.get(src);
             let id = self.push_child(dst_parent, sn.label.clone(), sn.span);
@@ -395,11 +394,8 @@ impl Tree {
         while let Some((node, anc)) = stack.pop() {
             let keep_this = keep(self, node);
             let n = self.get(node);
-            let new_anc = if keep_this {
-                out.push_child(anc, n.label.clone(), n.span)
-            } else {
-                anc
-            };
+            let new_anc =
+                if keep_this { out.push_child(anc, n.label.clone(), n.span) } else { anc };
             for &c in n.children.iter().rev() {
                 stack.push((c, new_anc));
             }
@@ -560,8 +556,7 @@ impl SexprParser<'_> {
                 continue;
             } else if self.src[self.pos] == b')' {
                 self.pos += 1;
-                let (label, children) =
-                    frames.pop().ok_or(SexprError::Unexpected(self.pos - 1))?;
+                let (label, children) = frames.pop().ok_or(SexprError::Unexpected(self.pos - 1))?;
                 done = Tree::node(label, children);
             } else {
                 done = Tree::leaf(self.parse_label()?);
@@ -670,10 +665,7 @@ mod tests {
     fn sample() -> Tree {
         Tree::node(
             "a",
-            vec![
-                Tree::node("b", vec![Tree::leaf("d"), Tree::leaf("e")]),
-                Tree::leaf("c"),
-            ],
+            vec![Tree::node("b", vec![Tree::leaf("d"), Tree::leaf("e")]), Tree::leaf("c")],
         )
     }
 

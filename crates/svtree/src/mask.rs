@@ -71,9 +71,7 @@ impl LineMask {
     /// Iterate covered line numbers in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.bits.iter().enumerate().flat_map(|(w, &bits)| {
-            (0..64u32)
-                .filter(move |b| bits & (1u64 << b) != 0)
-                .map(move |b| (w as u32) * 64 + b)
+            (0..64u32).filter(move |b| bits & (1u64 << b) != 0).map(move |b| (w as u32) * 64 + b)
         })
     }
 }

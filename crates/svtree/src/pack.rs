@@ -178,10 +178,7 @@ pub fn read_tree(buf: &[u8]) -> Result<Tree, PackError> {
     let mut stack: Vec<(crate::NodeId, u64)> = Vec::new();
     for i in 0..node_count {
         let label_idx = read_varint(buf, &mut pos)?;
-        let label = table
-            .get(label_idx as usize)
-            .ok_or(PackError::BadIndex(label_idx))?
-            .clone();
+        let label = table.get(label_idx as usize).ok_or(PackError::BadIndex(label_idx))?.clone();
         let span_flag = *buf.get(pos).ok_or(PackError::Truncated)?;
         pos += 1;
         let span = match span_flag {
@@ -200,8 +197,7 @@ pub fn read_tree(buf: &[u8]) -> Result<Tree, PackError> {
             tree = crate::TreeBuilder::with_span(label, span).finish();
             tree.root().ok_or(PackError::Malformed)?
         } else {
-            let &mut (parent, ref mut remaining) =
-                stack.last_mut().ok_or(PackError::Malformed)?;
+            let &mut (parent, ref mut remaining) = stack.last_mut().ok_or(PackError::Malformed)?;
             if *remaining == 0 {
                 return Err(PackError::Malformed);
             }

@@ -27,8 +27,7 @@ fn main() {
     println!("Heatmap (dendrogram order):\n{}", Heatmap::ordered_by(&matrix, &dendro).render());
 
     // 4. The headline numbers: how far is each model from serial?
-    let divs =
-        silvervale::divergence_from(&db, Metric::TSem, Variant::PLAIN, "Serial").unwrap();
+    let divs = silvervale::divergence_from(&db, Metric::TSem, Variant::PLAIN, "Serial").unwrap();
     println!("Divergence from Serial (T_sem, normalised):");
     let mut sorted = divs.clone();
     sorted.sort_by(|a, b| a.1.total_cmp(&b.1));

@@ -37,10 +37,7 @@ fn coverage_variant_divergences_still_well_formed() {
         let divs = divergence_from(&db, metric, v, "Serial").unwrap();
         let serial = divs.iter().find(|(l, _)| l == "Serial").unwrap();
         assert_eq!(serial.1, 0.0, "{metric:?} self-divergence under coverage");
-        assert!(
-            divs.iter().filter(|(l, _)| l != "Serial").all(|(_, d)| *d > 0.0),
-            "{metric:?}"
-        );
+        assert!(divs.iter().filter(|(l, _)| l != "Serial").all(|(_, d)| *d > 0.0), "{metric:?}");
     }
 }
 
@@ -56,12 +53,7 @@ fn coverage_reduces_pp_noise() {
 
     let pp = Variant::PP;
     let pp_cov = Variant { preprocessor: true, coverage: true, inlining: false };
-    let plain_pp = divergence(
-        Metric::Source,
-        pp,
-        &Measured::new(&serial),
-        &Measured::new(&sycl),
-    );
+    let plain_pp = divergence(Metric::Source, pp, &Measured::new(&serial), &Measured::new(&sycl));
     let masked_pp = divergence(
         Metric::Source,
         pp_cov,
@@ -93,7 +85,8 @@ fn dead_code_invisible_under_coverage() {
     use svlang::source::SourceSet;
     use svlang::unit::{compile_unit, UnitOptions};
     let base = "int live() { return 1; }\nint main() { return live() - 1; }";
-    let extra = "int live() { return 1; }\nint dead() { return 9; }\nint main() { return live() - 1; }";
+    let extra =
+        "int live() { return 1; }\nint dead() { return 9; }\nint main() { return live() - 1; }";
     let mut ss = SourceSet::new();
     let a = ss.add("a.cpp", base);
     let b = ss.add("b.cpp", extra);
@@ -102,12 +95,7 @@ fn dead_code_invisible_under_coverage() {
     let ra = svexec::run_unit(&ua).unwrap();
     let rb = svexec::run_unit(&ub).unwrap();
 
-    let plain = divergence(
-        Metric::TSem,
-        Variant::PLAIN,
-        &Measured::new(&ua),
-        &Measured::new(&ub),
-    );
+    let plain = divergence(Metric::TSem, Variant::PLAIN, &Measured::new(&ua), &Measured::new(&ub));
     assert!(plain.distance > 0, "dead code visible without coverage");
 
     let covered = divergence(

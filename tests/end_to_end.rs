@@ -2,9 +2,9 @@
 
 use silvervale::{index_app, index_fortran, model_dendrogram, model_matrix, CodebaseDb};
 use svcorpus::{App, Model};
-use svmetrics::{Metric, Variant};
 #[allow(unused_imports)]
 use svdist::DistanceMatrix;
+use svmetrics::{Metric, Variant};
 
 #[test]
 fn tealeaf_tsem_clustering_matches_paper_figure4() {
@@ -59,9 +59,7 @@ fn sloc_clustering_uninformative_vs_tsem() {
             .min_by(|&a, &b| m.get(i, a).total_cmp(&m.get(i, b)))
             .unwrap()
     };
-    let agreement = (0..labels.len())
-        .filter(|&i| nn(&sloc, i) == nn(&tsem, i))
-        .count();
+    let agreement = (0..labels.len()).filter(|&i| nn(&sloc, i) == nn(&tsem, i)).count();
     assert!(agreement <= 5, "SLOC agrees with T_sem on {agreement}/10 neighbours");
 
     // And SLOC misses the SYCL variant pairing T_sem finds mutually.

@@ -64,6 +64,23 @@ proptest! {
     }
 
     #[test]
+    fn ted_matches_oracle_under_random_cost_models(
+        a in arb_tree(8),
+        b in arb_tree(8),
+        del in 1u32..50,
+        ins in 1u32..50,
+        rel in 1u32..50,
+    ) {
+        // Non-unit weights exercise the widened u64 DP cells: every
+        // strategy must agree with the independent recursive oracle.
+        let costs = CostModel { delete: del, insert: ins, relabel: rel };
+        let expect = naive_ted(&a, &b, costs);
+        for s in [TedStrategy::Left, TedStrategy::Right, TedStrategy::Auto] {
+            prop_assert_eq!(ted_with(&a, &b, costs, s), expect);
+        }
+    }
+
+    #[test]
     fn ted_identity_and_symmetry(a in arb_tree(12), b in arb_tree(12)) {
         prop_assert_eq!(svdist::ted(&a, &a), 0);
         prop_assert_eq!(svdist::ted(&a, &b), svdist::ted(&b, &a));

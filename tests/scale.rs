@@ -125,9 +125,14 @@ fn whole_codebase_single_tree_is_memory_hostile() {
         big_a.size(),
         big_b.size()
     );
-    let err =
-        svdist::ted_bounded(&big_a, &big_b, svdist::CostModel::UNIT, svdist::Strategy::Auto, budget)
-            .unwrap_err();
+    let err = svdist::ted_bounded(
+        &big_a,
+        &big_b,
+        svdist::CostModel::UNIT,
+        svdist::Strategy::Auto,
+        budget,
+    )
+    .unwrap_err();
     let svdist::TedError::BudgetExceeded { needed_bytes, .. } = err;
     assert_eq!(needed_bytes, est);
 }
@@ -152,10 +157,5 @@ fn large_codebase_db_roundtrip() {
         .sum();
     // The DB also stores t_src_pp, t_sem+i, and all normalised line text;
     // ~5.5 bytes per counted node overall is a hard-compression result.
-    assert!(
-        bytes.len() < total_nodes * 8,
-        "{} bytes for {} nodes",
-        bytes.len(),
-        total_nodes
-    );
+    assert!(bytes.len() < total_nodes * 8, "{} bytes for {} nodes", bytes.len(), total_nodes);
 }

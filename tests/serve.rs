@@ -5,9 +5,14 @@
 use silvervale::serve::AnalysisService;
 use silvervale::svjson::Json;
 use silvervale::{divergence_from, index_app, model_matrix, pipeline};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 use svmetrics::{Metric, Variant};
-use svserve::{serve, Client, Router, ServeHandle};
+use svserve::{
+    serve, serve_with, Client, Fault, FaultPlan, RetryPolicy, Router, ServeConfig, ServeError,
+    ServeHandle,
+};
 
 /// Spin up a server on an OS-assigned port with the full handler set.
 fn start_server() -> (ServeHandle, Arc<AnalysisService>) {
@@ -26,14 +31,9 @@ fn num(v: Option<&Json>) -> f64 {
 fn metrics_request_inspects_a_live_server() {
     let (handle, _service) = start_server();
     let mut client = Client::connect(handle.addr()).unwrap();
+    client.call("index", Json::obj([("app", Json::str("minibude"))])).unwrap();
     client
-        .call("index", Json::obj([("app", Json::str("minibude"))]))
-        .unwrap();
-    client
-        .call(
-            "matrix",
-            Json::obj([("db", Json::str("minibude")), ("metric", Json::str("t_sem"))]),
-        )
+        .call("matrix", Json::obj([("db", Json::str("minibude")), ("metric", Json::str("t_sem"))]))
         .unwrap();
     let m = client.call("metrics", Json::Null).unwrap();
     let counters = m.get("counters").expect("counters section");
@@ -63,16 +63,12 @@ fn index_compare_cluster_session_end_to_end() {
     let mut client = Client::connect(handle.addr()).unwrap();
 
     // index
-    let r = client
-        .call("index", Json::obj([("app", Json::str("babelstream"))]))
-        .unwrap();
+    let r = client.call("index", Json::obj([("app", Json::str("babelstream"))])).unwrap();
     assert_eq!(r.get("db").and_then(Json::as_str), Some("babelstream"));
     assert_eq!(num(r.get("units")), 10.0);
 
     // inventory
-    let r = client
-        .call("inventory", Json::obj([("db", Json::str("babelstream"))]))
-        .unwrap();
+    let r = client.call("inventory", Json::obj([("db", Json::str("babelstream"))])).unwrap();
     let text = r.get("text").and_then(Json::as_str).unwrap();
     assert!(text.contains("babelstream") && text.contains("CUDA"));
 
@@ -106,13 +102,8 @@ fn index_compare_cluster_session_end_to_end() {
         )
         .unwrap();
     let m = model_matrix(&db, Metric::TSem, Variant::PLAIN);
-    let labels: Vec<&str> = r
-        .get("labels")
-        .and_then(Json::as_array)
-        .unwrap()
-        .iter()
-        .filter_map(Json::as_str)
-        .collect();
+    let labels: Vec<&str> =
+        r.get("labels").and_then(Json::as_array).unwrap().iter().filter_map(Json::as_str).collect();
     assert_eq!(labels, m.labels().iter().map(String::as_str).collect::<Vec<_>>());
     let rows = r.get("rows").and_then(Json::as_array).unwrap();
     for (i, row) in rows.iter().enumerate() {
@@ -157,11 +148,7 @@ fn repeated_compare_is_served_from_cache() {
 
     let second = client.call("compare", params).unwrap();
     assert_eq!(second, first, "cache-served response differs");
-    assert_eq!(
-        service.pair_computes(),
-        computes_after_first,
-        "repeated compare recomputed pairs"
-    );
+    assert_eq!(service.pair_computes(), computes_after_first, "repeated compare recomputed pairs");
     let stats = client.call("stats", Json::Null).unwrap();
     let cache = stats.get("app").and_then(|a| a.get("cache")).unwrap();
     assert!(num(cache.get("hits")) > hits_cold, "cache hit counter did not increment");
@@ -203,9 +190,7 @@ fn malformed_oversized_and_unknown_requests_get_structured_errors() {
     assert_eq!(err.code, "bad_params");
 
     // Missing DB.
-    let err = client
-        .call("inventory", Json::obj([("db", Json::str("ghost"))]))
-        .unwrap_err();
+    let err = client.call("inventory", Json::obj([("db", Json::str("ghost"))])).unwrap_err();
     assert_eq!(err.code, "not_found");
 
     // After all that abuse the same connection still works.
@@ -229,10 +214,7 @@ fn concurrent_identical_matrix_requests_compute_pairs_once() {
                 client
                     .call(
                         "matrix",
-                        Json::obj([
-                            ("db", Json::str("tealeaf")),
-                            ("metric", Json::str("t_sem")),
-                        ]),
+                        Json::obj([("db", Json::str("tealeaf")), ("metric", Json::str("t_sem"))]),
                     )
                     .unwrap()
                     .to_string_compact()
@@ -247,11 +229,7 @@ fn concurrent_identical_matrix_requests_compute_pairs_once() {
     // 10 models → 45 unique pairs; across N concurrent identical requests
     // the scheduler's in-flight dedup plus the cache admit each pair to be
     // computed at most once.
-    assert!(
-        service.pair_computes() <= 45,
-        "pairs recomputed: {} > 45",
-        service.pair_computes()
-    );
+    assert!(service.pair_computes() <= 45, "pairs recomputed: {} > 45", service.pair_computes());
 
     // The scheduler accounted for every request, and dedup + execution
     // cover all submissions.
@@ -266,6 +244,246 @@ fn concurrent_identical_matrix_requests_compute_pairs_once() {
 
     let final_stats = handle.shutdown();
     assert!(final_stats.get("app").is_some(), "shutdown stats include the app section");
+}
+
+/// A handler gate: requests through gated handlers announce themselves
+/// (`entered`) and then block until the test opens the gate — the
+/// deterministic way to hold a worker busy / keep a job queued.
+struct Gate {
+    state: Mutex<bool>,
+    cv: Condvar,
+    entered: AtomicUsize,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            state: Mutex::new(false),
+            cv: Condvar::new(),
+            entered: AtomicUsize::new(0),
+        })
+    }
+
+    fn pass(&self) {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let mut open = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !*open {
+            open = self.cv.wait(open).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn open(&self) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    for _ in 0..500 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+fn counter(client: &mut Client, name: &str) -> f64 {
+    let m = client.call("metrics", Json::Null).unwrap();
+    num(m.get("counters").and_then(|c| c.get(name)))
+}
+
+/// The headline ISSUE 3 bug: a panicking handler used to kill a pool
+/// worker and leave the client blocked forever in the ticket wait.  Now
+/// the panic is caught and answered, the pool keeps serving, and a panic
+/// that escapes past the catch (injected at the `pool.worker`
+/// infrastructure site) respawns the dead worker.
+#[test]
+fn panicking_handler_replies_with_error_and_pool_self_heals() {
+    let plan = FaultPlan::new(1001);
+    let mut router = Router::new();
+    router.register("boom", |_| panic!("handler exploded"));
+    router.register("ok", |_| Ok(Json::str("fine")));
+    let handle = serve_with(
+        "127.0.0.1:0",
+        router,
+        ServeConfig { workers: 1, faults: Some(Arc::clone(&plan)), ..ServeConfig::default() },
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Handler panic: structured error reply, not a hang or dead socket.
+    let err = client.call("boom", Json::Null).unwrap_err();
+    assert_eq!(err.code, "panic");
+    assert!(err.message.contains("handler exploded"), "{}", err.message);
+    // The same connection and the same (sole) worker keep serving.
+    assert_eq!(client.call("ok", Json::Null).unwrap(), Json::str("fine"));
+    assert!(counter(&mut client, "pool.panics") >= 1.0);
+
+    // Worker death: inject a panic outside the job's catch_unwind.  The
+    // respawn guard must answer the client and replace the worker.
+    plan.script("pool.worker", [Fault::Panic("worker killed".into())]);
+    let err = client.call("ok", Json::Null).unwrap_err();
+    assert_eq!(err.code, "panic");
+    // Only a respawned worker can serve this (the pool had one worker).
+    assert_eq!(client.call("ok", Json::Null).unwrap(), Json::str("fine"));
+    assert_eq!(counter(&mut client, "pool.respawns"), 1.0);
+
+    let stats = handle.shutdown();
+    assert!(num(stats.get("pool").and_then(|p| p.get("panics"))) >= 2.0);
+    assert_eq!(num(stats.get("pool").and_then(|p| p.get("respawns"))), 1.0);
+}
+
+/// Injected handler latency must convert into a timely `deadline_exceeded`
+/// reply — the client never waits out the slow handler.
+#[test]
+fn deadline_exceeded_under_injected_latency() {
+    let plan = FaultPlan::new(1002);
+    plan.script("pool.execute", [Fault::Delay(Duration::from_millis(600))]);
+    let mut router = Router::new();
+    router.register("fast", |_| Ok(Json::str("done")));
+    let handle = serve_with(
+        "127.0.0.1:0",
+        router,
+        ServeConfig {
+            workers: 1,
+            deadline: Some(Duration::from_millis(60)),
+            faults: Some(Arc::clone(&plan)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let t0 = Instant::now();
+    let err = client.call("fast", Json::Null).unwrap_err();
+    assert_eq!(err.code, "deadline_exceeded");
+    assert!(
+        t0.elapsed() < Duration::from_millis(500),
+        "reply must beat the 600ms injected delay: {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(plan.fired("pool.execute"), 1, "the delay fault actually fired");
+
+    // Once the slow job has finished (and left the in-flight table), the
+    // same method succeeds — the injected latency is exhausted.
+    wait_until("slow job completion", || counter(&mut client, "pool.executed") >= 1.0);
+    assert_eq!(client.call("fast", Json::Null).unwrap(), Json::str("done"));
+    assert!(counter(&mut client, "pool.deadline_exceeded") >= 1.0);
+    handle.shutdown();
+}
+
+/// A full queue sheds with a retryable `overloaded`, and the client's
+/// backoff retry succeeds once the queue frees up.
+#[test]
+fn overloaded_shed_is_retryable_and_backoff_succeeds() {
+    let gate = Gate::new();
+    let mut router = Router::new();
+    let g = Arc::clone(&gate);
+    router.register("gated_a", move |_| {
+        g.pass();
+        Ok(Json::str("a"))
+    });
+    let g = Arc::clone(&gate);
+    router.register("gated_b", move |_| {
+        g.pass();
+        Ok(Json::str("b"))
+    });
+    router.register("fast", |_| Ok(Json::str("done")));
+    let handle = serve_with(
+        "127.0.0.1:0",
+        router,
+        ServeConfig { workers: 1, max_queue: 1, ..ServeConfig::default() },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Occupy the single worker, then fill the single queue slot.
+    let c1 = std::thread::spawn(move || Client::connect(addr).unwrap().call("gated_a", Json::Null));
+    wait_until("worker busy", || gate.entered.load(Ordering::SeqCst) == 1);
+    let c2 = std::thread::spawn(move || Client::connect(addr).unwrap().call("gated_b", Json::Null));
+    let mut probe = Client::connect(addr).unwrap();
+    wait_until("queue full", || {
+        num(probe.call("health", Json::Null).unwrap().get("queued")) >= 1.0
+    });
+
+    // Plain call: shed immediately with the retryable error.
+    let mut client = Client::connect(addr).unwrap();
+    let err = client.call("fast", Json::Null).unwrap_err();
+    assert_eq!(err.code, "overloaded");
+    assert!(err.is_retryable());
+
+    // Retrying call in the background; open the gate once it has been
+    // shed at least once, so the retry path is provably exercised.
+    let retry = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        let policy = RetryPolicy {
+            max_retries: 20,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(100),
+            seed: 77,
+        };
+        let r = c.call_with_retry("fast", Json::Null, &policy);
+        (r, c.retries())
+    });
+    wait_until("a shed retry attempt", || counter(&mut probe, "pool.shed") >= 2.0);
+    gate.open();
+
+    let (result, retries) = retry.join().unwrap();
+    assert_eq!(result.unwrap(), Json::str("done"), "backoff retry eventually succeeded");
+    assert!(retries >= 1, "at least one retry happened");
+    assert_eq!(c1.join().unwrap().unwrap(), Json::str("a"));
+    assert_eq!(c2.join().unwrap().unwrap(), Json::str("b"));
+    assert!(counter(&mut probe, "pool.shed") >= 2.0);
+    handle.shutdown();
+}
+
+/// Graceful drain: a `shutdown` request lets the in-flight job finish
+/// (its client gets the real result), sheds queued jobs with
+/// `shutting_down`, and the final stats report the drain counters.
+#[test]
+fn graceful_drain_completes_inflight_and_sheds_queued() {
+    let gate = Gate::new();
+    let mut router = Router::new();
+    let g = Arc::clone(&gate);
+    router.register("gated", move |_| {
+        g.pass();
+        Ok(Json::str("finished"))
+    });
+    router.register("idle", |_| Ok(Json::str("idle")));
+    let handle =
+        serve_with("127.0.0.1:0", router, ServeConfig { workers: 1, ..ServeConfig::default() })
+            .unwrap();
+    let addr = handle.addr();
+
+    let inflight =
+        std::thread::spawn(move || Client::connect(addr).unwrap().call("gated", Json::Null));
+    wait_until("worker busy", || gate.entered.load(Ordering::SeqCst) == 1);
+    let queued =
+        std::thread::spawn(move || Client::connect(addr).unwrap().call("idle", Json::Null));
+    let mut probe = Client::connect(addr).unwrap();
+    wait_until("job queued", || {
+        num(probe.call("health", Json::Null).unwrap().get("queued")) >= 1.0
+    });
+    assert_eq!(
+        probe.call("health", Json::Null).unwrap().get("status").and_then(Json::as_str),
+        Some("ok")
+    );
+
+    // Request shutdown while one job runs and one is queued.
+    let r = probe.call("shutdown", Json::Null).unwrap();
+    assert_eq!(r.as_str(), Some("shutting down"));
+    gate.open();
+
+    assert_eq!(inflight.join().unwrap().unwrap(), Json::str("finished"));
+    let err: ServeError = queued.join().unwrap().unwrap_err();
+    assert_eq!(err.code, "shutting_down");
+    assert!(err.is_retryable(), "shed-on-drain is a retry-me-elsewhere error");
+
+    let stats = handle.wait();
+    let pool = stats.get("pool").unwrap();
+    assert_eq!(num(pool.get("jobs_drained")), 1.0, "the queued job was shed");
+    assert!(num(pool.get("jobs_executed")) >= 1.0, "the in-flight job completed");
 }
 
 #[test]

@@ -176,12 +176,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     means.sort_by(|a, b| a.total_cmp(b));
     let mean = means.iter().sum::<f64>() / means.len() as f64;
     let (lo, hi) = (means[0], means[means.len() - 1]);
-    eprintln!(
-        "{name:<48} time: [{} {} {}]",
-        fmt_secs(lo),
-        fmt_secs(mean),
-        fmt_secs(hi)
-    );
+    eprintln!("{name:<48} time: [{} {} {}]", fmt_secs(lo), fmt_secs(mean), fmt_secs(hi));
     Duration::from_secs_f64(mean)
 }
 

@@ -275,7 +275,10 @@ pub mod string {
         fn class_with_escapes_and_ranges() {
             let mut rng = TestRng::deterministic("class");
             for _ in 0..200 {
-                let s = generate_matching("[a-z0-9 \\n\\t{}()\\[\\];,.*+<>=&|!#\"'/-]{0,200}", &mut rng);
+                let s = generate_matching(
+                    "[a-z0-9 \\n\\t{}()\\[\\];,.*+<>=&|!#\"'/-]{0,200}",
+                    &mut rng,
+                );
                 assert!(s.len() <= 200);
                 assert!(s.chars().all(|c| {
                     c.is_ascii_lowercase()

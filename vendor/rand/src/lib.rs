@@ -186,9 +186,8 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(43);
         let mut d = StdRng::seed_from_u64(42);
-        let same = (0..100)
-            .filter(|_| d.gen_range(0u64..u64::MAX) == c.gen_range(0u64..u64::MAX))
-            .count();
+        let same =
+            (0..100).filter(|_| d.gen_range(0u64..u64::MAX) == c.gen_range(0u64..u64::MAX)).count();
         assert!(same < 5, "different seeds must diverge, {same} collisions");
     }
 
