@@ -5,6 +5,8 @@ use silvervale::{divergence_from, index_app};
 use svcorpus::App;
 use svmetrics::{Metric, Variant};
 
+// Reuses fig07's renderer; its `main` is unused when included as a module.
+#[allow(dead_code)]
 #[path = "fig07_minibude_heatmap.rs"]
 mod fig07;
 

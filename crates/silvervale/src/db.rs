@@ -8,12 +8,13 @@
 //! coverage profile serialise through `svpack` varint records, and the
 //! whole container compresses with `svz`.
 
+use std::sync::Arc;
 use svmetrics::Artifacts;
 use svtree::mask::{CoverageMask, LineMask};
 use svtree::pack::{
-    compress, decompress, read_tree, read_varint, write_tree, write_varint, PackError,
+    compress, decompress, read_tree_in, read_varint, write_tree, write_varint, PackError,
 };
-use svtree::Tree;
+use svtree::{Interner, Tree};
 
 const DB_MAGIC: &[u8; 4] = b"SVDB";
 const DB_VERSION: u8 = 1;
@@ -164,12 +165,12 @@ fn write_tree_rec(buf: &mut Vec<u8>, t: &Tree) {
     buf.extend_from_slice(&bytes);
 }
 
-fn read_tree_rec(buf: &[u8], pos: &mut usize) -> Result<Tree, PackError> {
+fn read_tree_rec(table: &Arc<Interner>, buf: &[u8], pos: &mut usize) -> Result<Tree, PackError> {
     let len = read_varint(buf, pos)? as usize;
     let end = pos.checked_add(len).ok_or(PackError::Truncated)?;
     let bytes = buf.get(*pos..end).ok_or(PackError::Truncated)?;
     *pos = end;
-    read_tree(bytes)
+    read_tree_in(Arc::clone(table), bytes)
 }
 
 fn write_artifacts(buf: &mut Vec<u8>, a: &Artifacts) {
@@ -195,11 +196,14 @@ fn read_artifacts(buf: &[u8], pos: &mut usize) -> Result<Artifacts, PackError> {
     let lloc_pre = read_varint(buf, pos)? as usize;
     let sloc_post = read_varint(buf, pos)? as usize;
     let lloc_post = read_varint(buf, pos)? as usize;
-    let t_src = read_tree_rec(buf, pos)?;
-    let t_src_pp = read_tree_rec(buf, pos)?;
-    let t_sem = read_tree_rec(buf, pos)?;
-    let t_sem_inl = read_tree_rec(buf, pos)?;
-    let t_ir = read_tree_rec(buf, pos)?;
+    // All five trees of one entry decode onto a single shared label table,
+    // mirroring how the frontend interns one table per compilation unit.
+    let table = Arc::new(Interner::new());
+    let t_src = read_tree_rec(&table, buf, pos)?;
+    let t_src_pp = read_tree_rec(&table, buf, pos)?;
+    let t_sem = read_tree_rec(&table, buf, pos)?;
+    let t_sem_inl = read_tree_rec(&table, buf, pos)?;
+    let t_ir = read_tree_rec(&table, buf, pos)?;
     Ok(Artifacts {
         name,
         lines_pre,
@@ -210,11 +214,11 @@ fn read_artifacts(buf: &[u8], pos: &mut usize) -> Result<Artifacts, PackError> {
         lloc_pre,
         sloc_post,
         lloc_post,
-        t_src,
-        t_src_pp,
-        t_sem,
-        t_sem_inl,
-        t_ir,
+        t_src: t_src.into(),
+        t_src_pp: t_src_pp.into(),
+        t_sem: t_sem.into(),
+        t_sem_inl: t_sem_inl.into(),
+        t_ir: t_ir.into(),
     })
 }
 
@@ -266,15 +270,16 @@ mod tests {
             lloc_pre: 2,
             sloc_post: 1,
             lloc_post: 1,
-            t_src: Tree::from_sexpr("(Source Kw(int) Ident)").unwrap(),
-            t_src_pp: Tree::from_sexpr("(Source Ident)").unwrap(),
+            t_src: Tree::from_sexpr("(Source Kw(int) Ident)").unwrap().into(),
+            t_src_pp: Tree::from_sexpr("(Source Ident)").unwrap().into(),
             t_sem: Tree::from_sexpr(&format!(
                 "(TranslationUnit (VarDecl(int) IntegerLiteral({})))",
                 tag.len()
             ))
-            .unwrap(),
-            t_sem_inl: Tree::from_sexpr("(TranslationUnit VarDecl(int))").unwrap(),
-            t_ir: Tree::from_sexpr("(IRModule (define (block alloca ret)))").unwrap(),
+            .unwrap()
+            .into(),
+            t_sem_inl: Tree::from_sexpr("(TranslationUnit VarDecl(int))").unwrap().into(),
+            t_ir: Tree::from_sexpr("(IRModule (define (block alloca ret)))").unwrap().into(),
         }
     }
 

@@ -29,8 +29,8 @@ pub use svserve::svjson;
 pub use compdb::{parse_compile_commands, write_compile_commands, CompileCommand};
 pub use db::{CodebaseDb, DbEntry};
 pub use pipeline::{
-    divergence_from, index_app, index_compilation_db, index_fortran, inventory, model_dendrogram,
-    model_matrix, navigation_chart,
+    divergence_from, index_app, index_app_seq, index_compilation_db, index_compilation_db_seq,
+    index_fortran, inventory, model_dendrogram, model_matrix, navigation_chart,
 };
 pub use serve::AnalysisService;
 

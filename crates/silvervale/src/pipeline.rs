@@ -18,25 +18,54 @@ use svperf::{phi_all, NavPoint, NavigationChart};
 
 /// Index one corpus app: compile every model, optionally run each under
 /// the interpreter to collect coverage, and store the artefacts.
+///
+/// Units are independent, so compilation (and coverage runs) fan out over
+/// all cores via `svpar::par_tasks`; results are collected in model order,
+/// so the produced DB is identical to [`index_app_seq`].
 pub fn index_app(app: App, with_coverage: bool) -> Result<CodebaseDb, Error> {
+    let _s = svtrace::span!("pipeline.index_app", app = app.name());
+    let results =
+        svpar::par_tasks(&Model::ALL, |&model| index_one_model(app, model, with_coverage));
     let mut db = CodebaseDb::new(app.name());
-    for model in Model::ALL {
-        let unit = svcorpus::unit(app, model)?;
-        let coverage = if with_coverage {
-            let run = svexec::run_unit(&unit)?;
-            if run.exit_code != 0 {
-                return Err(Error::Verification {
-                    what: format!("{}/{}", app.name(), model.name()),
-                    output: run.output,
-                });
-            }
-            Some(run.coverage)
-        } else {
-            None
-        };
-        db.push(model.name(), Artifacts::from_unit(&unit), coverage);
+    for r in results {
+        let (label, artifacts, coverage) = r?;
+        db.push(label, artifacts, coverage);
     }
     Ok(db)
+}
+
+/// Sequential reference for [`index_app`]: same per-model work, no fan-out.
+/// Kept as the equivalence oracle for tests.
+pub fn index_app_seq(app: App, with_coverage: bool) -> Result<CodebaseDb, Error> {
+    let mut db = CodebaseDb::new(app.name());
+    for model in Model::ALL {
+        let (label, artifacts, coverage) = index_one_model(app, model, with_coverage)?;
+        db.push(label, artifacts, coverage);
+    }
+    Ok(db)
+}
+
+/// Compile (and optionally run) one model of `app` — the per-item task both
+/// the parallel and sequential indexers share.
+fn index_one_model(
+    app: App,
+    model: Model,
+    with_coverage: bool,
+) -> Result<(&'static str, Artifacts, Option<svtree::mask::CoverageMask>), Error> {
+    let unit = svcorpus::unit(app, model)?;
+    let coverage = if with_coverage {
+        let run = svexec::run_unit(&unit)?;
+        if run.exit_code != 0 {
+            return Err(Error::Verification {
+                what: format!("{}/{}", app.name(), model.name()),
+                output: run.output,
+            });
+        }
+        Some(run.coverage)
+    } else {
+        None
+    };
+    Ok((model.name(), Artifacts::from_unit(&unit), coverage))
 }
 
 /// Index the Fortran BabelStream variants (no interpreter: the paper's
@@ -52,19 +81,49 @@ pub fn index_fortran() -> Result<CodebaseDb, Error> {
 
 /// Index an arbitrary codebase from a compilation database — the general
 /// entry point mirroring the paper's CLI workflow.
+///
+/// Compiler invocations are independent, so they fan out over all cores
+/// via `svpar::par_tasks`; entries land in command order, identical to
+/// [`index_compilation_db_seq`].
 pub fn index_compilation_db(
+    name: &str,
+    sources: &SourceSet,
+    commands: &[CompileCommand],
+) -> Result<CodebaseDb, Error> {
+    let _s = svtrace::span!("pipeline.index_compdb", name = name);
+    let results = svpar::par_tasks(commands, |cmd| index_one_command(sources, cmd));
+    let mut db = CodebaseDb::new(name);
+    for r in results {
+        let (label, artifacts) = r?;
+        db.push(label, artifacts, None);
+    }
+    Ok(db)
+}
+
+/// Sequential reference for [`index_compilation_db`] — the equivalence
+/// oracle for tests.
+pub fn index_compilation_db_seq(
     name: &str,
     sources: &SourceSet,
     commands: &[CompileCommand],
 ) -> Result<CodebaseDb, Error> {
     let mut db = CodebaseDb::new(name);
     for cmd in commands {
-        let main = sources.lookup(&cmd.file).ok_or_else(|| Error::MissingFile(cmd.file.clone()))?;
-        let opts = UnitOptions { defines: cmd.defines(), inline_depth: None };
-        let unit = compile_unit(sources, main, &opts)?;
-        db.push(cmd.file.clone(), Artifacts::from_unit(&unit), None);
+        let (label, artifacts) = index_one_command(sources, cmd)?;
+        db.push(label, artifacts, None);
     }
     Ok(db)
+}
+
+/// Compile one compilation-database command into stored artefacts.
+fn index_one_command(
+    sources: &SourceSet,
+    cmd: &CompileCommand,
+) -> Result<(String, Artifacts), Error> {
+    let main = sources.lookup(&cmd.file).ok_or_else(|| Error::MissingFile(cmd.file.clone()))?;
+    let opts = UnitOptions { defines: cmd.defines(), inline_depth: None };
+    let unit = compile_unit(sources, main, &opts)?;
+    Ok((cmd.file.clone(), Artifacts::from_unit(&unit)))
 }
 
 pub(crate) fn measured_entries<'a>(db: &'a CodebaseDb, v: Variant) -> Vec<Measured<'a>> {
@@ -174,6 +233,39 @@ mod tests {
         assert!(m.get_by_label("CUDA", "HIP").unwrap() > 0.0);
         // CUDA should be closer to HIP than to Kokkos.
         assert!(m.get_by_label("CUDA", "HIP").unwrap() < m.get_by_label("CUDA", "Kokkos").unwrap());
+    }
+
+    #[test]
+    fn parallel_indexing_identical_to_sequential() {
+        // The indexer fans compilation out over worker threads; the DB it
+        // produces must match the sequential oracle exactly — same entry
+        // order, same artefacts, same trees — at every thread count.
+        let seq = index_app_seq(App::BabelStream, false).unwrap();
+        for threads in [1usize, 2, 4] {
+            svpar::set_threads(threads);
+            let par = index_app(App::BabelStream, false).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        svpar::set_threads(0);
+    }
+
+    #[test]
+    fn parallel_compilation_db_identical_to_sequential() {
+        use crate::compdb::parse_compile_commands;
+        let mut ss = SourceSet::new();
+        ss.add("a.cpp", "int main() { return 0; }");
+        ss.add("b.cpp", "void f(int* a, int n) { for (int i = 0; i < n; i++) a[i] = i; }");
+        let cmds = parse_compile_commands(
+            r#"[
+              {"directory":".","file":"a.cpp","arguments":["c++","a.cpp"]},
+              {"directory":".","file":"b.cpp","arguments":["c++","b.cpp"]},
+              {"directory":".","file":"a.cpp","arguments":["c++","-DX","a.cpp"]}
+            ]"#,
+        )
+        .unwrap();
+        let seq = index_compilation_db_seq("demo", &ss, &cmds).unwrap();
+        let par = index_compilation_db("demo", &ss, &cmds).unwrap();
+        assert_eq!(par, seq);
     }
 
     #[test]

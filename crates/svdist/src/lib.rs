@@ -24,11 +24,13 @@
 
 pub mod matrix;
 pub mod seq;
+pub mod shared;
 pub mod ted;
 
 pub use matrix::DistanceMatrix;
 pub use seq::{edit_distance_onp, jaccard_divergence, lcs_len, levenshtein};
+pub use shared::SharedTree;
 pub use ted::{
-    edit_stats, memory_estimate, ted, ted_bounded, ted_with, CostModel, EditStats, Strategy,
-    TedError,
+    decompose_count, edit_stats, memory_estimate, ted, ted_bounded, ted_shared, ted_with,
+    CostModel, EditStats, PostTree, Strategy, TedError,
 };

@@ -24,7 +24,21 @@
 //! on a two-node tree), so narrower cells would silently wrap.
 
 use std::collections::HashMap;
-use svtree::{NodeId, Tree};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use svtree::{Interner, NodeId, Tree};
+
+/// Process-wide count of [`PostTree`] decomposition builds.
+///
+/// The shared artifact layer builds at most two decompositions (left and
+/// right) per tree, however many pairs the tree participates in; tests use
+/// this counter to prove matrix warm paths stop decomposing.
+static DECOMPOSITIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of post-order decompositions built so far in this process.
+pub fn decompose_count() -> u64 {
+    DECOMPOSITIONS.load(Ordering::Relaxed)
+}
 
 /// Costs for the three edit operations.  The paper uses unit weights; the
 /// struct exists because it calls out per-operation weights as future work
@@ -114,30 +128,89 @@ pub fn ted_with(a: &Tree, b: &Tree, costs: CostModel, strategy: Strategy) -> u64
     zhang_shasha(&pa, &pb, costs)
 }
 
+/// TED over [`SharedTree`]s: identical results to [`ted_with`], but the
+/// structural-hash short-circuit and the path decompositions come from the
+/// trees' memoized views instead of being rebuilt per pair.  In an N-way
+/// divergence matrix this turns O(N²) decomposition builds into O(N).
+pub fn ted_shared(
+    a: &crate::SharedTree,
+    b: &crate::SharedTree,
+    costs: CostModel,
+    strategy: Strategy,
+) -> u64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0,
+        (true, false) => return b.size() as u64 * u64::from(costs.insert),
+        (false, true) => return a.size() as u64 * u64::from(costs.delete),
+        _ => {}
+    }
+    if a.size() == b.size() && a.structural_hash() == b.structural_hash() {
+        return 0;
+    }
+    let (pa, pb) = match strategy {
+        Strategy::Left => (a.left(), b.left()),
+        Strategy::Right => (a.right(), b.right()),
+        Strategy::Auto => {
+            let left = (a.left(), b.left());
+            let right = (a.right(), b.right());
+            if decomposition_cost(left.0, left.1) <= decomposition_cost(right.0, right.1) {
+                left
+            } else {
+                right
+            }
+        }
+    };
+    zhang_shasha(pa, pb, costs)
+}
+
 /// Estimated number of relevant subproblems for a decomposition pair:
-/// `sum over keyroot pairs of |span(kr1)| * |span(kr2)|`.
+/// `sum over keyroot pairs of |span(kr1)| * |span(kr2)|`.  Both factors are
+/// precomputed at [`PostTree::build`] time.
 fn decomposition_cost(pa: &PostTree, pb: &PostTree) -> u128 {
-    let sa: u128 = pa.keyroots.iter().map(|&k| (k - pa.lld[k] + 1) as u128).sum();
-    let sb: u128 = pb.keyroots.iter().map(|&k| (k - pb.lld[k] + 1) as u128).sum();
-    sa * sb
+    u128::from(pa.span_sum) * u128::from(pb.span_sum)
 }
 
 /// Post-order flattened tree with the auxiliary arrays Zhang–Shasha needs.
-struct PostTree {
-    /// Interned labels in post-order.
-    labels: Vec<u64>,
+///
+/// Built once per tree per direction (left/right) and reusable across every
+/// pair the tree participates in: label identity is carried both as raw
+/// interned symbol ids (`syms` — exact, comparable when two decompositions
+/// share an [`Interner`] table) and as the interner's memoized FNV-1a label
+/// hashes (`keys` — content-based, comparable across tables).  Building
+/// touches no label bytes either way.
+pub struct PostTree {
+    /// Interned symbol ids in post-order, widened to u64 so the DP can use
+    /// either label column through one slice type.
+    syms: Vec<u64>,
+    /// Memoized content hashes of the labels in post-order.
+    ///
+    /// Collisions are astronomically unlikely for AST label vocabularies
+    /// (hundreds of distinct strings); correctness tests run against the
+    /// oracle which compares strings directly, and same-table comparisons
+    /// use exact symbol ids instead.
+    keys: Vec<u64>,
     /// `lld[i]`: post-order index of the leftmost leaf descendant of node i.
     lld: Vec<usize>,
     /// LR-keyroots in increasing post-order index.
     keyroots: Vec<usize>,
+    /// Σ keyroot span lengths — this tree's factor of the relevant-
+    /// subproblem estimate used by [`Strategy::Auto`].
+    span_sum: u64,
+    /// The label table the `syms` column indexes into.
+    table: Arc<Interner>,
 }
 
 impl PostTree {
-    fn build(tree: &Tree, mirrored: bool) -> PostTree {
+    /// Build the decomposition of `tree` (left paths, or right paths when
+    /// `mirrored`).
+    pub fn build(tree: &Tree, mirrored: bool) -> PostTree {
+        DECOMPOSITIONS.fetch_add(1, Ordering::Relaxed);
         let n = tree.size();
-        let mut labels = Vec::with_capacity(n);
+        let mut syms = Vec::with_capacity(n);
+        let mut keys = Vec::with_capacity(n);
         let mut lld = Vec::with_capacity(n);
         let mut post_index: Vec<usize> = vec![0; n];
+        let label_hash = tree.interner().hashes_snapshot();
 
         // Post-order with optionally reversed child order (mirroring).
         let mut order: Vec<NodeId> = Vec::with_capacity(n);
@@ -156,23 +229,11 @@ impl PostTree {
             }
         }
 
-        // Labels only need equality, so hash each into a u64 with FNV-1a.
-        // The hash is content-based, hence consistent across the two trees
-        // being compared.  Collisions are astronomically unlikely for AST
-        // label vocabularies (hundreds of distinct strings); correctness
-        // tests run against the oracle which compares strings directly.
-        fn fnv64(s: &str) -> u64 {
-            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-            for b in s.as_bytes() {
-                h ^= u64::from(*b);
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-            h
-        }
-
         for (i, &id) in order.iter().enumerate() {
             post_index[id.index()] = i;
-            labels.push(fnv64(tree.label(id)));
+            let sym = tree.sym(id);
+            syms.push(u64::from(sym.0));
+            keys.push(label_hash[sym.index()]);
             // Leftmost (in traversal order) leaf descendant: for a leaf it is
             // itself; otherwise the lld of its first-traversed child.
             let ch = tree.children(id);
@@ -186,21 +247,30 @@ impl PostTree {
 
         // Keyroots: the root plus every node whose lld differs from its
         // parent's lld (i.e. it has a left sibling in traversal order).
+        // lld values are post-order indices < n, so a dense bitmap beats a
+        // hash set.
         let mut keyroots = Vec::new();
-        let mut seen_lld: HashMap<usize, ()> = HashMap::new();
+        let mut seen_lld = vec![false; n];
         for i in (0..n).rev() {
-            if let std::collections::hash_map::Entry::Vacant(e) = seen_lld.entry(lld[i]) {
-                e.insert(());
+            if !seen_lld[lld[i]] {
+                seen_lld[lld[i]] = true;
                 keyroots.push(i);
             }
         }
         keyroots.sort_unstable();
+        let span_sum = keyroots.iter().map(|&k| (k - lld[k] + 1) as u64).sum();
 
-        PostTree { labels, lld, keyroots }
+        PostTree { syms, keys, lld, keyroots, span_sum, table: Arc::clone(tree.interner()) }
     }
 
     fn len(&self) -> usize {
-        self.labels.len()
+        self.syms.len()
+    }
+
+    /// Whether `self` and `other` index the same label table, making raw
+    /// symbol ids directly comparable.
+    pub fn same_table(&self, other: &PostTree) -> bool {
+        Arc::ptr_eq(&self.table, &other.table)
     }
 }
 
@@ -210,6 +280,11 @@ fn zhang_shasha(a: &PostTree, b: &PostTree, costs: CostModel) -> u64 {
     let del = u64::from(costs.delete);
     let ins = u64::from(costs.insert);
     let rel = u64::from(costs.relabel);
+
+    // Label identity column: exact symbol ids when both decompositions share
+    // an interner table, memoized content hashes otherwise.
+    let (la, lb): (&[u64], &[u64]) =
+        if a.same_table(b) { (&a.syms, &b.syms) } else { (&a.keys, &b.keys) };
 
     // Permanent tree-distance table td[i][j] for subtree pairs rooted at
     // post-order nodes i, j.  Cells are u64: with non-unit cost weights a
@@ -239,7 +314,7 @@ fn zhang_shasha(a: &PostTree, b: &PostTree, costs: CostModel) -> u64 {
                     let j = l2 + dj - 1;
                     if a.lld[i] == l1 && b.lld[j] == l2 {
                         // Both forests are whole trees: record a tree dist.
-                        let sub = if a.labels[i] == b.labels[j] { 0 } else { rel };
+                        let sub = if la[i] == lb[j] { 0 } else { rel };
                         let d = (fd[at(di - 1, dj)] + del)
                             .min(fd[at(di, dj - 1)] + ins)
                             .min(fd[at(di - 1, dj - 1)] + sub);

@@ -21,17 +21,22 @@ pub use fortran::lower_fortran;
 pub use lower::{detect_offload, lower, lower_with, OffloadKind};
 pub use model::{BasicBlock, Global, Instr, IrFunction, Module, Op};
 
+use std::sync::Arc;
 use svlang::unit::Unit;
 use svtree::Tree;
 
 /// Produce the `T_ir` tree for a compiled unit (either language).
+///
+/// The tree is interned on the same label table as the unit's `T_sem`, so
+/// every tree of one compilation unit shares a single string table.
 pub fn t_ir(unit: &Unit) -> Tree {
+    let table = Arc::clone(unit.t_sem.interner());
     if let Some(prog) = &unit.program {
         let reg = svlang::sema::Registry::build(prog, &unit.system_files);
-        lower(prog, &reg).to_tree()
+        lower(prog, &reg).to_tree_in(table)
     } else if let Some(fprog) = &unit.fprogram {
-        lower_fortran(fprog).to_tree()
+        lower_fortran(fprog).to_tree_in(table)
     } else {
-        Tree::empty()
+        Tree::empty_in(table)
     }
 }

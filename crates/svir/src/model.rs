@@ -156,6 +156,14 @@ impl Module {
         b.finish()
     }
 
+    /// [`Self::to_tree`] with the label table shared with the unit's other
+    /// trees, so `T_ir` lands on the same interner as `T_sem`/`T_src`.
+    pub fn to_tree_in(&self, table: std::sync::Arc<svtree::Interner>) -> Tree {
+        let mut b = TreeBuilder::new_in(table, "IRModule");
+        self.emit_into(&mut b);
+        b.finish()
+    }
+
     fn emit_into(&self, b: &mut TreeBuilder) {
         for g in &self.globals {
             b.leaf_span(format!("global({})", g.ty), g.span);

@@ -23,7 +23,8 @@
 //! lexes to the same token vocabulary.
 
 use crate::lex::{TokKind, Token};
-use svtree::{Span, Tree, TreeBuilder};
+use std::sync::Arc;
+use svtree::{Interner, Span, Tree, TreeBuilder};
 
 /// Keywords that get their own labelled leaf in the highlight view.
 const KEYWORDS: &[&str] = &[
@@ -122,7 +123,12 @@ fn closer(open: &str) -> &'static str {
 /// Unbalanced closers are tolerated (they become plain leaves) so the CST
 /// works on macro-mangled or partial sources, as tree-sitter does.
 pub fn build_cst(tokens: &[Token]) -> Tree {
-    let mut b = TreeBuilder::new("Source");
+    build_cst_in(Arc::new(Interner::new()), tokens)
+}
+
+/// [`build_cst`] with the label table shared with other trees of the unit.
+pub fn build_cst_in(table: Arc<Interner>, tokens: &[Token]) -> Tree {
+    let mut b = TreeBuilder::new_in(table, "Source");
     let mut stack: Vec<&'static str> = Vec::new(); // expected closers
     for (i, t) in tokens.iter().enumerate() {
         let span = Some(Span::line(t.loc.file.0, t.loc.line));
@@ -168,7 +174,14 @@ pub fn build_cst(tokens: &[Token]) -> Tree {
 /// identifiers (as bare token types — programmer names are already gone),
 /// literals, operators, and pragma structure.
 pub fn t_src(tokens: &[Token]) -> Tree {
-    let cst = build_cst(tokens);
+    t_src_in(Arc::new(Interner::new()), tokens)
+}
+
+/// [`t_src`] with the label table shared with other trees of the unit (the
+/// interning [`TreeBuilder`] puts every tree of one compilation unit on a
+/// single string table).
+pub fn t_src_in(table: Arc<Interner>, tokens: &[Token]) -> Tree {
+    let cst = build_cst_in(table, tokens);
     cst.filter_splice(|t, n| {
         let l = t.label(n);
         if l == "Comment" || l == "Newline" {

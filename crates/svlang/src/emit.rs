@@ -18,7 +18,8 @@
 use crate::ast::*;
 use crate::sema::{infer, Registry, Scopes, Ty};
 use crate::source::FileId;
-use svtree::{Span, Tree, TreeBuilder};
+use std::sync::Arc;
+use svtree::{Interner, Span, Tree, TreeBuilder};
 
 /// Options for semantic-tree emission.
 #[derive(Debug, Clone, Copy, Default)]
@@ -37,8 +38,13 @@ impl SemOptions {
 
 /// Emit the semantic tree for a parsed unit.
 pub fn t_sem(prog: &Program, reg: &Registry, opts: SemOptions) -> Tree {
+    t_sem_in(Arc::new(Interner::new()), prog, reg, opts)
+}
+
+/// [`t_sem`] with the label table shared with other trees of the unit.
+pub fn t_sem_in(table: Arc<Interner>, prog: &Program, reg: &Registry, opts: SemOptions) -> Tree {
     let mut e = Emitter {
-        b: TreeBuilder::new("TranslationUnit"),
+        b: TreeBuilder::new_in(table, "TranslationUnit"),
         reg,
         opts,
         scopes: Scopes::new(),

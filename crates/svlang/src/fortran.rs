@@ -23,7 +23,8 @@ use crate::ast::{Clause, Pragma};
 use crate::lex::{TokKind, Token};
 use crate::parse::parse_pragma;
 use crate::source::{FileId, LangError, Loc, Result};
-use svtree::{Span, Tree, TreeBuilder};
+use std::sync::Arc;
+use svtree::{Interner, Span, Tree, TreeBuilder};
 
 // ---------------------------------------------------------------------------
 // Lexer
@@ -1070,8 +1071,16 @@ fn fixup_fortran_directive(dir: &mut Pragma) {
 /// the C++ emitter — the paper notes cross-compiler trees "are not
 /// comparable in any meaningful way".
 pub fn t_sem_fortran(prog: &FProgram) -> Tree {
-    let mut e =
-        FEmitter { b: TreeBuilder::new("FortranUnit"), file: prog.file, arrays: Vec::new() };
+    t_sem_fortran_in(Arc::new(Interner::new()), prog)
+}
+
+/// [`t_sem_fortran`] with the label table shared with other trees of the unit.
+pub fn t_sem_fortran_in(table: Arc<Interner>, prog: &FProgram) -> Tree {
+    let mut e = FEmitter {
+        b: TreeBuilder::new_in(table, "FortranUnit"),
+        file: prog.file,
+        arrays: Vec::new(),
+    };
     for u in &prog.units {
         e.unit(u);
     }

@@ -19,11 +19,17 @@
 
 use crate::ast::*;
 use crate::source::FileId;
-use svtree::{Span, Tree, TreeBuilder};
+use std::sync::Arc;
+use svtree::{Interner, Span, Tree, TreeBuilder};
 
 /// Emit a High-GIMPLE-flavoured semantic tree for a parsed unit.
 pub fn t_sem_gimple(prog: &Program) -> Tree {
-    let mut e = GEmitter { b: TreeBuilder::new("gimple_unit"), file: prog.main_file };
+    t_sem_gimple_in(Arc::new(Interner::new()), prog)
+}
+
+/// [`t_sem_gimple`] with the label table shared with other trees of the unit.
+pub fn t_sem_gimple_in(table: Arc<Interner>, prog: &Program) -> Tree {
+    let mut e = GEmitter { b: TreeBuilder::new_in(table, "gimple_unit"), file: prog.main_file };
     for item in &prog.items {
         e.item(item);
     }

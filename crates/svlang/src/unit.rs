@@ -23,7 +23,8 @@ use crate::pp::{preprocess, PpOptions};
 use crate::sema::Registry;
 use crate::source::{FileId, LangError, Result, SourceSet};
 use std::collections::HashSet;
-use svtree::Tree;
+use std::sync::Arc;
+use svtree::{Interner, Tree};
 
 /// Source language of a unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +105,10 @@ pub fn compile_unit(sources: &SourceSet, main: FileId, opts: &UnitOptions) -> Re
 
 fn compile_cpp(sources: &SourceSet, main: FileId, path: &str, opts: &UnitOptions) -> Result<Unit> {
     let _unit_span = svtrace::span!("unit.compile", unit = path);
+    // One shared label table for every tree of this unit: the trees become
+    // directly comparable by symbol and the distance layer's interned fast
+    // paths apply within the unit's whole tree family.
+    let table = Arc::new(Interner::new());
     let pp_opts = PpOptions { defines: opts.defines.clone() };
     let out = {
         let _s = svtrace::span!("unit.preprocess", unit = path);
@@ -138,7 +143,7 @@ fn compile_cpp(sources: &SourceSet, main: FileId, path: &str, opts: &UnitOptions
     let lines_pre: Vec<String> = pre_pairs.into_iter().map(|(s, _)| s).collect();
     let sloc_pre = lines_pre.len();
     let lloc_pre = measure::lloc(&pre_tokens);
-    let t_src = cst::t_src(&pre_tokens);
+    let t_src = cst::t_src_in(Arc::clone(&table), &pre_tokens);
 
     // --- post-preprocessing view ----------------------------------------
     let post_pairs = measure::normalized_lines_with_locs(&out.tokens);
@@ -146,7 +151,7 @@ fn compile_cpp(sources: &SourceSet, main: FileId, path: &str, opts: &UnitOptions
     let lines_post: Vec<String> = post_pairs.into_iter().map(|(s, _)| s).collect();
     let sloc_post = lines_post.len();
     let lloc_post = measure::lloc(&out.tokens);
-    let t_src_pp = cst::t_src(&out.tokens);
+    let t_src_pp = cst::t_src_in(Arc::clone(&table), &out.tokens);
     drop(norm_span);
 
     // --- semantic trees ---------------------------------------------------
@@ -170,12 +175,12 @@ fn compile_cpp(sources: &SourceSet, main: FileId, path: &str, opts: &UnitOptions
         .cloned()
         .collect();
     let user_prog = Program { main_file: main, items: user_items };
-    let t_sem = emit::t_sem(&user_prog, &reg, SemOptions::PLAIN);
+    let t_sem = emit::t_sem_in(Arc::clone(&table), &user_prog, &reg, SemOptions::PLAIN);
     drop(lower_span);
     let inline_depth = opts.inline_depth.unwrap_or(SemOptions::INLINED.inline_depth);
     let t_sem_inl = {
         let _s = svtrace::span!("unit.inline", unit = path, depth = inline_depth);
-        emit::t_sem(&user_prog, &reg, SemOptions { inline_depth })
+        emit::t_sem_in(Arc::clone(&table), &user_prog, &reg, SemOptions { inline_depth })
     };
 
     Ok(Unit {
@@ -236,6 +241,7 @@ fn fold_pragma_directives(toks: Vec<Token>) -> Vec<Token> {
 
 fn compile_fortran(sources: &SourceSet, main: FileId, path: &str) -> Result<Unit> {
     let _unit_span = svtrace::span!("unit.compile", unit = path);
+    let table = Arc::new(Interner::new());
     let text = sources.file(main).text.clone();
     let tokens = {
         let _s = svtrace::span!("unit.lex", unit = path);
@@ -250,14 +256,14 @@ fn compile_fortran(sources: &SourceSet, main: FileId, path: &str) -> Result<Unit
     // already count as their own statement.
     let lloc_pre = tokens.iter().filter(|t| matches!(t.kind, TokKind::Newline)).count();
 
-    let t_src = cst::t_src(&tokens);
+    let t_src = cst::t_src_in(Arc::clone(&table), &tokens);
     let fprog = {
         let _s = svtrace::span!("unit.parse", unit = path);
         fortran::parse_fortran(&text, main, path)?
     };
     let t_sem = {
         let _s = svtrace::span!("unit.lower", unit = path);
-        fortran::t_sem_fortran(&fprog)
+        fortran::t_sem_fortran_in(Arc::clone(&table), &fprog)
     };
 
     Ok(Unit {

@@ -20,10 +20,9 @@
 
 pub mod secondary;
 
-use svdist::{edit_distance_onp, ted, DistanceMatrix};
+use svdist::{edit_distance_onp, ted_shared, CostModel, DistanceMatrix, SharedTree, Strategy};
 use svlang::unit::Unit;
 use svtree::mask::CoverageMask;
-use svtree::Tree;
 
 /// Process-global observability handles, resolved once: a TED pair
 /// counter, the Eq. 7 `dmax` running total, and a distance histogram —
@@ -62,6 +61,11 @@ mod obs {
 /// paper's Codebase DB persists ("a portable set of semantic-bearing
 /// trees and metadata files").  Detached from [`Unit`] so the database
 /// layer can store and reload it without keeping ASTs alive.
+///
+/// Trees are held as [`SharedTree`]s: immutable, `Arc`-shared, with
+/// lazily memoised derived views (structural hash, left/right TED
+/// decompositions).  Cloning `Artifacts` clones the `Arc`s, so every
+/// consumer of the same artefact set shares one set of memos.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Artifacts {
     pub name: String,
@@ -73,11 +77,11 @@ pub struct Artifacts {
     pub lloc_pre: usize,
     pub sloc_post: usize,
     pub lloc_post: usize,
-    pub t_src: Tree,
-    pub t_src_pp: Tree,
-    pub t_sem: Tree,
-    pub t_sem_inl: Tree,
-    pub t_ir: Tree,
+    pub t_src: SharedTree,
+    pub t_src_pp: SharedTree,
+    pub t_sem: SharedTree,
+    pub t_sem_inl: SharedTree,
+    pub t_ir: SharedTree,
 }
 
 impl Artifacts {
@@ -93,11 +97,11 @@ impl Artifacts {
             lloc_pre: u.lloc_pre,
             sloc_post: u.sloc_post,
             lloc_post: u.lloc_post,
-            t_src: u.t_src.clone(),
-            t_src_pp: u.t_src_pp.clone(),
-            t_sem: u.t_sem.clone(),
-            t_sem_inl: u.t_sem_inl.clone(),
-            t_ir: svir::t_ir(u),
+            t_src: u.t_src.clone().into(),
+            t_src_pp: u.t_src_pp.clone().into(),
+            t_sem: u.t_sem.clone().into(),
+            t_sem_inl: u.t_sem_inl.clone().into(),
+            t_ir: svir::t_ir(u).into(),
         }
     }
 }
@@ -217,7 +221,11 @@ impl<'a> Measured<'a> {
 }
 
 /// Select (and mask) the tree a tree-based metric compares.
-pub fn tree_of(m: &Measured<'_>, metric: Metric, v: Variant) -> Tree {
+///
+/// Plain variants return an `Arc` clone of the stored [`SharedTree`],
+/// so repeated comparisons of the same artefact reuse its memoised
+/// decompositions; only the coverage variant materialises a new tree.
+pub fn tree_of(m: &Measured<'_>, metric: Metric, v: Variant) -> SharedTree {
     let base = match metric {
         Metric::TSrc => {
             if v.preprocessor {
@@ -237,7 +245,7 @@ pub fn tree_of(m: &Measured<'_>, metric: Metric, v: Variant) -> Tree {
         _ => panic!("tree_of called for non-tree metric {metric:?}"),
     };
     match (v.coverage, m.coverage) {
-        (true, Some(cov)) => cov.apply(&base),
+        (true, Some(cov)) => SharedTree::new(cov.apply(&base)),
         _ => base,
     }
 }
@@ -342,7 +350,7 @@ pub fn divergence(
             let ta = tree_of(from, metric, v);
             let tb = tree_of(to, metric, v);
             let _s = svtrace::span!("ted.compute", unit = to.art.name, metric = metric.name());
-            let d = ted(&ta, &tb);
+            let d = ted_shared(&ta, &tb, CostModel::UNIT, Strategy::Auto);
             let dv = Divergence { distance: d, dmax: tb.size().max(1) as u64 };
             obs::record_pair(dv.distance, dv.dmax);
             dv
@@ -364,13 +372,7 @@ pub fn try_divergence(
         Metric::TSrc | Metric::TSem | Metric::TIr => {
             let ta = tree_of(from, metric, v);
             let tb = tree_of(to, metric, v);
-            let d = svdist::ted_bounded(
-                &ta,
-                &tb,
-                svdist::CostModel::UNIT,
-                svdist::Strategy::Auto,
-                max_bytes,
-            )?;
+            let d = svdist::ted_bounded(&ta, &tb, CostModel::UNIT, Strategy::Auto, max_bytes)?;
             Ok(Divergence { distance: d, dmax: tb.size().max(1) as u64 })
         }
         other => Ok(divergence(other, v, from, to)),
@@ -447,7 +449,7 @@ pub fn codebase_divergence(
 /// so the `O(n²)` pair loop never re-extracts lines or re-masks trees.
 enum PairArt {
     Lines(Vec<String>),
-    Tree(Tree),
+    Tree(SharedTree),
     Abs(u64),
 }
 
@@ -479,8 +481,10 @@ fn pair_distance(metric: Metric, a: &PairArt, b: &PairArt) -> f64 {
             }
         }
         (PairArt::Tree(a), PairArt::Tree(b)) => {
+            // Each tree's decompositions were memoised on first use, so
+            // the O(n²) pair loop performs O(n) decompositions in total.
             let _s = svtrace::span!("ted.compute", a = a.size(), b = b.size());
-            let d = ted(a, b);
+            let d = ted_shared(a, b, CostModel::UNIT, Strategy::Auto);
             obs::record_pair(d, a.size().max(b.size()).max(1) as u64);
             d as f64 / (a.size().max(b.size()).max(1)) as f64
         }

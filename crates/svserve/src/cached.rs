@@ -8,9 +8,8 @@
 //! so [`supports`] excludes them and callers fall back to the direct path.
 
 use crate::cache::{fnv1a, CacheKey, CachedPair, TedCache};
-use svdist::{edit_distance_onp, ted};
+use svdist::{edit_distance_onp, ted_shared, CostModel, SharedTree, Strategy};
 use svmetrics::{lines_of, tree_of, Divergence, Measured, Metric, Variant};
-use svtree::Tree;
 
 /// Discriminant of the (only) TED cost model in use: unit costs.
 pub const COST_UNIT: u8 = 0;
@@ -44,7 +43,7 @@ pub fn supports(metric: Metric) -> bool {
 /// Extracting this once per unit (instead of once per pair) is what makes
 /// an all-hits matrix request O(n) instead of O(n²) in tree masking work.
 pub enum FpArtifact {
-    Tree { fp: u64, tree: Tree },
+    Tree { fp: u64, tree: SharedTree },
     Lines { fp: u64, lines: Vec<String> },
 }
 
@@ -56,6 +55,9 @@ impl FpArtifact {
     pub fn of(m: &Measured<'_>, metric: Metric, v: Variant) -> FpArtifact {
         match metric {
             Metric::TSrc | Metric::TSem | Metric::TIr => {
+                // `SharedTree::structural_hash` is memoised: repeated
+                // requests over the same stored artefact fingerprint it
+                // without re-walking the tree.
                 let tree = tree_of(m, metric, v);
                 FpArtifact::Tree { fp: tree.structural_hash(), tree }
             }
@@ -90,7 +92,7 @@ fn raw_distance(a: &FpArtifact, b: &FpArtifact) -> u64 {
     match (a, b) {
         (FpArtifact::Tree { tree: ta, .. }, FpArtifact::Tree { tree: tb, .. }) => {
             let _s = svtrace::span!("ted.compute", a = ta.size(), b = tb.size());
-            ted(ta, tb)
+            ted_shared(ta, tb, CostModel::UNIT, Strategy::Auto)
         }
         (FpArtifact::Lines { lines: la, .. }, FpArtifact::Lines { lines: lb, .. }) => {
             let _s = svtrace::span!("source.edit_distance", a = la.len(), b = lb.len());
@@ -188,6 +190,8 @@ pub fn matrix_cell(metric: Metric, pair: &CachedPair) -> f64 {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use svdist::ted;
+    use svtree::Tree;
 
     fn tree_a() -> Tree {
         Tree::node("f", vec![Tree::leaf("x"), Tree::node("g", vec![Tree::leaf("y")])])
@@ -198,7 +202,8 @@ mod tests {
     }
 
     fn fp_art(t: &Tree) -> FpArtifact {
-        FpArtifact::Tree { fp: t.structural_hash(), tree: t.clone() }
+        let tree = SharedTree::new(t.clone());
+        FpArtifact::Tree { fp: tree.structural_hash(), tree }
     }
 
     #[test]

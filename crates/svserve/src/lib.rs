@@ -79,7 +79,8 @@ mod proptests {
     }
 
     fn fp(t: &Tree) -> FpArtifact {
-        FpArtifact::Tree { fp: t.structural_hash(), tree: t.clone() }
+        let tree = svdist::SharedTree::new(t.clone());
+        FpArtifact::Tree { fp: tree.structural_hash(), tree }
     }
 
     proptest! {

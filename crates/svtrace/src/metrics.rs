@@ -348,7 +348,7 @@ mod tests {
     #[test]
     fn concurrent_recording_loses_no_counts() {
         let r = Arc::new(Registry::new());
-        let n_threads = 8;
+        let n_threads: u64 = 8;
         let per_thread = 5_000u64;
         let handles: Vec<_> = (0..n_threads)
             .map(|t| {
@@ -368,7 +368,7 @@ mod tests {
             h.join().unwrap();
         }
         let s = r.snapshot();
-        let total = n_threads as u64 * per_thread;
+        let total = n_threads * per_thread;
         assert_eq!(s.counters, vec![("hits".to_string(), total)]);
         let lat = &s.histograms[0];
         assert_eq!(lat.count, total, "no lost histogram samples");

@@ -1,0 +1,218 @@
+//! String interning for tree labels.
+//!
+//! AST labels repeat heavily (`BinaryOperator(+)`, `DeclRefExpr`, …): a
+//! compilation unit with tens of thousands of nodes typically has a few
+//! hundred distinct labels.  Interning stores each distinct label once in an
+//! append-only table and represents it everywhere else as a [`Sym`] — a dense
+//! `u32` id.  Comparing two labels from the same table is an integer compare,
+//! and the FNV-1a hash of every label is computed once at intern time and
+//! memoized, so structural hashing and TED decompositions never touch label
+//! bytes again.
+//!
+//! The table is internally synchronised (interning through a shared
+//! `Arc<Interner>` from multiple threads is safe) and append-only: a `Sym`
+//! once issued stays valid for the lifetime of the table and always resolves
+//! to the same string.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Interned label id: a dense index into an [`Interner`] table.
+///
+/// `Sym` equality is label equality *only for symbols from the same table*
+/// (the table deduplicates, so same table + same id ⇔ same string).  Across
+/// tables, compare resolved strings or memoized hashes instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// Index into the owning table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// FNV-1a over the bytes of `s` — the same fold [`crate::Tree::structural_hash`]
+/// historically applied to each label, kept bit-identical so memoized label
+/// hashes reproduce the exact pre-interning structural hashes.
+pub fn fnv64(s: &str) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = BASIS;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Interned strings, indexed by `Sym`.  Boxes are never dropped or moved
+    /// out while the interner lives, so `&str` borrows handed out by
+    /// [`Interner::resolve`] stay valid even as the table grows.
+    strings: Vec<Box<str>>,
+    /// Memoized `fnv64` of each string, indexed by `Sym`.
+    hashes: Vec<u64>,
+    /// fnv64 → syms with that hash (collision chain).
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+/// Append-only, internally-synchronised string table.
+///
+/// Shared between a tree and everything derived from it via `Arc<Interner>`;
+/// `Arc::ptr_eq` on two tables tells consumers whether raw [`Sym`] ids are
+/// directly comparable.
+#[derive(Default)]
+pub struct Interner {
+    inner: Mutex<Inner>,
+}
+
+impl Interner {
+    /// Fresh empty table.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Interning never panics mid-update, so a poisoned lock still guards
+        // consistent data; recover rather than propagate.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Intern `s`, returning its symbol (existing or freshly issued).
+    pub fn intern(&self, s: &str) -> Sym {
+        let h = fnv64(s);
+        let mut g = self.lock();
+        if let Some(ids) = g.buckets.get(&h) {
+            for &i in ids {
+                if &*g.strings[i as usize] == s {
+                    return Sym(i);
+                }
+            }
+        }
+        let id = u32::try_from(g.strings.len()).expect("interner table overflow");
+        g.strings.push(s.into());
+        g.hashes.push(h);
+        g.buckets.entry(h).or_default().push(id);
+        Sym(id)
+    }
+
+    /// Look up `s` without interning it.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        let h = fnv64(s);
+        let g = self.lock();
+        let ids = g.buckets.get(&h)?;
+        ids.iter().find(|&&i| &*g.strings[i as usize] == s).map(|&i| Sym(i))
+    }
+
+    /// Resolve a symbol to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not issued by this table.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        let g = self.lock();
+        let s: &str = &g.strings[sym.index()];
+        let ptr: *const str = s;
+        drop(g);
+        // SAFETY: the table is append-only — `Box<str>` allocations are never
+        // dropped, shrunk or mutated while `self` is alive, and the box's heap
+        // data does not move when the `strings` vec reallocates.  Tying the
+        // result to `&self` therefore borrows stable memory.
+        unsafe { &*ptr }
+    }
+
+    /// Memoized FNV-1a hash of the symbol's string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not issued by this table.
+    pub fn hash_of(&self, sym: Sym) -> u64 {
+        self.lock().hashes[sym.index()]
+    }
+
+    /// Copy of the memoized hash column (indexed by `Sym`).  One lock, used
+    /// by bulk consumers (structural hashing, TED decomposition builds).
+    pub fn hashes_snapshot(&self) -> Vec<u64> {
+        self.lock().hashes.clone()
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.lock().strings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn intern_dedups_and_resolves() {
+        let t = Interner::new();
+        let a = t.intern("ForStmt");
+        let b = t.intern("VarDecl");
+        let a2 = t.intern("ForStmt");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "ForStmt");
+        assert_eq!(t.resolve(b), "VarDecl");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get("ForStmt"), Some(a));
+        assert_eq!(t.get("WhileStmt"), None);
+    }
+
+    #[test]
+    fn hash_matches_fnv64() {
+        let t = Interner::new();
+        let s = t.intern("BinaryOperator(+)");
+        assert_eq!(t.hash_of(s), fnv64("BinaryOperator(+)"));
+        assert_eq!(t.hashes_snapshot(), vec![fnv64("BinaryOperator(+)")]);
+    }
+
+    #[test]
+    fn resolve_survives_table_growth() {
+        let t = Interner::new();
+        let first = t.intern("stable");
+        let s: &str = t.resolve(first);
+        for i in 0..10_000 {
+            t.intern(&format!("grow{i}"));
+        }
+        assert_eq!(s, "stable");
+        assert_eq!(t.len(), 10_001);
+    }
+
+    #[test]
+    fn concurrent_intern_is_consistent() {
+        let t = Arc::new(Interner::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    (0..500).map(|i| t.intern(&format!("l{}", i % 100)).0).collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 100, "100 distinct labels regardless of interleaving");
+        for i in 0..100 {
+            let s = format!("l{i}");
+            assert_eq!(t.resolve(t.get(&s).unwrap()), s);
+        }
+    }
+}

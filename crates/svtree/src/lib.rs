@@ -7,6 +7,10 @@
 //! * [`Tree`] — an arena-backed, ordered, labelled n-ary tree with optional
 //!   source-location spans on every node,
 //! * [`TreeBuilder`] — a push/pop scope builder used by the frontends,
+//! * [`intern`] — the label [`Interner`]: every node label is a [`Sym`]
+//!   backed by a per-tree (builder-shared) string table with memoized FNV-1a
+//!   hashes, so repeated labels cost four bytes per node and label-identity
+//!   checks are integer compares,
 //! * traversal iterators (pre-order, post-order) and structural queries
 //!   (size, depth, height, structural hashing),
 //! * [`mask`] — line-coverage masks used to prune never-executed subtrees,
@@ -16,13 +20,32 @@
 //!   equivalent).
 //!
 //! Trees are ordered (child order is significant, as it is for an AST) and
-//! rooted.  Node labels are plain strings; the tree-edit-distance layer in
-//! `svdist` interns them before computing distances.
+//! rooted.  Node labels are interned symbols; the string-facing API
+//! ([`Tree::label`], `impl AsRef<str>` label arguments) is unchanged from the
+//! owned-`String` era, so frontends keep passing plain strings while the
+//! distance layer in `svdist` compares `Sym` ids and memoized hashes.
 
+pub mod intern;
 pub mod mask;
 pub mod pack;
 
+pub use intern::{Interner, Sym};
+
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide count of full [`Tree::structural_hash`] computations.
+///
+/// The memoized artifact layer (`svdist::SharedTree`, `svmetrics::Artifacts`)
+/// is supposed to hash each tree at most once; tests assert warm paths leave
+/// this counter untouched.
+static STRUCTURAL_HASH_COMPUTES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of full structural-hash walks performed so far in this process.
+pub fn structural_hash_count() -> u64 {
+    STRUCTURAL_HASH_COMPUTES.load(Ordering::Relaxed)
+}
 
 /// Identifier of a node inside a [`Tree`] arena.
 ///
@@ -78,48 +101,102 @@ impl Span {
     }
 }
 
-/// A single tree node: a label, an optional source span, and ordered children.
+/// A single tree node: an interned label, an optional source span, and
+/// ordered children.
+///
+/// `Node` equality compares raw [`Sym`] ids, which is label equality only
+/// for nodes whose trees share a table; [`Tree`]'s own `PartialEq` handles
+/// the cross-table case by resolving strings.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
-    /// The node label, e.g. `"ForStmt"` or `"BinaryOperator(+)"`.
-    pub label: String,
+    /// The interned node label, e.g. `"ForStmt"` or `"BinaryOperator(+)"`;
+    /// resolve through the owning tree's [`Tree::label`] / [`Tree::resolve`].
+    pub sym: Sym,
     /// Optional back-reference into the source.
     pub span: Option<Span>,
     pub(crate) parent: Option<NodeId>,
     pub(crate) children: Vec<NodeId>,
 }
 
-/// An ordered, rooted, labelled n-ary tree stored in an arena.
+/// An ordered, rooted, labelled n-ary tree stored in an arena, with labels
+/// interned in a shared [`Interner`] table.
+///
+/// Cloning a tree shares its table (`Arc`); derived trees produced by
+/// [`Tree::filter_splice`], [`Tree::prune`], [`Tree::extract_subtree`],
+/// [`Tree::map_labels`] and same-table [`Tree::graft`] also share it, so an
+/// entire compilation unit's tree family resolves labels against one table.
 ///
 /// The empty tree (zero nodes) is representable and has size 0; it is the
 /// identity for divergence computations (`dmax` of an empty target is 0).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Tree {
     nodes: Vec<Node>,
     root: Option<NodeId>,
+    table: Arc<Interner>,
 }
 
+impl PartialEq for Tree {
+    fn eq(&self, other: &Self) -> bool {
+        if self.root != other.root || self.nodes.len() != other.nodes.len() {
+            return false;
+        }
+        if Arc::ptr_eq(&self.table, &other.table) {
+            // Shared table: identical syms ⇔ identical labels.
+            return self.nodes == other.nodes;
+        }
+        self.nodes.iter().zip(&other.nodes).all(|(a, b)| {
+            a.span == b.span
+                && a.parent == b.parent
+                && a.children == b.children
+                && self.table.resolve(a.sym) == other.table.resolve(b.sym)
+        })
+    }
+}
+
+impl Eq for Tree {}
+
 impl Tree {
-    /// The empty tree.
+    /// The empty tree (with its own fresh label table).
     pub fn empty() -> Self {
         Tree::default()
     }
 
+    /// The empty tree sharing an existing label table.
+    pub fn empty_in(table: Arc<Interner>) -> Self {
+        Tree { nodes: Vec::new(), root: None, table }
+    }
+
     /// Build a leaf-only tree with a single labelled node.
-    pub fn leaf(label: impl Into<String>) -> Self {
+    pub fn leaf(label: impl AsRef<str>) -> Self {
         Tree::node(label, Vec::new())
     }
 
     /// Functional constructor: a root with the given label whose children are
     /// the roots of `children` (each child tree is grafted in order).
-    pub fn node(label: impl Into<String>, children: Vec<Tree>) -> Self {
+    pub fn node(label: impl AsRef<str>, children: Vec<Tree>) -> Self {
         let mut t = Tree::empty();
-        let root = t.alloc(label.into(), None);
+        let sym = t.table.intern(label.as_ref());
+        let root = t.alloc(sym, None);
         t.root = Some(root);
         for c in children {
             t.graft(root, &c);
         }
         t
+    }
+
+    /// The label table backing this tree.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.table
+    }
+
+    /// Intern a label into this tree's table.
+    pub fn intern(&self, label: &str) -> Sym {
+        self.table.intern(label)
+    }
+
+    /// Resolve a symbol issued by this tree's table.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.table.resolve(sym)
     }
 
     /// Number of nodes, `|T|` in the paper's `dmax` definition (Eq. 7).
@@ -144,7 +221,12 @@ impl Tree {
 
     /// Label of a node.
     pub fn label(&self, id: NodeId) -> &str {
-        &self.nodes[id.index()].label
+        self.table.resolve(self.nodes[id.index()].sym)
+    }
+
+    /// Interned label symbol of a node.
+    pub fn sym(&self, id: NodeId) -> Sym {
+        self.nodes[id.index()].sym
     }
 
     /// Span of a node, if recorded.
@@ -172,9 +254,17 @@ impl Tree {
         self.nodes[id.index()].children.is_empty()
     }
 
-    fn alloc(&mut self, label: String, span: Option<Span>) -> NodeId {
+    fn alloc(&mut self, sym: Sym, span: Option<Span>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { label, span, parent: None, children: Vec::new() });
+        self.nodes.push(Node { sym, span, parent: None, children: Vec::new() });
+        id
+    }
+
+    /// Install the root node of an empty tree (symbol from this tree's table).
+    pub(crate) fn set_root_sym(&mut self, sym: Sym, span: Option<Span>) -> NodeId {
+        debug_assert!(self.is_empty(), "set_root_sym on non-empty tree");
+        let id = self.alloc(sym, span);
+        self.root = Some(id);
         id
     }
 
@@ -182,10 +272,17 @@ impl Tree {
     pub fn push_child(
         &mut self,
         parent: NodeId,
-        label: impl Into<String>,
+        label: impl AsRef<str>,
         span: Option<Span>,
     ) -> NodeId {
-        let id = self.alloc(label.into(), span);
+        let sym = self.table.intern(label.as_ref());
+        self.push_child_sym(parent, sym, span)
+    }
+
+    /// Append a fresh child whose label is an already-interned symbol *from
+    /// this tree's table* and return its id.
+    pub fn push_child_sym(&mut self, parent: NodeId, sym: Sym, span: Option<Span>) -> NodeId {
+        let id = self.alloc(sym, span);
         self.nodes[id.index()].parent = Some(parent);
         self.nodes[parent.index()].children.push(id);
         id
@@ -194,19 +291,32 @@ impl Tree {
     /// Copy the entire `other` tree under `parent`, preserving structure,
     /// labels and spans.  Returns the id of the grafted root (or `None` when
     /// `other` is empty).
+    ///
+    /// When both trees share a table, symbols are copied verbatim; otherwise
+    /// labels are re-interned into this tree's table.
     pub fn graft(&mut self, parent: NodeId, other: &Tree) -> Option<NodeId> {
         let oroot = other.root?;
         Some(self.graft_from(parent, other, oroot))
     }
 
     fn graft_from(&mut self, parent: NodeId, other: &Tree, from: NodeId) -> NodeId {
+        let same_table = Arc::ptr_eq(&self.table, &other.table);
+        let map_sym = |dst: &Tree, s: Sym| {
+            if same_table {
+                s
+            } else {
+                dst.table.intern(other.table.resolve(s))
+            }
+        };
         // Iterative copy to stay safe on pathologically deep trees.
         let n = other.get(from);
-        let top = self.push_child(parent, n.label.clone(), n.span);
+        let sym = map_sym(self, n.sym);
+        let top = self.push_child_sym(parent, sym, n.span);
         let mut stack: Vec<(NodeId, NodeId)> = n.children.iter().rev().map(|&c| (c, top)).collect();
         while let Some((src, dst_parent)) = stack.pop() {
             let sn = other.get(src);
-            let id = self.push_child(dst_parent, sn.label.clone(), sn.span);
+            let sym = map_sym(self, sn.sym);
+            let id = self.push_child_sym(dst_parent, sym, sn.span);
             for &c in sn.children.iter().rev() {
                 stack.push((c, id));
             }
@@ -290,19 +400,21 @@ impl Tree {
     /// Structural 64-bit hash of the tree: equal trees (labels + shape,
     /// ignoring spans) hash equal.  Used for cheap identity short-circuits
     /// before running TED.
+    ///
+    /// Per-node label folding reuses the hashes memoized at intern time, so
+    /// no label bytes are touched; the values are bit-identical to the
+    /// historical byte-folding implementation.
     pub fn structural_hash(&self) -> u64 {
         const PRIME: u64 = 0x0000_0100_0000_01B3;
         const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+        STRUCTURAL_HASH_COMPUTES.fetch_add(1, Ordering::Relaxed);
         let Some(r) = self.root else { return BASIS };
+        let label_hash = self.table.hashes_snapshot();
         // Iterative post-order Merkle hash.
         let order = self.postorder();
         let mut hashes = vec![0u64; self.size()];
         for id in order {
-            let mut h = BASIS;
-            for b in self.label(id).as_bytes() {
-                h ^= u64::from(*b);
-                h = h.wrapping_mul(PRIME);
-            }
+            let mut h = label_hash[self.nodes[id.index()].sym.index()];
             for &c in self.children(id) {
                 h ^= hashes[c.index()].rotate_left(17);
                 h = h.wrapping_mul(PRIME);
@@ -366,11 +478,12 @@ impl Tree {
         Ok(t)
     }
 
-    /// Copy the subtree rooted at `id` into a standalone tree.
+    /// Copy the subtree rooted at `id` into a standalone tree sharing this
+    /// tree's label table.
     pub fn extract_subtree(&self, id: NodeId) -> Tree {
-        let mut t = Tree::empty();
+        let mut t = Tree::empty_in(Arc::clone(&self.table));
         let n = self.get(id);
-        let root = t.alloc(n.label.clone(), n.span);
+        let root = t.alloc(n.sym, n.span);
         t.root = Some(root);
         for &c in &n.children {
             t.graft_from(root, self, c);
@@ -382,11 +495,11 @@ impl Tree {
     /// the children of rejected nodes into the rejected node's parent.  The
     /// root is always kept.  This is the transform used to drop low-value
     /// syntax (punctuation tokens, implicit nodes) while preserving
-    /// descendant structure.
+    /// descendant structure.  The result shares this tree's label table.
     pub fn filter_splice(&self, mut keep: impl FnMut(&Tree, NodeId) -> bool) -> Tree {
-        let mut out = Tree::empty();
+        let mut out = Tree::empty_in(Arc::clone(&self.table));
         let Some(r) = self.root else { return out };
-        let root = out.alloc(self.get(r).label.clone(), self.get(r).span);
+        let root = out.alloc(self.get(r).sym, self.get(r).span);
         out.root = Some(root);
         // DFS carrying the id of the nearest kept ancestor in `out`.
         let mut stack: Vec<(NodeId, NodeId)> =
@@ -394,8 +507,7 @@ impl Tree {
         while let Some((node, anc)) = stack.pop() {
             let keep_this = keep(self, node);
             let n = self.get(node);
-            let new_anc =
-                if keep_this { out.push_child(anc, n.label.clone(), n.span) } else { anc };
+            let new_anc = if keep_this { out.push_child_sym(anc, n.sym, n.span) } else { anc };
             for &c in n.children.iter().rev() {
                 stack.push((c, new_anc));
             }
@@ -406,10 +518,11 @@ impl Tree {
     /// Rebuild the tree *dropping entire subtrees* whose root is rejected by
     /// `keep`.  The root is always kept.  This is the transform used for
     /// coverage pruning: a region that never executed disappears wholesale.
+    /// The result shares this tree's label table.
     pub fn prune(&self, mut keep: impl FnMut(&Tree, NodeId) -> bool) -> Tree {
-        let mut out = Tree::empty();
+        let mut out = Tree::empty_in(Arc::clone(&self.table));
         let Some(r) = self.root else { return out };
-        let root = out.alloc(self.get(r).label.clone(), self.get(r).span);
+        let root = out.alloc(self.get(r).sym, self.get(r).span);
         out.root = Some(root);
         let mut stack: Vec<(NodeId, NodeId)> =
             self.children(r).iter().rev().map(|&c| (c, root)).collect();
@@ -418,7 +531,7 @@ impl Tree {
                 continue;
             }
             let n = self.get(node);
-            let id = out.push_child(parent, n.label.clone(), n.span);
+            let id = out.push_child_sym(parent, n.sym, n.span);
             for &c in n.children.iter().rev() {
                 stack.push((c, id));
             }
@@ -427,18 +540,29 @@ impl Tree {
     }
 
     /// Apply `f` to every label, producing a relabelled tree with identical
-    /// shape and spans.  Used by name-normalisation passes.
+    /// shape and spans.  Used by name-normalisation passes.  New labels are
+    /// interned into the shared table; distinct source labels are mapped
+    /// through `f` once each.
     pub fn map_labels(&self, mut f: impl FnMut(&str) -> String) -> Tree {
         let mut out = self.clone();
+        // Labels repeat heavily: memoize the sym → sym mapping.
+        let mut memo: std::collections::HashMap<Sym, Sym> = std::collections::HashMap::new();
         for n in &mut out.nodes {
-            n.label = f(&n.label);
+            n.sym = *memo
+                .entry(n.sym)
+                .or_insert_with(|| self.table.intern(&f(self.table.resolve(n.sym))));
         }
         out
     }
 
     /// Count nodes whose label satisfies `pred`.
     pub fn count_labels(&self, mut pred: impl FnMut(&str) -> bool) -> usize {
-        self.nodes.iter().filter(|n| pred(&n.label)).count()
+        // Evaluate the predicate once per distinct symbol.
+        let mut memo: std::collections::HashMap<Sym, bool> = std::collections::HashMap::new();
+        self.nodes
+            .iter()
+            .filter(|n| *memo.entry(n.sym).or_insert_with(|| pred(self.table.resolve(n.sym))))
+            .count()
     }
 }
 
@@ -537,33 +661,42 @@ impl SexprParser<'_> {
         Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
     }
 
-    // Iterative parse: a stack of open frames, each holding the label of an
-    // unclosed `(label …` plus the children parsed so far.  Keeps the parser
-    // safe on arbitrarily deep inputs (real ASTs nest thousands of levels).
+    // Iterative parse: a single output tree built in place, with a stack of
+    // open parent nodes.  Keeps the parser safe on arbitrarily deep inputs
+    // (real ASTs nest thousands of levels) and interns every label into one
+    // shared table instead of allocating a tree per subexpression.
     fn parse_tree(&mut self) -> Result<Tree, SexprError> {
-        let mut frames: Vec<(String, Vec<Tree>)> = Vec::new();
+        let mut b: Option<TreeBuilder> = None;
         loop {
             self.skip_ws();
             if self.at_end() {
                 return Err(SexprError::UnexpectedEof(self.pos));
             }
-            let done: Tree;
             if self.src[self.pos] == b'(' {
                 self.pos += 1;
                 self.skip_ws();
                 let label = self.parse_label()?;
-                frames.push((label, Vec::new()));
-                continue;
+                match b.as_mut() {
+                    None => b = Some(TreeBuilder::new(label)),
+                    Some(b) => {
+                        b.open(label);
+                    }
+                }
             } else if self.src[self.pos] == b')' {
                 self.pos += 1;
-                let (label, children) = frames.pop().ok_or(SexprError::Unexpected(self.pos - 1))?;
-                done = Tree::node(label, children);
+                let builder = b.as_mut().ok_or(SexprError::Unexpected(self.pos - 1))?;
+                if builder.depth() == 1 {
+                    return Ok(b.take().expect("builder present").finish());
+                }
+                builder.close();
             } else {
-                done = Tree::leaf(self.parse_label()?);
-            }
-            match frames.last_mut() {
-                None => return Ok(done),
-                Some((_, ch)) => ch.push(done),
+                let label = self.parse_label()?;
+                match b.as_mut() {
+                    None => return Ok(Tree::leaf(label)),
+                    Some(b) => {
+                        b.leaf(label);
+                    }
+                }
             }
         }
     }
@@ -571,6 +704,11 @@ impl SexprParser<'_> {
 
 /// Scope-based builder used by the frontends: `open` pushes a node and makes
 /// it current, `close` pops back to its parent.
+///
+/// Builders can share a label [`Interner`] across trees via
+/// [`TreeBuilder::new_in`]: every tree a frontend derives for one
+/// compilation unit then resolves labels against a single table, making the
+/// trees directly comparable by symbol.
 ///
 /// ```
 /// use svtree::TreeBuilder;
@@ -587,17 +725,37 @@ pub struct TreeBuilder {
 }
 
 impl TreeBuilder {
-    /// Start a builder whose root has the given label.
-    pub fn new(root_label: impl Into<String>) -> Self {
+    /// Start a builder whose root has the given label (fresh label table).
+    pub fn new(root_label: impl AsRef<str>) -> Self {
         Self::with_span(root_label, None)
     }
 
     /// Start a builder whose root has the given label and span.
-    pub fn with_span(root_label: impl Into<String>, span: Option<Span>) -> Self {
-        let mut tree = Tree::empty();
-        let root = tree.alloc(root_label.into(), span);
+    pub fn with_span(root_label: impl AsRef<str>, span: Option<Span>) -> Self {
+        Self::with_span_in(Arc::new(Interner::new()), root_label, span)
+    }
+
+    /// Start a builder on an existing shared label table.
+    pub fn new_in(table: Arc<Interner>, root_label: impl AsRef<str>) -> Self {
+        Self::with_span_in(table, root_label, None)
+    }
+
+    /// Start a builder on an existing shared label table, with a root span.
+    pub fn with_span_in(
+        table: Arc<Interner>,
+        root_label: impl AsRef<str>,
+        span: Option<Span>,
+    ) -> Self {
+        let mut tree = Tree::empty_in(table);
+        let sym = tree.table.intern(root_label.as_ref());
+        let root = tree.alloc(sym, span);
         tree.root = Some(root);
         TreeBuilder { tree, stack: vec![root] }
+    }
+
+    /// The label table of the tree under construction.
+    pub fn interner(&self) -> &Arc<Interner> {
+        self.tree.interner()
     }
 
     fn current(&self) -> NodeId {
@@ -605,24 +763,24 @@ impl TreeBuilder {
     }
 
     /// Open a child node and descend into it.
-    pub fn open(&mut self, label: impl Into<String>) -> NodeId {
+    pub fn open(&mut self, label: impl AsRef<str>) -> NodeId {
         self.open_span(label, None)
     }
 
     /// Open a child node with a span and descend into it.
-    pub fn open_span(&mut self, label: impl Into<String>, span: Option<Span>) -> NodeId {
+    pub fn open_span(&mut self, label: impl AsRef<str>, span: Option<Span>) -> NodeId {
         let id = self.tree.push_child(self.current(), label, span);
         self.stack.push(id);
         id
     }
 
     /// Add a leaf child without descending.
-    pub fn leaf(&mut self, label: impl Into<String>) -> NodeId {
+    pub fn leaf(&mut self, label: impl AsRef<str>) -> NodeId {
         self.leaf_span(label, None)
     }
 
     /// Add a leaf child with a span without descending.
-    pub fn leaf_span(&mut self, label: impl Into<String>, span: Option<Span>) -> NodeId {
+    pub fn leaf_span(&mut self, label: impl AsRef<str>, span: Option<Span>) -> NodeId {
         self.tree.push_child(self.current(), label, span)
     }
 
@@ -754,6 +912,35 @@ mod tests {
     }
 
     #[test]
+    fn structural_hash_matches_string_fold_oracle() {
+        // The memoized-hash implementation must stay bit-identical to the
+        // original per-byte FNV fold (cache keys and svpack fingerprints
+        // persisted before interning depend on it).
+        fn oracle(t: &Tree) -> u64 {
+            const PRIME: u64 = 0x0000_0100_0000_01B3;
+            const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+            let Some(r) = t.root() else { return BASIS };
+            let mut hashes = vec![0u64; t.size()];
+            for id in t.postorder() {
+                let mut h = BASIS;
+                for b in t.label(id).as_bytes() {
+                    h ^= u64::from(*b);
+                    h = h.wrapping_mul(PRIME);
+                }
+                for &c in t.children(id) {
+                    h ^= hashes[c.index()].rotate_left(17);
+                    h = h.wrapping_mul(PRIME);
+                }
+                hashes[id.index()] = h;
+            }
+            hashes[r.index()]
+        }
+        for t in [Tree::empty(), Tree::leaf("x"), sample()] {
+            assert_eq!(t.structural_hash(), oracle(&t));
+        }
+    }
+
+    #[test]
     fn structural_hash_ignores_spans() {
         let mut t = Tree::leaf("x");
         let r = t.root().unwrap();
@@ -774,11 +961,41 @@ mod tests {
     }
 
     #[test]
+    fn graft_same_table_copies_syms() {
+        let mut b = TreeBuilder::new("root");
+        b.open("sub");
+        b.leaf("leafy");
+        b.close();
+        let t = b.finish();
+        let sub = t.extract_subtree(t.children(t.root().unwrap())[0]);
+        assert!(Arc::ptr_eq(t.interner(), sub.interner()));
+        let mut host = Tree::empty_in(Arc::clone(t.interner()));
+        let sym = host.intern("host");
+        let r = host.alloc(sym, None);
+        host.root = Some(r);
+        host.graft(r, &sub);
+        assert_eq!(host.to_sexpr(), "(host (sub leafy))");
+        // No new labels were interned by the same-table graft.
+        assert_eq!(t.interner().len(), 4, "root/sub/leafy/host only");
+    }
+
+    #[test]
+    fn tree_equality_across_tables() {
+        let a = sample();
+        let b = sample(); // separate interner, same labels/shape
+        assert!(!Arc::ptr_eq(a.interner(), b.interner()));
+        assert_eq!(a, b);
+        let c = Tree::node("a", vec![Tree::leaf("b")]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
     fn filter_splice_lifts_children() {
         let t = sample();
         // Drop "b": its children d,e splice into a's child list in place.
         let f = t.filter_splice(|t, n| t.label(n) != "b");
         assert_eq!(f.to_sexpr(), "(a d e c)");
+        assert!(Arc::ptr_eq(t.interner(), f.interner()), "derived tree shares the table");
     }
 
     #[test]
@@ -793,6 +1010,7 @@ mod tests {
         let t = sample();
         let p = t.prune(|t, n| t.label(n) != "b");
         assert_eq!(p.to_sexpr(), "(a c)");
+        assert!(Arc::ptr_eq(t.interner(), p.interner()));
     }
 
     #[test]
@@ -809,6 +1027,22 @@ mod tests {
         let m = t.map_labels(|l| l.to_uppercase());
         assert_eq!(m.to_sexpr(), "(A (B D E) C)");
         assert_eq!(m.size(), t.size());
+    }
+
+    #[test]
+    fn map_labels_calls_once_per_distinct_label() {
+        let mut b = TreeBuilder::new("x");
+        for _ in 0..10 {
+            b.leaf("y");
+        }
+        let t = b.finish();
+        let mut calls = 0;
+        let m = t.map_labels(|l| {
+            calls += 1;
+            format!("{l}!")
+        });
+        assert_eq!(calls, 2, "x and y mapped once each");
+        assert_eq!(m.label(m.root().unwrap()), "x!");
     }
 
     #[test]
@@ -829,6 +1063,23 @@ mod tests {
         b.leaf("global");
         let t = b.finish();
         assert_eq!(t.to_sexpr(), "(tu (fn p1 (body stmt)) global)");
+    }
+
+    #[test]
+    fn builder_shared_table() {
+        let table = Arc::new(Interner::new());
+        let mut b1 = TreeBuilder::new_in(Arc::clone(&table), "tu");
+        b1.leaf("shared");
+        let t1 = b1.finish();
+        let mut b2 = TreeBuilder::new_in(Arc::clone(&table), "other");
+        b2.leaf("shared");
+        let t2 = b2.finish();
+        assert!(Arc::ptr_eq(t1.interner(), t2.interner()));
+        // "shared" resolves to the same symbol in both trees.
+        let l1 = t1.sym(t1.children(t1.root().unwrap())[0]);
+        let l2 = t2.sym(t2.children(t2.root().unwrap())[0]);
+        assert_eq!(l1, l2);
+        assert_eq!(table.len(), 3);
     }
 
     #[test]
@@ -863,8 +1114,6 @@ mod tests {
 
     #[test]
     fn deep_sexpr_roundtrip() {
-        // from_sexpr is iterative; functional Tree::node construction is
-        // quadratic in depth, so keep the roundtrip depth moderate.
         let mut t = Tree::leaf("n");
         let mut cur = t.root().unwrap();
         for _ in 1..2_000u32 {

@@ -106,13 +106,71 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, PackError> {
 // ---------------------------------------------------------------------------
 
 const TREE_MAGIC: &[u8; 4] = b"SVTR";
-const TREE_VERSION: u8 = 1;
+const TREE_VERSION: u8 = 2;
 
-/// Serialise a tree to the svpack binary format.
+/// Serialise a tree to the svpack v2 binary format.
+///
+/// v2 is interner-backed and columnar: the string table is the subset of the
+/// tree's [`crate::Interner`] actually referenced by nodes (first-seen
+/// pre-order, written once), followed by three pre-order columns — label
+/// indices, arities, spans.  The writer never hashes or copies label bytes
+/// per node (the dense remap is an array over symbol ids), and the columnar
+/// layout groups similar varints so the svz pass compresses better than the
+/// v1 interleaved records.
 pub fn write_tree(tree: &Tree) -> Vec<u8> {
     let mut out = Vec::with_capacity(16 + tree.size() * 4);
     out.extend_from_slice(TREE_MAGIC);
     out.push(TREE_VERSION);
+
+    // Dense remap: symbol id -> table slot, first-seen in pre-order.  The
+    // tree's interner may hold labels from sibling trees sharing the table;
+    // only referenced symbols are written.
+    let mut remap = vec![u32::MAX; tree.interner().len()];
+    let mut table: Vec<crate::Sym> = Vec::new();
+    let order: Vec<crate::NodeId> = tree.preorder().collect();
+    for &id in &order {
+        let s = tree.sym(id);
+        if remap[s.index()] == u32::MAX {
+            remap[s.index()] = table.len() as u32;
+            table.push(s);
+        }
+    }
+    write_varint(&mut out, table.len() as u64);
+    for &s in &table {
+        let l = tree.resolve(s);
+        write_varint(&mut out, l.len() as u64);
+        out.extend_from_slice(l.as_bytes());
+    }
+
+    write_varint(&mut out, tree.size() as u64);
+    for &id in &order {
+        write_varint(&mut out, u64::from(remap[tree.sym(id).index()]));
+    }
+    for &id in &order {
+        write_varint(&mut out, tree.arity(id) as u64);
+    }
+    for &id in &order {
+        match tree.span(id) {
+            None => out.push(0),
+            Some(s) => {
+                out.push(1);
+                write_varint(&mut out, u64::from(s.file));
+                write_varint(&mut out, u64::from(s.start_line));
+                // end is stored as a delta; spans are validated start<=end.
+                write_varint(&mut out, u64::from(s.end_line - s.start_line));
+            }
+        }
+    }
+    out
+}
+
+/// Serialise a tree to the legacy svpack v1 format (first-seen string table,
+/// interleaved pre-order node records).  Kept for compatibility tests; new
+/// payloads are always written as v2.
+pub fn write_tree_v1(tree: &Tree) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + tree.size() * 4);
+    out.extend_from_slice(TREE_MAGIC);
+    out.push(1);
 
     // Build the label table in first-seen (pre-order) order.
     let mut table: Vec<&str> = Vec::new();
@@ -139,7 +197,6 @@ pub fn write_tree(tree: &Tree) -> Vec<u8> {
                 out.push(1);
                 write_varint(&mut out, u64::from(s.file));
                 write_varint(&mut out, u64::from(s.start_line));
-                // end is stored as a delta; spans are validated start<=end.
                 write_varint(&mut out, u64::from(s.end_line - s.start_line));
             }
         }
@@ -148,61 +205,55 @@ pub fn write_tree(tree: &Tree) -> Vec<u8> {
     out
 }
 
-/// Deserialise a tree from the svpack binary format.
-pub fn read_tree(buf: &[u8]) -> Result<Tree, PackError> {
-    if buf.len() < 5 || &buf[0..4] != TREE_MAGIC {
-        return Err(PackError::BadMagic);
-    }
-    if buf[4] != TREE_VERSION {
-        return Err(PackError::BadVersion(buf[4]));
-    }
-    let mut pos = 5usize;
-
-    let table_len = read_varint(buf, &mut pos)? as usize;
-    let mut table: Vec<String> = Vec::with_capacity(table_len);
+fn read_label_table(buf: &[u8], pos: &mut usize) -> Result<Vec<String>, PackError> {
+    let table_len = read_varint(buf, pos)? as usize;
+    // Guard against absurd declared lengths on truncated/corrupt payloads.
+    let mut table: Vec<String> = Vec::with_capacity(table_len.min(buf.len()));
     for _ in 0..table_len {
-        let len = read_varint(buf, &mut pos)? as usize;
+        let len = read_varint(buf, pos)? as usize;
         let end = pos.checked_add(len).ok_or(PackError::Truncated)?;
-        let bytes = buf.get(pos..end).ok_or(PackError::Truncated)?;
+        let bytes = buf.get(*pos..end).ok_or(PackError::Truncated)?;
         table.push(String::from_utf8(bytes.to_vec()).map_err(|_| PackError::BadUtf8)?);
-        pos = end;
+        *pos = end;
     }
+    Ok(table)
+}
 
-    let node_count = read_varint(buf, &mut pos)? as usize;
-    if node_count == 0 {
-        return Ok(Tree::empty());
+fn read_span(buf: &[u8], pos: &mut usize) -> Result<Option<Span>, PackError> {
+    let flag = *buf.get(*pos).ok_or(PackError::Truncated)?;
+    *pos += 1;
+    match flag {
+        0 => Ok(None),
+        1 => {
+            let file = read_varint(buf, pos)? as u32;
+            let start = read_varint(buf, pos)? as u32;
+            let delta = read_varint(buf, pos)? as u32;
+            Ok(Some(Span::lines(file, start, start + delta)))
+        }
+        t => Err(PackError::BadOp(t)),
     }
+}
 
+/// Build a pre-order tree from per-node (label sym, span, arity) triples.
+fn assemble_preorder(
+    table: std::sync::Arc<crate::Interner>,
+    nodes: impl Iterator<Item = (crate::Sym, Option<Span>, u64)>,
+) -> Result<Tree, PackError> {
+    let mut tree = Tree::empty_in(table);
     // Reconstruct pre-order: a stack of (parent id, remaining children).
-    let mut tree = Tree::empty();
     let mut stack: Vec<(crate::NodeId, u64)> = Vec::new();
-    for i in 0..node_count {
-        let label_idx = read_varint(buf, &mut pos)?;
-        let label = table.get(label_idx as usize).ok_or(PackError::BadIndex(label_idx))?.clone();
-        let span_flag = *buf.get(pos).ok_or(PackError::Truncated)?;
-        pos += 1;
-        let span = match span_flag {
-            0 => None,
-            1 => {
-                let file = read_varint(buf, &mut pos)? as u32;
-                let start = read_varint(buf, &mut pos)? as u32;
-                let delta = read_varint(buf, &mut pos)? as u32;
-                Some(Span::lines(file, start, start + delta))
-            }
-            t => return Err(PackError::BadOp(t)),
-        };
-        let arity = read_varint(buf, &mut pos)?;
-
-        let id = if i == 0 {
-            tree = crate::TreeBuilder::with_span(label, span).finish();
-            tree.root().ok_or(PackError::Malformed)?
+    let mut first = true;
+    for (sym, span, arity) in nodes {
+        let id = if first {
+            first = false;
+            tree.set_root_sym(sym, span)
         } else {
             let &mut (parent, ref mut remaining) = stack.last_mut().ok_or(PackError::Malformed)?;
             if *remaining == 0 {
                 return Err(PackError::Malformed);
             }
             *remaining -= 1;
-            tree.push_child(parent, label, span)
+            tree.push_child_sym(parent, sym, span)
         };
         // Pop exhausted frames.
         while let Some(&(_, 0)) = stack.last() {
@@ -219,6 +270,69 @@ pub fn read_tree(buf: &[u8]) -> Result<Tree, PackError> {
         return Err(PackError::Malformed);
     }
     Ok(tree)
+}
+
+/// Deserialise a tree from the svpack binary format (v1 or v2 payloads).
+pub fn read_tree(buf: &[u8]) -> Result<Tree, PackError> {
+    read_tree_in(std::sync::Arc::new(crate::Interner::new()), buf)
+}
+
+/// [`read_tree`] interning labels into a caller-provided table, so related
+/// payloads (e.g. the five trees of one Codebase-DB artefact entry) decode
+/// onto a single shared string table.
+pub fn read_tree_in(
+    interner: std::sync::Arc<crate::Interner>,
+    buf: &[u8],
+) -> Result<Tree, PackError> {
+    if buf.len() < 5 || &buf[0..4] != TREE_MAGIC {
+        return Err(PackError::BadMagic);
+    }
+    let version = buf[4];
+    if version != 1 && version != 2 {
+        return Err(PackError::BadVersion(version));
+    }
+    let mut pos = 5usize;
+
+    let labels = read_label_table(buf, &mut pos)?;
+    let syms: Vec<crate::Sym> = labels.iter().map(|l| interner.intern(l)).collect();
+
+    let node_count = read_varint(buf, &mut pos)? as usize;
+    if node_count == 0 {
+        return Ok(Tree::empty_in(interner));
+    }
+
+    if version == 1 {
+        // v1: interleaved (label idx, span, arity) records.
+        let mut nodes = Vec::with_capacity(node_count.min(buf.len()));
+        for _ in 0..node_count {
+            let label_idx = read_varint(buf, &mut pos)?;
+            let sym = *syms.get(label_idx as usize).ok_or(PackError::BadIndex(label_idx))?;
+            let span = read_span(buf, &mut pos)?;
+            let arity = read_varint(buf, &mut pos)?;
+            nodes.push((sym, span, arity));
+        }
+        return assemble_preorder(interner, nodes.into_iter());
+    }
+
+    // v2: columnar (labels, arities, spans).
+    let cap = node_count.min(buf.len());
+    let mut node_syms = Vec::with_capacity(cap);
+    for _ in 0..node_count {
+        let label_idx = read_varint(buf, &mut pos)?;
+        node_syms.push(*syms.get(label_idx as usize).ok_or(PackError::BadIndex(label_idx))?);
+    }
+    let mut arities = Vec::with_capacity(cap);
+    for _ in 0..node_count {
+        arities.push(read_varint(buf, &mut pos)?);
+    }
+    let mut spans = Vec::with_capacity(cap);
+    for _ in 0..node_count {
+        spans.push(read_span(buf, &mut pos)?);
+    }
+    assemble_preorder(
+        interner,
+        node_syms.into_iter().zip(spans).zip(arities).map(|((s, sp), a)| (s, sp, a)),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -413,8 +527,67 @@ mod tests {
     fn tree_roundtrip() {
         let t = sample_tree();
         let bytes = write_tree(&t);
+        assert_eq!(bytes[4], 2, "writer emits v2");
         let back = read_tree(&bytes).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn v1_payload_still_decodes() {
+        let t = sample_tree();
+        let v1 = write_tree_v1(&t);
+        assert_eq!(v1[4], 1);
+        let back = read_tree(&v1).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.structural_hash(), t.structural_hash());
+    }
+
+    #[test]
+    fn v1_and_v2_agree_on_empty_and_leaf() {
+        for t in [Tree::empty(), Tree::leaf("OnlyNode")] {
+            assert_eq!(read_tree(&write_tree_v1(&t)).unwrap(), t);
+            assert_eq!(read_tree(&write_tree(&t)).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn v2_table_is_used_subset_of_interner() {
+        // A tree whose shared interner holds labels the tree never uses must
+        // not serialise the unused entries.
+        let t = sample_tree();
+        let unused = t.intern("NeverReferenced");
+        let _ = unused;
+        let bytes = write_tree(&t);
+        let mut pos = 5usize;
+        let n = read_varint(&bytes, &mut pos).unwrap();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let len = read_varint(&bytes, &mut pos).unwrap() as usize;
+            labels.push(String::from_utf8(bytes[pos..pos + len].to_vec()).unwrap());
+            pos += len;
+        }
+        assert!(!labels.iter().any(|l| l == "NeverReferenced"));
+        assert!(labels.iter().any(|l| l == "BinaryOperator(+)"));
+    }
+
+    #[test]
+    fn read_tree_in_shares_the_given_table() {
+        let t = sample_tree();
+        let table = std::sync::Arc::new(crate::Interner::new());
+        let a = read_tree_in(std::sync::Arc::clone(&table), &write_tree(&t)).unwrap();
+        let b = read_tree_in(std::sync::Arc::clone(&table), &write_tree_v1(&t)).unwrap();
+        assert_eq!(a, t);
+        assert_eq!(b, t);
+        assert!(std::sync::Arc::ptr_eq(a.interner(), &table));
+        assert!(std::sync::Arc::ptr_eq(b.interner(), &table));
+    }
+
+    #[test]
+    fn v1_truncated_errors() {
+        let bytes = write_tree_v1(&sample_tree());
+        for cut in [5, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(read_tree(&bytes[..cut]).is_err(), "v1 cut at {cut} must fail");
+        }
     }
 
     #[test]

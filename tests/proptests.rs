@@ -1,10 +1,11 @@
 //! Property-based tests over the core data structures and algorithms.
 
 use proptest::prelude::*;
+use std::sync::Arc;
 use svdist::ted::{naive_ted, ted_with, CostModel, Strategy as TedStrategy};
-use svdist::{edit_distance_onp, lcs_len, levenshtein};
-use svtree::pack::{compress, decompress, read_tree, write_tree};
-use svtree::{Span, Tree};
+use svdist::{edit_distance_onp, lcs_len, levenshtein, ted_shared, SharedTree};
+use svtree::pack::{compress, decompress, read_tree, write_tree, write_tree_v1};
+use svtree::{Interner, NodeId, Span, Tree, TreeBuilder};
 
 // ---------------------------------------------------------------------------
 // generators
@@ -37,15 +38,41 @@ fn arb_tree(max_nodes: usize) -> impl Strategy<Value = Tree> {
 fn arb_spanned_tree() -> impl Strategy<Value = Tree> {
     (arb_tree(20), any::<u32>()).prop_map(|(t, seed)| {
         let mut i = seed % 97;
-        t.map_labels(|l| l.to_string()).prune(|_, _| true).filter_splice(|_, _| true).clone();
+        let _ = t.map_labels(|l| l.to_string()).prune(|_, _| true).filter_splice(|_, _| true);
         // Rebuild with spans through the builder API.
         let mut b = svtree::TreeBuilder::new("root");
         for n in t.preorder() {
             i = (i * 31 + 7) % 997;
-            b.leaf_span(t.label(n).to_string(), Some(Span::line(i % 5, 1 + i % 100)));
+            b.leaf_span(t.label(n), Some(Span::line(i % 5, 1 + i % 100)));
         }
         b.finish()
     })
+}
+
+/// Rebuild `t` label-for-label onto `table`, so both operands of a TED sit
+/// on one interner and the comparison takes the same-table `Sym` fast path.
+fn reinterned_onto(table: &Arc<Interner>, t: &Tree) -> Tree {
+    fn go(b: &mut TreeBuilder, t: &Tree, n: NodeId) {
+        if t.arity(n) == 0 {
+            b.leaf_span(t.label(n), t.span(n));
+        } else {
+            b.open_span(t.label(n), t.span(n));
+            for &c in t.children(n) {
+                go(b, t, c);
+            }
+            b.close();
+        }
+    }
+    match t.root() {
+        None => Tree::empty_in(Arc::clone(table)),
+        Some(r) => {
+            let mut b = TreeBuilder::with_span_in(Arc::clone(table), t.label(r), t.span(r));
+            for &c in t.children(r) {
+                go(&mut b, t, c);
+            }
+            b.finish()
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -81,6 +108,45 @@ proptest! {
     }
 
     #[test]
+    fn interned_ted_matches_string_oracle_under_random_cost_models(
+        a in arb_tree(8),
+        b in arb_tree(8),
+        del in 1u32..50,
+        ins in 1u32..50,
+        rel in 1u32..50,
+    ) {
+        // The interned-symbol comparison has two code paths — same-table
+        // `Sym` equality and cross-table memoised label hashes — and both
+        // must agree with the string-labelled recursive oracle, memoised
+        // views or not.
+        let costs = CostModel { delete: del, insert: ins, relabel: rel };
+        let expect = naive_ted(&a, &b, costs);
+        // Cross-table: each arb tree has its own interner.
+        let (sa, sb) = (SharedTree::new(a.clone()), SharedTree::new(b.clone()));
+        // Same-table: rebuild b onto a's interner.
+        let b_same = SharedTree::new(reinterned_onto(a.interner(), &b));
+        for s in [TedStrategy::Left, TedStrategy::Right, TedStrategy::Auto] {
+            prop_assert_eq!(ted_shared(&sa, &sb, costs, s), expect);
+            prop_assert_eq!(ted_shared(&sa, &b_same, costs, s), expect);
+        }
+    }
+
+    #[test]
+    fn shared_divergence_matches_plain(a in arb_tree(10), b in arb_tree(10)) {
+        // The artifact layer must be invisible: memoised decompositions
+        // give bit-identical distances to the fresh-build path.
+        let (sa, sb) = (SharedTree::new(a.clone()), SharedTree::new(b.clone()));
+        let plain = svdist::ted(&a, &b);
+        // Twice: the first call populates the memos, the second reuses them.
+        for _ in 0..2 {
+            prop_assert_eq!(
+                ted_shared(&sa, &sb, CostModel::UNIT, TedStrategy::Auto),
+                plain
+            );
+        }
+    }
+
+    #[test]
     fn ted_identity_and_symmetry(a in arb_tree(12), b in arb_tree(12)) {
         prop_assert_eq!(svdist::ted(&a, &a), 0);
         prop_assert_eq!(svdist::ted(&a, &b), svdist::ted(&b, &a));
@@ -109,8 +175,22 @@ proptest! {
     #[test]
     fn svpack_tree_roundtrip(t in arb_spanned_tree()) {
         let bytes = write_tree(&t);
+        prop_assert_eq!(bytes[4], 2, "writer emits the v2 columnar format");
         let back = read_tree(&bytes).unwrap();
         prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn svpack_v1_payloads_decode_identically(t in arb_spanned_tree()) {
+        // Legacy v1 payloads (interleaved records, string table rebuilt
+        // from labels) must decode to the same tree as the v2 writer.
+        let v1 = write_tree_v1(&t);
+        prop_assert_eq!(v1[4], 1);
+        let from_v1 = read_tree(&v1).unwrap();
+        let from_v2 = read_tree(&write_tree(&t)).unwrap();
+        prop_assert_eq!(&from_v1, &t);
+        prop_assert_eq!(&from_v1, &from_v2);
+        prop_assert_eq!(from_v1.structural_hash(), t.structural_hash());
     }
 
     #[test]
