@@ -1,0 +1,162 @@
+//! Zhang–Shasha kernel ablation (the §VII per-pair DP bottleneck).
+//!
+//! `BENCH_matrix.json` showed cold divergence-matrix builds are
+//! DP-dominated (~47 ms/pair on the CloverLeaf Fig. 8 workload), so this
+//! bench isolates the kernel itself: the same 45 `T_sem` pairs are solved
+//! by every ablation stage of the kernel —
+//!
+//! * `baseline` — the PR 4 kernel: fresh zero-initialised `u64` tables
+//!   per pair, branchy inner loop,
+//! * `arena` — thread-local scratch arena, no per-pair allocation or
+//!   zero-initialisation,
+//! * `arena+u32` — plus width-adaptive cells (unit costs fit `u32`,
+//!   halving DP memory traffic),
+//! * `arena+u32+split` — plus branch-split inner loops (the `lld`
+//!   whole-tree test leaves the innermost loop, column metadata is hoisted
+//!   per tree pair, borders come from cost ramps, and the insert scan is
+//!   unrolled 4-wide) — the production kernel,
+//!
+//! and separately measures the structural-hash short-circuit against the
+//! full DP on a duplicated-tree workload (S-vs-P ports share many
+//! unported units, so hash-equal pairs are common in practice).
+//!
+//! Every stage must produce identical distances; the gate requires the
+//! production kernel to be ≥2× the baseline on the matrix workload.
+//! Medians land in `BENCH_ted_kernel.json` at the repository root.
+
+use bench::save_figure;
+use silvervale::index_app;
+use std::time::Instant;
+use svcorpus::App;
+use svdist::ted::{ted_with, ted_with_mode, KernelMode};
+use svdist::{CostModel, DistanceMatrix, Strategy};
+use svtree::Tree;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let r = f();
+    (t.elapsed().as_secs_f64() * 1e3, r)
+}
+
+fn main() {
+    const ITERS: usize = 5;
+    const DUP_ITERS: usize = 9;
+
+    let db = index_app(App::CloverLeaf, false).expect("index cloverleaf");
+    let n = db.labels().len();
+    let pairs = DistanceMatrix::upper_pairs(n);
+    let trees: Vec<Tree> = db.entries.iter().map(|e| e.artifacts.t_sem.tree().clone()).collect();
+
+    // -- ablation: all 45 pairs through each kernel stage ------------------
+    // `ted_with_mode` skips the hash short-circuit and rebuilds the
+    // decompositions per call in every mode, so the stages differ only in
+    // the DP kernel itself.  Modes are interleaved round-robin within
+    // each iteration so slow machine drift (thermal, co-tenants) lands on
+    // every mode equally instead of biasing whichever block ran first.
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); KernelMode::ABLATION.len()];
+    let mut reference: Option<Vec<u64>> = None;
+    for _ in 0..ITERS {
+        for (k, mode) in KernelMode::ABLATION.into_iter().enumerate() {
+            let (ms, dists) = time(|| {
+                pairs
+                    .iter()
+                    .map(|&(i, j)| {
+                        ted_with_mode(&trees[i], &trees[j], CostModel::UNIT, Strategy::Auto, mode)
+                    })
+                    .collect::<Vec<u64>>()
+            });
+            samples[k].push(ms);
+            match &reference {
+                None => reference = Some(dists),
+                Some(r) => assert_eq!(&dists, r, "{mode:?} changed a distance"),
+            }
+        }
+    }
+    let med: Vec<f64> = samples.into_iter().map(median).collect();
+    let (baseline_ms, arena_ms, narrow_ms, full_ms) = (med[0], med[1], med[2], med[3]);
+    for (mode, ms) in KernelMode::ABLATION.iter().zip(&med) {
+        eprintln!("{:>18}: {ms:.1} ms", mode.name());
+    }
+    let kernel_speedup = baseline_ms / full_ms;
+    assert!(
+        kernel_speedup >= 2.0,
+        "production kernel must be >=2x the PR 4 baseline, got {kernel_speedup:.2}x \
+         ({baseline_ms:.1} ms -> {full_ms:.1} ms)"
+    );
+
+    // -- short-circuit: duplicated trees, with and without ----------------
+    // Each model paired with a clone of itself: structurally hash-equal,
+    // exactly the unported-unit case.  `ted_with` answers from the hashes;
+    // `ted_with_mode` is forced through the full DP.
+    let dups: Vec<Tree> = trees.iter().map(|t| t.clone()).collect();
+    let full_dp = |mode_full: bool| {
+        (0..trees.len())
+            .map(|i| {
+                if mode_full {
+                    ted_with_mode(
+                        &trees[i],
+                        &dups[i],
+                        CostModel::UNIT,
+                        Strategy::Auto,
+                        KernelMode::Full,
+                    )
+                } else {
+                    ted_with(&trees[i], &dups[i], CostModel::UNIT, Strategy::Auto)
+                }
+            })
+            .collect::<Vec<u64>>()
+    };
+    let mut t_dup_dp = Vec::new();
+    let mut t_dup_sc = Vec::new();
+    for _ in 0..DUP_ITERS {
+        let (ms_dp, d_dp) = time(|| full_dp(true));
+        let (ms_sc, d_sc) = time(|| full_dp(false));
+        assert!(d_dp.iter().all(|&d| d == 0), "duplicated pairs must be distance 0");
+        assert_eq!(d_dp, d_sc, "short-circuit changed a distance");
+        t_dup_dp.push(ms_dp);
+        t_dup_sc.push(ms_sc);
+    }
+    let dup_dp_ms = median(t_dup_dp);
+    let dup_sc_ms = median(t_dup_sc);
+    let sc_speedup = dup_dp_ms / dup_sc_ms.max(1e-6);
+    assert!(
+        sc_speedup >= 2.0,
+        "hash short-circuit must be >=2x the full DP on duplicated trees, got {sc_speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"CloverLeaf T_sem pairs (Fig. 8), per-pair Zhang-Shasha kernel\",\n  \
+         \"models\": {n},\n  \"pairs\": {np},\n  \
+         \"baseline_ms\": {baseline_ms:.3},\n  \
+         \"arena_ms\": {arena_ms:.3},\n  \
+         \"arena_u32_ms\": {narrow_ms:.3},\n  \
+         \"arena_u32_split_ms\": {full_ms:.3},\n  \
+         \"speedup_arena\": {sp_arena:.3},\n  \
+         \"speedup_arena_u32\": {sp_narrow:.3},\n  \
+         \"speedup_full_kernel\": {kernel_speedup:.3},\n  \
+         \"dup_full_dp_ms\": {dup_dp_ms:.3},\n  \
+         \"dup_short_circuit_ms\": {dup_sc_ms:.3},\n  \
+         \"speedup_short_circuit\": {sc_speedup:.3},\n  \
+         \"note\": \"ablation over the same 45 decompose-per-pair solves: on AST-shaped \
+         trees keyroot spans average ~9 nodes, so arena reuse and u32 cells are ~neutral on \
+         time (they cut allocation and halve DP memory, which is what matters at \
+         memory_estimate scale) and the branch-split stage carries the speedup — hoisted \
+         per-keyroot column metadata, ramp-backed borders, reassociated mins and a 4-wide \
+         insert-scan unroll that shrink the loop-carried chain; the short-circuit rows pair \
+         each tree with a clone of itself (the unported-unit case) — distance 0 from \
+         memoised hashes, no DP\"\n}}\n",
+        np = pairs.len(),
+        sp_arena = baseline_ms / arena_ms,
+        sp_narrow = baseline_ms / narrow_ms,
+    );
+
+    let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    std::fs::write(format!("{repo_root}/BENCH_ted_kernel.json"), &json)
+        .expect("write BENCH_ted_kernel");
+    save_figure("BENCH_ted_kernel.json", &json);
+}

@@ -137,6 +137,10 @@ pub(crate) fn measured_entries<'a>(db: &'a CodebaseDb, v: Variant) -> Vec<Measur
 }
 
 /// Pairwise divergence matrix over all models in the DB.
+///
+/// Pairs are scheduled largest-DP-first (LPT) across the worker pool and
+/// hash-equal tree pairs short-circuit to 0 without any DP — see
+/// `svmetrics::divergence_matrix`.
 pub fn model_matrix(db: &CodebaseDb, metric: Metric, v: Variant) -> DistanceMatrix {
     let measured = measured_entries(db, v);
     divergence_matrix(metric, v, &db.labels(), &measured)

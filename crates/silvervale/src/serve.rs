@@ -126,17 +126,22 @@ impl AnalysisService {
         }
         let measured = measured_entries(db, v);
         let arts: Vec<FpArtifact> = measured.iter().map(|m| FpArtifact::of(m, metric, v)).collect();
-        DistanceMatrix::from_fn_par(db.labels(), |i, j| {
-            let pair = cached::pair_cached(
-                &self.cache,
-                metric,
-                v,
-                &arts[i],
-                &arts[j],
-                &self.pair_computes,
-            );
-            cached::matrix_cell(metric, &pair)
-        })
+        // LPT: start the biggest DPs first; fingerprint-equal pairs cost 0.
+        DistanceMatrix::from_fn_par_lpt(
+            db.labels(),
+            |i, j| cached::pair_cost(&arts[i], &arts[j]),
+            |i, j| {
+                let pair = cached::pair_cached(
+                    &self.cache,
+                    metric,
+                    v,
+                    &arts[i],
+                    &arts[j],
+                    &self.pair_computes,
+                );
+                cached::matrix_cell(metric, &pair)
+            },
+        )
     }
 
     /// Divergence of every model from `base`, cache-served where possible.

@@ -31,6 +31,7 @@ pub use matrix::DistanceMatrix;
 pub use seq::{edit_distance_onp, jaccard_divergence, lcs_len, levenshtein};
 pub use shared::SharedTree;
 pub use ted::{
-    decompose_count, edit_stats, memory_estimate, ted, ted_bounded, ted_shared, ted_with,
-    CostModel, EditStats, PostTree, Strategy, TedError,
+    cell_width, decompose_count, edit_stats, edit_stats_shared, memory_estimate,
+    memory_estimate_with, ted, ted_bounded, ted_shared, ted_with, CellWidth, CostModel, EditStats,
+    PostTree, Strategy, TedError,
 };

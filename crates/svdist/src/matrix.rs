@@ -133,8 +133,33 @@ impl DistanceMatrix {
         labels: Vec<String>,
         f: impl Fn(usize, usize) -> f64 + Sync,
     ) -> DistanceMatrix {
+        // Uniform cost estimate: the stable sort leaves row-major order
+        // untouched, so this is exactly the old scheduling.
+        Self::from_fn_par_lpt(labels, |_, _| 0, f)
+    }
+
+    /// [`DistanceMatrix::from_fn_par`] with longest-processing-time-first
+    /// scheduling: pairs are handed to the work-stealing pool in descending
+    /// `cost(i, j)` order, so the most expensive DPs start first and the
+    /// cheap tail backfills the stragglers (classic LPT bound: makespan
+    /// ≤ 4/3 · optimal, versus unbounded for an adversarial order).
+    ///
+    /// `cost` only shapes the schedule, never the values: results are
+    /// scattered back by pair index, so the matrix is bit-identical to
+    /// [`DistanceMatrix::from_fn`] for any cost function.  Callers pass a
+    /// cheap estimate — e.g. `|T1|·|T2|` for TED pairs, with 0 for pairs a
+    /// short-circuit will answer (hash-equal trees, fingerprint-equal
+    /// cache hits).
+    pub fn from_fn_par_lpt(
+        labels: Vec<String>,
+        cost: impl Fn(usize, usize) -> u64,
+        f: impl Fn(usize, usize) -> f64 + Sync,
+    ) -> DistanceMatrix {
         let n = labels.len();
-        let pairs = Self::upper_pairs(n);
+        let mut pairs = Self::upper_pairs(n);
+        // Stable: equal-cost pairs keep row-major order, so a constant
+        // estimator degrades to the plain schedule, not a shuffled one.
+        pairs.sort_by_key(|&(i, j)| std::cmp::Reverse(cost(i, j)));
         // Per-pair spans make `svpar` utilisation visible in a trace: each
         // worker thread's lane shows which (i, j) cells it claimed and how
         // unevenly the TED costs spread.
@@ -305,6 +330,34 @@ mod tests {
             svpar::set_threads(threads);
             let par = DistanceMatrix::from_fn_par(labels.clone(), cost);
             assert_eq!(par, seq, "threads={threads}");
+        }
+        svpar::set_threads(0);
+    }
+
+    #[test]
+    fn lpt_schedule_is_bit_identical_and_covers_all_pairs() {
+        let labels: Vec<String> = (0..10).map(|i| format!("m{i}")).collect();
+        let cost = |i: usize, j: usize| {
+            let mut acc = 0.0f64;
+            for k in 0..((10 - i) * j * 40 + 1) {
+                acc += ((k % 13) as f64).sqrt();
+            }
+            acc / 1e4 + (i * 7 + j) as f64
+        };
+        let seq = DistanceMatrix::from_fn(labels.clone(), cost);
+        // Largest-first, smallest-first, constant: the schedule must never
+        // change a value, only the claim order.
+        let estimators: [&dyn Fn(usize, usize) -> u64; 3] = [
+            &|i, j| (((10 - i) * j) as u64) + 1,
+            &|i, j| 1_000 - (((10 - i) * j) as u64),
+            &|_, _| 0,
+        ];
+        for (k, est) in estimators.iter().enumerate() {
+            for threads in [1, 3, 8] {
+                svpar::set_threads(threads);
+                let par = DistanceMatrix::from_fn_par_lpt(labels.clone(), est, cost);
+                assert_eq!(par, seq, "estimator={k} threads={threads}");
+            }
         }
         svpar::set_threads(0);
     }

@@ -18,11 +18,19 @@
 //! * [`naive_ted`] — an exponential-with-memo forest recursion used as the
 //!   correctness oracle for small trees in property tests.
 //!
-//! Distances and the inner DP cells are both `u64`: a single-pair distance
-//! is bounded by `delete·|T1| + insert·|T2|`, which overflows `u32` as soon
-//! as the [`CostModel`] weights are non-trivial (e.g. `delete = u32::MAX`
-//! on a two-node tree), so narrower cells would silently wrap.
+//! Returned distances are `u64`; the DP cells are **width-adaptive**.  A
+//! single-pair distance is bounded by `delete·|T1| + insert·|T2|`, and the
+//! largest intermediate the DP ever forms by twice that plus `relabel`
+//! (see [`cell_width`]), so whenever that bound fits `u32` — always true
+//! for the paper's unit costs — the kernel runs with 4-byte cells, halving
+//! DP memory traffic.  Cost models that could wrap a narrow cell (e.g.
+//! `delete = u32::MAX` on a two-node tree) fall back to the `u64` kernel,
+//! so adaptivity never trades correctness.  The DP tables themselves live
+//! in a thread-local scratch arena reused across pairs and are never
+//! zero-initialised: Zhang–Shasha finalises every cell under its own
+//! keyroot pair before any later pair reads it (DESIGN §13).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -79,6 +87,55 @@ pub enum Strategy {
     Auto,
 }
 
+/// The DP cell width the kernel runs a pair with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellWidth {
+    /// 4-byte cells — half the DP memory traffic of `U64`.
+    U32,
+    /// 8-byte cells — the overflow-safe fallback for extreme cost models.
+    U64,
+}
+
+impl CellWidth {
+    /// Bytes per DP cell.
+    pub fn bytes(self) -> u64 {
+        match self {
+            CellWidth::U32 => 4,
+            CellWidth::U64 => 8,
+        }
+    }
+
+    /// Short display name (`"u32"` / `"u64"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CellWidth::U32 => "u32",
+            CellWidth::U64 => "u64",
+        }
+    }
+}
+
+/// DP cell width the kernel will select for an `n`-vs-`m` node pair under
+/// `costs`.
+///
+/// Every value the DP forms — including the *candidates* fed to `min`, not
+/// just the minima — is bounded by `2·(delete·n + insert·m) + relabel`: a
+/// forest distance never exceeds delete-everything-plus-insert-everything,
+/// a tree distance is a forest distance, and the widest candidate is a
+/// forest distance plus either a tree distance or one operation cost.
+/// When that bound fits `u32` the kernel runs with 4-byte cells; unit-cost
+/// pairs qualify for any tree that could fit its DP tables in memory.
+pub fn cell_width(n: usize, m: usize, costs: CostModel) -> CellWidth {
+    let bound = (n as u64)
+        .saturating_mul(u64::from(costs.delete))
+        .saturating_add((m as u64).saturating_mul(u64::from(costs.insert)));
+    let worst = bound.saturating_mul(2).saturating_add(u64::from(costs.relabel));
+    if worst <= u64::from(u32::MAX) {
+        CellWidth::U32
+    } else {
+        CellWidth::U64
+    }
+}
+
 /// Unit-cost TED with the default (auto) strategy.
 ///
 /// ```
@@ -105,11 +162,15 @@ pub fn ted_with(a: &Tree, b: &Tree, costs: CostModel, strategy: Strategy) -> u64
     if a.size() == b.size() && a.structural_hash() == b.structural_hash() {
         return 0;
     }
+    let (pa, pb) = build_decompositions(a, b, strategy);
+    zhang_shasha(&pa, &pb, costs, KernelMode::Full)
+}
 
-    // Build each side's decomposition at most once: Auto estimates both
-    // candidates from the same `PostTree`s the solver then consumes,
-    // instead of rebuilding the chosen one from scratch.
-    let (pa, pb) = match strategy {
+/// Build each side's decomposition at most once: Auto estimates both
+/// candidates from the same `PostTree`s the solver then consumes, instead
+/// of rebuilding the chosen one from scratch.
+fn build_decompositions(a: &Tree, b: &Tree, strategy: Strategy) -> (PostTree, PostTree) {
+    match strategy {
         Strategy::Left => (PostTree::build(a, false), PostTree::build(b, false)),
         Strategy::Right => {
             // Mirror both trees (reverse all child lists); TED is preserved.
@@ -124,14 +185,15 @@ pub fn ted_with(a: &Tree, b: &Tree, costs: CostModel, strategy: Strategy) -> u64
                 right
             }
         }
-    };
-    zhang_shasha(&pa, &pb, costs)
+    }
 }
 
 /// TED over [`SharedTree`]s: identical results to [`ted_with`], but the
 /// structural-hash short-circuit and the path decompositions come from the
 /// trees' memoized views instead of being rebuilt per pair.  In an N-way
-/// divergence matrix this turns O(N²) decomposition builds into O(N).
+/// divergence matrix this turns O(N²) decomposition builds into O(N), and
+/// hash-equal pairs (S-vs-P ports share many unported units) return 0
+/// without running any DP at all.
 pub fn ted_shared(
     a: &crate::SharedTree,
     b: &crate::SharedTree,
@@ -160,7 +222,7 @@ pub fn ted_shared(
             }
         }
     };
-    zhang_shasha(pa, pb, costs)
+    zhang_shasha(pa, pb, costs, KernelMode::Full)
 }
 
 /// Estimated number of relevant subproblems for a decomposition pair:
@@ -274,28 +336,469 @@ impl PostTree {
     }
 }
 
-/// The Zhang–Shasha dynamic program.
-fn zhang_shasha(a: &PostTree, b: &PostTree, costs: CostModel) -> u64 {
+// ---------------------------------------------------------------------------
+// the DP kernel: scratch arena, adaptive cells, branch-split inner loops
+// ---------------------------------------------------------------------------
+
+/// Kernel implementation selector.  Production callers always run
+/// [`KernelMode::Full`]; the other variants exist so the ablation bench
+/// (`bench/benches/ted_kernel.rs`) and the equivalence proptests can
+/// measure and pin each optimisation in isolation.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Fresh zero-initialised `u64` tables per pair, branchy inner loop —
+    /// the PR 4 kernel, kept as the ablation baseline.
+    Baseline,
+    /// Thread-local scratch arena (no per-pair allocation or zeroing),
+    /// `u64` cells, branchy inner loop.
+    Arena,
+    /// Arena plus width-adaptive cells (`u32` whenever [`cell_width`]
+    /// proves the pair cannot overflow them).
+    ArenaNarrow,
+    /// Arena + adaptive cells + branch-split inner loops — the production
+    /// kernel.
+    Full,
+}
+
+impl KernelMode {
+    /// All modes, in ablation order (each adds one optimisation).
+    #[doc(hidden)]
+    pub const ABLATION: [KernelMode; 4] =
+        [KernelMode::Baseline, KernelMode::Arena, KernelMode::ArenaNarrow, KernelMode::Full];
+
+    /// Short label for bench output.
+    #[doc(hidden)]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelMode::Baseline => "baseline",
+            KernelMode::Arena => "arena",
+            KernelMode::ArenaNarrow => "arena+u32",
+            KernelMode::Full => "arena+u32+split",
+        }
+    }
+}
+
+/// [`ted_with`] with an explicit kernel implementation and **no**
+/// structural-hash short-circuit: hash-equal pairs run the full dynamic
+/// program.  This is the entry the ablation bench and the
+/// short-circuit-versus-DP equivalence proptests drive; production code
+/// wants [`ted_with`].
+#[doc(hidden)]
+pub fn ted_with_mode(
+    a: &Tree,
+    b: &Tree,
+    costs: CostModel,
+    strategy: Strategy,
+    mode: KernelMode,
+) -> u64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0,
+        (true, false) => return b.size() as u64 * u64::from(costs.insert),
+        (false, true) => return a.size() as u64 * u64::from(costs.delete),
+        _ => {}
+    }
+    let (pa, pb) = build_decompositions(a, b, strategy);
+    zhang_shasha(&pa, &pb, costs, mode)
+}
+
+/// Thread-local DP scratch: the `td`/`fd` tables at both cell widths.
+///
+/// Lifetime: one arena per worker thread, alive until the thread exits,
+/// sized by the largest pair the thread has solved (a `ted_bounded` budget
+/// caps that for adversarial inputs).  Buffers only ever grow; growth
+/// zero-fills the *new* region once (`Vec::resize`), and everything else is
+/// reused as-is — see `zs_dp` for why stale values are never observed.
+struct Scratch {
+    td32: Vec<u32>,
+    fd32: Vec<u32>,
+    td64: Vec<u64>,
+    fd64: Vec<u64>,
+}
+
+impl Scratch {
+    const fn new() -> Scratch {
+        Scratch { td32: Vec::new(), fd32: Vec::new(), td64: Vec::new(), fd64: Vec::new() }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = const { RefCell::new(Scratch::new()) };
+}
+
+/// A DP cell: `u32` for the narrow kernel, `u64` for the wide one.
+trait DpCell: Copy + Ord + std::ops::Add<Output = Self> {
+    const ZERO: Self;
+    fn of(cost: u32) -> Self;
+    fn widen(self) -> u64;
+    /// This width's arena tables, borrowed disjointly out of one `Scratch`.
+    fn parts(s: &mut Scratch) -> (&mut Vec<Self>, &mut Vec<Self>)
+    where
+        Self: Sized;
+}
+
+impl DpCell for u32 {
+    const ZERO: u32 = 0;
+    fn of(cost: u32) -> u32 {
+        cost
+    }
+    fn widen(self) -> u64 {
+        u64::from(self)
+    }
+    fn parts(s: &mut Scratch) -> (&mut Vec<u32>, &mut Vec<u32>) {
+        (&mut s.td32, &mut s.fd32)
+    }
+}
+
+impl DpCell for u64 {
+    const ZERO: u64 = 0;
+    fn of(cost: u32) -> u64 {
+        u64::from(cost)
+    }
+    fn widen(self) -> u64 {
+        self
+    }
+    fn parts(s: &mut Scratch) -> (&mut Vec<u64>, &mut Vec<u64>) {
+        (&mut s.td64, &mut s.fd64)
+    }
+}
+
+/// Grow an arena buffer to at least `len` cells without touching the
+/// existing prefix (only newly grown cells are zero-filled, once).
+#[inline]
+fn grow<C: DpCell>(v: &mut Vec<C>, len: usize) {
+    if v.len() < len {
+        v.resize(len, C::ZERO);
+    }
+}
+
+/// Dispatch a keyroot-pair DP to the kernel `mode` selects.
+fn zhang_shasha(a: &PostTree, b: &PostTree, costs: CostModel, mode: KernelMode) -> u64 {
+    match mode {
+        KernelMode::Baseline => zhang_shasha_alloc(a, b, costs),
+        KernelMode::Arena => zs_dp::<u64, false>(a, b, costs),
+        KernelMode::ArenaNarrow => match cell_width(a.len(), b.len(), costs) {
+            CellWidth::U32 => zs_dp::<u32, false>(a, b, costs),
+            CellWidth::U64 => zs_dp::<u64, false>(a, b, costs),
+        },
+        KernelMode::Full => match cell_width(a.len(), b.len(), costs) {
+            CellWidth::U32 => zs_dp::<u32, true>(a, b, costs),
+            CellWidth::U64 => zs_dp::<u64, true>(a, b, costs),
+        },
+    }
+}
+
+/// One forest-form span of a DP row, `dj` in `[s0, s1)`: the hot core of
+/// the branch-split kernel, shared by partial rows (where it covers the
+/// whole row) and the forest runs of whole rows (where `pref` is the
+/// insert ramp, i.e. fd row 0).  Returns the updated `left` carry.
+///
+/// The insert scan is unrolled 4-wide: `t0..t3` are the row-independent
+/// delete/subtree candidates, `p1..p3` their in-block prefix mins off the
+/// carried path, and the only cross-block dependency is `left + 4·ins` —
+/// one add and one min per four cells instead of per cell.  The DP is
+/// latency-bound on that chain, so the unroll (plus folding `left` in
+/// last) is most of the kernel's speedup.  In-block intermediates stay
+/// ≤ 2·(n·del + m·ins) (a 4-block implies `cols ≥ 5`, so `4·ins ≤ m·ins`),
+/// which `cell_width` already bounds by the cell type.
+///
+/// Bounds (debug-asserted, guaranteed by the callers): `1 ≤ s0 ≤ s1 ≤
+/// cur.len() == prev_row.len() == pj.len()`, `td_row.len() ≥ s1 - 1`, and
+/// `pj[dj] = lld(j) − l2 ≤ dj − 1`, so `pref.len() ≥ s1 - 1` suffices for
+/// the gather.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn forest_span<C: DpCell>(
+    cur: &mut [C],
+    prev_row: &[C],
+    td_row: &[C],
+    pj: &[u32],
+    pref: &[C],
+    s0: usize,
+    s1: usize,
+    mut left: C,
+    del: C,
+    ins: C,
+) -> C {
+    debug_assert!(1 <= s0 && s0 <= s1);
+    debug_assert!(s1 <= cur.len() && s1 <= prev_row.len() && s1 <= pj.len());
+    debug_assert!(td_row.len() + 1 >= s1 && pref.len() + 1 >= s1);
+    // SAFETY: for dj in [s0, s1), dj < s1 ≤ cur/prev_row/pj lengths and
+    // dj ≥ s0 ≥ 1 keeps `dj - 1` in td_row; the gather index satisfies
+    // pj[dj] ≤ dj - 1 ≤ s1 - 2 < pref.len().  All asserted above.
+    let t_at = |dj: usize| unsafe {
+        let det = *pref.get_unchecked(*pj.get_unchecked(dj) as usize);
+        (*prev_row.get_unchecked(dj) + del).min(det + *td_row.get_unchecked(dj - 1))
+    };
+    let ins2 = ins + ins;
+    let ins3 = ins2 + ins;
+    let ins4 = ins3 + ins;
+    let mut dj = s0;
+    while dj + 4 <= s1 {
+        let (t0, t1, t2, t3) = (t_at(dj), t_at(dj + 1), t_at(dj + 2), t_at(dj + 3));
+        let p1 = t1.min(t0 + ins);
+        let p2 = t2.min(p1 + ins);
+        let p3 = t3.min(p2 + ins);
+        let d3 = p3.min(left + ins4);
+        // SAFETY: dj + 3 < s1 ≤ cur.len().
+        unsafe {
+            *cur.get_unchecked_mut(dj) = t0.min(left + ins);
+            *cur.get_unchecked_mut(dj + 1) = p1.min(left + ins2);
+            *cur.get_unchecked_mut(dj + 2) = p2.min(left + ins3);
+            *cur.get_unchecked_mut(dj + 3) = d3;
+        }
+        left = d3;
+        dj += 4;
+    }
+    while dj < s1 {
+        let d = t_at(dj).min(left + ins);
+        // SAFETY: dj < s1 ≤ cur.len().
+        unsafe { *cur.get_unchecked_mut(dj) = d };
+        left = d;
+        dj += 1;
+    }
+    left
+}
+
+/// The Zhang–Shasha dynamic program, generic over the DP cell type and
+/// (statically) over whether the inner loop is branch-split.
+///
+/// **Why skipping zero-init is sound.**  Each `td[i·m + j]` is written
+/// while processing the unique keyroot pair `(k(i), k(j))` whose spans
+/// treat `i` and `j` as whole trees, and only read by keyroot pairs that
+/// come later in the ascending double loop; each `fd` cell is written at
+/// the top of its keyroot pair (row 0 / column 0 explicitly, the rest in
+/// DP order) before any read.  Stale values from previous pairs — or from
+/// previous *trees* — are therefore never observed, and the O(n·m) memset
+/// the baseline kernel paid per pair is pure waste.
+///
+/// **Branch-split loops** (`SPLIT = true`): the `lld` comparisons that
+/// decide tree-vs-forest cells depend only on the row (`a.lld[i] == l1`)
+/// and the column (`b.lld[j] == l2`).  The column flags are precomputed
+/// per keyroot as maximal constant runs, so each inner loop body is either
+/// the pure tree-distance form or the pure forest form with no per-cell
+/// flag test and no per-cell `lld` loads.
+fn zs_dp<C: DpCell, const SPLIT: bool>(a: &PostTree, b: &PostTree, costs: CostModel) -> u64 {
     let (n, m) = (a.len(), b.len());
-    let del = u64::from(costs.delete);
-    let ins = u64::from(costs.insert);
-    let rel = u64::from(costs.relabel);
+    let del = C::of(costs.delete);
+    let ins = C::of(costs.insert);
+    let rel = C::of(costs.relabel);
 
     // Label identity column: exact symbol ids when both decompositions share
     // an interner table, memoized content hashes otherwise.
     let (la, lb): (&[u64], &[u64]) =
         if a.same_table(b) { (&a.syms, &b.syms) } else { (&a.keys, &b.keys) };
 
+    SCRATCH.with(|scratch| {
+        let s = &mut *scratch.borrow_mut();
+        let (td_vec, fd_vec) = C::parts(s);
+        grow(td_vec, n * m);
+        grow(fd_vec, (n + 1) * (m + 1));
+        // Reborrow as plain slices: indexing through `&mut Vec` forces the
+        // data pointer and length to be reloaded after every store (a cell
+        // store could alias the Vec header as far as LLVM can prove), which
+        // costs ~15% on the inner loop.  A `&mut [C]` local keeps both in
+        // registers, matching the owned-Vec codegen of the old kernel.
+        let td: &mut [C] = td_vec;
+        let fd: &mut [C] = fd_vec;
+
+        // Per-keyroot-pair fixed costs matter as much as the DP cells on
+        // AST-shaped trees: spans average under ten nodes, so a tree pair
+        // has O(keyroots²) tiny tables (~10⁵–10⁶ of them), each paying its
+        // own init and column-metadata setup.  Everything that depends
+        // only on one side is therefore hoisted to this once-per-tree-pair
+        // block: the column metadata of the branch-split loop (flat,
+        // offset-indexed per kr2, instead of rebuilt per (kr1, kr2)), and
+        // delete/insert cost ramps so border inits are a memcpy plus
+        // independent stores rather than a dependent add chain.
+        let nkr2 = b.keyroots.len();
+        let mut pj_flat: Vec<u32> = Vec::new();
+        let mut pj_off: Vec<u32> = Vec::new();
+        let mut runs_flat: Vec<(u32, u32, bool)> = Vec::new();
+        let mut runs_off: Vec<u32> = Vec::with_capacity(nkr2 + 1);
+        let mut del_ramp: Vec<C> = Vec::new();
+        let mut ins_ramp: Vec<C> = Vec::new();
+        if SPLIT {
+            pj_off.reserve(nkr2);
+            for &kr2 in &b.keyroots {
+                let l2 = b.lld[kr2];
+                let cols = kr2 - l2 + 2;
+                pj_off.push(pj_flat.len() as u32);
+                runs_off.push(runs_flat.len() as u32);
+                pj_flat.push(0); // dj = 0 placeholder
+                                 // dj = 1 is l2 itself, always a whole (single-leaf) tree.
+                let (mut start, mut whole) = (1u32, true);
+                for dj in 1..cols {
+                    let j = l2 + dj - 1;
+                    let w = b.lld[j] == l2;
+                    pj_flat.push((b.lld[j] - l2) as u32);
+                    if w != whole {
+                        runs_flat.push((start, dj as u32, whole));
+                        start = dj as u32;
+                        whole = w;
+                    }
+                }
+                runs_flat.push((start, cols as u32, whole));
+            }
+            runs_off.push(runs_flat.len() as u32);
+            del_ramp.reserve(n + 1);
+            ins_ramp.reserve(m + 1);
+            let (mut d, mut i) = (C::ZERO, C::ZERO);
+            del_ramp.push(d);
+            ins_ramp.push(i);
+            for _ in 0..n {
+                d = d + del;
+                del_ramp.push(d);
+            }
+            for _ in 0..m {
+                i = i + ins;
+                ins_ramp.push(i);
+            }
+        }
+
+        for &kr1 in &a.keyroots {
+            let l1 = a.lld[kr1];
+            let rows = kr1 - l1 + 2; // forest prefix sizes 0..=kr1-l1+1
+            for (q, &kr2) in b.keyroots.iter().enumerate() {
+                let l2 = b.lld[kr2];
+                let cols = kr2 - l2 + 2;
+
+                let (pj, runs): (&[u32], &[(u32, u32, bool)]) = if SPLIT {
+                    // fd row 0 is never materialised: it is exactly
+                    // `ins_ramp[..cols]`, and the only readers — the
+                    // di == 1 previous row and the whole-row detached
+                    // prefix (pi == 0) — read the shared ramp instead,
+                    // which stays cache-hot across all keyroot pairs.
+                    // Column 0 is still stored (rows 1..): detached-
+                    // prefix gathers hit it at runtime-computed offsets.
+                    for di in 1..rows {
+                        fd[di * cols] = del_ramp[di];
+                    }
+                    (
+                        &pj_flat[pj_off[q] as usize..][..cols],
+                        &runs_flat[runs_off[q] as usize..runs_off[q + 1] as usize],
+                    )
+                } else {
+                    fd[0] = C::ZERO;
+                    for di in 1..rows {
+                        fd[di * cols] = fd[(di - 1) * cols] + del;
+                    }
+                    for dj in 1..cols {
+                        fd[dj] = fd[dj - 1] + ins;
+                    }
+                    (&[], &[])
+                };
+
+                #[allow(clippy::needless_range_loop)] // di also derives row offsets
+                for di in 1..rows {
+                    let i = l1 + di - 1; // actual post-order node in a
+                    let row = di * cols;
+                    let prev = row - cols;
+
+                    if !SPLIT {
+                        // Reference-shaped loop (arena-backed PR 4 kernel).
+                        for dj in 1..cols {
+                            let j = l2 + dj - 1;
+                            if a.lld[i] == l1 && b.lld[j] == l2 {
+                                let sub = if la[i] == lb[j] { C::ZERO } else { rel };
+                                let d = (fd[prev + dj] + del)
+                                    .min(fd[row + dj - 1] + ins)
+                                    .min(fd[prev + dj - 1] + sub);
+                                fd[row + dj] = d;
+                                td[i * m + j] = d;
+                            } else {
+                                let pi = a.lld[i] - l1;
+                                let pjv = b.lld[j] - l2;
+                                let d = (fd[prev + dj] + del)
+                                    .min(fd[row + dj - 1] + ins)
+                                    .min(fd[pi * cols + pjv] + td[i * m + j]);
+                                fd[row + dj] = d;
+                            }
+                        }
+                        continue;
+                    }
+
+                    // Row slices: `cur` is exactly `cols` long and every
+                    // other row the loop reads lies strictly below it, so
+                    // one `split_at_mut` re-expresses all the 2-D indexing
+                    // as in-bounds 1-D indexing.  `left` carries
+                    // `cur[dj - 1]` in a register.
+                    //
+                    // Candidate association matters: the delete and
+                    // subtree candidates depend only on earlier rows, so
+                    // `min`-ing them FIRST and folding `left + ins` in
+                    // LAST keeps the loop-carried dependency chain at one
+                    // add plus one min (~2 cycles) instead of threading
+                    // `left` through the whole three-way min (~5 cycles).
+                    // The DP is latency-bound on that chain, so the
+                    // association alone is worth ~2x on long rows.
+                    let (fd_lo, fd_hi) = fd.split_at_mut(row);
+                    let cur = &mut fd_hi[..cols];
+                    let prev_row: &[C] = if di == 1 { &ins_ramp[..cols] } else { &fd_lo[prev..] };
+                    let td_row = &mut td[i * m + l2..i * m + kr2 + 1];
+                    let mut left = del_ramp[di];
+                    if a.lld[i] == l1 {
+                        let lai = la[i];
+                        let lb_row = &lb[l2..kr2 + 1];
+                        for &(s0, s1, whole) in runs.iter() {
+                            // Runs end at `cols` by construction; the
+                            // redundant clamp lets the compiler prove
+                            // every in-run index below is in bounds.
+                            let s0 = s0 as usize;
+                            let s1 = (s1 as usize).min(cols);
+                            if whole {
+                                // Both forests are whole trees: record a
+                                // tree distance.
+                                for dj in s0..s1 {
+                                    let sub = if lai == lb_row[dj - 1] { C::ZERO } else { rel };
+                                    let t = (prev_row[dj] + del).min(prev_row[dj - 1] + sub);
+                                    let d = t.min(left + ins);
+                                    cur[dj] = d;
+                                    td_row[dj - 1] = d;
+                                    left = d;
+                                }
+                            } else {
+                                // Whole row, partial column: the detached
+                                // row prefix is empty (pi == 0), i.e. fd
+                                // row 0, which is the insert ramp.
+                                left = forest_span(
+                                    cur, prev_row, td_row, pj, &ins_ramp, s0, s1, left, del, ins,
+                                );
+                            }
+                        }
+                    } else {
+                        // Partial row: every cell is the general forest
+                        // case — detach whole subtrees, no td writes.
+                        let pref = &fd_lo[(a.lld[i] - l1) * cols..][..cols];
+                        forest_span(cur, prev_row, td_row, pj, pref, 1, cols, left, del, ins);
+                    }
+                }
+            }
+        }
+        td[(n - 1) * m + (m - 1)].widen()
+    })
+}
+
+/// The PR 4 kernel: fresh zero-initialised `u64` tables per pair, branchy
+/// inner loop.  Kept verbatim as the ablation baseline and as a second
+/// implementation the proptests pin the arena kernels against.
+fn zhang_shasha_alloc(a: &PostTree, b: &PostTree, costs: CostModel) -> u64 {
+    let (n, m) = (a.len(), b.len());
+    let del = u64::from(costs.delete);
+    let ins = u64::from(costs.insert);
+    let rel = u64::from(costs.relabel);
+
+    let (la, lb): (&[u64], &[u64]) =
+        if a.same_table(b) { (&a.syms, &b.syms) } else { (&a.keys, &b.keys) };
+
     // Permanent tree-distance table td[i][j] for subtree pairs rooted at
-    // post-order nodes i, j.  Cells are u64: with non-unit cost weights a
-    // forest distance reaches delete·|T1| + insert·|T2|, past u32.
+    // post-order nodes i, j, plus the scratch forest-distance table.
     let mut td = vec![0u64; n * m];
-    // Scratch forest-distance table, sized for the largest keyroot spans.
     let mut fd = vec![0u64; (n + 1) * (m + 1)];
 
     for &kr1 in &a.keyroots {
         let l1 = a.lld[kr1];
-        let rows = kr1 - l1 + 2; // forest prefix sizes 0..=kr1-l1+1
+        let rows = kr1 - l1 + 2;
         for &kr2 in &b.keyroots {
             let l2 = b.lld[kr2];
             let cols = kr2 - l2 + 2;
@@ -309,11 +812,10 @@ fn zhang_shasha(a: &PostTree, b: &PostTree, costs: CostModel) -> u64 {
                 fd[at(0, dj)] = fd[at(0, dj - 1)] + ins;
             }
             for di in 1..rows {
-                let i = l1 + di - 1; // actual post-order node in a
+                let i = l1 + di - 1;
                 for dj in 1..cols {
                     let j = l2 + dj - 1;
                     if a.lld[i] == l1 && b.lld[j] == l2 {
-                        // Both forests are whole trees: record a tree dist.
                         let sub = if la[i] == lb[j] { 0 } else { rel };
                         let d = (fd[at(di - 1, dj)] + del)
                             .min(fd[at(di, dj - 1)] + ins)
@@ -321,8 +823,7 @@ fn zhang_shasha(a: &PostTree, b: &PostTree, costs: CostModel) -> u64 {
                         fd[at(di, dj)] = d;
                         td[i * m + j] = d;
                     } else {
-                        // General forest case: detach whole subtrees.
-                        let pi = a.lld[i].saturating_sub(l1); // prefix before subtree of i
+                        let pi = a.lld[i].saturating_sub(l1);
                         let pj = b.lld[j].saturating_sub(l2);
                         let d = (fd[at(di - 1, dj)] + del)
                             .min(fd[at(di, dj - 1)] + ins)
@@ -359,14 +860,21 @@ impl std::fmt::Display for TedError {
 
 impl std::error::Error for TedError {}
 
-/// Estimated peak bytes of DP state Zhang–Shasha allocates for a pair:
-/// the permanent `n·m` tree-distance table plus the `(n+1)·(m+1)` scratch
-/// forest table, both `u64` cells (widened from `u32` so non-unit cost
-/// weights cannot overflow a cell).
-pub fn memory_estimate(a: &Tree, b: &Tree) -> u64 {
+/// Estimated peak bytes of DP state Zhang–Shasha holds for a pair under
+/// `costs`: the permanent `n·m` tree-distance table plus the
+/// `(n+1)·(m+1)` scratch forest table, at the cell width the kernel will
+/// actually select (see [`cell_width`]).  Unit-cost pairs — the paper's
+/// GROMACS scenario — need 4-byte cells, half of what the old fixed-`u64`
+/// kernel estimated; extreme cost models still cost 8 bytes per cell.
+pub fn memory_estimate_with(a: &Tree, b: &Tree, costs: CostModel) -> u64 {
     let n = a.size() as u64;
     let m = b.size() as u64;
-    8 * (n * m + (n + 1) * (m + 1))
+    cell_width(a.size(), b.size(), costs).bytes() * (n * m + (n + 1) * (m + 1))
+}
+
+/// [`memory_estimate_with`] under the paper's unit-cost model.
+pub fn memory_estimate(a: &Tree, b: &Tree) -> u64 {
+    memory_estimate_with(a, b, CostModel::UNIT)
 }
 
 /// TED with an explicit memory budget: refuses up front (no allocation)
@@ -379,7 +887,7 @@ pub fn ted_bounded(
     strategy: Strategy,
     max_bytes: u64,
 ) -> Result<u64, TedError> {
-    let needed = memory_estimate(a, b);
+    let needed = memory_estimate_with(a, b, costs);
     if needed > max_bytes {
         return Err(TedError::BudgetExceeded { needed_bytes: needed, budget_bytes: max_bytes });
     }
@@ -406,16 +914,55 @@ impl EditStats {
 /// future-work knob: "adding new code may have a different productivity
 /// impact than removing existing code") would weight.
 ///
-/// Uses two exact solves instead of DP backtracking: with relabel cost 2 a
-/// relabel never beats delete+insert, so `d₂ − d₁` counts the relabels of
-/// an optimal unit-cost script, and `|T₂| − |T₁| = inserts − deletes`
-/// closes the system.
+/// The path decompositions are built **once** and shared by both exact
+/// solves (the strategy choice depends only on keyroot spans, never on the
+/// cost model), instead of rebuilding them per solve.
 pub fn edit_stats(a: &Tree, b: &Tree) -> EditStats {
-    let d1 = ted_with(a, b, CostModel::UNIT, Strategy::Auto);
-    let d2 = ted_with(a, b, CostModel { delete: 1, insert: 1, relabel: 2 }, Strategy::Auto);
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return EditStats { inserts: 0, deletes: 0, relabels: 0 },
+        (true, false) => return EditStats { inserts: b.size() as u64, deletes: 0, relabels: 0 },
+        (false, true) => return EditStats { inserts: 0, deletes: a.size() as u64, relabels: 0 },
+        _ => {}
+    }
+    if a.size() == b.size() && a.structural_hash() == b.structural_hash() {
+        return EditStats { inserts: 0, deletes: 0, relabels: 0 };
+    }
+    let (pa, pb) = build_decompositions(a, b, Strategy::Auto);
+    prepared_edit_stats(&pa, &pb, a.size(), b.size())
+}
+
+/// [`edit_stats`] over [`SharedTree`]s: both solves consume the memoized
+/// decompositions, so warm artefacts pay zero `PostTree` builds.
+pub fn edit_stats_shared(a: &crate::SharedTree, b: &crate::SharedTree) -> EditStats {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return EditStats { inserts: 0, deletes: 0, relabels: 0 },
+        (true, false) => return EditStats { inserts: b.size() as u64, deletes: 0, relabels: 0 },
+        (false, true) => return EditStats { inserts: 0, deletes: a.size() as u64, relabels: 0 },
+        _ => {}
+    }
+    if a.size() == b.size() && a.structural_hash() == b.structural_hash() {
+        return EditStats { inserts: 0, deletes: 0, relabels: 0 };
+    }
+    let left = (a.left(), b.left());
+    let right = (a.right(), b.right());
+    let (pa, pb) = if decomposition_cost(left.0, left.1) <= decomposition_cost(right.0, right.1) {
+        left
+    } else {
+        right
+    };
+    prepared_edit_stats(pa, pb, a.size(), b.size())
+}
+
+/// Two exact solves over one prepared decomposition pair: with relabel
+/// cost 2 a relabel never beats delete+insert, so `d₂ − d₁` counts the
+/// relabels of an optimal unit-cost script, and
+/// `|T₂| − |T₁| = inserts − deletes` closes the system.
+fn prepared_edit_stats(pa: &PostTree, pb: &PostTree, na: usize, nb: usize) -> EditStats {
+    let d1 = zhang_shasha(pa, pb, CostModel::UNIT, KernelMode::Full);
+    let d2 = zhang_shasha(pa, pb, CostModel { delete: 1, insert: 1, relabel: 2 }, KernelMode::Full);
     let relabels = d2 - d1;
     let matched_cost = d1 - relabels; // inserts + deletes
-    let diff = b.size() as i64 - a.size() as i64; // inserts - deletes
+    let diff = nb as i64 - na as i64; // inserts - deletes
     let inserts = ((matched_cost as i64 + diff) / 2) as u64;
     let deletes = matched_cost - inserts;
     EditStats { inserts, deletes, relabels }
@@ -429,31 +976,73 @@ pub fn edit_stats(a: &Tree, b: &Tree) -> EditStats {
 /// [`ted_with`] is strong evidence of correctness.
 pub fn naive_ted(a: &Tree, b: &Tree, costs: CostModel) -> u64 {
     type Forest = Vec<NodeId>;
-    fn key(f1: &Forest, f2: &Forest) -> (Vec<u32>, Vec<u32>) {
-        (f1.iter().map(|n| n.0).collect(), f2.iter().map(|n| n.0).collect())
+
+    /// Per-node post-order index and leftmost-leaf post-order index.
+    ///
+    /// Every forest the rightmost-root recursion produces covers a
+    /// contiguous post-order interval (removing the rightmost root and
+    /// appending its children deletes the interval's top index; taking
+    /// the children or the rest alone splits it), so the pair
+    /// `(lld(first_root), post(last_root))` identifies a forest exactly —
+    /// the memo keys on those span indices instead of cloning node lists.
+    fn spans(t: &Tree) -> (Vec<u32>, Vec<u32>) {
+        let n = t.size();
+        let mut post = vec![0u32; n];
+        let mut lo = vec![0u32; n];
+        let mut idx = 0u32;
+        if let Some(r) = t.root() {
+            let mut stack: Vec<(NodeId, usize)> = vec![(r, 0)];
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                let ch = t.children(node);
+                if *next < ch.len() {
+                    let c = ch[*next];
+                    *next += 1;
+                    stack.push((c, 0));
+                } else {
+                    post[node.index()] = idx;
+                    lo[node.index()] = if ch.is_empty() { idx } else { lo[ch[0].index()] };
+                    idx += 1;
+                    stack.pop();
+                }
+            }
+        }
+        (post, lo)
     }
 
-    fn solve(
-        a: &Tree,
-        b: &Tree,
-        f1: &Forest,
-        f2: &Forest,
+    /// Span key of a forest (`u64::MAX` for the empty forest, which has
+    /// no valid `lo ≤ hi` encoding).
+    fn fkey(post: &[u32], lo: &[u32], f: &Forest) -> u64 {
+        match (f.first(), f.last()) {
+            (Some(a0), Some(al)) => (u64::from(lo[a0.index()]) << 32) | u64::from(post[al.index()]),
+            _ => u64::MAX,
+        }
+    }
+
+    struct Ctx<'t> {
+        a: &'t Tree,
+        b: &'t Tree,
+        post_a: Vec<u32>,
+        lo_a: Vec<u32>,
+        post_b: Vec<u32>,
+        lo_b: Vec<u32>,
         costs: CostModel,
-        memo: &mut HashMap<(Vec<u32>, Vec<u32>), u64>,
-    ) -> u64 {
+        memo: HashMap<(u64, u64), u64>,
+    }
+
+    fn solve(cx: &mut Ctx<'_>, f1: &Forest, f2: &Forest) -> u64 {
         if f1.is_empty() && f2.is_empty() {
             return 0;
         }
         if f1.is_empty() {
-            return f2.iter().map(|&r| b.subtree_size(r) as u64).sum::<u64>()
-                * u64::from(costs.insert);
+            return f2.iter().map(|&r| cx.b.subtree_size(r) as u64).sum::<u64>()
+                * u64::from(cx.costs.insert);
         }
         if f2.is_empty() {
-            return f1.iter().map(|&r| a.subtree_size(r) as u64).sum::<u64>()
-                * u64::from(costs.delete);
+            return f1.iter().map(|&r| cx.a.subtree_size(r) as u64).sum::<u64>()
+                * u64::from(cx.costs.delete);
         }
-        let k = key(f1, f2);
-        if let Some(&v) = memo.get(&k) {
+        let k = (fkey(&cx.post_a, &cx.lo_a, f1), fkey(&cx.post_b, &cx.lo_b, f2));
+        if let Some(&v) = cx.memo.get(&k) {
             return v;
         }
 
@@ -463,32 +1052,33 @@ pub fn naive_ted(a: &Tree, b: &Tree, costs: CostModel) -> u64 {
 
         // Option 1: delete r1 (its children join the forest).
         let mut f1_del = f1[..f1.len() - 1].to_vec();
-        f1_del.extend_from_slice(a.children(r1));
-        let d1 = solve(a, b, &f1_del, f2, costs, memo) + u64::from(costs.delete);
+        f1_del.extend_from_slice(cx.a.children(r1));
+        let d1 = solve(cx, &f1_del, f2) + u64::from(cx.costs.delete);
 
         // Option 2: insert r2.
         let mut f2_ins = f2[..f2.len() - 1].to_vec();
-        f2_ins.extend_from_slice(b.children(r2));
-        let d2 = solve(a, b, f1, &f2_ins, costs, memo) + u64::from(costs.insert);
+        f2_ins.extend_from_slice(cx.b.children(r2));
+        let d2 = solve(cx, f1, &f2_ins) + u64::from(cx.costs.insert);
 
         // Option 3: match r1 with r2.
-        let sub = if a.label(r1) == b.label(r2) { 0 } else { u64::from(costs.relabel) };
-        let c1: Forest = a.children(r1).to_vec();
-        let c2: Forest = b.children(r2).to_vec();
+        let sub = if cx.a.label(r1) == cx.b.label(r2) { 0 } else { u64::from(cx.costs.relabel) };
+        let c1: Forest = cx.a.children(r1).to_vec();
+        let c2: Forest = cx.b.children(r2).to_vec();
         let rest1: Forest = f1[..f1.len() - 1].to_vec();
         let rest2: Forest = f2[..f2.len() - 1].to_vec();
-        let d3 =
-            solve(a, b, &c1, &c2, costs, memo) + solve(a, b, &rest1, &rest2, costs, memo) + sub;
+        let d3 = solve(cx, &c1, &c2) + solve(cx, &rest1, &rest2) + sub;
 
         let best = d1.min(d2).min(d3);
-        memo.insert(k, best);
+        cx.memo.insert(k, best);
         best
     }
 
+    let (post_a, lo_a) = spans(a);
+    let (post_b, lo_b) = spans(b);
     let f1: Forest = a.root().into_iter().collect();
     let f2: Forest = b.root().into_iter().collect();
-    let mut memo = HashMap::new();
-    solve(a, b, &f1, &f2, costs, &mut memo)
+    let mut cx = Ctx { a, b, post_a, lo_a, post_b, lo_b, costs, memo: HashMap::new() };
+    solve(&mut cx, &f1, &f2)
 }
 
 #[cfg(test)]
@@ -620,6 +1210,57 @@ mod tests {
     }
 
     #[test]
+    fn kernel_modes_agree_on_fixed_cases() {
+        // Every ablation stage of the kernel — and both strategies — must
+        // compute the same distances as the oracle.
+        let cases = [
+            ("(a (b c d) e)", "(a (b c) (e d))"),
+            ("(root (l1 (l2 (l3 x))))", "(root x)"),
+            ("(f (d a (c b)) e)", "(f (c (d a b)) e)"),
+            ("(m (n o) (n o) (n o))", "(m (n o))"),
+            ("(s a a a a)", "(s a a)"),
+        ];
+        let cms = [
+            CostModel::UNIT,
+            CostModel { delete: 2, insert: 3, relabel: 5 },
+            CostModel { delete: u32::MAX, insert: u32::MAX, relabel: 1 },
+        ];
+        for (sa, sb) in cases {
+            let a = t(sa);
+            let b = t(sb);
+            for cm in cms {
+                let expect = naive_ted(&a, &b, cm);
+                for mode in KernelMode::ABLATION {
+                    for s in [Strategy::Left, Strategy::Right, Strategy::Auto] {
+                        assert_eq!(
+                            ted_with_mode(&a, &b, cm, s, mode),
+                            expect,
+                            "{sa} vs {sb} {cm:?} {mode:?} {s:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_width_selection_rule() {
+        // Unit costs fit u32 for any realistic tree.
+        assert_eq!(cell_width(10_000, 10_000, CostModel::UNIT), CellWidth::U32);
+        // Extreme weights force the wide kernel even on tiny trees.
+        let extreme = CostModel { delete: u32::MAX, insert: u32::MAX, relabel: 1 };
+        assert_eq!(cell_width(3, 1, extreme), CellWidth::U64);
+        // Boundary: the worst intermediate is 2·(del·n + ins·m) + rel.
+        // With del = ins = 2^20 and n = m = 1024 that is exactly 2^32,
+        // one past u32::MAX; shrinking either side by one node fits again.
+        let cm = CostModel { delete: 1 << 20, insert: 1 << 20, relabel: 0 };
+        assert_eq!(cell_width(1024, 1024, cm), CellWidth::U64);
+        assert_eq!(cell_width(1024, 1023, cm), CellWidth::U32);
+        assert_eq!(CellWidth::U32.bytes(), 4);
+        assert_eq!(CellWidth::U64.bytes(), 8);
+    }
+
+    #[test]
     fn deep_vs_wide() {
         // A left-comb and a right-comb: structurally mirrored chains.
         let left = t("(a (a (a (a a))))");
@@ -643,7 +1284,8 @@ mod tests {
 
     #[test]
     fn moderate_random_agreement_with_oracle() {
-        // Deterministic pseudo-random small trees, cross-checked.
+        // Deterministic pseudo-random small trees, cross-checked across
+        // strategies and kernel modes.
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(42);
         let labels = ["a", "b", "c"];
@@ -669,6 +1311,13 @@ mod tests {
                     "strategy {s:?} on {t1} vs {t2}"
                 );
             }
+            for mode in KernelMode::ABLATION {
+                assert_eq!(
+                    ted_with_mode(&t1, &t2, CostModel::UNIT, Strategy::Auto, mode),
+                    expect,
+                    "mode {mode:?} on {t1} vs {t2}"
+                );
+            }
         }
     }
 
@@ -685,6 +1334,29 @@ mod tests {
         assert_eq!(edit_stats(&c, &a), EditStats { inserts: 0, deletes: 1, relabels: 0 });
         // identical
         assert_eq!(edit_stats(&a, &a.clone()).total(), 0);
+        // empty-side closed forms
+        let e = Tree::empty();
+        assert_eq!(edit_stats(&e, &a), EditStats { inserts: 3, deletes: 0, relabels: 0 });
+        assert_eq!(edit_stats(&a, &e), EditStats { inserts: 0, deletes: 3, relabels: 0 });
+        assert_eq!(edit_stats(&e, &e.clone()).total(), 0);
+    }
+
+    #[test]
+    fn edit_stats_shared_matches_plain() {
+        let cases = [
+            ("(f (d a (c b)) e)", "(f (c (d a b)) e)"),
+            ("(a (b c d) e)", "(a (b c) (e d))"),
+            ("(s a a a a)", "(s a a)"),
+            ("(f a b)", "(f a b)"),
+        ];
+        for (sa, sb) in cases {
+            let (ta, tb) = (t(sa), t(sb));
+            let (xa, xb) = (crate::SharedTree::new(ta.clone()), crate::SharedTree::new(tb.clone()));
+            // Twice: the second call runs entirely on memoized views.
+            for _ in 0..2 {
+                assert_eq!(edit_stats_shared(&xa, &xb), edit_stats(&ta, &tb), "{sa} vs {sb}");
+            }
+        }
     }
 
     #[test]
@@ -720,21 +1392,30 @@ mod tests {
     fn memory_estimate_matches_table_shapes() {
         let a = t("(f (g a b) c)"); // 5 nodes
         let b = t("(x y)"); // 2 nodes
-                            // 8 * (5*2 + 6*3) = 8 * 28 = 224
-        assert_eq!(memory_estimate(&a, &b), 224);
+                            // unit costs select u32 cells: 4 * (5*2 + 6*3) = 4 * 28 = 112
+        assert_eq!(memory_estimate(&a, &b), 112);
+        // Extreme weights fall back to u64 cells: 8 * 28 = 224.
+        let extreme = CostModel { delete: u32::MAX, insert: u32::MAX, relabel: 1 };
+        assert_eq!(memory_estimate_with(&a, &b, extreme), 224);
     }
 
     #[test]
     fn extreme_cost_weights_do_not_overflow() {
         // Regression: the DP cells were u32, and a cost model like
         // delete = u32::MAX overflowed them after two accumulated deletes.
+        // The adaptive kernel must classify this pair as u64 (checked in
+        // cell_width_selection_rule) and still agree with the oracle.
         let a = t("(f a b)"); // 3 nodes
         let b = t("g"); // 1 node
         let cm = CostModel { delete: u32::MAX, insert: u32::MAX, relabel: 1 };
+        assert_eq!(cell_width(a.size(), b.size(), cm), CellWidth::U64);
         // Optimal script: relabel f→g (1), delete a and b (2·u32::MAX).
         let expect = 2 * u64::from(u32::MAX) + 1;
         for s in [Strategy::Left, Strategy::Right, Strategy::Auto] {
             assert_eq!(ted_with(&a, &b, cm, s), expect, "{s:?}");
+        }
+        for mode in KernelMode::ABLATION {
+            assert_eq!(ted_with_mode(&a, &b, cm, Strategy::Auto, mode), expect, "{mode:?}");
         }
         assert_eq!(naive_ted(&a, &b, cm), expect);
         // And the empty-tree short-circuits stay in u64 as well.
@@ -767,7 +1448,11 @@ mod tests {
         let e = ted_bounded(&a, &b, CostModel::UNIT, Strategy::Auto, 1 << 30).unwrap_err();
         let TedError::BudgetExceeded { needed_bytes, budget_bytes } = e;
         assert!(needed_bytes > budget_bytes);
-        assert!(needed_bytes > 10_u64.pow(10), "{needed_bytes}");
+        assert!(needed_bytes > 10_u64.pow(9), "{needed_bytes}");
+        // The u32 cells halve the bill relative to the old fixed-u64
+        // estimate, but a cost model that needs u64 still pays in full.
+        let extreme = CostModel { delete: u32::MAX, insert: u32::MAX, relabel: 1 };
+        assert_eq!(memory_estimate_with(&a, &b, extreme), 2 * needed_bytes);
     }
 
     #[test]
@@ -791,5 +1476,15 @@ mod tests {
         let d = ted(&a, &b);
         assert!(d > 0);
         assert!(d <= (a.size() + b.size()) as u64);
+        // All kernel stages agree on a non-trivial workload.
+        let expect = ted_with_mode(&a, &b, CostModel::UNIT, Strategy::Auto, KernelMode::Baseline);
+        assert_eq!(d, expect);
+        for mode in [KernelMode::Arena, KernelMode::ArenaNarrow, KernelMode::Full] {
+            assert_eq!(
+                ted_with_mode(&a, &b, CostModel::UNIT, Strategy::Auto, mode),
+                expect,
+                "{mode:?}"
+            );
+        }
     }
 }

@@ -492,10 +492,30 @@ fn pair_distance(metric: Metric, a: &PairArt, b: &PairArt) -> f64 {
     }
 }
 
+/// Estimated DP cost of one matrix cell, used only to order the parallel
+/// schedule (largest first).  Tree pairs cost roughly `|T1|·|T2|` — except
+/// hash-equal pairs, which the [`ted_shared`] short-circuit answers without
+/// any DP, so they sort with the free cells.  The structural hashes are
+/// memoised on the [`SharedTree`]s, so estimating costs no extra tree walks.
+fn pair_cost(a: &PairArt, b: &PairArt) -> u64 {
+    match (a, b) {
+        (PairArt::Tree(a), PairArt::Tree(b)) => {
+            if a.size() == b.size() && a.structural_hash() == b.structural_hash() {
+                0
+            } else {
+                (a.size() as u64).saturating_mul(b.size() as u64)
+            }
+        }
+        (PairArt::Lines(a), PairArt::Lines(b)) => (a.len() + b.len()) as u64,
+        _ => 1,
+    }
+}
+
 /// Pairwise divergence matrix over a model set — the "cartesian product of
 /// all models" the paper clusters.  Pair computation (one TED per cell for
 /// the tree metrics — the §VII scaling bottleneck) fans out over all cores
-/// via `svpar::par_tasks`, with per-unit artefacts extracted once up front.
+/// via `svpar::par_tasks` in largest-DP-first (LPT) order, with per-unit
+/// artefacts extracted once up front.
 pub fn divergence_matrix(
     metric: Metric,
     v: Variant,
@@ -505,7 +525,11 @@ pub fn divergence_matrix(
     assert_eq!(labels.len(), units.len());
     let _s = svtrace::span!("matrix.build", n = labels.len(), metric = metric.name());
     let arts = pair_artifacts(metric, v, units);
-    DistanceMatrix::from_fn_par(labels.to_vec(), |i, j| pair_distance(metric, &arts[i], &arts[j]))
+    DistanceMatrix::from_fn_par_lpt(
+        labels.to_vec(),
+        |i, j| pair_cost(&arts[i], &arts[j]),
+        |i, j| pair_distance(metric, &arts[i], &arts[j]),
+    )
 }
 
 /// Sequential reference for [`divergence_matrix`]: same artefacts, same

@@ -86,6 +86,22 @@ impl FpArtifact {
     }
 }
 
+/// Estimated compute cost of an artefact pair, used to order parallel
+/// matrix schedules largest-first (LPT).  Fingerprint-equal pairs are
+/// answered by the equal-artefact short-circuit without any distance
+/// computation, so they cost 0; everything else scales with the DP table
+/// (tree pairs) or the edit-distance working set (line pairs).  Purely an
+/// ordering hint — it never changes a value.
+pub fn pair_cost(a: &FpArtifact, b: &FpArtifact) -> u64 {
+    if a.fp() == b.fp() {
+        return 0;
+    }
+    match (a, b) {
+        (FpArtifact::Tree { .. }, FpArtifact::Tree { .. }) => a.weight().saturating_mul(b.weight()),
+        _ => a.weight().saturating_add(b.weight()),
+    }
+}
+
 /// Raw pairwise distance — exactly what `svmetrics::divergence` computes
 /// for this metric, with no cache involved.
 fn raw_distance(a: &FpArtifact, b: &FpArtifact) -> u64 {

@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use svdist::ted::{naive_ted, ted_with, CostModel, Strategy as TedStrategy};
+use svdist::ted::{
+    cell_width, naive_ted, ted_with, ted_with_mode, CellWidth, CostModel, KernelMode,
+    Strategy as TedStrategy,
+};
 use svdist::{edit_distance_onp, lcs_len, levenshtein, ted_shared, SharedTree};
 use svtree::pack::{compress, decompress, read_tree, write_tree, write_tree_v1};
 use svtree::{Interner, NodeId, Span, Tree, TreeBuilder};
@@ -105,6 +108,65 @@ proptest! {
         for s in [TedStrategy::Left, TedStrategy::Right, TedStrategy::Auto] {
             prop_assert_eq!(ted_with(&a, &b, costs, s), expect);
         }
+    }
+
+    #[test]
+    fn kernel_modes_match_oracle_under_boundary_cost_models(
+        a in arb_tree(8),
+        b in arb_tree(8),
+        del_i in 0usize..6,
+        ins_i in 0usize..6,
+        rel_i in 0usize..6,
+    ) {
+        // Weight palette mixing tiny values (narrow kernel) with boundary
+        // values near u32::MAX (u64 fallback).
+        const DEL: [u32; 6] = [1, 2, 49, 1 << 27, u32::MAX - 1, u32::MAX];
+        const INS: [u32; 6] = [1, 3, 47, 1 << 27, u32::MAX - 1, u32::MAX];
+        const REL: [u32; 6] = [1, 5, 43, 1 << 27, u32::MAX - 1, u32::MAX];
+        let (del, ins, rel) = (DEL[del_i], INS[ins_i], REL[rel_i]);
+        // Every ablation stage of the kernel — allocating baseline, arena,
+        // arena + width-adaptive cells, and the full branch-split kernel —
+        // must agree with the oracle, including near-u32::MAX weights that
+        // force the u64 fallback (the adaptive selection is what keeps the
+        // narrow kernel from ever wrapping).
+        let costs = CostModel { delete: del, insert: ins, relabel: rel };
+        let expect = naive_ted(&a, &b, costs);
+        for mode in KernelMode::ABLATION {
+            for s in [TedStrategy::Left, TedStrategy::Right, TedStrategy::Auto] {
+                prop_assert_eq!(ted_with_mode(&a, &b, costs, s, mode), expect);
+            }
+        }
+        // Small weights must actually exercise the narrow kernel; huge
+        // weights must be classified as needing u64 cells.
+        if del <= 49 && ins <= 49 && rel <= 49 {
+            prop_assert_eq!(cell_width(a.size(), b.size(), costs), CellWidth::U32);
+        }
+        if del >= u32::MAX - 1 || ins >= u32::MAX - 1 {
+            prop_assert_eq!(cell_width(a.size(), b.size(), costs), CellWidth::U64);
+        }
+    }
+
+    #[test]
+    fn hash_equal_short_circuit_matches_full_dp(
+        a in arb_tree(10),
+        b in arb_tree(10),
+        duplicate in any::<bool>(),
+    ) {
+        // `ted_with` short-circuits hash-equal pairs to 0 without any DP;
+        // `ted_with_mode` bypasses that and always runs the kernel.  On
+        // randomly duplicated trees (and on arbitrary pairs) both answers
+        // must coincide — the short-circuit is an optimisation, never an
+        // approximation.
+        let b = if duplicate { a.clone() } else { b };
+        let fast = ted_with(&a, &b, CostModel::UNIT, TedStrategy::Auto);
+        let full = ted_with_mode(&a, &b, CostModel::UNIT, TedStrategy::Auto, KernelMode::Full);
+        prop_assert_eq!(fast, full);
+        if duplicate {
+            prop_assert_eq!(fast, 0);
+        }
+        // Shared trees take the same short-circuit through memoized hashes.
+        let (sa, sb) = (SharedTree::new(a), SharedTree::new(b));
+        prop_assert_eq!(ted_shared(&sa, &sb, CostModel::UNIT, TedStrategy::Auto), full);
     }
 
     #[test]
