@@ -1,0 +1,22 @@
+use svdist::ted::{cell_width, naive_ted, ted_with, CellWidth, CostModel, Strategy};
+use svtree::TreeBuilder;
+
+fn main() {
+    // a: 3 nodes, b: 1 node. ins = 1.5e9: worst = 2*(3*1 + 1*1.5e9) + 1 fits u32,
+    // so the narrow kernel is selected, but 3*ins > u32::MAX.
+    let mut ba = TreeBuilder::new();
+    let r = ba.root("f");
+    let c1 = ba.child(r, "a");
+    let _ = ba.child(c1, "b");
+    let a = ba.finish();
+    let mut bb = TreeBuilder::new();
+    bb.root("g");
+    let b = bb.finish();
+    let cm = CostModel { delete: 1, insert: 1_500_000_000, relabel: 1 };
+    assert_eq!(cell_width(a.size(), b.size(), cm), CellWidth::U32, "expect narrow kernel");
+    let expect = naive_ted(&a, &b, cm);
+    let got = ted_with(&a, &b, cm, Strategy::Auto);
+    println!("expect={expect} got={got}");
+    assert_eq!(got, expect);
+    println!("OK");
+}
