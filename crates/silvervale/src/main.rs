@@ -34,8 +34,10 @@ USAGE:
   silvervale compare   <DB> [--metric M] [--pp] [--cov] [--inline] [--from LABEL] [--trace-out FILE]
   silvervale matrix    <DB> [--metric M] [--pp] [--cov] [--inline] [--csv] [--trace-out FILE]
   silvervale cluster   <DB> [--metric M] [--pp] [--cov] [--inline] [--trace-out FILE]
-  silvervale chart     <DB> --app <name>
+  silvervale chart     <DB> --app <name> [--csv]
   silvervale cascade   --app <name>
+  silvervale evaluate  [<DB>] --app <name> [--candidates N] [--seed S] [--csv]
+                       [--addr HOST:PORT]
   silvervale serve     [--addr HOST:PORT] [--threads N] [--cache-mb N] [--deadline-ms N]
                        [--max-queue N] [--trace-out FILE] [DB...]
   silvervale client    --addr HOST:PORT <method> [PARAMS-JSON]
@@ -83,6 +85,8 @@ impl Args {
                     "trace-out",
                     "deadline-ms",
                     "max-queue",
+                    "candidates",
+                    "seed",
                 ];
                 if value_flags.contains(&name) && i + 1 < argv.len() {
                     flags.push((name.to_string(), Some(argv[i + 1].clone())));
@@ -243,7 +247,60 @@ fn run() -> Result<(), String> {
             let app_name = args.value("app").ok_or("chart needs --app")?;
             let app = parse_app(app_name).ok_or_else(|| format!("unknown app '{app_name}'"))?;
             let chart = navigation_chart(app, &db).map_err(|e| e.to_string())?;
-            println!("{}", chart.render());
+            if args.flag("csv") {
+                print!("{}", chart.to_csv());
+            } else {
+                println!("{}", chart.render());
+            }
+            Ok(())
+        }
+        "evaluate" => {
+            let app_name = args.value("app").ok_or("evaluate needs --app")?;
+            let app = parse_app(app_name).ok_or_else(|| format!("unknown app '{app_name}'"))?;
+            let candidates = match args.value("candidates") {
+                Some(n) => n.parse::<usize>().map_err(|_| "--candidates needs a number")?,
+                None => 100,
+            };
+            let seed = match args.value("seed") {
+                Some(s) => s.parse::<u64>().map_err(|_| "--seed needs a number")?,
+                None => 0,
+            };
+            if let Some(addr) = args.value("addr") {
+                // Remote: the positional is the server-side DB name.
+                let db_name =
+                    args.positional.first().cloned().unwrap_or_else(|| app_name.to_string());
+                let params = Json::obj([
+                    ("db", Json::str(db_name)),
+                    ("app", Json::str(app_name)),
+                    ("candidates", Json::Num(candidates as f64)),
+                    ("seed", Json::Num(seed as f64)),
+                    ("csv", Json::Bool(args.flag("csv"))),
+                ]);
+                let mut client = svserve::Client::connect(addr)
+                    .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                let result = client.call("evaluate", params).map_err(|e| e.to_string())?;
+                if args.flag("csv") {
+                    print!("{}", result.get("csv").and_then(Json::as_str).unwrap_or(""));
+                } else {
+                    print!("{}", result.get("text").and_then(Json::as_str).unwrap_or(""));
+                    println!("{}", result.get("chart").and_then(Json::as_str).unwrap_or(""));
+                }
+                return Ok(());
+            }
+            // Local: gate + score offline against the recompiled corpus
+            // baseline (a DB path, if given, is only validated).
+            if let Some(path) = args.positional.first() {
+                load_db(path)?;
+            }
+            let trace = TraceOut::begin(&args);
+            let board = svport::evaluate(app, candidates, seed).map_err(|e| e.to_string())?;
+            trace.finish()?;
+            if args.flag("csv") {
+                print!("{}", board.to_csv());
+            } else {
+                print!("{}", board.render());
+                println!("{}", board.nav_chart().render());
+            }
             Ok(())
         }
         "cascade" => {

@@ -11,18 +11,33 @@
 use crate::db::CodebaseDb;
 use crate::pipeline::{self, measured_entries};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use svcluster::{cluster_rows, Heatmap};
 use svcorpus::App;
 use svdist::DistanceMatrix;
 use svmetrics::{divergence, Measured, Metric, Variant};
+use svperf::phi_all;
+use svport::{GateClass, Leaderboard, ScoredCandidate};
 use svserve::cached::{self, FpArtifact};
 use svserve::svjson::Json;
-use svserve::{Router, ServeError, TedCache};
+use svserve::{FanoutCtx, Router, ServeError, TedCache};
 
 /// Default cache budget: 64 MiB of pair entries.
 pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
+/// Memoised gate outcome of one candidate source (keyed by its source
+/// fingerprint).  Divergences are deliberately *not* memoised here: TBMD
+/// always routes through the TED cache, so repeated evaluations surface
+/// as observable `cache.hits` while still skipping the expensive
+/// compile + interpret work.
+struct CandOutcome {
+    class: GateClass,
+    detail: String,
+    /// Comparison artefacts of the built candidate (`None` on build-fail).
+    sem: Option<FpArtifact>,
+    src: Option<FpArtifact>,
+}
 
 /// Shared state behind every handler.
 pub struct AnalysisService {
@@ -31,6 +46,15 @@ pub struct AnalysisService {
     /// Pairwise distances actually computed (cache misses that ran a TED
     /// or line edit distance) — the "no recompute" observable.
     pair_computes: AtomicU64,
+    /// Gate outcomes per candidate source fingerprint.
+    cand_memo: Mutex<HashMap<u64, Arc<CandOutcome>>>,
+    /// Serial baseline runs per app (the gate's comparison oracle — the
+    /// corpus is deterministic, so one run per app serves every request).
+    baseline_memo: Mutex<HashMap<String, Arc<svport::BaselineRun>>>,
+    /// Candidate gate requests answered from the memo.
+    cand_memo_hits: AtomicU64,
+    /// Candidate sources actually compiled + interpreted.
+    cand_builds: AtomicU64,
 }
 
 /// Lock the DB registry tolerating poisoning: handler panics are isolated
@@ -93,6 +117,10 @@ impl AnalysisService {
             dbs: Mutex::new(HashMap::new()),
             cache: TedCache::new(cache_bytes),
             pair_computes: AtomicU64::new(0),
+            cand_memo: Mutex::new(HashMap::new()),
+            baseline_memo: Mutex::new(HashMap::new()),
+            cand_memo_hits: AtomicU64::new(0),
+            cand_builds: AtomicU64::new(0),
         })
     }
 
@@ -208,6 +236,8 @@ impl AnalysisService {
         let svc = Arc::clone(self);
         router.register("chart", move |p| svc.handle_chart(p));
         let svc = Arc::clone(self);
+        router.register_fanout("evaluate", move |p, ctx| svc.handle_evaluate(p, ctx));
+        let svc = Arc::clone(self);
         router.stats_provider(move || svc.stats_json());
         let svc = Arc::clone(self);
         router.metrics_provider(move || svc.metrics_snapshot());
@@ -219,6 +249,8 @@ impl AnalysisService {
         let mut snap = self.cache.registry().snapshot();
         snap.push_counter("service.pair_computes", self.pair_computes());
         snap.push_counter("service.databases", lock_dbs(&self.dbs).len() as u64);
+        snap.push_counter("service.cand_memo_hits", self.cand_memo_hits.load(Ordering::Relaxed));
+        snap.push_counter("service.cand_builds", self.cand_builds.load(Ordering::Relaxed));
         snap
     }
 
@@ -337,6 +369,265 @@ impl AnalysisService {
             .map_err(|e| ServeError::internal(e.to_string()))?;
         Ok(Json::obj([("text", Json::str(chart.render()))]))
     }
+
+    /// The serial baseline run of `app`, computed once and memoised (the
+    /// corpus is deterministic, so its checksum never changes).
+    fn app_baseline(&self, app: App) -> Result<Arc<svport::BaselineRun>, ServeError> {
+        if let Some(hit) = lock_baseline_memo(&self.baseline_memo).get(app.name()).cloned() {
+            return Ok(hit);
+        }
+        let b = Arc::new(
+            svport::baseline_run(app)
+                .map_err(|e| ServeError::internal(format!("baseline run failed: {e}")))?,
+        );
+        lock_baseline_memo(&self.baseline_memo).insert(app.name().to_string(), Arc::clone(&b));
+        Ok(b)
+    }
+
+    /// Gate one candidate source, serving repeats from the memo; returns
+    /// the outcome with the built candidate's comparison artefacts.
+    fn gate_memoised(
+        &self,
+        app: App,
+        model: svcorpus::Model,
+        fp: u64,
+        source: &str,
+        baseline: &svport::BaselineRun,
+    ) -> Arc<CandOutcome> {
+        if let Some(hit) = lock_cand_memo(&self.cand_memo).get(&fp).cloned() {
+            self.cand_memo_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.cand_builds.fetch_add(1, Ordering::Relaxed);
+        let cand = svport::Candidate {
+            id: 0,
+            model,
+            label: String::new(),
+            source: source.to_string(),
+            edits: Vec::new(),
+        };
+        let g = svport::gate(app, &cand, baseline);
+        let (sem, src) = match g.unit.as_ref() {
+            Some(u) => {
+                let m = Measured::new(u);
+                (
+                    Some(FpArtifact::of(&m, Metric::TSem, Variant::PLAIN)),
+                    Some(FpArtifact::of(&m, Metric::TSrc, Variant::PLAIN)),
+                )
+            }
+            None => (None, None),
+        };
+        let outcome = Arc::new(CandOutcome { class: g.class, detail: g.detail, sem, src });
+        lock_cand_memo(&self.cand_memo).insert(fp, Arc::clone(&outcome));
+        outcome
+    }
+
+    /// The `evaluate` fan-out handler: generate a seeded population of
+    /// port candidates, gate + score each as its own pool job, and return
+    /// the ranked leaderboard.
+    ///
+    /// Sub-jobs are keyed by candidate *content* (source fingerprint), so
+    /// racing duplicate candidates collapse through the pool's in-flight
+    /// dedup, and each sub-job routes its TBMD through the TED cache —
+    /// warm re-evaluations skip the compile + interpret work via the
+    /// candidate memo while their divergences surface as cache hits.
+    fn handle_evaluate(
+        self: &Arc<Self>,
+        params: &Json,
+        ctx: &FanoutCtx<'_>,
+    ) -> Result<Json, ServeError> {
+        let db = self.db_param(params)?;
+        let app_name = str_param(params, "app")?;
+        let app = parse_app(&app_name)
+            .ok_or_else(|| ServeError::bad_params(format!("unknown app '{app_name}'")))?;
+        let n = params.get("candidates").and_then(Json::as_f64).unwrap_or(100.0) as usize;
+        if n == 0 || n > 10_000 {
+            return Err(ServeError::bad_params("candidates must be in 1..=10000"));
+        }
+        let seed = params.get("seed").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let base_label = params
+            .get("from")
+            .and_then(Json::as_str)
+            .unwrap_or(svcorpus::Model::Serial.name())
+            .to_string();
+        let base_entry = db.entry(&base_label).ok_or_else(|| {
+            ServeError::not_found(format!("no unit '{base_label}' in the database"))
+        })?;
+        let base_m = Measured::of(&base_entry.artifacts);
+        let bases = Arc::new((
+            FpArtifact::of(&base_m, Metric::TSem, Variant::PLAIN),
+            FpArtifact::of(&base_m, Metric::TSrc, Variant::PLAIN),
+        ));
+
+        let baseline = self.app_baseline(app)?;
+        let cands = svport::generate(app, n, seed);
+        // One pool job per candidate, keyed by content: concurrent
+        // duplicates dedup in flight, sequential ones hit the memo/cache.
+        let results: Mutex<HashMap<u64, Json>> = Mutex::new(HashMap::new());
+        let first_err: Mutex<Option<ServeError>> = Mutex::new(None);
+        let next = AtomicUsize::new(0);
+        let submitters = n.clamp(1, 32);
+        std::thread::scope(|s| {
+            for _ in 0..submitters {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cands.len() || lock_opt(&first_err).is_some() {
+                        break;
+                    }
+                    let c = &cands[i];
+                    let fp = svport::source_fingerprint(&c.source);
+                    let key = format!("evaluate.cand {} {fp:016x}", app.name());
+                    let svc = Arc::clone(self);
+                    let bases = Arc::clone(&bases);
+                    let baseline = Arc::clone(&baseline);
+                    let source = c.source.clone();
+                    let model = c.model;
+                    let r = ctx.run(key, move |_| {
+                        let out = svc.gate_memoised(app, model, fp, &source, &baseline);
+                        let (tbmd_sem, tbmd_src) = match (&out.sem, &out.src) {
+                            (Some(sem), Some(src)) => (
+                                Json::Num(
+                                    cached::divergence_cached_arts(
+                                        &svc.cache,
+                                        Metric::TSem,
+                                        Variant::PLAIN,
+                                        &bases.0,
+                                        sem,
+                                        &svc.pair_computes,
+                                    )
+                                    .normalized(),
+                                ),
+                                Json::Num(
+                                    cached::divergence_cached_arts(
+                                        &svc.cache,
+                                        Metric::TSrc,
+                                        Variant::PLAIN,
+                                        &bases.1,
+                                        src,
+                                        &svc.pair_computes,
+                                    )
+                                    .normalized(),
+                                ),
+                            ),
+                            _ => (Json::Null, Json::Null),
+                        };
+                        Ok(Json::obj([
+                            ("class", Json::str(out.class.name())),
+                            ("detail", Json::str(out.detail.clone())),
+                            ("tbmd_sem", tbmd_sem),
+                            ("tbmd_src", tbmd_src),
+                            ("phi", Json::Num(phi_all(app, model))),
+                        ]))
+                    });
+                    match r {
+                        Ok(j) => {
+                            lock_opt_map(&results).insert(fp, j);
+                        }
+                        Err(e) => {
+                            lock_opt(&first_err).get_or_insert(e);
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = lock_opt(&first_err).take() {
+            return Err(e);
+        }
+
+        let results = lock_opt_map(&results);
+        let mut rows: Vec<ScoredCandidate> = Vec::with_capacity(cands.len());
+        for c in &cands {
+            let fp = svport::source_fingerprint(&c.source);
+            let r =
+                results.get(&fp).ok_or_else(|| ServeError::internal("candidate result missing"))?;
+            let class = r
+                .get("class")
+                .and_then(Json::as_str)
+                .and_then(GateClass::parse)
+                .ok_or_else(|| ServeError::internal("bad candidate class"))?;
+            let tbmd_sem = r.get("tbmd_sem").and_then(Json::as_f64);
+            let tbmd_src = r.get("tbmd_src").and_then(Json::as_f64);
+            let phi = r.get("phi").and_then(Json::as_f64).unwrap_or(0.0);
+            rows.push(ScoredCandidate {
+                id: c.id,
+                label: c.label.clone(),
+                model: c.model,
+                class,
+                detail: r.get("detail").and_then(Json::as_str).unwrap_or("").to_string(),
+                fingerprint: fp,
+                edits: c.edits.clone(),
+                tbmd_sem,
+                tbmd_src,
+                phi,
+                score: svport::score_value(class, phi, tbmd_sem),
+            });
+        }
+        rows.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        let board = Leaderboard { app, seed, rows };
+
+        let counts = Json::Object(
+            board
+                .class_counts()
+                .iter()
+                .map(|(c, k)| (c.name().to_string(), Json::Num(*k as f64)))
+                .collect(),
+        );
+        let rows_json = Json::Array(
+            board
+                .rows
+                .iter()
+                .map(|r| {
+                    Json::obj([
+                        ("label", Json::str(r.label.clone())),
+                        ("model", Json::str(r.model.name())),
+                        ("class", Json::str(r.class.name())),
+                        ("score", Json::Num(r.score)),
+                        ("phi", Json::Num(r.phi)),
+                        ("tbmd_sem", r.tbmd_sem.map(Json::Num).unwrap_or(Json::Null)),
+                        ("tbmd_src", r.tbmd_src.map(Json::Num).unwrap_or(Json::Null)),
+                        ("fingerprint", Json::str(format!("{:016x}", r.fingerprint))),
+                        ("edits", Json::str(r.edits.join("; "))),
+                    ])
+                })
+                .collect(),
+        );
+        let mut reply = vec![
+            ("app".to_string(), Json::str(app.name())),
+            ("seed".to_string(), Json::Num(seed as f64)),
+            ("candidates".to_string(), Json::Num(board.rows.len() as f64)),
+            ("counts".to_string(), counts),
+            ("rows".to_string(), rows_json),
+            ("text".to_string(), Json::str(board.render())),
+            ("chart".to_string(), Json::str(board.nav_chart().render())),
+        ];
+        if bool_param(params, "csv") {
+            reply.push(("csv".to_string(), Json::str(board.to_csv())));
+        }
+        Ok(Json::Object(reply.into_iter().collect()))
+    }
+}
+
+/// Poison-tolerant locks for the evaluate fan-out state (same rationale
+/// as [`lock_dbs`]).
+fn lock_cand_memo(
+    m: &Mutex<HashMap<u64, Arc<CandOutcome>>>,
+) -> MutexGuard<'_, HashMap<u64, Arc<CandOutcome>>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_baseline_memo(
+    m: &Mutex<HashMap<String, Arc<svport::BaselineRun>>>,
+) -> MutexGuard<'_, HashMap<String, Arc<svport::BaselineRun>>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_opt(m: &Mutex<Option<ServeError>>) -> MutexGuard<'_, Option<ServeError>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_opt_map(m: &Mutex<HashMap<u64, Json>>) -> MutexGuard<'_, HashMap<u64, Json>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Serialise a matrix for the wire: numbers survive the JSON round trip

@@ -124,6 +124,10 @@ pub fn app_efficiency(app: App, model: Model, p: &'static Platform) -> f64 {
 
 /// The performance-portability metric Φ over a platform set: harmonic mean
 /// of application efficiencies, 0 if the model is unsupported anywhere.
+///
+/// Total on any input: an empty platform set, an unsupported (or
+/// numerically degenerate) efficiency anywhere in the set, all map to a
+/// defined Φ = 0 rather than a NaN/∞ escaping into downstream scores.
 pub fn phi(app: App, model: Model, platforms: &[&'static Platform]) -> f64 {
     if platforms.is_empty() {
         return 0.0;
@@ -131,12 +135,17 @@ pub fn phi(app: App, model: Model, platforms: &[&'static Platform]) -> f64 {
     let mut denom = 0.0;
     for p in platforms {
         let e = app_efficiency(app, model, p);
-        if e == 0.0 {
+        if !e.is_finite() || e <= 0.0 {
             return 0.0;
         }
         denom += 1.0 / e;
     }
-    platforms.len() as f64 / denom
+    let phi = platforms.len() as f64 / denom;
+    if phi.is_finite() {
+        phi.clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
 }
 
 /// Φ over the full Table III platform set.
@@ -231,5 +240,59 @@ mod tests {
         // Adding MI250X sends CUDA's Φ to zero.
         let mi = platform("MI250X").unwrap();
         assert_eq!(phi(App::TeaLeaf, Model::Cuda, &[h100, mi]), 0.0);
+    }
+
+    #[test]
+    fn phi_on_empty_platform_set_is_defined_zero() {
+        for app in App::ALL {
+            for m in Model::ALL {
+                assert_eq!(phi(app, m, &[]), 0.0, "{app:?}/{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn phi_all_unsupported_is_defined_zero() {
+        // Serial supports no accelerator platform: every efficiency in the
+        // set is 0 and Φ must be the defined 0, never NaN or ±∞.
+        let h100 = platform("H100").unwrap();
+        let mi = platform("MI250X").unwrap();
+        for app in App::ALL {
+            let v = phi(app, Model::Serial, &[h100, mi]);
+            assert_eq!(v, 0.0, "{app:?}");
+        }
+    }
+
+    #[test]
+    fn phi_is_always_finite_and_in_unit_interval() {
+        // Total over the whole campaign grid, on full and partial sets:
+        // downstream scores multiply by Φ and must never see NaN/∞.
+        let refs: Vec<&'static Platform> = PLATFORMS.iter().collect();
+        for app in App::ALL {
+            for m in Model::ALL {
+                for k in 0..=refs.len() {
+                    let v = phi(app, m, &refs[..k]);
+                    assert!(v.is_finite(), "{app:?}/{m:?} on {k} platforms: {v}");
+                    assert!((0.0..=1.0).contains(&v), "{app:?}/{m:?} on {k} platforms: {v}");
+                }
+                assert_eq!(phi_all(app, m), phi(app, m, &refs), "{app:?}/{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn phi_lies_between_worst_and_best_platform_efficiency() {
+        // The harmonic mean is bracketed by the extremes and pulled toward
+        // the weakest platform.
+        let refs: Vec<&'static Platform> = PLATFORMS.iter().collect();
+        for m in [Model::Kokkos, Model::SyclUsm, Model::OmpTarget] {
+            let effs: Vec<f64> = refs.iter().map(|p| app_efficiency(App::TeaLeaf, m, p)).collect();
+            let (min, max) = (
+                effs.iter().copied().fold(f64::INFINITY, f64::min),
+                effs.iter().copied().fold(0.0, f64::max),
+            );
+            let v = phi_all(App::TeaLeaf, m);
+            assert!(v >= min - 1e-12 && v <= max + 1e-12, "{m:?}: {v} not in [{min}, {max}]");
+        }
     }
 }

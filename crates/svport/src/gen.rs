@@ -1,0 +1,441 @@
+//! Seeded port-candidate generator: ParEval-style source mutants.
+//!
+//! Nichols et al. evaluate LLM-written parallel ports by generating many
+//! candidates of the same serial baseline and scoring each one.  No LLM
+//! runs here, so this module *manufactures* the candidate population by
+//! mutating the corpus sources: directive edits (insert / drop / retune
+//! `#pragma omp` — or `!$omp` / `!$acc` in the Fortran dialect), local
+//! renames and dead-store noise for the plausible-but-correct cohort, and
+//! arithmetic flips, bound edits, statement drops and brace deletions for
+//! the wrong-answer / runtime-fail / build-fail cohorts the correctness
+//! gate must catch.
+//!
+//! Generation is **deterministic per `(app, seed)`**: candidate `i` mutates
+//! the model source `Model::ALL[1 + i mod 9]` with an RNG seeded from
+//! `mix(seed, i)`, so a leaderboard can be reproduced from its seed alone.
+//! Some candidates apply zero edits on purpose — textual duplicates are
+//! exactly what exercises the in-flight dedup and TED-cache layers under
+//! real fan-out.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svcorpus::{main_path, source_set, App, Model};
+
+/// Source dialect the mutator is editing — decides directive spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dialect {
+    /// C/C++: `#pragma omp …` / `#pragma acc …` lines.
+    Cxx,
+    /// Fortran: `!$omp …` / `!$acc …` sentinel lines.
+    Fortran,
+}
+
+impl Dialect {
+    /// Line prefixes that mark a directive in this dialect.
+    fn directive_prefixes(self) -> &'static [&'static str] {
+        match self {
+            Dialect::Cxx => &["#pragma omp", "#pragma acc"],
+            Dialect::Fortran => &["!$omp", "!$acc"],
+        }
+    }
+
+    /// The worksharing-loop directive to insert before a loop header.
+    fn parallel_loop_directive(self) -> &'static str {
+        match self {
+            Dialect::Cxx => "#pragma omp parallel for",
+            Dialect::Fortran => "!$omp parallel do",
+        }
+    }
+
+    /// Does `line` open a loop this dialect would workshare?
+    fn is_loop_header(self, line: &str) -> bool {
+        let t = line.trim_start();
+        match self {
+            Dialect::Cxx => t.starts_with("for (") || t.starts_with("for("),
+            Dialect::Fortran => t.starts_with("do ") && t.contains('='),
+        }
+    }
+}
+
+/// One generated port candidate of an app.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Position in the generated population (also the tie-break key).
+    pub id: usize,
+    /// The programming model whose port was mutated.
+    pub model: Model,
+    /// Display label, e.g. `cand-007/omp`.
+    pub label: String,
+    /// The mutated main-file source text.
+    pub source: String,
+    /// Human-readable log of the edits applied (empty = exact duplicate
+    /// of the unmutated port).
+    pub edits: Vec<String>,
+}
+
+/// The nine parallel models (everything but `Serial`) candidates draw
+/// their base port from, round-robin.
+pub fn parallel_models() -> &'static [Model] {
+    &Model::ALL[1..]
+}
+
+/// SplitMix64-style mix of the population seed and a candidate index, so
+/// neighbouring candidates get decorrelated RNG streams.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a content fingerprint of a candidate source — the identity the
+/// service keys its memo and in-flight dedup on.
+pub fn source_fingerprint(source: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in source.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Generate `n` candidates of `app`, deterministically from `seed`.
+pub fn generate(app: App, n: usize, seed: u64) -> Vec<Candidate> {
+    let ss = source_set(app);
+    let models = parallel_models();
+    let bases: Vec<(Model, String)> = models
+        .iter()
+        .map(|&m| {
+            let id = ss.lookup(&main_path(app, m)).expect("model source registered");
+            (m, ss.file(id).text.clone())
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let (model, base) = &bases[i % bases.len()];
+            let mut rng = StdRng::seed_from_u64(mix(seed, i as u64));
+            let (source, edits) = mutate(base, Dialect::Cxx, &mut rng);
+            Candidate {
+                id: i,
+                model: *model,
+                label: format!("cand-{i:03}/{}", model.stem()),
+                source,
+                edits,
+            }
+        })
+        .collect()
+}
+
+/// Apply 0–3 random mutation operators to `source` and return the mutated
+/// text plus an edit log.  Zero-edit candidates are intentional: textual
+/// duplicates of the base port exercise dedup and caching downstream.
+pub fn mutate(source: &str, dialect: Dialect, rng: &mut StdRng) -> (String, Vec<String>) {
+    let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+    let mut edits = Vec::new();
+    // ~1 in 6 candidates is an exact duplicate; the rest get 1–3 edits.
+    let count = if rng.gen_range(0u32..6) == 0 { 0 } else { rng.gen_range(1usize..4) };
+    for _ in 0..count {
+        let op = pick_op(rng);
+        if let Some(edit) = apply_op(op, &mut lines, dialect, rng) {
+            edits.push(edit);
+        }
+    }
+    let mut text = lines.join("\n");
+    text.push('\n');
+    (text, edits)
+}
+
+/// The mutation operators, grouped by the gate class they aim at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    // Behaviour-preserving (candidates should stay correct):
+    InsertDirective,
+    DropDirective,
+    TuneDirective,
+    RenameLoopVar,
+    DeadStore,
+    // Semantics-breaking (the gate must catch these):
+    FlipArith,      // wrong answer
+    BumpLowerBound, // wrong answer
+    WidenBound,     // runtime fail (out-of-bounds)
+    DropStatement,  // wrong answer
+    DeleteBrace,    // build fail
+}
+
+/// Weighted operator choice: roughly two thirds behaviour-preserving, one
+/// third semantics-breaking, so every gate class shows up in a population.
+fn pick_op(rng: &mut StdRng) -> Op {
+    const TABLE: &[(Op, u32)] = &[
+        (Op::InsertDirective, 4),
+        (Op::DropDirective, 4),
+        (Op::TuneDirective, 4),
+        (Op::RenameLoopVar, 3),
+        (Op::DeadStore, 3),
+        (Op::FlipArith, 3),
+        (Op::BumpLowerBound, 2),
+        (Op::WidenBound, 2),
+        (Op::DropStatement, 2),
+        (Op::DeleteBrace, 1),
+    ];
+    let total: u32 = TABLE.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for &(op, w) in TABLE {
+        if roll < w {
+            return op;
+        }
+        roll -= w;
+    }
+    unreachable!("weights exhausted")
+}
+
+/// Apply one operator; `None` means no applicable site existed (the op is
+/// recorded as skipped by simply not appearing in the edit log).
+fn apply_op(op: Op, lines: &mut Vec<String>, dialect: Dialect, rng: &mut StdRng) -> Option<String> {
+    match op {
+        Op::InsertDirective => insert_directive(lines, dialect, rng),
+        Op::DropDirective => drop_directive(lines, dialect, rng),
+        Op::TuneDirective => tune_directive(lines, dialect, rng),
+        Op::RenameLoopVar => rename_loop_var(lines, rng),
+        Op::DeadStore => dead_store(lines, rng),
+        Op::FlipArith => flip_arith(lines, rng),
+        Op::BumpLowerBound => bump_lower_bound(lines, rng),
+        Op::WidenBound => widen_bound(lines, rng),
+        Op::DropStatement => drop_statement(lines, rng),
+        Op::DeleteBrace => delete_brace(lines),
+    }
+}
+
+fn is_directive(line: &str, dialect: Dialect) -> bool {
+    let t = line.trim_start();
+    dialect.directive_prefixes().iter().any(|p| t.starts_with(p))
+}
+
+fn indent_of(line: &str) -> String {
+    line.chars().take_while(|c| c.is_whitespace()).collect()
+}
+
+/// Insert a worksharing directive before a loop header that has none.
+fn insert_directive(lines: &mut Vec<String>, dialect: Dialect, rng: &mut StdRng) -> Option<String> {
+    let sites: Vec<usize> = (0..lines.len())
+        .filter(|&i| {
+            dialect.is_loop_header(&lines[i]) && !(i > 0 && is_directive(&lines[i - 1], dialect))
+        })
+        .collect();
+    let &at = pick(&sites, rng)?;
+    let dir = format!("{}{}", indent_of(&lines[at]), dialect.parallel_loop_directive());
+    lines.insert(at, dir);
+    Some(format!("insert directive before line {}", at + 1))
+}
+
+/// Remove one existing directive line.
+fn drop_directive(lines: &mut Vec<String>, dialect: Dialect, rng: &mut StdRng) -> Option<String> {
+    let sites: Vec<usize> =
+        (0..lines.len()).filter(|&i| is_directive(&lines[i], dialect)).collect();
+    let &at = pick(&sites, rng)?;
+    lines.remove(at);
+    Some(format!("drop directive at line {}", at + 1))
+}
+
+/// Append a scheduling clause to one directive line — changes the pragma
+/// subtree (so TBMD moves) while keeping sequential semantics.
+fn tune_directive(lines: &mut [String], dialect: Dialect, rng: &mut StdRng) -> Option<String> {
+    const CLAUSES: &[&str] =
+        &[" schedule(static)", " schedule(dynamic)", " collapse(1)", " nowait"];
+    let sites: Vec<usize> = (0..lines.len())
+        .filter(|&i| {
+            is_directive(&lines[i], dialect)
+                && !CLAUSES.iter().any(|c| lines[i].contains(c.trim_start()))
+        })
+        .collect();
+    let &at = pick(&sites, rng)?;
+    let clause = CLAUSES[rng.gen_range(0..CLAUSES.len())];
+    lines[at].push_str(clause);
+    Some(format!("tune directive at line {} with{clause}", at + 1))
+}
+
+/// Rename the conventional loop index `i` throughout the file (outside
+/// string literals) — a pure spelling change that perturbs `T_src`.
+fn rename_loop_var(lines: &mut [String], rng: &mut StdRng) -> Option<String> {
+    const NAMES: &[&str] = &["idx", "ix", "ii"];
+    let new = NAMES[rng.gen_range(0..NAMES.len())];
+    let mut touched = false;
+    for line in lines.iter_mut() {
+        let renamed = rename_ident(line, "i", new);
+        if renamed != *line {
+            touched = true;
+            *line = renamed;
+        }
+    }
+    touched.then(|| format!("rename loop variable i -> {new}"))
+}
+
+/// Replace whole-word occurrences of `from` with `to`, skipping string
+/// literals (a rename must never edit printf formats).
+fn rename_ident(line: &str, from: &str, to: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    let mut in_str = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '"' && (i == 0 || bytes[i - 1] != b'\\') {
+            in_str = !in_str;
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        if !in_str && (c.is_ascii_alphabetic() || c == '_') {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &line[start..i];
+            out.push_str(if word == from { to } else { word });
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Insert a dead local store right after `int main() {` — harmless noise
+/// that grows every tree a little.
+fn dead_store(lines: &mut Vec<String>, rng: &mut StdRng) -> Option<String> {
+    let at = lines.iter().position(|l| l.contains("int main(") && l.trim_end().ends_with('{'))?;
+    let tag = rng.gen_range(0u32..1000);
+    lines.insert(at + 1, format!("  double sv_dead_{tag} = {}.0;", rng.gen_range(1u32..9)));
+    Some(format!("dead store sv_dead_{tag} in main"))
+}
+
+/// Flip a `+` to `-` in one kernel assignment — a silent numerical bug the
+/// gate must classify as wrong-answer.
+fn flip_arith(lines: &mut [String], rng: &mut StdRng) -> Option<String> {
+    let sites: Vec<usize> = (0..lines.len())
+        .filter(|&i| lines[i].contains("] = ") && lines[i].contains(" + "))
+        .collect();
+    let &at = pick(&sites, rng)?;
+    lines[at] = lines[at].replacen(" + ", " - ", 1);
+    Some(format!("flip + to - at line {}", at + 1))
+}
+
+/// Start one loop at 1 instead of 0 — leaves element 0 stale.
+fn bump_lower_bound(lines: &mut [String], rng: &mut StdRng) -> Option<String> {
+    let sites: Vec<usize> = (0..lines.len())
+        .filter(|&i| lines[i].trim_start().starts_with("for (") && lines[i].contains("= 0;"))
+        .collect();
+    let &at = pick(&sites, rng)?;
+    lines[at] = lines[at].replacen("= 0;", "= 1;", 1);
+    Some(format!("bump lower bound at line {}", at + 1))
+}
+
+/// Run one loop a step past the end (`<` → `<=`) — an out-of-bounds access
+/// the interpreter traps as a runtime failure.
+fn widen_bound(lines: &mut [String], rng: &mut StdRng) -> Option<String> {
+    let sites: Vec<usize> = (0..lines.len())
+        .filter(|&i| lines[i].trim_start().starts_with("for (") && lines[i].contains(" < "))
+        .collect();
+    let &at = pick(&sites, rng)?;
+    lines[at] = lines[at].replacen(" < ", " <= ", 1);
+    Some(format!("widen loop bound at line {}", at + 1))
+}
+
+/// Delete one array-store statement — a dropped kernel body line.
+fn drop_statement(lines: &mut Vec<String>, rng: &mut StdRng) -> Option<String> {
+    let sites: Vec<usize> = (0..lines.len())
+        .filter(|&i| {
+            let t = lines[i].trim();
+            t.ends_with(';') && t.contains("] = ") && !t.starts_with("for")
+        })
+        .collect();
+    let &at = pick(&sites, rng)?;
+    lines.remove(at);
+    Some(format!("drop statement at line {}", at + 1))
+}
+
+/// Remove the final closing brace — an unbalanced file that must fail at
+/// parse, exercising the build-fail class.
+fn delete_brace(lines: &mut Vec<String>) -> Option<String> {
+    let at = lines.iter().rposition(|l| l.trim() == "}")?;
+    lines.remove(at);
+    Some(format!("delete closing brace at line {}", at + 1))
+}
+
+fn pick<'a, T>(sites: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
+    if sites.is_empty() {
+        None
+    } else {
+        Some(&sites[rng.gen_range(0..sites.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(App::BabelStream, 40, 7);
+        let b = generate(App::BabelStream, 40, 7);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.edits, y.edits);
+            assert_eq!(x.label, y.label);
+        }
+        let c = generate(App::BabelStream, 40, 8);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.source != y.source),
+            "different seeds must move the population"
+        );
+    }
+
+    #[test]
+    fn population_contains_duplicates_and_mutants() {
+        let cands = generate(App::BabelStream, 100, 42);
+        let dup = cands.iter().filter(|c| c.edits.is_empty()).count();
+        let edited = cands.iter().filter(|c| !c.edits.is_empty()).count();
+        assert!(dup > 0, "some candidates must duplicate the base port");
+        assert!(edited > 50, "most candidates must carry edits");
+        // Round-robin over the nine parallel models.
+        for (i, c) in cands.iter().enumerate() {
+            assert_eq!(c.model, parallel_models()[i % 9]);
+            assert_eq!(c.id, i);
+        }
+    }
+
+    #[test]
+    fn rename_skips_string_literals() {
+        let line = "  printf(\"i = %d in i\\n\", i + i);";
+        assert_eq!(rename_ident(line, "i", "idx"), "  printf(\"i = %d in i\\n\", idx + idx);");
+        assert_eq!(rename_ident("int init = i;", "i", "ix"), "int init = ix;");
+    }
+
+    #[test]
+    fn fortran_dialect_edits_sentinel_directives() {
+        let src = "subroutine s(a, n)\n!$omp parallel do\ndo i = 1, n\n  a(i) = 0.0\nend do\nend subroutine\n";
+        // Drop must find the !$omp line; insert must target the do-loop.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let edit = drop_directive(&mut lines, Dialect::Fortran, &mut rng).unwrap();
+        assert!(edit.contains("drop directive"));
+        assert!(!lines.iter().any(|l| l.starts_with("!$omp")));
+        let edit = insert_directive(&mut lines, Dialect::Fortran, &mut rng).unwrap();
+        assert!(edit.contains("insert directive"));
+        assert!(lines.iter().any(|l| l.trim_start() == "!$omp parallel do"));
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_sources() {
+        let cands = generate(App::BabelStream, 30, 3);
+        for c in &cands {
+            let again = source_fingerprint(&c.source);
+            assert_eq!(again, source_fingerprint(&c.source));
+        }
+        let a = source_fingerprint(&cands[0].source);
+        let distinct = cands.iter().any(|c| source_fingerprint(&c.source) != a);
+        assert!(distinct);
+    }
+}

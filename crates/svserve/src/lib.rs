@@ -43,7 +43,8 @@ pub use faults::{Fault, FaultPlan};
 pub use proto::{Request, ServeError, MAX_FRAME};
 pub use sched::{JobCtx, JobPool, PoolConfig, PoolStats};
 pub use server::{
-    render_stats, serve, serve_with, snapshot_json, Router, ServeConfig, ServeHandle,
+    render_stats, serve, serve_with, snapshot_json, FanoutCtx, FanoutHandler, Router, ServeConfig,
+    ServeHandle,
 };
 
 #[cfg(test)]

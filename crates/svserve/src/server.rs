@@ -9,7 +9,7 @@
 
 use crate::faults::FaultPlan;
 use crate::proto::{parse_request, response_err, response_ok, FrameRead, FrameReader, ServeError};
-use crate::sched::{JobPool, PoolConfig, DEFAULT_MAX_QUEUE};
+use crate::sched::{JobCtx, JobPool, PoolConfig, DEFAULT_MAX_QUEUE};
 use crate::svjson::Json;
 use std::collections::HashMap;
 use std::io::{self, Write};
@@ -47,10 +47,52 @@ impl Default for ServeConfig {
 /// A registered request handler.
 pub type Handler = Arc<dyn Fn(&Json) -> Result<Json, ServeError> + Send + Sync>;
 
+/// A registered fan-out handler: runs on the connection thread and
+/// submits its own per-item jobs through the [`FanoutCtx`].
+pub type FanoutHandler =
+    Arc<dyn Fn(&Json, &FanoutCtx<'_>) -> Result<Json, ServeError> + Send + Sync>;
+
+/// Pool access for fan-out handlers.
+///
+/// Routed handlers execute *as* pool jobs, so a handler that submitted
+/// sub-jobs and blocked on them from inside the pool could deadlock once
+/// every worker sits in such a handler.  Fan-out handlers instead run
+/// inline on the connection thread and use this context to put each
+/// per-item unit of work on the pool — inheriting the server's deadline,
+/// dedup-by-key, shedding, and panic isolation for every sub-job.
+pub struct FanoutCtx<'a> {
+    pool: &'a JobPool,
+    deadline: Option<Duration>,
+}
+
+impl FanoutCtx<'_> {
+    /// Run one sub-job on the pool, blocking until its result.
+    ///
+    /// `key` is the sub-job's content identity: concurrent submissions
+    /// with equal keys (duplicate candidates, racing requests) execute
+    /// once and share the result.  The server's per-request deadline is
+    /// applied from the moment of submission.
+    pub fn run(
+        &self,
+        key: String,
+        job: impl FnOnce(&JobCtx) -> Result<Json, ServeError> + Send + 'static,
+    ) -> Result<Json, ServeError> {
+        let deadline = self.deadline.map(|d| Instant::now() + d);
+        self.pool.run_with(key, deadline, job)
+    }
+
+    /// The configured per-request deadline (each sub-job gets this much
+    /// time from its own submission).
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+}
+
 /// Method-name → handler table plus an optional application stats source.
 #[derive(Default, Clone)]
 pub struct Router {
     handlers: HashMap<String, Handler>,
+    fanout: HashMap<String, FanoutHandler>,
     app_stats: Option<Arc<dyn Fn() -> Json + Send + Sync>>,
     app_metrics: Option<Arc<dyn Fn() -> MetricsSnapshot + Send + Sync>>,
 }
@@ -69,6 +111,19 @@ impl Router {
         self.handlers.insert(method.into(), Arc::new(f));
     }
 
+    /// Register a fan-out handler under `method` (replacing any previous
+    /// fan-out handler).  Unlike [`register`](Router::register)ed methods,
+    /// which execute as single pool jobs, a fan-out handler runs on the
+    /// connection thread and fans out per-item sub-jobs via [`FanoutCtx`].
+    /// A plain handler under the same name wins the dispatch.
+    pub fn register_fanout(
+        &mut self,
+        method: impl Into<String>,
+        f: impl Fn(&Json, &FanoutCtx<'_>) -> Result<Json, ServeError> + Send + Sync + 'static,
+    ) {
+        self.fanout.insert(method.into(), Arc::new(f));
+    }
+
     /// Provide the application section of the `stats` response (cache
     /// counters, DB registry size, …).
     pub fn stats_provider(&mut self, f: impl Fn() -> Json + Send + Sync + 'static) {
@@ -85,6 +140,7 @@ impl Router {
     /// Registered method names (sorted), for error messages and docs.
     pub fn methods(&self) -> Vec<String> {
         let mut m: Vec<String> = self.handlers.keys().cloned().collect();
+        m.extend(self.fanout.keys().filter(|k| !self.handlers.contains_key(*k)).cloned());
         m.sort();
         m
     }
@@ -190,7 +246,16 @@ impl ServerState {
                 Ok(Json::str("shutting down"))
             }
             _ => match self.router.handlers.get(method) {
-                None => Err(ServeError::unknown_method(method)),
+                None => match self.router.fanout.get(method) {
+                    None => Err(ServeError::unknown_method(method)),
+                    Some(handler) => {
+                        // Fan-out handlers run inline on this connection
+                        // thread; their sub-jobs go through the pool (and
+                        // its dedup/deadline/shedding) via the context.
+                        let ctx = FanoutCtx { pool: &self.pool, deadline: self.deadline };
+                        handler(params, &ctx)
+                    }
+                },
                 Some(handler) => {
                     // Content identity of the job: method + canonical
                     // params (svjson objects serialise with sorted keys).
@@ -582,6 +647,48 @@ mod tests {
         state.pool.begin_drain();
         let draining = state.dispatch("health", &Json::Null).unwrap();
         assert_eq!(draining.get("status").unwrap(), &Json::str("draining"));
+        h.shutdown();
+    }
+
+    #[test]
+    fn fanout_handler_runs_inline_and_dedups_subjobs() {
+        let mut r = Router::new();
+        // Fan 8 sub-jobs with only 4 distinct keys through a 1-worker
+        // pool: must not deadlock (the handler itself holds no worker),
+        // and concurrent duplicates may collapse via in-flight dedup.
+        r.register_fanout("fan", |p, ctx| {
+            let n = p.get("n").and_then(Json::as_f64).unwrap_or(8.0) as usize;
+            let total = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|s| {
+                let total = &total;
+                for i in 0..n {
+                    let ctx: &FanoutCtx<'_> = ctx;
+                    s.spawn(move || {
+                        let r = ctx.run(format!("fan.item {}", i % 4), move |_| {
+                            Ok(Json::Num((i % 4) as f64))
+                        });
+                        if let Ok(Json::Num(v)) = r {
+                            total.fetch_add(v as u64, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            Ok(Json::Num(total.load(Ordering::Relaxed) as f64))
+        });
+        let h = serve("127.0.0.1:0", r, 1).unwrap();
+        let state = Arc::clone(&h.state);
+        let v = state.dispatch("fan", &Json::obj([("n", Json::Num(8.0))])).unwrap();
+        // Every sub-job resolves to its key's value whether executed or
+        // deduped: 2 * (0+1+2+3).
+        assert_eq!(v, Json::Num(12.0));
+        let p = state.pool.stats();
+        assert_eq!(p.submitted, 8);
+        assert_eq!(p.executed + p.deduped, 8);
+        // Fan-out methods are advertised.
+        let methods = state.dispatch("methods", &Json::Null).unwrap();
+        let names: Vec<&str> =
+            methods.as_array().unwrap().iter().filter_map(Json::as_str).collect();
+        assert!(names.contains(&"fan"));
         h.shutdown();
     }
 

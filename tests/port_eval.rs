@@ -1,0 +1,157 @@
+//! Live-server smoke test for the `evaluate` fan-out: a seeded candidate
+//! population is ranked end-to-end through a real TCP server, one pool
+//! job per candidate, with the correctness gate filtering wrong answers,
+//! deterministic output per seed, and warm re-evaluation collapsing into
+//! the candidate memo + TED cache (observable via the `metrics` builtin).
+
+use silvervale::serve::AnalysisService;
+use silvervale::svjson::Json;
+use std::sync::Arc;
+use svserve::{serve, Client, Router, ServeHandle};
+
+fn start_server() -> (ServeHandle, Arc<AnalysisService>) {
+    let service = AnalysisService::new(1 << 22);
+    let mut router = Router::new();
+    service.register_on(&mut router);
+    let handle = serve("127.0.0.1:0", router, 4).expect("bind test server");
+    (handle, service)
+}
+
+fn num(v: Option<&Json>) -> f64 {
+    v.and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+fn counter(client: &mut Client, name: &str) -> f64 {
+    let m = client.call("metrics", Json::Null).unwrap();
+    num(m.get("counters").and_then(|c| c.get(name)))
+}
+
+#[test]
+fn evaluate_ranks_100_candidates_through_a_live_server() {
+    let (handle, _service) = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.call("index", Json::obj([("app", Json::str("babelstream"))])).unwrap();
+
+    let params = Json::obj([
+        ("db", Json::str("babelstream")),
+        ("app", Json::str("babelstream")),
+        ("candidates", Json::Num(100.0)),
+        ("seed", Json::Num(11.0)),
+        ("csv", Json::Bool(true)),
+    ]);
+
+    // Cold evaluation: every unique candidate is compiled, gated, and
+    // scored as its own pool job.
+    let cold = client.call("evaluate", params.clone()).unwrap();
+    assert_eq!(num(cold.get("candidates")), 100.0);
+    let rows = cold.get("rows").and_then(Json::as_array).unwrap();
+    assert_eq!(rows.len(), 100, "one leaderboard row per candidate");
+
+    // The gate produced a mixed population and the ranking respects it:
+    // only correct candidates may score above zero, scores descend.
+    let counts = cold.get("counts").unwrap();
+    let correct = num(counts.get("correct"));
+    let failed = num(counts.get("build-fail"))
+        + num(counts.get("runtime-fail"))
+        + num(counts.get("wrong-answer"));
+    assert!(correct >= 1.0, "population includes correct ports");
+    assert!(failed >= 1.0, "population includes gated-out ports");
+    let mut prev = f64::INFINITY;
+    for row in rows {
+        let score = num(row.get("score"));
+        assert!(score <= prev, "leaderboard must be sorted by score descending");
+        prev = score;
+        if row.get("class").and_then(Json::as_str) != Some("correct") {
+            assert_eq!(score, 0.0, "gated-out candidates must score zero");
+        }
+    }
+
+    // The reply carries every rendering the CLI prints.
+    let text = cold.get("text").and_then(Json::as_str).unwrap().to_string();
+    assert!(text.contains("correct"), "leaderboard text lists gate classes");
+    assert!(cold.get("chart").and_then(Json::as_str).is_some(), "navigation chart attached");
+    let csv = cold.get("csv").and_then(Json::as_str).unwrap();
+    assert_eq!(csv.lines().count(), 101, "csv: header + one line per candidate");
+    assert!(csv.starts_with("rank,candidate,model,class,score"), "csv header");
+
+    let builds_cold = counter(&mut client, "service.cand_builds");
+    assert!(builds_cold >= 1.0, "cold evaluation built candidates");
+    let memo_hits_cold = counter(&mut client, "service.cand_memo_hits");
+
+    // Warm evaluation: identical request, identical leaderboard — but the
+    // candidate memo skips every compile + interpret, and the baseline
+    // divergences come straight out of the TED cache.
+    let warm = client.call("evaluate", params).unwrap();
+    assert_eq!(
+        warm.get("text").and_then(Json::as_str),
+        Some(text.as_str()),
+        "evaluation must be deterministic per seed"
+    );
+    assert_eq!(
+        counter(&mut client, "service.cand_builds"),
+        builds_cold,
+        "warm evaluation must not rebuild any candidate"
+    );
+    assert!(
+        counter(&mut client, "service.cand_memo_hits") > memo_hits_cold,
+        "warm evaluation is served from the candidate memo"
+    );
+    assert!(
+        counter(&mut client, "cache.hits") > 0.0,
+        "duplicate candidates route their TBMD through the TED cache"
+    );
+
+    // The fan-out accounted one pool job per submitted candidate:
+    // executions + in-flight dedups cover all submissions.
+    let stats = handle.stats_json();
+    let pool = stats.get("pool").unwrap();
+    let submitted = num(pool.get("jobs_submitted"));
+    assert!(submitted >= 200.0, "two evaluations fan out 100 sub-jobs each");
+    assert_eq!(
+        num(pool.get("jobs_executed")) + num(pool.get("jobs_deduped")),
+        submitted,
+        "every sub-job either executed or deduped in flight"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn evaluate_rejects_bad_populations_and_unknown_apps() {
+    let (handle, _service) = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.call("index", Json::obj([("app", Json::str("babelstream"))])).unwrap();
+
+    let err = client
+        .call(
+            "evaluate",
+            Json::obj([
+                ("db", Json::str("babelstream")),
+                ("app", Json::str("babelstream")),
+                ("candidates", Json::Num(0.0)),
+            ]),
+        )
+        .unwrap_err();
+    assert_eq!(err.code, "bad_params");
+
+    let err = client
+        .call(
+            "evaluate",
+            Json::obj([("db", Json::str("babelstream")), ("app", Json::str("nosuchapp"))]),
+        )
+        .unwrap_err();
+    assert_eq!(err.code, "bad_params");
+
+    let err = client
+        .call(
+            "evaluate",
+            Json::obj([("db", Json::str("ghost")), ("app", Json::str("babelstream"))]),
+        )
+        .unwrap_err();
+    assert_eq!(err.code, "not_found");
+
+    // The fan-out method is advertised alongside the plain handlers.
+    let methods = client.call("methods", Json::Null).unwrap();
+    let names: Vec<&str> = methods.as_array().unwrap().iter().filter_map(Json::as_str).collect();
+    assert!(names.contains(&"evaluate"), "methods advertises evaluate: {names:?}");
+    handle.shutdown();
+}
