@@ -1,0 +1,132 @@
+//! Distributed-tracing overhead snapshot.
+//!
+//! Measures what the request-scoped tracing machinery costs at each
+//! level and writes `BENCH_trace.json`:
+//!
+//! * the disabled fast path — price of one `span!` site when neither the
+//!   collector nor a request context is armed (one atomic + one
+//!   thread-local load), over a million iterations;
+//! * per-request wall time against a live echo server in three modes:
+//!   flight recorder off, recorder self-sampling (the serving default),
+//!   and a client-traced request carrying a wire context end to end;
+//! * the derived bound on what instrumentation adds to an *untraced*
+//!   request, which must stay under 2% — the gate that keeps tracing
+//!   free when nobody is looking.
+
+use bench::{criterion, save_figure};
+use silvervale::svjson::Json;
+use std::time::Instant;
+use svserve::{serve_with, Client, Router, ServeConfig};
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn echo_router() -> Router {
+    let mut r = Router::new();
+    r.register("echo", |p| Ok(p.clone()));
+    r
+}
+
+/// Median per-request wall time in µs over batched call rounds.
+fn req_us(client: &mut Client, rounds: usize, batch: usize) -> f64 {
+    let mut times: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                client.call("echo", Json::Null).expect("echo");
+            }
+            t.elapsed().as_secs_f64() / batch as f64
+        })
+        .collect();
+    median(&mut times) * 1e6
+}
+
+fn main() {
+    // ── Disabled fast path: the per-site price when tracing is off. ──
+    const SPAN_ITERS: u64 = 1_000_000;
+    let t = Instant::now();
+    for _ in 0..SPAN_ITERS {
+        let _g = svtrace::span!("bench.noop");
+    }
+    let per_span_ns = t.elapsed().as_nanos() as f64 / SPAN_ITERS as f64;
+
+    const ROUNDS: usize = 40;
+    const BATCH: usize = 50;
+
+    // ── Baseline: flight recorder off, nothing sampled. ──
+    let handle = serve_with(
+        "127.0.0.1:0",
+        echo_router(),
+        ServeConfig { workers: 2, flight_recorder: false, ..ServeConfig::default() },
+    )
+    .expect("bind recorder-off server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    req_us(&mut client, 4, BATCH); // warm up
+    let recorder_off_us = req_us(&mut client, ROUNDS, BATCH);
+    handle.shutdown();
+
+    // ── Serving default: the recorder self-samples routed requests. ──
+    let handle = serve_with(
+        "127.0.0.1:0",
+        echo_router(),
+        ServeConfig { workers: 2, ..ServeConfig::default() },
+    )
+    .expect("bind default server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    req_us(&mut client, 4, BATCH);
+    let untraced_us = req_us(&mut client, ROUNDS, BATCH);
+    // Full propagation: wire context + client span + server-side sink.
+    client.set_tracing(true);
+    req_us(&mut client, 4, BATCH);
+    let traced_us = req_us(&mut client, ROUNDS, BATCH);
+    client.set_tracing(false);
+
+    // An untraced echo request crosses two span sites on the server
+    // (`serve.request`, `pool.execute`) and one on the client.
+    let sites_per_request = 3.0;
+    let disabled_overhead_pct = per_span_ns * sites_per_request / (recorder_off_us * 1e3) * 100.0;
+
+    let pct = |a: f64, b: f64| (a - b) / b * 100.0;
+    let doc = Json::obj([
+        ("rounds", Json::Num(ROUNDS as f64)),
+        ("batch", Json::Num(BATCH as f64)),
+        (
+            "request",
+            Json::obj([
+                ("recorder_off_us", Json::Num(recorder_off_us)),
+                ("untraced_us", Json::Num(untraced_us)),
+                ("traced_us", Json::Num(traced_us)),
+                ("self_sample_overhead_pct", Json::Num(pct(untraced_us, recorder_off_us))),
+                ("traced_overhead_pct", Json::Num(pct(traced_us, recorder_off_us))),
+            ]),
+        ),
+        (
+            "disabled_path",
+            Json::obj([
+                ("span_cost_ns", Json::Num(per_span_ns)),
+                ("sites_per_request", Json::Num(sites_per_request)),
+                ("overhead_pct", Json::Num(disabled_overhead_pct)),
+            ]),
+        ),
+    ]);
+    save_figure("BENCH_trace.json", &doc.to_string_compact());
+    assert!(
+        disabled_overhead_pct < 2.0,
+        "tracing-off instrumentation must stay under 2% of a request \
+         ({disabled_overhead_pct:.4}% measured)"
+    );
+
+    let mut c = criterion();
+    c.bench_function("trace/request_untraced", |b| {
+        b.iter(|| client.call("echo", Json::Null).expect("echo"))
+    });
+    c.bench_function("trace/request_traced", |b| {
+        client.set_tracing(true);
+        b.iter(|| client.call("echo", Json::Null).expect("echo"));
+        client.set_tracing(false);
+    });
+    handle.shutdown();
+    c.final_summary();
+}

@@ -39,21 +39,29 @@ USAGE:
   silvervale evaluate  [<DB>] --app <name> [--candidates N] [--seed S] [--csv]
                        [--addr HOST:PORT]
   silvervale serve     [--addr HOST:PORT] [--threads N] [--cache-mb N] [--deadline-ms N]
-                       [--max-queue N] [--trace-out FILE] [DB...]
-  silvervale client    --addr HOST:PORT <method> [PARAMS-JSON]
-  silvervale stats     --addr HOST:PORT [--follow]
+                       [--max-queue N] [--slow-ms N] [--trace-out FILE] [DB...]
+  silvervale client    --addr HOST:PORT <method> [PARAMS-JSON] [--trace-out FILE]
+  silvervale stats     --addr HOST:PORT [--follow] [--interval-ms N]
+  silvervale top       --addr HOST:PORT [--interval-ms N]
+  silvervale slowlog   --addr HOST:PORT [--limit N]
 
   apps:    babelstream | minibude | tealeaf | cloverleaf
   metrics: sloc | lloc | source | t_src | t_sem | t_ir | codediv
 
   --trace-out FILE writes a Chrome trace_event JSON of the run's spans
-  (open in Perfetto / chrome://tracing); `client metrics --addr ...`
-  dumps a live server's metric registries.
+  (open in Perfetto / chrome://tracing).  With `client`, the call is
+  traced end-to-end: the server's spans for the request are fetched via
+  the `trace` method and merged into the file on their own pid lane.
+  `client metrics --addr ...` dumps a live server's metric registries
+  merged with the client's own retry/reconnect counters.
 
   serve answers each request within --deadline-ms (error
-  'deadline_exceeded'; 0 or unset disables the deadline) and sheds load
-  past --max-queue queued jobs (retryable error 'overloaded'); `client
-  health --addr ...` probes liveness."
+  'deadline_exceeded'; 0 or unset disables the deadline), sheds load
+  past --max-queue queued jobs (retryable error 'overloaded'), and
+  tail-samples requests slower than --slow-ms (default 500) into the
+  flight recorder behind `slowlog`; `client health --addr ...` probes
+  liveness.  --interval-ms sets the stats/top refresh period
+  (default 2000, clamped to >= 100)."
     );
     std::process::exit(2);
 }
@@ -87,6 +95,9 @@ impl Args {
                     "max-queue",
                     "candidates",
                     "seed",
+                    "interval-ms",
+                    "slow-ms",
+                    "limit",
                 ];
                 if value_flags.contains(&name) && i + 1 < argv.len() {
                     flags.push((name.to_string(), Some(argv[i + 1].clone())));
@@ -140,6 +151,53 @@ impl TraceOut {
         eprintln!("wrote {} spans to {path} (load in Perfetto or chrome://tracing)", spans.len());
         Ok(())
     }
+}
+
+/// Refresh period for `stats --follow` and `top`: `--interval-ms`,
+/// defaulting to 2000 and clamped to at least 100ms so a typo cannot turn
+/// the poller into a load generator.
+fn interval_of(args: &Args) -> Result<std::time::Duration, String> {
+    let ms = match args.value("interval-ms") {
+        Some(ms) => ms.parse::<u64>().map_err(|_| "--interval-ms needs a number")?.max(100),
+        None => 2000,
+    };
+    Ok(std::time::Duration::from_millis(ms))
+}
+
+/// Arm end-to-end tracing for a remote call when `--trace-out` is given:
+/// local spans are collected and every call carries a trace context the
+/// server samples into its flight recorder.
+fn trace_client_begin(args: &Args, client: &mut svserve::Client) {
+    if args.value("trace-out").is_some() {
+        svtrace::reset_spans();
+        svtrace::set_enabled(true);
+        client.set_tracing(true);
+    }
+}
+
+/// After a traced remote call: fetch the server's spans for the last
+/// trace id via the `trace` method and write one merged Chrome trace
+/// (client spans on pid 1, server spans on pid 2).  A server that has
+/// already evicted the trace — or predates the `trace` method — degrades
+/// to local spans only.
+fn write_merged_trace(path: &str, client: &mut svserve::Client) -> Result<(), String> {
+    svtrace::set_enabled(false);
+    let spans = svtrace::take_spans();
+    let server = client.last_trace_id().and_then(|id| {
+        client.call("trace", Json::obj([("id", Json::str(svserve::id_hex(id)))])).ok()
+    });
+    let n_server = server
+        .as_ref()
+        .and_then(|t| t.get("spans"))
+        .and_then(Json::as_array)
+        .map_or(0, <[Json]>::len);
+    let json = svserve::merged_chrome_trace(&spans, server.as_ref());
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!(
+        "wrote {} local + {n_server} server spans to {path} (load in Perfetto or chrome://tracing)",
+        spans.len()
+    );
+    Ok(())
 }
 
 fn variant_of(args: &Args) -> Variant {
@@ -278,7 +336,11 @@ fn run() -> Result<(), String> {
                 ]);
                 let mut client = svserve::Client::connect(addr)
                     .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                trace_client_begin(&args, &mut client);
                 let result = client.call("evaluate", params).map_err(|e| e.to_string())?;
+                if let Some(path) = args.value("trace-out") {
+                    write_merged_trace(path, &mut client)?;
+                }
                 if args.flag("csv") {
                     print!("{}", result.get("csv").and_then(Json::as_str).unwrap_or(""));
                 } else {
@@ -331,6 +393,14 @@ fn run() -> Result<(), String> {
                 Some(n) => n.parse::<usize>().map_err(|_| "--max-queue needs a number")?,
                 None => svserve::sched::DEFAULT_MAX_QUEUE,
             };
+            // Flight-recorder slow threshold; 0 keeps the 500ms default.
+            let slow_threshold = match args.value("slow-ms") {
+                Some(ms) => {
+                    let ms = ms.parse::<u64>().map_err(|_| "--slow-ms needs a number")?;
+                    (ms > 0).then(|| std::time::Duration::from_millis(ms))
+                }
+                None => None,
+            };
             let service = AnalysisService::new(cache_bytes);
             for path in &args.positional {
                 let db = load_db(path)?;
@@ -341,8 +411,13 @@ fn run() -> Result<(), String> {
             let mut router = svserve::Router::new();
             service.register_on(&mut router);
             let trace = TraceOut::begin(&args);
-            let config =
-                svserve::ServeConfig { workers: threads, max_queue, deadline, faults: None };
+            let config = svserve::ServeConfig {
+                workers: threads,
+                max_queue,
+                deadline,
+                slow_threshold,
+                ..svserve::ServeConfig::default()
+            };
             let handle = svserve::serve_with(addr, router, config)
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
             println!(
@@ -355,10 +430,13 @@ fn run() -> Result<(), String> {
             print!("{}", svserve::render_stats(&stats));
             Ok(())
         }
-        "client" | "stats" => {
+        "client" | "stats" | "top" => {
             let addr = args.value("addr").ok_or("--addr HOST:PORT is required")?;
-            if cmd == "stats" && args.flag("follow") {
-                // Poll the live server every 2s until it goes away (or ^C).
+            if cmd == "top" || (cmd == "stats" && args.flag("follow")) {
+                // Poll the live server every --interval-ms until it goes
+                // away (or ^C): `stats --follow` appends reports, `top`
+                // repaints one dashboard frame in place.
+                let interval = interval_of(&args)?;
                 let mut first = true;
                 loop {
                     let mut client = match svserve::Client::connect(addr) {
@@ -371,9 +449,19 @@ fn run() -> Result<(), String> {
                         Err(_) => break,
                     };
                     first = false;
-                    print!("{}", svserve::render_stats(&stats));
-                    println!();
-                    std::thread::sleep(std::time::Duration::from_secs(2));
+                    if cmd == "top" {
+                        print!(
+                            "\x1b[2J\x1b[Hsilvervale top — {addr} (refresh {}ms)\n\n",
+                            interval.as_millis()
+                        );
+                        print!("{}", svserve::render_top(&stats));
+                        use std::io::Write;
+                        std::io::stdout().flush().ok();
+                    } else {
+                        print!("{}", svserve::render_stats(&stats));
+                        println!();
+                    }
+                    std::thread::sleep(interval);
                 }
                 return Ok(());
             }
@@ -391,7 +479,18 @@ fn run() -> Result<(), String> {
             };
             let mut client = svserve::Client::connect(addr)
                 .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-            let result = client.call(&method, params).map_err(|e| e.to_string())?;
+            trace_client_begin(&args, &mut client);
+            // `metrics` merges the client's own counters into the reply —
+            // one document covering both ends of the connection.
+            let result = if method == "metrics" {
+                client.merged_metrics()
+            } else {
+                client.call(&method, params)
+            }
+            .map_err(|e| e.to_string())?;
+            if args.value("trace-out").is_some() && cmd == "client" {
+                write_merged_trace(args.value("trace-out").unwrap(), &mut client)?;
+            }
             if cmd == "stats" {
                 print!("{}", svserve::render_stats(&result));
             } else {
@@ -401,6 +500,21 @@ fn run() -> Result<(), String> {
                     None => println!("{}", result.to_string_compact()),
                 }
             }
+            Ok(())
+        }
+        "slowlog" => {
+            let addr = args.value("addr").ok_or("--addr HOST:PORT is required")?;
+            let params = match args.value("limit") {
+                Some(n) => {
+                    let n = n.parse::<u64>().map_err(|_| "--limit needs a number")?;
+                    Json::obj([("limit", Json::Num(n as f64))])
+                }
+                None => Json::Null,
+            };
+            let mut client = svserve::Client::connect(addr)
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let reply = client.call("slowlog", params).map_err(|e| e.to_string())?;
+            print!("{}", svserve::render_slowlog(&reply));
             Ok(())
         }
         _ => usage(),

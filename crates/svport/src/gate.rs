@@ -79,6 +79,7 @@ pub fn sum_token(output: &str) -> Option<String> {
 
 /// Compile and run the app's serial baseline once, recording its checksum.
 pub fn baseline_run(app: App) -> Result<BaselineRun, PortError> {
+    let _s = svtrace::span!("port.baseline", app = app.name());
     let u = unit(app, Model::Serial)?;
     let r = run_limited(&u, STEP_LIMIT)?;
     Ok(BaselineRun { sum: sum_token(&r.output) })
@@ -104,6 +105,7 @@ pub fn run_limited(u: &Unit, step_limit: u64) -> Result<RunResult, ExecError> {
 
 /// Gate one candidate against the baseline checksum.
 pub fn gate(app: App, cand: &Candidate, baseline: &BaselineRun) -> Gated {
+    let _s = svtrace::span!("port.gate", model = cand.model.name());
     let u = match compile_candidate(app, cand) {
         Ok(u) => u,
         Err(e) => {

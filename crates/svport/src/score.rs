@@ -178,6 +178,7 @@ pub fn score_population_with(
     base_unit: &svlang::unit::Unit,
     baseline: &BaselineRun,
 ) -> Result<Leaderboard, PortError> {
+    let _s = svtrace::span!("port.score", app = app.name());
     // Gate each unique source once.
     let mut gated: HashMap<u64, Gated> = HashMap::new();
     let mut order: Vec<u64> = Vec::new();

@@ -13,11 +13,13 @@
 //! moment later.
 
 use crate::faults::XorShift;
-use crate::proto::{parse_response, FrameRead, FrameReader, ServeError};
+use crate::proto::{parse_response, trace_json, FrameRead, FrameReader, ServeError};
 use crate::svjson::Json;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
+use svtrace::{ActiveTrace, Counter, Registry, TraceCtx};
 
 /// Backoff schedule for [`Client::call_with_retry`]: delay doubles each
 /// attempt from `base_delay` up to `max_delay`, scaled by a jitter factor
@@ -64,7 +66,14 @@ pub struct Client {
     reader: FrameReader<TcpStream>,
     addr: Option<SocketAddr>,
     next_id: u64,
-    retries: u64,
+    /// Client-side metrics (`client.retries`, `client.reconnects`):
+    /// failures the retry layer papers over must still be observable.
+    registry: Registry,
+    retries: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    /// When on, every call carries a fresh trace context on the wire.
+    tracing: bool,
+    last_trace: Option<TraceCtx>,
 }
 
 impl Client {
@@ -73,7 +82,33 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         let peer = stream.peer_addr().ok();
         let writer = stream.try_clone()?;
-        Ok(Client { writer, reader: FrameReader::new(stream), addr: peer, next_id: 1, retries: 0 })
+        let registry = Registry::new();
+        let retries = registry.counter("client.retries");
+        let reconnects = registry.counter("client.reconnects");
+        Ok(Client {
+            writer,
+            reader: FrameReader::new(stream),
+            addr: peer,
+            next_id: 1,
+            registry,
+            retries,
+            reconnects,
+            tracing: false,
+            last_trace: None,
+        })
+    }
+
+    /// Attach a fresh distributed-trace context to every subsequent call
+    /// (the server samples those requests into its flight recorder and
+    /// serves their spans back via the `trace` method).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Trace id of the most recent traced call, for fetching the server's
+    /// spans via the `trace` method.
+    pub fn last_trace_id(&self) -> Option<u64> {
+        self.last_trace.map(|c| c.trace_id)
     }
 
     /// Call `method` with `params`, blocking for the response.
@@ -85,12 +120,24 @@ impl Client {
     pub fn call(&mut self, method: &str, params: Json) -> Result<Json, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
-        let mut frame = Json::obj([
-            ("id", Json::Num(id as f64)),
-            ("method", Json::str(method)),
-            ("params", params),
-        ])
-        .to_string_compact();
+        let trace = self.tracing.then(TraceCtx::root);
+        // Scope the context and a `client.call` span over send+recv: the
+        // local span carries the same trace id as the server's spans, and
+        // its span id rides on the wire as the request's parent.
+        let _scope = trace.map(|ctx| svtrace::ctx::install(Some(ActiveTrace { ctx, sink: None })));
+        let span = svtrace::span!("client.call", method = method);
+        let mut fields = vec![
+            ("id".to_string(), Json::Num(id as f64)),
+            ("method".to_string(), Json::str(method)),
+            ("params".to_string(), params),
+        ];
+        if let Some(ctx) = trace {
+            self.last_trace = Some(ctx);
+            let wire =
+                TraceCtx { trace_id: ctx.trace_id, parent_span_id: span.span_id(), sampled: true };
+            fields.push(("trace".to_string(), trace_json(&wire)));
+        }
+        let mut frame = Json::Object(fields.into_iter().collect()).to_string_compact();
         frame.push('\n');
         self.send_raw(&frame)?;
         let (rid, result) = self.recv()?;
@@ -128,7 +175,7 @@ impl Client {
                 return Err(err);
             }
             attempt += 1;
-            self.retries += 1;
+            self.retries.inc();
             std::thread::sleep(policy.delay(attempt, &mut rng));
             if transport && self.reconnect().is_err() {
                 return Err(err);
@@ -139,7 +186,34 @@ impl Client {
     /// How many retries [`Client::call_with_retry`] has performed over
     /// the client's lifetime.
     pub fn retries(&self) -> u64 {
-        self.retries
+        self.retries.get()
+    }
+
+    /// How many times the client re-established its connection after a
+    /// transport failure.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.get()
+    }
+
+    /// Snapshot of the client-side registry (`client.retries`,
+    /// `client.reconnects`).
+    pub fn metrics(&self) -> svtrace::MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Call the server's `metrics` builtin and merge this client's own
+    /// counters into the reply's `counters` object — one document
+    /// covering both ends of the connection.
+    pub fn merged_metrics(&mut self) -> Result<Json, ServeError> {
+        let mut v = self.call("metrics", Json::Null)?;
+        if let Json::Object(o) = &mut v {
+            if let Some(Json::Object(counters)) = o.get_mut("counters") {
+                for (name, val) in self.registry.snapshot().counters {
+                    counters.insert(name, Json::Num(val as f64));
+                }
+            }
+        }
+        Ok(v)
     }
 
     /// Re-establish the connection after a transport failure.
@@ -150,6 +224,7 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         self.writer = stream.try_clone()?;
         self.reader = FrameReader::new(stream);
+        self.reconnects.inc();
         Ok(())
     }
 

@@ -36,16 +36,18 @@ pub mod proto;
 pub mod sched;
 pub mod server;
 pub mod svjson;
+pub mod tracewire;
 
 pub use cache::{CacheKey, CacheStats, CachedPair, TedCache};
 pub use client::{Client, RetryPolicy};
 pub use faults::{Fault, FaultPlan};
-pub use proto::{Request, ServeError, MAX_FRAME};
+pub use proto::{id_hex, parse_id_hex, trace_json, Request, ServeError, MAX_FRAME};
 pub use sched::{JobCtx, JobPool, PoolConfig, PoolStats};
 pub use server::{
-    render_stats, serve, serve_with, snapshot_json, FanoutCtx, FanoutHandler, Router, ServeConfig,
-    ServeHandle,
+    render_slowlog, render_stats, render_top, serve, serve_with, snapshot_json, FanoutCtx,
+    FanoutHandler, Router, ServeConfig, ServeHandle,
 };
+pub use tracewire::merged_chrome_trace;
 
 #[cfg(test)]
 mod proptests {

@@ -10,6 +10,7 @@
 
 use crate::svjson::{self, Json};
 use std::io::{self, Read};
+use svtrace::TraceCtx;
 
 /// Maximum frame length in bytes, newline excluded (1 MiB).
 pub const MAX_FRAME: usize = 1 << 20;
@@ -98,6 +99,43 @@ pub struct Request {
     pub id: u64,
     pub method: String,
     pub params: Json,
+    /// Distributed-trace context, when the caller sent one.  Optional on
+    /// the wire (`"trace":{"id":...,"parent":...,"sampled":...}`), so
+    /// clients and servers of mixed vintages interoperate.
+    pub trace: Option<TraceCtx>,
+}
+
+/// Hex-encode a 64-bit trace/span id for the wire.  Ids are strings in
+/// JSON because a u64 does not survive the format's f64 numbers (2^53).
+pub fn id_hex(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+/// Decode a wire id written by [`id_hex`].
+pub fn parse_id_hex(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// Serialise a trace context as its wire object.
+pub fn trace_json(ctx: &TraceCtx) -> Json {
+    Json::obj([
+        ("id", Json::str(id_hex(ctx.trace_id))),
+        ("parent", Json::str(id_hex(ctx.parent_span_id))),
+        ("sampled", Json::Bool(ctx.sampled)),
+    ])
+}
+
+/// Parse a wire trace object.  Lenient by design: a malformed or zero
+/// trace id yields `None` (the request still dispatches, untraced) —
+/// observability must never fail a request.
+pub fn trace_from_json(v: &Json) -> Option<TraceCtx> {
+    let trace_id = v.get("id").and_then(Json::as_str).and_then(parse_id_hex)?;
+    if trace_id == 0 {
+        return None;
+    }
+    let parent_span_id = v.get("parent").and_then(Json::as_str).and_then(parse_id_hex).unwrap_or(0);
+    let sampled = v.get("sampled").and_then(Json::as_bool).unwrap_or(true);
+    Some(TraceCtx { trace_id, parent_span_id, sampled })
 }
 
 /// Parse one frame line into a [`Request`].
@@ -113,7 +151,8 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         .ok_or_else(|| ServeError::parse("request needs a string 'method'"))?
         .to_string();
     let params = v.get("params").cloned().unwrap_or(Json::Null);
-    Ok(Request { id, method, params })
+    let trace = v.get("trace").and_then(trace_from_json);
+    Ok(Request { id, method, params, trace })
 }
 
 /// Serialise a success response frame (trailing newline included).
@@ -321,6 +360,29 @@ mod tests {
         assert_eq!(req.id, 7);
         assert_eq!(req.method, "ping");
         assert_eq!(req.params.get("x").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn trace_context_roundtrips_and_is_optional() {
+        // Old clients: no trace field at all.
+        let req = parse_request(r#"{"id":1,"method":"ping"}"#).unwrap();
+        assert_eq!(req.trace, None);
+        // New clients: hex ids survive the f64-only JSON number space.
+        let ctx = TraceCtx { trace_id: u64::MAX - 3, parent_span_id: 9, sampled: true };
+        let line = format!(
+            r#"{{"id":1,"method":"ping","trace":{}}}"#,
+            trace_json(&ctx).to_string_compact()
+        );
+        assert_eq!(parse_request(&line).unwrap().trace, Some(ctx));
+        // Malformed trace objects degrade to untraced, not to an error.
+        for bad in [
+            r#"{"id":1,"method":"m","trace":{}}"#,
+            r#"{"id":1,"method":"m","trace":{"id":"zz"}}"#,
+            r#"{"id":1,"method":"m","trace":{"id":"0000000000000000"}}"#,
+            r#"{"id":1,"method":"m","trace":7}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap().trace, None, "{bad}");
+        }
     }
 
     #[test]

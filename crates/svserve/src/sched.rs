@@ -200,6 +200,9 @@ struct Job {
     key: String,
     submitted_at: Instant,
     deadline: Option<Instant>,
+    /// Trace context captured on the submitting thread; the worker
+    /// re-installs it so the job's spans chain under the request span.
+    trace: Option<svtrace::ActiveTrace>,
     f: JobFn,
 }
 
@@ -342,6 +345,7 @@ impl JobPool {
                     key: key.clone(),
                     submitted_at,
                     deadline,
+                    trace: svtrace::ctx::capture(),
                     f: Box::new(job),
                 })
                 .err()
@@ -493,7 +497,7 @@ fn worker_loop(index: usize, shared: Arc<Shared>) {
         shared.queued.fetch_sub(1, Ordering::SeqCst);
         let t0 = Instant::now();
         shared.queue_wait_us.record(t0.duration_since(job.submitted_at).as_micros() as u64);
-        let Job { slot, key, deadline, f, .. } = job;
+        let Job { slot, key, deadline, trace, f, .. } = job;
         let mut guard = RespawnGuard {
             shared: Arc::clone(&shared),
             slot: Arc::clone(&slot),
@@ -527,6 +531,7 @@ fn worker_loop(index: usize, shared: Arc<Shared>) {
                         if let Some(p) = &faults {
                             p.fire("pool.execute")?;
                         }
+                        let _trace = svtrace::ctx::install(trace);
                         let _s = svtrace::span!("pool.execute", key = key);
                         f(&ctx)
                     }));

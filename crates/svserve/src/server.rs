@@ -8,16 +8,31 @@
 //! concurrent requests from different connections execute once.
 
 use crate::faults::FaultPlan;
-use crate::proto::{parse_request, response_err, response_ok, FrameRead, FrameReader, ServeError};
+use crate::proto::{
+    id_hex, parse_id_hex, parse_request, response_err, response_ok, FrameRead, FrameReader,
+    ServeError,
+};
 use crate::sched::{JobCtx, JobPool, PoolConfig, DEFAULT_MAX_QUEUE};
 use crate::svjson::Json;
+use crate::tracewire;
 use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use svtrace::{HistogramSnapshot, MetricsSnapshot};
+use svtrace::{
+    ActiveTrace, HistogramSnapshot, MetricsSnapshot, Recorder, RecorderConfig, RollingWindow,
+    TraceCtx,
+};
+
+/// Methods served directly by [`ServerState::dispatch`] rather than by a
+/// registered handler.  Also the set the flight recorder does *not*
+/// self-sample: a `stats --follow` poll every second must not churn the
+/// recent-trace ring (an explicit client trace context is always
+/// honoured, builtin or not).
+const BUILTIN_METHODS: [&str; 8] =
+    ["health", "methods", "metrics", "ping", "shutdown", "slowlog", "stats", "trace"];
 
 /// Server construction knobs: pool sizing plus the robustness layer
 /// (deadline, queue bound, fault injection).  [`serve`] uses the defaults
@@ -36,11 +51,26 @@ pub struct ServeConfig {
     /// Deterministic fault-injection plan shared with the pool (tests
     /// only; production servers leave this `None`).
     pub faults: Option<Arc<FaultPlan>>,
+    /// Completed requests at least this slow are tail-sampled into the
+    /// flight recorder's slowlog.  `None` keeps the recorder default
+    /// (500ms).
+    pub slow_threshold: Option<Duration>,
+    /// Self-sample routed requests into the flight recorder even when
+    /// the client sent no trace context (on by default; explicit client
+    /// contexts are always honoured).
+    pub flight_recorder: bool,
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
-        ServeConfig { workers: 1, max_queue: DEFAULT_MAX_QUEUE, deadline: None, faults: None }
+        ServeConfig {
+            workers: 1,
+            max_queue: DEFAULT_MAX_QUEUE,
+            deadline: None,
+            faults: None,
+            slow_threshold: None,
+            flight_recorder: true,
+        }
     }
 }
 
@@ -63,6 +93,10 @@ pub type FanoutHandler =
 pub struct FanoutCtx<'a> {
     pool: &'a JobPool,
     deadline: Option<Duration>,
+    /// Trace context captured at dispatch: fan-out handlers may submit
+    /// sub-jobs from scoped threads that never inherited the connection
+    /// thread's context, so `run` re-installs it around each submission.
+    trace: Option<ActiveTrace>,
 }
 
 impl FanoutCtx<'_> {
@@ -71,12 +105,15 @@ impl FanoutCtx<'_> {
     /// `key` is the sub-job's content identity: concurrent submissions
     /// with equal keys (duplicate candidates, racing requests) execute
     /// once and share the result.  The server's per-request deadline is
-    /// applied from the moment of submission.
+    /// applied from the moment of submission.  The sub-job runs under the
+    /// request's trace context, so its spans parent under the request
+    /// span wherever the submitting thread came from.
     pub fn run(
         &self,
         key: String,
         job: impl FnOnce(&JobCtx) -> Result<Json, ServeError> + Send + 'static,
     ) -> Result<Json, ServeError> {
+        let _trace = svtrace::ctx::install(self.trace.clone());
         let deadline = self.deadline.map(|d| Instant::now() + d);
         self.pool.run_with(key, deadline, job)
     }
@@ -156,6 +193,13 @@ struct ServerState {
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    /// Per-server flight recorder (tail-sampled span trees).
+    recorder: Arc<Recorder>,
+    /// Self-sample routed requests when the client sent no context.
+    flight_recorder: bool,
+    /// Rolling request-latency window (µs) and error-count window.
+    win_requests: RollingWindow,
+    win_errors: RollingWindow,
 }
 
 impl ServerState {
@@ -188,6 +232,21 @@ impl ServerState {
                 ]),
             ),
         ];
+        let round = |v: f64| (v * 100.0).round() / 100.0;
+        let (w1, w10, w60) =
+            (self.win_requests.stats(1), self.win_requests.stats(10), self.win_requests.stats(60));
+        sections.push((
+            "window".to_string(),
+            Json::obj([
+                ("rate_1s", Json::Num(round(w1.rate_per_sec))),
+                ("rate_10s", Json::Num(round(w10.rate_per_sec))),
+                ("rate_60s", Json::Num(round(w60.rate_per_sec))),
+                ("p50_us", Json::Num(w10.p50 as f64)),
+                ("p90_us", Json::Num(w10.p90 as f64)),
+                ("p99_us", Json::Num(w10.p99 as f64)),
+                ("err_rate_10s", Json::Num(round(self.win_errors.stats(10).rate_per_sec))),
+            ]),
+        ));
         if let Some(f) = &self.router.app_stats {
             sections.push(("app".to_string(), f()));
         }
@@ -230,11 +289,37 @@ impl ServerState {
             }
             "methods" => {
                 let mut m = self.router.methods();
-                for builtin in ["ping", "stats", "metrics", "methods", "health", "shutdown"] {
-                    m.push(builtin.to_string());
-                }
+                m.extend(BUILTIN_METHODS.iter().map(|b| b.to_string()));
                 m.sort();
                 Ok(Json::Array(m.into_iter().map(Json::Str).collect()))
+            }
+            "trace" => {
+                let id = params
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .and_then(parse_id_hex)
+                    .filter(|&v| v != 0)
+                    .ok_or_else(|| ServeError::bad_params("trace needs a hex string 'id'"))?;
+                match self.recorder.lookup(id) {
+                    Some(t) => Ok(tracewire::trace_record_json(&t)),
+                    None => Err(ServeError::not_found(format!("no recorded trace {}", id_hex(id)))),
+                }
+            }
+            "slowlog" => {
+                let limit = params.get("limit").and_then(Json::as_u64).unwrap_or(u64::MAX) as usize;
+                let entries = self.recorder.slowlog();
+                Ok(Json::obj([
+                    (
+                        "slow_threshold_ms",
+                        Json::Num(self.recorder.slow_threshold().as_secs_f64() * 1e3),
+                    ),
+                    (
+                        "entries",
+                        Json::Array(
+                            entries.iter().take(limit).map(tracewire::trace_record_json).collect(),
+                        ),
+                    ),
+                ]))
             }
             "shutdown" => {
                 self.shutdown.store(true, Ordering::SeqCst);
@@ -252,7 +337,11 @@ impl ServerState {
                         // Fan-out handlers run inline on this connection
                         // thread; their sub-jobs go through the pool (and
                         // its dedup/deadline/shedding) via the context.
-                        let ctx = FanoutCtx { pool: &self.pool, deadline: self.deadline };
+                        let ctx = FanoutCtx {
+                            pool: &self.pool,
+                            deadline: self.deadline,
+                            trace: svtrace::ctx::capture(),
+                        };
                         handler(params, &ctx)
                     }
                 },
@@ -359,6 +448,10 @@ pub fn serve_with(
 ) -> io::Result<ServeHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    let mut recorder_cfg = RecorderConfig::default();
+    if let Some(t) = config.slow_threshold {
+        recorder_cfg.slow_threshold = t;
+    }
     let state = Arc::new(ServerState {
         router,
         pool: JobPool::with_config(PoolConfig {
@@ -373,6 +466,10 @@ pub fn serve_with(
         connections: AtomicU64::new(0),
         requests: AtomicU64::new(0),
         errors: AtomicU64::new(0),
+        recorder: Arc::new(Recorder::new(recorder_cfg)),
+        flight_recorder: config.flight_recorder,
+        win_requests: RollingWindow::latency_us(),
+        win_errors: RollingWindow::new(&[1]),
     });
     let accept_state = Arc::clone(&state);
     let accept_thread = std::thread::Builder::new()
@@ -441,12 +538,46 @@ fn serve_connection(stream: TcpStream, state: Arc<ServerState>) {
                     response_err(None, &e)
                 }
                 Ok(req) => {
+                    let t0 = Instant::now();
+                    // An explicit client context wins; routed methods are
+                    // otherwise self-sampled so the flight recorder can
+                    // tail-sample them.
+                    let trace_ctx = req.trace.or_else(|| {
+                        (state.flight_recorder && !BUILTIN_METHODS.contains(&req.method.as_str()))
+                            .then(TraceCtx::root)
+                    });
+                    let sampled = trace_ctx.map_or(0, |c| if c.sampled { c.trace_id } else { 0 });
+                    if sampled != 0 {
+                        state.recorder.begin(sampled);
+                    }
                     // Last line of defence: a panic anywhere in dispatch
                     // (the pool already isolates handler panics) must
                     // produce an error reply, never a dead connection.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        state.dispatch(&req.method, &req.params)
-                    }));
+                    let outcome = {
+                        let _trace = trace_ctx.map(|ctx| {
+                            svtrace::ctx::install(Some(ActiveTrace {
+                                ctx,
+                                sink: (sampled != 0).then(|| Arc::clone(&state.recorder)),
+                            }))
+                        });
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            state.dispatch(&req.method, &req.params)
+                        }))
+                    };
+                    let code = match &outcome {
+                        Ok(Ok(_)) => "ok",
+                        Ok(Err(e)) => e.code,
+                        Err(_) => "panic",
+                    };
+                    state.win_requests.record(t0.elapsed().as_micros() as u64);
+                    if code != "ok" {
+                        state.win_errors.record(1);
+                    }
+                    // Finish before the reply is written: a follow-up
+                    // `trace` request must already find the record.
+                    if sampled != 0 {
+                        state.recorder.finish(sampled, &req.method, code);
+                    }
                     match outcome {
                         Ok(Ok(result)) => response_ok(req.id, result),
                         Ok(Err(e)) => {
@@ -544,6 +675,17 @@ pub fn render_stats(stats: &Json) -> String {
             num(p.get("utilization")) * 100.0,
         ));
     }
+    if let Some(w) = stats.get("window") {
+        s.push_str(&format!(
+            "  window   req/s 1s {:.1} / 10s {:.1} / 60s {:.1}   p50 {}us   p99 {}us   err/s {:.1}\n",
+            num(w.get("rate_1s")),
+            num(w.get("rate_10s")),
+            num(w.get("rate_60s")),
+            num(w.get("p50_us")),
+            num(w.get("p99_us")),
+            num(w.get("err_rate_10s")),
+        ));
+    }
     if let Some(cache) = stats.get("app").and_then(|a| a.get("cache")) {
         let hits = num(cache.get("hits"));
         let misses = num(cache.get("misses"));
@@ -568,6 +710,64 @@ pub fn render_stats(stats: &Json) -> String {
             if names.is_empty() { "(no databases)".to_string() } else { names.join(", ") }
         ));
     }
+    s
+}
+
+/// Render a `slowlog` reply as the table printed by `silvervale slowlog`:
+/// newest flagged request first, with its outcome, duration, and how much
+/// of its span tree the flight recorder retained.
+pub fn render_slowlog(reply: &Json) -> String {
+    let threshold = reply.get("slow_threshold_ms").and_then(Json::as_f64).unwrap_or(0.0);
+    let entries = reply.get("entries").and_then(Json::as_array).unwrap_or(&[]);
+    if entries.is_empty() {
+        return format!("slowlog empty (threshold {threshold:.0}ms)\n");
+    }
+    let mut s = format!(
+        "slowlog — {} flagged request(s), newest first (threshold {threshold:.0}ms)\n",
+        entries.len()
+    );
+    s.push_str("  trace             method            outcome                dur     spans\n");
+    for e in entries {
+        let text = |key: &str| e.get(key).and_then(Json::as_str).unwrap_or("?");
+        let spans = e.get("spans").and_then(Json::as_array).map_or(0, <[Json]>::len);
+        let dropped = e.get("dropped_spans").and_then(Json::as_u64).unwrap_or(0);
+        let dropped = if dropped > 0 { format!(" (+{dropped} dropped)") } else { String::new() };
+        s.push_str(&format!(
+            "  {:<16}  {:<16}  {:<16} {:>9.1}ms {:>6}{}\n",
+            text("trace"),
+            text("method"),
+            text("outcome"),
+            e.get("dur_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            spans,
+            dropped,
+        ));
+    }
+    s
+}
+
+/// Render a stats JSON document as one `silvervale top` frame: the rolling
+/// window rates up front (the part that moves), then the full stats body.
+pub fn render_top(stats: &Json) -> String {
+    fn num(v: Option<&Json>) -> f64 {
+        v.and_then(Json::as_f64).unwrap_or(0.0)
+    }
+    let mut s = String::new();
+    if let Some(w) = stats.get("window") {
+        s.push_str(&format!(
+            "req/s  {:>7.1} (1s) {:>7.1} (10s) {:>7.1} (60s)    err/s {:>5.1}\n",
+            num(w.get("rate_1s")),
+            num(w.get("rate_10s")),
+            num(w.get("rate_60s")),
+            num(w.get("err_rate_10s")),
+        ));
+        s.push_str(&format!(
+            "lat    p50 {:>7}us   p90 {:>7}us   p99 {:>7}us\n\n",
+            num(w.get("p50_us")),
+            num(w.get("p90_us")),
+            num(w.get("p99_us")),
+        ));
+    }
+    s.push_str(&render_stats(stats));
     s
 }
 
@@ -690,6 +890,101 @@ mod tests {
             methods.as_array().unwrap().iter().filter_map(Json::as_str).collect();
         assert!(names.contains(&"fan"));
         h.shutdown();
+    }
+
+    #[test]
+    fn trace_and_slowlog_builtins_are_wired() {
+        let h = serve("127.0.0.1:0", test_router(), 1).unwrap();
+        let state = Arc::clone(&h.state);
+        // Unknown trace id: structured not_found, bad id: bad_params.
+        let params = Json::obj([("id", Json::str(id_hex(0x1234)))]);
+        assert_eq!(state.dispatch("trace", &params).unwrap_err().code, "not_found");
+        assert_eq!(state.dispatch("trace", &Json::Null).unwrap_err().code, "bad_params");
+        let log = state.dispatch("slowlog", &Json::Null).unwrap();
+        assert_eq!(log.get("entries").and_then(Json::as_array).map(<[Json]>::len), Some(0));
+        assert_eq!(log.get("slow_threshold_ms").and_then(Json::as_f64), Some(500.0));
+        // Both are advertised.
+        let methods = state.dispatch("methods", &Json::Null).unwrap();
+        let names: Vec<&str> =
+            methods.as_array().unwrap().iter().filter_map(Json::as_str).collect();
+        assert!(names.contains(&"trace") && names.contains(&"slowlog"), "{names:?}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn stats_include_a_window_section_and_render_adds_a_line() {
+        let h = serve("127.0.0.1:0", test_router(), 1).unwrap();
+        let state = Arc::clone(&h.state);
+        state.win_requests.record(1_500);
+        let stats = state.stats_json();
+        let w = stats.get("window").expect("window section");
+        assert!(w.get("rate_1s").and_then(Json::as_f64).unwrap() >= 1.0);
+        assert!(w.get("p50_us").and_then(Json::as_f64).unwrap() >= 1.0);
+        let text = render_stats(&stats);
+        assert!(text.contains("  window   req/s 1s "), "{text}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn render_slowlog_formats_entries_and_empty_logs() {
+        let empty =
+            Json::obj([("slow_threshold_ms", Json::Num(500.0)), ("entries", Json::Array(vec![]))]);
+        assert_eq!(render_slowlog(&empty), "slowlog empty (threshold 500ms)\n");
+        let reply = Json::obj([
+            ("slow_threshold_ms", Json::Num(250.0)),
+            (
+                "entries",
+                Json::Array(vec![Json::obj([
+                    ("trace", Json::str("00000000000000ab")),
+                    ("method", Json::str("matrix")),
+                    ("outcome", Json::str("deadline_exceeded")),
+                    ("dur_ms", Json::Num(612.375)),
+                    ("dropped_spans", Json::Num(3.0)),
+                    ("spans", Json::Array(vec![Json::Null, Json::Null])),
+                ])]),
+            ),
+        ]);
+        let text = render_slowlog(&reply);
+        assert!(text.starts_with("slowlog — 1 flagged request(s)"), "{text}");
+        assert!(text.contains("threshold 250ms"), "{text}");
+        assert!(text.contains("00000000000000ab"), "{text}");
+        assert!(text.contains("deadline_exceeded"), "{text}");
+        assert!(text.contains("612.4ms"), "{text}");
+        assert!(text.contains("2 (+3 dropped)"), "{text}");
+    }
+
+    #[test]
+    fn render_top_leads_with_the_window_rates() {
+        let stats = Json::obj([
+            (
+                "window",
+                Json::obj([
+                    ("rate_1s", Json::Num(12.0)),
+                    ("rate_10s", Json::Num(8.4)),
+                    ("rate_60s", Json::Num(3.1)),
+                    ("p50_us", Json::Num(840.0)),
+                    ("p90_us", Json::Num(1900.0)),
+                    ("p99_us", Json::Num(4200.0)),
+                    ("err_rate_10s", Json::Num(0.2)),
+                ]),
+            ),
+            (
+                "server",
+                Json::obj([
+                    ("connections", Json::Num(5.0)),
+                    ("requests", Json::Num(1234.0)),
+                    ("errors", Json::Num(2.0)),
+                ]),
+            ),
+        ]);
+        let text = render_top(&stats);
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("req/s"), "{text}");
+        assert!(first.contains("12.0 (1s)"), "{text}");
+        assert!(text.contains("p99    4200us"), "{text}");
+        // The full stats body follows the dashboard header.
+        assert!(text.contains("svserve statistics"), "{text}");
+        assert!(text.contains("requests     1234"), "{text}");
     }
 
     #[test]

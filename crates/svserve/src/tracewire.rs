@@ -1,0 +1,138 @@
+//! Wire encoding of recorded spans, and client-side merging of a
+//! server's spans with local ones into a single Chrome trace.
+//!
+//! The `trace` protocol method replies with a [`TraceRecord`] serialised
+//! by [`trace_record_json`]: span names and details as strings, all
+//! trace/span ids as 16-hex-digit strings (see `proto::id_hex`), and
+//! timestamps in nanoseconds since *that process's* tracing epoch.
+//! Clocks are not synchronised across processes, so a merged trace shows
+//! each process on its own timeline (distinct `pid` lanes) rather than
+//! pretending to a cross-host ordering; the ids in `args` are what tie
+//! the lanes together.
+
+use crate::proto::{id_hex, parse_id_hex};
+use crate::svjson::Json;
+use svtrace::{chrome_trace_events, events_of, SpanRecord, TraceEvent, TraceRecord};
+
+/// Serialise one span for the `trace` / `slowlog` replies.
+pub fn span_json(s: &SpanRecord) -> Json {
+    Json::obj([
+        ("name", Json::str(s.name)),
+        ("detail", Json::str(s.detail.clone())),
+        ("tid", Json::Num(s.tid as f64)),
+        ("depth", Json::Num(s.depth as f64)),
+        ("start_ns", Json::Num(s.start_ns as f64)),
+        ("dur_ns", Json::Num(s.dur_ns() as f64)),
+        ("trace", Json::str(id_hex(s.trace_id))),
+        ("span", Json::str(id_hex(s.span_id))),
+        ("parent", Json::str(id_hex(s.parent_span_id))),
+    ])
+}
+
+/// Serialise a completed flight-recorder trace.
+pub fn trace_record_json(t: &TraceRecord) -> Json {
+    Json::obj([
+        ("trace", Json::str(id_hex(t.trace_id))),
+        ("method", Json::str(t.method.clone())),
+        ("outcome", Json::str(t.outcome.clone())),
+        ("start_ns", Json::Num(t.start_ns as f64)),
+        ("dur_ms", Json::Num(t.dur_ns as f64 / 1e6)),
+        ("dropped_spans", Json::Num(t.dropped_spans as f64)),
+        ("spans", Json::Array(t.spans.iter().map(span_json).collect())),
+    ])
+}
+
+/// Rebuild an exportable event from one wire span, under `pid`.
+pub fn event_from_json(v: &Json, pid: u32) -> Option<TraceEvent> {
+    let hex = |key: &str| v.get(key).and_then(Json::as_str).and_then(parse_id_hex).unwrap_or(0);
+    Some(TraceEvent {
+        name: v.get("name")?.as_str()?.to_string(),
+        detail: v.get("detail").and_then(Json::as_str).unwrap_or("").to_string(),
+        pid,
+        tid: v.get("tid").and_then(Json::as_u64).unwrap_or(0),
+        start_ns: v.get("start_ns").and_then(Json::as_u64).unwrap_or(0),
+        dur_ns: v.get("dur_ns").and_then(Json::as_u64).unwrap_or(0),
+        trace_id: hex("trace"),
+        span_id: hex("span"),
+        parent_span_id: hex("parent"),
+    })
+}
+
+/// All events of a `trace`-method reply, under `pid`.
+pub fn events_from_trace_json(v: &Json, pid: u32) -> Vec<TraceEvent> {
+    v.get("spans")
+        .and_then(Json::as_array)
+        .map(|spans| spans.iter().filter_map(|s| event_from_json(s, pid)).collect())
+        .unwrap_or_default()
+}
+
+/// Merge locally collected spans (pid 1) with a server's `trace` reply
+/// (pid 2) into one Chrome trace file.
+pub fn merged_chrome_trace(local: &[SpanRecord], server_trace: Option<&Json>) -> String {
+    let mut events = events_of(local, 1);
+    if let Some(v) = server_trace {
+        events.extend(events_from_trace_json(v, 2));
+    }
+    chrome_trace_events(&events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> TraceRecord {
+        TraceRecord {
+            trace_id: 0xabc,
+            method: "matrix".into(),
+            outcome: "ok".into(),
+            start_ns: 10,
+            dur_ns: 2_000_000,
+            dropped_spans: 1,
+            spans: vec![SpanRecord {
+                name: "serve.request",
+                detail: "method=matrix".into(),
+                tid: 4,
+                depth: 0,
+                start_ns: 1_000,
+                end_ns: 4_000,
+                trace_id: 0xabc,
+                span_id: 2,
+                parent_span_id: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn span_roundtrips_through_wire_json() {
+        let t = rec();
+        let v = trace_record_json(&t);
+        assert_eq!(v.get("trace").and_then(Json::as_str), Some("0000000000000abc"));
+        assert_eq!(v.get("dur_ms").and_then(Json::as_f64), Some(2.0));
+        let ev = events_from_trace_json(&v, 2);
+        assert_eq!(ev.len(), 1);
+        let e = &ev[0];
+        assert_eq!((e.pid, e.tid, e.start_ns, e.dur_ns), (2, 4, 1_000, 3_000));
+        assert_eq!((e.trace_id, e.span_id, e.parent_span_id), (0xabc, 2, 1));
+        assert_eq!(e.detail, "method=matrix");
+    }
+
+    #[test]
+    fn merged_trace_has_one_lane_per_process() {
+        let local = vec![SpanRecord {
+            name: "client.call",
+            detail: String::new(),
+            tid: 0,
+            depth: 0,
+            start_ns: 500,
+            end_ns: 9_000,
+            trace_id: 0xabc,
+            span_id: 1,
+            parent_span_id: 0,
+        }];
+        let server = trace_record_json(&rec());
+        let j = merged_chrome_trace(&local, Some(&server));
+        assert!(j.contains("\"pid\":1"), "{j}");
+        assert!(j.contains("\"pid\":2"), "{j}");
+        assert!(j.contains("\"trace\":\"0000000000000abc\""));
+    }
+}

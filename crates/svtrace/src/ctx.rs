@@ -1,0 +1,208 @@
+//! Request-scoped trace context: the propagation half of distributed
+//! tracing.
+//!
+//! A [`TraceCtx`] names one logical request — a 64-bit trace id, the span
+//! id of the caller's span (so child spans chain across process and
+//! thread boundaries), and a `sampled` bit.  The context travels on the
+//! wire as an optional request field (`svserve::proto`) and across
+//! threads by value: whoever hands work to another thread calls
+//! [`capture`] and the executing thread re-installs the result with
+//! [`install`].
+//!
+//! Installation is scoped: [`install`] swaps the thread's active context
+//! and returns a guard that restores the previous one on drop, so nested
+//! requests (a handler calling back into the pool) compose.  A context
+//! may carry a *sink* — an [`Arc<Recorder>`] — in which case every span
+//! finished while it is installed is offered to the flight recorder,
+//! whether or not the global span collector is enabled.  That is what
+//! lets a server record full span trees for slow requests without
+//! turning on process-wide tracing.
+//!
+//! The hot-path cost when no context is installed is one thread-local
+//! `Cell` read ([`traced`]), mirroring the global `enabled()` flag's
+//! single relaxed atomic load.
+
+use crate::recorder::Recorder;
+use crate::span;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Wire-level trace context for one request.
+///
+/// `trace_id` is never 0 for a real trace (0 means "no trace");
+/// `parent_span_id` 0 means the next span opened is a root of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Process-independent id shared by every span of the request.
+    pub trace_id: u64,
+    /// Span id of the caller's span (0 = root).
+    pub parent_span_id: u64,
+    /// When false the context propagates but nothing records.
+    pub sampled: bool,
+}
+
+impl TraceCtx {
+    /// A fresh sampled root context with a new trace id.
+    pub fn root() -> TraceCtx {
+        TraceCtx { trace_id: new_trace_id(), parent_span_id: 0, sampled: true }
+    }
+}
+
+/// A [`TraceCtx`] plus the recorder (if any) that wants this request's
+/// spans.  Cloneable so it can be captured into jobs and fan-out batches.
+#[derive(Clone)]
+pub struct ActiveTrace {
+    pub ctx: TraceCtx,
+    /// Flight recorder collecting this trace's spans (servers set this;
+    /// clients usually leave it `None` and rely on the global collector).
+    pub sink: Option<Arc<Recorder>>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+    /// Mirror of the active *sampled* trace id, kept in a plain `Cell` so
+    /// the span fast path never touches the `RefCell`.
+    static TRACED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocate a fresh nonzero trace id: a Weyl-sequence counter mixed
+/// through the splitmix64 finaliser and salted with the monotonic clock,
+/// so ids from different processes don't collide.
+pub fn new_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+    let mut x =
+        NEXT.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed) ^ span::now_ns().rotate_left(32);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    if x == 0 {
+        1
+    } else {
+        x
+    }
+}
+
+/// Scope guard returned by [`install`]; restores the previous context on
+/// drop.
+pub struct CtxGuard {
+    prev: Option<ActiveTrace>,
+    restored: bool,
+}
+
+/// Install `trace` as the thread's active context for the guard's
+/// lifetime (pass `None` to explicitly clear it for a scope).
+#[must_use = "dropping the guard immediately uninstalls the context"]
+pub fn install(trace: Option<ActiveTrace>) -> CtxGuard {
+    let prev = ACTIVE.with(|a| a.replace(trace));
+    sync_mirror();
+    CtxGuard { prev, restored: false }
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        if self.restored {
+            return;
+        }
+        self.restored = true;
+        ACTIVE.with(|a| *a.borrow_mut() = self.prev.take());
+        sync_mirror();
+    }
+}
+
+fn sync_mirror() {
+    let id = ACTIVE.with(|a| {
+        a.borrow().as_ref().map_or(0, |t| if t.ctx.sampled { t.ctx.trace_id } else { 0 })
+    });
+    TRACED.with(|c| c.set(id));
+}
+
+/// True when a *sampled* trace context is installed on this thread.
+#[inline]
+pub fn traced() -> bool {
+    TRACED.with(|c| c.get()) != 0
+}
+
+/// Clone of the thread's active context, if any.
+pub fn active() -> Option<ActiveTrace> {
+    ACTIVE.with(|a| a.borrow().clone())
+}
+
+/// Capture the active context for handoff to another thread, re-parenting
+/// it under the caller's innermost open span so cross-thread spans chain
+/// correctly.  With no context installed but the global collector on,
+/// returns a synthetic unsampled context that carries only the parent
+/// link — local `--trace-out` traces get pool spans parented too.
+pub fn capture() -> Option<ActiveTrace> {
+    let cur = span::current_span_id();
+    match active() {
+        Some(mut t) => {
+            if cur != 0 {
+                t.ctx.parent_span_id = cur;
+            }
+            Some(t)
+        }
+        None if span::enabled() && cur != 0 => Some(ActiveTrace {
+            ctx: TraceCtx { trace_id: 0, parent_span_id: cur, sampled: false },
+            sink: None,
+        }),
+        None => None,
+    }
+}
+
+/// What an opening span needs from the active context:
+/// `(trace_id, fallback_parent_span_id, sink)`.
+pub(crate) fn span_context() -> (u64, u64, Option<Arc<Recorder>>) {
+    ACTIVE.with(|a| match &*a.borrow() {
+        Some(t) if t.ctx.sampled => (t.ctx.trace_id, t.ctx.parent_span_id, t.sink.clone()),
+        Some(t) => (0, t.ctx.parent_span_id, None),
+        None => (0, 0, None),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_nonzero_and_distinct() {
+        let a = new_trace_id();
+        let b = new_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn install_is_scoped_and_restores_previous() {
+        assert!(active().is_none());
+        let outer = ActiveTrace { ctx: TraceCtx::root(), sink: None };
+        let outer_id = outer.ctx.trace_id;
+        let _g = install(Some(outer));
+        assert!(traced());
+        {
+            let inner = ActiveTrace { ctx: TraceCtx::root(), sink: None };
+            let inner_id = inner.ctx.trace_id;
+            let _g2 = install(Some(inner));
+            assert_eq!(active().unwrap().ctx.trace_id, inner_id);
+        }
+        assert_eq!(active().unwrap().ctx.trace_id, outer_id);
+    }
+
+    #[test]
+    fn unsampled_context_does_not_mark_thread_traced() {
+        let ctx = TraceCtx { trace_id: 7, parent_span_id: 0, sampled: false };
+        let _g = install(Some(ActiveTrace { ctx, sink: None }));
+        assert!(!traced());
+        assert_eq!(span_context().0, 0);
+    }
+
+    #[test]
+    fn capture_without_context_or_collector_is_none() {
+        let _g = install(None);
+        crate::set_enabled(false);
+        assert!(capture().is_none());
+    }
+}

@@ -33,24 +33,89 @@ pub fn render_tree(spans: &[SpanRecord]) -> String {
     out
 }
 
+/// One Chrome trace event, decoupled from [`SpanRecord`]: owned strings
+/// (so events can be rebuilt from spans that crossed the wire as JSON)
+/// and an explicit process id, which is what lets client and server
+/// spans of one distributed trace merge into a single file with distinct
+/// process lanes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub name: String,
+    pub detail: String,
+    pub pid: u32,
+    pub tid: u64,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// Distributed-trace linkage (0 = absent), surfaced under `args`.
+    pub trace_id: u64,
+    pub span_id: u64,
+    pub parent_span_id: u64,
+}
+
+/// Convert spans to events under one process id, preserving order.
+pub fn events_of(spans: &[SpanRecord], pid: u32) -> Vec<TraceEvent> {
+    spans
+        .iter()
+        .map(|s| TraceEvent {
+            name: s.name.to_string(),
+            detail: s.detail.clone(),
+            pid,
+            tid: s.tid,
+            start_ns: s.start_ns,
+            dur_ns: s.dur_ns(),
+            trace_id: s.trace_id,
+            span_id: s.span_id,
+            parent_span_id: s.parent_span_id,
+        })
+        .collect()
+}
+
 /// Serialise spans as Chrome `trace_event` JSON (an array of complete
-/// events).  Load the file in `about:tracing` or <https://ui.perfetto.dev>.
+/// events, all under `pid` 1).  Load the file in `about:tracing` or
+/// <https://ui.perfetto.dev>.
 pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    chrome_trace_events(&events_of(spans, 1))
+}
+
+/// Serialise pre-built (possibly multi-process) events as Chrome
+/// `trace_event` JSON.  Events are ordered by `(pid, tid, ts)` so each
+/// thread lane is monotonic regardless of how the inputs were merged;
+/// trace/span ids ride in `args` as 16-hex-digit strings (u64 ids do not
+/// survive JSON's f64 numbers).
+pub fn chrome_trace_events(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.pid, e.tid, e.start_ns, std::cmp::Reverse(e.dur_ns)));
     let mut out = String::from("[");
-    for (i, s) in spans.iter().enumerate() {
+    for (i, e) in sorted.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str("\n{\"name\":");
-        write_json_str(&mut out, s.name);
-        out.push_str(",\"cat\":\"sv\",\"ph\":\"X\",\"pid\":1,\"tid\":");
-        let _ = write!(out, "{}", s.tid);
+        write_json_str(&mut out, &e.name);
+        let _ = write!(out, ",\"cat\":\"sv\",\"ph\":\"X\",\"pid\":{},\"tid\":{}", e.pid, e.tid);
         // Microseconds with nanosecond precision kept as a fraction.
-        let _ = write!(out, ",\"ts\":{}", format_us(s.start_ns));
-        let _ = write!(out, ",\"dur\":{}", format_us(s.dur_ns()));
-        if !s.detail.is_empty() {
-            out.push_str(",\"args\":{\"detail\":");
-            write_json_str(&mut out, &s.detail);
+        let _ = write!(out, ",\"ts\":{}", format_us(e.start_ns));
+        let _ = write!(out, ",\"dur\":{}", format_us(e.dur_ns));
+        if !e.detail.is_empty() || e.span_id != 0 {
+            out.push_str(",\"args\":{");
+            let mut first = true;
+            if !e.detail.is_empty() {
+                out.push_str("\"detail\":");
+                write_json_str(&mut out, &e.detail);
+                first = false;
+            }
+            let id = |key: &str, v: u64, out: &mut String, first: &mut bool| {
+                if v != 0 {
+                    if !*first {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{key}\":\"{v:016x}\"");
+                    *first = false;
+                }
+            };
+            id("trace", e.trace_id, &mut out, &mut first);
+            id("span", e.span_id, &mut out, &mut first);
+            id("parent", e.parent_span_id, &mut out, &mut first);
             out.push('}');
         }
         out.push('}');
@@ -126,32 +191,32 @@ mod tests {
     use super::*;
     use crate::metrics::Registry;
 
+    fn span(
+        name: &'static str,
+        detail: &str,
+        tid: u64,
+        depth: u32,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            name,
+            detail: detail.to_string(),
+            tid,
+            depth,
+            start_ns,
+            end_ns,
+            trace_id: 0,
+            span_id: 0,
+            parent_span_id: 0,
+        }
+    }
+
     fn spans() -> Vec<SpanRecord> {
         vec![
-            SpanRecord {
-                name: "request",
-                detail: String::new(),
-                tid: 0,
-                depth: 0,
-                start_ns: 1_000,
-                end_ns: 9_500,
-            },
-            SpanRecord {
-                name: "ted.compute",
-                detail: "unit=\"a\"".to_string(),
-                tid: 0,
-                depth: 1,
-                start_ns: 2_000,
-                end_ns: 8_000,
-            },
-            SpanRecord {
-                name: "pair",
-                detail: String::new(),
-                tid: 3,
-                depth: 0,
-                start_ns: 1_500,
-                end_ns: 2_500,
-            },
+            span("request", "", 0, 0, 1_000, 9_500),
+            span("ted.compute", "unit=\"a\"", 0, 1, 2_000, 8_000),
+            span("pair", "", 3, 0, 1_500, 2_500),
         ]
     }
 
@@ -180,6 +245,39 @@ mod tests {
     #[test]
     fn chrome_trace_empty_is_valid() {
         assert_eq!(chrome_trace(&[]), "[\n]\n");
+    }
+
+    #[test]
+    fn trace_ids_ride_in_args_as_hex_strings() {
+        let mut s = span("serve.request", "", 0, 0, 1_000, 2_000);
+        s.trace_id = 0xdead_beef;
+        s.span_id = 2;
+        s.parent_span_id = 1;
+        let j = chrome_trace(&[s]);
+        assert!(j.contains("\"trace\":\"00000000deadbeef\""), "{j}");
+        assert!(j.contains("\"span\":\"0000000000000002\""));
+        assert!(j.contains("\"parent\":\"0000000000000001\""));
+    }
+
+    #[test]
+    fn merged_events_keep_distinct_pids_and_sort_per_lane() {
+        let client = events_of(&[span("client.call", "", 0, 0, 5_000, 9_000)], 1);
+        let mut server = events_of(
+            &[
+                span("pool.execute", "", 2, 1, 7_000, 8_000),
+                span("serve.request", "", 2, 0, 6_000, 8_500),
+            ],
+            2,
+        );
+        let mut all = client;
+        all.append(&mut server);
+        let j = chrome_trace_events(&all);
+        assert!(j.contains("\"pid\":1"));
+        assert!(j.contains("\"pid\":2"));
+        // Out-of-order server events were re-sorted within their lane.
+        let req = j.find("serve.request").unwrap();
+        let exec = j.find("pool.execute").unwrap();
+        assert!(req < exec, "{j}");
     }
 
     #[test]

@@ -16,7 +16,15 @@
 //!   [`Registry`] instances (the TED cache, the job pool) or share the
 //!   process-wide [`global()`] one; snapshots merge for export.
 //! * [`export`] — a text span tree, Chrome `trace_event` JSON for
-//!   `about:tracing`/Perfetto, and Prometheus text exposition.
+//!   `about:tracing`/Perfetto (multi-process merges included), and
+//!   Prometheus text exposition.
+//!
+//! Distributed tracing adds three more: [`ctx`] (a request-scoped
+//! [`TraceCtx`] that crosses threads and the `svserve` wire, so spans
+//! chain across processes), [`recorder`] (a bounded flight recorder that
+//! tail-samples full span trees for slow/errored requests), and
+//! [`window`] (fixed-size time-window rings for rolling rates and
+//! latency percentiles).
 //!
 //! Instrumented call sites live in `svlang` (per-stage unit compilation),
 //! `svmetrics`/`svdist` (TED pairs, `dmax` accounting, matrix fan-out),
@@ -24,13 +32,23 @@
 //! `silvervale` CLI surfaces traces via `--trace-out` and live metrics
 //! via the `metrics` protocol request.
 
+pub mod ctx;
 pub mod export;
 pub mod metrics;
+pub mod recorder;
 pub mod span;
+pub mod window;
 
-pub use export::{chrome_trace, prometheus, render_tree};
+pub use ctx::{ActiveTrace, TraceCtx};
+pub use export::{
+    chrome_trace, chrome_trace_events, events_of, prometheus, render_tree, TraceEvent,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
-pub use span::{enabled, now_ns, reset_spans, set_enabled, take_spans, SpanGuard, SpanRecord};
+pub use recorder::{Recorder, RecorderConfig, TraceRecord};
+pub use span::{
+    enabled, now_ns, reset_spans, set_enabled, span_live, take_spans, SpanGuard, SpanRecord,
+};
+pub use window::{RollingWindow, WindowStats};
 
 use std::sync::OnceLock;
 

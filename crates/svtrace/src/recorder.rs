@@ -1,0 +1,307 @@
+//! Flight recorder: bounded per-request span capture with tail-sampling.
+//!
+//! Head-sampling (decide at request start) misses exactly the requests
+//! you care about — the slow and the broken ones.  The recorder instead
+//! buffers every sampled request's spans while it is in flight and
+//! decides *at completion* whether the tree is worth keeping: requests
+//! that were slow (configurable threshold), errored, shed, or blew their
+//! deadline land in the **slowlog**; everything finished recently stays
+//! briefly in a **recent** ring so a client can fetch its own trace via
+//! the `trace` protocol method right after the response.
+//!
+//! Every buffer is bounded — in-flight traces (FIFO eviction), spans per
+//! trace (excess counted, not stored), the recent ring, and the slowlog —
+//! so a recorder on a busy server has a hard memory ceiling.  Spans reach
+//! the recorder through the [`crate::ctx`] sink, not the global
+//! collector, so flight recording works with process-wide tracing off.
+
+use crate::span::{now_ns, SpanRecord};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Sizing and sampling knobs for a [`Recorder`].
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Completed requests at least this slow are kept in the slowlog.
+    pub slow_threshold: Duration,
+    /// Maximum traces buffered while in flight (FIFO eviction beyond).
+    pub active_cap: usize,
+    /// Completed traces kept for `trace`-method retrieval.
+    pub recent_cap: usize,
+    /// Tail-sampled traces kept in the slowlog.
+    pub slowlog_cap: usize,
+    /// Spans stored per trace; the rest are counted as dropped.
+    pub max_spans_per_trace: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> RecorderConfig {
+        RecorderConfig {
+            slow_threshold: Duration::from_millis(500),
+            active_cap: 512,
+            recent_cap: 128,
+            slowlog_cap: 64,
+            max_spans_per_trace: 2048,
+        }
+    }
+}
+
+/// One completed, recorded request: outcome plus its full span tree.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    pub trace_id: u64,
+    /// Protocol method that was dispatched.
+    pub method: String,
+    /// `"ok"` or the protocol error code (`"deadline_exceeded"`, ...).
+    pub outcome: String,
+    /// Start, nanoseconds since the tracing epoch of this process.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    pub spans: Vec<SpanRecord>,
+    /// Spans discarded once `max_spans_per_trace` was reached.
+    pub dropped_spans: u64,
+}
+
+struct ActiveEntry {
+    start_ns: u64,
+    spans: Vec<SpanRecord>,
+    dropped: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    active: HashMap<u64, ActiveEntry>,
+    /// Insertion order of `active`, for FIFO eviction.
+    order: VecDeque<u64>,
+    recent: VecDeque<TraceRecord>,
+    slowlog: VecDeque<TraceRecord>,
+}
+
+/// The flight recorder.  One per server (not process-global): each
+/// `ServerState` owns its recorder and threshold, and tests stay
+/// independent.
+pub struct Recorder {
+    slow_ns: AtomicU64,
+    active_cap: usize,
+    recent_cap: usize,
+    slowlog_cap: usize,
+    max_spans: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Recorder {
+    pub fn new(cfg: RecorderConfig) -> Recorder {
+        Recorder {
+            slow_ns: AtomicU64::new(cfg.slow_threshold.as_nanos() as u64),
+            active_cap: cfg.active_cap.max(1),
+            recent_cap: cfg.recent_cap.max(1),
+            slowlog_cap: cfg.slowlog_cap.max(1),
+            max_spans: cfg.max_spans_per_trace.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Current tail-sampling latency threshold.
+    pub fn slow_threshold(&self) -> Duration {
+        Duration::from_nanos(self.slow_ns.load(Ordering::Relaxed))
+    }
+
+    pub fn set_slow_threshold(&self, d: Duration) {
+        self.slow_ns.store(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Open an in-flight buffer for `trace_id`.  Idempotent; evicts the
+    /// oldest in-flight trace beyond `active_cap`.
+    pub fn begin(&self, trace_id: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        let mut g = self.lock();
+        if g.active.contains_key(&trace_id) {
+            return;
+        }
+        while g.active.len() >= self.active_cap {
+            match g.order.pop_front() {
+                Some(old) => {
+                    g.active.remove(&old);
+                }
+                None => break,
+            }
+        }
+        g.active
+            .insert(trace_id, ActiveEntry { start_ns: now_ns(), spans: Vec::new(), dropped: 0 });
+        g.order.push_back(trace_id);
+    }
+
+    /// Offer a finished span.  Spans for traces that are not in flight
+    /// (already finished, evicted, or never begun) are dropped — that is
+    /// what bounds late sub-job spans after a deadline fires.
+    pub fn record(&self, rec: &SpanRecord) {
+        if rec.trace_id == 0 {
+            return;
+        }
+        let mut g = self.lock();
+        if let Some(e) = g.active.get_mut(&rec.trace_id) {
+            if e.spans.len() < self.max_spans {
+                e.spans.push(rec.clone());
+            } else {
+                e.dropped += 1;
+            }
+        }
+    }
+
+    /// Close the trace: always file it in the recent ring, and
+    /// tail-sample it into the slowlog when slow or not-ok.  Returns
+    /// whether it was flagged.
+    pub fn finish(&self, trace_id: u64, method: &str, outcome: &str) -> bool {
+        let mut g = self.lock();
+        let Some(e) = g.active.remove(&trace_id) else { return false };
+        if let Some(pos) = g.order.iter().position(|&id| id == trace_id) {
+            g.order.remove(pos);
+        }
+        let dur_ns = now_ns().saturating_sub(e.start_ns);
+        let flagged = outcome != "ok" || dur_ns >= self.slow_ns.load(Ordering::Relaxed);
+        let rec = TraceRecord {
+            trace_id,
+            method: method.to_string(),
+            outcome: outcome.to_string(),
+            start_ns: e.start_ns,
+            dur_ns,
+            spans: e.spans,
+            dropped_spans: e.dropped,
+        };
+        if flagged {
+            if g.slowlog.len() >= self.slowlog_cap {
+                g.slowlog.pop_front();
+            }
+            g.slowlog.push_back(rec.clone());
+        }
+        if g.recent.len() >= self.recent_cap {
+            g.recent.pop_front();
+        }
+        g.recent.push_back(rec);
+        flagged
+    }
+
+    /// Fetch a completed trace by id (recent ring first, then slowlog).
+    pub fn lookup(&self, trace_id: u64) -> Option<TraceRecord> {
+        let g = self.lock();
+        g.recent
+            .iter()
+            .rev()
+            .find(|t| t.trace_id == trace_id)
+            .or_else(|| g.slowlog.iter().rev().find(|t| t.trace_id == trace_id))
+            .cloned()
+    }
+
+    /// Tail-sampled traces, newest first.
+    pub fn slowlog(&self) -> Vec<TraceRecord> {
+        self.lock().slowlog.iter().rev().cloned().collect()
+    }
+
+    /// Number of traces currently buffered in flight.
+    pub fn in_flight(&self) -> usize {
+        self.lock().active.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace_id: u64, name: &'static str) -> SpanRecord {
+        SpanRecord {
+            name,
+            detail: String::new(),
+            tid: 0,
+            depth: 0,
+            start_ns: 0,
+            end_ns: 1,
+            trace_id,
+            span_id: 1,
+            parent_span_id: 0,
+        }
+    }
+
+    fn recorder(slow: Duration) -> Recorder {
+        Recorder::new(RecorderConfig { slow_threshold: slow, ..RecorderConfig::default() })
+    }
+
+    #[test]
+    fn fast_ok_request_stays_out_of_slowlog_but_is_retrievable() {
+        let r = recorder(Duration::from_secs(3600));
+        r.begin(7);
+        r.record(&span(7, "serve.request"));
+        assert!(!r.finish(7, "matrix", "ok"));
+        assert!(r.slowlog().is_empty());
+        let tr = r.lookup(7).unwrap();
+        assert_eq!(tr.method, "matrix");
+        assert_eq!(tr.spans.len(), 1);
+    }
+
+    #[test]
+    fn slow_and_errored_requests_are_flagged() {
+        let r = recorder(Duration::ZERO); // everything is "slow"
+        r.begin(1);
+        assert!(r.finish(1, "m", "ok"));
+        let r = recorder(Duration::from_secs(3600));
+        r.begin(2);
+        assert!(r.finish(2, "m", "deadline_exceeded"));
+        assert_eq!(r.slowlog()[0].outcome, "deadline_exceeded");
+    }
+
+    #[test]
+    fn spans_for_unknown_or_finished_traces_are_dropped() {
+        let r = recorder(Duration::ZERO);
+        r.record(&span(9, "late"));
+        r.begin(9);
+        r.finish(9, "m", "ok");
+        r.record(&span(9, "late"));
+        assert!(r.lookup(9).unwrap().spans.is_empty());
+    }
+
+    #[test]
+    fn per_trace_span_cap_counts_drops() {
+        let r = Recorder::new(RecorderConfig {
+            max_spans_per_trace: 2,
+            slow_threshold: Duration::ZERO,
+            ..RecorderConfig::default()
+        });
+        r.begin(3);
+        for _ in 0..5 {
+            r.record(&span(3, "s"));
+        }
+        r.finish(3, "m", "ok");
+        let tr = r.lookup(3).unwrap();
+        assert_eq!(tr.spans.len(), 2);
+        assert_eq!(tr.dropped_spans, 3);
+    }
+
+    #[test]
+    fn active_and_ring_caps_evict_fifo() {
+        let r = Recorder::new(RecorderConfig {
+            active_cap: 2,
+            recent_cap: 2,
+            slowlog_cap: 1,
+            slow_threshold: Duration::ZERO,
+            ..RecorderConfig::default()
+        });
+        r.begin(1);
+        r.begin(2);
+        r.begin(3); // evicts 1
+        assert_eq!(r.in_flight(), 2);
+        assert!(!r.finish(1, "m", "ok"), "evicted trace finishes as untracked");
+        r.finish(2, "m", "ok");
+        r.finish(3, "m", "ok");
+        assert!(r.lookup(2).is_some());
+        // slowlog kept only the newest flagged entry
+        assert_eq!(r.slowlog().len(), 1);
+        assert_eq!(r.slowlog()[0].trace_id, 3);
+    }
+}

@@ -34,6 +34,15 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// True when an opening span would actually record somewhere: either the
+/// global collector is on, or a sampled trace context is installed on
+/// this thread (flight recording).  The `span!` macro gates detail
+/// formatting on this.
+#[inline]
+pub fn span_live() -> bool {
+    enabled() || crate::ctx::traced()
+}
+
 /// Process-wide monotonic epoch: all timestamps are nanoseconds since the
 /// first call.  `Instant` guarantees monotonicity, so a span's end never
 /// precedes its start and sibling spans order consistently.
@@ -62,6 +71,12 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// End, nanoseconds since the tracing epoch (`>= start_ns`).
     pub end_ns: u64,
+    /// Distributed trace this span belongs to (0 = untraced).
+    pub trace_id: u64,
+    /// This span's id, unique within the process (0 = not assigned).
+    pub span_id: u64,
+    /// Parent span id, possibly from another thread or process (0 = root).
+    pub parent_span_id: u64,
 }
 
 impl SpanRecord {
@@ -86,10 +101,25 @@ thread_local! {
         NEXT.fetch_add(1, Ordering::Relaxed)
     };
     static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    /// Innermost open span on this thread (0 = none); children parent
+    /// under it, and [`crate::ctx::capture`] reads it for cross-thread
+    /// handoff.
+    static CUR_SPAN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Span id of the innermost open span on this thread (0 = none).
+pub(crate) fn current_span_id() -> u64 {
+    CUR_SPAN.with(|c| c.get())
+}
+
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// RAII guard for one span: created by [`crate::span!`], records on drop.
 /// When tracing is disabled the guard is inert and costs nothing.
+#[must_use = "an unbound span guard drops immediately and records a zero-length span"]
 pub struct SpanGuard {
     active: Option<ActiveSpan>,
 }
@@ -100,22 +130,49 @@ struct ActiveSpan {
     tid: u64,
     depth: u32,
     start_ns: u64,
+    trace_id: u64,
+    span_id: u64,
+    parent_span_id: u64,
+    prev_span: u64,
+    sink: Option<std::sync::Arc<crate::recorder::Recorder>>,
 }
 
 impl SpanGuard {
     /// Open a span.  Prefer the [`crate::span!`] macro, which skips
     /// building `detail` entirely when tracing is off.
     pub fn enter(name: &'static str, detail: String) -> SpanGuard {
-        if !enabled() {
+        if !span_live() {
             return SpanGuard { active: None };
         }
+        let (trace_id, ctx_parent, sink) = crate::ctx::span_context();
         let tid = THREAD_ID.with(|t| *t);
         let depth = DEPTH.with(|d| {
             let v = d.get();
             d.set(v + 1);
             v
         });
-        SpanGuard { active: Some(ActiveSpan { name, detail, tid, depth, start_ns: now_ns() }) }
+        let span_id = next_span_id();
+        let prev_span = CUR_SPAN.with(|c| c.replace(span_id));
+        let parent_span_id = if prev_span != 0 { prev_span } else { ctx_parent };
+        SpanGuard {
+            active: Some(ActiveSpan {
+                name,
+                detail,
+                tid,
+                depth,
+                start_ns: now_ns(),
+                trace_id,
+                span_id,
+                parent_span_id,
+                prev_span,
+                sink,
+            }),
+        }
+    }
+
+    /// This span's id (0 when the guard is inert).
+    pub fn span_id(&self) -> u64 {
+        self.active.as_ref().map_or(0, |a| a.span_id)
     }
 }
 
@@ -124,6 +181,7 @@ impl Drop for SpanGuard {
         let Some(a) = self.active.take() else { return };
         let end_ns = now_ns();
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        CUR_SPAN.with(|c| c.set(a.prev_span));
         let rec = SpanRecord {
             name: a.name,
             detail: a.detail,
@@ -131,9 +189,17 @@ impl Drop for SpanGuard {
             depth: a.depth,
             start_ns: a.start_ns,
             end_ns,
+            trace_id: a.trace_id,
+            span_id: a.span_id,
+            parent_span_id: a.parent_span_id,
         };
-        let shard = (a.tid as usize) % SHARDS;
-        collector().shards[shard].lock().unwrap().push(rec);
+        if let Some(sink) = a.sink {
+            sink.record(&rec);
+        }
+        if enabled() {
+            let shard = (a.tid as usize) % SHARDS;
+            collector().shards[shard].lock().unwrap().push(rec);
+        }
     }
 }
 
@@ -172,7 +238,7 @@ macro_rules! span {
     };
     ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {
         $crate::SpanGuard::enter($name, {
-            if $crate::enabled() {
+            if $crate::span_live() {
                 let mut d = String::new();
                 $(
                     if !d.is_empty() { d.push(' '); }
@@ -256,6 +322,47 @@ mod tests {
                 assert!(w[0].start_ns <= w[1].start_ns);
             }
         }
+    }
+
+    #[test]
+    fn spans_carry_trace_ids_and_parent_chain() {
+        let _g = guard();
+        let ctx = crate::ctx::TraceCtx::root();
+        let trace_id = ctx.trace_id;
+        {
+            let _t = crate::ctx::install(Some(crate::ctx::ActiveTrace { ctx, sink: None }));
+            let outer = crate::span!("outer");
+            assert_ne!(outer.span_id(), 0);
+            let _inner = crate::span!("inner");
+        }
+        set_enabled(false);
+        let spans = take_spans();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.trace_id, trace_id);
+        assert_eq!(inner.trace_id, trace_id);
+        assert_eq!(outer.parent_span_id, 0);
+        assert_eq!(inner.parent_span_id, outer.span_id);
+    }
+
+    #[test]
+    fn sampled_trace_records_to_sink_with_collector_off() {
+        let _g = guard();
+        set_enabled(false);
+        let rec = std::sync::Arc::new(crate::Recorder::new(crate::RecorderConfig::default()));
+        let ctx = crate::ctx::TraceCtx::root();
+        rec.begin(ctx.trace_id);
+        {
+            let _t =
+                crate::ctx::install(Some(crate::ctx::ActiveTrace { ctx, sink: Some(rec.clone()) }));
+            let _s = crate::span!("only.sink", k = 1);
+        }
+        rec.finish(ctx.trace_id, "m", "ok");
+        assert!(take_spans().is_empty(), "collector off: global buffer untouched");
+        let tr = rec.lookup(ctx.trace_id).unwrap();
+        assert_eq!(tr.spans.len(), 1);
+        assert_eq!(tr.spans[0].detail, "k=1");
+        assert_eq!(tr.spans[0].trace_id, ctx.trace_id);
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Fixed-size time-window rings: rolling rates and latency percentiles.
+//!
+//! The process-lifetime [`crate::metrics::Histogram`] answers "how has
+//! this server behaved since boot"; a live `top` view needs "how is it
+//! behaving *now*".  A [`RollingWindow`] keeps one slot per wall-clock
+//! second in a fixed ring of [`WINDOW_SLOTS`] slots; each slot is a tiny
+//! histogram (count, sum, max, per-bucket counts over the same bounds as
+//! the lifetime histogram).  Recording stamps the slot with its second
+//! and lazily zeroes slots as the ring laps itself, so there is no
+//! background sweeper thread and memory is constant.
+//!
+//! [`RollingWindow::stats`] merges the slots inside the last N seconds
+//! into rates and p50/p90/p99 with the same quantile rule as
+//! `HistogramSnapshot` (upper bucket bound, clamped to the observed max).
+//! The `_at` variants take an explicit "now" second so tests are
+//! deterministic.
+
+use crate::span::now_ns;
+use std::sync::Mutex;
+
+/// Ring capacity in seconds; windows up to `WINDOW_SLOTS - 1` seconds are
+/// exact.
+pub const WINDOW_SLOTS: usize = 64;
+
+const EMPTY: u64 = u64::MAX;
+
+#[derive(Clone)]
+struct Slot {
+    /// Wall-clock second this slot currently holds (`EMPTY` = unused).
+    sec: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+/// Merged view over the last `window_secs` seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    pub window_secs: u64,
+    pub count: u64,
+    /// `count / window_secs`.
+    pub rate_per_sec: f64,
+    pub sum: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+/// A rolling per-second histogram ring.
+pub struct RollingWindow {
+    /// Inclusive upper bucket bounds; one implicit overflow bucket past
+    /// the last.
+    bounds: Vec<u64>,
+    slots: Mutex<Vec<Slot>>,
+}
+
+/// Seconds since the tracing epoch (shared with span timestamps).
+pub fn now_sec() -> u64 {
+    now_ns() / 1_000_000_000
+}
+
+impl RollingWindow {
+    pub fn new(bounds: &[u64]) -> RollingWindow {
+        assert!(!bounds.is_empty() && bounds.windows(2).all(|w| w[0] < w[1]));
+        let slot =
+            Slot { sec: EMPTY, count: 0, sum: 0, max: 0, buckets: vec![0; bounds.len() + 1] };
+        RollingWindow { bounds: bounds.to_vec(), slots: Mutex::new(vec![slot; WINDOW_SLOTS]) }
+    }
+
+    /// A window over the default microsecond latency bounds.
+    pub fn latency_us() -> RollingWindow {
+        RollingWindow::new(&crate::latency_bounds_us())
+    }
+
+    /// Record one sample at the current second.
+    pub fn record(&self, v: u64) {
+        self.record_at(now_sec(), v);
+    }
+
+    /// Record one sample at an explicit second (tests; replayed logs).
+    pub fn record_at(&self, sec: u64, v: u64) {
+        let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        let slot = &mut slots[(sec as usize) % WINDOW_SLOTS];
+        if slot.sec != sec {
+            // The ring lapped: this slot's data is > WINDOW_SLOTS seconds
+            // old. Reclaim it for the new second.
+            slot.sec = sec;
+            slot.count = 0;
+            slot.sum = 0;
+            slot.max = 0;
+            slot.buckets.iter_mut().for_each(|b| *b = 0);
+        }
+        slot.count += 1;
+        slot.sum = slot.sum.saturating_add(v);
+        slot.max = slot.max.max(v);
+        let idx = self.bounds.partition_point(|&b| b < v);
+        slot.buckets[idx] += 1;
+    }
+
+    /// Stats over the trailing `window_secs` seconds ending now
+    /// (inclusive of the current, partial second).
+    pub fn stats(&self, window_secs: u64) -> WindowStats {
+        self.stats_at(now_sec(), window_secs)
+    }
+
+    /// Deterministic variant: stats over `(now_sec - window_secs, now_sec]`.
+    pub fn stats_at(&self, now_sec: u64, window_secs: u64) -> WindowStats {
+        let window_secs = window_secs.clamp(1, WINDOW_SLOTS as u64 - 1);
+        let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        let mut merged = vec![0u64; self.bounds.len() + 1];
+        for slot in slots.iter() {
+            if slot.sec == EMPTY || slot.sec > now_sec || now_sec - slot.sec >= window_secs {
+                continue;
+            }
+            count += slot.count;
+            sum = sum.saturating_add(slot.sum);
+            max = max.max(slot.max);
+            for (m, b) in merged.iter_mut().zip(&slot.buckets) {
+                *m += b;
+            }
+        }
+        let q = |qv: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((qv * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &n) in merged.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return self.bounds.get(i).copied().unwrap_or(max).min(max);
+                }
+            }
+            max
+        };
+        WindowStats {
+            window_secs,
+            count,
+            rate_per_sec: count as f64 / window_secs as f64,
+            sum,
+            max,
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_respect_the_window_edge() {
+        let w = RollingWindow::new(&[10, 100, 1000]);
+        for sec in 0..20 {
+            w.record_at(sec, 50);
+        }
+        let s1 = w.stats_at(19, 1);
+        assert_eq!(s1.count, 1);
+        assert_eq!(s1.rate_per_sec, 1.0);
+        let s10 = w.stats_at(19, 10);
+        assert_eq!(s10.count, 10);
+        // Second 9 is exactly at the edge: excluded from a 10s window at 19.
+        assert_eq!(w.stats_at(19, 10).sum, 10 * 50);
+    }
+
+    #[test]
+    fn old_slots_are_reclaimed_when_the_ring_laps() {
+        let w = RollingWindow::new(&[10]);
+        w.record_at(1, 5);
+        // Same ring index, WINDOW_SLOTS seconds later.
+        w.record_at(1 + WINDOW_SLOTS as u64, 7);
+        let s = w.stats_at(1 + WINDOW_SLOTS as u64, 1);
+        assert_eq!((s.count, s.sum), (1, 7));
+        // The old second's data is gone entirely.
+        assert_eq!(w.stats_at(2, 1).count, 0);
+    }
+
+    #[test]
+    fn percentiles_match_lifetime_histogram_semantics() {
+        let w = RollingWindow::new(&[10, 100, 1000]);
+        for _ in 0..90 {
+            w.record_at(5, 8);
+        }
+        for _ in 0..10 {
+            w.record_at(5, 900);
+        }
+        let s = w.stats_at(5, 10);
+        assert_eq!(s.p50, 10); // bucket upper bound
+        assert_eq!(s.p99, 900); // clamped to observed max, not bound 1000
+        assert_eq!(s.max, 900);
+    }
+
+    #[test]
+    fn empty_window_is_all_zero() {
+        let w = RollingWindow::latency_us();
+        let s = w.stats_at(100, 10);
+        assert_eq!((s.count, s.p50, s.p99), (0, 0, 0));
+        assert_eq!(s.rate_per_sec, 0.0);
+    }
+
+    #[test]
+    fn future_slots_do_not_count() {
+        let w = RollingWindow::new(&[10]);
+        w.record_at(50, 1);
+        assert_eq!(w.stats_at(40, 10).count, 0);
+    }
+}

@@ -84,3 +84,80 @@ fn traced_compare_run_round_trips_through_svjson() {
     let _ = model_matrix(&db, Metric::TSem, Variant::PLAIN);
     assert!(svtrace::take_spans().is_empty(), "disabled tracing records no spans");
 }
+
+/// Exporter edge cases need no live span collection, so they can run as
+/// their own test functions: they build records and snapshots by hand.
+#[test]
+fn two_process_merge_keeps_pids_apart_and_timestamps_monotonic() {
+    let span = |pid: u32, tid: u64, start: u64, end: u64, name: &'static str| svtrace::TraceEvent {
+        name: name.to_string(),
+        detail: String::new(),
+        pid,
+        tid,
+        start_ns: start,
+        dur_ns: end - start,
+        trace_id: 0xfeed,
+        span_id: start, // unique enough for the exporter
+        parent_span_id: 0,
+    };
+    // Two processes with overlapping thread ids and deliberately
+    // shuffled event order; client clock far ahead of server clock.
+    let events = vec![
+        span(2, 1, 50, 90, "serve.request"),
+        span(1, 1, 9_000_000, 9_000_900, "client.call"),
+        span(2, 1, 60, 70, "pool.execute"),
+        span(2, 2, 10, 20, "pool.execute"),
+        span(1, 1, 8_000_000, 9_500_000, "session"),
+    ];
+    let merged = svtrace::chrome_trace_events(&events);
+    let parsed = svjson::parse(&merged).expect("merged trace parses");
+    let evs = parsed.as_array().unwrap();
+    assert_eq!(evs.len(), events.len());
+
+    // Both pid lanes survive, and within each (pid, tid) lane the
+    // timestamps are monotone even though the input was shuffled and the
+    // two processes' clocks are wildly different.
+    let mut pids = std::collections::BTreeSet::new();
+    let mut last: std::collections::HashMap<(u64, u64), f64> = std::collections::HashMap::new();
+    for ev in evs {
+        let pid = ev.get("pid").and_then(Json::as_f64).expect("pid") as u64;
+        let tid = ev.get("tid").and_then(Json::as_f64).expect("tid") as u64;
+        let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
+        pids.insert(pid);
+        let prev = last.insert((pid, tid), ts).unwrap_or(f64::MIN);
+        assert!(ts >= prev, "lane ({pid},{tid}) monotonic: {prev} -> {ts}");
+    }
+    assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    // Same-thread events of different processes never collapse into one
+    // lane: pid 1 / tid 1 and pid 2 / tid 1 both recorded above.
+    assert!(last.contains_key(&(1, 1)) && last.contains_key(&(2, 1)));
+}
+
+#[test]
+fn prometheus_histogram_buckets_are_cumulative_up_to_inf() {
+    let reg = svtrace::Registry::new();
+    let h = reg.histogram("req_latency.us", &[10, 100, 1000]);
+    for v in [5, 5, 50, 500, 5_000, 50_000] {
+        h.record(v);
+    }
+    let text = svtrace::prometheus(&reg.snapshot());
+
+    // Cumulative `le` buckets: each bound counts everything at or below
+    // it, and `+Inf` equals `_count` exactly.
+    assert!(text.contains("req_latency_us_bucket{le=\"10\"} 2"), "{text}");
+    assert!(text.contains("req_latency_us_bucket{le=\"100\"} 3"), "{text}");
+    assert!(text.contains("req_latency_us_bucket{le=\"1000\"} 4"), "{text}");
+    assert!(text.contains("req_latency_us_bucket{le=\"+Inf\"} 6"), "{text}");
+    assert!(text.contains("req_latency_us_count 6"), "{text}");
+    let sum: u64 = [5u64, 5, 50, 500, 5_000, 50_000].iter().sum();
+    assert!(text.contains(&format!("req_latency_us_sum {sum}")), "{text}");
+    // Bucket counts never decrease as the bound grows (cumulativity is
+    // what Prometheus quantile math relies on).
+    let counts: Vec<u64> = text
+        .lines()
+        .filter(|l| l.starts_with("req_latency_us_bucket"))
+        .filter_map(|l| l.rsplit(' ').next()?.parse().ok())
+        .collect();
+    assert_eq!(counts.len(), 4);
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+}
