@@ -30,7 +30,8 @@ pub use compdb::{parse_compile_commands, write_compile_commands, CompileCommand}
 pub use db::{CodebaseDb, DbEntry};
 pub use pipeline::{
     divergence_from, index_app, index_app_seq, index_compilation_db, index_compilation_db_seq,
-    index_fortran, inventory, model_dendrogram, model_matrix, navigation_chart,
+    index_fortran, inventory, model_dendrogram, model_matrix, model_matrix_approx,
+    navigation_chart,
 };
 pub use serve::AnalysisService;
 

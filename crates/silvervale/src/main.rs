@@ -14,8 +14,8 @@
 use silvervale::serve::{parse_app, parse_metric, AnalysisService, DEFAULT_CACHE_BYTES};
 use silvervale::svjson::Json;
 use silvervale::{
-    divergence_from, index_app, index_compilation_db, index_fortran, inventory, model_dendrogram,
-    model_matrix, navigation_chart, parse_compile_commands, CodebaseDb,
+    divergence_from, index_app, index_compilation_db, index_fortran, inventory, model_matrix,
+    model_matrix_approx, navigation_chart, parse_compile_commands, CodebaseDb,
 };
 use std::process::ExitCode;
 use svcluster::Heatmap;
@@ -32,8 +32,8 @@ USAGE:
   silvervale index     --compile-db FILE --src-dir DIR [-o FILE]
   silvervale inventory <DB>
   silvervale compare   <DB> [--metric M] [--pp] [--cov] [--inline] [--from LABEL] [--trace-out FILE]
-  silvervale matrix    <DB> [--metric M] [--pp] [--cov] [--inline] [--csv] [--trace-out FILE]
-  silvervale cluster   <DB> [--metric M] [--pp] [--cov] [--inline] [--trace-out FILE]
+  silvervale matrix    <DB> [--metric M] [--pp] [--cov] [--inline] [--approx] [--csv] [--trace-out FILE]
+  silvervale cluster   <DB> [--metric M] [--pp] [--cov] [--inline] [--approx] [--trace-out FILE]
   silvervale chart     <DB> --app <name> [--csv]
   silvervale cascade   --app <name>
   silvervale evaluate  [<DB>] --app <name> [--candidates N] [--seed S] [--csv]
@@ -47,6 +47,11 @@ USAGE:
 
   apps:    babelstream | minibude | tealeaf | cloverleaf
   metrics: sloc | lloc | source | t_src | t_sem | t_ir | codediv
+
+  --approx (matrix/cluster) uses the approximate-first engine: cheap
+  admissible lower bounds prefilter the pairs and only near-frontier
+  pairs run the exact threshold kernel.  Far cells are lower bounds,
+  never over-estimates; the default (no flag) stays fully exact.
 
   --trace-out FILE writes a Chrome trace_event JSON of the run's spans
   (open in Perfetto / chrome://tracing).  With `client`, the call is
@@ -200,6 +205,15 @@ fn write_merged_trace(path: &str, client: &mut svserve::Client) -> Result<(), St
     Ok(())
 }
 
+/// One-line report of the approximate engine's work split, printed to
+/// stderr so `--csv` output stays clean.
+fn approx_summary(s: &svmetrics::ApproxStats) -> String {
+    format!(
+        "approx: {} pairs ({} bucketed, {} lb-pruned, {} cutoff, {} exact), frontier {:.4}",
+        s.pairs, s.bucketed, s.lb_pruned, s.cutoff, s.exact_solves, s.frontier
+    )
+}
+
 fn variant_of(args: &Args) -> Variant {
     Variant {
         preprocessor: args.flag("pp"),
@@ -276,7 +290,13 @@ fn run() -> Result<(), String> {
                 parse_metric(args.value("metric").unwrap_or("t_sem")).ok_or("unknown metric")?;
             let v = variant_of(&args);
             let trace = TraceOut::begin(&args);
-            let matrix = model_matrix(&db, metric, v);
+            let matrix = if args.flag("approx") {
+                let (m, stats) = model_matrix_approx(&db, metric, v);
+                eprintln!("{}", approx_summary(&stats));
+                m
+            } else {
+                model_matrix(&db, metric, v)
+            };
             trace.finish()?;
             if args.flag("csv") {
                 print!("{}", matrix.to_csv());
@@ -292,8 +312,14 @@ fn run() -> Result<(), String> {
                 parse_metric(args.value("metric").unwrap_or("t_sem")).ok_or("unknown metric")?;
             let v = variant_of(&args);
             let trace = TraceOut::begin(&args);
-            let matrix = model_matrix(&db, metric, v);
-            let dendro = model_dendrogram(&db, metric, v);
+            let matrix = if args.flag("approx") {
+                let (m, stats) = model_matrix_approx(&db, metric, v);
+                eprintln!("{}", approx_summary(&stats));
+                m
+            } else {
+                model_matrix(&db, metric, v)
+            };
+            let dendro = svcluster::cluster_rows(&matrix);
             trace.finish()?;
             println!("{}{} clustering of '{}':", metric.name(), v.label(), db.name);
             println!("{}", dendro.render());

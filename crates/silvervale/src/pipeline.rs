@@ -13,7 +13,10 @@ use svcorpus::{App, Model};
 use svdist::DistanceMatrix;
 use svlang::source::SourceSet;
 use svlang::unit::{compile_unit, UnitOptions};
-use svmetrics::{divergence, divergence_matrix, Artifacts, Measured, Metric, Variant};
+use svmetrics::{
+    divergence, divergence_matrix, divergence_matrix_approx, ApproxStats, Artifacts, Measured,
+    Metric, Variant,
+};
 use svperf::{phi_all, NavPoint, NavigationChart};
 
 /// Index one corpus app: compile every model, optionally run each under
@@ -144,6 +147,21 @@ pub(crate) fn measured_entries<'a>(db: &'a CodebaseDb, v: Variant) -> Vec<Measur
 pub fn model_matrix(db: &CodebaseDb, metric: Metric, v: Variant) -> DistanceMatrix {
     let measured = measured_entries(db, v);
     divergence_matrix(metric, v, &db.labels(), &measured)
+}
+
+/// Approximate-first variant of [`model_matrix`] for large corpora: tree
+/// metrics go through the lower-bound prefilter + threshold kernel of
+/// `svmetrics::divergence_matrix_approx` (cells beyond the frontier are
+/// admissible lower bounds, never over-estimates); non-tree metrics fall
+/// back to the exact matrix with default stats.  Opt-in only — the exact
+/// path stays the default everywhere.
+pub fn model_matrix_approx(
+    db: &CodebaseDb,
+    metric: Metric,
+    v: Variant,
+) -> (DistanceMatrix, ApproxStats) {
+    let measured = measured_entries(db, v);
+    divergence_matrix_approx(metric, v, &db.labels(), &measured)
 }
 
 /// The paper's clustering recipe applied to the model matrix.

@@ -342,6 +342,10 @@ impl AnalysisService {
         let db = self.db_param(params)?;
         let metric = metric_param(params)?;
         let v = variant_param(params);
+        if bool_param(params, "approx") {
+            let (m, stats) = pipeline::model_matrix_approx(&db, metric, v);
+            return Ok(with_approx_stats(matrix_json(metric, v, &m), &stats));
+        }
         let m = self.cached_matrix(&db, metric, v);
         Ok(matrix_json(metric, v, &m))
     }
@@ -350,14 +354,24 @@ impl AnalysisService {
         let db = self.db_param(params)?;
         let metric = metric_param(params)?;
         let v = variant_param(params);
-        let matrix = self.cached_matrix(&db, metric, v);
+        let approx = bool_param(params, "approx");
+        let (matrix, stats) = if approx {
+            let (m, s) = pipeline::model_matrix_approx(&db, metric, v);
+            (m, Some(s))
+        } else {
+            (self.cached_matrix(&db, metric, v), None)
+        };
         let dendro = cluster_rows(&matrix);
-        Ok(Json::obj([
+        let out = Json::obj([
             ("metric", Json::str(metric.name())),
             ("variant", Json::str(v.label())),
             ("dendrogram", Json::str(dendro.render())),
             ("heatmap", Json::str(Heatmap::ordered_by(&matrix, &dendro).render())),
-        ]))
+        ]);
+        Ok(match stats {
+            Some(s) => with_approx_stats(out, &s),
+            None => out,
+        })
     }
 
     fn handle_chart(&self, params: &Json) -> Result<Json, ServeError> {
@@ -644,6 +658,27 @@ fn matrix_json(metric: Metric, v: Variant, m: &DistanceMatrix) -> Json {
     ])
 }
 
+/// Append the approximate-engine counters under an `"approx"` key.  The
+/// approx path deliberately bypasses the TED cache: its thresholded solves
+/// can report cutoff sentinels rather than exact pair distances, and those
+/// must never be cached where exact requests would read them back.
+fn with_approx_stats(mut json: Json, stats: &svmetrics::ApproxStats) -> Json {
+    if let Json::Object(map) = &mut json {
+        map.insert(
+            "approx".to_string(),
+            Json::obj([
+                ("pairs", Json::Num(stats.pairs as f64)),
+                ("bucketed", Json::Num(stats.bucketed as f64)),
+                ("lb_pruned", Json::Num(stats.lb_pruned as f64)),
+                ("cutoff", Json::Num(stats.cutoff as f64)),
+                ("exact_solves", Json::Num(stats.exact_solves as f64)),
+                ("frontier", Json::Num(stats.frontier)),
+            ]),
+        );
+    }
+    json
+}
+
 /// Direct (uncached) divergence-from-base for the cheap metrics; matches
 /// `pipeline::divergence_from` exactly.
 fn direct_divergence_from(
@@ -715,6 +750,51 @@ mod tests {
         // Every from-Serial pair is a subset of the matrix pairs.
         svc.cached_divergence_from(&db, Metric::TSem, Variant::PLAIN, "Serial").unwrap();
         assert_eq!(svc.pair_computes(), computed, "compare served entirely from cache");
+    }
+
+    #[test]
+    fn matrix_approx_flag_is_opt_in_and_reports_stats() {
+        let svc = service_with(App::BabelStream);
+        let exact = svc
+            .handle_matrix(&Json::obj([
+                ("db", Json::str("babelstream")),
+                ("metric", Json::str("t_sem")),
+            ]))
+            .unwrap();
+        // Default path is byte-identical to today: no "approx" key at all.
+        assert!(exact.get("approx").is_none());
+        let approx = svc
+            .handle_matrix(&Json::obj([
+                ("db", Json::str("babelstream")),
+                ("metric", Json::str("t_sem")),
+                ("approx", Json::Bool(true)),
+            ]))
+            .unwrap();
+        let stats = approx.get("approx").expect("approx response carries stats");
+        assert_eq!(stats.get("pairs").and_then(Json::as_f64), Some(45.0));
+        assert_eq!(approx.get("labels"), exact.get("labels"));
+        // Every approx cell is an admissible bound: ≤ the exact cell.
+        let rows = |j: &Json| match j.get("rows") {
+            Some(Json::Array(r)) => r.clone(),
+            _ => panic!("matrix response has rows"),
+        };
+        for (ra, re) in rows(&approx).iter().zip(rows(&exact).iter()) {
+            if let (Json::Array(ra), Json::Array(re)) = (ra, re) {
+                for (a, e) in ra.iter().zip(re.iter()) {
+                    let (a, e) = (a.as_f64().unwrap(), e.as_f64().unwrap());
+                    assert!(a <= e + 1e-12, "approx {a} > exact {e}");
+                }
+            }
+        }
+        // Cluster grows the same flag and echoes the same counters.
+        let clustered = svc
+            .handle_cluster(&Json::obj([
+                ("db", Json::str("babelstream")),
+                ("metric", Json::str("t_sem")),
+                ("approx", Json::Bool(true)),
+            ]))
+            .unwrap();
+        assert_eq!(clustered.get("approx").and_then(|s| s.get("pairs")), stats.get("pairs"));
     }
 
     #[test]

@@ -52,7 +52,139 @@ pub struct Dendrogram {
 }
 
 /// Cluster a distance matrix directly.
+///
+/// Nearest-neighbour-chain agglomeration with Lance–Williams distance
+/// updates: O(n²) time and memory, against the O(n⁴)-ish
+/// recompute-all-cross-member-distances loop it replaced (kept as
+/// [`cluster_greedy`], the equivalence oracle).  All three [`Linkage`]
+/// criteria are *reducible*, so the chain's reciprocal-nearest-neighbour
+/// merges produce exactly the greedy closest-pair-first dendrogram
+/// (proptested); merges are emitted in chain order and then canonicalised
+/// — sorted by height (stable, so children precede parents: reducible
+/// linkages are monotone), indices remapped, and each merge oriented so
+/// the side containing the smallest leaf comes first.
 pub fn cluster(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
+    let n = matrix.len();
+    let labels = matrix.labels().to_vec();
+    if n == 0 {
+        return Dendrogram { labels, merges: Vec::new() };
+    }
+    // Working linkage distances between active clusters, Lance–Williams
+    // updated in place in the kept slot.  Same O(n²) footprint as the
+    // input matrix itself.
+    let mut d: Vec<f64> = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            d.push(matrix.get(i, j));
+        }
+    }
+    let mut active = vec![true; n];
+    let mut size = vec![1usize; n];
+    let mut node: Vec<NodeRef> = (0..n).map(NodeRef::Leaf).collect();
+    let mut merges: Vec<Merge> = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::new();
+    while merges.len() + 1 < n {
+        if chain.is_empty() {
+            chain.push((0..n).find(|&i| active[i]).expect("an active cluster"));
+        }
+        loop {
+            let c = *chain.last().expect("non-empty chain");
+            let prev = chain.len().checked_sub(2).map(|k| chain[k]);
+            // Nearest active neighbour; ties prefer the chain predecessor
+            // (termination: chain distances strictly decrease otherwise),
+            // then the lowest index (determinism).
+            let mut nn = usize::MAX;
+            let mut best = f64::INFINITY;
+            for j in 0..n {
+                if j == c || !active[j] {
+                    continue;
+                }
+                let dj = d[c * n + j];
+                if dj < best || (dj == best && Some(j) == prev) {
+                    best = dj;
+                    nn = j;
+                }
+            }
+            if Some(nn) == prev {
+                // Reciprocal nearest neighbours: merge into the lower slot.
+                chain.pop();
+                chain.pop();
+                let (i, j) = (c.min(nn), c.max(nn));
+                for k in 0..n {
+                    if !active[k] || k == i || k == j {
+                        continue;
+                    }
+                    let (dik, djk) = (d[i * n + k], d[j * n + k]);
+                    let nd = match linkage {
+                        Linkage::Complete => dik.max(djk),
+                        Linkage::Single => dik.min(djk),
+                        Linkage::Average => {
+                            let (si, sj) = (size[i] as f64, size[j] as f64);
+                            (si * dik + sj * djk) / (si + sj)
+                        }
+                    };
+                    d[i * n + k] = nd;
+                    d[k * n + i] = nd;
+                }
+                merges.push(Merge { a: node[i], b: node[j], height: d[i * n + j] });
+                active[j] = false;
+                size[i] += size[j];
+                node[i] = NodeRef::Cluster(merges.len() - 1);
+                break;
+            }
+            chain.push(nn);
+        }
+    }
+    Dendrogram { labels, merges: canonical_merges(merges) }
+}
+
+/// Canonicalise chain-order merges: stable-sort by height (children come
+/// before parents — reducible linkages are monotone, and stability keeps
+/// creation order within equal heights), remap [`NodeRef::Cluster`]
+/// indices, and orient each merge smallest-leaf-first.
+fn canonical_merges(merges: Vec<Merge>) -> Vec<Merge> {
+    let m = merges.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&x, &y| merges[x].height.total_cmp(&merges[y].height));
+    let mut remap = vec![0usize; m];
+    for (new, &old) in order.iter().enumerate() {
+        remap[old] = new;
+    }
+    let fix = |r: NodeRef| match r {
+        NodeRef::Cluster(k) => NodeRef::Cluster(remap[k]),
+        leaf => leaf,
+    };
+    let mut out: Vec<Merge> = order
+        .iter()
+        .map(|&old| Merge {
+            a: fix(merges[old].a),
+            b: fix(merges[old].b),
+            height: merges[old].height,
+        })
+        .collect();
+    let mut min_leaf = vec![usize::MAX; m];
+    for idx in 0..m {
+        let leaf_min = |r: NodeRef, min_leaf: &[usize]| match r {
+            NodeRef::Leaf(l) => l,
+            NodeRef::Cluster(k) => min_leaf[k], // k < idx: children precede parents
+        };
+        let la = leaf_min(out[idx].a, &min_leaf);
+        let lb = leaf_min(out[idx].b, &min_leaf);
+        if lb < la {
+            let m = &mut out[idx];
+            std::mem::swap(&mut m.a, &mut m.b);
+        }
+        min_leaf[idx] = la.min(lb);
+    }
+    out
+}
+
+/// The pre-PR 8 greedy implementation: scan all cluster pairs, merge the
+/// closest, recompute linkage over member cross-products.  O(n⁴)-ish and
+/// kept only as the equivalence oracle for [`cluster`] (the proptests pin
+/// identical dendrograms on random matrices with distinct distances).
+#[doc(hidden)]
+pub fn cluster_greedy(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
     let n = matrix.len();
     let labels = matrix.labels().to_vec();
     if n == 0 {
@@ -107,7 +239,7 @@ pub fn cluster(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
         merges.push(Merge { a: ci.node, b: cj.node, height: h });
         clusters[i] = Cl { members, node: NodeRef::Cluster(merges.len() - 1) };
     }
-    Dendrogram { labels, merges }
+    Dendrogram { labels, merges: canonical_merges(merges) }
 }
 
 /// The paper's clustering recipe: treat each item's row of the divergence
@@ -170,6 +302,13 @@ impl Dendrogram {
 
     /// Cut into `k` flat clusters (undo the last `k-1` merges).  Each
     /// cluster is a sorted list of leaf indices.
+    ///
+    /// Expansion goes in *reverse merge order*, not by height: for the
+    /// monotone dendrograms [`cluster`] emits the two coincide, but a
+    /// dendrogram with merge-height inversions (hand-built, or imported
+    /// from a centroid/median linkage) would otherwise split a child
+    /// merge while its later parent still stands — un-doing merges out
+    /// of order.
     pub fn cut(&self, k: usize) -> Vec<Vec<usize>> {
         let n = self.len();
         if n == 0 {
@@ -177,21 +316,21 @@ impl Dendrogram {
         }
         let k = k.clamp(1, n);
         // Nodes that remain as cluster roots after removing the top k-1
-        // merges: start from the root set and expand the highest merges.
+        // merges: start from the root set and expand the latest merges.
         let mut roots: Vec<NodeRef> = match self.root() {
             Some(r) => vec![r],
             None => (0..n).map(NodeRef::Leaf).collect(),
         };
         while roots.len() < k {
-            // Expand the cluster with the greatest height.
+            // Expand the most recent merge still standing.
             let (idx, _) = match roots
                 .iter()
                 .enumerate()
                 .filter_map(|(i, r)| match r {
-                    NodeRef::Cluster(m) => Some((i, self.merges[*m].height)),
+                    NodeRef::Cluster(m) => Some((i, *m)),
                     NodeRef::Leaf(_) => None,
                 })
-                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .max_by_key(|&(_, m)| m)
             {
                 Some(x) => x,
                 None => break, // all leaves already
@@ -214,29 +353,61 @@ impl Dendrogram {
     }
 
     /// True if the given labels end up in the same flat cluster at cut `k`.
+    ///
+    /// Unknown labels and an empty `names` slice answer `false` (the
+    /// question "are these together" has no witnesses), matching
+    /// [`cophenetic`](Self::cophenetic)'s `Option` discipline instead of
+    /// panicking.
     pub fn together_at(&self, k: usize, names: &[&str]) -> bool {
-        let idx: Vec<usize> =
-            names.iter().map(|n| self.labels.iter().position(|l| l == n).expect("label")).collect();
+        if names.is_empty() {
+            return false;
+        }
+        let mut idx = Vec::with_capacity(names.len());
+        for n in names {
+            match self.labels.iter().position(|l| l == n) {
+                Some(i) => idx.push(i),
+                None => return false,
+            }
+        }
         self.cut(k).iter().any(|c| idx.iter().all(|i| c.contains(i)))
     }
 
     /// Cophenetic distance between two labelled items: the height of their
     /// lowest common merge.
+    ///
+    /// Two parent-pointer walks — O(merges) total — instead of the old
+    /// re-enumeration of both leaf sets for every merge (O(merges·n) with
+    /// per-merge allocations): mark the path from `a` to the root, then
+    /// the first marked merge on `b`'s path is their lowest common merge.
     pub fn cophenetic(&self, a: &str, b: &str) -> Option<f64> {
         let ia = self.labels.iter().position(|l| l == a)?;
         let ib = self.labels.iter().position(|l| l == b)?;
         if ia == ib {
             return Some(0.0);
         }
-        for m in &self.merges {
-            let mut la = Vec::new();
-            let mut lb = Vec::new();
-            self.leaves_of(m.a, &mut la);
-            self.leaves_of(m.b, &mut lb);
-            let has = |v: &Vec<usize>, x: usize| v.contains(&x);
-            if (has(&la, ia) && has(&lb, ib)) || (has(&la, ib) && has(&lb, ia)) {
-                return Some(m.height);
+        let nm = self.merges.len();
+        let mut leaf_parent = vec![usize::MAX; self.len()];
+        let mut merge_parent = vec![usize::MAX; nm];
+        for (mi, m) in self.merges.iter().enumerate() {
+            for side in [m.a, m.b] {
+                match side {
+                    NodeRef::Leaf(l) => leaf_parent[l] = mi,
+                    NodeRef::Cluster(c) => merge_parent[c] = mi,
+                }
             }
+        }
+        let mut on_path = vec![false; nm];
+        let mut cur = leaf_parent[ia];
+        while cur != usize::MAX {
+            on_path[cur] = true;
+            cur = merge_parent[cur];
+        }
+        cur = leaf_parent[ib];
+        while cur != usize::MAX {
+            if on_path[cur] {
+                return Some(self.merges[cur].height);
+            }
+            cur = merge_parent[cur];
         }
         None
     }
@@ -470,6 +641,50 @@ mod tests {
         let d1 = cluster(&m, Linkage::Complete);
         let d2 = cluster(&m, Linkage::Complete);
         assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn together_at_unknown_label_is_false_not_panic() {
+        let d = cluster(&two_pairs(), Linkage::Complete);
+        assert!(!d.together_at(1, &["a", "nope"]));
+        assert!(!d.together_at(1, &["nope"]));
+        // An empty slice has no witnesses: false, not vacuously true.
+        assert!(!d.together_at(1, &[]));
+        // Known labels still work.
+        assert!(d.together_at(1, &["a", "d"]));
+    }
+
+    #[test]
+    fn cut_expands_in_reverse_merge_order_under_inversions() {
+        // Hand-built dendrogram with a merge-height inversion: the final
+        // merge (index 2) sits *below* its first child (index 0).  NN-chain
+        // linkages never emit this, but imported/centroid dendrograms can.
+        let d = Dendrogram {
+            labels: ["w", "x", "y", "z"].iter().map(|s| s.to_string()).collect(),
+            merges: vec![
+                Merge { a: NodeRef::Leaf(0), b: NodeRef::Leaf(1), height: 5.0 },
+                Merge { a: NodeRef::Leaf(2), b: NodeRef::Leaf(3), height: 1.0 },
+                Merge { a: NodeRef::Cluster(0), b: NodeRef::Cluster(1), height: 3.0 },
+            ],
+        };
+        // k = 2 undoes merge 2 only.
+        assert_eq!(d.cut(2), vec![vec![0, 1], vec![2, 3]]);
+        // k = 3 must undo merges 2 then 1 (reverse merge order).  The old
+        // by-height rule expanded merge 0 (height 5.0) while its parent
+        // merge 2 still stood, yielding [[0], [1], [2, 3]].
+        assert_eq!(d.cut(3), vec![vec![0, 1], vec![2], vec![3]]);
+        // Cophenetic heights still read through the inversion.
+        assert_eq!(d.cophenetic("w", "x"), Some(5.0));
+        assert_eq!(d.cophenetic("w", "y"), Some(3.0));
+    }
+
+    #[test]
+    fn chain_matches_greedy_on_two_pairs() {
+        for linkage in [Linkage::Complete, Linkage::Single, Linkage::Average] {
+            let a = cluster(&two_pairs(), linkage);
+            let b = cluster_greedy(&two_pairs(), linkage);
+            assert_eq!(a, b, "{linkage:?}");
+        }
     }
 
     #[test]

@@ -18,20 +18,28 @@
 //!   baseline).
 //! * [`matrix`] — labelled symmetric distance matrices feeding the
 //!   clustering layer.
+//! * [`lowerbound`] — cheap admissible lower bounds on TED (label
+//!   histogram + binary-branch grams) backing the approximate-first
+//!   corpus engine; paired with the threshold kernel
+//!   [`ted_within`](ted::ted_within), which solves a pair exactly only
+//!   when its distance can still be ≤ a caller-supplied threshold.
 //!
-//! All distances are exact; the variants are cross-validated against each
-//! other in tests.
+//! All distances are exact (lower bounds are admissible, never
+//! over-estimates); the variants are cross-validated against each other
+//! in tests.
 
+pub mod lowerbound;
 pub mod matrix;
 pub mod seq;
 pub mod shared;
 pub mod ted;
 
+pub use lowerbound::{label_histogram_lb, pqgram_lb, TreeProfile};
 pub use matrix::DistanceMatrix;
 pub use seq::{edit_distance_onp, jaccard_divergence, lcs_len, levenshtein};
 pub use shared::SharedTree;
 pub use ted::{
     cell_width, decompose_count, edit_stats, edit_stats_shared, memory_estimate,
-    memory_estimate_with, ted, ted_bounded, ted_shared, ted_with, CellWidth, CostModel, EditStats,
-    PostTree, Strategy, TedError,
+    memory_estimate_with, ted, ted_bounded, ted_shared, ted_with, ted_within, ted_within_shared,
+    CellWidth, CostModel, EditStats, PostTree, Strategy, TedError,
 };

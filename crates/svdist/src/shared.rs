@@ -11,6 +11,7 @@
 //! `SharedTree` dereferences to [`Tree`], so existing read-only call sites
 //! (`size()`, `label()`, traversals, serialisation) keep working unchanged.
 
+use crate::lowerbound::TreeProfile;
 use crate::ted::PostTree;
 use std::fmt;
 use std::ops::Deref;
@@ -22,6 +23,7 @@ struct Inner {
     hash: OnceLock<u64>,
     left: OnceLock<PostTree>,
     right: OnceLock<PostTree>,
+    profile: OnceLock<TreeProfile>,
 }
 
 /// An immutable tree plus lazily-memoized derived views, cheaply cloneable
@@ -37,6 +39,7 @@ impl SharedTree {
             hash: OnceLock::new(),
             left: OnceLock::new(),
             right: OnceLock::new(),
+            profile: OnceLock::new(),
         }))
     }
 
@@ -60,6 +63,12 @@ impl SharedTree {
     /// Memoized right-path (mirrored) decomposition.
     pub fn right(&self) -> &PostTree {
         self.0.right.get_or_init(|| PostTree::build(&self.0.tree, true))
+    }
+
+    /// Memoized lower-bound profile (label histogram + binary-branch
+    /// grams) — the prefilter signature of the approximate-first engine.
+    pub fn profile(&self) -> &TreeProfile {
+        self.0.profile.get_or_init(|| TreeProfile::build(&self.0.tree))
     }
 
     /// Whether both decompositions are already materialised (i.e. further

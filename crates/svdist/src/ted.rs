@@ -18,6 +18,17 @@
 //! * [`naive_ted`] — an exponential-with-memo forest recursion used as the
 //!   correctness oracle for small trees in property tests.
 //!
+//! Two *bounded* entry points wrap the kernel, and they bound different
+//! resources — don't confuse them:
+//!
+//! * [`ted_bounded`] is a **memory-budget pre-check**: it refuses (without
+//!   allocating) when the DP tables would exceed a byte budget, then runs
+//!   the ordinary exact solve.  It never exits early on distance.
+//! * [`ted_within`] is the **distance-threshold kernel**: given a
+//!   threshold `tau` it answers `Some(exact)` iff the distance is ≤ `tau`
+//!   and `None` otherwise, running a banded DP that skips every cell whose
+//!   forest-size imbalance already proves its value exceeds `tau`.
+//!
 //! Returned distances are `u64`; the DP cells are **width-adaptive**.  A
 //! single-pair distance is bounded by `delete·|T1| + insert·|T2|`, and the
 //! largest intermediate the DP ever forms by twice that plus `relabel`
@@ -894,6 +905,253 @@ pub fn ted_bounded(
     Ok(ted_with(a, b, costs, strategy))
 }
 
+/// Threshold TED: `Some(ted(a, b))` iff the distance is ≤ `tau`, `None`
+/// otherwise — the early-exit half of the approximate-first engine
+/// (clustering only needs exact values near the linkage frontier; every
+/// pair provably beyond it is answered without finishing the DP).
+///
+/// Contract, pinned by proptest against [`ted_with`]:
+/// `ted_within(a, b, c, s, tau) == Some(d)  ⟺  ted_with(a, b, c, s) == d ≤ tau`.
+///
+/// A note on *how* it exits early: a running row-minimum check is unsound
+/// for Zhang–Shasha — the detached-subtree transition jumps from
+/// `(lld(i), lld(j))` to `(i, j)` across many rows, and `fd[0][0] = 0`
+/// keeps every row minimum at 0 anyway.  What is sound is a *band*: a
+/// forest-prefix pair `(di, dj)` costs at least `(di − dj)·delete` (resp.
+/// `(dj − di)·insert`) on size grounds alone, so any cell with
+/// `di − dj > tau/delete` or `dj − di > tau/insert` can never sit on a
+/// ≤ `tau` derivation.  The kernel computes only in-band cells (Touzet's
+/// banded strategy adapted to the keyroot DP), clamps everything else at
+/// `tau + 1`, and skips whole keyroot rows once their band empties.
+pub fn ted_within(
+    a: &Tree,
+    b: &Tree,
+    costs: CostModel,
+    strategy: Strategy,
+    tau: u64,
+) -> Option<u64> {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return Some(0),
+        (true, false) => {
+            let d = (b.size() as u64).saturating_mul(u64::from(costs.insert));
+            return (d <= tau).then_some(d);
+        }
+        (false, true) => {
+            let d = (a.size() as u64).saturating_mul(u64::from(costs.delete));
+            return (d <= tau).then_some(d);
+        }
+        _ => {}
+    }
+    if a.size() == b.size() && a.structural_hash() == b.structural_hash() {
+        return Some(0);
+    }
+    if size_diff_lb(a.size(), b.size(), costs) > tau {
+        return None;
+    }
+    let (pa, pb) = build_decompositions(a, b, strategy);
+    zs_within(&pa, &pb, costs, tau)
+}
+
+/// [`ted_within`] over [`SharedTree`]s: the memoized lower-bound profiles
+/// (see [`crate::lowerbound`]) prefilter the pair — when
+/// `pqgram_lb(a, b) > tau` no decomposition is touched at all — and the
+/// banded DP consumes the memoized path decompositions.
+pub fn ted_within_shared(
+    a: &crate::SharedTree,
+    b: &crate::SharedTree,
+    costs: CostModel,
+    strategy: Strategy,
+    tau: u64,
+) -> Option<u64> {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return Some(0),
+        (true, false) => {
+            let d = (b.size() as u64).saturating_mul(u64::from(costs.insert));
+            return (d <= tau).then_some(d);
+        }
+        (false, true) => {
+            let d = (a.size() as u64).saturating_mul(u64::from(costs.delete));
+            return (d <= tau).then_some(d);
+        }
+        _ => {}
+    }
+    if a.size() == b.size() && a.structural_hash() == b.structural_hash() {
+        return Some(0);
+    }
+    if crate::lowerbound::pqgram_lb(a.profile(), b.profile(), costs) > tau {
+        return None;
+    }
+    let (pa, pb) = match strategy {
+        Strategy::Left => (a.left(), b.left()),
+        Strategy::Right => (a.right(), b.right()),
+        Strategy::Auto => {
+            let left = (a.left(), b.left());
+            let right = (a.right(), b.right());
+            if decomposition_cost(left.0, left.1) <= decomposition_cost(right.0, right.1) {
+                left
+            } else {
+                right
+            }
+        }
+    };
+    zs_within(pa, pb, costs, tau)
+}
+
+/// [`ted_within`] with an explicit kernel mode and no structural-hash
+/// short-circuit: [`KernelMode::Baseline`] solves exactly with the PR 4
+/// kernel and applies the threshold afterwards (the oracle the proptests
+/// and the approx bench pin the banded kernel against); every other mode
+/// runs the banded arena kernel.
+#[doc(hidden)]
+pub fn ted_within_with_mode(
+    a: &Tree,
+    b: &Tree,
+    costs: CostModel,
+    strategy: Strategy,
+    tau: u64,
+    mode: KernelMode,
+) -> Option<u64> {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return Some(0),
+        (true, false) => {
+            let d = (b.size() as u64).saturating_mul(u64::from(costs.insert));
+            return (d <= tau).then_some(d);
+        }
+        (false, true) => {
+            let d = (a.size() as u64).saturating_mul(u64::from(costs.delete));
+            return (d <= tau).then_some(d);
+        }
+        _ => {}
+    }
+    let (pa, pb) = build_decompositions(a, b, strategy);
+    match mode {
+        KernelMode::Baseline => {
+            let d = zhang_shasha_alloc(&pa, &pb, costs);
+            (d <= tau).then_some(d)
+        }
+        _ => zs_within(&pa, &pb, costs, tau),
+    }
+}
+
+/// Size-difference lower bound: transforming `na` nodes into `nb > na`
+/// performs at least `nb − na` inserts (symmetrically deletes).
+fn size_diff_lb(na: usize, nb: usize, costs: CostModel) -> u64 {
+    if nb >= na {
+        ((nb - na) as u64).saturating_mul(u64::from(costs.insert))
+    } else {
+        ((na - nb) as u64).saturating_mul(u64::from(costs.delete))
+    }
+}
+
+/// The banded (threshold) Zhang–Shasha kernel.
+///
+/// Runs on the `u64` scratch arena with saturating arithmetic, treating
+/// `inf = tau + 1` as "provably > tau".  Soundness: every computed cell
+/// satisfies `cell ≥ min(true, inf)` (each candidate is a source obeying
+/// the same invariant plus a non-negative cost, and out-of-band reads
+/// return `inf`, which never under-cuts `min(true, inf)`).  Exactness:
+/// when the true distance is ≤ `tau`, every forest pair on an optimal
+/// derivation has true value ≤ `tau` (costs are non-negative and
+/// accumulate along the derivation), hence lies inside the band and is
+/// computed from in-band sources — by induction the banded value equals
+/// the true value.  Together: `banded ≤ tau ⟺ true ≤ tau`, and then
+/// `banded == true`.
+///
+/// Cell liveness across keyroot pairs mirrors `zs_dp`: a `td` or `fd`
+/// cell is read through the *same* band-membership test under which it
+/// was (or was not) written — its local coordinates `(i − lld(i) + 1,
+/// j − lld(j) + 1)` are identical in the defining and the reading keyroot
+/// pair — so out-of-band cells are never materialised and stale arena
+/// values are never observed.
+fn zs_within(a: &PostTree, b: &PostTree, costs: CostModel, tau: u64) -> Option<u64> {
+    let (n, m) = (a.len(), b.len());
+    let del = u64::from(costs.delete);
+    let ins = u64::from(costs.insert);
+    let rel = u64::from(costs.relabel);
+    let inf = tau.saturating_add(1);
+    // Band half-widths in forest-prefix coordinates: a cell with
+    // di − dj > bd needs more than tau worth of deletes on size grounds
+    // alone (resp. inserts for dj − di > bi).  Zero-cost operations make
+    // the band unbounded on that side.
+    let bd = tau.checked_div(del).unwrap_or(u64::MAX);
+    let bi = tau.checked_div(ins).unwrap_or(u64::MAX);
+    let in_band = |r: u64, c: u64| r.saturating_sub(c) <= bd && c.saturating_sub(r) <= bi;
+
+    let (la, lb): (&[u64], &[u64]) =
+        if a.same_table(b) { (&a.syms, &b.syms) } else { (&a.keys, &b.keys) };
+
+    SCRATCH.with(|scratch| {
+        let s = &mut *scratch.borrow_mut();
+        let (td_vec, fd_vec) = <u64 as DpCell>::parts(s);
+        grow(td_vec, n * m);
+        grow(fd_vec, (n + 1) * (m + 1));
+        let td: &mut [u64] = td_vec;
+        let fd: &mut [u64] = fd_vec;
+
+        // Band-checked fd read: borders come from cost ramps (in band) or
+        // `inf`; stored cells only exist in band, everything else is `inf`.
+        let fd_at = |fd: &[u64], cols: usize, r: usize, c: usize| -> u64 {
+            if r == 0 {
+                return if (c as u64) <= bi { (c as u64).saturating_mul(ins) } else { inf };
+            }
+            if c == 0 {
+                return if (r as u64) <= bd { (r as u64).saturating_mul(del) } else { inf };
+            }
+            if in_band(r as u64, c as u64) {
+                fd[r * cols + c]
+            } else {
+                inf
+            }
+        };
+
+        for &kr1 in &a.keyroots {
+            let l1 = a.lld[kr1];
+            let rows = kr1 - l1 + 2;
+            for &kr2 in &b.keyroots {
+                let l2 = b.lld[kr2];
+                let cols = kr2 - l2 + 2;
+                for di in 1..rows {
+                    // Rows only move further below the band; once this
+                    // row's window is empty all later rows' are too.
+                    if (di as u64).saturating_sub(bd) > (cols - 1) as u64 {
+                        break;
+                    }
+                    let jlo = if (di as u64) > bd { (di as u64 - bd) as usize } else { 1 }.max(1);
+                    let jhi = (di as u64).saturating_add(bi).min((cols - 1) as u64) as usize;
+                    let i = l1 + di - 1;
+                    let row = di * cols;
+                    let mut left = fd_at(fd, cols, di, jlo - 1);
+                    for dj in jlo..=jhi {
+                        let j = l2 + dj - 1;
+                        let up = fd_at(fd, cols, di - 1, dj).saturating_add(del);
+                        let lf = left.saturating_add(ins);
+                        let d = if a.lld[i] == l1 && b.lld[j] == l2 {
+                            let sub = if la[i] == lb[j] { 0 } else { rel };
+                            let diag = fd_at(fd, cols, di - 1, dj - 1).saturating_add(sub);
+                            let d = up.min(lf).min(diag).min(inf);
+                            td[i * m + j] = d;
+                            d
+                        } else {
+                            let pi = a.lld[i] - l1;
+                            let pjv = b.lld[j] - l2;
+                            // Whole-subtree distance, band-checked in the
+                            // local coordinates of its defining pair.
+                            let (tr, tc) = (i - a.lld[i] + 1, j - b.lld[j] + 1);
+                            let t = if in_band(tr as u64, tc as u64) { td[i * m + j] } else { inf };
+                            let detach = fd_at(fd, cols, pi, pjv).saturating_add(t);
+                            up.min(lf).min(detach).min(inf)
+                        };
+                        fd[row + dj] = d;
+                        left = d;
+                    }
+                }
+            }
+        }
+        let d = if in_band(n as u64, m as u64) { td[(n - 1) * m + (m - 1)] } else { inf };
+        (d <= tau).then_some(d)
+    })
+}
+
 /// Composition of an optimal unit-cost edit script.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EditStats {
@@ -1128,6 +1386,65 @@ mod tests {
         let b = t("(f a b)");
         assert_eq!(ted(&a, &b), 1);
         assert_eq!(ted(&b, &a), 1);
+    }
+
+    #[test]
+    fn ted_within_matches_exact_across_thresholds() {
+        let pairs = [
+            ("(f (c a b) d)", "(f a (d b))"),
+            ("(f (d a (c b)) e)", "(f (c (d a b)) e)"),
+            ("(a (b c d) e)", "(a (b c) (e d))"),
+            ("(s a a a a)", "(s a a)"),
+            ("(f a)", "(g (h (i (j k))))"),
+            ("(x)", "(x)"),
+        ];
+        let costs = [
+            CostModel::UNIT,
+            CostModel { delete: 2, insert: 3, relabel: 1 },
+            CostModel { delete: 0, insert: 1, relabel: 4 },
+            CostModel { delete: 5, insert: 0, relabel: 2 },
+        ];
+        for (sa, sb) in pairs {
+            let (a, b) = (t(sa), t(sb));
+            for &c in &costs {
+                for strat in [Strategy::Left, Strategy::Right, Strategy::Auto] {
+                    let exact = ted_with(&a, &b, c, strat);
+                    let taus = [0, exact.saturating_sub(1), exact, exact + 1, 2 * exact + 3];
+                    for tau in taus {
+                        let got = ted_within(&a, &b, c, strat, tau);
+                        let want = (exact <= tau).then_some(exact);
+                        assert_eq!(got, want, "{sa} vs {sb} {c:?} {strat:?} tau={tau}");
+                        assert_eq!(
+                            ted_within_with_mode(&a, &b, c, strat, tau, KernelMode::Baseline),
+                            want,
+                            "baseline oracle disagrees: {sa} vs {sb} tau={tau}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ted_within_shared_uses_profile_prefilter() {
+        let a = crate::SharedTree::new(t("(f (g a b) (h c))"));
+        let b = crate::SharedTree::new(t("(z (y x) (w (v u) q))"));
+        let exact = ted_shared(&a, &b, CostModel::UNIT, Strategy::Auto);
+        assert_eq!(ted_within_shared(&a, &b, CostModel::UNIT, Strategy::Auto, exact), Some(exact));
+        assert_eq!(ted_within_shared(&a, &b, CostModel::UNIT, Strategy::Auto, exact - 1), None);
+        // A prefiltered pair never touches the decompositions.
+        let c = crate::SharedTree::new(t("(only root)"));
+        let far = crate::SharedTree::new(t("(a (b (c (d (e (f (g h)))))) i j k l)"));
+        assert_eq!(ted_within_shared(&c, &far, CostModel::UNIT, Strategy::Auto, 1), None);
+        assert!(!c.views_ready() && !far.views_ready());
+    }
+
+    #[test]
+    fn ted_within_max_tau_degenerates_to_exact() {
+        let a = t("(f (d a (c b)) e)");
+        let b = t("(g (c (d q b)) e f)");
+        let exact = ted_with(&a, &b, CostModel::UNIT, Strategy::Auto);
+        assert_eq!(ted_within(&a, &b, CostModel::UNIT, Strategy::Auto, u64::MAX), Some(exact));
     }
 
     #[test]

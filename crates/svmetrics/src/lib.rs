@@ -361,6 +361,12 @@ pub fn divergence(
 /// Memory-bounded divergence: like [`divergence`], but refuses tree-metric
 /// pairs whose TED dynamic-programming tables would exceed `max_bytes`
 /// (the paper's GROMACS runs OOMed on exactly this; see `svdist::ted_bounded`).
+///
+/// The bound here is on *memory*, checked before any allocation — it is
+/// not a distance threshold and never exits the DP early.  For
+/// distance-threshold early exit (the approximate-first engine's
+/// per-pair primitive) see `svdist::ted_within` and
+/// [`divergence_matrix_approx`].
 pub fn try_divergence(
     metric: Metric,
     v: Variant,
@@ -546,6 +552,182 @@ pub fn divergence_matrix_seq(
     DistanceMatrix::from_fn(labels.to_vec(), |i, j| pair_distance(metric, &arts[i], &arts[j]))
 }
 
+/// Counters the approximate-first matrix engine reports alongside its
+/// matrix — the prefilter hit-rate accounting the bench JSON publishes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ApproxStats {
+    /// Distinct unit pairs (`i < j`) in the matrix.
+    pub pairs: u64,
+    /// Unit pairs answered by structural-hash bucketing: within-group
+    /// pairs are 0 and cross-group pairs inherit their representatives'
+    /// cell, so only representative pairs ever run a bound or a DP.
+    pub bucketed: u64,
+    /// Representative pairs answered by the lower bound alone (their
+    /// bound already lies beyond the resolution frontier).
+    pub lb_pruned: u64,
+    /// Representative pairs where the threshold kernel proved
+    /// `d > tau` without finishing the DP (cell clamped at `tau + 1`,
+    /// floored by the lower bound).
+    pub cutoff: u64,
+    /// Representative pairs solved exactly.
+    pub exact_solves: u64,
+    /// Normalised distance up to which every cell is exact: the max over
+    /// groups of the k-th smallest lower bound (k = min(3, groups − 1)),
+    /// i.e. every group's 3-nearest-neighbour candidates are resolved
+    /// exactly — what complete-linkage agglomeration actually consults
+    /// first.
+    pub frontier: f64,
+}
+
+/// Approximate-first divergence matrix over pre-extracted trees.
+///
+/// Every returned cell is a **lower bound** on the exact normalised
+/// divergence, and cells at or below the frontier are *exact* (see
+/// [`ApproxStats::frontier`]).  Three stages:
+///
+/// 1. **bucket** — units are grouped by `(size, structural hash)`; equal
+///    trees share one representative, within-group cells are 0;
+/// 2. **bound** — `svdist::pqgram_lb` over the memoized
+///    [`TreeProfile`](svdist::TreeProfile)s of all representative pairs;
+/// 3. **resolve** — pairs whose bound lands inside the frontier run the
+///    banded threshold kernel `svdist::ted_within_shared` with
+///    `tau = frontier · dmax`; everything else keeps its bound.
+pub fn approx_tree_matrix(
+    labels: &[String],
+    trees: &[SharedTree],
+) -> (DistanceMatrix, ApproxStats) {
+    assert_eq!(labels.len(), trees.len());
+    let n = trees.len();
+    let _s = svtrace::span!("matrix.approx", n = n);
+    let mut stats =
+        ApproxStats { pairs: (n * n.saturating_sub(1) / 2) as u64, ..ApproxStats::default() };
+
+    // 1. Structural-hash bucketing (size disambiguates, so a hash
+    // collision across sizes cannot merge distinct groups).
+    let mut group_of = vec![0usize; n];
+    let mut reps: Vec<usize> = Vec::new();
+    let mut seen: std::collections::HashMap<(usize, u64), usize> = std::collections::HashMap::new();
+    for i in 0..n {
+        let key = (trees[i].size(), trees[i].structural_hash());
+        let g = *seen.entry(key).or_insert_with(|| {
+            reps.push(i);
+            reps.len() - 1
+        });
+        group_of[i] = g;
+    }
+    let g = reps.len();
+    stats.bucketed = stats.pairs - (g * g.saturating_sub(1) / 2) as u64;
+
+    let cell_of = |d: u64, gi: usize, gj: usize| {
+        let dmax = trees[reps[gi]].size().max(trees[reps[gj]].size()).max(1) as u64;
+        d as f64 / dmax as f64
+    };
+
+    // 2. Lower bounds between representatives.  Profiles are memoized on
+    // the SharedTrees; rows fan out across cores.
+    svpar::par_tasks(&reps, |&r| {
+        trees[r].profile();
+    });
+    let row_ids: Vec<usize> = (0..g).collect();
+    let lb_rows: Vec<Vec<f64>> = svpar::par_tasks(&row_ids, |&gi| {
+        (gi + 1..g)
+            .map(|gj| {
+                let lb = svdist::pqgram_lb(
+                    trees[reps[gi]].profile(),
+                    trees[reps[gj]].profile(),
+                    CostModel::UNIT,
+                );
+                cell_of(lb, gi, gj)
+            })
+            .collect()
+    });
+    let lb_at = |gi: usize, gj: usize| {
+        let (lo, hi) = (gi.min(gj), gi.max(gj));
+        lb_rows[lo][hi - lo - 1]
+    };
+
+    // 3. Frontier: every group's k nearest lower-bound candidates get
+    // resolved exactly — the cells agglomerative linkage consults first.
+    let k = 3.min(g.saturating_sub(1));
+    let mut frontier = 0.0f64;
+    for gi in 0..g {
+        let mut row: Vec<f64> = (0..g).filter(|&gj| gj != gi).map(|gj| lb_at(gi, gj)).collect();
+        row.sort_by(f64::total_cmp);
+        if k > 0 {
+            frontier = frontier.max(row[k - 1]);
+        }
+    }
+    stats.frontier = frontier;
+
+    // 4. Resolve in-frontier pairs with the banded threshold kernel.
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    let mut rep_cells = vec![0.0f64; g * g];
+    for gi in 0..g {
+        for gj in gi + 1..g {
+            if lb_at(gi, gj) <= frontier {
+                candidates.push((gi, gj));
+            } else {
+                rep_cells[gi * g + gj] = lb_at(gi, gj);
+                stats.lb_pruned += 1;
+            }
+        }
+    }
+    let resolved: Vec<(f64, bool)> = svpar::par_tasks(&candidates, |&(gi, gj)| {
+        let (a, b) = (&trees[reps[gi]], &trees[reps[gj]]);
+        let dmax = a.size().max(b.size()).max(1) as u64;
+        let tau = (frontier * dmax as f64).floor() as u64;
+        match svdist::ted_within_shared(a, b, CostModel::UNIT, Strategy::Auto, tau) {
+            Some(d) => {
+                obs::record_pair(d, dmax);
+                (cell_of(d, gi, gj), true)
+            }
+            // d > tau is proven: clamp at tau + 1, floored by the bound.
+            None => (cell_of(tau + 1, gi, gj).max(lb_at(gi, gj)), false),
+        }
+    });
+    for (&(gi, gj), &(cell, exact)) in candidates.iter().zip(&resolved) {
+        rep_cells[gi * g + gj] = cell;
+        if exact {
+            stats.exact_solves += 1;
+        } else {
+            stats.cutoff += 1;
+        }
+    }
+
+    // 5. Scatter representative cells over the full matrix.
+    let mut m = DistanceMatrix::new(labels.to_vec());
+    for i in 0..n {
+        for j in i + 1..n {
+            let (gi, gj) = (group_of[i], group_of[j]);
+            if gi != gj {
+                let (lo, hi) = (gi.min(gj), gi.max(gj));
+                m.set(i, j, rep_cells[lo * g + hi]);
+            }
+        }
+    }
+    (m, stats)
+}
+
+/// Approximate-first [`divergence_matrix`]: tree metrics run
+/// [`approx_tree_matrix`] (bucketing + lower bounds + threshold solves);
+/// non-tree metrics are cheap per pair and fall back to the exact matrix
+/// with zeroed stats.  Opt-in — callers that need the exact matrix keep
+/// calling [`divergence_matrix`], whose path is untouched.
+pub fn divergence_matrix_approx(
+    metric: Metric,
+    v: Variant,
+    labels: &[String],
+    units: &[Measured<'_>],
+) -> (DistanceMatrix, ApproxStats) {
+    match metric {
+        Metric::TSrc | Metric::TSem | Metric::TIr => {
+            let trees: Vec<SharedTree> = units.iter().map(|m| tree_of(m, metric, v)).collect();
+            approx_tree_matrix(labels, &trees)
+        }
+        other => (divergence_matrix(other, v, labels, units), ApproxStats::default()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -713,6 +895,51 @@ mod tests {
             }
             svpar::set_threads(0);
         }
+    }
+
+    #[test]
+    fn approx_matrix_lower_bounds_exact_and_buckets_duplicates() {
+        let units: Vec<Unit> = [Model::Serial, Model::OpenMp, Model::Cuda, Model::Kokkos]
+            .iter()
+            .map(|&m| unit(App::BabelStream, m).unwrap())
+            .collect();
+        // Duplicate every unit so bucketing has real groups to collapse.
+        let mut measured: Vec<Measured<'_>> = units.iter().map(Measured::new).collect();
+        measured.extend(units.iter().map(Measured::new));
+        let labels: Vec<String> = (0..measured.len()).map(|i| format!("u{i}")).collect();
+        let exact = divergence_matrix(Metric::TSem, Variant::PLAIN, &labels, &measured);
+        let (approx, stats) =
+            divergence_matrix_approx(Metric::TSem, Variant::PLAIN, &labels, &measured);
+        let n = labels.len();
+        assert_eq!(stats.pairs, (n * (n - 1) / 2) as u64);
+        // 8 units in 4 structural groups: 28 pairs, 6 representative pairs.
+        assert_eq!(stats.bucketed, 28 - 6);
+        assert_eq!(stats.lb_pruned + stats.cutoff + stats.exact_solves, 6);
+        for i in 0..n {
+            for j in 0..n {
+                let (e, a) = (exact.get(i, j), approx.get(i, j));
+                assert!(a <= e + 1e-12, "approx must lower-bound exact at ({i},{j}): {a} > {e}");
+            }
+        }
+        // Duplicate pairs collapse to 0 and the exact matrix agrees.
+        assert_eq!(approx.get(0, 4), 0.0);
+        assert_eq!(exact.get(0, 4), 0.0);
+        // Each group's nearest candidates are exact: with 4 groups and
+        // k = 3 every representative pair is inside the frontier, so the
+        // two matrices must in fact agree wherever a solve completed.
+        for i in 0..n {
+            for j in 0..n {
+                let a = approx.get(i, j);
+                if a <= stats.frontier {
+                    assert_eq!(a, exact.get(i, j), "in-frontier cell ({i},{j})");
+                }
+            }
+        }
+        // Non-tree metrics fall back to the exact matrix.
+        let (fallback, fstats) =
+            divergence_matrix_approx(Metric::Sloc, Variant::PLAIN, &labels, &measured);
+        assert_eq!(fallback, divergence_matrix(Metric::Sloc, Variant::PLAIN, &labels, &measured));
+        assert_eq!(fstats, ApproxStats::default());
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! line-based `source` metric (O(NP) edit distance).  `SLOC`/`LLOC`/
 //! `code_divergence` pairs are cheaper to recompute than to fingerprint,
 //! so [`supports`] excludes them and callers fall back to the direct path.
+//!
+//! The approximate-first matrix engine (`svmetrics::divergence_matrix_approx`,
+//! exposed as the opt-in `approx` request flag in the silvervale service)
+//! bypasses this cache entirely: its threshold kernel can report cutoff
+//! sentinels instead of exact pair distances, and those must never be
+//! stored where an exact request would read them back.
 
 use crate::cache::{fnv1a, CacheKey, CachedPair, TedCache};
 use svdist::{edit_distance_onp, ted_shared, CostModel, SharedTree, Strategy};

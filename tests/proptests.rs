@@ -3,10 +3,13 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use svdist::ted::{
-    cell_width, naive_ted, ted_with, ted_with_mode, CellWidth, CostModel, KernelMode,
-    Strategy as TedStrategy,
+    cell_width, naive_ted, ted_with, ted_with_mode, ted_within_with_mode, CellWidth, CostModel,
+    KernelMode, Strategy as TedStrategy,
 };
-use svdist::{edit_distance_onp, lcs_len, levenshtein, ted_shared, SharedTree};
+use svdist::{
+    edit_distance_onp, label_histogram_lb, lcs_len, levenshtein, pqgram_lb, ted_shared, ted_within,
+    ted_within_shared, SharedTree, TreeProfile,
+};
 use svtree::pack::{compress, decompress, read_tree, write_tree, write_tree_v1};
 use svtree::{Interner, NodeId, Span, Tree, TreeBuilder};
 
@@ -230,6 +233,80 @@ proptest! {
         prop_assert!(ac <= ab + bc, "d(a,c)={ac} > d(a,b)+d(b,c)={}", ab + bc);
     }
 
+    #[test]
+    fn lower_bound_chain_is_admissible(
+        a in arb_tree(9),
+        b in arb_tree(9),
+        del_i in 0usize..6,
+        ins_i in 0usize..6,
+        rel_i in 0usize..6,
+    ) {
+        // The approximate engine's prefilter chain: the label-histogram
+        // bound never exceeds the pq-gram bound, and neither ever exceeds
+        // the true TED — under unit and boundary cost models alike.
+        const DEL: [u32; 6] = [1, 2, 49, 1 << 27, u32::MAX - 1, u32::MAX];
+        const INS: [u32; 6] = [1, 3, 47, 1 << 27, u32::MAX - 1, u32::MAX];
+        const REL: [u32; 6] = [1, 5, 43, 1 << 27, u32::MAX - 1, u32::MAX];
+        for costs in [
+            CostModel::UNIT,
+            CostModel { delete: DEL[del_i], insert: INS[ins_i], relabel: REL[rel_i] },
+        ] {
+            let (pa, pb) = (TreeProfile::build(&a), TreeProfile::build(&b));
+            let hist = label_histogram_lb(&pa, &pb, costs);
+            let pq = pqgram_lb(&pa, &pb, costs);
+            let exact = ted_with(&a, &b, costs, TedStrategy::Auto);
+            prop_assert!(hist <= pq, "hist lb {hist} > pqgram lb {pq}");
+            prop_assert!(pq <= exact, "pqgram lb {pq} > ted {exact} ({costs:?})");
+        }
+    }
+
+    #[test]
+    fn ted_within_agrees_with_exact_at_every_threshold(
+        a in arb_tree(9),
+        b in arb_tree(9),
+        del_i in 0usize..6,
+        ins_i in 0usize..6,
+        rel_i in 0usize..6,
+    ) {
+        // `ted_within(tau)` returns `Some(d)` iff the exact distance is
+        // `d <= tau` — at tau right below, at, and above the distance,
+        // under boundary cost models, in every strategy and in the
+        // allocating baseline kernel.
+        const DEL: [u32; 6] = [1, 2, 49, 1 << 27, u32::MAX - 1, u32::MAX];
+        const INS: [u32; 6] = [1, 3, 47, 1 << 27, u32::MAX - 1, u32::MAX];
+        const REL: [u32; 6] = [1, 5, 43, 1 << 27, u32::MAX - 1, u32::MAX];
+        let costs = CostModel { delete: DEL[del_i], insert: INS[ins_i], relabel: REL[rel_i] };
+        let exact = ted_with(&a, &b, costs, TedStrategy::Auto);
+        let taus = [
+            0,
+            exact.saturating_sub(1),
+            exact,
+            exact.saturating_add(1),
+            exact.saturating_mul(2).saturating_add(3),
+        ];
+        for tau in taus {
+            let want = (exact <= tau).then_some(exact);
+            for s in [TedStrategy::Left, TedStrategy::Right, TedStrategy::Auto] {
+                prop_assert_eq!(
+                    ted_within(&a, &b, costs, s, tau), want,
+                    "tau={} exact={} {:?} {:?}", tau, exact, s, costs
+                );
+            }
+            prop_assert_eq!(
+                ted_within_with_mode(&a, &b, costs, TedStrategy::Auto, tau, KernelMode::Baseline),
+                want,
+                "baseline kernel disagrees at tau={}", tau
+            );
+        }
+        // The shared-tree entry point (profile prefilter + memoized
+        // decompositions) answers identically.
+        let (sa, sb) = (SharedTree::new(a), SharedTree::new(b));
+        prop_assert_eq!(
+            ted_within_shared(&sa, &sb, costs, TedStrategy::Auto, exact),
+            Some(exact)
+        );
+    }
+
     // -----------------------------------------------------------------------
     // serialisation roundtrips
     // -----------------------------------------------------------------------
@@ -350,6 +427,55 @@ proptest! {
             let cuts = d.cut(k);
             let total: usize = cuts.iter().map(Vec::len).sum();
             prop_assert_eq!(total, 4);
+        }
+    }
+
+    #[test]
+    fn nn_chain_matches_greedy_on_random_matrices(
+        vals in proptest::collection::vec(0u32..1000, 10)
+    ) {
+        use svcluster::{cluster, cluster_greedy, Linkage};
+        use svdist::DistanceMatrix;
+        // 5 items, 10 condensed entries — distinct by construction (the
+        // `k * 1e-7` tilt breaks every tie even after shrinking), so the
+        // canonicalised dendrograms of the O(n³) greedy scan and the
+        // O(n²) NN-chain must coincide exactly for the combinatorial
+        // linkages.
+        let labels: Vec<String> = (0..5).map(|i| format!("m{i}")).collect();
+        let mut m = DistanceMatrix::new(labels.clone());
+        let mut k = 0;
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                m.set(i, j, vals[k] as f64 + k as f64 * 1e-7);
+                k += 1;
+            }
+        }
+        for linkage in [Linkage::Single, Linkage::Complete] {
+            let chain = cluster(&m, linkage);
+            let greedy = cluster_greedy(&m, linkage);
+            prop_assert_eq!(&chain, &greedy, "{:?}", linkage);
+        }
+        // Average linkage computes each height as a differently-ordered
+        // f64 sum in the two algorithms, so heights may differ in final
+        // ulps; compare the induced ultrametric instead (skipping the
+        // measure-zero near-tie inputs where an ulp can flip a merge).
+        let chain = cluster(&m, Linkage::Average);
+        let greedy = cluster_greedy(&m, Linkage::Average);
+        let mut heights: Vec<f64> = greedy.merges.iter().map(|mg| mg.height).collect();
+        heights.sort_by(f64::total_cmp);
+        if heights.windows(2).all(|w| w[1] - w[0] > 1e-6) {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    let (ca, cg) = (
+                        chain.cophenetic(&labels[i], &labels[j]).unwrap(),
+                        greedy.cophenetic(&labels[i], &labels[j]).unwrap(),
+                    );
+                    prop_assert!(
+                        (ca - cg).abs() <= 1e-9,
+                        "cophenetic({}, {}) chain {} vs greedy {}", i, j, ca, cg
+                    );
+                }
+            }
         }
     }
 }
