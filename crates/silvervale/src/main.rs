@@ -38,12 +38,13 @@ USAGE:
   silvervale cascade   --app <name>
   silvervale evaluate  [<DB>] --app <name> [--candidates N] [--seed S] [--csv]
                        [--addr HOST:PORT]
-  silvervale serve     [--addr HOST:PORT] [--threads N] [--cache-mb N] [--deadline-ms N]
+  silvervale serve     [--addr HOST:PORT] [--bin-addr HOST:PORT] [--no-bin] [--store FILE]
+                       [--threads N] [--cache-mb N] [--deadline-ms N]
                        [--max-queue N] [--slow-ms N] [--trace-out FILE] [DB...]
-  silvervale client    --addr HOST:PORT <method> [PARAMS-JSON] [--trace-out FILE]
-  silvervale stats     --addr HOST:PORT [--follow] [--interval-ms N]
-  silvervale top       --addr HOST:PORT [--interval-ms N]
-  silvervale slowlog   --addr HOST:PORT [--limit N]
+  silvervale client    --addr HOST:PORT <method> [PARAMS-JSON] [--json] [--trace-out FILE]
+  silvervale stats     --addr HOST:PORT [--follow] [--interval-ms N] [--json]
+  silvervale top       --addr HOST:PORT [--interval-ms N] [--json]
+  silvervale slowlog   --addr HOST:PORT [--limit N] [--json]
 
   apps:    babelstream | minibude | tealeaf | cloverleaf
   metrics: sloc | lloc | source | t_src | t_sem | t_ir | codediv
@@ -59,6 +60,16 @@ USAGE:
   the `trace` method and merged into the file on their own pid lane.
   `client metrics --addr ...` dumps a live server's metric registries
   merged with the client's own retry/reconnect counters.
+
+  serve listens on two ports: the newline-framed JSON protocol on
+  --addr and a length-prefixed binary protocol (svpack bytes ride the
+  frames verbatim) on --bin-addr (default: same host, ephemeral port;
+  --no-bin disables it).  Clients negotiate transparently — they probe
+  `health` over JSON and upgrade to the binary port when the server
+  advertises one; --json pins a client command to the JSON wire.
+  --store FILE persists the content-addressed artifact store (indexed
+  trees as svpack v2, mmap'd and served zero-copy by the `tree`
+  method) across restarts; the default store is an unlinked temp file.
 
   serve answers each request within --deadline-ms (error
   'deadline_exceeded'; 0 or unset disables the deadline), sheds load
@@ -103,6 +114,8 @@ impl Args {
                     "interval-ms",
                     "slow-ms",
                     "limit",
+                    "bin-addr",
+                    "store",
                 ];
                 if value_flags.contains(&name) && i + 1 < argv.len() {
                     flags.push((name.to_string(), Some(argv[i + 1].clone())));
@@ -128,6 +141,17 @@ impl Args {
 
     fn value(&self, name: &str) -> Option<&str> {
         self.flags.iter().find(|(n, v)| n == name && v.is_some()).and_then(|(_, v)| v.as_deref())
+    }
+}
+
+/// Connect honouring `--json`: by default the client probes `health`
+/// over the JSON wire and upgrades to the binary listener when the
+/// server advertises one; `--json` pins the newline-framed protocol.
+fn client_for(args: &Args, addr: &str) -> std::io::Result<svserve::Client> {
+    if args.flag("json") {
+        svserve::Client::connect(addr)
+    } else {
+        svserve::Client::connect_negotiated(addr)
     }
 }
 
@@ -360,7 +384,7 @@ fn run() -> Result<(), String> {
                     ("seed", Json::Num(seed as f64)),
                     ("csv", Json::Bool(args.flag("csv"))),
                 ]);
-                let mut client = svserve::Client::connect(addr)
+                let mut client = client_for(&args, addr)
                     .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
                 trace_client_begin(&args, &mut client);
                 let result = client.call("evaluate", params).map_err(|e| e.to_string())?;
@@ -427,7 +451,14 @@ fn run() -> Result<(), String> {
                 }
                 None => None,
             };
-            let service = AnalysisService::new(cache_bytes);
+            let store = match args.value("store") {
+                Some(path) => Some(std::sync::Arc::new(
+                    svserve::ArtifactStore::open(path)
+                        .map_err(|e| format!("cannot open store {path}: {e}"))?,
+                )),
+                None => None,
+            };
+            let service = AnalysisService::with_store(cache_bytes, store);
             for path in &args.positional {
                 let db = load_db(path)?;
                 let name = db.name.clone();
@@ -442,6 +473,8 @@ fn run() -> Result<(), String> {
                 max_queue,
                 deadline,
                 slow_threshold,
+                bin_enabled: !args.flag("no-bin"),
+                bin_addr: args.value("bin-addr").map(str::to_string),
                 ..svserve::ServeConfig::default()
             };
             let handle = svserve::serve_with(addr, router, config)
@@ -450,6 +483,9 @@ fn run() -> Result<(), String> {
                 "serving on {} ({threads} workers); send a 'shutdown' request to stop",
                 handle.addr()
             );
+            if let Some(bin) = handle.bin_addr() {
+                println!("binary protocol on {bin} (clients negotiate via 'health')");
+            }
             // Block until a client requests shutdown, then report.
             let stats = handle.wait();
             trace.finish()?;
@@ -465,7 +501,7 @@ fn run() -> Result<(), String> {
                 let interval = interval_of(&args)?;
                 let mut first = true;
                 loop {
-                    let mut client = match svserve::Client::connect(addr) {
+                    let mut client = match client_for(&args, addr) {
                         Ok(c) => c,
                         Err(e) if first => return Err(format!("cannot connect to {addr}: {e}")),
                         Err(_) => break, // server shut down mid-follow
@@ -503,8 +539,8 @@ fn run() -> Result<(), String> {
                 };
                 (method, params)
             };
-            let mut client = svserve::Client::connect(addr)
-                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let mut client =
+                client_for(&args, addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
             trace_client_begin(&args, &mut client);
             // `metrics` merges the client's own counters into the reply —
             // one document covering both ends of the connection.
@@ -537,8 +573,8 @@ fn run() -> Result<(), String> {
                 }
                 None => Json::Null,
             };
-            let mut client = svserve::Client::connect(addr)
-                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let mut client =
+                client_for(&args, addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
             let reply = client.call("slowlog", params).map_err(|e| e.to_string())?;
             print!("{}", svserve::render_slowlog(&reply));
             Ok(())

@@ -21,7 +21,7 @@ use svperf::phi_all;
 use svport::{GateClass, Leaderboard, ScoredCandidate};
 use svserve::cached::{self, FpArtifact};
 use svserve::svjson::Json;
-use svserve::{FanoutCtx, Router, ServeError, TedCache};
+use svserve::{ArtifactStore, FanoutCtx, Router, ServeError, TedCache};
 
 /// Default cache budget: 64 MiB of pair entries.
 pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
@@ -43,6 +43,10 @@ struct CandOutcome {
 pub struct AnalysisService {
     dbs: Mutex<HashMap<String, Arc<CodebaseDb>>>,
     cache: TedCache,
+    /// Content-addressed svpack store: every indexed tree lands here once
+    /// and is served back verbatim by the `tree` blob handler (mmap'd,
+    /// zero-copy decode on cold reads).
+    store: Arc<ArtifactStore>,
     /// Pairwise distances actually computed (cache misses that ran a TED
     /// or line edit distance) — the "no recompute" observable.
     pair_computes: AtomicU64,
@@ -113,9 +117,23 @@ fn variant_param(params: &Json) -> Variant {
 
 impl AnalysisService {
     pub fn new(cache_bytes: usize) -> Arc<AnalysisService> {
+        AnalysisService::with_store(cache_bytes, None)
+    }
+
+    /// Like [`new`](AnalysisService::new) but with an explicit artifact
+    /// store (e.g. a persistent file passed via `--store`); `None` opens
+    /// an unlinked temp store.
+    pub fn with_store(
+        cache_bytes: usize,
+        store: Option<Arc<ArtifactStore>>,
+    ) -> Arc<AnalysisService> {
+        let store = store.unwrap_or_else(|| {
+            Arc::new(ArtifactStore::temp().expect("create temp artifact store"))
+        });
         Arc::new(AnalysisService {
             dbs: Mutex::new(HashMap::new()),
             cache: TedCache::new(cache_bytes),
+            store,
             pair_computes: AtomicU64::new(0),
             cand_memo: Mutex::new(HashMap::new()),
             baseline_memo: Mutex::new(HashMap::new()),
@@ -124,8 +142,22 @@ impl AnalysisService {
         })
     }
 
-    /// Register a DB under `name` (replacing any previous one).
+    /// The service's content-addressed artifact store.
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
+    }
+
+    /// Register a DB under `name` (replacing any previous one).  Every
+    /// entry's comparison trees are appended to the artifact store
+    /// (content-addressed, so re-indexing the same app is free) where the
+    /// binary listener's `tree` handler serves them verbatim.
     pub fn insert_db(&self, name: impl Into<String>, db: CodebaseDb) {
+        for e in &db.entries {
+            // Best-effort: a full disk must not fail the index request —
+            // the store is a serving cache, not the source of truth.
+            let _ = self.store.append_tree(&e.artifacts.t_sem);
+            let _ = self.store.append_tree(&e.artifacts.t_src);
+        }
         lock_dbs(&self.dbs).insert(name.into(), Arc::new(db));
     }
 
@@ -238,15 +270,67 @@ impl AnalysisService {
         let svc = Arc::clone(self);
         router.register_fanout("evaluate", move |p, ctx| svc.handle_evaluate(p, ctx));
         let svc = Arc::clone(self);
+        router.register_blob("tree", move |p| svc.handle_tree(p));
+        let svc = Arc::clone(self);
         router.stats_provider(move || svc.stats_json());
         let svc = Arc::clone(self);
         router.metrics_provider(move || svc.metrics_snapshot());
     }
 
+    /// The `tree` blob handler: look a unit's comparison tree up in the
+    /// artifact store and return its svpack bytes verbatim (plus JSON
+    /// metadata).  A store lookup, not a computation — it runs inline on
+    /// the serving thread.
+    fn handle_tree(&self, params: &Json) -> Result<(Json, Arc<Vec<u8>>), ServeError> {
+        let db_name = str_param(params, "db")?;
+        let db = self.db(&db_name)?;
+        let label = str_param(params, "label")?;
+        let metric = metric_param(params)?;
+        if !matches!(metric, Metric::TSrc | Metric::TSem | Metric::TIr) {
+            return Err(ServeError::bad_params(format!(
+                "'{}' is not a tree metric",
+                metric.name()
+            )));
+        }
+        let v = variant_param(params);
+        if v.coverage {
+            // Coverage-masked trees are materialised per request; the
+            // store only holds content-addressed artefact trees.
+            return Err(ServeError::bad_params("coverage-masked trees are not stored"));
+        }
+        let entry = db
+            .entry(&label)
+            .ok_or_else(|| ServeError::not_found(format!("no unit '{label}' in the database")))?;
+        let m = Measured::of(&entry.artifacts);
+        let tree = svmetrics::tree_of(&m, metric, v);
+        // Indexing appended the plain t_sem/t_src trees; variant trees
+        // (pp/inline) and t_ir are appended on first request.
+        let hash = self
+            .store
+            .append_tree(&tree)
+            .map_err(|e| ServeError::internal(format!("artifact store append: {e}")))?;
+        let bytes = self
+            .store
+            .raw(hash)
+            .ok_or_else(|| ServeError::internal("artifact store lost a record"))?;
+        let meta = Json::obj([
+            ("db", Json::str(db_name)),
+            ("label", Json::str(label)),
+            ("metric", Json::str(metric.name())),
+            ("variant", Json::str(v.label())),
+            ("fp", Json::str(format!("{hash:016x}"))),
+            ("bytes", Json::Num(bytes.len() as f64)),
+            ("nodes", Json::Num(tree.size() as f64)),
+        ]);
+        Ok((meta, bytes))
+    }
+
     /// The application section of the `metrics` response: the cache's
-    /// registry (hits/misses/evictions/sizes) plus service-level totals.
+    /// registry (hits/misses/evictions/sizes) plus the artifact store's
+    /// counters plus service-level totals.
     pub fn metrics_snapshot(&self) -> svtrace::MetricsSnapshot {
         let mut snap = self.cache.registry().snapshot();
+        snap.merge(self.store.registry().snapshot());
         snap.push_counter("service.pair_computes", self.pair_computes());
         snap.push_counter("service.databases", lock_dbs(&self.dbs).len() as u64);
         snap.push_counter("service.cand_memo_hits", self.cand_memo_hits.load(Ordering::Relaxed));

@@ -12,14 +12,20 @@
 //! queueing unboundedly and well-behaved clients simply come back a
 //! moment later.
 
+use crate::binproto::{self, BinFrameReader, BinRead};
 use crate::faults::XorShift;
-use crate::proto::{parse_response, trace_json, FrameRead, FrameReader, ServeError};
+use crate::proto::{parse_response, trace_json, FrameRead, FrameReader, Request, ServeError};
 use crate::svjson::Json;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
 use svtrace::{ActiveTrace, Counter, Registry, TraceCtx};
+
+/// A server reply as the client surfaces it: the JSON result plus any
+/// out-of-band blobs (already unfolded from `svpack_hex` on the JSON
+/// wire, so both wires look identical to callers).
+type ReplyWithBlobs = Result<(Json, Vec<Vec<u8>>), ServeError>;
 
 /// Backoff schedule for [`Client::call_with_retry`]: delay doubles each
 /// attempt from `base_delay` up to `max_delay`, scaled by a jitter factor
@@ -60,24 +66,44 @@ impl RetryPolicy {
     }
 }
 
+/// Which wire protocol a [`Client`] is speaking.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Wire {
+    /// Line-framed JSON (the original protocol; every server speaks it).
+    Json,
+    /// Length-prefixed binary frames carrying svpack bytes verbatim.
+    Bin,
+}
+
+/// The client's transport: same request/response semantics, different
+/// framing.
+enum Transport {
+    Json { writer: TcpStream, reader: FrameReader<TcpStream> },
+    Bin { writer: TcpStream, reader: BinFrameReader<TcpStream> },
+}
+
 /// A connected client.
 pub struct Client {
-    writer: TcpStream,
-    reader: FrameReader<TcpStream>,
+    transport: Transport,
     addr: Option<SocketAddr>,
+    /// The negotiated binary listener's address (reconnect target while
+    /// on the binary wire).
+    bin_addr: Option<SocketAddr>,
     next_id: u64,
-    /// Client-side metrics (`client.retries`, `client.reconnects`):
-    /// failures the retry layer papers over must still be observable.
+    /// Client-side metrics (`client.retries`, `client.reconnects`,
+    /// `client.proto_fallbacks`): failures the retry/negotiation layers
+    /// paper over must still be observable.
     registry: Registry,
     retries: Arc<Counter>,
     reconnects: Arc<Counter>,
+    proto_fallbacks: Arc<Counter>,
     /// When on, every call carries a fresh trace context on the wire.
     tracing: bool,
     last_trace: Option<TraceCtx>,
 }
 
 impl Client {
-    /// Connect to a running server.
+    /// Connect to a running server on the JSON wire.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let peer = stream.peer_addr().ok();
@@ -85,17 +111,68 @@ impl Client {
         let registry = Registry::new();
         let retries = registry.counter("client.retries");
         let reconnects = registry.counter("client.reconnects");
+        let proto_fallbacks = registry.counter("client.proto_fallbacks");
         Ok(Client {
-            writer,
-            reader: FrameReader::new(stream),
+            transport: Transport::Json { writer, reader: FrameReader::new(stream) },
             addr: peer,
+            bin_addr: None,
             next_id: 1,
             registry,
             retries,
             reconnects,
+            proto_fallbacks,
             tracing: false,
             last_trace: None,
         })
+    }
+
+    /// Connect with transparent protocol negotiation: ask `health` over
+    /// JSON, and if the server advertises a binary listener, switch to
+    /// it.  Any failure along the way falls back to the JSON wire the
+    /// client already holds — observable as `client.proto_fallbacks`,
+    /// never as an error.
+    pub fn connect_negotiated(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let mut c = Client::connect(addr)?;
+        c.upgrade();
+        Ok(c)
+    }
+
+    /// The wire protocol currently in use.
+    pub fn wire(&self) -> Wire {
+        match self.transport {
+            Transport::Json { .. } => Wire::Json,
+            Transport::Bin { .. } => Wire::Bin,
+        }
+    }
+
+    /// Times negotiation wanted the binary wire but had to stay on JSON.
+    pub fn proto_fallbacks(&self) -> u64 {
+        self.proto_fallbacks.get()
+    }
+
+    /// Best-effort upgrade to the binary listener `health` advertises.
+    fn upgrade(&mut self) {
+        let Ok(health) = self.call("health", Json::Null) else {
+            self.proto_fallbacks.inc();
+            return;
+        };
+        let (Some(port), Some(addr)) = (health.get("bin_port").and_then(Json::as_u64), self.addr)
+        else {
+            self.proto_fallbacks.inc();
+            return;
+        };
+        let bin = SocketAddr::new(addr.ip(), port as u16);
+        let upgraded = TcpStream::connect(bin).and_then(|stream| {
+            let writer = stream.try_clone()?;
+            Ok(Transport::Bin { writer, reader: BinFrameReader::new(stream) })
+        });
+        match upgraded {
+            Ok(t) => {
+                self.transport = t;
+                self.bin_addr = Some(bin);
+            }
+            Err(_) => self.proto_fallbacks.inc(),
+        }
     }
 
     /// Attach a fresh distributed-trace context to every subsequent call
@@ -118,6 +195,27 @@ impl Client {
     /// `io`-code error.  A response whose id does not match the request
     /// is a protocol violation and reported as an `io` error.
     pub fn call(&mut self, method: &str, params: Json) -> Result<Json, ServeError> {
+        self.call_full(method, params).map(|(v, _)| v)
+    }
+
+    /// [`Client::call`], also returning any out-of-band byte payloads
+    /// (svpack, typically).  On the binary wire the bytes arrive
+    /// verbatim; on JSON they are unfolded from the result's
+    /// `svpack_hex` field — callers see the same `(json, blobs)` either
+    /// way.
+    pub fn call_blob(
+        &mut self,
+        method: &str,
+        params: Json,
+    ) -> Result<(Json, Vec<Vec<u8>>), ServeError> {
+        self.call_full(method, params)
+    }
+
+    fn call_full(
+        &mut self,
+        method: &str,
+        params: Json,
+    ) -> Result<(Json, Vec<Vec<u8>>), ServeError> {
         let id = self.next_id;
         self.next_id += 1;
         let trace = self.tracing.then(TraceCtx::root);
@@ -126,21 +224,31 @@ impl Client {
         // its span id rides on the wire as the request's parent.
         let _scope = trace.map(|ctx| svtrace::ctx::install(Some(ActiveTrace { ctx, sink: None })));
         let span = svtrace::span!("client.call", method = method);
-        let mut fields = vec![
-            ("id".to_string(), Json::Num(id as f64)),
-            ("method".to_string(), Json::str(method)),
-            ("params".to_string(), params),
-        ];
-        if let Some(ctx) = trace {
+        let wire_trace = trace.map(|ctx| {
             self.last_trace = Some(ctx);
-            let wire =
-                TraceCtx { trace_id: ctx.trace_id, parent_span_id: span.span_id(), sampled: true };
-            fields.push(("trace".to_string(), trace_json(&wire)));
+            TraceCtx { trace_id: ctx.trace_id, parent_span_id: span.span_id(), sampled: true }
+        });
+        let io_err = |e: io::Error| ServeError::new("io", e.to_string());
+        match &mut self.transport {
+            Transport::Json { writer, .. } => {
+                let mut fields = vec![
+                    ("id".to_string(), Json::Num(id as f64)),
+                    ("method".to_string(), Json::str(method)),
+                    ("params".to_string(), params),
+                ];
+                if let Some(wire) = wire_trace {
+                    fields.push(("trace".to_string(), trace_json(&wire)));
+                }
+                let mut frame = Json::Object(fields.into_iter().collect()).to_string_compact();
+                frame.push('\n');
+                writer.write_all(frame.as_bytes()).map_err(io_err)?;
+            }
+            Transport::Bin { writer, .. } => {
+                let req = Request { id, method: method.to_string(), params, trace: wire_trace };
+                writer.write_all(&binproto::encode_request(&req, &[])).map_err(io_err)?;
+            }
         }
-        let mut frame = Json::Object(fields.into_iter().collect()).to_string_compact();
-        frame.push('\n');
-        self.send_raw(&frame)?;
-        let (rid, result) = self.recv()?;
+        let (rid, result) = self.recv_full()?;
         match rid {
             // A `null` id marks a frame-level failure (the server could
             // not attribute the reply to a request); pass its error on.
@@ -216,41 +324,101 @@ impl Client {
         Ok(v)
     }
 
-    /// Re-establish the connection after a transport failure.
+    /// Re-establish the connection after a transport failure, staying on
+    /// the wire the client negotiated.
     fn reconnect(&mut self) -> io::Result<()> {
-        let addr = self
-            .addr
-            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "peer address unknown"))?;
-        let stream = TcpStream::connect(addr)?;
-        self.writer = stream.try_clone()?;
-        self.reader = FrameReader::new(stream);
+        let unknown = || io::Error::new(io::ErrorKind::NotConnected, "peer address unknown");
+        self.transport = match &self.transport {
+            Transport::Json { .. } => {
+                let stream = TcpStream::connect(self.addr.ok_or_else(unknown)?)?;
+                let writer = stream.try_clone()?;
+                Transport::Json { writer, reader: FrameReader::new(stream) }
+            }
+            Transport::Bin { .. } => {
+                let stream = TcpStream::connect(self.bin_addr.ok_or_else(unknown)?)?;
+                let writer = stream.try_clone()?;
+                Transport::Bin { writer, reader: BinFrameReader::new(stream) }
+            }
+        };
         self.reconnects.inc();
         Ok(())
     }
 
     /// Write pre-framed bytes verbatim (for protocol tests: malformed or
     /// oversized frames).  The caller supplies the trailing newline.
+    /// JSON wire only — binary tests write to a raw socket instead.
     pub fn send_raw(&mut self, frame: &str) -> Result<(), ServeError> {
-        self.writer.write_all(frame.as_bytes()).map_err(|e| ServeError::new("io", e.to_string()))
+        match &mut self.transport {
+            Transport::Json { writer, .. } => {
+                writer.write_all(frame.as_bytes()).map_err(|e| ServeError::new("io", e.to_string()))
+            }
+            Transport::Bin { .. } => {
+                Err(ServeError::new("io", "send_raw requires the JSON wire".to_string()))
+            }
+        }
     }
 
     /// Read the next response frame.  The id is `None` when the server
     /// could not attribute the response to a request (`"id": null`).
     pub fn recv(&mut self) -> Result<(Option<u64>, Result<Json, ServeError>), ServeError> {
-        loop {
-            match self.reader.read_frame().map_err(|e| ServeError::new("io", e.to_string()))? {
-                FrameRead::Line(line) => {
-                    return parse_response(&line).map_err(|e| ServeError::new("io", e))
+        self.recv_full().map(|(id, r)| (id, r.map(|(v, _)| v)))
+    }
+
+    fn recv_full(&mut self) -> Result<(Option<u64>, ReplyWithBlobs), ServeError> {
+        let io_err = |e: io::Error| ServeError::new("io", e.to_string());
+        match &mut self.transport {
+            Transport::Json { reader, .. } => loop {
+                match reader.read_frame().map_err(io_err)? {
+                    FrameRead::Line(line) => {
+                        let (id, result) =
+                            parse_response(&line).map_err(|e| ServeError::new("io", e))?;
+                        return Ok((id, result.map(unfold_hex_blob)));
+                    }
+                    FrameRead::Timeout => continue,
+                    FrameRead::TooLarge => {
+                        return Err(ServeError::new("io", "oversized response frame".to_string()))
+                    }
+                    FrameRead::Eof => {
+                        return Err(ServeError::new(
+                            "io",
+                            "server closed the connection".to_string(),
+                        ))
+                    }
                 }
-                FrameRead::Timeout => continue,
-                FrameRead::TooLarge => {
-                    return Err(ServeError::new("io", "oversized response frame".to_string()))
+            },
+            Transport::Bin { reader, .. } => loop {
+                match reader.read_frame().map_err(io_err)? {
+                    BinRead::Frame(payload) => {
+                        return binproto::decode_response(&payload)
+                            .map_err(|e| ServeError::new("io", e.message))
+                    }
+                    BinRead::Timeout => continue,
+                    BinRead::TooLarge => {
+                        return Err(ServeError::new("io", "oversized response frame".to_string()))
+                    }
+                    BinRead::Eof => {
+                        return Err(ServeError::new(
+                            "io",
+                            "server closed the connection".to_string(),
+                        ))
+                    }
                 }
-                FrameRead::Eof => {
-                    return Err(ServeError::new("io", "server closed the connection".to_string()))
-                }
-            }
+            },
         }
+    }
+}
+
+/// The JSON wire's blob carriage, undone: a `svpack_hex` field in the
+/// result object is stripped and decoded so both wires hand callers the
+/// same `(json, blobs)` shape.
+fn unfold_hex_blob(v: Json) -> (Json, Vec<Vec<u8>>) {
+    match v {
+        Json::Object(mut map) => {
+            let blob =
+                map.remove("svpack_hex").and_then(|h| h.as_str().and_then(binproto::hex_decode));
+            (Json::Object(map), blob.into_iter().collect())
+        }
+        other => (other, Vec::new()),
     }
 }
 

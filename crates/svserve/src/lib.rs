@@ -28,18 +28,22 @@
 //! `silvervale` binary registers the actual analysis handlers and owns
 //! the `serve`/`client`/`stats` CLI.
 
+pub mod binproto;
 pub mod cache;
 pub mod cached;
 pub mod client;
 pub mod faults;
 pub mod proto;
+pub mod reactor;
 pub mod sched;
 pub mod server;
+pub mod store;
 pub mod svjson;
+pub mod sys;
 pub mod tracewire;
 
 pub use cache::{CacheKey, CacheStats, CachedPair, TedCache};
-pub use client::{Client, RetryPolicy};
+pub use client::{Client, RetryPolicy, Wire};
 pub use faults::{Fault, FaultPlan};
 pub use proto::{id_hex, parse_id_hex, trace_json, Request, ServeError, MAX_FRAME};
 pub use sched::{JobCtx, JobPool, PoolConfig, PoolStats};
@@ -47,6 +51,7 @@ pub use server::{
     render_slowlog, render_stats, render_top, serve, serve_with, snapshot_json, FanoutCtx,
     FanoutHandler, Router, ServeConfig, ServeHandle,
 };
+pub use store::ArtifactStore;
 pub use tracewire::merged_chrome_trace;
 
 #[cfg(test)]

@@ -1,0 +1,774 @@
+//! Epoll reactor: readiness-driven connection handling for both wire
+//! protocols on one thread.
+//!
+//! The accept loop, socket reads, frame parsing, and socket writes all
+//! happen here, nonblocking, driven by `epoll` readiness (see
+//! [`crate::sys`]).  Request *execution* does not: each complete frame
+//! becomes a job on the [`Executor`] — a small dynamic blocking pool —
+//! whose handler path is the same `process_request` the threaded
+//! fallback uses, so deadlines, shedding, drain, tracing, and fault
+//! injection carry over unchanged (routed methods still run on the
+//! [`crate::sched::JobPool`] beneath it; the executor thread plays the
+//! old connection thread's part, which is what lets fan-out handlers
+//! keep blocking on their sub-jobs).
+//!
+//! Per-connection state machine: while a request is in flight the
+//! connection's `EPOLLIN` interest is dropped, so a client gets exactly
+//! one outstanding request at a time (the threaded loop's behaviour) and
+//! buffering stays bounded — further pipelined frames wait in the kernel
+//! socket buffer.  When the reply is posted back (completion queue +
+//! eventfd wake), already-buffered frames are parsed before interest is
+//! re-armed, so pipelining still works without extra syscalls.
+//!
+//! Oversized frames diverge by protocol, deliberately: a JSON line can
+//! resync on the next newline (error reply, connection survives —
+//! `FrameReader` semantics), but a corrupt binary length prefix leaves
+//! no boundary to find, so the reply is followed by a close.
+//!
+//! If reactor setup fails (exotic container without epoll, say), the
+//! listeners are handed back and `server.rs` falls back to the
+//! thread-per-connection loop; `SVSERVE_NO_REACTOR=1` forces that path.
+
+#![cfg(target_os = "linux")]
+
+use crate::binproto::{self, FrameAccum};
+use crate::proto::{response_err, ServeError, MAX_FRAME};
+use crate::server::{handle_frame_bin, handle_frame_json, Listener, ServerState};
+use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+// ------------------------------------------------------------- executor
+
+/// Idle executor threads retire after this long without a job.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(2);
+/// Upper bound on executor threads.  Requests beyond it queue; the
+/// JobPool underneath still bounds *routed* work via `max_queue`.
+const EXEC_CAP: usize = 512;
+
+struct ExecState {
+    q: VecDeque<Box<dyn FnOnce() + Send>>,
+    idle: usize,
+    threads: usize,
+}
+
+/// A dynamic pool of blocking threads for request execution.  Grows a
+/// thread whenever a job arrives and nobody is idle (up to [`EXEC_CAP`]),
+/// shrinks via idle timeout — 10k mostly-idle connections do not cost
+/// 10k threads, which is the point of the reactor.
+pub(crate) struct Executor {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    cap: usize,
+}
+
+fn exec_lock(e: &Executor) -> MutexGuard<'_, ExecState> {
+    e.state.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Executor {
+    pub(crate) fn new(cap: usize) -> Arc<Executor> {
+        Arc::new(Executor {
+            state: Mutex::new(ExecState { q: VecDeque::new(), idle: 0, threads: 0 }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        })
+    }
+
+    pub(crate) fn submit(self: &Arc<Self>, job: Box<dyn FnOnce() + Send>) {
+        let mut s = exec_lock(self);
+        s.q.push_back(job);
+        if s.idle == 0 && s.threads < self.cap {
+            s.threads += 1;
+            let exec = Arc::clone(self);
+            let spawned = std::thread::Builder::new()
+                .name("svserve-exec".into())
+                .spawn(move || exec_worker(exec));
+            // On spawn failure the job stays queued for an existing
+            // worker; if this would have been the first, the next submit
+            // retries.
+            if spawned.is_err() {
+                s.threads -= 1;
+            }
+        } else {
+            self.cv.notify_one();
+        }
+    }
+
+    #[cfg(test)]
+    fn threads(&self) -> usize {
+        exec_lock(self).threads
+    }
+}
+
+fn exec_worker(exec: Arc<Executor>) {
+    loop {
+        let job = {
+            let mut s = exec_lock(&exec);
+            loop {
+                if let Some(j) = s.q.pop_front() {
+                    break Some(j);
+                }
+                s.idle += 1;
+                let (guard, timeout) =
+                    exec.cv.wait_timeout(s, IDLE_TIMEOUT).unwrap_or_else(|p| p.into_inner());
+                s = guard;
+                s.idle -= 1;
+                if timeout.timed_out() && s.q.is_empty() {
+                    s.threads -= 1;
+                    break None;
+                }
+            }
+        };
+        match job {
+            // Jobs catch handler panics themselves; this backstop keeps
+            // the worker (and the thread count) honest regardless.
+            Some(j) => drop(catch_unwind(AssertUnwindSafe(j))),
+            None => return,
+        }
+    }
+}
+
+// -------------------------------------------------------------- reactor
+
+/// Epoll data tags: fixed ids for the waker and listeners, then one slot
+/// per connection.
+const TAG_WAKER: u64 = 0;
+const TAG_JSON: u64 = 1;
+const TAG_BIN: u64 = 2;
+const FIRST_CONN: u64 = 3;
+
+/// `epoll_wait` timeout — the shutdown-flag poll cadence, matching the
+/// threaded path's `POLL_INTERVAL`.
+const WAIT_MS: i32 = 100;
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Per-connection incremental parser.
+enum Parser {
+    Json { buf: Vec<u8>, skipping: bool },
+    Bin(FrameAccum),
+}
+
+/// A complete inbound frame, ready for the executor.
+enum Job {
+    Json(String),
+    Bin(Vec<u8>),
+}
+
+/// One parse attempt's outcome (plain data so the borrow of the
+/// connection ends before the reactor acts on it).
+enum Step {
+    /// No complete frame buffered.
+    Idle,
+    Dispatch(Job),
+    /// An empty JSON line — skipped without dispatch, like the threaded
+    /// loop.
+    Skip,
+    /// Oversized JSON line: error reply, resync, connection survives.
+    JsonTooLarge,
+    /// Oversized/corrupt binary length prefix: error reply, then close.
+    BinFatal,
+}
+
+struct Conn {
+    stream: TcpStream,
+    /// Guards completions against slot reuse: a reply for a dead
+    /// connection whose index was recycled must not reach the new one.
+    gen: u64,
+    parser: Parser,
+    out: Vec<u8>,
+    wpos: usize,
+    in_flight: bool,
+    /// Close once the write buffer is flushed.
+    closing: bool,
+    eof: bool,
+    interest: u32,
+}
+
+impl Conn {
+    fn flushed(&self) -> bool {
+        self.wpos == self.out.len()
+    }
+}
+
+struct Completion {
+    idx: usize,
+    gen: u64,
+    reply: Vec<u8>,
+}
+
+struct Reactor {
+    epoll: Epoll,
+    evfd: Arc<EventFd>,
+    json: Option<TcpListener>,
+    bin: Option<TcpListener>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    gen: u64,
+    exec: Arc<Executor>,
+    state: Arc<ServerState>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    /// Jobs submitted and not yet *drained* (a posted completion counts
+    /// until the reactor consumes it), so `0` means fully quiesced.
+    n_inflight: Arc<AtomicUsize>,
+}
+
+/// Run the reactor until shutdown completes its drain.  On setup failure
+/// the listeners are returned (restored to blocking) so the caller can
+/// fall back to the threaded accept loop.
+pub(crate) fn run(
+    json: TcpListener,
+    bin: Option<TcpListener>,
+    state: Arc<ServerState>,
+) -> Result<(), (TcpListener, Option<TcpListener>)> {
+    let mut r = Reactor::new(json, bin, state)?;
+    r.event_loop();
+    Ok(())
+}
+
+impl Reactor {
+    fn new(
+        json: TcpListener,
+        bin: Option<TcpListener>,
+        state: Arc<ServerState>,
+    ) -> Result<Reactor, (TcpListener, Option<TcpListener>)> {
+        fn fail(
+            json: TcpListener,
+            bin: Option<TcpListener>,
+        ) -> Result<Reactor, (TcpListener, Option<TcpListener>)> {
+            let _ = json.set_nonblocking(false);
+            if let Some(b) = &bin {
+                let _ = b.set_nonblocking(false);
+            }
+            Err((json, bin))
+        }
+        let (epoll, evfd) = match (Epoll::new(), EventFd::new()) {
+            (Ok(e), Ok(f)) => (e, Arc::new(f)),
+            _ => return fail(json, bin),
+        };
+        if json.set_nonblocking(true).is_err()
+            || epoll.add(evfd.fd(), EPOLLIN, TAG_WAKER).is_err()
+            || epoll.add(json.as_raw_fd(), EPOLLIN, TAG_JSON).is_err()
+        {
+            return fail(json, bin);
+        }
+        if let Some(b) = &bin {
+            if b.set_nonblocking(true).is_err()
+                || epoll.add(b.as_raw_fd(), EPOLLIN, TAG_BIN).is_err()
+            {
+                return fail(json, bin);
+            }
+        }
+        // Shutdown wake-ups go through the eventfd instead of a
+        // throwaway TCP connect.
+        let wake = Arc::clone(&evfd);
+        state.set_waker(Arc::new(move || wake.wake()));
+        Ok(Reactor {
+            epoll,
+            evfd,
+            json: Some(json),
+            bin,
+            conns: Vec::new(),
+            free: Vec::new(),
+            gen: 0,
+            exec: Executor::new(EXEC_CAP),
+            state,
+            completions: Arc::new(Mutex::new(Vec::new())),
+            n_inflight: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    fn event_loop(&mut self) {
+        let mut events = [EpollEvent { events: 0, data: 0 }; 64];
+        loop {
+            let n = self.epoll.wait(&mut events, WAIT_MS).unwrap_or(0);
+            for ev in events.iter().take(n) {
+                // Braces copy the (packed on x86) fields out.
+                let (data, mask) = ({ ev.data }, { ev.events });
+                match data {
+                    TAG_WAKER => self.evfd.drain(),
+                    TAG_JSON => self.accept(Listener::Json),
+                    TAG_BIN => self.accept(Listener::Bin),
+                    tag => self.conn_event((tag - FIRST_CONN) as usize, mask),
+                }
+            }
+            self.drain_completions();
+            if self.state.is_shutdown() {
+                self.begin_drain();
+                // Quiesced: no jobs out (a posted-but-undrained completion
+                // still counts) and every connection flushed and closed.
+                if self.n_inflight.load(Ordering::SeqCst) == 0
+                    && self.conns.iter().all(Option::is_none)
+                {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Stop accepting (drops the listeners, releasing the ports) and
+    /// close every connection as soon as it is idle and flushed.
+    fn begin_drain(&mut self) {
+        if let Some(l) = self.json.take() {
+            let _ = self.epoll.del(l.as_raw_fd());
+        }
+        if let Some(l) = self.bin.take() {
+            let _ = self.epoll.del(l.as_raw_fd());
+        }
+        for idx in 0..self.conns.len() {
+            let close_now = match &mut self.conns[idx] {
+                Some(c) if !c.in_flight && c.flushed() => true,
+                Some(c) => {
+                    c.closing = true;
+                    false
+                }
+                None => false,
+            };
+            if close_now {
+                self.close(idx);
+            }
+        }
+    }
+
+    fn accept(&mut self, listener: Listener) {
+        loop {
+            let l = match listener {
+                Listener::Json => self.json.as_ref(),
+                Listener::Bin => self.bin.as_ref(),
+            };
+            let Some(l) = l else { return };
+            match l.accept() {
+                Ok((stream, _)) => {
+                    if self.state.is_shutdown() {
+                        continue; // late arrivals during drain: just drop
+                    }
+                    self.register(stream, listener);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream, listener: Listener) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let interest = EPOLLIN | EPOLLRDHUP;
+        if self.epoll.add(stream.as_raw_fd(), interest, FIRST_CONN + idx as u64).is_err() {
+            self.free.push(idx);
+            return;
+        }
+        self.gen += 1;
+        self.state.count_connection();
+        let parser = match listener {
+            Listener::Json => Parser::Json { buf: Vec::new(), skipping: false },
+            Listener::Bin => Parser::Bin(FrameAccum::new()),
+        };
+        self.conns[idx] = Some(Conn {
+            stream,
+            gen: self.gen,
+            parser,
+            out: Vec::new(),
+            wpos: 0,
+            in_flight: false,
+            closing: false,
+            eof: false,
+            interest,
+        });
+    }
+
+    fn conn_event(&mut self, idx: usize, mask: u32) {
+        if self.conns.get(idx).is_none_or(Option::is_none) {
+            return; // already closed this tick
+        }
+        if mask & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close(idx);
+            return;
+        }
+        if mask & EPOLLOUT != 0 && !self.flush(idx) {
+            return;
+        }
+        if mask & (EPOLLIN | EPOLLRDHUP) != 0 {
+            self.readable(idx);
+        }
+    }
+
+    /// Pull everything the socket has into the parser, then advance the
+    /// state machine.
+    fn readable(&mut self, idx: usize) {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            let Some(c) = self.conns[idx].as_mut() else { return };
+            if c.in_flight {
+                return; // stale event from this batch; interest is off
+            }
+            match c.stream.read(&mut chunk) {
+                Ok(0) => {
+                    c.eof = true;
+                    break;
+                }
+                Ok(n) => match &mut c.parser {
+                    Parser::Json { buf, .. } => buf.extend_from_slice(&chunk[..n]),
+                    Parser::Bin(accum) => accum.push(&chunk[..n]),
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close(idx);
+                    return;
+                }
+            }
+        }
+        self.advance(idx);
+    }
+
+    /// Parse buffered bytes until a frame dispatches, the buffer runs
+    /// dry, or the connection dies; then flush and re-arm interest.
+    fn advance(&mut self, idx: usize) {
+        loop {
+            let step = {
+                let Some(c) = self.conns[idx].as_mut() else { return };
+                if c.in_flight || c.closing {
+                    break;
+                }
+                parse_step(c)
+            };
+            match step {
+                Step::Skip => continue,
+                Step::Idle => {
+                    let Some(c) = self.conns[idx].as_mut() else { return };
+                    if c.eof {
+                        // Peer finished sending; nothing left to answer.
+                        if c.flushed() {
+                            self.close(idx);
+                            return;
+                        }
+                        c.closing = true;
+                    }
+                    break;
+                }
+                Step::Dispatch(job) => {
+                    let gen = {
+                        let c = self.conns[idx].as_mut().unwrap();
+                        c.in_flight = true;
+                        c.gen
+                    };
+                    self.submit(idx, gen, job);
+                    break;
+                }
+                Step::JsonTooLarge => {
+                    let reply = self.state.reject_oversized_json();
+                    let c = self.conns[idx].as_mut().unwrap();
+                    c.out.extend_from_slice(reply.as_bytes());
+                    continue; // the parser already resynced
+                }
+                Step::BinFatal => {
+                    let reply = self.state.reject_oversized_bin();
+                    let c = self.conns[idx].as_mut().unwrap();
+                    c.out.extend_from_slice(&reply);
+                    c.closing = true; // no boundary to resync on
+                    break;
+                }
+            }
+        }
+        if self.flush(idx) {
+            self.rearm(idx);
+        }
+    }
+
+    fn submit(&mut self, idx: usize, gen: u64, job: Job) {
+        self.n_inflight.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let completions = Arc::clone(&self.completions);
+        let evfd = Arc::clone(&self.evfd);
+        self.exec.submit(Box::new(move || {
+            // The completion must post even if the handler path panics,
+            // or `n_inflight` never drains and shutdown hangs.
+            let reply = catch_unwind(AssertUnwindSafe(|| match &job {
+                Job::Json(line) => handle_frame_json(&state, line).into_bytes(),
+                Job::Bin(payload) => handle_frame_bin(&state, payload),
+            }))
+            .unwrap_or_else(|_| {
+                let e = ServeError::panicked("request dispatch panicked");
+                match &job {
+                    Job::Json(_) => response_err(None, &e).into_bytes(),
+                    Job::Bin(_) => binproto::encode_response_err(None, &e),
+                }
+            });
+            completions.lock().unwrap_or_else(|p| p.into_inner()).push(Completion {
+                idx,
+                gen,
+                reply,
+            });
+            evfd.wake();
+        }));
+    }
+
+    fn drain_completions(&mut self) {
+        let done = std::mem::take(&mut *self.completions.lock().unwrap_or_else(|p| p.into_inner()));
+        for comp in done {
+            self.n_inflight.fetch_sub(1, Ordering::SeqCst);
+            let Some(c) = self.conns.get_mut(comp.idx).and_then(Option::as_mut) else {
+                continue; // connection died while the job ran
+            };
+            if c.gen != comp.gen {
+                continue; // slot was recycled
+            }
+            c.out.extend_from_slice(&comp.reply);
+            c.in_flight = false;
+            if self.state.is_shutdown() {
+                // Matches the threaded loop: last reply is written, then
+                // the connection winds down.
+                self.conns[comp.idx].as_mut().unwrap().closing = true;
+            }
+            // Already-buffered pipelined frames proceed before EPOLLIN is
+            // re-armed (advance flushes and re-arms).
+            self.advance(comp.idx);
+        }
+    }
+
+    /// Write as much pending output as the socket accepts.  Returns
+    /// `false` if the connection was closed.
+    fn flush(&mut self, idx: usize) -> bool {
+        let mut dead = false;
+        let mut done_closing = false;
+        {
+            let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else { return false };
+            while c.wpos < c.out.len() {
+                match c.stream.write(&c.out[c.wpos..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => c.wpos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead && c.flushed() {
+                c.out.clear();
+                c.wpos = 0;
+                done_closing = c.closing;
+            }
+        }
+        if dead || done_closing {
+            self.close(idx);
+            return false;
+        }
+        true
+    }
+
+    /// Reconcile epoll interest with the connection's state: reads only
+    /// when idle (backpressure), writes only while output is pending.
+    fn rearm(&mut self, idx: usize) {
+        let (fd, current, want) = {
+            let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) else { return };
+            let mut want = 0;
+            if !c.in_flight && !c.closing && !c.eof {
+                want |= EPOLLIN | EPOLLRDHUP;
+            }
+            if !c.flushed() {
+                want |= EPOLLOUT;
+            }
+            (c.stream.as_raw_fd(), c.interest, want)
+        };
+        if want != current {
+            if self.epoll.modify(fd, want, FIRST_CONN + idx as u64).is_err() {
+                self.close(idx);
+                return;
+            }
+            if let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) {
+                c.interest = want;
+            }
+        }
+    }
+
+    fn close(&mut self, idx: usize) {
+        if let Some(slot) = self.conns.get_mut(idx) {
+            if let Some(c) = slot.take() {
+                let _ = self.epoll.del(c.stream.as_raw_fd());
+                self.free.push(idx);
+            }
+        }
+    }
+}
+
+/// One parse attempt against a connection's buffer.  JSON mirrors
+/// [`crate::proto::FrameReader`] exactly (newline framing, `\r`
+/// stripping, lossy UTF-8, `MAX_FRAME` with resync); binary defers to
+/// [`FrameAccum`].
+fn parse_step(c: &mut Conn) -> Step {
+    match &mut c.parser {
+        Parser::Json { buf, skipping } => loop {
+            if *skipping {
+                match buf.iter().position(|&b| b == b'\n') {
+                    Some(nl) => {
+                        buf.drain(..=nl);
+                        *skipping = false;
+                        return Step::JsonTooLarge;
+                    }
+                    None => {
+                        buf.clear();
+                        return Step::Idle;
+                    }
+                }
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    let mut line: Vec<u8> = buf.drain(..=nl).collect();
+                    line.pop(); // the newline
+                    if line.len() > MAX_FRAME {
+                        return Step::JsonTooLarge;
+                    }
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let line = String::from_utf8_lossy(&line).into_owned();
+                    if line.trim().is_empty() {
+                        return Step::Skip;
+                    }
+                    return Step::Dispatch(Job::Json(line));
+                }
+                None if buf.len() > MAX_FRAME => {
+                    *skipping = true;
+                    continue;
+                }
+                None => return Step::Idle,
+            }
+        },
+        Parser::Bin(accum) => match accum.next_frame() {
+            Ok(Some(payload)) => Step::Dispatch(Job::Bin(payload)),
+            Ok(None) => Step::Idle,
+            Err(_) => Step::BinFatal,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_runs_jobs_and_retires_idle_threads() {
+        let exec = Executor::new(4);
+        let n = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let n = Arc::clone(&n);
+            exec.submit(Box::new(move || {
+                n.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let t0 = std::time::Instant::now();
+        while n.load(Ordering::SeqCst) < 16 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 16);
+        assert!(exec.threads() <= 4);
+        // After the idle timeout every worker retires.
+        let t0 = std::time::Instant::now();
+        while exec.threads() > 0 && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert_eq!(exec.threads(), 0);
+    }
+
+    #[test]
+    fn executor_survives_panicking_jobs() {
+        let exec = Executor::new(2);
+        exec.submit(Box::new(|| panic!("boom")));
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        exec.submit(Box::new(move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        }));
+        let t0 = std::time::Instant::now();
+        while n.load(Ordering::SeqCst) < 1 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+
+    fn json_conn(bytes: &[u8]) -> Conn {
+        // A socket pair purely to satisfy the struct; parse_step never
+        // touches the stream.
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        Conn {
+            stream,
+            gen: 1,
+            parser: Parser::Json { buf: bytes.to_vec(), skipping: false },
+            out: Vec::new(),
+            wpos: 0,
+            in_flight: false,
+            closing: false,
+            eof: false,
+            interest: 0,
+        }
+    }
+
+    #[test]
+    fn parse_step_mirrors_frame_reader_semantics() {
+        // Lines, \r\n, empty-line skip, partial retained.
+        let mut c = json_conn(b"one\r\ntwo\n\n  \npart");
+        assert!(matches!(parse_step(&mut c), Step::Dispatch(Job::Json(l)) if l == "one"));
+        assert!(matches!(parse_step(&mut c), Step::Dispatch(Job::Json(l)) if l == "two"));
+        assert!(matches!(parse_step(&mut c), Step::Skip));
+        assert!(matches!(parse_step(&mut c), Step::Skip));
+        assert!(matches!(parse_step(&mut c), Step::Idle));
+
+        // An oversized line resyncs to the next newline and survives.
+        let mut big = vec![b'x'; MAX_FRAME + 1];
+        big.extend_from_slice(b"\nnext\n");
+        let mut c = json_conn(&big);
+        assert!(matches!(parse_step(&mut c), Step::JsonTooLarge));
+        assert!(matches!(parse_step(&mut c), Step::Dispatch(Job::Json(l)) if l == "next"));
+
+        // Oversized with no newline yet: skipping kicks in, then the
+        // late newline finishes the resync.
+        let mut c = json_conn(&vec![b'y'; MAX_FRAME + 2]);
+        assert!(matches!(parse_step(&mut c), Step::Idle));
+        if let Parser::Json { buf, skipping } = &mut c.parser {
+            assert!(*skipping);
+            assert!(buf.is_empty());
+            buf.extend_from_slice(b"tail\nok\n");
+        }
+        assert!(matches!(parse_step(&mut c), Step::JsonTooLarge));
+        assert!(matches!(parse_step(&mut c), Step::Dispatch(Job::Json(l)) if l == "ok"));
+    }
+
+    #[test]
+    fn parse_step_bin_oversize_is_fatal() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let mut accum = FrameAccum::new();
+        accum.push(&((MAX_FRAME + 1) as u32).to_le_bytes());
+        let mut c = Conn {
+            stream,
+            gen: 1,
+            parser: Parser::Bin(accum),
+            out: Vec::new(),
+            wpos: 0,
+            in_flight: false,
+            closing: false,
+            eof: false,
+            interest: 0,
+        };
+        assert!(matches!(parse_step(&mut c), Step::BinFatal));
+    }
+}

@@ -6,11 +6,20 @@
 //! `shutdown` are built in.  Every routed request becomes a job on the
 //! shared [`JobPool`], keyed by `method + canonical params`, so identical
 //! concurrent requests from different connections execute once.
+//!
+//! Two listeners serve the same dispatch path: the line-framed JSON
+//! protocol (the original wire, kept byte-identical for old clients) and
+//! a length-prefixed binary protocol ([`crate::binproto`]) that carries
+//! svpack bytes verbatim.  On Linux both are driven by the epoll
+//! [`crate::reactor`]; elsewhere (or with `SVSERVE_NO_REACTOR=1`, or if
+//! reactor setup fails) a thread-per-connection fallback takes over with
+//! identical semantics.
 
+use crate::binproto;
 use crate::faults::FaultPlan;
 use crate::proto::{
     id_hex, parse_id_hex, parse_request, response_err, response_ok, FrameRead, FrameReader,
-    ServeError,
+    Request, ServeError,
 };
 use crate::sched::{JobCtx, JobPool, PoolConfig, DEFAULT_MAX_QUEUE};
 use crate::svjson::Json;
@@ -19,7 +28,7 @@ use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use svtrace::{
     ActiveTrace, HistogramSnapshot, MetricsSnapshot, Recorder, RecorderConfig, RollingWindow,
@@ -59,6 +68,12 @@ pub struct ServeConfig {
     /// the client sent no trace context (on by default; explicit client
     /// contexts are always honoured).
     pub flight_recorder: bool,
+    /// Serve the length-prefixed binary protocol on a second listener
+    /// (on by default; `health` advertises the port for negotiation).
+    pub bin_enabled: bool,
+    /// Bind address for the binary listener.  `None` picks an ephemeral
+    /// port on the JSON listener's IP.
+    pub bin_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +85,8 @@ impl Default for ServeConfig {
             faults: None,
             slow_threshold: None,
             flight_recorder: true,
+            bin_enabled: true,
+            bin_addr: None,
         }
     }
 }
@@ -81,6 +98,16 @@ pub type Handler = Arc<dyn Fn(&Json) -> Result<Json, ServeError> + Send + Sync>;
 /// submits its own per-item jobs through the [`FanoutCtx`].
 pub type FanoutHandler =
     Arc<dyn Fn(&Json, &FanoutCtx<'_>) -> Result<Json, ServeError> + Send + Sync>;
+
+/// A registered blob handler: returns JSON metadata plus an opaque byte
+/// payload (svpack, typically).  On the binary listener the bytes ride
+/// the frame verbatim; the JSON compat listener folds them into the
+/// result as `svpack_hex`.
+pub type BlobHandler = Arc<dyn Fn(&Json) -> Result<(Json, Arc<Vec<u8>>), ServeError> + Send + Sync>;
+
+/// What dispatch hands the frame layer: the JSON result plus the
+/// out-of-band payload blob handlers produce (`None` for plain methods).
+pub(crate) type DispatchReply = Result<(Json, Option<Arc<Vec<u8>>>), ServeError>;
 
 /// Pool access for fan-out handlers.
 ///
@@ -130,6 +157,7 @@ impl FanoutCtx<'_> {
 pub struct Router {
     handlers: HashMap<String, Handler>,
     fanout: HashMap<String, FanoutHandler>,
+    blob: HashMap<String, BlobHandler>,
     app_stats: Option<Arc<dyn Fn() -> Json + Send + Sync>>,
     app_metrics: Option<Arc<dyn Fn() -> MetricsSnapshot + Send + Sync>>,
 }
@@ -161,6 +189,19 @@ impl Router {
         self.fanout.insert(method.into(), Arc::new(f));
     }
 
+    /// Register a blob handler under `method`: besides its JSON result
+    /// it returns opaque bytes, carried verbatim on the binary wire and
+    /// as `svpack_hex` on the JSON one.  Blob handlers run inline on the
+    /// serving thread (they are expected to be store lookups, not
+    /// computations); a plain or fan-out handler of the same name wins.
+    pub fn register_blob(
+        &mut self,
+        method: impl Into<String>,
+        f: impl Fn(&Json) -> Result<(Json, Arc<Vec<u8>>), ServeError> + Send + Sync + 'static,
+    ) {
+        self.blob.insert(method.into(), Arc::new(f));
+    }
+
     /// Provide the application section of the `stats` response (cache
     /// counters, DB registry size, …).
     pub fn stats_provider(&mut self, f: impl Fn() -> Json + Send + Sync + 'static) {
@@ -178,31 +219,93 @@ impl Router {
     pub fn methods(&self) -> Vec<String> {
         let mut m: Vec<String> = self.handlers.keys().cloned().collect();
         m.extend(self.fanout.keys().filter(|k| !self.handlers.contains_key(*k)).cloned());
+        m.extend(
+            self.blob
+                .keys()
+                .filter(|k| !self.handlers.contains_key(*k) && !self.fanout.contains_key(*k))
+                .cloned(),
+        );
         m.sort();
         m
     }
 }
 
-struct ServerState {
-    router: Router,
-    pool: JobPool,
-    addr: SocketAddr,
-    deadline: Option<Duration>,
-    started: Instant,
-    shutdown: AtomicBool,
-    connections: AtomicU64,
-    requests: AtomicU64,
-    errors: AtomicU64,
+/// Which listener a request arrived on (per-protocol telemetry).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Listener {
+    Json,
+    Bin,
+}
+
+pub(crate) struct ServerState {
+    pub(crate) router: Router,
+    pub(crate) pool: JobPool,
+    pub(crate) addr: SocketAddr,
+    pub(crate) bin_addr: Option<SocketAddr>,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) started: Instant,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) connections: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) errors: AtomicU64,
     /// Per-server flight recorder (tail-sampled span trees).
-    recorder: Arc<Recorder>,
+    pub(crate) recorder: Arc<Recorder>,
     /// Self-sample routed requests when the client sent no context.
-    flight_recorder: bool,
+    pub(crate) flight_recorder: bool,
     /// Rolling request-latency window (µs) and error-count window.
-    win_requests: RollingWindow,
-    win_errors: RollingWindow,
+    pub(crate) win_requests: RollingWindow,
+    pub(crate) win_errors: RollingWindow,
+    /// Per-listener request counts (the compat listener's residual
+    /// traffic is the interesting number during migration).
+    pub(crate) win_json: RollingWindow,
+    pub(crate) win_bin: RollingWindow,
+    /// Installed by the reactor: wakes its `epoll_wait` without a
+    /// throwaway TCP connect.  `None` in threaded-fallback mode.
+    waker: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl ServerState {
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_waker(&self, w: Arc<dyn Fn() + Send + Sync>) {
+        *self.waker.lock().unwrap_or_else(|p| p.into_inner()) = Some(w);
+    }
+
+    /// Wake whatever is blocked waiting for work: the reactor's eventfd
+    /// if one is installed, else the blocking accept loops (throwaway
+    /// connects, the pre-reactor mechanism).
+    pub(crate) fn wake(&self) {
+        let waker = self.waker.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        match waker {
+            Some(w) => w(),
+            None => {
+                let _ = TcpStream::connect(self.addr);
+                if let Some(b) = self.bin_addr {
+                    let _ = TcpStream::connect(b);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn count_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The reply for an oversized JSON line (counted as a server error;
+    /// the connection survives — the reader resyncs on the newline).
+    pub(crate) fn reject_oversized_json(&self) -> String {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        response_err(None, &ServeError::frame_too_large())
+    }
+
+    /// The reply for an oversized binary length prefix (counted as a
+    /// server error; the connection closes — nothing to resync on).
+    pub(crate) fn reject_oversized_bin(&self) -> Vec<u8> {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        binproto::encode_response_err(None, &ServeError::frame_too_large())
+    }
     /// Everything the `stats` method (and the shutdown banner) reports.
     fn stats_json(&self) -> Json {
         let p = self.pool.stats();
@@ -245,6 +348,8 @@ impl ServerState {
                 ("p90_us", Json::Num(w10.p90 as f64)),
                 ("p99_us", Json::Num(w10.p99 as f64)),
                 ("err_rate_10s", Json::Num(round(self.win_errors.stats(10).rate_per_sec))),
+                ("json_rate_10s", Json::Num(round(self.win_json.stats(10).rate_per_sec))),
+                ("bin_rate_10s", Json::Num(round(self.win_bin.stats(10).rate_per_sec))),
             ]),
         ));
         if let Some(f) = &self.router.app_stats {
@@ -270,22 +375,46 @@ impl ServerState {
         snap
     }
 
-    fn dispatch(self: &Arc<Self>, method: &str, params: &Json) -> Result<Json, ServeError> {
+    /// [`dispatch_full`](ServerState::dispatch_full) flattened for JSON
+    /// consumers: a blob payload is folded into the result object as
+    /// `svpack_hex` (the compat listener's carriage).  Production code
+    /// reaches it through [`fold_blob`] at the frame layer; unit tests
+    /// drive it directly.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn dispatch(
+        self: &Arc<Self>,
+        method: &str,
+        params: &Json,
+    ) -> Result<Json, ServeError> {
+        self.dispatch_full(method, params).map(|(result, blob)| fold_blob(result, blob))
+    }
+
+    /// Serve one request: builtins inline, routed methods through the
+    /// pool.  Blob handlers return their payload out-of-band so the
+    /// binary listener can write it verbatim.
+    fn dispatch_full(self: &Arc<Self>, method: &str, params: &Json) -> DispatchReply {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let _req_span = svtrace::span!("serve.request", method = method);
-        match method {
+        let plain = match method {
             "ping" => Ok(Json::str("pong")),
             "stats" => Ok(self.stats_json()),
             "metrics" => Ok(snapshot_json(&self.metrics_snapshot())),
             "health" => {
                 let p = self.pool.stats();
                 let draining = self.pool.is_draining() || self.shutdown.load(Ordering::SeqCst);
-                Ok(Json::obj([
-                    ("status", Json::str(if draining { "draining" } else { "ok" })),
-                    ("workers", Json::Num(p.workers as f64)),
-                    ("queued", Json::Num(p.queued as f64)),
-                    ("uptime_ms", Json::Num(self.started.elapsed().as_millis() as f64)),
-                ]))
+                let mut protocols = vec![Json::str("json")];
+                let mut fields = vec![
+                    ("status".to_string(), Json::str(if draining { "draining" } else { "ok" })),
+                    ("workers".to_string(), Json::Num(p.workers as f64)),
+                    ("queued".to_string(), Json::Num(p.queued as f64)),
+                    ("uptime_ms".to_string(), Json::Num(self.started.elapsed().as_millis() as f64)),
+                ];
+                if let Some(b) = self.bin_addr {
+                    protocols.push(Json::str("bin"));
+                    fields.push(("bin_port".to_string(), Json::Num(b.port() as f64)));
+                }
+                fields.push(("protocols".to_string(), Json::Array(protocols)));
+                Ok(Json::Object(fields.into_iter().collect()))
             }
             "methods" => {
                 let mut m = self.router.methods();
@@ -326,13 +455,19 @@ impl ServerState {
                 // Graceful drain: in-flight jobs finish and get their
                 // replies; queued jobs are shed with `shutting_down`.
                 self.pool.begin_drain();
-                // Wake the blocking accept loop so it can wind down.
-                let _ = TcpStream::connect(self.addr);
+                // Wake the reactor (or the blocking accept loops) so the
+                // serving side can wind down.
+                self.wake();
                 Ok(Json::str("shutting down"))
             }
             _ => match self.router.handlers.get(method) {
                 None => match self.router.fanout.get(method) {
-                    None => Err(ServeError::unknown_method(method)),
+                    None => match self.router.blob.get(method) {
+                        None => Err(ServeError::unknown_method(method)),
+                        // Blob handlers run inline: store lookups, not
+                        // computations.
+                        Some(handler) => return handler(params).map(|(j, b)| (j, Some(b))),
+                    },
                     Some(handler) => {
                         // Fan-out handlers run inline on this connection
                         // thread; their sub-jobs go through the pool (and
@@ -362,6 +497,25 @@ impl ServerState {
                     })
                 }
             },
+        };
+        plain.map(|j| (j, None))
+    }
+}
+
+/// Fold an out-of-band blob into a JSON result as `svpack_hex` (the
+/// compat listener cannot carry raw bytes).
+fn fold_blob(result: Json, blob: Option<Arc<Vec<u8>>>) -> Json {
+    match blob {
+        None => result,
+        Some(bytes) => {
+            let hex = Json::Str(binproto::hex_encode(&bytes));
+            match result {
+                Json::Object(mut map) => {
+                    map.insert("svpack_hex".to_string(), hex);
+                    Json::Object(map)
+                }
+                other => Json::obj([("value", other), ("svpack_hex", hex)]),
+            }
         }
     }
 }
@@ -377,6 +531,11 @@ impl ServeHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The binary listener's address, when one is serving.
+    pub fn bin_addr(&self) -> Option<SocketAddr> {
+        self.state.bin_addr
     }
 
     /// Live stats snapshot, same shape as the `stats` method's result.
@@ -398,8 +557,7 @@ impl ServeHandle {
     pub fn shutdown(mut self) -> Json {
         self.state.shutdown.store(true, Ordering::SeqCst);
         self.state.pool.begin_drain();
-        // Wake the blocking `accept` with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        self.state.wake();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -422,7 +580,7 @@ impl Drop for ServeHandle {
         if let Some(t) = self.accept_thread.take() {
             self.state.shutdown.store(true, Ordering::SeqCst);
             self.state.pool.begin_drain();
-            let _ = TcpStream::connect(self.addr);
+            self.state.wake();
             let _ = t.join();
         }
     }
@@ -448,6 +606,18 @@ pub fn serve_with(
 ) -> io::Result<ServeHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    let bin_listener = if config.bin_enabled {
+        Some(match &config.bin_addr {
+            Some(a) => TcpListener::bind(a.as_str())?,
+            None => TcpListener::bind(SocketAddr::new(addr.ip(), 0))?,
+        })
+    } else {
+        None
+    };
+    let bin_addr = match &bin_listener {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
     let mut recorder_cfg = RecorderConfig::default();
     if let Some(t) = config.slow_threshold {
         recorder_cfg.slow_threshold = t;
@@ -460,6 +630,7 @@ pub fn serve_with(
             faults: config.faults,
         }),
         addr,
+        bin_addr,
         deadline: config.deadline,
         started: Instant::now(),
         shutdown: AtomicBool::new(false),
@@ -470,15 +641,51 @@ pub fn serve_with(
         flight_recorder: config.flight_recorder,
         win_requests: RollingWindow::latency_us(),
         win_errors: RollingWindow::new(&[1]),
+        win_json: RollingWindow::new(&[1]),
+        win_bin: RollingWindow::new(&[1]),
+        waker: Mutex::new(None),
     });
     let accept_state = Arc::clone(&state);
     let accept_thread = std::thread::Builder::new()
         .name("svserve-accept".into())
-        .spawn(move || accept_loop(listener, accept_state))?;
+        .spawn(move || serve_entry(listener, bin_listener, accept_state))?;
     Ok(ServeHandle { addr, state, accept_thread: Some(accept_thread) })
 }
 
-fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+/// Pick the serving strategy: the epoll reactor on Linux (unless
+/// `SVSERVE_NO_REACTOR=1`), falling back to thread-per-connection when
+/// reactor setup fails or the platform has no epoll.
+fn serve_entry(json: TcpListener, bin: Option<TcpListener>, state: Arc<ServerState>) {
+    #[cfg(target_os = "linux")]
+    let (json, bin) = {
+        if std::env::var_os("SVSERVE_NO_REACTOR").is_none() {
+            match crate::reactor::run(json, bin, Arc::clone(&state)) {
+                Ok(()) => return,
+                Err(listeners) => listeners,
+            }
+        } else {
+            (json, bin)
+        }
+    };
+    threaded_accept(json, bin, state);
+}
+
+/// Thread-per-connection fallback: one blocking accept loop per
+/// listener, one thread per connection.
+fn threaded_accept(json: TcpListener, bin: Option<TcpListener>, state: Arc<ServerState>) {
+    let bin_thread = bin.map(|l| {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("svserve-accept-bin".into())
+            .spawn(move || accept_loop(l, state, Listener::Bin))
+    });
+    accept_loop(json, Arc::clone(&state), Listener::Json);
+    if let Some(Ok(t)) = bin_thread {
+        let _ = t.join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>, kind: Listener) {
     let mut conn_threads = Vec::new();
     while !state.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -486,12 +693,14 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
                 if state.shutdown.load(Ordering::SeqCst) {
                     break; // the shutdown wake-up connection
                 }
-                state.connections.fetch_add(1, Ordering::Relaxed);
+                state.count_connection();
                 let state = Arc::clone(&state);
-                if let Ok(t) = std::thread::Builder::new()
-                    .name("svserve-conn".into())
-                    .spawn(move || serve_connection(stream, state))
-                {
+                if let Ok(t) = std::thread::Builder::new().name("svserve-conn".into()).spawn(
+                    move || match kind {
+                        Listener::Json => serve_connection(stream, state),
+                        Listener::Bin => serve_connection_bin(stream, state),
+                    },
+                ) {
                     conn_threads.push(t);
                 }
                 // Reap finished connection threads opportunistically.
@@ -504,6 +713,101 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
     // shutdown stats include every request.
     for t in conn_threads {
         let _ = t.join();
+    }
+}
+
+/// Serve one request end to end: self-sampling, flight-recorder
+/// bookkeeping, dispatch under `catch_unwind`, latency/error windows.
+/// Both protocols and both serving strategies funnel through here, so
+/// their semantics cannot drift.
+pub(crate) fn process_request(
+    state: &Arc<ServerState>,
+    req: &Request,
+    listener: Listener,
+) -> DispatchReply {
+    let t0 = Instant::now();
+    // An explicit client context wins; routed methods are otherwise
+    // self-sampled so the flight recorder can tail-sample them.
+    let trace_ctx = req.trace.or_else(|| {
+        (state.flight_recorder && !BUILTIN_METHODS.contains(&req.method.as_str()))
+            .then(TraceCtx::root)
+    });
+    let sampled = trace_ctx.map_or(0, |c| if c.sampled { c.trace_id } else { 0 });
+    if sampled != 0 {
+        state.recorder.begin(sampled);
+    }
+    // Last line of defence: a panic anywhere in dispatch (the pool
+    // already isolates handler panics) must produce an error reply,
+    // never a dead connection.
+    let outcome = {
+        let _trace = trace_ctx.map(|ctx| {
+            svtrace::ctx::install(Some(ActiveTrace {
+                ctx,
+                sink: (sampled != 0).then(|| Arc::clone(&state.recorder)),
+            }))
+        });
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.dispatch_full(&req.method, &req.params)
+        }))
+    };
+    let code = match &outcome {
+        Ok(Ok(_)) => "ok",
+        Ok(Err(e)) => e.code,
+        Err(_) => "panic",
+    };
+    state.win_requests.record(t0.elapsed().as_micros() as u64);
+    match listener {
+        Listener::Json => state.win_json.record(1),
+        Listener::Bin => state.win_bin.record(1),
+    }
+    if code != "ok" {
+        state.win_errors.record(1);
+    }
+    // Finish before the reply is written: a follow-up `trace` request
+    // must already find the record.
+    if sampled != 0 {
+        state.recorder.finish(sampled, &req.method, code);
+    }
+    match outcome {
+        Ok(r) => r,
+        Err(_) => Err(ServeError::panicked("request dispatch panicked")),
+    }
+}
+
+/// One JSON line in, one JSON reply line out (reactor and threaded
+/// fallback both call this).
+pub(crate) fn handle_frame_json(state: &Arc<ServerState>, line: &str) -> String {
+    match parse_request(line) {
+        Err(e) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            response_err(None, &e)
+        }
+        Ok(req) => match process_request(state, &req, Listener::Json) {
+            Ok((result, blob)) => response_ok(req.id, fold_blob(result, blob)),
+            Err(e) => {
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                response_err(Some(req.id), &e)
+            }
+        },
+    }
+}
+
+/// One binary frame payload in, one framed binary reply out.
+pub(crate) fn handle_frame_bin(state: &Arc<ServerState>, payload: &[u8]) -> Vec<u8> {
+    match binproto::decode_request(payload) {
+        Err(e) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            binproto::encode_response_err(None, &e)
+        }
+        Ok((req, _blobs)) => match process_request(state, &req, Listener::Bin) {
+            Ok((result, blob)) => {
+                binproto::encode_response_ok(req.id, &result, blob.as_ref().map(|b| b.as_slice()))
+            }
+            Err(e) => {
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                binproto::encode_response_err(Some(req.id), &e)
+            }
+        },
     }
 }
 
@@ -527,75 +831,38 @@ fn serve_connection(stream: TcpStream, state: Arc<ServerState>) {
         let reply = match frame {
             FrameRead::Eof => return,
             FrameRead::Timeout => continue,
-            FrameRead::TooLarge => {
-                state.errors.fetch_add(1, Ordering::Relaxed);
-                response_err(None, &ServeError::frame_too_large())
-            }
+            FrameRead::TooLarge => state.reject_oversized_json(),
             FrameRead::Line(line) if line.trim().is_empty() => continue,
-            FrameRead::Line(line) => match parse_request(&line) {
-                Err(e) => {
-                    state.errors.fetch_add(1, Ordering::Relaxed);
-                    response_err(None, &e)
-                }
-                Ok(req) => {
-                    let t0 = Instant::now();
-                    // An explicit client context wins; routed methods are
-                    // otherwise self-sampled so the flight recorder can
-                    // tail-sample them.
-                    let trace_ctx = req.trace.or_else(|| {
-                        (state.flight_recorder && !BUILTIN_METHODS.contains(&req.method.as_str()))
-                            .then(TraceCtx::root)
-                    });
-                    let sampled = trace_ctx.map_or(0, |c| if c.sampled { c.trace_id } else { 0 });
-                    if sampled != 0 {
-                        state.recorder.begin(sampled);
-                    }
-                    // Last line of defence: a panic anywhere in dispatch
-                    // (the pool already isolates handler panics) must
-                    // produce an error reply, never a dead connection.
-                    let outcome = {
-                        let _trace = trace_ctx.map(|ctx| {
-                            svtrace::ctx::install(Some(ActiveTrace {
-                                ctx,
-                                sink: (sampled != 0).then(|| Arc::clone(&state.recorder)),
-                            }))
-                        });
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            state.dispatch(&req.method, &req.params)
-                        }))
-                    };
-                    let code = match &outcome {
-                        Ok(Ok(_)) => "ok",
-                        Ok(Err(e)) => e.code,
-                        Err(_) => "panic",
-                    };
-                    state.win_requests.record(t0.elapsed().as_micros() as u64);
-                    if code != "ok" {
-                        state.win_errors.record(1);
-                    }
-                    // Finish before the reply is written: a follow-up
-                    // `trace` request must already find the record.
-                    if sampled != 0 {
-                        state.recorder.finish(sampled, &req.method, code);
-                    }
-                    match outcome {
-                        Ok(Ok(result)) => response_ok(req.id, result),
-                        Ok(Err(e)) => {
-                            state.errors.fetch_add(1, Ordering::Relaxed);
-                            response_err(Some(req.id), &e)
-                        }
-                        Err(_) => {
-                            state.errors.fetch_add(1, Ordering::Relaxed);
-                            response_err(
-                                Some(req.id),
-                                &ServeError::panicked("request dispatch panicked"),
-                            )
-                        }
-                    }
-                }
-            },
+            FrameRead::Line(line) => handle_frame_json(&state, &line),
         };
         if writer.write_all(reply.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+fn serve_connection_bin(stream: TcpStream, state: Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = binproto::BinFrameReader::new(stream);
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let reply = match reader.read_frame() {
+            Ok(binproto::BinRead::Eof) | Err(_) => return,
+            Ok(binproto::BinRead::Timeout) => continue,
+            Ok(binproto::BinRead::TooLarge) => {
+                // No boundary to resync on: reply, then close.
+                let _ = writer.write_all(&state.reject_oversized_bin());
+                return;
+            }
+            Ok(binproto::BinRead::Frame(payload)) => handle_frame_bin(&state, &payload),
+        };
+        if writer.write_all(&reply).is_err() {
             return;
         }
     }
@@ -685,6 +952,15 @@ pub fn render_stats(stats: &Json) -> String {
             num(w.get("p99_us")),
             num(w.get("err_rate_10s")),
         ));
+        // Per-listener breakdown — only when the stats document carries
+        // it (older servers do not; their reports must not change).
+        if w.get("json_rate_10s").is_some() || w.get("bin_rate_10s").is_some() {
+            s.push_str(&format!(
+                "  proto    json req/s 10s {:.1}   bin req/s 10s {:.1}\n",
+                num(w.get("json_rate_10s")),
+                num(w.get("bin_rate_10s")),
+            ));
+        }
     }
     if let Some(cache) = stats.get("app").and_then(|a| a.get("cache")) {
         let hits = num(cache.get("hits"));

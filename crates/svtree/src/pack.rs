@@ -108,6 +108,14 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, PackError> {
 const TREE_MAGIC: &[u8; 4] = b"SVTR";
 const TREE_VERSION: u8 = 2;
 
+/// Probe a buffer for the svpack tree magic; returns the format version
+/// byte when it matches (readers accept versions 1 and 2).  The mmap'd
+/// artifact store and the binary wire protocol use this to validate
+/// svpack records without decoding them.
+pub fn probe_tree(buf: &[u8]) -> Option<u8> {
+    (buf.len() >= 5 && &buf[0..4] == TREE_MAGIC).then(|| buf[4])
+}
+
 /// Serialise a tree to the svpack v2 binary format.
 ///
 /// v2 is interner-backed and columnar: the string table is the subset of the
@@ -595,6 +603,16 @@ mod tests {
         let t = Tree::empty();
         let back = read_tree(&write_tree(&t)).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn probe_identifies_svpack_versions() {
+        let t = sample_tree();
+        assert_eq!(probe_tree(&write_tree(&t)), Some(2));
+        assert_eq!(probe_tree(&write_tree_v1(&t)), Some(1));
+        assert_eq!(probe_tree(b"SVTR"), None); // no version byte yet
+        assert_eq!(probe_tree(b"not a pack"), None);
+        assert_eq!(probe_tree(&[]), None);
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Integration tests for the binary wire protocol and its interplay with
+//! the JSON compat listener: transparent negotiation, result parity
+//! across wires, verbatim svpack carriage via the artifact store,
+//! max-frame guards on both listeners, and the per-listener telemetry.
+
+use silvervale::serve::AnalysisService;
+use silvervale::svjson::Json;
+use silvervale::{index_app, pipeline};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use svcorpus::App;
+use svserve::binproto::{self, BinFrameReader, BinRead};
+use svserve::proto::Request;
+use svserve::{serve_with, Client, Router, ServeConfig, ServeHandle, Wire, MAX_FRAME};
+
+/// Spin up a dual-listener server with the full handler set.
+fn start_server() -> (ServeHandle, Arc<AnalysisService>) {
+    let service = AnalysisService::new(1 << 22);
+    let mut router = Router::new();
+    service.register_on(&mut router);
+    let config = ServeConfig { workers: 2, ..ServeConfig::default() };
+    let handle = serve_with("127.0.0.1:0", router, config).expect("bind test server");
+    assert!(handle.bin_addr().is_some(), "binary listener on by default");
+    (handle, service)
+}
+
+fn num(v: Option<&Json>) -> f64 {
+    v.and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+#[test]
+fn negotiated_client_upgrades_and_answers_match_json() {
+    let (handle, _service) = start_server();
+    let mut bin = Client::connect_negotiated(handle.addr()).unwrap();
+    assert_eq!(bin.wire(), Wire::Bin, "server advertises, client upgrades");
+    assert_eq!(bin.proto_fallbacks(), 0);
+    let mut json = Client::connect(handle.addr()).unwrap();
+    assert_eq!(json.wire(), Wire::Json);
+
+    bin.call("index", Json::obj([("app", Json::str("minibude"))])).unwrap();
+    let params = || {
+        Json::obj([
+            ("db", Json::str("minibude")),
+            ("metric", Json::str("t_sem")),
+            ("from", Json::str("Serial")),
+        ])
+    };
+    // The same request must produce the identical value on either wire —
+    // the binary framing changes carriage, never content.
+    let over_bin = bin.call("compare", params()).unwrap();
+    let over_json = json.call("compare", params()).unwrap();
+    assert_eq!(over_bin, over_json);
+    // Errors carry the same code space too.
+    let e_bin = bin.call("compare", Json::obj([("db", Json::str("nope"))])).unwrap_err();
+    let e_json = json.call("compare", Json::obj([("db", Json::str("nope"))])).unwrap_err();
+    assert_eq!(e_bin.code, e_json.code);
+    assert_eq!(e_bin.code, "not_found");
+    handle.shutdown();
+}
+
+#[test]
+fn negotiation_falls_back_to_json_when_bin_is_disabled() {
+    let service = AnalysisService::new(1 << 20);
+    let mut router = Router::new();
+    service.register_on(&mut router);
+    let config = ServeConfig { workers: 1, bin_enabled: false, ..ServeConfig::default() };
+    let handle = serve_with("127.0.0.1:0", router, config).unwrap();
+    assert!(handle.bin_addr().is_none());
+
+    let mut client = Client::connect_negotiated(handle.addr()).unwrap();
+    assert_eq!(client.wire(), Wire::Json, "nothing to upgrade to");
+    assert_eq!(client.proto_fallbacks(), 1);
+    // The fallback is observable in the merged metrics document.
+    let m = client.merged_metrics().unwrap();
+    let counters = m.get("counters").expect("counters section");
+    assert_eq!(num(counters.get("client.proto_fallbacks")), 1.0);
+    // And the client still works fine on the compat wire.
+    let health = client.call("health", Json::Null).unwrap();
+    assert_eq!(health.get("bin_port"), None, "no binary listener advertised");
+    handle.shutdown();
+}
+
+#[test]
+fn tree_blob_is_verbatim_svpack_on_both_wires() {
+    let (handle, service) = start_server();
+    let mut bin = Client::connect_negotiated(handle.addr()).unwrap();
+    assert_eq!(bin.wire(), Wire::Bin);
+    bin.call("index", Json::obj([("app", Json::str("minibude"))])).unwrap();
+
+    // The ground truth: the same deterministic index, serialised locally.
+    let db = index_app(App::MiniBude, false).unwrap();
+    let entry = db.entry("Serial").expect("Serial unit");
+    let expected = svtree::pack::write_tree(entry.artifacts.t_sem.tree());
+    let fp = entry.artifacts.t_sem.structural_hash();
+
+    let params = || {
+        Json::obj([
+            ("db", Json::str("minibude")),
+            ("label", Json::str("Serial")),
+            ("metric", Json::str("t_sem")),
+        ])
+    };
+    let (meta, blobs) = bin.call_blob("tree", params()).unwrap();
+    assert_eq!(blobs.len(), 1);
+    assert_eq!(blobs[0], expected, "svpack bytes ride the binary frame verbatim");
+    assert_eq!(svtree::pack::probe_tree(&blobs[0]), Some(2), "svpack v2 payload");
+    assert_eq!(meta.get("fp").and_then(Json::as_str), Some(format!("{fp:016x}").as_str()));
+    assert_eq!(num(meta.get("bytes")), expected.len() as f64);
+
+    // The JSON compat listener folds the same bytes in as hex — after
+    // unfolding, both wires return the identical (meta, blob) pair.
+    let mut json = Client::connect(handle.addr()).unwrap();
+    let (meta_j, blobs_j) = json.call_blob("tree", params()).unwrap();
+    assert_eq!(meta_j, meta);
+    assert_eq!(blobs_j, blobs);
+
+    // Counter-proof that the store served it: the tree was appended at
+    // index time (content-addressed) and the fetches added no records.
+    assert!(service.store().contains(fp));
+    let m = bin.call("metrics", Json::Null).unwrap();
+    let counters = m.get("counters").expect("counters section");
+    assert!(num(counters.get("store.appends")) >= 20.0, "10 units x t_sem+t_src");
+    assert!(num(counters.get("store.append_bytes")) > 0.0);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_binary_frame_is_rejected_then_closed() {
+    let (handle, _service) = start_server();
+    let bin_addr = handle.bin_addr().unwrap();
+    let mut stream = TcpStream::connect(bin_addr).unwrap();
+    // A length prefix over MAX_FRAME must be refused before buffering —
+    // and the stream cannot resync on a length, so the server closes it.
+    stream.write_all(&((MAX_FRAME as u32) + 1).to_le_bytes()).unwrap();
+    let mut reader = BinFrameReader::new(stream.try_clone().unwrap());
+    match reader.read_frame().unwrap() {
+        BinRead::Frame(payload) => {
+            let (id, res) = binproto::decode_response(&payload).unwrap();
+            assert_eq!(id, None);
+            assert_eq!(res.unwrap_err().code, "frame_too_large");
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    assert_eq!(reader.read_frame().unwrap(), BinRead::Eof, "connection closed after reply");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_json_line_is_rejected_and_connection_survives() {
+    let (handle, _service) = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let huge = format!("{}\n", "x".repeat(MAX_FRAME + 1));
+    client.send_raw(&huge).unwrap();
+    let (_, res) = client.recv().unwrap();
+    assert_eq!(res.unwrap_err().code, "frame_too_large");
+    // Newline framing resyncs: the same connection keeps serving.
+    let health = client.call("health", Json::Null).unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    handle.shutdown();
+}
+
+#[test]
+fn corrupt_binary_payload_is_parse_error_and_connection_survives() {
+    let (handle, _service) = start_server();
+    let bin_addr = handle.bin_addr().unwrap();
+    let mut stream = TcpStream::connect(bin_addr).unwrap();
+    // A well-framed but undecodable payload: framing is intact, so the
+    // connection survives with a parse_error reply.
+    let garbage = [0xffu8, 0xee, 0xdd];
+    stream.write_all(&(garbage.len() as u32).to_le_bytes()).unwrap();
+    stream.write_all(&garbage).unwrap();
+    let mut reader = BinFrameReader::new(stream.try_clone().unwrap());
+    let BinRead::Frame(payload) = reader.read_frame().unwrap() else {
+        panic!("expected a reply frame");
+    };
+    let (_, res) = binproto::decode_response(&payload).unwrap();
+    assert_eq!(res.unwrap_err().code, "parse_error");
+
+    // Same connection, now a valid request.
+    let req = Request { id: 7, method: "health".into(), params: Json::Null, trace: None };
+    stream.write_all(&binproto::encode_request(&req, &[])).unwrap();
+    let BinRead::Frame(payload) = reader.read_frame().unwrap() else {
+        panic!("expected a health reply");
+    };
+    let (id, res) = binproto::decode_response(&payload).unwrap();
+    assert_eq!(id, Some(7));
+    let (health, _) = res.unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    handle.shutdown();
+}
+
+#[test]
+fn stats_window_breaks_requests_down_per_listener() {
+    let (handle, _service) = start_server();
+    let mut bin = Client::connect_negotiated(handle.addr()).unwrap();
+    assert_eq!(bin.wire(), Wire::Bin);
+    let mut json = Client::connect(handle.addr()).unwrap();
+    for _ in 0..5 {
+        bin.call("health", Json::Null).unwrap();
+        json.call("health", Json::Null).unwrap();
+    }
+    let stats = json.call("stats", Json::Null).unwrap();
+    let w = stats.get("window").expect("window section");
+    assert!(num(w.get("json_rate_10s")) > 0.0, "json listener saw traffic");
+    assert!(num(w.get("bin_rate_10s")) > 0.0, "bin listener saw traffic");
+    // The rendered dashboard surfaces the same split.
+    let rendered = svserve::render_stats(&stats);
+    assert!(rendered.contains("json req/s"), "per-proto line in render:\n{rendered}");
+    handle.shutdown();
+}
+
+#[test]
+fn binary_wire_carries_trace_context() {
+    let (handle, _service) = start_server();
+    let mut bin = Client::connect_negotiated(handle.addr()).unwrap();
+    assert_eq!(bin.wire(), Wire::Bin);
+    bin.set_tracing(true);
+    bin.call("index", Json::obj([("app", Json::str("minibude"))])).unwrap();
+    let trace_id = bin.last_trace_id().expect("traced call records its id");
+    // The server's flight recorder holds spans under the propagated id.
+    let reply =
+        bin.call("trace", Json::obj([("id", Json::str(svserve::id_hex(trace_id)))])).unwrap();
+    let spans = match reply.get("spans") {
+        Some(Json::Array(s)) => s.len(),
+        _ => 0,
+    };
+    assert!(spans > 0, "server sampled spans for the binary-wire trace id");
+    handle.shutdown();
+}
+
+#[test]
+fn evaluate_and_cluster_match_across_wires() {
+    let (handle, _service) = start_server();
+    let mut bin = Client::connect_negotiated(handle.addr()).unwrap();
+    let mut json = Client::connect(handle.addr()).unwrap();
+    bin.call("index", Json::obj([("app", Json::str("babelstream"))])).unwrap();
+    let params = || Json::obj([("db", Json::str("babelstream")), ("metric", Json::str("t_sem"))]);
+    let c_bin = bin.call("cluster", params()).unwrap();
+    let c_json = json.call("cluster", params()).unwrap();
+    assert_eq!(c_bin, c_json, "cluster output identical across wires");
+    // And both match the one-shot pipeline.
+    let db = index_app(App::BabelStream, false).unwrap();
+    let direct = pipeline::model_matrix(&db, svmetrics::Metric::TSem, svmetrics::Variant::PLAIN);
+    let dendro = svcluster::cluster_rows(&direct);
+    assert_eq!(c_bin.get("dendrogram").and_then(Json::as_str), Some(dendro.render().as_str()));
+    handle.shutdown();
+}
