@@ -32,6 +32,7 @@ pub mod lowerbound;
 pub mod matrix;
 pub mod seq;
 pub mod shared;
+pub(crate) mod simd;
 pub mod ted;
 
 pub use lowerbound::{label_histogram_lb, pqgram_lb, TreeProfile};
@@ -39,7 +40,7 @@ pub use matrix::DistanceMatrix;
 pub use seq::{edit_distance_onp, jaccard_divergence, lcs_len, levenshtein};
 pub use shared::SharedTree;
 pub use ted::{
-    cell_width, decompose_count, edit_stats, edit_stats_shared, memory_estimate,
-    memory_estimate_with, ted, ted_bounded, ted_shared, ted_with, ted_within, ted_within_shared,
-    CellWidth, CostModel, EditStats, PostTree, Strategy, TedError,
+    active_kernel_name, cell_width, decompose_count, edit_stats, edit_stats_shared,
+    memory_estimate, memory_estimate_with, ted, ted_bounded, ted_shared, ted_with, ted_within,
+    ted_within_shared, CellWidth, CostModel, EditStats, PostTree, Strategy, TedError,
 };

@@ -174,7 +174,7 @@ pub fn ted_with(a: &Tree, b: &Tree, costs: CostModel, strategy: Strategy) -> u64
         return 0;
     }
     let (pa, pb) = build_decompositions(a, b, strategy);
-    zhang_shasha(&pa, &pb, costs, KernelMode::Full)
+    zhang_shasha(&pa, &pb, costs, production_kernel_mode())
 }
 
 /// Build each side's decomposition at most once: Auto estimates both
@@ -233,7 +233,7 @@ pub fn ted_shared(
             }
         }
     };
-    zhang_shasha(pa, pb, costs, KernelMode::Full)
+    zhang_shasha(pa, pb, costs, production_kernel_mode())
 }
 
 /// Estimated number of relevant subproblems for a decomposition pair:
@@ -254,21 +254,25 @@ fn decomposition_cost(pa: &PostTree, pb: &PostTree) -> u128 {
 pub struct PostTree {
     /// Interned symbol ids in post-order, widened to u64 so the DP can use
     /// either label column through one slice type.
-    syms: Vec<u64>,
+    pub(crate) syms: Vec<u64>,
     /// Memoized content hashes of the labels in post-order.
     ///
     /// Collisions are astronomically unlikely for AST label vocabularies
     /// (hundreds of distinct strings); correctness tests run against the
     /// oracle which compares strings directly, and same-table comparisons
     /// use exact symbol ids instead.
-    keys: Vec<u64>,
+    pub(crate) keys: Vec<u64>,
     /// `lld[i]`: post-order index of the leftmost leaf descendant of node i.
-    lld: Vec<usize>,
+    pub(crate) lld: Vec<usize>,
+    /// `lld` narrowed to u32 — the SIMD kernel's column-metadata loads are
+    /// contiguous 4-byte lanes (trees whose DP tables fit in memory always
+    /// have post-order indices well inside u32).
+    pub(crate) lld32: Vec<u32>,
     /// LR-keyroots in increasing post-order index.
-    keyroots: Vec<usize>,
+    pub(crate) keyroots: Vec<usize>,
     /// Σ keyroot span lengths — this tree's factor of the relevant-
     /// subproblem estimate used by [`Strategy::Auto`].
-    span_sum: u64,
+    pub(crate) span_sum: u64,
     /// The label table the `syms` column indexes into.
     table: Arc<Interner>,
 }
@@ -332,11 +336,12 @@ impl PostTree {
         }
         keyroots.sort_unstable();
         let span_sum = keyroots.iter().map(|&k| (k - lld[k] + 1) as u64).sum();
+        let lld32 = lld.iter().map(|&v| v as u32).collect();
 
-        PostTree { syms, keys, lld, keyroots, span_sum, table: Arc::clone(tree.interner()) }
+        PostTree { syms, keys, lld, lld32, keyroots, span_sum, table: Arc::clone(tree.interner()) }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.syms.len()
     }
 
@@ -367,16 +372,29 @@ pub enum KernelMode {
     /// Arena plus width-adaptive cells (`u32` whenever [`cell_width`]
     /// proves the pair cannot overflow them).
     ArenaNarrow,
-    /// Arena + adaptive cells + branch-split inner loops — the production
-    /// kernel.
+    /// Arena + adaptive cells + branch-split inner loops — the scalar
+    /// production kernel, and the overflow-safe fallback of `Simd`.
     Full,
+    /// Arena + u32 cells + the vectorised wavefront kernel
+    /// (`crate::simd`): the loop-carried min/add chain is broken by a
+    /// weighted prefix-min scan so each vector of cells costs one add and
+    /// one min on the carried path.  Dispatches to the widest lane set the
+    /// CPU reports at runtime (AVX2, then SSE4.1) and falls back to `Full`
+    /// when lanes are unavailable (`SV_NO_SIMD=1`, non-x86-64, pre-SSE4.1
+    /// hardware) or when the pair needs u64 cells.
+    Simd,
 }
 
 impl KernelMode {
     /// All modes, in ablation order (each adds one optimisation).
     #[doc(hidden)]
-    pub const ABLATION: [KernelMode; 4] =
-        [KernelMode::Baseline, KernelMode::Arena, KernelMode::ArenaNarrow, KernelMode::Full];
+    pub const ABLATION: [KernelMode; 5] = [
+        KernelMode::Baseline,
+        KernelMode::Arena,
+        KernelMode::ArenaNarrow,
+        KernelMode::Full,
+        KernelMode::Simd,
+    ];
 
     /// Short label for bench output.
     #[doc(hidden)]
@@ -386,8 +404,31 @@ impl KernelMode {
             KernelMode::Arena => "arena",
             KernelMode::ArenaNarrow => "arena+u32",
             KernelMode::Full => "arena+u32+split",
+            KernelMode::Simd => "simd",
         }
     }
+}
+
+/// The kernel mode production entry points ([`ted_with`], [`ted_shared`],
+/// [`edit_stats`]) dispatch to on this host: [`KernelMode::Simd`] when the
+/// CPU reports at least SSE4.1 and `SV_NO_SIMD` is unset, otherwise
+/// [`KernelMode::Full`].  Detection runs once per process.
+#[doc(hidden)]
+pub fn production_kernel_mode() -> KernelMode {
+    if crate::simd::enabled() {
+        KernelMode::Simd
+    } else {
+        KernelMode::Full
+    }
+}
+
+/// Human-readable name of the DP kernel production TED paths run on this
+/// host: `"simd-avx2"`, `"simd-sse4.1"`, `"scalar"`, or
+/// `"scalar (SV_NO_SIMD)"` when the escape hatch forced lanes off.
+/// Surfaced by `svserve`'s `health` builtin so operators can confirm what
+/// a node is actually running.
+pub fn active_kernel_name() -> &'static str {
+    crate::simd::kernel_name()
 }
 
 /// [`ted_with`] with an explicit kernel implementation and **no**
@@ -413,28 +454,40 @@ pub fn ted_with_mode(
     zhang_shasha(&pa, &pb, costs, mode)
 }
 
-/// Thread-local DP scratch: the `td`/`fd` tables at both cell widths.
+/// Thread-local DP scratch: the `td`/`fd` tables at both cell widths, plus
+/// the SIMD kernel's pair-local u32 label columns.
 ///
 /// Lifetime: one arena per worker thread, alive until the thread exits,
 /// sized by the largest pair the thread has solved (a `ted_bounded` budget
 /// caps that for adversarial inputs).  Buffers only ever grow; growth
 /// zero-fills the *new* region once (`Vec::resize`), and everything else is
 /// reused as-is — see `zs_dp` for why stale values are never observed.
-struct Scratch {
-    td32: Vec<u32>,
-    fd32: Vec<u32>,
-    td64: Vec<u64>,
-    fd64: Vec<u64>,
+pub(crate) struct Scratch {
+    pub(crate) td32: Vec<u32>,
+    pub(crate) fd32: Vec<u32>,
+    pub(crate) td64: Vec<u64>,
+    pub(crate) fd64: Vec<u64>,
+    /// Pair-local u32 label ids for the SIMD kernel's lane-wide equality
+    /// compares (see `simd::compress_labels`).
+    pub(crate) la32: Vec<u32>,
+    pub(crate) lb32: Vec<u32>,
 }
 
 impl Scratch {
     const fn new() -> Scratch {
-        Scratch { td32: Vec::new(), fd32: Vec::new(), td64: Vec::new(), fd64: Vec::new() }
+        Scratch {
+            td32: Vec::new(),
+            fd32: Vec::new(),
+            td64: Vec::new(),
+            fd64: Vec::new(),
+            la32: Vec::new(),
+            lb32: Vec::new(),
+        }
     }
 }
 
 thread_local! {
-    static SCRATCH: RefCell<Scratch> = const { RefCell::new(Scratch::new()) };
+    pub(crate) static SCRATCH: RefCell<Scratch> = const { RefCell::new(Scratch::new()) };
 }
 
 /// A DP cell: `u32` for the narrow kernel, `u64` for the wide one.
@@ -495,6 +548,14 @@ fn zhang_shasha(a: &PostTree, b: &PostTree, costs: CostModel, mode: KernelMode) 
         KernelMode::Full => match cell_width(a.len(), b.len(), costs) {
             CellWidth::U32 => zs_dp::<u32, true>(a, b, costs),
             CellWidth::U64 => zs_dp::<u64, true>(a, b, costs),
+        },
+        // The SIMD kernel is u32-only and needs lane support; anything it
+        // cannot take (forced scalar, u64 pairs, exotic hosts) runs the
+        // scalar production kernel instead, so `Simd` is always safe to
+        // request.
+        KernelMode::Simd => match crate::simd::exact(a, b, costs) {
+            Some(d) => d,
+            None => zhang_shasha(a, b, costs, KernelMode::Full),
         },
     }
 }
@@ -871,21 +932,53 @@ impl std::fmt::Display for TedError {
 
 impl std::error::Error for TedError {}
 
+/// Lane-pad cells appended to each u32 arena table so the SIMD kernel may
+/// always issue full-width loads/stores at logical table ends, and the
+/// bytes that pad plus the kernel's two pair-local u32 label columns add
+/// to [`memory_estimate_with`] for u32-width pairs.
+pub(crate) const SIMD_LANE_PAD: usize = 16;
+
 /// Estimated peak bytes of DP state Zhang–Shasha holds for a pair under
 /// `costs`: the permanent `n·m` tree-distance table plus the
 /// `(n+1)·(m+1)` scratch forest table, at the cell width the kernel will
 /// actually select (see [`cell_width`]).  Unit-cost pairs — the paper's
 /// GROMACS scenario — need 4-byte cells, half of what the old fixed-`u64`
 /// kernel estimated; extreme cost models still cost 8 bytes per cell.
+/// u32-width pairs additionally account for the SIMD kernel's lane padding
+/// (two tables × [`SIMD_LANE_PAD`] cells) and its `n + m` pair-local u32
+/// label ids, so the `ted_bounded` budget check covers the production
+/// kernel's true footprint whichever kernel dispatch picks.
 pub fn memory_estimate_with(a: &Tree, b: &Tree, costs: CostModel) -> u64 {
     let n = a.size() as u64;
     let m = b.size() as u64;
-    cell_width(a.size(), b.size(), costs).bytes() * (n * m + (n + 1) * (m + 1))
+    let width = cell_width(a.size(), b.size(), costs);
+    let tables = width.bytes() * (n * m + (n + 1) * (m + 1));
+    match width {
+        CellWidth::U32 => tables + 4 * (n + m) + 2 * 4 * SIMD_LANE_PAD as u64,
+        CellWidth::U64 => tables,
+    }
 }
 
 /// [`memory_estimate_with`] under the paper's unit-cost model.
 pub fn memory_estimate(a: &Tree, b: &Tree) -> u64 {
     memory_estimate_with(a, b, CostModel::UNIT)
+}
+
+/// Exact count of DP cells the keyroot double loop touches for this pair
+/// under `strategy` — Σ over keyroot pairs of `rows × cols`, which
+/// factors as `(span_sum_a + |keyroots_a|) · (span_sum_b + |keyroots_b|)`
+/// for the decomposition [`Strategy::Auto`] would select.  The ablation
+/// bench divides measured wall time by this to report cells/s and place
+/// each kernel stage on a roofline; production code has no use for it.
+#[doc(hidden)]
+pub fn dp_cell_estimate(a: &Tree, b: &Tree, strategy: Strategy) -> u64 {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let (pa, pb) = build_decompositions(a, b, strategy);
+    let fa = pa.span_sum + pa.keyroots.len() as u64;
+    let fb = pb.span_sum + pb.keyroots.len() as u64;
+    fa * fb
 }
 
 /// TED with an explicit memory budget: refuses up front (no allocation)
@@ -949,7 +1042,7 @@ pub fn ted_within(
         return None;
     }
     let (pa, pb) = build_decompositions(a, b, strategy);
-    zs_within(&pa, &pb, costs, tau)
+    zs_within_dispatch(&pa, &pb, costs, tau)
 }
 
 /// [`ted_within`] over [`SharedTree`]s: the memoized lower-bound profiles
@@ -994,7 +1087,7 @@ pub fn ted_within_shared(
             }
         }
     };
-    zs_within(pa, pb, costs, tau)
+    zs_within_dispatch(pa, pb, costs, tau)
 }
 
 /// [`ted_within`] with an explicit kernel mode and no structural-hash
@@ -1029,8 +1122,19 @@ pub fn ted_within_with_mode(
             let d = zhang_shasha_alloc(&pa, &pb, costs);
             (d <= tau).then_some(d)
         }
+        KernelMode::Simd => zs_within_dispatch(&pa, &pb, costs, tau),
         _ => zs_within(&pa, &pb, costs, tau),
     }
+}
+
+/// The banded kernel production paths run: the SIMD banded kernel whenever
+/// lanes are available and the `tau`-derived u32 intermediates provably
+/// cannot wrap, the scalar `u64` banded kernel otherwise.
+fn zs_within_dispatch(a: &PostTree, b: &PostTree, costs: CostModel, tau: u64) -> Option<u64> {
+    if let Some(r) = crate::simd::within(a, b, costs, tau) {
+        return r;
+    }
+    zs_within(a, b, costs, tau)
 }
 
 /// Size-difference lower bound: transforming `na` nodes into `nb > na`
@@ -1216,8 +1320,9 @@ pub fn edit_stats_shared(a: &crate::SharedTree, b: &crate::SharedTree) -> EditSt
 /// relabels of an optimal unit-cost script, and
 /// `|T₂| − |T₁| = inserts − deletes` closes the system.
 fn prepared_edit_stats(pa: &PostTree, pb: &PostTree, na: usize, nb: usize) -> EditStats {
-    let d1 = zhang_shasha(pa, pb, CostModel::UNIT, KernelMode::Full);
-    let d2 = zhang_shasha(pa, pb, CostModel { delete: 1, insert: 1, relabel: 2 }, KernelMode::Full);
+    let mode = production_kernel_mode();
+    let d1 = zhang_shasha(pa, pb, CostModel::UNIT, mode);
+    let d2 = zhang_shasha(pa, pb, CostModel { delete: 1, insert: 1, relabel: 2 }, mode);
     let relabels = d2 - d1;
     let matched_cost = d1 - relabels; // inserts + deletes
     let diff = nb as i64 - na as i64; // inserts - deletes
@@ -1710,8 +1815,11 @@ mod tests {
         let a = t("(f (g a b) c)"); // 5 nodes
         let b = t("(x y)"); // 2 nodes
                             // unit costs select u32 cells: 4 * (5*2 + 6*3) = 4 * 28 = 112
-        assert_eq!(memory_estimate(&a, &b), 112);
-        // Extreme weights fall back to u64 cells: 8 * 28 = 224.
+                            // plus the SIMD footprint: labels 4·(5+2) = 28
+                            // and lane pads 2·4·SIMD_LANE_PAD = 128.
+        assert_eq!(memory_estimate(&a, &b), 112 + 28 + 2 * 4 * SIMD_LANE_PAD as u64);
+        // Extreme weights fall back to u64 cells (a scalar-only path, no
+        // SIMD footprint): 8 * 28 = 224.
         let extreme = CostModel { delete: u32::MAX, insert: u32::MAX, relabel: 1 };
         assert_eq!(memory_estimate_with(&a, &b, extreme), 224);
     }
@@ -1766,10 +1874,13 @@ mod tests {
         let TedError::BudgetExceeded { needed_bytes, budget_bytes } = e;
         assert!(needed_bytes > budget_bytes);
         assert!(needed_bytes > 10_u64.pow(9), "{needed_bytes}");
-        // The u32 cells halve the bill relative to the old fixed-u64
-        // estimate, but a cost model that needs u64 still pays in full.
+        // The u32 cells halve the table bill relative to the old fixed-u64
+        // estimate (modulo the SIMD label columns and lane pads, which the
+        // u32 estimate includes and the u64 one does not), but a cost model
+        // that needs u64 still pays full-width tables.
         let extreme = CostModel { delete: u32::MAX, insert: u32::MAX, relabel: 1 };
-        assert_eq!(memory_estimate_with(&a, &b, extreme), 2 * needed_bytes);
+        let simd_extra = 4 * (a.size() as u64 + b.size() as u64) + 2 * 4 * SIMD_LANE_PAD as u64;
+        assert_eq!(memory_estimate_with(&a, &b, extreme), 2 * (needed_bytes - simd_extra));
     }
 
     #[test]
@@ -1796,12 +1907,63 @@ mod tests {
         // All kernel stages agree on a non-trivial workload.
         let expect = ted_with_mode(&a, &b, CostModel::UNIT, Strategy::Auto, KernelMode::Baseline);
         assert_eq!(d, expect);
-        for mode in [KernelMode::Arena, KernelMode::ArenaNarrow, KernelMode::Full] {
+        for mode in [KernelMode::Arena, KernelMode::ArenaNarrow, KernelMode::Full, KernelMode::Simd]
+        {
             assert_eq!(
                 ted_with_mode(&a, &b, CostModel::UNIT, Strategy::Auto, mode),
                 expect,
                 "{mode:?}"
             );
+        }
+    }
+
+    #[test]
+    fn simd_wide_rows_and_banded_agree_with_scalar() {
+        // Wide fan-out forces keyroot subproblems whose DP rows exceed the
+        // widest lane tier (16 columns), exercising every step of the
+        // width cascade plus the scalar tail; the descend/reset mix keeps
+        // both whole-tree and forest rows in play.  Small proptest trees
+        // never reach the 16-wide blocks, so this is the unit-level guard
+        // for the wide path (the bench asserts the same on real corpora).
+        fn bushy(n: usize, fan: usize, flavour: &str) -> Tree {
+            let mut tr = Tree::leaf("root");
+            let mut cur = tr.root().unwrap();
+            for i in 0..n {
+                let id = tr.push_child(cur, format!("{flavour}{}", i % 13), None);
+                if i % fan == fan - 1 {
+                    cur = id;
+                }
+                if i % (5 * fan) == 0 {
+                    cur = tr.root().unwrap();
+                }
+            }
+            tr
+        }
+        for (fan_a, fan_b) in [(40usize, 37usize), (23, 61)] {
+            let a = bushy(900, fan_a, "p");
+            let b = bushy(900, fan_b, "q");
+            let expect = ted_with_mode(&a, &b, CostModel::UNIT, Strategy::Auto, KernelMode::Full);
+            assert_eq!(
+                ted_with_mode(&a, &b, CostModel::UNIT, Strategy::Auto, KernelMode::Simd),
+                expect,
+                "exact, fans {fan_a}/{fan_b}"
+            );
+            // Banded: the iff-contract at thresholds straddling the distance.
+            for tau in [0, expect - 1, expect, expect + 1, 2 * expect + 3] {
+                let want = (expect <= tau).then_some(expect);
+                assert_eq!(
+                    ted_within_with_mode(
+                        &a,
+                        &b,
+                        CostModel::UNIT,
+                        Strategy::Auto,
+                        tau,
+                        KernelMode::Simd
+                    ),
+                    want,
+                    "banded, tau={tau}, fans {fan_a}/{fan_b}"
+                );
+            }
         }
     }
 }

@@ -529,7 +529,15 @@ pub fn divergence_matrix(
     units: &[Measured<'_>],
 ) -> DistanceMatrix {
     assert_eq!(labels.len(), units.len());
-    let _s = svtrace::span!("matrix.build", n = labels.len(), metric = metric.name());
+    // The kernel attr records which TED DP kernel served this build
+    // ("simd-avx512f" … "scalar"), so traces from different hosts stay
+    // comparable when their dispatch tiers differ.
+    let _s = svtrace::span!(
+        "matrix.build",
+        n = labels.len(),
+        metric = metric.name(),
+        kernel = svdist::active_kernel_name()
+    );
     let arts = pair_artifacts(metric, v, units);
     DistanceMatrix::from_fn_par_lpt(
         labels.to_vec(),

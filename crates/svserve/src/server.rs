@@ -408,6 +408,10 @@ impl ServerState {
                     ("workers".to_string(), Json::Num(p.workers as f64)),
                     ("queued".to_string(), Json::Num(p.queued as f64)),
                     ("uptime_ms".to_string(), Json::Num(self.started.elapsed().as_millis() as f64)),
+                    // Which TED DP kernel this host dispatches to
+                    // ("simd-avx512f" … "scalar"), so operators can tell
+                    // at a glance whether the hot path is vectorised.
+                    ("kernel".to_string(), Json::str(svdist::active_kernel_name())),
                 ];
                 if let Some(b) = self.bin_addr {
                     protocols.push(Json::str("bin"));

@@ -117,15 +117,16 @@ proptest! {
     fn kernel_modes_match_oracle_under_boundary_cost_models(
         a in arb_tree(8),
         b in arb_tree(8),
-        del_i in 0usize..6,
-        ins_i in 0usize..6,
-        rel_i in 0usize..6,
+        del_i in 0usize..7,
+        ins_i in 0usize..7,
+        rel_i in 0usize..7,
     ) {
         // Weight palette mixing tiny values (narrow kernel) with boundary
-        // values near u32::MAX (u64 fallback).
-        const DEL: [u32; 6] = [1, 2, 49, 1 << 27, u32::MAX - 1, u32::MAX];
-        const INS: [u32; 6] = [1, 3, 47, 1 << 27, u32::MAX - 1, u32::MAX];
-        const REL: [u32; 6] = [1, 5, 43, 1 << 27, u32::MAX - 1, u32::MAX];
+        // values near u32::MAX (u64 fallback) and zero-cost operations
+        // (degenerate ramps/scans in the vector kernel).
+        const DEL: [u32; 7] = [1, 2, 49, 1 << 27, u32::MAX - 1, u32::MAX, 0];
+        const INS: [u32; 7] = [1, 3, 47, 1 << 27, u32::MAX - 1, u32::MAX, 0];
+        const REL: [u32; 7] = [1, 5, 43, 1 << 27, u32::MAX - 1, u32::MAX, 0];
         let (del, ins, rel) = (DEL[del_i], INS[ins_i], REL[rel_i]);
         // Every ablation stage of the kernel — allocating baseline, arena,
         // arena + width-adaptive cells, and the full branch-split kernel —
@@ -264,17 +265,17 @@ proptest! {
     fn ted_within_agrees_with_exact_at_every_threshold(
         a in arb_tree(9),
         b in arb_tree(9),
-        del_i in 0usize..6,
-        ins_i in 0usize..6,
-        rel_i in 0usize..6,
+        del_i in 0usize..7,
+        ins_i in 0usize..7,
+        rel_i in 0usize..7,
     ) {
         // `ted_within(tau)` returns `Some(d)` iff the exact distance is
         // `d <= tau` — at tau right below, at, and above the distance,
-        // under boundary cost models, in every strategy and in the
-        // allocating baseline kernel.
-        const DEL: [u32; 6] = [1, 2, 49, 1 << 27, u32::MAX - 1, u32::MAX];
-        const INS: [u32; 6] = [1, 3, 47, 1 << 27, u32::MAX - 1, u32::MAX];
-        const REL: [u32; 6] = [1, 5, 43, 1 << 27, u32::MAX - 1, u32::MAX];
+        // under boundary cost models, in every strategy, and in both the
+        // allocating baseline and the vector banded kernels.
+        const DEL: [u32; 7] = [1, 2, 49, 1 << 27, u32::MAX - 1, u32::MAX, 0];
+        const INS: [u32; 7] = [1, 3, 47, 1 << 27, u32::MAX - 1, u32::MAX, 0];
+        const REL: [u32; 7] = [1, 5, 43, 1 << 27, u32::MAX - 1, u32::MAX, 0];
         let costs = CostModel { delete: DEL[del_i], insert: INS[ins_i], relabel: REL[rel_i] };
         let exact = ted_with(&a, &b, costs, TedStrategy::Auto);
         let taus = [
@@ -296,6 +297,13 @@ proptest! {
                 ted_within_with_mode(&a, &b, costs, TedStrategy::Auto, tau, KernelMode::Baseline),
                 want,
                 "baseline kernel disagrees at tau={}", tau
+            );
+            // The Simd mode routes through the vector banded kernel where
+            // the width checks admit the pair (and must agree either way).
+            prop_assert_eq!(
+                ted_within_with_mode(&a, &b, costs, TedStrategy::Auto, tau, KernelMode::Simd),
+                want,
+                "simd banded kernel disagrees at tau={} {:?}", tau, costs
             );
         }
         // The shared-tree entry point (profile prefilter + memoized
